@@ -1,0 +1,119 @@
+#include "bench_util.h"
+
+#include <iomanip>
+
+namespace hermes::bench {
+
+namespace {
+
+SolutionRow make_row(const std::string& name, const tdg::Tdg& t, const net::Network& net,
+                     const core::Deployment& d, double seconds, const std::string& status) {
+    SolutionRow row;
+    row.name = name;
+    row.metrics = core::evaluate(t, net, d);
+    row.solve_seconds = seconds;
+    row.status = status;
+    row.verified = core::verify(t, net, d).ok;
+    row.hops = sim::deployment_hops(t, net, d);
+    return row;
+}
+
+SolutionRow failed_row(const std::string& name, const std::string& why) {
+    SolutionRow row;
+    row.name = name;
+    row.status = "failed(" + why + ")";
+    return row;
+}
+
+}  // namespace
+
+std::vector<SolutionRow> run_all_solutions(const std::vector<prog::Program>& programs,
+                                           const net::Network& net,
+                                           const RunConfig& config) {
+    std::vector<SolutionRow> rows;
+
+    const tdg::Tdg merged = core::analyze(programs);
+    try {
+        const core::DeployOutcome g = core::deploy_greedy(merged, net, config.hermes);
+        rows.push_back(make_row("Hermes", merged, net, g.deployment, g.solve_seconds,
+                                g.solver_status));
+    } catch (const std::exception& ex) {
+        rows.push_back(failed_row("Hermes", ex.what()));
+    }
+    if (config.include_optimal) {
+        try {
+            const core::DeployOutcome o = core::deploy_optimal(merged, net, config.hermes);
+            rows.push_back(make_row("Optimal", merged, net, o.deployment, o.solve_seconds,
+                                    o.solver_status));
+        } catch (const std::exception& ex) {
+            rows.push_back(failed_row("Optimal", ex.what()));
+        }
+    }
+    if (config.include_baselines) {
+        for (const auto& strategy : baselines::all_strategies()) {
+            try {
+                const baselines::StrategyOutcome outcome =
+                    strategy->deploy(programs, net, config.baseline);
+                rows.push_back(make_row(strategy->name(), outcome.merged, net,
+                                        outcome.deployment, outcome.solve_seconds,
+                                        outcome.status));
+            } catch (const std::exception& ex) {
+                rows.push_back(failed_row(strategy->name(), ex.what()));
+            }
+        }
+    }
+    return rows;
+}
+
+void simulate_rows(std::vector<SolutionRow>& rows, const sim::FlowSpec& base_spec) {
+    for (SolutionRow& row : rows) {
+        if (row.hops.empty()) continue;
+        sim::FlowSpec spec = base_spec;
+        spec.overhead_bytes = static_cast<int>(row.metrics.max_inflight_metadata_bytes);
+        if (spec.mtu_bytes - spec.base_header_bytes - spec.overhead_bytes <= 0) {
+            continue;  // overhead beyond MTU: leave the row unsimulated
+        }
+        const sim::FlowResult r = sim::simulate_flow(row.hops, spec);
+        row.fct_us = r.fct_us;
+        // Steady-state goodput: the sustained payload fraction of line rate.
+        // (Message-size goodput over WAN paths is dominated by propagation
+        // delay — hop count — which says nothing about header overhead.)
+        row.goodput_gbps = 100.0 * static_cast<double>(r.payload_per_packet) /
+                           static_cast<double>(r.payload_per_packet +
+                                               spec.base_header_bytes +
+                                               spec.overhead_bytes);
+    }
+}
+
+void print_rows(std::ostream& os, const std::string& title,
+                const std::vector<SolutionRow>& rows, bool with_flows) {
+    std::vector<std::string> headers{"solution",   "overhead(B)", "inflight(B)",
+                                     "time(ms)",   "switches",    "latency(us)",
+                                     "verified",   "status"};
+    if (with_flows) {
+        headers.push_back("fct(us)");
+        headers.push_back("goodput(Gbps)");
+    }
+    util::Table table(headers);
+    for (const SolutionRow& row : rows) {
+        std::vector<std::string> cells{
+            row.name,
+            util::Table::num(row.metrics.max_pair_metadata_bytes),
+            util::Table::num(row.metrics.max_inflight_metadata_bytes),
+            util::Table::num(row.solve_seconds * 1e3, 2),
+            util::Table::num(row.metrics.occupied_switches),
+            util::Table::num(row.metrics.route_latency_us, 1),
+            row.verified ? "yes" : "NO",
+            row.status,
+        };
+        if (with_flows) {
+            cells.push_back(util::Table::num(row.fct_us, 1));
+            cells.push_back(util::Table::num(row.goodput_gbps, 2));
+        }
+        table.add_row(std::move(cells));
+    }
+    table.print(os, title);
+    os << '\n';
+}
+
+}  // namespace hermes::bench

@@ -1,0 +1,56 @@
+// Shared machinery for the experiment-reproduction binaries: runs every
+// solution (the eight comparison frameworks plus Hermes greedy and Hermes
+// Optimal) through the same pipeline and reports the paper's metrics.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "sim/flowsim.h"
+#include "util/table.h"
+
+namespace hermes::bench {
+
+struct SolutionRow {
+    std::string name;
+    core::DeploymentMetrics metrics;
+    double solve_seconds = 0.0;
+    std::string status;
+    bool verified = false;
+    std::vector<sim::HopSpec> hops;  // end-to-end hop sequence of the deployment
+    // Filled by simulate_rows():
+    double fct_us = 0.0;
+    double goodput_gbps = 0.0;
+};
+
+struct RunConfig {
+    baselines::BaselineOptions baseline;  // ILP limits, candidate caps
+    core::HermesOptions hermes;           // Optimal configuration
+    bool include_optimal = true;
+    bool include_baselines = true;
+};
+
+// Runs Hermes greedy, Hermes Optimal, and all comparison frameworks on the
+// same workload/network; every deployment is passed through the verifier.
+// A solution that fails to deploy (infeasible instance for its strategy) is
+// reported with status "failed(...)" and zeroed metrics.
+[[nodiscard]] std::vector<SolutionRow> run_all_solutions(
+    const std::vector<prog::Program>& programs, const net::Network& net,
+    const RunConfig& config);
+
+// Simulates one flow per row over its deployment's hop sequence using the
+// row's in-flight overhead. fct_us is the full message completion time
+// (packetization + store-and-forward + propagation); goodput_gbps is the
+// steady-state payload share of the 100 Gbps line rate, which isolates the
+// header-overhead effect from path-length effects.
+void simulate_rows(std::vector<SolutionRow>& rows, const sim::FlowSpec& base_spec);
+
+// Table of rows with the standard columns.
+void print_rows(std::ostream& os, const std::string& title,
+                const std::vector<SolutionRow>& rows, bool with_flows = false);
+
+}  // namespace hermes::bench

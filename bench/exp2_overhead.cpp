@@ -1,0 +1,82 @@
+// Exp#2-#4 / Figures 6-8 in one pass: per-packet byte overhead, execution
+// time, and end-to-end FCT/goodput at scale. Deploys 50 concurrent programs
+// (the 10 real ones + 40 synthetic, §VI-A) on each of the ten Table III WAN
+// topologies with every solution. One pass computes all three figures —
+// the dedicated exp3/exp4 binaries re-run representative subsets.
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+
+    bench::RunConfig config;
+    config.baseline.milp.time_limit_seconds = 5.0;
+    config.baseline.segment_level = true;   // network scale: segment models
+    config.baseline.candidate_limit = 0;    // auto: segments + slack
+    config.hermes.segment_level_milp = true;
+    config.hermes.candidate_limit = 0;      // auto
+    config.hermes.milp.time_limit_seconds = 5.0;
+
+    sim::FlowSpec flow;
+    flow.mtu_bytes = 1024;  // the paper measures 1024-byte packets (Fig 8)
+    flow.payload_bytes_total = 8 << 20;  // 8 MB message per flow
+
+    const std::vector<std::string> headers{"topology", "Hermes", "Optimal", "MS",
+                                           "Sonata",   "SPEED",  "MTP",     "FP",
+                                           "P4All",    "FFL",    "FFLS"};
+    util::Table overhead(headers), exec_time(headers), fct(headers), goodput(headers);
+
+    for (int id = 1; id <= net::kTopologyCount; ++id) {
+        // Fresh workload draw per topology: stands in for the paper's
+        // 100-run averaging (one deterministic draw per row).
+        const auto programs = prog::paper_workload(50, 0xbeef + id);
+        const net::Network n = net::table3_topology(id);
+        auto rows = bench::run_all_solutions(programs, n, config);
+        bench::simulate_rows(rows, flow);
+
+        std::vector<std::string> oh{util::Table::num(std::int64_t{id})};
+        std::vector<std::string> tm{util::Table::num(std::int64_t{id})};
+        std::vector<std::string> fc{util::Table::num(std::int64_t{id})};
+        std::vector<std::string> gp{util::Table::num(std::int64_t{id})};
+        for (const auto& row : rows) {
+            oh.push_back(util::Table::num(row.metrics.max_pair_metadata_bytes) +
+                         (row.verified ? "" : "!"));
+            std::string cell = util::Table::num(row.solve_seconds * 1e3, 1);
+            if (row.status.find("time-limit") != std::string::npos) cell += "*";
+            tm.push_back(std::move(cell));
+            const bool fits_mtu = row.goodput_gbps > 0.0;
+            fc.push_back(fits_mtu ? util::Table::num(row.fct_us / 1e3, 1) : ">MTU");
+            gp.push_back(fits_mtu ? util::Table::num(row.goodput_gbps, 2) : ">MTU");
+        }
+        // Progress line per topology so partial runs still carry data.
+        std::cout << "[topology " << id << "] overhead:";
+        for (std::size_t c = 1; c < oh.size(); ++c) std::cout << ' ' << oh[c];
+        std::cout << std::endl;
+
+        overhead.add_row(std::move(oh));
+        exec_time.add_row(std::move(tm));
+        fct.add_row(std::move(fc));
+        goodput.add_row(std::move(gp));
+    }
+    std::cout << '\n';
+    overhead.print(std::cout,
+                   "Exp#2 (Fig 6): per-packet byte overhead (bytes), 50 programs");
+    std::cout << '\n';
+    exec_time.print(std::cout,
+                    "Exp#3 (Fig 7): execution time (ms; * = budget clipped like the "
+                    "paper's 10^7 ms bars)");
+    std::cout << '\n';
+    fct.print(std::cout, "Exp#4 (Fig 8a): flow completion time (ms), 1024B packets");
+    std::cout << '\n';
+    goodput.print(std::cout, "Exp#4 (Fig 8b): goodput (Gbps), 1024B packets");
+    std::cout << "\nExpected shapes (paper): Hermes cuts overhead by up to 34% vs the\n"
+                 "other solutions and stays near Optimal (Fig 6); heuristics run in\n"
+                 "ms while ILP frameworks clip their budgets (Fig 7); lower overhead\n"
+                 "gives lower FCT / higher goodput; '>MTU' marks deployments whose\n"
+                 "metadata alone no longer fits a 1024B packet (Fig 8).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Exp#6: switch resource consumption. Deploys ten sketches with SPEED and
+// with Hermes, compares total deployed resources against the ground truth
+// (the sum of each sketch's isolated consumption), and shows that Hermes'
+// inter-switch coordination adds no switch resources — and that merging
+// (shared hash stages) actually reduces them.
+#include <iostream>
+
+#include "baselines/network_wide.h"
+#include "core/hermes.h"
+#include "prog/library.h"
+#include "sim/testbed.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+
+    const std::vector<prog::Program> sketches = prog::sketch_programs();
+
+    // Ground truth: each sketch deployed alone, no coordination.
+    double isolated_total = 0.0;
+    for (const prog::Program& p : sketches) {
+        isolated_total += p.to_tdg().total_resource_units();
+    }
+
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 6;
+    const net::Network n = sim::make_testbed(config);
+
+    // Hermes (merged, greedy).
+    const tdg::Tdg merged = core::analyze(sketches);
+    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, n);
+
+    // SPEED (merged, latency-objective ILP).
+    baselines::NetworkWideStrategy speed("SPEED", core::P1Objective::kMinLatency);
+    baselines::BaselineOptions options;
+    options.milp.time_limit_seconds = 10.0;
+    options.segment_level = false;
+    options.candidate_limit = 3;
+    const baselines::StrategyOutcome speed_outcome = speed.deploy(sketches, n, options);
+
+    util::Table table({"deployment", "resource units deployed", "vs ground truth"});
+    auto pct = [&](double v) {
+        return util::Table::num((v / isolated_total - 1.0) * 100.0, 1) + "%";
+    };
+    table.add_row({"ground truth (isolated sketches)", util::Table::num(isolated_total, 2),
+                   "+0.0%"});
+    table.add_row({"SPEED", util::Table::num(speed_outcome.merged.total_resource_units(), 2),
+                   pct(speed_outcome.merged.total_resource_units())});
+    table.add_row({"Hermes", util::Table::num(merged.total_resource_units(), 2),
+                   pct(merged.total_resource_units())});
+    table.print(std::cout, "Exp#6: switch resource consumption, ten sketches");
+
+    std::cout << "\nHermes switches occupied: "
+              << hermes_outcome.metrics.occupied_switches
+              << ", per-packet overhead: "
+              << hermes_outcome.metrics.max_pair_metadata_bytes << " B\n";
+    std::cout << "Finding (paper): the inter-switch coordination of Hermes inserts no\n"
+                 "additional logic, so it consumes no switch resources beyond the\n"
+                 "programs themselves; merging shared hash MATs *reduces* consumption\n"
+                 "below the isolated ground truth.\n";
+    return 0;
+}

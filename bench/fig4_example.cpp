@@ -1,0 +1,62 @@
+// Figure 4: the paper's worked example of the greedy heuristic. Builds the
+// five-MAT TDG, splits it with Algorithm 2, deploys it on three two-MAT
+// switches, and prints each step alongside the paper's narrative values.
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/verifier.h"
+#include "sim/testbed.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+    using tdg::DepType;
+    using tdg::NodeId;
+
+    tdg::Tdg t;
+    for (const char* n : {"a", "b", "c", "d", "e"}) {
+        t.add_node(tdg::Mat(n, {tdg::header_field(std::string("h_") + n, 2)},
+                            {tdg::Action{"act", {tdg::metadata_field(
+                                                    std::string("m_") + n, 4)}}},
+                            16, 1.0));
+    }
+    auto edge = [&](NodeId from, NodeId to, int bytes) {
+        t.add_edge(from, to, DepType::kMatch);
+        t.edges().back().metadata_bytes = bytes;
+    };
+    edge(0, 1, 2);
+    edge(0, 2, 2);
+    edge(1, 2, 5);
+    edge(2, 3, 1);
+    edge(2, 4, 2);
+    edge(3, 4, 2);
+
+    std::cout << "Fig 4 TDG: a-2->b, a-2->c, b-5->c, c-1->d, c-2->e, d-2->e\n"
+              << "Each switch tolerates two unit-size MATs (2 stages x 1.0).\n\n";
+
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+
+    const core::GreedyResult result = core::greedy_deploy(t, n);
+
+    util::Table segments({"segment", "MATs"});
+    for (std::size_t i = 0; i < result.segments.size(); ++i) {
+        std::string members;
+        for (const NodeId v : result.segments[i]) {
+            if (!members.empty()) members += ", ";
+            members += t.node(v).name();
+        }
+        segments.add_row({"S" + std::to_string(i + 1), members});
+    }
+    segments.print(std::cout, "Fig 4(b)-(c): TDG segments after splitting");
+
+    const std::int64_t overhead = core::max_pair_metadata(t, result.deployment);
+    std::cout << "\nMaximum per-packet byte overhead: " << overhead
+              << " bytes (paper narrative: 4 bytes)\n";
+    const core::VerificationReport report = core::verify(t, n, result.deployment);
+    std::cout << "Deployment verified: " << (report.ok ? "yes" : "NO") << "\n";
+    return report.ok && overhead == 4 ? 0 : 1;
+}

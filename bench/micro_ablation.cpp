@@ -1,0 +1,119 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//  - greedy cut strategy (Algorithm 2's min-metadata cut vs resource
+//    first-fit) — runtime plus resulting overhead as a counter;
+//  - TDG merging on/off — resource and node-count effect;
+//  - Yen-K path-set size — formulation build cost.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/dp_split.h"
+#include "core/formulation.h"
+#include "core/greedy.h"
+#include "core/hermes.h"
+#include "core/objective.h"
+#include "net/topozoo.h"
+#include "prog/library.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+#include "tdg/analyzer.h"
+#include "tdg/merge.h"
+
+namespace {
+
+using namespace hermes;
+
+void BM_CutStrategy(benchmark::State& state) {
+    const bool min_cut = state.range(0) == 0;
+    const tdg::Tdg t = core::analyze(prog::paper_workload(20, 11));
+    const net::Network n = net::table3_topology(4);
+    std::vector<tdg::NodeId> all(t.node_count());
+    std::iota(all.begin(), all.end(), tdg::NodeId{0});
+    std::int64_t overhead = 0;
+    for (auto _ : state) {
+        auto segments = min_cut ? core::split_tdg(t, all, 12, 1.0)
+                                : core::split_tdg_first_fit(t, all, 12, 1.0);
+        const core::GreedyResult r =
+            core::deploy_segments_on_chain(t, n, std::move(segments), {});
+        overhead = core::max_pair_metadata(t, r.deployment);
+        benchmark::DoNotOptimize(overhead);
+    }
+    state.counters["overhead_bytes"] = static_cast<double>(overhead);
+    state.SetLabel(min_cut ? "min-metadata-cut" : "resource-first-fit");
+}
+BENCHMARK(BM_CutStrategy)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MergingEffect(benchmark::State& state) {
+    const bool merge_on = state.range(0) == 1;
+    const auto programs = prog::sketch_programs();
+    std::size_t nodes = 0;
+    double resources = 0.0;
+    for (auto _ : state) {
+        std::vector<tdg::Tdg> tdgs;
+        for (const prog::Program& p : programs) tdgs.push_back(p.to_tdg());
+        tdg::Tdg merged = [&] {
+            if (merge_on) return tdg::merge_all(std::move(tdgs));
+            tdg::Tdg u;
+            for (const tdg::Tdg& t : tdgs) u = tdg::graph_union(u, t);
+            return u;
+        }();
+        tdg::analyze(merged);
+        nodes = merged.node_count();
+        resources = merged.total_resource_units();
+        benchmark::DoNotOptimize(nodes);
+    }
+    state.counters["nodes"] = static_cast<double>(nodes);
+    state.counters["resource_units"] = resources;
+    state.SetLabel(merge_on ? "merging-on" : "merging-off");
+}
+BENCHMARK(BM_MergingEffect)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DpVsGreedySplit(benchmark::State& state) {
+    // Exact DP segmentation vs Algorithm 2's recursive min-cut: runtime and
+    // the resulting max in-flight bytes (counters).
+    const bool use_dp = state.range(0) == 1;
+    const tdg::Tdg t = core::analyze(prog::paper_workload(15, 21));
+    std::vector<tdg::NodeId> all(t.node_count());
+    std::iota(all.begin(), all.end(), tdg::NodeId{0});
+    const auto cuts = core::boundary_cuts(t);
+    std::int64_t max_cut = 0;
+    for (auto _ : state) {
+        max_cut = 0;
+        if (use_dp) {
+            const core::DpSplitResult r = core::dp_split(t, 12, 1.0);
+            max_cut = r.max_cut_bytes;
+        } else {
+            const auto segments = core::split_tdg(t, all, 12, 1.0);
+            std::size_t position = 0;
+            for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+                position += segments[i].size();
+                max_cut = std::max(max_cut, cuts[position]);
+            }
+        }
+        benchmark::DoNotOptimize(max_cut);
+    }
+    state.counters["max_cut_bytes"] = static_cast<double>(max_cut);
+    state.SetLabel(use_dp ? "dp-optimal" : "recursive-greedy");
+}
+BENCHMARK(BM_DpVsGreedySplit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PathSetSize(benchmark::State& state) {
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const tdg::Tdg t = core::analyze(prog::paper_workload(4, 2));
+    sim::TestbedConfig config;
+    config.switch_count = 4;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    std::size_t model_vars = 0;
+    for (auto _ : state) {
+        core::FormulationOptions options;
+        options.k_paths = k;
+        const core::P1Formulation f(t, n, options);
+        model_vars = f.model().variable_count();
+        benchmark::DoNotOptimize(model_vars);
+    }
+    state.counters["model_vars"] = static_cast<double>(model_vars);
+}
+BENCHMARK(BM_PathSetSize)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace

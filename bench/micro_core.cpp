@@ -1,0 +1,73 @@
+// Microbenchmarks for the Hermes core pipeline: analysis/merging, TDG
+// splitting, the greedy heuristic end to end, and path enumeration.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+
+namespace {
+
+using namespace hermes;
+
+void BM_AnalyzePrograms(benchmark::State& state) {
+    const auto count = static_cast<int>(state.range(0));
+    const auto programs = prog::paper_workload(count, 99);
+    for (auto _ : state) {
+        const tdg::Tdg t = core::analyze(programs);
+        benchmark::DoNotOptimize(t.node_count());
+    }
+    state.counters["programs"] = count;
+}
+BENCHMARK(BM_AnalyzePrograms)->Arg(5)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_SplitTdgMinCut(benchmark::State& state) {
+    const tdg::Tdg t = core::analyze(prog::paper_workload(static_cast<int>(state.range(0)), 3));
+    std::vector<tdg::NodeId> all(t.node_count());
+    std::iota(all.begin(), all.end(), tdg::NodeId{0});
+    for (auto _ : state) {
+        const auto segments = core::split_tdg(t, all, 12, 1.0);
+        benchmark::DoNotOptimize(segments.size());
+    }
+    state.counters["nodes"] = static_cast<double>(t.node_count());
+}
+BENCHMARK(BM_SplitTdgMinCut)->Arg(10)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyDeployWan(benchmark::State& state) {
+    const tdg::Tdg t = core::analyze(prog::paper_workload(static_cast<int>(state.range(0)), 5));
+    const net::Network n = net::table3_topology(10);
+    std::size_t switches = 0;
+    for (auto _ : state) {
+        const core::GreedyResult r = core::greedy_deploy(t, n);
+        switches = r.deployment.occupied_switches().size();
+        benchmark::DoNotOptimize(switches);
+    }
+    state.counters["switches_used"] = static_cast<double>(switches);
+}
+BENCHMARK(BM_GreedyDeployWan)->Arg(10)->Arg(30)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_KShortestPaths(benchmark::State& state) {
+    const net::Network n = net::table3_topology(7);
+    const auto k = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const auto paths = net::k_shortest_paths(n, 0, n.switch_count() - 1, k);
+        benchmark::DoNotOptimize(paths.size());
+    }
+}
+BENCHMARK(BM_KShortestPaths)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyDeployment(benchmark::State& state) {
+    const tdg::Tdg t = core::analyze(prog::paper_workload(30, 5));
+    const net::Network n = net::table3_topology(10);
+    const core::GreedyResult r = core::greedy_deploy(t, n);
+    for (auto _ : state) {
+        const core::VerificationReport report = core::verify(t, n, r.deployment);
+        benchmark::DoNotOptimize(report.ok);
+    }
+}
+BENCHMARK(BM_VerifyDeployment)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Microbenchmarks for the MILP substrate: simplex pivoting, branch and
+// bound, and the per-program stage-packing model.
+#include <benchmark/benchmark.h>
+
+#include "baselines/common.h"
+#include "milp/solver.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hermes;
+
+// Random dense LP: maximize c'x subject to Ax <= b.
+milp::Model random_lp(int vars, int rows, std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    milp::Model m;
+    std::vector<milp::VarId> xs;
+    for (int i = 0; i < vars; ++i) xs.push_back(m.add_continuous(0.0, 10.0));
+    for (int r = 0; r < rows; ++r) {
+        milp::LinExpr e;
+        for (int i = 0; i < vars; ++i) {
+            e += milp::LinExpr::term(xs[static_cast<std::size_t>(i)],
+                                     rng.uniform_real(0.1, 2.0));
+        }
+        m.add_constraint(std::move(e), milp::Sense::kLe, rng.uniform_real(5.0, 50.0));
+    }
+    milp::LinExpr obj;
+    for (int i = 0; i < vars; ++i) {
+        obj += milp::LinExpr::term(xs[static_cast<std::size_t>(i)],
+                                   rng.uniform_real(0.5, 3.0));
+    }
+    m.maximize(obj);
+    return m;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+    const auto n = static_cast<int>(state.range(0));
+    const milp::Model m = random_lp(n, n, 42);
+    for (auto _ : state) {
+        const milp::LpResult r = milp::solve_lp(m);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.counters["vars"] = n;
+}
+BENCHMARK(BM_SimplexDense)->Arg(10)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+    const auto items = static_cast<int>(state.range(0));
+    util::SplitMix64 rng(7);
+    milp::Model m;
+    milp::LinExpr weight, value;
+    for (int i = 0; i < items; ++i) {
+        const milp::VarId x = m.add_binary();
+        weight += milp::LinExpr::term(x, static_cast<double>(rng.uniform_int(5, 40)));
+        value += milp::LinExpr::term(x, static_cast<double>(rng.uniform_int(1, 100)));
+    }
+    m.add_constraint(weight, milp::Sense::kLe, 8.0 * items);
+    m.maximize(value);
+    std::int64_t nodes = 0;
+    for (auto _ : state) {
+        const milp::MilpResult r = milp::solve_milp(m);
+        nodes = r.nodes;
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.counters["bb_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(8)->Arg(14)->Arg(20);
+
+void BM_MilpPackProgram(benchmark::State& state) {
+    // Stage packing of a chain program into a 12-stage switch.
+    const auto mats = static_cast<std::size_t>(state.range(0));
+    tdg::Tdg t;
+    std::vector<tdg::NodeId> nodes;
+    for (std::size_t i = 0; i < mats; ++i) {
+        nodes.push_back(t.add_node(
+            tdg::Mat("m" + std::to_string(i), {tdg::header_field("h", 2)},
+                     {tdg::Action{"a", {tdg::metadata_field("x" + std::to_string(i), 4)}}},
+                     16, 0.3)));
+        if (i > 0) t.add_edge(i - 1, i, tdg::DepType::kMatch);
+    }
+    milp::MilpOptions options;
+    options.time_limit_seconds = 10.0;
+    const std::vector<double> remaining(12, 1.0);
+    for (auto _ : state) {
+        const auto stages = baselines::milp_pack(t, nodes, remaining, options);
+        benchmark::DoNotOptimize(stages);
+    }
+}
+BENCHMARK(BM_MilpPackProgram)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace

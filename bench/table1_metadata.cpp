@@ -1,0 +1,37 @@
+// Table I: common metadata in data plane programs, as modeled by the field
+// catalog, plus where the program library actually uses each field.
+#include <iostream>
+
+#include "prog/library.h"
+#include "tdg/field.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+    namespace cm = tdg::common_metadata;
+
+    const tdg::Field fields[] = {cm::switch_identifier(), cm::queue_lengths(),
+                                 cm::timestamps(), cm::counter_index()};
+    const char* usages[] = {"path tracing, path conformance",
+                            "congestion control",
+                            "troubleshooting, anomaly detection",
+                            "hash tables, sketches"};
+
+    util::Table table({"metadata", "size per switch", "used by library programs"});
+    for (std::size_t i = 0; i < std::size(fields); ++i) {
+        // Count the library programs whose MATs write this field.
+        int users = 0;
+        for (const std::string& name : prog::program_names()) {
+            const prog::Program p = prog::make_program(name);
+            bool writes = false;
+            for (const tdg::Mat& m : p.mats()) writes = writes || m.modifies_field(fields[i].name);
+            users += writes ? 1 : 0;
+        }
+        table.add_row({fields[i].name,
+                       util::Table::num(std::int64_t{fields[i].size_bytes}) + " bytes",
+                       std::string(usages[i]) + " (" + std::to_string(users) +
+                           "/10 programs)"});
+    }
+    table.print(std::cout, "Table I: common metadata in data plane programs");
+    return 0;
+}

@@ -1,0 +1,48 @@
+// ε-constraint tradeoff curves (§V-B): per-packet byte overhead and latency
+// as a function of the switch budget ε₂ and the latency budget ε₁, for a
+// 20-program workload on a Table III WAN. This is the curve an administrator
+// consults before submitting bounds to Hermes.
+#include <iostream>
+
+#include "core/hermes.h"
+#include "core/tradeoff.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+
+    const tdg::Tdg merged = core::analyze(prog::paper_workload(20, 0xbeef));
+    const net::Network wan = net::table3_topology(5);
+    std::cout << "Workload: " << merged.node_count() << " MATs on topology 5 ("
+              << wan.programmable_switches().size() << " programmable switches)\n\n";
+
+    util::Table by_switches({"eps2 (switches)", "feasible", "overhead(B)",
+                             "latency(ms)", "occupied"});
+    const auto switch_sweep = core::sweep_switch_budget(merged, wan, 1, 12);
+    for (const core::TradeoffPoint& p : switch_sweep) {
+        by_switches.add_row(
+            {util::Table::num(p.epsilon2), p.feasible ? "yes" : "no",
+             p.feasible ? util::Table::num(p.metrics.max_pair_metadata_bytes) : "-",
+             p.feasible ? util::Table::num(p.metrics.route_latency_us / 1e3, 2) : "-",
+             p.feasible ? util::Table::num(p.metrics.occupied_switches) : "-"});
+    }
+    by_switches.print(std::cout, "Overhead vs switch budget (eps1 unbounded)");
+    if (const auto knee = core::knee_point(switch_sweep)) {
+        std::cout << "Knee: eps2 = " << knee->epsilon2 << " reaches "
+                  << knee->metrics.max_pair_metadata_bytes << " B\n";
+    }
+
+    std::cout << '\n';
+    util::Table by_latency({"eps1 (ms)", "feasible", "overhead(B)", "latency(ms)"});
+    for (const core::TradeoffPoint& p :
+         core::sweep_latency_budget(merged, wan, 0.0, 120'000.0, 7)) {
+        by_latency.add_row(
+            {util::Table::num(p.epsilon1 / 1e3, 1), p.feasible ? "yes" : "no",
+             p.feasible ? util::Table::num(p.metrics.max_pair_metadata_bytes) : "-",
+             p.feasible ? util::Table::num(p.metrics.route_latency_us / 1e3, 2) : "-"});
+    }
+    by_latency.print(std::cout, "Overhead vs latency budget (eps2 unbounded)");
+    return 0;
+}

@@ -1,0 +1,119 @@
+// End-to-end tour from source code to packets on the wire:
+//   1. compile a mini-P4 program,
+//   2. analyze + deploy it across small switches with Hermes,
+//   3. synthesize per-switch configurations with the backend,
+//   4. trace one packet through the distributed pipeline and check the
+//      result against a monolithic single-switch run.
+#include <iostream>
+
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "dataplane/interp.h"
+#include "p4/frontend.h"
+#include "sim/testbed.h"
+
+namespace {
+
+constexpr const char* kSource = R"(
+// heavy-hitter detection with an escalation path
+program heavy_hitter;
+
+header ipv4 { src_addr: 32; dst_addr: 32; }
+header l4 { dst_port: 16; }
+metadata meta { counter_index: 32; count: 32; is_heavy: 1; mirror_id: 16; }
+
+action hash_flow()  { writes meta.counter_index; }
+action bump()       { writes meta.count; }
+action classify()   { writes meta.is_heavy; }
+action mirror_it()  { writes meta.mirror_id; }
+
+table hh_hash {
+  key = { ipv4.src_addr; ipv4.dst_addr; l4.dst_port; }
+  actions = { hash_flow; }
+  size = 64;
+  resource = 0.5;
+}
+table hh_count {
+  key = { meta.counter_index; }
+  actions = { bump; }
+  size = 64;
+  resource = 0.6;
+}
+table hh_classify {
+  key = { meta.count; }
+  actions = { classify; }
+  size = 16;
+  resource = 0.4;
+}
+table hh_mirror {
+  key = { meta.is_heavy; }
+  actions = { mirror_it; }
+  size = 8;
+  resource = 0.3;
+}
+
+control {
+  apply(hh_hash);
+  apply(hh_count);
+  apply(hh_classify);
+  if (meta.is_heavy) {
+    apply(hh_mirror);
+  }
+}
+)";
+
+}  // namespace
+
+int main() {
+    using namespace hermes;
+
+    const prog::Program program = p4::compile(kSource);
+    std::cout << "Compiled '" << program.name() << "': " << program.mat_count()
+              << " tables\n";
+
+    const tdg::Tdg merged = core::analyze({program});
+    for (const tdg::Edge& e : merged.edges()) {
+        std::cout << "  " << merged.node(e.from).name() << " -> "
+                  << merged.node(e.to).name() << " [" << tdg::to_string(e.type) << ", "
+                  << e.metadata_bytes << " B]\n";
+    }
+
+    sim::TestbedConfig config;
+    config.switch_count = 4;
+    config.stages = 1;  // one table per switch: fully distributed
+    const net::Network network = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(merged, network);
+    std::cout << "\nDeployed across " << outcome.metrics.occupied_switches
+              << " switches; per-packet overhead "
+              << outcome.metrics.max_pair_metadata_bytes << " B; verified: "
+              << (core::verify(merged, network, outcome.deployment).ok ? "yes" : "NO")
+              << "\n\n";
+
+    const dataplane::NetworkConfig configs =
+        dataplane::build_configs(merged, network, outcome.deployment);
+
+    dataplane::Packet packet;
+    packet.set_header("ipv4.src_addr", 0x0a000001, 4);
+    packet.set_header("ipv4.dst_addr", 0x0a0000ff, 4);
+    packet.set_header("l4.dst_port", 53, 2);
+
+    const dataplane::InterpResult mono = dataplane::run_monolithic(merged, packet);
+    const dataplane::InterpResult dist =
+        dataplane::run_deployment(merged, network, outcome.deployment, configs, packet);
+
+    std::cout << "Packet trace (distributed):\n";
+    for (const dataplane::ExecutionRecord& rec : dist.trace) {
+        std::cout << "  " << network.props(rec.switch_id).name << " stage " << rec.stage
+                  << ": " << merged.node(rec.node).name()
+                  << (rec.matched ? "" : "  [miss]") << "\n";
+    }
+    std::cout << "Wire bytes per hop:";
+    for (const int bytes : dist.wire_bytes) std::cout << ' ' << bytes;
+    std::cout << "\n\nFinal metadata writes (distributed == monolithic: "
+              << (mono.writes == dist.writes ? "yes" : "NO") << "):\n";
+    for (const auto& [name, value] : dist.writes) {
+        std::cout << "  " << name << " = 0x" << std::hex << value.value << std::dec << " ("
+                  << value.size_bytes << " B)\n";
+    }
+    return mono.writes == dist.writes ? 0 : 1;
+}

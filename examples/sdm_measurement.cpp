@@ -1,0 +1,71 @@
+// Software-defined measurement (SDM): the paper's motivating scenario.
+//
+// An operator wants ten sketch algorithms running concurrently. Each sketch
+// alone is small, but together they exhaust one switch — the exact situation
+// network-wide deployment exists for. This example shows:
+//   * how TDG merging deduplicates the sketches' shared hash computation,
+//   * how Hermes splits the merged workload across switches while keeping
+//     the inter-switch metadata (the hash indexes, counters, flags) minimal,
+//   * the cost of ignoring metadata: the same workload placed with
+//     resource-driven first-fit splitting.
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/hermes.h"
+#include "core/objective.h"
+#include "core/verifier.h"
+#include "prog/library.h"
+#include "sim/testbed.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hermes;
+
+    const std::vector<prog::Program> sketches = prog::sketch_programs();
+    std::size_t separate_mats = 0;
+    for (const prog::Program& p : sketches) separate_mats += p.mat_count();
+
+    const tdg::Tdg merged = core::analyze(sketches);
+    std::cout << "Ten sketches: " << separate_mats << " MATs separately, "
+              << merged.node_count() << " after merging (shared hash stages "
+              << "deduplicated), " << merged.total_resource_units()
+              << " resource units total\n\n";
+
+    // Small switches force a genuinely distributed deployment.
+    sim::TestbedConfig config;
+    config.switch_count = 4;
+    config.stages = 3;
+    const net::Network network = sim::make_testbed(config);
+
+    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, network);
+
+    // The metadata-oblivious alternative: resource first-fit segments on the
+    // same chain machinery.
+    std::vector<tdg::NodeId> all(merged.node_count());
+    for (tdg::NodeId v = 0; v < merged.node_count(); ++v) all[v] = v;
+    const core::GreedyResult first_fit = core::deploy_segments_on_chain(
+        merged, network,
+        core::split_tdg_first_fit(merged, all, config.stages, config.stage_capacity),
+        {});
+
+    util::Table table({"strategy", "overhead(B)", "switches", "verified"});
+    auto add = [&](const std::string& name, const core::Deployment& d) {
+        table.add_row({name, util::Table::num(core::max_pair_metadata(merged, d)),
+                       util::Table::num(static_cast<std::int64_t>(
+                           d.occupied_switches().size())),
+                       core::verify(merged, network, d).ok ? "yes" : "NO"});
+    };
+    add("Hermes (min-metadata cuts)", hermes_outcome.deployment);
+    add("first-fit (metadata-oblivious)", first_fit.deployment);
+    table.print(std::cout, "SDM deployment: 10 concurrent sketches on 4 small switches");
+
+    std::cout << "\nPer-switch placement (Hermes):\n";
+    for (const net::SwitchId u : hermes_outcome.deployment.occupied_switches()) {
+        std::cout << "  " << network.props(u).name << ":";
+        for (const tdg::NodeId v : hermes_outcome.deployment.mats_on(u)) {
+            std::cout << ' ' << merged.node(v).name();
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Shared machinery for the comparison frameworks of §VI-A.
+//
+// Every baseline implements the Strategy interface: given the raw program
+// set and the network, produce the TDG it internally works on plus a full
+// deployment. Hermes itself (greedy and Optimal) is reached through
+// core/hermes.h; the benchmarks run both through the same reporting path.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "milp/solver.h"
+#include "prog/program.h"
+
+namespace hermes::baselines {
+
+struct BaselineOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
+    milp::MilpOptions milp;            // time/node limits for ILP-based baselines
+    std::size_t candidate_limit = 0;   // candidate switches for network-wide ILPs
+    bool segment_level = true;         // contract TDGs for network-wide ILPs
+    bool use_ilp = true;               // false = pure-heuristic variants
+};
+
+struct StrategyOutcome {
+    tdg::Tdg merged;               // the TDG the strategy deployed (analyzed)
+    core::Deployment deployment;
+    double solve_seconds = 0.0;
+    std::string status;            // "heuristic", MILP status, or "fallback(...)"
+};
+
+class Strategy {
+public:
+    virtual ~Strategy() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual StrategyOutcome deploy(const std::vector<prog::Program>& programs,
+                                                 const net::Network& net,
+                                                 const BaselineOptions& options) = 0;
+};
+
+// All eight comparison frameworks in the paper's order:
+// MS, Sonata, SPEED, MTP, FP, P4All, FFL, FFLS.
+[[nodiscard]] std::vector<std::unique_ptr<Strategy>> all_strategies();
+
+// Union of the programs' TDGs without redundancy elimination (single-switch
+// frameworks deploy programs independently), analyzed; `ranges` receives the
+// [begin, end) node range of each program inside the union.
+[[nodiscard]] tdg::Tdg union_programs(const std::vector<prog::Program>& programs,
+                                      std::vector<std::pair<std::size_t, std::size_t>>& ranges);
+
+// Incremental per-switch stage packer (first fit).
+class StagePacker {
+public:
+    StagePacker(int stages, double capacity);
+
+    // First stage index >= min_stage with room, or nullopt. Does not commit.
+    [[nodiscard]] std::optional<int> find_slot(double resource, int min_stage) const;
+    // find_slot + commit.
+    std::optional<int> place(double resource, int min_stage);
+    void commit(int stage, double resource);
+
+    [[nodiscard]] int stages() const noexcept { return static_cast<int>(load_.size()); }
+    [[nodiscard]] double capacity() const noexcept { return capacity_; }
+    [[nodiscard]] const std::vector<double>& loads() const noexcept { return load_; }
+    [[nodiscard]] double remaining_total() const noexcept;
+
+private:
+    std::vector<double> load_;
+    double capacity_;
+};
+
+// Node-level first-fit placement of `order` (a topological order) onto a
+// switch chain, never moving a node before its predecessors' switches.
+// `start_hint` biases the first switch tried for nodes with no placed
+// predecessor. Updates `packers`/`placements` in place. Throws
+// std::runtime_error when the chain is exhausted.
+void chain_first_fit(const tdg::Tdg& t, const std::vector<tdg::NodeId>& order,
+                     const std::vector<net::SwitchId>& chain,
+                     std::vector<StagePacker>& packers, core::Deployment& placements,
+                     std::vector<bool>& placed, std::size_t start_hint = 0);
+
+// Exact per-program stage packing: minimizes the maximum stage index used by
+// `nodes` on a switch whose per-stage remaining capacity is `remaining`,
+// subject to intra-set dependency order. Returns the stage per node, or
+// nullopt when the MILP finds no feasible packing within the limits.
+// This is the Min-Stage/Sonata ILP core.
+// `min_stages` (optional, parallel to nodes) gives per-node stage floors
+// imposed by already-placed same-switch predecessors outside `nodes`.
+[[nodiscard]] std::optional<std::vector<int>> milp_pack(
+    const tdg::Tdg& t, const std::vector<tdg::NodeId>& nodes,
+    const std::vector<double>& remaining, const milp::MilpOptions& options,
+    long* lp_iterations = nullptr, const std::vector<int>& min_stages = {});
+
+// Adds shortest-path routes for every ordered switch pair that carries at
+// least one cross-switch dependency. Throws when a needed pair is
+// disconnected.
+void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deployment& d);
+
+}  // namespace hermes::baselines

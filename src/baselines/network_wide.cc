@@ -1,0 +1,80 @@
+#include "baselines/network_wide.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/greedy.h"
+#include "core/hermes.h"
+
+namespace hermes::baselines {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+NetworkWideStrategy::NetworkWideStrategy(std::string name, core::P1Objective objective)
+    : name_(std::move(name)), objective_(objective) {}
+
+StrategyOutcome NetworkWideStrategy::deploy(const std::vector<prog::Program>& programs,
+                                            const net::Network& net,
+                                            const BaselineOptions& options) {
+    const auto start = Clock::now();
+    StrategyOutcome outcome;
+    outcome.merged = core::analyze(programs);
+    const tdg::Tdg& t = outcome.merged;
+
+    // Feasible warm start: resource-first-fit segments on the closest chain.
+    const std::vector<net::SwitchId> programmable = net.programmable_switches();
+    if (programmable.empty()) throw std::runtime_error(name_ + ": no programmable switches");
+    const net::SwitchProps& reference = net.props(programmable.front());
+    std::vector<tdg::NodeId> all(t.node_count());
+    for (tdg::NodeId v = 0; v < t.node_count(); ++v) all[v] = v;
+    const core::GreedyOptions chain_options{options.epsilon1, options.epsilon2};
+    core::GreedyResult warm = core::deploy_segments_on_chain(
+        t, net,
+        core::split_tdg_first_fit(t, std::move(all), reference.stages,
+                                  reference.stage_capacity),
+        chain_options);
+
+    if (!options.use_ilp) {
+        outcome.deployment = std::move(warm.deployment);
+        outcome.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+        outcome.status = "heuristic";
+        return outcome;
+    }
+
+    core::FormulationOptions fopts;
+    fopts.epsilon1 = options.epsilon1;
+    fopts.epsilon2 = options.epsilon2;
+    fopts.candidate_limit = options.candidate_limit;
+    fopts.segment_level = options.segment_level;
+    fopts.objective = objective_;
+    fopts.segment_split = core::SegmentSplit::kResourceFirstFit;
+
+    try {
+        core::P1Formulation formulation(t, net, fopts);
+        milp::MilpOptions milp_options = options.milp;
+        milp_options.warm_start = formulation.encode(warm.deployment);
+        const milp::MilpResult result = milp::solve_milp(formulation.model(), milp_options);
+        if (result.has_solution()) {
+            outcome.deployment = formulation.decode(result.values);
+            outcome.status = milp::to_string(result.status);
+        } else {
+            outcome.deployment = std::move(warm.deployment);
+            outcome.status = std::string("fallback(") + milp::to_string(result.status) + ")";
+        }
+    } catch (const std::runtime_error&) {
+        // Model too large for exact solving — the regime where the paper's
+        // ILP frameworks exceed their two-hour budget (Fig 7 clips those
+        // bars). Report the warm start as the incumbent and flag the
+        // time-limit hit; the benchmark clips the bar like the paper does.
+        outcome.deployment = std::move(warm.deployment);
+        outcome.status = "time-limit(model)";
+        outcome.solve_seconds = options.milp.time_limit_seconds;
+    }
+    outcome.solve_seconds = std::max(
+        outcome.solve_seconds, std::chrono::duration<double>(Clock::now() - start).count());
+    return outcome;
+}
+
+}  // namespace hermes::baselines

@@ -1,0 +1,35 @@
+// Network-wide ILP-based deployment frameworks (§VI-A): SPEED, MTP,
+// Flightplan, and P4All. All four merge the input programs (redundancy
+// elimination included), carve the merged TDG with the metadata-oblivious
+// resource-first-fit splitter, and solve the shared P#1 constraint system
+// under their own objective:
+//
+//   SPEED       min t_e2e            (packet processing performance)
+//   MTP         min max MATs/switch  (control-plane load balance)
+//   Flightplan  min occupied devices
+//   P4All       min pipeline depth   (modular resource efficiency)
+//
+// Like the paper's Gurobi runs, solving is warm-started with a feasible
+// chain deployment and time-limited; when the solver proves nothing better
+// in time, the warm start is returned (status "fallback(...)").
+#pragma once
+
+#include "baselines/common.h"
+#include "core/formulation.h"
+
+namespace hermes::baselines {
+
+class NetworkWideStrategy final : public Strategy {
+public:
+    NetworkWideStrategy(std::string name, core::P1Objective objective);
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] StrategyOutcome deploy(const std::vector<prog::Program>& programs,
+                                         const net::Network& net,
+                                         const BaselineOptions& options) override;
+
+private:
+    std::string name_;
+    core::P1Objective objective_;
+};
+
+}  // namespace hermes::baselines

@@ -1,0 +1,25 @@
+#include "baselines/common.h"
+#include "baselines/network_wide.h"
+#include "baselines/single_switch.h"
+
+namespace hermes::baselines {
+
+std::vector<std::unique_ptr<Strategy>> all_strategies() {
+    std::vector<std::unique_ptr<Strategy>> out;
+    out.push_back(std::make_unique<SingleSwitchStrategy>("MS", SwitchPick::kFirstFit));
+    out.push_back(std::make_unique<SingleSwitchStrategy>("Sonata", SwitchPick::kBestFit));
+    out.push_back(
+        std::make_unique<NetworkWideStrategy>("SPEED", core::P1Objective::kMinLatency));
+    out.push_back(std::make_unique<NetworkWideStrategy>(
+        "MTP", core::P1Objective::kMinMaxMatsPerSwitch));
+    out.push_back(
+        std::make_unique<NetworkWideStrategy>("FP", core::P1Objective::kMinOccupied));
+    out.push_back(
+        std::make_unique<NetworkWideStrategy>("P4All", core::P1Objective::kMinMaxStage));
+    out.push_back(std::make_unique<FirstFitByLevelStrategy>("FFL", LevelOrder::kById));
+    out.push_back(
+        std::make_unique<FirstFitByLevelStrategy>("FFLS", LevelOrder::kBySizeDescending));
+    return out;
+}
+
+}  // namespace hermes::baselines

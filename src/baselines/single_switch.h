@@ -1,0 +1,58 @@
+// Single-switch program deployment frameworks, extended (as in §VI-A) to
+// deploy input programs on switches one by one:
+//
+//   Min-Stage (MS) — per program, the first switch with room hosts the whole
+//     program, packed by an exact min-makespan stage MILP; programs that no
+//     longer fit anywhere whole spill node-by-node along the switch chain.
+//   Sonata — identical machinery with best-fit switch selection (the switch
+//     with the most remaining capacity).
+//   FFL (first fit by level) — all MATs of all programs, ordered by
+//     topological level, first-fit onto the chain.
+//   FFLS (first fit by level and size) — FFL with each level sorted by
+//     descending resource footprint.
+//
+// None of these considers A(a,b), which is exactly why their deployments cut
+// metadata-heavy edges and incur the byte overheads Hermes avoids.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace hermes::baselines {
+
+enum class SwitchPick : std::uint8_t { kFirstFit, kBestFit };
+
+// MS (kFirstFit, ILP packing) and Sonata (kBestFit, ILP packing).
+class SingleSwitchStrategy final : public Strategy {
+public:
+    SingleSwitchStrategy(std::string name, SwitchPick pick);
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] StrategyOutcome deploy(const std::vector<prog::Program>& programs,
+                                         const net::Network& net,
+                                         const BaselineOptions& options) override;
+
+private:
+    [[nodiscard]] StrategyOutcome deploy_with_pick(
+        const std::vector<prog::Program>& programs, const net::Network& net,
+        const BaselineOptions& options, SwitchPick pick);
+
+    std::string name_;
+    SwitchPick pick_;
+};
+
+enum class LevelOrder : std::uint8_t { kById, kBySizeDescending };
+
+// FFL (kById) and FFLS (kBySizeDescending).
+class FirstFitByLevelStrategy final : public Strategy {
+public:
+    FirstFitByLevelStrategy(std::string name, LevelOrder order);
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] StrategyOutcome deploy(const std::vector<prog::Program>& programs,
+                                         const net::Network& net,
+                                         const BaselineOptions& options) override;
+
+private:
+    std::string name_;
+    LevelOrder order_;
+};
+
+}  // namespace hermes::baselines

@@ -1,0 +1,163 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hermes::core {
+
+net::SwitchId Deployment::switch_of(tdg::NodeId a) const {
+    if (a >= placements.size()) throw std::out_of_range("Deployment::switch_of: bad node");
+    return placements[a].sw;
+}
+
+std::vector<net::SwitchId> Deployment::occupied_switches() const {
+    std::set<net::SwitchId> s;
+    for (const Placement& p : placements) s.insert(p.sw);
+    return {s.begin(), s.end()};
+}
+
+std::vector<tdg::NodeId> Deployment::mats_on(net::SwitchId u) const {
+    std::vector<tdg::NodeId> out;
+    for (tdg::NodeId a = 0; a < placements.size(); ++a) {
+        if (placements[a].sw == u) out.push_back(a);
+    }
+    std::sort(out.begin(), out.end(), [&](tdg::NodeId x, tdg::NodeId y) {
+        if (placements[x].stage != placements[y].stage) {
+            return placements[x].stage < placements[y].stage;
+        }
+        return x < y;
+    });
+    return out;
+}
+
+std::optional<std::vector<int>> assign_stages(const tdg::Tdg& t,
+                                              const std::vector<tdg::NodeId>& segment,
+                                              int stages, double stage_capacity) {
+    if (stages <= 0 || stage_capacity <= 0.0) {
+        throw std::invalid_argument("assign_stages: bad switch geometry");
+    }
+    const std::set<tdg::NodeId> members(segment.begin(), segment.end());
+    if (members.size() != segment.size()) {
+        throw std::invalid_argument("assign_stages: duplicate nodes in segment");
+    }
+
+    // Process in global topological order restricted to the segment. A
+    // single edge pass builds intra-segment predecessor lists — this routine
+    // is the innermost loop of splitting/coalescing, so no per-node edge
+    // rescans.
+    std::vector<tdg::NodeId> order;
+    for (const tdg::NodeId v : t.topological_order()) {
+        if (members.count(v)) order.push_back(v);
+    }
+    std::map<tdg::NodeId, std::vector<tdg::NodeId>> preds;
+    for (const tdg::Edge& e : t.edges()) {
+        if (members.count(e.from) && members.count(e.to)) preds[e.to].push_back(e.from);
+    }
+
+    std::vector<double> stage_load(static_cast<std::size_t>(stages), 0.0);
+    std::map<tdg::NodeId, int> stage_of;
+    for (const tdg::NodeId v : order) {
+        int earliest = 0;
+        if (const auto it = preds.find(v); it != preds.end()) {
+            for (const tdg::NodeId p : it->second) {
+                earliest = std::max(earliest, stage_of.at(p) + 1);
+            }
+        }
+        const double need = t.node(v).resource_units();
+        if (need > stage_capacity) return std::nullopt;  // MAT larger than a stage
+        int chosen = -1;
+        for (int s = earliest; s < stages; ++s) {
+            if (stage_load[static_cast<std::size_t>(s)] + need <= stage_capacity + 1e-9) {
+                chosen = s;
+                break;
+            }
+        }
+        if (chosen < 0) return std::nullopt;
+        stage_load[static_cast<std::size_t>(chosen)] += need;
+        stage_of[v] = chosen;
+    }
+
+    std::vector<int> result(segment.size());
+    for (std::size_t i = 0; i < segment.size(); ++i) result[i] = stage_of.at(segment[i]);
+    return result;
+}
+
+namespace {
+
+// Depth-first packing over nodes in topological order. Tries every stage
+// >= the node's earliest admissible one, largest remaining capacity first is
+// unnecessary — plain ascending order with capacity pruning suffices here.
+bool pack_recursive(const tdg::Tdg& t, const std::vector<tdg::NodeId>& order,
+                    const std::vector<std::vector<std::size_t>>& preds, std::size_t index,
+                    int stages, double stage_capacity, std::vector<double>& load,
+                    std::vector<int>& stage_of, std::size_t& budget) {
+    if (index == order.size()) return true;
+    if (budget == 0) return false;
+    --budget;
+    int earliest = 0;
+    for (const std::size_t p : preds[index]) {
+        earliest = std::max(earliest, stage_of[p] + 1);
+    }
+    const double need = t.node(order[index]).resource_units();
+    for (int s = earliest; s < stages; ++s) {
+        if (load[static_cast<std::size_t>(s)] + need > stage_capacity + 1e-9) continue;
+        load[static_cast<std::size_t>(s)] += need;
+        stage_of[index] = s;
+        if (pack_recursive(t, order, preds, index + 1, stages, stage_capacity, load,
+                           stage_of, budget)) {
+            return true;
+        }
+        load[static_cast<std::size_t>(s)] -= need;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> assign_stages_exact(const tdg::Tdg& t,
+                                                    const std::vector<tdg::NodeId>& segment,
+                                                    int stages, double stage_capacity,
+                                                    std::size_t node_budget) {
+    if (stages <= 0 || stage_capacity <= 0.0) {
+        throw std::invalid_argument("assign_stages_exact: bad switch geometry");
+    }
+    const std::set<tdg::NodeId> members(segment.begin(), segment.end());
+    if (members.size() != segment.size()) {
+        throw std::invalid_argument("assign_stages_exact: duplicate nodes in segment");
+    }
+    std::vector<tdg::NodeId> order;
+    for (const tdg::NodeId v : t.topological_order()) {
+        if (members.count(v)) order.push_back(v);
+    }
+    std::map<tdg::NodeId, std::size_t> index_of;
+    for (std::size_t i = 0; i < order.size(); ++i) index_of[order[i]] = i;
+    std::vector<std::vector<std::size_t>> preds(order.size());
+    for (const tdg::Edge& e : t.edges()) {
+        if (members.count(e.from) && members.count(e.to)) {
+            preds[index_of[e.to]].push_back(index_of[e.from]);
+        }
+    }
+    std::vector<double> load(static_cast<std::size_t>(stages), 0.0);
+    std::vector<int> stage_of(order.size(), 0);
+    std::size_t budget = node_budget;
+    if (!pack_recursive(t, order, preds, 0, stages, stage_capacity, load, stage_of,
+                        budget)) {
+        return std::nullopt;
+    }
+    std::vector<int> result(segment.size());
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        result[i] = stage_of[index_of[segment[i]]];
+    }
+    return result;
+}
+
+bool segment_fits(const tdg::Tdg& t, const std::vector<tdg::NodeId>& segment, int stages,
+                  double stage_capacity) {
+    double total = 0.0;
+    for (const tdg::NodeId v : segment) total += t.node(v).resource_units();
+    if (total > stages * stage_capacity + 1e-9) return false;
+    return assign_stages(t, segment, stages, stage_capacity).has_value();
+}
+
+}  // namespace hermes::core

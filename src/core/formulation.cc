@@ -1,0 +1,640 @@
+#include "core/formulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+
+namespace hermes::core {
+
+using milp::LinExpr;
+using milp::Sense;
+using milp::VarId;
+
+namespace {
+constexpr double kHalf = 0.5;
+
+// Largest model we will assemble before declaring the instance out of reach
+// for exact solving. The bound reflects the dense-tableau simplex core: a
+// model with V variables and C constraints yields a tableau of roughly
+// (C + V) x (V + C) doubles, so V + C beyond a few thousand is memory- and
+// time-prohibitive. Larger instances must use segment_level/candidate_limit
+// — or, like the paper's two-hour Gurobi runs, accept a time-limit fallback.
+constexpr std::size_t kMaxModelSize = 9'000;  // est. variables + constraints
+}  // namespace
+
+P1Formulation::P1Formulation(const tdg::Tdg& t, const net::Network& net,
+                             FormulationOptions options)
+    : t_(t), net_(net), options_(options) {
+    // Candidate switches: all programmable ones, optionally capped. When
+    // capped, prefer the greedy chain (a known-feasible backbone) padded
+    // with the switches nearest to its anchor.
+    const std::vector<net::SwitchId> programmable = net_.programmable_switches();
+    if (programmable.empty()) {
+        throw std::invalid_argument("P1Formulation: no programmable switches");
+    }
+    if (options_.segment_level && options_.candidate_limit == 0) {
+        // Auto-cap: the segment model needs one switch per segment plus a
+        // little placement freedom; unbounded candidate sets blow the model
+        // up quadratically for nothing.
+        const net::SwitchProps& reference = net_.props(programmable.front());
+        std::vector<tdg::NodeId> all(t_.node_count());
+        for (tdg::NodeId v = 0; v < t_.node_count(); ++v) all[v] = v;
+        const std::size_t segment_count =
+            (options_.segment_split == SegmentSplit::kMinMetadataCut
+                 ? split_tdg(t_, std::move(all), reference.stages,
+                             reference.stage_capacity)
+                 : split_tdg_first_fit(t_, std::move(all), reference.stages,
+                                       reference.stage_capacity))
+                .size();
+        options_.candidate_limit = segment_count + 4;
+    }
+    if (options_.candidate_limit == 0 || options_.candidate_limit >= programmable.size()) {
+        candidates_ = programmable;
+    } else {
+        std::set<net::SwitchId> chosen;
+        try {
+            const GreedyResult g =
+                greedy_deploy(t_, net_, GreedyOptions{options_.epsilon1, options_.epsilon2});
+            for (const net::SwitchId u : g.deployment.occupied_switches()) chosen.insert(u);
+            const std::vector<double> dist = net::shortest_latencies(net_, g.anchor);
+            std::vector<net::SwitchId> by_distance = programmable;
+            std::sort(by_distance.begin(), by_distance.end(),
+                      [&](net::SwitchId a, net::SwitchId b) { return dist[a] < dist[b]; });
+            for (const net::SwitchId u : by_distance) {
+                if (chosen.size() >= options_.candidate_limit) break;
+                chosen.insert(u);
+            }
+        } catch (const std::runtime_error&) {
+            for (const net::SwitchId u : programmable) {
+                if (chosen.size() >= options_.candidate_limit) break;
+                chosen.insert(u);
+            }
+        }
+        candidates_.assign(chosen.begin(), chosen.end());
+    }
+    build_units();
+    build_model();
+}
+
+void P1Formulation::build_units() {
+    if (options_.segment_level) {
+        const net::SwitchProps& reference = net_.props(candidates_.front());
+        std::vector<tdg::NodeId> all(t_.node_count());
+        for (tdg::NodeId v = 0; v < t_.node_count(); ++v) all[v] = v;
+        units_ = options_.segment_split == SegmentSplit::kMinMetadataCut
+                     ? split_tdg(t_, std::move(all), reference.stages,
+                                 reference.stage_capacity)
+                     : split_tdg_first_fit(t_, std::move(all), reference.stages,
+                                           reference.stage_capacity);
+        if (units_.size() > candidates_.size()) {
+            // One segment per switch: coalesce or the model is trivially
+            // infeasible regardless of placement.
+            units_ = coalesce_segments(t_, std::move(units_), candidates_.size(),
+                                       reference.stages, reference.stage_capacity);
+        }
+    } else {
+        units_.resize(t_.node_count());
+        for (tdg::NodeId v = 0; v < t_.node_count(); ++v) units_[v] = {v};
+    }
+    unit_resource_.assign(units_.size(), 0.0);
+    std::vector<std::size_t> unit_of(t_.node_count());
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+        for (const tdg::NodeId v : units_[u]) {
+            unit_of[v] = u;
+            unit_resource_[u] += t_.node(v).resource_units();
+        }
+    }
+    // Aggregate TDG edges between units.
+    std::map<std::pair<std::size_t, std::size_t>, std::int64_t> agg;
+    for (const tdg::Edge& e : t_.edges()) {
+        const std::size_t from = unit_of[e.from];
+        const std::size_t to = unit_of[e.to];
+        if (from == to) continue;
+        agg[{from, to}] += e.metadata_bytes;
+    }
+    for (const auto& [pair, bytes] : agg) {
+        unit_edges_.push_back(UnitEdge{pair.first, pair.second, bytes});
+    }
+}
+
+std::size_t P1Formulation::pair_index(std::size_t p, std::size_t q) const {
+    return p * candidates_.size() + q;
+}
+
+void P1Formulation::build_model() {
+    const std::size_t n = units_.size();
+    const std::size_t np = candidates_.size();
+    const std::size_t pair_total = np * np;
+
+    const int stage_count = net_.props(candidates_.front()).stages;
+    std::size_t metadata_edges = 0;
+    for (const UnitEdge& e : unit_edges_) metadata_edges += e.metadata_bytes > 0 ? 1 : 0;
+    const std::size_t stage_vars =
+        options_.segment_level ? 0
+                               : n * (static_cast<std::size_t>(stage_count) * (np + 1) + 1);
+    const std::size_t estimated_variables = n * np + metadata_edges * np * np +
+                                            3 * np * np + 2 * np + stage_vars;
+    const std::size_t estimated_constraints =
+        n + np + unit_edges_.size() * np * np + 4 * estimated_variables;
+    if (estimated_variables + estimated_constraints > kMaxModelSize) {
+        throw std::runtime_error(
+            "P1Formulation: instance too large for the exact model (~" +
+            std::to_string(estimated_variables) + " vars, ~" +
+            std::to_string(estimated_constraints) +
+            " constraints); use segment_level or candidate_limit");
+    }
+
+    // L[a][p] + unique placement (6).
+    var_l_.assign(n, {});
+    for (std::size_t a = 0; a < n; ++a) {
+        LinExpr sum;
+        for (std::size_t p = 0; p < np; ++p) {
+            const VarId v = model_.add_binary("L_" + std::to_string(a) + "_" +
+                                              std::to_string(p));
+            var_l_[a].push_back(v);
+            sum += LinExpr::term(v);
+        }
+        model_.add_constraint(sum, Sense::kEq, 1.0, "assign_" + std::to_string(a));
+    }
+
+    // Resources (9), aggregated per switch.
+    for (std::size_t p = 0; p < np; ++p) {
+        const net::SwitchProps& props = net_.props(candidates_[p]);
+        LinExpr load;
+        if (options_.segment_level) {
+            // One whole-switch segment per switch.
+            for (std::size_t a = 0; a < n; ++a) load += LinExpr::term(var_l_[a][p]);
+            model_.add_constraint(load, Sense::kLe, 1.0, "seg_cap_" + std::to_string(p));
+        } else {
+            for (std::size_t a = 0; a < n; ++a) {
+                load += LinExpr::term(var_l_[a][p], unit_resource_[a]);
+            }
+            model_.add_constraint(load, Sense::kLe, props.stages * props.stage_capacity,
+                                  "cap_" + std::to_string(p));
+            // Two MATs larger than half a stage can never share one, so at
+            // most `stages` of them fit a switch — a valid cut that removes
+            // most aggregate-capacity solutions the decoder cannot pack.
+            LinExpr large;
+            for (std::size_t a = 0; a < n; ++a) {
+                if (unit_resource_[a] > props.stage_capacity / 2.0) {
+                    large += LinExpr::term(var_l_[a][p]);
+                }
+            }
+            if (!large.empty()) {
+                model_.add_constraint(std::move(large), Sense::kLe,
+                                      static_cast<double>(props.stages),
+                                      "large_" + std::to_string(p));
+            }
+        }
+    }
+
+    // Stage assignment + intra-switch order (8) + exact per-stage capacity
+    // (9); MAT-level only. Binary w[a][i] places MAT a in stage i; the
+    // integer stage index s[a] = Σ i·w[a][i] drives the ordering big-M; the
+    // product z = AND(L[a][p], w[a][i]) makes per-(switch, stage) capacity
+    // exact — the aggregate constraint alone admits unpackable solutions.
+    if (!options_.segment_level) {
+        const int stages = net_.props(candidates_.front()).stages;
+        var_w_.assign(n, {});
+        var_z_.assign(n, {});
+        std::vector<std::vector<VarId>>& w = var_w_;
+        var_s_.resize(n);
+        for (std::size_t a = 0; a < n; ++a) {
+            LinExpr one;
+            LinExpr stage_index;
+            for (int i = 0; i < stages; ++i) {
+                const VarId wv = model_.add_binary("w_" + std::to_string(a) + "_" +
+                                                   std::to_string(i));
+                w[a].push_back(wv);
+                one += LinExpr::term(wv);
+                stage_index += LinExpr::term(wv, static_cast<double>(i));
+            }
+            model_.add_constraint(std::move(one), Sense::kEq, 1.0);
+            var_s_[a] = model_.add_integer(0, stages - 1, "s_" + std::to_string(a));
+            model_.add_constraint(LinExpr::term(var_s_[a]) - stage_index, Sense::kEq, 0.0);
+        }
+        for (const UnitEdge& e : unit_edges_) {
+            for (std::size_t p = 0; p < np; ++p) {
+                const double m = net_.props(candidates_[p]).stages;
+                // s[a] - s[b] + m*L[a][p] + m*L[b][p] <= 2m - 1
+                LinExpr lhs = LinExpr::term(var_s_[e.from]) - LinExpr::term(var_s_[e.to]);
+                lhs += LinExpr::term(var_l_[e.from][p], m);
+                lhs += LinExpr::term(var_l_[e.to][p], m);
+                model_.add_constraint(std::move(lhs), Sense::kLe, 2.0 * m - 1.0);
+            }
+        }
+        for (std::size_t a = 0; a < n; ++a) {
+            var_z_[a].assign(static_cast<std::size_t>(stages),
+                             std::vector<VarId>(np, -1));
+        }
+        for (std::size_t p = 0; p < np; ++p) {
+            const net::SwitchProps& props = net_.props(candidates_[p]);
+            std::vector<LinExpr> stage_load(static_cast<std::size_t>(props.stages));
+            for (std::size_t a = 0; a < n; ++a) {
+                if (unit_resource_[a] <= 0.0) continue;
+                for (int i = 0; i < props.stages; ++i) {
+                    const VarId z = model_.add_binary(
+                        "z_" + std::to_string(a) + "_" + std::to_string(i) + "_" +
+                        std::to_string(p));
+                    var_z_[a][static_cast<std::size_t>(i)][p] = z;
+                    model_.add_constraint(LinExpr::term(z) - LinExpr::term(var_l_[a][p]),
+                                          Sense::kLe, 0.0);
+                    model_.add_constraint(
+                        LinExpr::term(z) - LinExpr::term(w[a][static_cast<std::size_t>(i)]),
+                        Sense::kLe, 0.0);
+                    LinExpr lb = LinExpr::term(z) - LinExpr::term(var_l_[a][p]) -
+                                 LinExpr::term(w[a][static_cast<std::size_t>(i)]);
+                    model_.add_constraint(std::move(lb), Sense::kGe, -1.0);
+                    stage_load[static_cast<std::size_t>(i)] +=
+                        LinExpr::term(z, unit_resource_[a]);
+                }
+            }
+            for (int i = 0; i < props.stages; ++i) {
+                model_.add_constraint(stage_load[static_cast<std::size_t>(i)], Sense::kLe,
+                                      props.stage_capacity,
+                                      "stage_cap_" + std::to_string(p) + "_" +
+                                          std::to_string(i));
+            }
+        }
+    }
+
+    // Traversal order + big-M precedence (7).
+    var_ord_.resize(np);
+    for (std::size_t p = 0; p < np; ++p) {
+        var_ord_[p] = model_.add_continuous(0.0, static_cast<double>(np),
+                                            "ord_" + std::to_string(p));
+    }
+    const double big_m = static_cast<double>(np) + 1.0;
+    for (const UnitEdge& e : unit_edges_) {
+        for (std::size_t p = 0; p < np; ++p) {
+            for (std::size_t q = 0; q < np; ++q) {
+                if (p == q) continue;
+                // ord[p] + 1 <= ord[q] + M(2 - L[a][p] - L[b][q])
+                LinExpr lhs = LinExpr::term(var_ord_[p]) - LinExpr::term(var_ord_[q]);
+                lhs += LinExpr::term(var_l_[e.from][p], big_m);
+                lhs += LinExpr::term(var_l_[e.to][q], big_m);
+                model_.add_constraint(std::move(lhs), Sense::kLe, 2.0 * big_m - 1.0);
+            }
+        }
+    }
+
+    // comm / y coupling and t_e2e (2)(4).
+    var_comm_.assign(pair_total, -1);
+    var_y_.assign(pair_total, {});
+    pair_paths_.assign(pair_total, {});
+    LinExpr t_e2e;
+    for (std::size_t p = 0; p < np; ++p) {
+        for (std::size_t q = 0; q < np; ++q) {
+            if (p == q) continue;
+            const std::size_t idx = pair_index(p, q);
+            var_comm_[idx] = model_.add_binary("comm_" + std::to_string(p) + "_" +
+                                               std::to_string(q));
+            pair_paths_[idx] = net::k_shortest_paths(net_, candidates_[p], candidates_[q],
+                                                     options_.k_paths);
+            if (pair_paths_[idx].empty()) {
+                // Disconnected pair: may never communicate.
+                model_.add_constraint(LinExpr::term(var_comm_[idx]), Sense::kEq, 0.0);
+                continue;
+            }
+            LinExpr y_sum;
+            for (std::size_t k = 0; k < pair_paths_[idx].size(); ++k) {
+                const VarId y = model_.add_binary("y_" + std::to_string(p) + "_" +
+                                                  std::to_string(q) + "_" +
+                                                  std::to_string(k));
+                var_y_[idx].push_back(y);
+                y_sum += LinExpr::term(y);
+                t_e2e += LinExpr::term(y, pair_paths_[idx][k].latency_us);
+            }
+            y_sum -= LinExpr::term(var_comm_[idx]);
+            model_.add_constraint(std::move(y_sum), Sense::kEq, 0.0);
+        }
+    }
+    for (const UnitEdge& e : unit_edges_) {
+        for (std::size_t p = 0; p < np; ++p) {
+            for (std::size_t q = 0; q < np; ++q) {
+                if (p == q) continue;
+                // comm[pq] >= L[a][p] + L[b][q] - 1
+                LinExpr lhs = LinExpr::term(var_comm_[pair_index(p, q)]) -
+                              LinExpr::term(var_l_[e.from][p]) -
+                              LinExpr::term(var_l_[e.to][q]);
+                model_.add_constraint(std::move(lhs), Sense::kGe, -1.0);
+            }
+        }
+    }
+    if (std::isfinite(options_.epsilon1)) {
+        model_.add_constraint(t_e2e, Sense::kLe, options_.epsilon1, "epsilon1");
+    }
+    const LinExpr t_e2e_expr = t_e2e;  // reused by the latency objective
+
+    // occ / Q_occ (3)(5).
+    var_occ_.resize(np);
+    for (std::size_t p = 0; p < np; ++p) {
+        var_occ_[p] = model_.add_binary("occ_" + std::to_string(p));
+        LinExpr upper = LinExpr::term(var_occ_[p]);
+        for (std::size_t a = 0; a < n; ++a) {
+            model_.add_constraint(
+                LinExpr::term(var_occ_[p]) - LinExpr::term(var_l_[a][p]), Sense::kGe, 0.0);
+            upper -= LinExpr::term(var_l_[a][p]);
+        }
+        model_.add_constraint(std::move(upper), Sense::kLe, 0.0);
+    }
+    if (options_.epsilon2 < static_cast<std::int64_t>(np) + 1) {
+        LinExpr occ_sum;
+        for (std::size_t p = 0; p < np; ++p) occ_sum += LinExpr::term(var_occ_[p]);
+        model_.add_constraint(std::move(occ_sum), Sense::kLe,
+                              static_cast<double>(options_.epsilon2), "epsilon2");
+    }
+
+    // cross[e][pq] = L[a][p] AND L[b][q] for metadata edges; A_max (1).
+    std::int64_t total_metadata = 0;
+    for (const UnitEdge& e : unit_edges_) total_metadata += e.metadata_bytes;
+    var_amax_ = model_.add_continuous(0.0, static_cast<double>(total_metadata), "A_max");
+
+    var_cross_.clear();
+    metadata_edge_index_.clear();
+    for (std::size_t ei = 0; ei < unit_edges_.size(); ++ei) {
+        if (unit_edges_[ei].metadata_bytes <= 0) continue;
+        std::vector<VarId> row(pair_total, -1);
+        const UnitEdge& e = unit_edges_[ei];
+        for (std::size_t p = 0; p < np; ++p) {
+            for (std::size_t q = 0; q < np; ++q) {
+                if (p == q) continue;
+                const VarId z = model_.add_binary("x_" + std::to_string(ei) + "_" +
+                                                  std::to_string(p) + "_" +
+                                                  std::to_string(q));
+                row[pair_index(p, q)] = z;
+                model_.add_constraint(
+                    LinExpr::term(z) - LinExpr::term(var_l_[e.from][p]), Sense::kLe, 0.0);
+                model_.add_constraint(
+                    LinExpr::term(z) - LinExpr::term(var_l_[e.to][q]), Sense::kLe, 0.0);
+                LinExpr lb = LinExpr::term(z) - LinExpr::term(var_l_[e.from][p]) -
+                             LinExpr::term(var_l_[e.to][q]);
+                model_.add_constraint(std::move(lb), Sense::kGe, -1.0);
+            }
+        }
+        var_cross_.push_back(std::move(row));
+        metadata_edge_index_.push_back(ei);
+    }
+    for (std::size_t p = 0; p < np; ++p) {
+        for (std::size_t q = 0; q < np; ++q) {
+            if (p == q) continue;
+            LinExpr crossing;
+            for (std::size_t r = 0; r < var_cross_.size(); ++r) {
+                const UnitEdge& e = unit_edges_[metadata_edge_index_[r]];
+                const VarId z = var_cross_[r][pair_index(p, q)];
+                crossing += LinExpr::term(z, static_cast<double>(e.metadata_bytes));
+            }
+            if (crossing.empty()) continue;
+            model_.add_constraint(LinExpr::term(var_amax_) - crossing, Sense::kGe, 0.0);
+        }
+    }
+
+    // Objective selection: Hermes minimizes A_max; the comparison frameworks
+    // reuse the identical constraint system with their own goals.
+    switch (options_.objective) {
+        case P1Objective::kMinAmax:
+            model_.minimize(LinExpr::term(var_amax_));
+            break;
+        case P1Objective::kMinLatency:
+            model_.minimize(t_e2e_expr);
+            break;
+        case P1Objective::kMinOccupied: {
+            LinExpr occ_sum;
+            for (std::size_t p = 0; p < np; ++p) occ_sum += LinExpr::term(var_occ_[p]);
+            model_.minimize(std::move(occ_sum));
+            break;
+        }
+        case P1Objective::kMinMaxMatsPerSwitch: {
+            const VarId mmax = model_.add_continuous(
+                0.0, static_cast<double>(t_.node_count()), "mats_max");
+            var_mats_max_ = mmax;
+            for (std::size_t p = 0; p < np; ++p) {
+                LinExpr load = LinExpr::term(mmax);
+                for (std::size_t a = 0; a < n; ++a) {
+                    load -= LinExpr::term(var_l_[a][p],
+                                          static_cast<double>(units_[a].size()));
+                }
+                model_.add_constraint(std::move(load), Sense::kGe, 0.0);
+            }
+            model_.minimize(LinExpr::term(mmax));
+            break;
+        }
+        case P1Objective::kMinMaxStage: {
+            if (options_.segment_level) {
+                // No stage variables at segment granularity; fall back to the
+                // closest proxy, pipeline occupation = occupied switches.
+                LinExpr occ_sum;
+                for (std::size_t p = 0; p < np; ++p) occ_sum += LinExpr::term(var_occ_[p]);
+                model_.minimize(std::move(occ_sum));
+            } else {
+                const int stages = net_.props(candidates_.front()).stages;
+                const VarId smax =
+                    model_.add_continuous(0.0, static_cast<double>(stages), "stage_max");
+                var_stage_max_ = smax;
+                for (std::size_t a = 0; a < n; ++a) {
+                    model_.add_constraint(
+                        LinExpr::term(smax) - LinExpr::term(var_s_[a]), Sense::kGe, 0.0);
+                }
+                model_.minimize(LinExpr::term(smax));
+            }
+            break;
+        }
+    }
+}
+
+Deployment P1Formulation::decode(const std::vector<double>& values) const {
+    if (values.size() != model_.variable_count()) {
+        throw std::invalid_argument("P1Formulation::decode: assignment size mismatch");
+    }
+    const std::size_t np = candidates_.size();
+
+    // Unit -> switch.
+    std::vector<std::size_t> unit_switch(units_.size(), np);
+    for (std::size_t a = 0; a < units_.size(); ++a) {
+        for (std::size_t p = 0; p < np; ++p) {
+            if (values[static_cast<std::size_t>(var_l_[a][p])] > kHalf) {
+                unit_switch[a] = p;
+                break;
+            }
+        }
+        if (unit_switch[a] == np) {
+            throw std::runtime_error("P1Formulation::decode: unit " + std::to_string(a) +
+                                     " is unplaced");
+        }
+    }
+
+    Deployment d;
+    d.placements.resize(t_.node_count());
+    if (!options_.segment_level) {
+        // MAT-level: the model carries its own exact stage assignment.
+        for (std::size_t a = 0; a < units_.size(); ++a) {
+            const int stage = static_cast<int>(
+                std::lround(values[static_cast<std::size_t>(var_s_[a])]));
+            d.placements[units_[a].front()] =
+                Placement{candidates_[unit_switch[a]], stage};
+        }
+    } else {
+        for (std::size_t p = 0; p < np; ++p) {
+            std::vector<tdg::NodeId> members;
+            for (std::size_t a = 0; a < units_.size(); ++a) {
+                if (unit_switch[a] != p) continue;
+                members.insert(members.end(), units_[a].begin(), units_[a].end());
+            }
+            if (members.empty()) continue;
+            const net::SwitchProps& props = net_.props(candidates_[p]);
+            // First-fit packing, then exact backtracking.
+            auto stages = assign_stages(t_, members, props.stages, props.stage_capacity);
+            if (!stages) {
+                stages =
+                    assign_stages_exact(t_, members, props.stages, props.stage_capacity);
+            }
+            if (!stages) {
+                throw std::runtime_error(
+                    "P1Formulation::decode: stage packing failed on " + props.name);
+            }
+            for (std::size_t j = 0; j < members.size(); ++j) {
+                d.placements[members[j]] = Placement{candidates_[p], (*stages)[j]};
+            }
+        }
+    }
+
+    // Routes for every ordered pair that actually carries a dependency.
+    std::set<std::pair<std::size_t, std::size_t>> crossing;
+    for (const UnitEdge& e : unit_edges_) {
+        const std::size_t p = unit_switch[e.from];
+        const std::size_t q = unit_switch[e.to];
+        if (p != q) crossing.insert({p, q});
+    }
+    for (const auto& [p, q] : crossing) {
+        const std::size_t idx = pair_index(p, q);
+        if (pair_paths_[idx].empty()) {
+            throw std::runtime_error("P1Formulation::decode: no path between switches");
+        }
+        std::size_t chosen = 0;
+        for (std::size_t k = 0; k < var_y_[idx].size(); ++k) {
+            if (values[static_cast<std::size_t>(var_y_[idx][k])] > kHalf) {
+                chosen = k;
+                break;
+            }
+        }
+        d.routes[{candidates_[p], candidates_[q]}] = pair_paths_[idx][chosen];
+    }
+    return d;
+}
+
+std::optional<std::vector<double>> P1Formulation::encode(const Deployment& d) const {
+    if (d.placements.size() != t_.node_count()) return std::nullopt;
+    const std::size_t np = candidates_.size();
+    std::map<net::SwitchId, std::size_t> candidate_index;
+    for (std::size_t p = 0; p < np; ++p) candidate_index[candidates_[p]] = p;
+
+    // Every unit's members must share one candidate switch.
+    std::vector<std::size_t> unit_switch(units_.size());
+    for (std::size_t a = 0; a < units_.size(); ++a) {
+        const net::SwitchId sw = d.switch_of(units_[a].front());
+        const auto it = candidate_index.find(sw);
+        if (it == candidate_index.end()) return std::nullopt;
+        for (const tdg::NodeId v : units_[a]) {
+            if (d.switch_of(v) != sw) return std::nullopt;
+        }
+        unit_switch[a] = it->second;
+    }
+
+    std::vector<double> values(model_.variable_count(), 0.0);
+    for (std::size_t a = 0; a < units_.size(); ++a) {
+        values[static_cast<std::size_t>(var_l_[a][unit_switch[a]])] = 1.0;
+    }
+    if (!options_.segment_level) {
+        for (std::size_t a = 0; a < units_.size(); ++a) {
+            const int stage = d.placements[units_[a].front()].stage;
+            values[static_cast<std::size_t>(var_s_[a])] = static_cast<double>(stage);
+            if (stage < 0 || static_cast<std::size_t>(stage) >= var_w_[a].size()) {
+                return std::nullopt;  // stage outside this model's geometry
+            }
+            values[static_cast<std::size_t>(var_w_[a][static_cast<std::size_t>(stage)])] =
+                1.0;
+            const VarId z = var_z_[a][static_cast<std::size_t>(stage)][unit_switch[a]];
+            if (z >= 0) values[static_cast<std::size_t>(z)] = 1.0;
+        }
+    }
+
+    // Crossing pairs, comm, y (shortest path), cross products, A_max.
+    std::set<std::pair<std::size_t, std::size_t>> crossing;
+    std::vector<std::int64_t> pair_bytes(np * np, 0);
+    for (std::size_t r = 0; r < var_cross_.size(); ++r) {
+        const UnitEdge& e = unit_edges_[metadata_edge_index_[r]];
+        const std::size_t p = unit_switch[e.from];
+        const std::size_t q = unit_switch[e.to];
+        if (p == q) continue;
+        const std::size_t idx = pair_index(p, q);
+        values[static_cast<std::size_t>(var_cross_[r][idx])] = 1.0;
+        pair_bytes[idx] += e.metadata_bytes;
+    }
+    for (const UnitEdge& e : unit_edges_) {
+        const std::size_t p = unit_switch[e.from];
+        const std::size_t q = unit_switch[e.to];
+        if (p != q) crossing.insert({p, q});
+    }
+    std::int64_t a_max = 0;
+    for (const std::int64_t b : pair_bytes) a_max = std::max(a_max, b);
+    values[static_cast<std::size_t>(var_amax_)] = static_cast<double>(a_max);
+    for (const auto& [p, q] : crossing) {
+        const std::size_t idx = pair_index(p, q);
+        if (var_y_[idx].empty()) return std::nullopt;  // disconnected pair
+        values[static_cast<std::size_t>(var_comm_[idx])] = 1.0;
+        values[static_cast<std::size_t>(var_y_[idx][0])] = 1.0;
+    }
+
+    // occ + traversal order (topological over crossing arcs).
+    std::vector<int> in_degree(np, 0);
+    for (const auto& [p, q] : crossing) ++in_degree[q];
+    std::priority_queue<std::size_t, std::vector<std::size_t>, std::greater<>> ready;
+    for (std::size_t p = 0; p < np; ++p) {
+        if (in_degree[p] == 0) ready.push(p);
+    }
+    std::size_t position = 0;
+    std::size_t emitted = 0;
+    std::vector<double> ord(np, 0.0);
+    while (!ready.empty()) {
+        const std::size_t p = ready.top();
+        ready.pop();
+        ord[p] = static_cast<double>(position++);
+        ++emitted;
+        for (const auto& [a, b] : crossing) {
+            if (a == p && --in_degree[b] == 0) ready.push(b);
+        }
+    }
+    if (emitted != np) return std::nullopt;  // cyclic switch precedence
+    for (std::size_t p = 0; p < np; ++p) {
+        values[static_cast<std::size_t>(var_ord_[p])] = ord[p];
+        bool occupied = false;
+        for (std::size_t a = 0; a < units_.size(); ++a) {
+            occupied = occupied || unit_switch[a] == p;
+        }
+        values[static_cast<std::size_t>(var_occ_[p])] = occupied ? 1.0 : 0.0;
+    }
+
+    // Auxiliary objective variables must also be feasible in a warm start.
+    if (var_mats_max_ >= 0) {
+        std::vector<double> mats(np, 0.0);
+        for (std::size_t a = 0; a < units_.size(); ++a) {
+            mats[unit_switch[a]] += static_cast<double>(units_[a].size());
+        }
+        values[static_cast<std::size_t>(var_mats_max_)] =
+            *std::max_element(mats.begin(), mats.end());
+    }
+    if (var_stage_max_ >= 0) {
+        double smax = 0.0;
+        for (const Placement& p : d.placements) smax = std::max(smax, double(p.stage));
+        values[static_cast<std::size_t>(var_stage_max_)] = smax;
+    }
+    return values;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,125 @@
+// MILP formulation of problem P#1 (§V-A to §V-C).
+//
+// Decision variables:
+//   L[a][p]      binary   MAT (or segment) a placed on candidate switch p
+//                         (the paper's x(a,i,u) aggregated over stages i;
+//                         stage packing is restored exactly at decode time)
+//   s[a]         integer  pipeline stage of MAT a (MAT-level mode only),
+//                         used for the intra-switch order constraint (8)
+//   cross[e][pq] binary   AND(L[a][p], L[b][q]) for metadata edges — the
+//                         linearized x·x products of objective (1)
+//   comm[pq]     binary   some dependency crosses the ordered pair (p, q)
+//   y[pq][k]     binary   pair (p, q) communicates over its k-th shortest
+//                         path — the paper's y(u, v, p)
+//   ord[p]       continuous traversal position of switch p; big-M ordering
+//                         makes the cross-switch precedence acyclic (7)
+//   occ[p]       binary   switch p hosts at least one MAT (Q_occ)
+//   A_max        continuous the objective of (1)
+//
+// Constraints: unique placement (6), per-switch resources (9, aggregated;
+// per-stage packing re-validated at decode), stage order (8), switch order
+// big-M (7), comm/y coupling, t_e2e <= epsilon1 (4), Q_occ <= epsilon2 (5),
+// and A_max >= crossing metadata per ordered pair (1).
+//
+// Segment-level mode contracts the TDG into the greedy splitter's segments
+// first (one segment per switch), shrinking the model by orders of
+// magnitude; it is how the "Optimal"/ILP-framework columns stay runnable on
+// network-scale instances, mirroring the paper's use of warm-started,
+// time-limited Gurobi.
+#pragma once
+
+#include <optional>
+
+#include "core/deployment.h"
+#include "milp/model.h"
+#include "net/paths.h"
+
+namespace hermes::core {
+
+// Optimization objective. Hermes minimizes A_max; the comparison frameworks
+// of §VI-A reuse the same constraint system with their own objectives.
+enum class P1Objective : std::uint8_t {
+    kMinAmax,             // Hermes (objective (1))
+    kMinLatency,          // SPEED: maximize performance = minimize t_e2e
+    kMinOccupied,         // Flightplan: fewest devices
+    kMinMaxMatsPerSwitch, // MTP: balance control-plane load
+    kMinMaxStage,         // P4All / Min-Stage flavor: minimize pipeline depth
+};
+
+// How segment-level mode carves the TDG into switch-sized units.
+enum class SegmentSplit : std::uint8_t {
+    kMinMetadataCut,    // Algorithm 2's metadata-minimizing cuts (Hermes)
+    kResourceFirstFit,  // resource-driven topological first-fit (baselines)
+};
+
+struct FormulationOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
+    std::size_t k_paths = 2;          // |P(u,v)| per ordered pair
+    std::size_t candidate_limit = 0;  // 0 = all programmable switches
+    bool segment_level = false;       // contract into segments first
+    P1Objective objective = P1Objective::kMinAmax;
+    SegmentSplit segment_split = SegmentSplit::kMinMetadataCut;
+};
+
+class P1Formulation {
+public:
+    P1Formulation(const tdg::Tdg& t, const net::Network& net, FormulationOptions options);
+
+    [[nodiscard]] const milp::Model& model() const noexcept { return model_; }
+    [[nodiscard]] milp::Model& model() noexcept { return model_; }
+
+    [[nodiscard]] const std::vector<net::SwitchId>& candidates() const noexcept {
+        return candidates_;
+    }
+
+    // Units placed by the model: single MATs (MAT-level) or segments.
+    [[nodiscard]] std::size_t unit_count() const noexcept { return units_.size(); }
+
+    // Decodes a solver assignment into a full deployment (with exact stage
+    // packing and shortest-path routes). Throws std::runtime_error when the
+    // assignment cannot be realized (e.g. stage packing fails).
+    [[nodiscard]] Deployment decode(const std::vector<double>& values) const;
+
+    // Encodes a deployment as a warm-start assignment, or nullopt when the
+    // deployment does not fit this formulation's candidates/units.
+    [[nodiscard]] std::optional<std::vector<double>> encode(const Deployment& d) const;
+
+private:
+    struct UnitEdge {
+        std::size_t from;
+        std::size_t to;
+        std::int64_t metadata_bytes;
+    };
+
+    void build_units();
+    void build_model();
+    [[nodiscard]] std::size_t pair_index(std::size_t p, std::size_t q) const;
+
+    const tdg::Tdg& t_;
+    const net::Network& net_;
+    FormulationOptions options_;
+
+    std::vector<net::SwitchId> candidates_;
+    std::vector<std::vector<tdg::NodeId>> units_;  // unit -> member MATs
+    std::vector<double> unit_resource_;
+    std::vector<UnitEdge> unit_edges_;
+
+    milp::Model model_;
+    std::vector<std::vector<milp::VarId>> var_l_;      // [unit][candidate]
+    std::vector<milp::VarId> var_s_;                   // [unit] (MAT-level only)
+    std::vector<std::vector<milp::VarId>> var_w_;      // [unit][stage] (MAT-level)
+    std::vector<std::vector<std::vector<milp::VarId>>> var_z_;  // [unit][stage][cand]
+    std::vector<std::vector<milp::VarId>> var_cross_;  // [metadata edge][pair]
+    std::vector<std::size_t> metadata_edge_index_;     // edge idx per var_cross_ row
+    std::vector<milp::VarId> var_comm_;                // [pair]
+    std::vector<std::vector<milp::VarId>> var_y_;      // [pair][k]
+    std::vector<std::vector<net::Path>> pair_paths_;   // [pair][k]
+    std::vector<milp::VarId> var_ord_;                 // [candidate]
+    std::vector<milp::VarId> var_occ_;                 // [candidate]
+    milp::VarId var_amax_ = -1;
+    milp::VarId var_mats_max_ = -1;   // MTP objective auxiliary
+    milp::VarId var_stage_max_ = -1;  // P4All objective auxiliary
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,77 @@
+// Greedy-based heuristic of Hermes (§V-E, Algorithm 2).
+//
+// Splits the merged TDG into switch-sized segments at the topological prefix
+// cuts that carry the least metadata, then maps the segment chain onto the
+// closest feasible chain of programmable switches under the ε-bounds, wiring
+// consecutive switches with shortest paths. Runs in
+// O((|V|+|E|)·log|V| + |V_G|²) — the polynomial-time side of the paper's
+// optimality/timeliness tradeoff.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace hermes::core {
+
+struct GreedyOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();   // t_e2e bound (us)
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
+};
+
+struct GreedyResult {
+    Deployment deployment;
+    std::vector<std::vector<tdg::NodeId>> segments;  // in traversal order
+    net::SwitchId anchor = 0;                        // chain head switch
+};
+
+// SPLIT_TDG: recursively partitions `nodes` (defaults to all of t) into
+// segments that each fit a switch with the given geometry, cutting at the
+// minimum-metadata topological prefix each time. Throws std::runtime_error
+// when a single MAT exceeds a stage's capacity.
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> split_tdg(
+    const tdg::Tdg& t, std::vector<tdg::NodeId> nodes, int stages, double stage_capacity);
+
+// Resource-driven topological first-fit split: fills each segment with
+// nodes in topological order until the next node no longer fits. This is
+// the metadata-oblivious splitting the comparison frameworks effectively
+// perform, used as their segment-level unit builder.
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> split_tdg_first_fit(
+    const tdg::Tdg& t, std::vector<tdg::NodeId> nodes, int stages, double stage_capacity);
+
+// SELECT_SWITCHES: the anchor plus up to epsilon2-1 nearest programmable
+// switches reachable from it, keeping the chain's consecutive shortest-path
+// latency within epsilon1. Returns the chain (anchor first).
+[[nodiscard]] std::vector<net::SwitchId> select_switches(const net::Network& net,
+                                                         net::SwitchId anchor,
+                                                         const GreedyOptions& options);
+
+// Coalesces adjacent segments — smallest inter-segment metadata first —
+// while the merged pair still fits one switch, until at most `target`
+// segments remain or no merge applies. Recursive min-cut splitting can
+// over-fragment (a cut-minimizing split is not balance-aware); coalescing
+// restores feasibility on switch-starved networks without giving up the
+// minimum-metadata cuts.
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> coalesce_segments(
+    const tdg::Tdg& t, std::vector<std::vector<tdg::NodeId>> segments,
+    std::size_t target, int stages, double stage_capacity);
+
+// Places an already-computed segment list onto the best feasible switch
+// chain (lines 21-29 of Algorithm 2): for every programmable anchor, builds
+// its candidate chain via select_switches, keeps the feasible chain with the
+// lowest total latency, assigns segment i to chain switch i, and wires
+// consecutive switches with shortest paths. Throws std::runtime_error when
+// no anchor yields enough switches.
+[[nodiscard]] GreedyResult deploy_segments_on_chain(
+    const tdg::Tdg& t, const net::Network& net,
+    std::vector<std::vector<tdg::NodeId>> segments, const GreedyOptions& options = {});
+
+// Full Algorithm 2. Considers every programmable anchor, keeps the feasible
+// chain with the lowest total latency. Throws std::runtime_error when no
+// anchor yields enough switches for the segments.
+[[nodiscard]] GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
+                                         const GreedyOptions& options = {});
+
+}  // namespace hermes::core

@@ -1,0 +1,90 @@
+#include "core/hermes.h"
+
+#include <chrono>
+
+#include "tdg/analyzer.h"
+
+namespace hermes::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+tdg::Tdg analyze(const std::vector<prog::Program>& programs) {
+    std::vector<tdg::Tdg> tdgs;
+    tdgs.reserve(programs.size());
+    for (const prog::Program& p : programs) tdgs.push_back(p.to_tdg());
+    return tdg::analyze_programs(std::move(tdgs));
+}
+
+DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
+                            const HermesOptions& options) {
+    const auto start = Clock::now();
+    GreedyResult g = greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+    DeployOutcome outcome;
+    outcome.deployment = std::move(g.deployment);
+    outcome.solve_seconds = seconds_since(start);
+    outcome.metrics = evaluate(t, net, outcome.deployment);
+    outcome.solver_status = "greedy";
+    return outcome;
+}
+
+DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
+                             const HermesOptions& options) {
+    const auto start = Clock::now();
+    FormulationOptions fopts;
+    fopts.epsilon1 = options.epsilon1;
+    fopts.epsilon2 = options.epsilon2;
+    fopts.k_paths = options.k_paths;
+    fopts.candidate_limit = options.candidate_limit;
+    fopts.segment_level = options.segment_level_milp;
+
+    std::optional<P1Formulation> maybe_formulation;
+    try {
+        maybe_formulation.emplace(t, net, fopts);
+    } catch (const std::runtime_error&) {
+        // Instance beyond exact reach (the regime where the paper's Gurobi
+        // runs exceed their two-hour budget): return the best incumbent we
+        // can produce — the greedy solution — flagged as a time-limit hit.
+        GreedyResult g =
+            greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+        DeployOutcome outcome;
+        outcome.deployment = std::move(g.deployment);
+        outcome.solve_seconds =
+            std::max(seconds_since(start), options.milp.time_limit_seconds);
+        outcome.metrics = evaluate(t, net, outcome.deployment);
+        outcome.solver_status = "time-limit(model)";
+        return outcome;
+    }
+    P1Formulation& formulation = *maybe_formulation;
+
+    milp::MilpOptions milp_options = options.milp;
+    if (options.warm_start_from_greedy && !milp_options.warm_start) {
+        try {
+            const GreedyResult g =
+                greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+            milp_options.warm_start = formulation.encode(g.deployment);
+        } catch (const std::runtime_error&) {
+            // No greedy incumbent; branch and bound starts cold.
+        }
+    }
+
+    const milp::MilpResult result = milp::solve_milp(formulation.model(), milp_options);
+    if (!result.has_solution()) {
+        throw std::runtime_error(std::string("deploy_optimal: MILP ended with status ") +
+                                 milp::to_string(result.status));
+    }
+    DeployOutcome outcome;
+    outcome.deployment = formulation.decode(result.values);
+    outcome.solve_seconds = seconds_since(start);
+    outcome.metrics = evaluate(t, net, outcome.deployment);
+    outcome.solver_status = milp::to_string(result.status);
+    outcome.optimal = result.status == milp::MilpStatus::kOptimal;
+    return outcome;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,51 @@
+// Hermes framework facade (§III): program analysis, then problem solving via
+// either the greedy heuristic or the MILP ("Optimal") path, returning the
+// deployment together with its metrics and solve statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "core/formulation.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "milp/solver.h"
+#include "prog/program.h"
+
+namespace hermes::core {
+
+struct HermesOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
+    // MILP path configuration.
+    std::size_t k_paths = 2;
+    std::size_t candidate_limit = 0;
+    bool segment_level_milp = false;
+    bool warm_start_from_greedy = true;
+    milp::MilpOptions milp;
+};
+
+struct DeployOutcome {
+    Deployment deployment;
+    DeploymentMetrics metrics;
+    double solve_seconds = 0.0;
+    std::string solver_status;  // "greedy", or the MILP status string
+    bool optimal = false;       // true when the MILP proved optimality
+};
+
+// Step#1: program analysis — merge all programs' TDGs and annotate A(a,b).
+[[nodiscard]] tdg::Tdg analyze(const std::vector<prog::Program>& programs);
+
+// Step#3 (heuristic): Algorithm 2. Throws std::runtime_error on infeasible
+// instances (not enough switch capacity under the epsilon bounds).
+[[nodiscard]] DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
+                                          const HermesOptions& options = {});
+
+// Step#2+#3 (exact): builds P#1 and solves it with branch and bound, warm
+// started from the greedy solution by default. Throws std::runtime_error
+// when no feasible deployment is found within the limits.
+[[nodiscard]] DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
+                                           const HermesOptions& options = {});
+
+}  // namespace hermes::core

@@ -1,0 +1,38 @@
+// Incremental redeployment (extension; the paper deploys from scratch).
+//
+// Production networks add programs over time, and re-placing everything
+// disturbs running traffic. This module extends an existing deployment with
+// new programs without moving a single already-placed MAT: new MATs are
+// packed into the residual stage capacity along the existing traversal chain
+// (plus spare programmable switches appended after it), respecting every
+// dependency. If the combined analysis orders a *new* MAT before an *old*
+// one (a read/write conflict pointing backwards), incremental placement is
+// impossible and the caller should fall back to a full redeploy.
+#pragma once
+
+#include <optional>
+
+#include "core/deployment.h"
+#include "prog/program.h"
+
+namespace hermes::core {
+
+// Unions `additions` onto an analyzed base TDG, re-running conflict ordering
+// and metadata analysis. Node ids of `base` are preserved as a prefix.
+[[nodiscard]] tdg::Tdg extend_programs(const tdg::Tdg& base,
+                                       const std::vector<prog::Program>& additions);
+
+struct IncrementalResult {
+    Deployment deployment;              // covers all nodes of the combined TDG
+    std::int64_t added_overhead_bytes = 0;  // overhead delta vs the old deployment
+};
+
+// Places nodes [base_count, n) of `combined` around the fixed `existing`
+// placements (which cover nodes [0, base_count)). Returns nullopt when a new
+// MAT must precede an old one, or when the residual capacity cannot host the
+// additions.
+[[nodiscard]] std::optional<IncrementalResult> incremental_deploy(
+    const tdg::Tdg& combined, std::size_t base_count, const Deployment& existing,
+    const net::Network& net);
+
+}  // namespace hermes::core

@@ -1,0 +1,117 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hermes::core {
+
+std::int64_t max_pair_metadata(const tdg::Tdg& t, const Deployment& d) {
+    std::map<std::pair<net::SwitchId, net::SwitchId>, std::int64_t> pair_bytes;
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = d.switch_of(e.from);
+        const net::SwitchId v = d.switch_of(e.to);
+        if (u == v) continue;
+        pair_bytes[{u, v}] += e.metadata_bytes;
+    }
+    std::int64_t best = 0;
+    for (const auto& [pair, bytes] : pair_bytes) best = std::max(best, bytes);
+    return best;
+}
+
+std::vector<net::SwitchId> traversal_order(const tdg::Tdg& t, const Deployment& d) {
+    const std::vector<tdg::NodeId> topo = t.topological_order();
+    std::vector<std::size_t> topo_pos(t.node_count());
+    for (std::size_t i = 0; i < topo.size(); ++i) topo_pos[topo[i]] = i;
+
+    std::map<net::SwitchId, std::size_t> first_pos;
+    for (tdg::NodeId a = 0; a < d.placements.size(); ++a) {
+        const net::SwitchId u = d.placements[a].sw;
+        const auto it = first_pos.find(u);
+        if (it == first_pos.end() || topo_pos[a] < it->second) first_pos[u] = topo_pos[a];
+    }
+
+    // Kahn over the switch-precedence DAG (arcs = cross-switch edges),
+    // breaking ties by earliest MAT position: a true linearization of the
+    // precedence relation, not just a position sort.
+    std::set<std::pair<net::SwitchId, net::SwitchId>> arcs;
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = d.switch_of(e.from);
+        const net::SwitchId v = d.switch_of(e.to);
+        if (u != v) arcs.insert({u, v});
+    }
+    std::map<net::SwitchId, int> in_degree;
+    for (const auto& [u, pos] : first_pos) in_degree[u] = 0;
+    for (const auto& [u, v] : arcs) ++in_degree[v];
+
+    auto better = [&](net::SwitchId x, net::SwitchId y) {
+        if (first_pos.at(x) != first_pos.at(y)) return first_pos.at(x) < first_pos.at(y);
+        return x < y;
+    };
+    std::vector<net::SwitchId> ready;
+    for (const auto& [u, deg] : in_degree) {
+        if (deg == 0) ready.push_back(u);
+    }
+    std::vector<net::SwitchId> order;
+    while (!ready.empty()) {
+        const auto it = std::min_element(ready.begin(), ready.end(), better);
+        const net::SwitchId u = *it;
+        ready.erase(it);
+        order.push_back(u);
+        for (const auto& [a, b] : arcs) {
+            if (a == u && --in_degree[b] == 0) ready.push_back(b);
+        }
+    }
+    if (order.size() != first_pos.size()) {
+        // Cyclic precedence (invalid deployment): fall back to position order
+        // so metric evaluation still terminates; the verifier reports the
+        // real problem.
+        order.clear();
+        for (const auto& [u, pos] : first_pos) order.push_back(u);
+        std::sort(order.begin(), order.end(), better);
+    }
+    return order;
+}
+
+std::int64_t max_inflight_metadata(const tdg::Tdg& t, const net::Network& net,
+                                   const Deployment& d) {
+    (void)net;
+    if (d.empty()) return 0;
+    const std::vector<net::SwitchId> order = traversal_order(t, d);
+    std::map<net::SwitchId, std::size_t> chain_pos;
+    for (std::size_t i = 0; i < order.size(); ++i) chain_pos[order[i]] = i;
+
+    // Cut bytes between consecutive traversal positions.
+    if (order.size() < 2) return 0;
+    std::vector<std::int64_t> cut(order.size() - 1, 0);
+    for (const tdg::Edge& e : t.edges()) {
+        const std::size_t pu = chain_pos.at(d.switch_of(e.from));
+        const std::size_t pv = chain_pos.at(d.switch_of(e.to));
+        if (pu >= pv) continue;  // same switch or backward (no forward carry)
+        for (std::size_t k = pu; k < pv; ++k) cut[k] += e.metadata_bytes;
+    }
+    return *std::max_element(cut.begin(), cut.end());
+}
+
+double total_route_latency(const Deployment& d) {
+    double total = 0.0;
+    for (const auto& [pair, path] : d.routes) total += path.latency_us;
+    return total;
+}
+
+std::int64_t occupied_switch_count(const Deployment& d) {
+    return static_cast<std::int64_t>(d.occupied_switches().size());
+}
+
+DeploymentMetrics evaluate(const tdg::Tdg& t, const net::Network& net,
+                           const Deployment& d) {
+    DeploymentMetrics m;
+    m.max_pair_metadata_bytes = max_pair_metadata(t, d);
+    m.max_inflight_metadata_bytes = max_inflight_metadata(t, net, d);
+    m.route_latency_us = total_route_latency(d);
+    m.occupied_switches = occupied_switch_count(d);
+    m.total_resource_units = t.total_resource_units();
+    return m;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,53 @@
+// Deployment metric evaluators: the three objectives of §V-B computed on a
+// concrete deployment, plus the physical per-hop overhead the simulator
+// feeds from.
+#pragma once
+
+#include <cstdint>
+
+#include "core/deployment.h"
+
+namespace hermes::core {
+
+// Obj#1, A_max: maximum metadata bytes delivered between any ordered pair of
+// distinct switches — for each pair (u,v), the sum of A(a,b) over TDG edges
+// whose upstream MAT sits on u and downstream MAT on v.
+[[nodiscard]] std::int64_t max_pair_metadata(const tdg::Tdg& t, const Deployment& d);
+
+// Traversal order of the occupied switches: ascending earliest topological
+// position of their MATs. Valid deployments induce an acyclic switch
+// precedence, which this linearizes — it is the order packets visit the
+// occupied switches.
+[[nodiscard]] std::vector<net::SwitchId> traversal_order(const tdg::Tdg& t,
+                                                         const Deployment& d);
+
+// Physical in-flight overhead: the packet must reserve header space for all
+// metadata simultaneously alive on a hop. For each route hop, sums A(a,b)
+// of every cross-switch edge whose delivery traverses that hop (upstream
+// switch appears before the hop on the packet's traversal, downstream after).
+// Routes are interpreted as a traversal chain ordered by the deployment's
+// route map. Returns the max over hops — the effective per-packet byte
+// overhead the end-to-end experiments (§II-B, Exp#4) measure.
+[[nodiscard]] std::int64_t max_inflight_metadata(const tdg::Tdg& t, const net::Network& net,
+                                                 const Deployment& d);
+
+// Obj#2, t_e2e: total transmission latency of the chosen routes (each
+// communicating ordered pair counted once).
+[[nodiscard]] double total_route_latency(const Deployment& d);
+
+// Obj#3, Q_occ: number of occupied switches.
+[[nodiscard]] std::int64_t occupied_switch_count(const Deployment& d);
+
+// All metrics bundled, as printed by the benchmarks.
+struct DeploymentMetrics {
+    std::int64_t max_pair_metadata_bytes = 0;
+    std::int64_t max_inflight_metadata_bytes = 0;
+    double route_latency_us = 0.0;
+    std::int64_t occupied_switches = 0;
+    double total_resource_units = 0.0;  // ΣR(a) actually deployed
+};
+
+[[nodiscard]] DeploymentMetrics evaluate(const tdg::Tdg& t, const net::Network& net,
+                                         const Deployment& d);
+
+}  // namespace hermes::core

@@ -1,0 +1,82 @@
+#include "core/tradeoff.h"
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+
+namespace hermes::core {
+
+namespace {
+
+TradeoffPoint evaluate_bounds(const tdg::Tdg& t, const net::Network& net,
+                              const GreedyOptions& options) {
+    TradeoffPoint point;
+    point.epsilon1 = options.epsilon1;
+    point.epsilon2 = options.epsilon2;
+    try {
+        const GreedyResult r = greedy_deploy(t, net, options);
+        point.feasible = true;
+        point.metrics = evaluate(t, net, r.deployment);
+    } catch (const std::runtime_error&) {
+        point.feasible = false;
+    }
+    return point;
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> sweep_switch_budget(const tdg::Tdg& t, const net::Network& net,
+                                               std::int64_t min_switches,
+                                               std::int64_t max_switches) {
+    if (min_switches < 1 || max_switches < min_switches) {
+        throw std::invalid_argument("sweep_switch_budget: bad budget range");
+    }
+    std::vector<TradeoffPoint> sweep;
+    for (std::int64_t budget = min_switches; budget <= max_switches; ++budget) {
+        GreedyOptions options;
+        options.epsilon2 = budget;
+        sweep.push_back(evaluate_bounds(t, net, options));
+    }
+    return sweep;
+}
+
+std::vector<TradeoffPoint> sweep_latency_budget(const tdg::Tdg& t, const net::Network& net,
+                                                double min_latency_us,
+                                                double max_latency_us, int steps) {
+    if (steps < 2 || min_latency_us < 0.0 || max_latency_us < min_latency_us) {
+        throw std::invalid_argument("sweep_latency_budget: bad parameters");
+    }
+    std::vector<TradeoffPoint> sweep;
+    for (int i = 0; i < steps; ++i) {
+        GreedyOptions options;
+        options.epsilon1 = min_latency_us + (max_latency_us - min_latency_us) *
+                                                static_cast<double>(i) /
+                                                static_cast<double>(steps - 1);
+        sweep.push_back(evaluate_bounds(t, net, options));
+    }
+    return sweep;
+}
+
+std::optional<TradeoffPoint> knee_point(const std::vector<TradeoffPoint>& sweep,
+                                        double tolerance) {
+    std::optional<std::int64_t> best_overhead;
+    for (const TradeoffPoint& p : sweep) {
+        if (!p.feasible) continue;
+        if (!best_overhead || p.metrics.max_pair_metadata_bytes < *best_overhead) {
+            best_overhead = p.metrics.max_pair_metadata_bytes;
+        }
+    }
+    if (!best_overhead) return std::nullopt;
+    const double threshold = static_cast<double>(*best_overhead) * (1.0 + tolerance);
+    // Sweeps are ordered from tightest to loosest budget; the first feasible
+    // point within tolerance is the knee.
+    for (const TradeoffPoint& p : sweep) {
+        if (!p.feasible) continue;
+        if (static_cast<double>(p.metrics.max_pair_metadata_bytes) <= threshold + 1e-9) {
+            return p;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace hermes::core

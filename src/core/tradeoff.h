@@ -1,0 +1,46 @@
+// ε-constraint tradeoff exploration (§V-B).
+//
+// The ε-constraint method turns Hermes' three objectives into one: minimize
+// A_max subject to t_e2e <= ε₁ and Q_occ <= ε₂. Administrators are told to
+// "flexibly submit their desired bounds on demand" — this module computes
+// the curves they would consult: byte overhead as a function of the switch
+// budget and of the latency budget.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "core/deployment.h"
+#include "core/objective.h"
+
+namespace hermes::core {
+
+struct TradeoffPoint {
+    double epsilon1 = std::numeric_limits<double>::infinity();
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
+    bool feasible = false;
+    DeploymentMetrics metrics;  // valid only when feasible
+};
+
+// Greedy deployments for every switch budget ε₂ in [min_switches,
+// max_switches] (ε₁ unbounded). Infeasible budgets are flagged, not thrown.
+[[nodiscard]] std::vector<TradeoffPoint> sweep_switch_budget(const tdg::Tdg& t,
+                                                             const net::Network& net,
+                                                             std::int64_t min_switches,
+                                                             std::int64_t max_switches);
+
+// Greedy deployments for latency budgets: `steps` evenly spaced ε₁ values
+// from `min_latency_us` to `max_latency_us` (ε₂ unbounded).
+[[nodiscard]] std::vector<TradeoffPoint> sweep_latency_budget(const tdg::Tdg& t,
+                                                              const net::Network& net,
+                                                              double min_latency_us,
+                                                              double max_latency_us,
+                                                              int steps);
+
+// The knee heuristic: the smallest ε₂ whose overhead is within `tolerance`
+// (relative) of the unconstrained optimum of the sweep. Returns nullopt when
+// no point is feasible.
+[[nodiscard]] std::optional<TradeoffPoint> knee_point(
+    const std::vector<TradeoffPoint>& sweep, double tolerance = 0.05);
+
+}  // namespace hermes::core

@@ -1,0 +1,165 @@
+#include "core/verifier.h"
+
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "core/objective.h"
+
+namespace hermes::core {
+
+namespace {
+
+// Reachability in the directed route graph: metadata may be relayed through
+// intermediate programmable switches, so constraint (7) is satisfied when v
+// is reachable from u via recorded routes.
+bool route_reachable(const Deployment& d, net::SwitchId u, net::SwitchId v) {
+    std::set<net::SwitchId> seen{u};
+    std::queue<net::SwitchId> frontier;
+    frontier.push(u);
+    while (!frontier.empty()) {
+        const net::SwitchId x = frontier.front();
+        frontier.pop();
+        if (x == v) return true;
+        for (const auto& [pair, path] : d.routes) {
+            if (pair.first == x && !seen.count(pair.second)) {
+                seen.insert(pair.second);
+                frontier.push(pair.second);
+            }
+        }
+    }
+    return false;
+}
+
+// The cross-switch precedence relation must be acyclic or no packet
+// traversal order can satisfy all dependencies.
+bool switch_precedence_acyclic(const tdg::Tdg& t, const Deployment& d) {
+    std::set<std::pair<net::SwitchId, net::SwitchId>> arcs;
+    std::set<net::SwitchId> nodes;
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = d.switch_of(e.from);
+        const net::SwitchId v = d.switch_of(e.to);
+        nodes.insert(u);
+        nodes.insert(v);
+        if (u != v) arcs.insert({u, v});
+    }
+    // Kahn over the switch graph.
+    std::map<net::SwitchId, int> in_degree;
+    for (const net::SwitchId n : nodes) in_degree[n] = 0;
+    for (const auto& [u, v] : arcs) ++in_degree[v];
+    std::queue<net::SwitchId> ready;
+    for (const auto& [n, deg] : in_degree) {
+        if (deg == 0) ready.push(n);
+    }
+    std::size_t removed = 0;
+    while (!ready.empty()) {
+        const net::SwitchId u = ready.front();
+        ready.pop();
+        ++removed;
+        for (const auto& [a, b] : arcs) {
+            if (a == u && --in_degree[b] == 0) ready.push(b);
+        }
+    }
+    return removed == nodes.size();
+}
+
+}  // namespace
+
+VerificationReport verify(const tdg::Tdg& t, const net::Network& net, const Deployment& d,
+                          const VerifyOptions& options) {
+    VerificationReport report;
+
+    if (d.placements.size() != t.node_count()) {
+        report.fail("placement count " + std::to_string(d.placements.size()) +
+                    " != node count " + std::to_string(t.node_count()));
+        return report;  // nothing else is checkable
+    }
+
+    // (6) node deployment on programmable switches, valid stages.
+    for (tdg::NodeId a = 0; a < d.placements.size(); ++a) {
+        const Placement& p = d.placements[a];
+        if (p.sw >= net.switch_count()) {
+            report.fail("MAT '" + t.node(a).name() + "' placed on unknown switch");
+            continue;
+        }
+        const net::SwitchProps& props = net.props(p.sw);
+        if (!props.programmable) {
+            report.fail("MAT '" + t.node(a).name() + "' placed on non-programmable " +
+                        props.name);
+        }
+        if (p.stage < 0 || p.stage >= props.stages) {
+            report.fail("MAT '" + t.node(a).name() + "' placed on invalid stage " +
+                        std::to_string(p.stage) + " of " + props.name);
+        }
+    }
+    if (!report.ok) return report;
+
+    // (9) per-stage resource capacity.
+    std::map<std::pair<net::SwitchId, int>, double> stage_load;
+    for (tdg::NodeId a = 0; a < d.placements.size(); ++a) {
+        stage_load[{d.placements[a].sw, d.placements[a].stage}] +=
+            t.node(a).resource_units();
+    }
+    for (const auto& [key, load] : stage_load) {
+        const double cap = net.props(key.first).stage_capacity;
+        if (load > cap + 1e-9) {
+            std::ostringstream os;
+            os << "stage " << key.second << " of " << net.props(key.first).name
+               << " overloaded: " << load << " > " << cap;
+            report.fail(os.str());
+        }
+    }
+
+    // (7)(8) edge deployment.
+    for (const tdg::Edge& e : t.edges()) {
+        const Placement& pa = d.placements[e.from];
+        const Placement& pb = d.placements[e.to];
+        if (pa.sw == pb.sw) {
+            if (pa.stage >= pb.stage) {
+                report.fail("dependency " + t.node(e.from).name() + " -> " +
+                            t.node(e.to).name() + " violates stage order on switch " +
+                            net.props(pa.sw).name);
+            }
+        } else if (!route_reachable(d, pa.sw, pb.sw)) {
+            report.fail("no route chain from " + net.props(pa.sw).name + " to " +
+                        net.props(pb.sw).name + " for dependency " +
+                        t.node(e.from).name() + " -> " + t.node(e.to).name());
+        }
+    }
+
+    if (!switch_precedence_acyclic(t, d)) {
+        report.fail("cross-switch dependency relation is cyclic");
+    }
+
+    // Route sanity: endpoints + physical validity.
+    for (const auto& [pair, path] : d.routes) {
+        if (path.switches.empty() || path.switches.front() != pair.first ||
+            path.switches.back() != pair.second) {
+            report.fail("route (" + std::to_string(pair.first) + "," +
+                        std::to_string(pair.second) + ") has mismatched endpoints");
+            continue;
+        }
+        try {
+            (void)net::path_latency(net, path.switches);
+        } catch (const std::invalid_argument& ex) {
+            report.fail(std::string("route invalid: ") + ex.what());
+        }
+    }
+
+    // (4)(5) ε-bounds.
+    const double latency = total_route_latency(d);
+    if (latency > options.epsilon1 + 1e-9) {
+        std::ostringstream os;
+        os << "t_e2e " << latency << " us exceeds epsilon1 " << options.epsilon1;
+        report.fail(os.str());
+    }
+    const std::int64_t occupied = occupied_switch_count(d);
+    if (occupied > options.epsilon2) {
+        report.fail("Q_occ " + std::to_string(occupied) + " exceeds epsilon2 " +
+                    std::to_string(options.epsilon2));
+    }
+    return report;
+}
+
+}  // namespace hermes::core

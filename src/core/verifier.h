@@ -1,0 +1,39 @@
+// Deployment verifier: checks that a deployment honors every constraint of
+// the MILP formulation (§V-C) against the actual TDG and network — node
+// deployment (6), edge deployment / dependency preservation (7)(8), switch
+// resource limitations (9), and optionally the ε-bounds (4)(5).
+//
+// Every placement strategy in this repository (Hermes greedy, Hermes
+// optimal, and all baselines) is validated through this single checker, both
+// in tests and at the end of each benchmark run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace hermes::core {
+
+struct VerifyOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();  // t_e2e bound
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
+};
+
+struct VerificationReport {
+    bool ok = true;
+    std::vector<std::string> violations;
+
+    void fail(std::string message) {
+        ok = false;
+        violations.push_back(std::move(message));
+    }
+};
+
+[[nodiscard]] VerificationReport verify(const tdg::Tdg& t, const net::Network& net,
+                                        const Deployment& d,
+                                        const VerifyOptions& options = {});
+
+}  // namespace hermes::core

@@ -1,0 +1,62 @@
+#include "dataplane/backend.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::dataplane {
+
+std::map<std::string, int> piggyback_fields(const tdg::Mat& upstream) {
+    std::map<std::string, int> fields;
+    for (const tdg::Field& f : upstream.modified_fields()) {
+        if (f.is_metadata()) fields.emplace(f.name, f.size_bytes);
+    }
+    return fields;
+}
+
+NetworkConfig build_configs(const tdg::Tdg& t, const net::Network& net,
+                            const core::Deployment& d) {
+    if (d.placements.size() != t.node_count()) {
+        throw std::invalid_argument("build_configs: deployment/TDG shape mismatch");
+    }
+    NetworkConfig configs;
+
+    // Staged table programs.
+    for (const net::SwitchId u : d.occupied_switches()) {
+        if (u >= net.switch_count()) {
+            throw std::invalid_argument("build_configs: deployment uses unknown switch");
+        }
+        SwitchConfig config;
+        config.switch_id = u;
+        for (const tdg::NodeId v : d.mats_on(u)) {
+            config.tables.push_back(TableEntry{v, d.placements[v].stage});
+        }
+        configs.emplace(u, std::move(config));
+    }
+
+    // Coordination directives per cross-switch dependency. Reverse-match
+    // edges order execution but deliver nothing.
+    for (const tdg::Edge& e : t.edges()) {
+        if (e.type == tdg::DepType::kReverseMatch) continue;
+        const net::SwitchId u = d.switch_of(e.from);
+        const net::SwitchId v = d.switch_of(e.to);
+        if (u == v) continue;
+        const std::map<std::string, int> fields = piggyback_fields(t.node(e.from));
+        if (fields.empty()) continue;
+
+        SwitchConfig& up = configs.at(u);
+        auto directive =
+            std::find_if(up.egress.begin(), up.egress.end(),
+                         [&](const EgressDirective& eg) { return eg.next_switch == v; });
+        if (directive == up.egress.end()) {
+            up.egress.push_back(EgressDirective{v, {}});
+            directive = up.egress.end() - 1;
+        }
+        directive->fields.insert(fields.begin(), fields.end());
+
+        SwitchConfig& down = configs.at(v);
+        for (const auto& [name, size] : fields) down.ingress_fields.insert(name);
+    }
+    return configs;
+}
+
+}  // namespace hermes::dataplane

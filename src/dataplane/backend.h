@@ -1,0 +1,25 @@
+// The Hermes backend: decision variables -> switch configurations.
+//
+// For every cross-switch dependency (a, b) the upstream switch must
+// piggyback the metadata a produced for b. The backend derives, per switch,
+// the staged table program plus ingress-extract / egress-attach directives,
+// mirroring what the paper's implementation feeds to the vendor compiler.
+#pragma once
+
+#include "dataplane/config.h"
+
+namespace hermes::dataplane {
+
+// Builds the network-wide configuration for a verified deployment. Throws
+// std::invalid_argument when the deployment's shape does not match the TDG.
+[[nodiscard]] NetworkConfig build_configs(const tdg::Tdg& t, const net::Network& net,
+                                          const core::Deployment& d);
+
+// The piggybacked metadata field set for one dependency edge: the metadata
+// fields the upstream MAT produces (dedup by name). This is the physically
+// transferable subset of the analyzer's A(a,b) accounting — for action-type
+// edges the analyzer additionally counts the downstream MAT's own fields,
+// so sizes here are always <= A(a,b).
+[[nodiscard]] std::map<std::string, int> piggyback_fields(const tdg::Mat& upstream);
+
+}  // namespace hermes::dataplane

@@ -1,0 +1,56 @@
+// Switch configurations: the output of the Hermes backend (§VI-A
+// "Implementation"). The backend takes the framework's decision variables
+// (a core::Deployment) and emits, per switch, the staged MAT programs plus
+// the inter-switch coordination directives: which metadata fields to expect
+// piggybacked on ingress and which to piggyback toward each downstream
+// switch on egress.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace hermes::dataplane {
+
+// One MAT instance installed on a stage.
+struct TableEntry {
+    tdg::NodeId node = 0;   // id in the deployed TDG
+    int stage = 0;
+};
+
+// Metadata fields (name -> byte size) to piggyback toward one downstream
+// switch.
+struct EgressDirective {
+    net::SwitchId next_switch = 0;
+    std::map<std::string, int> fields;
+
+    [[nodiscard]] int total_bytes() const noexcept {
+        int total = 0;
+        for (const auto& [name, size] : fields) total += size;
+        return total;
+    }
+};
+
+struct SwitchConfig {
+    net::SwitchId switch_id = 0;
+    // Tables ordered by (stage, node id) — the execution order.
+    std::vector<TableEntry> tables;
+    // Metadata expected from upstream switches (ingress extraction).
+    std::set<std::string> ingress_fields;
+    // Per-downstream piggyback sets (egress attachment).
+    std::vector<EgressDirective> egress;
+
+    [[nodiscard]] int max_egress_bytes() const noexcept {
+        int best = 0;
+        for (const EgressDirective& e : egress) best = std::max(best, e.total_bytes());
+        return best;
+    }
+};
+
+// Full network configuration keyed by switch.
+using NetworkConfig = std::map<net::SwitchId, SwitchConfig>;
+
+}  // namespace hermes::dataplane

@@ -1,0 +1,143 @@
+#include "dataplane/interp.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "core/objective.h"
+
+namespace hermes::dataplane {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t fnv1a_string(std::uint64_t hash, const std::string& s) {
+    return fnv1a(hash, s.data(), s.size());
+}
+
+// Executes one MAT on the packet; records the trace entry and any writes.
+void execute_mat(const tdg::Tdg& t, tdg::NodeId node, net::SwitchId switch_id, int stage,
+                 Packet& packet, std::map<std::string, FieldValue>& writes,
+                 std::vector<ExecutionRecord>& trace) {
+    const tdg::Mat& mat = t.node(node);
+
+    std::vector<FieldValue> inputs;
+    bool matched = true;
+    for (const tdg::Field& f : mat.match_fields()) {
+        const auto value = packet.field(f.name);
+        if (!value) {
+            matched = false;
+            break;
+        }
+        inputs.push_back(*value);
+    }
+    trace.push_back(ExecutionRecord{node, switch_id, stage, matched});
+    if (!matched || mat.actions().empty()) return;
+
+    // Deterministic action selection: both the monolithic reference and the
+    // distributed execution see the same inputs, hence run the same action.
+    std::uint64_t selector = fnv1a_string(kFnvOffset, mat.name());
+    for (const FieldValue& in : inputs) selector = fnv1a(selector, &in.value, 8);
+    const tdg::Action& action =
+        mat.actions()[selector % mat.actions().size()];
+
+    for (const tdg::Field& f : action.writes) {
+        const std::uint64_t value = action_value(mat.name(), action.name, inputs,
+                                                 f.size_bytes);
+        packet.set_field(f.name, f.is_metadata(), value, f.size_bytes);
+        writes[f.name] = FieldValue{value, f.size_bytes};
+    }
+}
+
+}  // namespace
+
+std::uint64_t action_value(const std::string& table, const std::string& action,
+                           const std::vector<FieldValue>& inputs, int size_bytes) {
+    std::uint64_t hash = fnv1a_string(kFnvOffset, table);
+    hash = fnv1a_string(hash, action);
+    for (const FieldValue& in : inputs) {
+        hash = fnv1a(hash, &in.value, 8);
+        hash = fnv1a(hash, &in.size_bytes, sizeof(in.size_bytes));
+    }
+    if (size_bytes >= 8) return hash;
+    const std::uint64_t mask = (std::uint64_t{1} << (8 * size_bytes)) - 1;
+    return hash & mask;
+}
+
+InterpResult run_monolithic(const tdg::Tdg& t, Packet packet) {
+    InterpResult result;
+    for (const tdg::NodeId v : t.topological_order()) {
+        execute_mat(t, v, 0, 0, packet, result.writes, result.trace);
+    }
+    result.packet = std::move(packet);
+    return result;
+}
+
+InterpResult run_deployment(const tdg::Tdg& t, const net::Network& net,
+                            const core::Deployment& d, const NetworkConfig& configs,
+                            Packet packet) {
+    (void)net;
+    InterpResult result;
+    const std::vector<net::SwitchId> traversal = core::traversal_order(t, d);
+
+    // In-flight piggyback bag: destination switch -> field name -> value.
+    std::map<net::SwitchId, std::map<std::string, FieldValue>> bag;
+    auto bag_bytes = [&] {
+        // Physical header space: each distinct field name rides once.
+        std::map<std::string, int> unique;
+        for (const auto& [dest, fields] : bag) {
+            for (const auto& [name, value] : fields) unique[name] = value.size_bytes;
+        }
+        int total = 0;
+        for (const auto& [name, size] : unique) total += size;
+        return total;
+    };
+
+    for (std::size_t k = 0; k < traversal.size(); ++k) {
+        const net::SwitchId u = traversal[k];
+        const auto config_it = configs.find(u);
+        if (config_it == configs.end()) {
+            throw std::runtime_error("run_deployment: no config for an occupied switch");
+        }
+        const SwitchConfig& config = config_it->second;
+
+        // Switch boundary: scratch metadata dies; configured piggyback
+        // fields destined here are extracted into fresh metadata.
+        packet.clear_metadata();
+        if (const auto delivered = bag.find(u); delivered != bag.end()) {
+            for (const auto& [name, value] : delivered->second) {
+                packet.set_metadata(name, value.value, value.size_bytes);
+            }
+            bag.erase(delivered);
+        }
+
+        for (const TableEntry& entry : config.tables) {
+            execute_mat(t, entry.node, u, entry.stage, packet, result.writes,
+                        result.trace);
+        }
+
+        // Egress: capture piggyback fields for downstream switches.
+        for (const EgressDirective& directive : config.egress) {
+            for (const auto& [name, size] : directive.fields) {
+                const auto value = packet.field(name);
+                if (!value) continue;  // producing MAT missed; consumers miss too
+                bag[directive.next_switch][name] = *value;
+            }
+        }
+        if (k + 1 < traversal.size()) result.wire_bytes.push_back(bag_bytes());
+    }
+    result.packet = std::move(packet);
+    return result;
+}
+
+}  // namespace hermes::dataplane

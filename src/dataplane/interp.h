@@ -1,0 +1,60 @@
+// Software data plane interpreter.
+//
+// Executes MAT programs on packets — the functional stand-in for the Tofino
+// pipeline. Action semantics are deterministic: an action's written value is
+// a hash of (table, action, matched values), so any two executions that see
+// the same inputs write the same outputs. That makes distributed-vs-
+// monolithic equivalence checkable: running the merged TDG on one giant
+// virtual switch must produce exactly the field writes of running the
+// deployed configuration across switches with metadata piggybacking.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataplane/backend.h"
+#include "dataplane/packet.h"
+
+namespace hermes::dataplane {
+
+// One table execution record, for tracing/debugging.
+struct ExecutionRecord {
+    tdg::NodeId node = 0;
+    net::SwitchId switch_id = 0;
+    int stage = 0;
+    bool matched = false;  // all match fields were present
+};
+
+struct InterpResult {
+    Packet packet;  // final packet state
+    // Last value written to each field across the whole pipeline: the
+    // observable processing outcome used for equivalence checks.
+    std::map<std::string, FieldValue> writes;
+    std::vector<ExecutionRecord> trace;
+    // Piggybacked metadata bytes on the wire after each traversal hop
+    // (size = #occupied switches - 1).
+    std::vector<int> wire_bytes;
+};
+
+// Deterministic action value: hash of table name, action name, and the
+// matched input values, truncated to the field size.
+[[nodiscard]] std::uint64_t action_value(const std::string& table,
+                                         const std::string& action,
+                                         const std::vector<FieldValue>& inputs,
+                                         int size_bytes);
+
+// Runs all MATs of `t` in topological order on one virtual switch — the
+// semantics reference.
+[[nodiscard]] InterpResult run_monolithic(const tdg::Tdg& t, Packet packet);
+
+// Runs the deployed configuration: traverses the occupied switches in
+// deployment order, clearing metadata at each boundary and carrying only the
+// configured piggyback fields. A table whose match fields are missing
+// records a miss and writes nothing — so a broken coordination config shows
+// up as a write divergence from run_monolithic, which the tests assert on.
+[[nodiscard]] InterpResult run_deployment(const tdg::Tdg& t, const net::Network& net,
+                                          const core::Deployment& d,
+                                          const NetworkConfig& configs, Packet packet);
+
+}  // namespace hermes::dataplane

@@ -1,0 +1,47 @@
+#include "dataplane/packet.h"
+
+#include <stdexcept>
+
+namespace hermes::dataplane {
+
+namespace {
+void validate(const std::string& name, int size_bytes) {
+    if (name.empty()) throw std::invalid_argument("Packet: empty field name");
+    if (size_bytes <= 0) throw std::invalid_argument("Packet: non-positive field size");
+}
+}  // namespace
+
+void Packet::set_header(const std::string& name, std::uint64_t value, int size_bytes) {
+    validate(name, size_bytes);
+    headers_[name] = FieldValue{value, size_bytes};
+}
+
+std::optional<FieldValue> Packet::header(const std::string& name) const {
+    const auto it = headers_.find(name);
+    if (it == headers_.end()) return std::nullopt;
+    return it->second;
+}
+
+void Packet::set_metadata(const std::string& name, std::uint64_t value, int size_bytes) {
+    validate(name, size_bytes);
+    metadata_[name] = FieldValue{value, size_bytes};
+}
+
+std::optional<FieldValue> Packet::metadata(const std::string& name) const {
+    const auto it = metadata_.find(name);
+    if (it == metadata_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<FieldValue> Packet::field(const std::string& name) const {
+    if (const auto m = metadata(name)) return m;
+    return header(name);
+}
+
+void Packet::set_field(const std::string& name, bool is_metadata, std::uint64_t value,
+                       int size_bytes) {
+    if (is_metadata) set_metadata(name, value, size_bytes);
+    else set_header(name, value, size_bytes);
+}
+
+}  // namespace hermes::dataplane

@@ -1,0 +1,58 @@
+// Packet model for the software data plane.
+//
+// A packet carries named header fields plus a metadata scratchpad. Header
+// fields persist end to end; metadata is per-switch state that vanishes at
+// the switch boundary *unless* the deployment's coordination config
+// piggybacks it to the next switch — exactly the mechanism whose byte cost
+// Hermes minimizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hermes::dataplane {
+
+// A field value: up to 8 significant bytes (longer fields hash down to 8;
+// placement decisions never depend on values beyond equality, so this loses
+// nothing observable).
+struct FieldValue {
+    std::uint64_t value = 0;
+    int size_bytes = 0;
+
+    friend bool operator==(const FieldValue&, const FieldValue&) = default;
+    friend auto operator<=>(const FieldValue&, const FieldValue&) = default;
+};
+
+class Packet {
+public:
+    // Header fields (ethernet/ipv4/l4/... namespaces).
+    void set_header(const std::string& name, std::uint64_t value, int size_bytes);
+    [[nodiscard]] std::optional<FieldValue> header(const std::string& name) const;
+
+    // Metadata fields (meta.* namespace).
+    void set_metadata(const std::string& name, std::uint64_t value, int size_bytes);
+    [[nodiscard]] std::optional<FieldValue> metadata(const std::string& name) const;
+
+    // Any field by name: metadata namespace first, then headers.
+    [[nodiscard]] std::optional<FieldValue> field(const std::string& name) const;
+    void set_field(const std::string& name, bool is_metadata, std::uint64_t value,
+                   int size_bytes);
+
+    // Clears the metadata scratchpad (switch boundary crossing).
+    void clear_metadata() { metadata_.clear(); }
+
+    [[nodiscard]] const std::map<std::string, FieldValue>& headers() const noexcept {
+        return headers_;
+    }
+    [[nodiscard]] const std::map<std::string, FieldValue>& metadata_fields() const noexcept {
+        return metadata_;
+    }
+
+private:
+    std::map<std::string, FieldValue> headers_;
+    std::map<std::string, FieldValue> metadata_;
+};
+
+}  // namespace hermes::dataplane

@@ -1,0 +1,123 @@
+#include "milp/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hermes::milp {
+
+namespace {
+constexpr double kZeroTolerance = 1e-12;
+
+void drop_zeros(std::vector<Term>& terms) {
+    terms.erase(std::remove_if(terms.begin(), terms.end(),
+                               [](const Term& t) {
+                                   return std::abs(t.coef) < kZeroTolerance;
+                               }),
+                terms.end());
+}
+
+// Merges two sorted term lists, combining equal variables.
+std::vector<Term> merge_terms(const std::vector<Term>& a, const std::vector<Term>& b,
+                              double b_scale) {
+    std::vector<Term> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+        if (j == b.size() || (i < a.size() && a[i].var < b[j].var)) {
+            out.push_back(a[i++]);
+        } else if (i == a.size() || b[j].var < a[i].var) {
+            out.push_back(Term{b[j].var, b_scale * b[j].coef});
+            ++j;
+        } else {
+            out.push_back(Term{a[i].var, a[i].coef + b_scale * b[j].coef});
+            ++i;
+            ++j;
+        }
+    }
+    drop_zeros(out);
+    return out;
+}
+}  // namespace
+
+LinExpr LinExpr::term(VarId v, double coef) {
+    LinExpr e;
+    e.add_term(v, coef);
+    return e;
+}
+
+void LinExpr::add_term(VarId v, double coef) {
+    if (v < 0) throw std::invalid_argument("LinExpr::add_term: negative variable id");
+    if (std::abs(coef) < kZeroTolerance) return;
+    // Sorted insert keeps the invariant without re-sorting.
+    const auto it = std::lower_bound(
+        terms_.begin(), terms_.end(), v,
+        [](const Term& t, VarId target) { return t.var < target; });
+    if (it != terms_.end() && it->var == v) {
+        it->coef += coef;
+        if (std::abs(it->coef) < kZeroTolerance) terms_.erase(it);
+    } else {
+        terms_.insert(it, Term{v, coef});
+    }
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+    constant_ += rhs.constant_;
+    terms_ = merge_terms(terms_, rhs.terms_, 1.0);
+    return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
+    constant_ -= rhs.constant_;
+    terms_ = merge_terms(terms_, rhs.terms_, -1.0);
+    return *this;
+}
+
+LinExpr& LinExpr::operator*=(double scale) {
+    constant_ *= scale;
+    for (Term& t : terms_) t.coef *= scale;
+    drop_zeros(terms_);
+    return *this;
+}
+
+double LinExpr::coefficient(VarId v) const noexcept {
+    const auto it = std::lower_bound(
+        terms_.begin(), terms_.end(), v,
+        [](const Term& t, VarId target) { return t.var < target; });
+    if (it != terms_.end() && it->var == v) return it->coef;
+    return 0.0;
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+    double total = constant_;
+    for (const Term& t : terms_) {
+        if (static_cast<std::size_t>(t.var) >= values.size()) {
+            throw std::out_of_range("LinExpr::evaluate: assignment too short");
+        }
+        total += t.coef * values[static_cast<std::size_t>(t.var)];
+    }
+    return total;
+}
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs) {
+    lhs += rhs;
+    return lhs;
+}
+
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs) {
+    lhs -= rhs;
+    return lhs;
+}
+
+LinExpr operator*(double scale, LinExpr expr) {
+    expr *= scale;
+    return expr;
+}
+
+LinExpr operator*(LinExpr expr, double scale) {
+    expr *= scale;
+    return expr;
+}
+
+}  // namespace hermes::milp

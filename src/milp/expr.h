@@ -1,0 +1,57 @@
+// Sparse linear expressions for MILP model building.
+//
+// A LinExpr is Σ coef_i · x_i + constant. Terms stay normalized (sorted by
+// variable id, combined, zero coefficients dropped) so model assembly and
+// the simplex converter can consume them directly.
+#pragma once
+
+#include <vector>
+
+namespace hermes::milp {
+
+using VarId = int;
+
+struct Term {
+    VarId var = 0;
+    double coef = 0.0;
+
+    friend bool operator==(const Term&, const Term&) = default;
+};
+
+class LinExpr {
+public:
+    LinExpr() = default;
+    /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+
+    // coef · x_v
+    [[nodiscard]] static LinExpr term(VarId v, double coef = 1.0);
+
+    LinExpr& operator+=(const LinExpr& rhs);
+    LinExpr& operator-=(const LinExpr& rhs);
+    LinExpr& operator*=(double scale);
+
+    void add_term(VarId v, double coef);
+    void add_constant(double c) { constant_ += c; }
+
+    [[nodiscard]] const std::vector<Term>& terms() const noexcept { return terms_; }
+    [[nodiscard]] double constant() const noexcept { return constant_; }
+
+    // Coefficient of variable v (0 when absent).
+    [[nodiscard]] double coefficient(VarId v) const noexcept;
+
+    // Value of the expression under a full assignment.
+    [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+    [[nodiscard]] bool empty() const noexcept { return terms_.empty(); }
+
+private:
+    std::vector<Term> terms_;  // invariant: sorted by var, unique, non-zero
+    double constant_ = 0.0;
+};
+
+[[nodiscard]] LinExpr operator+(LinExpr lhs, const LinExpr& rhs);
+[[nodiscard]] LinExpr operator-(LinExpr lhs, const LinExpr& rhs);
+[[nodiscard]] LinExpr operator*(double scale, LinExpr expr);
+[[nodiscard]] LinExpr operator*(LinExpr expr, double scale);
+
+}  // namespace hermes::milp

@@ -1,0 +1,94 @@
+#include "milp/lin.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hermes::milp {
+
+namespace {
+void require_binary(const Model& model, VarId v, const char* context) {
+    if (model.variable(v).type != VarType::kBinary) {
+        throw std::invalid_argument(std::string(context) + ": variable '" +
+                                    model.variable(v).name + "' is not binary");
+    }
+}
+}  // namespace
+
+VarId add_and(Model& model, VarId x, VarId y, std::string name) {
+    require_binary(model, x, "add_and");
+    require_binary(model, y, "add_and");
+    if (name.empty()) {
+        name = "and_" + model.variable(x).name + "_" + model.variable(y).name;
+    }
+    const VarId z = model.add_binary(name);
+    model.add_constraint(LinExpr::term(z) - LinExpr::term(x), Sense::kLe, 0.0);
+    model.add_constraint(LinExpr::term(z) - LinExpr::term(y), Sense::kLe, 0.0);
+    model.add_constraint(LinExpr::term(z) - LinExpr::term(x) - LinExpr::term(y), Sense::kGe,
+                         -1.0);
+    return z;
+}
+
+VarId add_or(Model& model, std::span<const VarId> vars, std::string name) {
+    if (vars.empty()) throw std::invalid_argument("add_or: empty variable list");
+    for (const VarId v : vars) require_binary(model, v, "add_or");
+    if (name.empty()) name = "or" + std::to_string(model.variable_count());
+    const VarId z = model.add_binary(std::move(name));
+    LinExpr sum;
+    for (const VarId v : vars) {
+        model.add_constraint(LinExpr::term(z) - LinExpr::term(v), Sense::kGe, 0.0);
+        sum += LinExpr::term(v);
+    }
+    model.add_constraint(LinExpr::term(z) - sum, Sense::kLe, 0.0);
+    return z;
+}
+
+VarId add_max_bound(Model& model, std::span<const LinExpr> exprs, double lower,
+                    double upper, std::string name) {
+    if (exprs.empty()) throw std::invalid_argument("add_max_bound: empty expression list");
+    if (name.empty()) name = "max" + std::to_string(model.variable_count());
+    const VarId t = model.add_continuous(lower, upper, std::move(name));
+    for (const LinExpr& e : exprs) {
+        model.add_constraint(LinExpr::term(t) - e, Sense::kGe, 0.0);
+    }
+    return t;
+}
+
+void add_indicator(Model& model, VarId z, LinExpr expr, Sense sense, double rhs,
+                   double big_m, std::string name) {
+    require_binary(model, z, "add_indicator");
+    if (big_m < 0.0) throw std::invalid_argument("add_indicator: negative big-M");
+    switch (sense) {
+        case Sense::kLe:
+            // expr <= rhs + M(1-z)
+            expr += LinExpr::term(z, big_m);
+            model.add_constraint(std::move(expr), Sense::kLe, rhs + big_m, std::move(name));
+            break;
+        case Sense::kGe:
+            // expr >= rhs - M(1-z)
+            expr -= LinExpr::term(z, big_m);
+            model.add_constraint(std::move(expr), Sense::kGe, rhs - big_m, std::move(name));
+            break;
+        case Sense::kEq:
+            add_indicator(model, z, expr, Sense::kLe, rhs, big_m, name + "_le");
+            add_indicator(model, z, std::move(expr), Sense::kGe, rhs, big_m, name + "_ge");
+            break;
+    }
+}
+
+double box_big_m(const Model& model, const LinExpr& expr, double rhs) {
+    double lo = expr.constant();
+    double hi = expr.constant();
+    for (const Term& t : expr.terms()) {
+        const Variable& v = model.variable(t.var);
+        const double a = t.coef * v.lower;
+        const double b = t.coef * v.upper;
+        lo += std::min(a, b);
+        hi += std::max(a, b);
+    }
+    if (!std::isfinite(lo) || !std::isfinite(hi)) {
+        throw std::invalid_argument("box_big_m: unbounded variable in expression");
+    }
+    return std::max(std::abs(hi - rhs), std::abs(lo - rhs));
+}
+
+}  // namespace hermes::milp

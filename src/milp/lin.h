@@ -1,0 +1,35 @@
+// Linearization helpers for the products and maxima that appear in the
+// paper's objectives (1)-(3): products of binary indicators, max-of-sums,
+// and big-M indicator constraints.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "milp/model.h"
+
+namespace hermes::milp {
+
+// z = x AND y for binaries x, y: z <= x, z <= y, z >= x + y - 1.
+[[nodiscard]] VarId add_and(Model& model, VarId x, VarId y, std::string name = "");
+
+// z = OR of binaries: z >= each, z <= sum.
+[[nodiscard]] VarId add_or(Model& model, std::span<const VarId> vars,
+                           std::string name = "");
+
+// t >= expr_i for every i. Minimizing t yields max_i expr_i. Returns t.
+[[nodiscard]] VarId add_max_bound(Model& model, std::span<const LinExpr> exprs,
+                                  double lower = 0.0, double upper = kInfinity,
+                                  std::string name = "");
+
+// Indicator: when binary z = 1 enforce (expr sense rhs); free otherwise.
+// `big_m` must upper-bound |expr - rhs| over the feasible box.
+void add_indicator(Model& model, VarId z, LinExpr expr, Sense sense, double rhs,
+                   double big_m, std::string name = "");
+
+// A valid big-M for `expr` over the variable box: max |expr - rhs| given
+// each variable's [lower, upper]. Throws when a referenced variable has an
+// infinite bound in the direction that matters.
+[[nodiscard]] double box_big_m(const Model& model, const LinExpr& expr, double rhs);
+
+}  // namespace hermes::milp

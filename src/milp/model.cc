@@ -1,0 +1,106 @@
+#include "milp/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hermes::milp {
+
+VarId Model::add_variable(Variable v) {
+    if (v.lower > v.upper) {
+        throw std::invalid_argument("Model: variable '" + v.name + "' has lower > upper");
+    }
+    if (v.name.empty()) v.name = "x" + std::to_string(variables_.size());
+    variables_.push_back(std::move(v));
+    return static_cast<VarId>(variables_.size()) - 1;
+}
+
+VarId Model::add_continuous(double lower, double upper, std::string name) {
+    return add_variable(Variable{std::move(name), VarType::kContinuous, lower, upper});
+}
+
+VarId Model::add_integer(double lower, double upper, std::string name) {
+    return add_variable(Variable{std::move(name), VarType::kInteger, lower, upper});
+}
+
+VarId Model::add_binary(std::string name) {
+    return add_variable(Variable{std::move(name), VarType::kBinary, 0.0, 1.0});
+}
+
+void Model::add_constraint(LinExpr expr, Sense sense, double rhs, std::string name) {
+    for (const Term& t : expr.terms()) {
+        if (static_cast<std::size_t>(t.var) >= variables_.size()) {
+            throw std::out_of_range("Model::add_constraint: unknown variable id");
+        }
+    }
+    const double folded_rhs = rhs - expr.constant();
+    LinExpr lhs = std::move(expr);
+    lhs.add_constant(-lhs.constant());
+    if (name.empty()) name = "c" + std::to_string(constraints_.size());
+    constraints_.push_back(Constraint{std::move(lhs), sense, folded_rhs, std::move(name)});
+}
+
+void Model::minimize(LinExpr objective) {
+    objective_ = std::move(objective);
+    minimize_ = true;
+}
+
+void Model::maximize(LinExpr objective) {
+    objective_ = std::move(objective);
+    minimize_ = false;
+}
+
+const Variable& Model::variable(VarId v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= variables_.size()) {
+        throw std::out_of_range("Model::variable: bad id");
+    }
+    return variables_[static_cast<std::size_t>(v)];
+}
+
+void Model::set_lower(VarId v, double lower) {
+    if (v < 0 || static_cast<std::size_t>(v) >= variables_.size()) {
+        throw std::out_of_range("Model::set_lower: bad id");
+    }
+    variables_[static_cast<std::size_t>(v)].lower = lower;
+}
+
+void Model::set_upper(VarId v, double upper) {
+    if (v < 0 || static_cast<std::size_t>(v) >= variables_.size()) {
+        throw std::out_of_range("Model::set_upper: bad id");
+    }
+    variables_[static_cast<std::size_t>(v)].upper = upper;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tolerance) const {
+    if (values.size() != variables_.size()) return false;
+    for (std::size_t i = 0; i < variables_.size(); ++i) {
+        const Variable& v = variables_[i];
+        if (values[i] < v.lower - tolerance || values[i] > v.upper + tolerance) {
+            return false;
+        }
+        if (v.type != VarType::kContinuous &&
+            std::abs(values[i] - std::round(values[i])) > tolerance) {
+            return false;
+        }
+    }
+    for (const Constraint& c : constraints_) {
+        const double lhs = c.expr.evaluate(values);
+        switch (c.sense) {
+            case Sense::kLe:
+                if (lhs > c.rhs + tolerance) return false;
+                break;
+            case Sense::kGe:
+                if (lhs < c.rhs - tolerance) return false;
+                break;
+            case Sense::kEq:
+                if (std::abs(lhs - c.rhs) > tolerance) return false;
+                break;
+        }
+    }
+    return true;
+}
+
+double Model::objective_value(const std::vector<double>& values) const {
+    return objective_.evaluate(values);
+}
+
+}  // namespace hermes::milp

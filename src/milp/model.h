@@ -1,0 +1,80 @@
+// MILP model: variables with bounds and types, linear constraints, and a
+// linear objective. The same model type feeds both the LP relaxation solver
+// (simplex.h) and the branch-and-bound MILP solver (solver.h).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "milp/expr.h"
+
+namespace hermes::milp {
+
+enum class VarType : std::uint8_t { kContinuous, kInteger, kBinary };
+enum class Sense : std::uint8_t { kLe, kGe, kEq };
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Variable {
+    std::string name;
+    VarType type = VarType::kContinuous;
+    double lower = 0.0;
+    double upper = kInfinity;
+};
+
+struct Constraint {
+    LinExpr expr;  // constant folded into rhs by add_constraint
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+    std::string name;
+};
+
+class Model {
+public:
+    VarId add_continuous(double lower, double upper, std::string name = "");
+    VarId add_integer(double lower, double upper, std::string name = "");
+    VarId add_binary(std::string name = "");
+
+    // expr `sense` rhs; any constant in expr is moved to the rhs.
+    void add_constraint(LinExpr expr, Sense sense, double rhs, std::string name = "");
+
+    void minimize(LinExpr objective);
+    void maximize(LinExpr objective);
+
+    [[nodiscard]] std::size_t variable_count() const noexcept { return variables_.size(); }
+    [[nodiscard]] std::size_t constraint_count() const noexcept {
+        return constraints_.size();
+    }
+    [[nodiscard]] const Variable& variable(VarId v) const;
+    [[nodiscard]] const std::vector<Variable>& variables() const noexcept {
+        return variables_;
+    }
+    [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+        return constraints_;
+    }
+    [[nodiscard]] const LinExpr& objective() const noexcept { return objective_; }
+    [[nodiscard]] bool is_minimization() const noexcept { return minimize_; }
+
+    // Bound tightening used by branch and bound.
+    void set_lower(VarId v, double lower);
+    void set_upper(VarId v, double upper);
+
+    // True when `values` satisfies all bounds, integrality, and constraints
+    // within `tolerance`.
+    [[nodiscard]] bool is_feasible(const std::vector<double>& values,
+                                   double tolerance = 1e-6) const;
+
+    // Objective value of an assignment (regardless of feasibility).
+    [[nodiscard]] double objective_value(const std::vector<double>& values) const;
+
+private:
+    VarId add_variable(Variable v);
+
+    std::vector<Variable> variables_;
+    std::vector<Constraint> constraints_;
+    LinExpr objective_;
+    bool minimize_ = true;
+};
+
+}  // namespace hermes::milp

@@ -1,0 +1,330 @@
+#include "milp/simplex.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace hermes::milp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kFeasTol = 1e-7;
+
+// Dense tableau: `rows` x `cols` where the last column is the rhs.
+class Tableau {
+public:
+    Tableau(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    // Gauss-Jordan pivot on (pr, pc).
+    void pivot(std::size_t pr, std::size_t pc, std::vector<double>& cost_row,
+               double& cost_rhs) {
+        const double p = at(pr, pc);
+        for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= p;
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (r == pr) continue;
+            const double f = at(r, pc);
+            if (std::abs(f) < kEps) continue;
+            for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= f * at(pr, c);
+        }
+        const double cf = cost_row[pc];
+        if (std::abs(cf) >= kEps) {
+            for (std::size_t c = 0; c < cols_ - 1; ++c) cost_row[c] -= cf * at(pr, c);
+            cost_rhs -= cf * at(pr, cols_ - 1);
+        }
+        cost_row[pc] = 0.0;  // exact, avoids round-off residue on the pivot column
+    }
+
+private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+struct StandardForm {
+    Tableau tableau{0, 0};
+    std::vector<std::size_t> basis;       // basis[r] = column basic in row r
+    std::vector<bool> usable;             // columns allowed to enter (false = artificial)
+    std::size_t structural_count = 0;     // shifted model variables
+    std::size_t artificial_begin = 0;     // first artificial column
+    std::vector<double> shift;            // lb per model variable
+    std::vector<double> costs;            // phase-2 cost per column (structural only)
+    double objective_constant = 0.0;      // folded objective constant
+    bool negate_result = false;           // true for maximization models
+};
+
+StandardForm build(const Model& model) {
+    const std::size_t n = model.variable_count();
+    StandardForm sf;
+    sf.shift.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        if (!std::isfinite(v.lower)) {
+            throw std::invalid_argument("solve_lp: variable '" + v.name +
+                                        "' has non-finite lower bound");
+        }
+        sf.shift[j] = v.lower;
+    }
+
+    // Row list: model constraints (rhs adjusted by shifts) + upper-bound rows.
+    struct Row {
+        std::vector<Term> terms;
+        Sense sense;
+        double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(model.constraint_count() + n);
+    for (const Constraint& c : model.constraints()) {
+        double rhs = c.rhs;
+        for (const Term& t : c.expr.terms()) {
+            rhs -= t.coef * sf.shift[static_cast<std::size_t>(t.var)];
+        }
+        rows.push_back(Row{c.expr.terms(), c.sense, rhs});
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        if (!std::isfinite(v.upper)) continue;
+        rows.push_back(Row{{Term{static_cast<VarId>(j), 1.0}}, Sense::kLe,
+                           v.upper - v.lower});
+    }
+
+    // Normalize rhs >= 0 and classify slack needs.
+    std::size_t slack_count = 0;
+    std::size_t artificial_count = 0;
+    for (Row& r : rows) {
+        if (r.rhs < 0.0) {
+            for (Term& t : r.terms) t.coef = -t.coef;
+            r.rhs = -r.rhs;
+            r.sense = (r.sense == Sense::kLe)   ? Sense::kGe
+                      : (r.sense == Sense::kGe) ? Sense::kLe
+                                                : Sense::kEq;
+        }
+        if (r.sense != Sense::kEq) ++slack_count;            // slack or surplus
+        if (r.sense != Sense::kLe) ++artificial_count;       // >= or ==
+    }
+
+    const std::size_t m = rows.size();
+    sf.structural_count = n;
+    sf.artificial_begin = n + slack_count;
+    const std::size_t total_cols = n + slack_count + artificial_count + 1;
+    sf.tableau = Tableau(m, total_cols);
+    sf.basis.assign(m, 0);
+    sf.usable.assign(total_cols - 1, true);
+
+    std::size_t next_slack = n;
+    std::size_t next_artificial = sf.artificial_begin;
+    for (std::size_t r = 0; r < m; ++r) {
+        for (const Term& t : rows[r].terms) {
+            sf.tableau.at(r, static_cast<std::size_t>(t.var)) += t.coef;
+        }
+        sf.tableau.at(r, total_cols - 1) = rows[r].rhs;
+        switch (rows[r].sense) {
+            case Sense::kLe:
+                sf.tableau.at(r, next_slack) = 1.0;
+                sf.basis[r] = next_slack++;
+                break;
+            case Sense::kGe:
+                sf.tableau.at(r, next_slack) = -1.0;
+                ++next_slack;
+                sf.tableau.at(r, next_artificial) = 1.0;
+                sf.basis[r] = next_artificial++;
+                break;
+            case Sense::kEq:
+                sf.tableau.at(r, next_artificial) = 1.0;
+                sf.basis[r] = next_artificial++;
+                break;
+        }
+    }
+    for (std::size_t c = sf.artificial_begin; c < total_cols - 1; ++c) {
+        sf.usable[c] = false;  // artificials may never re-enter in phase 2
+    }
+
+    // Phase-2 costs (minimization sense).
+    sf.costs.assign(total_cols - 1, 0.0);
+    const double sign = model.is_minimization() ? 1.0 : -1.0;
+    sf.negate_result = !model.is_minimization();
+    sf.objective_constant = sign * model.objective().constant();
+    for (const Term& t : model.objective().terms()) {
+        sf.costs[static_cast<std::size_t>(t.var)] = sign * t.coef;
+        sf.objective_constant += sign * t.coef * sf.shift[static_cast<std::size_t>(t.var)];
+    }
+    return sf;
+}
+
+enum class PivotOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+// Runs the simplex pivot loop on `sf` for the given cost row. `allow_enter`
+// masks columns that may enter (artificials excluded in phase 2).
+PivotOutcome run_simplex(StandardForm& sf, std::vector<double>& cost_row, double& cost_rhs,
+                         const std::vector<bool>& allow_enter, long& iterations,
+                         long max_iterations,
+                         std::chrono::steady_clock::time_point deadline) {
+    Tableau& t = sf.tableau;
+    const std::size_t rhs_col = t.cols() - 1;
+    const long bland_threshold =
+        4 * static_cast<long>(t.rows() + t.cols());  // switch to Bland to kill cycles
+    long local_iterations = 0;
+
+    while (true) {
+        if (iterations >= max_iterations) return PivotOutcome::kIterationLimit;
+        if ((local_iterations & 63) == 0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            return PivotOutcome::kIterationLimit;
+        }
+
+        // Entering column.
+        std::size_t enter = rhs_col;
+        if (local_iterations < bland_threshold) {
+            double best = -kEps;
+            for (std::size_t c = 0; c < rhs_col; ++c) {
+                if (!allow_enter[c]) continue;
+                if (cost_row[c] < best) {
+                    best = cost_row[c];
+                    enter = c;
+                }
+            }
+        } else {
+            for (std::size_t c = 0; c < rhs_col; ++c) {
+                if (allow_enter[c] && cost_row[c] < -kEps) {
+                    enter = c;
+                    break;
+                }
+            }
+        }
+        if (enter == rhs_col) return PivotOutcome::kOptimal;
+
+        // Leaving row: min-ratio, ties by smallest basis column (Bland-safe).
+        std::size_t leave = t.rows();
+        double best_ratio = 0.0;
+        for (std::size_t r = 0; r < t.rows(); ++r) {
+            const double a = t.at(r, enter);
+            if (a <= kEps) continue;
+            const double ratio = t.at(r, rhs_col) / a;
+            if (leave == t.rows() || ratio < best_ratio - kEps ||
+                (ratio < best_ratio + kEps && sf.basis[r] < sf.basis[leave])) {
+                best_ratio = ratio;
+                leave = r;
+            }
+        }
+        if (leave == t.rows()) return PivotOutcome::kUnbounded;
+
+        t.pivot(leave, enter, cost_row, cost_rhs);
+        sf.basis[leave] = enter;
+        ++iterations;
+        ++local_iterations;
+    }
+}
+
+}  // namespace
+
+const char* to_string(LpStatus s) noexcept {
+    switch (s) {
+        case LpStatus::kOptimal: return "optimal";
+        case LpStatus::kInfeasible: return "infeasible";
+        case LpStatus::kUnbounded: return "unbounded";
+        case LpStatus::kIterationLimit: return "iteration-limit";
+    }
+    return "?";
+}
+
+LpResult solve_lp(const Model& model, long max_iterations, double max_seconds) {
+    const auto deadline =
+        max_seconds >= 1e17
+            ? std::chrono::steady_clock::time_point::max()
+            : std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(max_seconds));
+    StandardForm sf = build(model);
+    Tableau& t = sf.tableau;
+    const std::size_t rhs_col = t.cols() - 1;
+    LpResult result;
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    std::vector<double> cost_row(rhs_col, 0.0);
+    double cost_rhs = 0.0;
+    // Reduced costs for cost vector e_artificials with artificial basis:
+    // subtract each artificial-basic row from the cost row.
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        if (sf.basis[r] < sf.artificial_begin) continue;
+        for (std::size_t c = 0; c < rhs_col; ++c) cost_row[c] -= t.at(r, c);
+        cost_rhs -= t.at(r, rhs_col);
+    }
+    for (std::size_t c = sf.artificial_begin; c < rhs_col; ++c) cost_row[c] = 0.0;
+
+    std::vector<bool> allow_all(rhs_col, true);
+    const PivotOutcome phase1 = run_simplex(sf, cost_row, cost_rhs, allow_all,
+                                            result.iterations, max_iterations, deadline);
+    if (phase1 == PivotOutcome::kIterationLimit) {
+        result.status = LpStatus::kIterationLimit;
+        return result;
+    }
+    if (-cost_rhs > kFeasTol) {  // phase-1 objective = -cost_rhs after pivots
+        result.status = LpStatus::kInfeasible;
+        return result;
+    }
+
+    // Drive any residual basic artificials out of the basis.
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        if (sf.basis[r] < sf.artificial_begin) continue;
+        std::size_t enter = rhs_col;
+        for (std::size_t c = 0; c < sf.artificial_begin; ++c) {
+            if (std::abs(t.at(r, c)) > kEps) {
+                enter = c;
+                break;
+            }
+        }
+        if (enter == rhs_col) continue;  // redundant row; harmless to keep
+        t.pivot(r, enter, cost_row, cost_rhs);
+        sf.basis[r] = enter;
+    }
+
+    // ---- Phase 2: original objective. ----
+    std::vector<double> cost2(rhs_col, 0.0);
+    for (std::size_t c = 0; c < rhs_col; ++c) cost2[c] = sf.costs[c];
+    double cost2_rhs = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        const double cb = sf.costs[sf.basis[r]];
+        if (std::abs(cb) < kEps) continue;
+        for (std::size_t c = 0; c < rhs_col; ++c) cost2[c] -= cb * t.at(r, c);
+        cost2_rhs -= cb * t.at(r, rhs_col);
+    }
+    for (std::size_t r = 0; r < t.rows(); ++r) cost2[sf.basis[r]] = 0.0;
+
+    const PivotOutcome phase2 = run_simplex(sf, cost2, cost2_rhs, sf.usable,
+                                            result.iterations, max_iterations, deadline);
+    if (phase2 == PivotOutcome::kIterationLimit) {
+        result.status = LpStatus::kIterationLimit;
+        return result;
+    }
+    if (phase2 == PivotOutcome::kUnbounded) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+    }
+
+    // Extract solution: basic shifted vars read from rhs, others at 0.
+    result.values.assign(model.variable_count(), 0.0);
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        if (sf.basis[r] < sf.structural_count) {
+            result.values[sf.basis[r]] = t.at(r, rhs_col);
+        }
+    }
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        result.values[j] += sf.shift[j];
+    }
+    // Phase-2 objective (minimization space): -cost2_rhs; add constant, undo sign.
+    double objective = -cost2_rhs + sf.objective_constant;
+    if (sf.negate_result) objective = -objective;
+    result.objective = objective;
+    result.status = LpStatus::kOptimal;
+    return result;
+}
+
+}  // namespace hermes::milp

@@ -1,0 +1,43 @@
+// LP solver: two-phase primal simplex on a dense tableau.
+//
+// Handles the general bounded-variable models produced by Model by shifting
+// every variable to its (finite) lower bound and emitting explicit upper-
+// bound rows. Dantzig pricing with a Bland's-rule fallback guarantees
+// termination; the iteration limit is a final safety net.
+//
+// This is the substrate the paper outsources to Gurobi. It is exact on the
+// problem sizes where the paper reports optimal results, and — like any LP
+// core inside branch and bound — the scaling wall it hits on network-scale
+// instances is precisely the behaviour Exp#3 demonstrates for ILP solvers.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+
+namespace hermes::milp {
+
+enum class LpStatus : std::uint8_t {
+    kOptimal,
+    kInfeasible,
+    kUnbounded,
+    kIterationLimit,
+};
+
+[[nodiscard]] const char* to_string(LpStatus s) noexcept;
+
+struct LpResult {
+    LpStatus status = LpStatus::kIterationLimit;
+    double objective = 0.0;             // in the model's own sense (min or max)
+    std::vector<double> values;         // one per model variable (original space)
+    long iterations = 0;
+};
+
+// Solves the LP relaxation of `model` (integrality dropped). Throws
+// std::invalid_argument on variables with non-finite lower bounds.
+// `max_seconds` is a wall-clock budget (checked periodically; expiry yields
+// kIterationLimit).
+[[nodiscard]] LpResult solve_lp(const Model& model, long max_iterations = 200000,
+                                double max_seconds = 1e18);
+
+}  // namespace hermes::milp

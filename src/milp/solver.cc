@@ -1,0 +1,209 @@
+#include "milp/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace hermes::milp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BoundChange {
+    VarId var;
+    double lower;
+    double upper;
+};
+
+struct Node {
+    std::vector<BoundChange> changes;  // cumulative path from the root
+    double parent_bound;               // LP bound inherited from the parent
+};
+
+// Applies node bounds (intersected with the current ones) to `work`;
+// restores from `base` afterwards via restore().
+class ScopedBounds {
+public:
+    ScopedBounds(Model& work, const Model& base, const std::vector<BoundChange>& changes)
+        : work_(work), base_(base), changes_(changes) {
+        for (const BoundChange& ch : changes_) {
+            work_.set_lower(ch.var, std::max(work_.variable(ch.var).lower, ch.lower));
+            work_.set_upper(ch.var, std::min(work_.variable(ch.var).upper, ch.upper));
+        }
+    }
+    ~ScopedBounds() {
+        for (const BoundChange& ch : changes_) {
+            work_.set_lower(ch.var, base_.variable(ch.var).lower);
+            work_.set_upper(ch.var, base_.variable(ch.var).upper);
+        }
+    }
+    ScopedBounds(const ScopedBounds&) = delete;
+    ScopedBounds& operator=(const ScopedBounds&) = delete;
+
+private:
+    Model& work_;
+    const Model& base_;
+    const std::vector<BoundChange>& changes_;
+};
+
+// Most fractional integer variable, or nullopt when the point is integral.
+std::optional<VarId> pick_branch_var(const Model& model, const std::vector<double>& values,
+                                     double tolerance) {
+    std::optional<VarId> best;
+    double best_score = -1.0;
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        if (v.type == VarType::kContinuous) continue;
+        const double x = values[j];
+        const double frac = std::abs(x - std::round(x));
+        if (frac <= tolerance) continue;
+        const double score = 0.5 - std::abs(frac - 0.5);  // closeness to 0.5
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<VarId>(j);
+        }
+    }
+    return best;
+}
+
+void snap_integers(const Model& model, std::vector<double>& values, double tolerance) {
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        if (model.variable(static_cast<VarId>(j)).type == VarType::kContinuous) continue;
+        const double r = std::round(values[j]);
+        if (std::abs(values[j] - r) <= tolerance) values[j] = r;
+    }
+}
+
+}  // namespace
+
+const char* to_string(MilpStatus s) noexcept {
+    switch (s) {
+        case MilpStatus::kOptimal: return "optimal";
+        case MilpStatus::kFeasible: return "feasible";
+        case MilpStatus::kInfeasible: return "infeasible";
+        case MilpStatus::kNoSolution: return "no-solution";
+        case MilpStatus::kUnbounded: return "unbounded";
+    }
+    return "?";
+}
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+    const auto start = Clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+    // Internally everything is in minimization space.
+    const double sense = model.is_minimization() ? 1.0 : -1.0;
+
+    MilpResult result;
+    double incumbent = std::numeric_limits<double>::infinity();
+    std::vector<double> incumbent_values;
+
+    if (options.warm_start &&
+        model.is_feasible(*options.warm_start, options.integrality_tolerance * 10)) {
+        incumbent = sense * model.objective_value(*options.warm_start);
+        incumbent_values = *options.warm_start;
+    }
+
+    Model work = model;  // bounds mutate per node; constraints shared by value
+    std::vector<Node> stack;
+    stack.push_back(Node{{}, -std::numeric_limits<double>::infinity()});
+
+    bool exhausted = true;    // search space fully explored?
+    bool any_lp_limit = false;
+    double open_bound = std::numeric_limits<double>::infinity();  // min open-node bound
+
+    while (!stack.empty()) {
+        if (elapsed() > options.time_limit_seconds || result.nodes >= options.node_limit) {
+            exhausted = false;
+            // Remaining open nodes define the residual bound.
+            for (const Node& n : stack) open_bound = std::min(open_bound, n.parent_bound);
+            break;
+        }
+        const Node node = std::move(stack.back());
+        stack.pop_back();
+        ++result.nodes;
+
+        // Bound-based pruning using the parent bound before the LP solve.
+        if (node.parent_bound >= incumbent - options.absolute_gap) continue;
+
+        LpResult lp;
+        {
+            const ScopedBounds scope(work, model, node.changes);
+            // Each LP inherits the remaining wall-clock budget so one long
+            // solve cannot blow through the MILP time limit.
+            const double remaining =
+                std::max(0.05, options.time_limit_seconds - elapsed());
+            lp = solve_lp(work, options.lp_iteration_limit, remaining);
+        }
+        result.lp_iterations += lp.iterations;
+
+        if (lp.status == LpStatus::kInfeasible) continue;
+        if (lp.status == LpStatus::kIterationLimit) {
+            any_lp_limit = true;  // cannot certify this subtree; not exhausted
+            continue;
+        }
+        if (lp.status == LpStatus::kUnbounded) {
+            if (node.changes.empty()) {
+                result.status = MilpStatus::kUnbounded;
+                result.elapsed_seconds = elapsed();
+                return result;
+            }
+            continue;  // bounded root cannot spawn unbounded children
+        }
+
+        const double bound = sense * lp.objective;
+        if (bound >= incumbent - options.absolute_gap) continue;
+
+        snap_integers(model, lp.values, options.integrality_tolerance);
+        const auto branch_var =
+            pick_branch_var(model, lp.values, options.integrality_tolerance);
+        if (!branch_var) {
+            // Integral: new incumbent.
+            incumbent = bound;
+            incumbent_values = lp.values;
+            continue;
+        }
+
+        const double x = lp.values[static_cast<std::size_t>(*branch_var)];
+        const double floor_x = std::floor(x);
+        Node down{node.changes, bound};
+        down.changes.push_back(BoundChange{*branch_var, -kInfinity, floor_x});
+        Node up{node.changes, bound};
+        up.changes.push_back(BoundChange{*branch_var, floor_x + 1.0, kInfinity});
+
+        // Dive first toward the LP value: push the closer child last.
+        if (x - floor_x < 0.5) {
+            stack.push_back(std::move(up));
+            stack.push_back(std::move(down));
+        } else {
+            stack.push_back(std::move(down));
+            stack.push_back(std::move(up));
+        }
+    }
+
+    result.elapsed_seconds = elapsed();
+    const bool have_incumbent = !incumbent_values.empty();
+    if (have_incumbent) {
+        result.values = std::move(incumbent_values);
+        result.objective = sense * incumbent;  // back to the model's own sense
+        if (exhausted && !any_lp_limit) {
+            result.status = MilpStatus::kOptimal;
+            result.best_bound = result.objective;
+        } else {
+            result.status = MilpStatus::kFeasible;
+            const double bound = std::min(open_bound, incumbent);
+            result.best_bound = sense * bound;
+        }
+    } else if (exhausted && !any_lp_limit) {
+        result.status = MilpStatus::kInfeasible;
+    } else {
+        result.status = MilpStatus::kNoSolution;
+        result.best_bound = sense * open_bound;
+    }
+    return result;
+}
+
+}  // namespace hermes::milp

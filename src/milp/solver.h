@@ -1,0 +1,57 @@
+// MILP solver: LP-relaxation branch and bound.
+//
+// Depth-first search with best-first diving (the child whose bound tightens
+// toward the LP value is explored first), most-fractional branching,
+// incumbent pruning, optional warm start (e.g. from the Hermes greedy
+// heuristic), and wall-clock/node limits. On limit expiry the best incumbent
+// is returned with status kFeasible — exactly how the paper's time-limited
+// Gurobi runs behave in Exp#3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace hermes::milp {
+
+enum class MilpStatus : std::uint8_t {
+    kOptimal,     // proven optimal
+    kFeasible,    // limit hit with an incumbent in hand
+    kInfeasible,  // proven infeasible
+    kNoSolution,  // limit hit before any incumbent was found
+    kUnbounded,
+};
+
+[[nodiscard]] const char* to_string(MilpStatus s) noexcept;
+
+struct MilpOptions {
+    double time_limit_seconds = 60.0;
+    std::int64_t node_limit = 1'000'000;
+    long lp_iteration_limit = 200000;
+    double integrality_tolerance = 1e-6;
+    double absolute_gap = 1e-6;  // stop when incumbent - bound <= gap
+    // Feasible starting assignment (checked; ignored when infeasible).
+    std::optional<std::vector<double>> warm_start;
+};
+
+struct MilpResult {
+    MilpStatus status = MilpStatus::kNoSolution;
+    double objective = 0.0;
+    std::vector<double> values;
+    double best_bound = 0.0;       // proven bound on the optimum
+    std::int64_t nodes = 0;        // branch-and-bound nodes processed
+    long lp_iterations = 0;        // total simplex pivots
+    double elapsed_seconds = 0.0;
+
+    [[nodiscard]] bool has_solution() const noexcept {
+        return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible;
+    }
+};
+
+// Solves `model` to optimality or until a limit expires.
+[[nodiscard]] MilpResult solve_milp(const Model& model, const MilpOptions& options = {});
+
+}  // namespace hermes::milp

@@ -1,0 +1,137 @@
+#include "net/builders.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace hermes::net {
+
+namespace {
+
+SwitchProps make_props(const TopologyConfig& config, bool programmable, std::string name) {
+    SwitchProps p;
+    p.name = std::move(name);
+    p.programmable = programmable;
+    p.stages = config.stages;
+    p.stage_capacity = config.stage_capacity;
+    p.latency_us = config.switch_latency_us;
+    return p;
+}
+
+double link_latency(const TopologyConfig& config, util::SplitMix64& rng) {
+    return rng.uniform_real(config.min_link_latency_us, config.max_link_latency_us);
+}
+
+// Adds n switches; `programmable_fraction` of them (rounded up, at least one
+// when n > 0) are programmable, chosen uniformly at random.
+void add_switches(Network& net, std::size_t n, const TopologyConfig& config,
+                  util::SplitMix64& rng, bool all_programmable = false) {
+    std::size_t programmable_count = n;
+    if (!all_programmable) {
+        programmable_count = static_cast<std::size_t>(
+            static_cast<double>(n) * config.programmable_fraction + 0.5);
+        if (n > 0 && programmable_count == 0) programmable_count = 1;
+    }
+    const auto chosen_vec = rng.sample_indices(n, programmable_count);
+    const std::set<std::size_t> chosen(chosen_vec.begin(), chosen_vec.end());
+    for (std::size_t i = 0; i < n; ++i) {
+        net.add_switch(make_props(config, chosen.count(i) > 0, "sw" + std::to_string(i)));
+    }
+}
+
+}  // namespace
+
+Network linear_topology(std::size_t n, const TopologyConfig& config,
+                        util::SplitMix64& rng) {
+    if (n == 0) throw std::invalid_argument("linear_topology: n must be > 0");
+    Network net;
+    add_switches(net, n, config, rng, /*all_programmable=*/true);
+    for (std::size_t i = 1; i < n; ++i) {
+        net.add_link(i - 1, i, link_latency(config, rng));
+    }
+    return net;
+}
+
+Network ring_topology(std::size_t n, const TopologyConfig& config, util::SplitMix64& rng) {
+    if (n < 3) throw std::invalid_argument("ring_topology: n must be >= 3");
+    Network net;
+    add_switches(net, n, config, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        net.add_link(i, (i + 1) % n, link_latency(config, rng));
+    }
+    return net;
+}
+
+Network star_topology(std::size_t n, const TopologyConfig& config, util::SplitMix64& rng) {
+    if (n < 2) throw std::invalid_argument("star_topology: n must be >= 2");
+    Network net;
+    add_switches(net, n, config, rng);
+    for (std::size_t i = 1; i < n; ++i) {
+        net.add_link(0, i, link_latency(config, rng));
+    }
+    return net;
+}
+
+Network fat_tree_topology(int k, const TopologyConfig& config, util::SplitMix64& rng) {
+    if (k < 2 || k % 2 != 0) {
+        throw std::invalid_argument("fat_tree_topology: k must be even and >= 2");
+    }
+    const std::size_t pods = static_cast<std::size_t>(k);
+    const std::size_t half = pods / 2;
+    const std::size_t core_count = half * half;
+    const std::size_t agg_count = pods * half;
+    const std::size_t edge_count = pods * half;
+    Network net;
+    add_switches(net, core_count + agg_count + edge_count, config, rng);
+
+    auto core_id = [&](std::size_t i) { return i; };
+    auto agg_id = [&](std::size_t pod, std::size_t i) {
+        return core_count + pod * half + i;
+    };
+    auto edge_id = [&](std::size_t pod, std::size_t i) {
+        return core_count + agg_count + pod * half + i;
+    };
+    for (std::size_t pod = 0; pod < pods; ++pod) {
+        for (std::size_t a = 0; a < half; ++a) {
+            for (std::size_t e = 0; e < half; ++e) {
+                net.add_link(agg_id(pod, a), edge_id(pod, e), link_latency(config, rng));
+            }
+            for (std::size_t c = 0; c < half; ++c) {
+                net.add_link(agg_id(pod, a), core_id(a * half + c),
+                             link_latency(config, rng));
+            }
+        }
+    }
+    return net;
+}
+
+Network random_topology(std::size_t n, std::size_t edges, const TopologyConfig& config,
+                        util::SplitMix64& rng) {
+    if (n == 0) throw std::invalid_argument("random_topology: n must be > 0");
+    if (edges + 1 < n) throw std::invalid_argument("random_topology: too few edges");
+    if (edges > n * (n - 1) / 2) {
+        throw std::invalid_argument("random_topology: too many edges");
+    }
+    Network net;
+    add_switches(net, n, config, rng);
+
+    // Random spanning tree: attach each new switch to a random earlier one.
+    std::set<std::pair<SwitchId, SwitchId>> used;
+    for (std::size_t i = 1; i < n; ++i) {
+        const auto j = static_cast<SwitchId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        net.add_link(j, i, link_latency(config, rng));
+        used.insert({std::min<SwitchId>(j, i), std::max<SwitchId>(j, i)});
+    }
+    while (net.link_count() < edges) {
+        const auto a = static_cast<SwitchId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto b = static_cast<SwitchId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (a == b) continue;
+        const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+        if (used.count(key)) continue;
+        net.add_link(a, b, link_latency(config, rng));
+        used.insert(key);
+    }
+    return net;
+}
+
+}  // namespace hermes::net

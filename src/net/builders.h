@@ -1,0 +1,45 @@
+// Topology constructors for tests, examples, and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace hermes::net {
+
+// Common property knobs applied to every generated switch/link.
+struct TopologyConfig {
+    double programmable_fraction = 0.5;  // paper: 50% of switches
+    int stages = 12;                     // C_stage
+    double stage_capacity = 1.0;         // C_res
+    double switch_latency_us = 1.0;      // t_s(u) = 1 us
+    double min_link_latency_us = 1000.0;  // t_l ~ U(1 ms, 10 ms)
+    double max_link_latency_us = 10000.0;
+};
+
+// n switches in a chain: 0-1-2-...-(n-1). All switches programmable (this is
+// the shape of the paper's 3-switch Tofino testbed).
+[[nodiscard]] Network linear_topology(std::size_t n, const TopologyConfig& config,
+                                      util::SplitMix64& rng);
+
+// Ring of n switches.
+[[nodiscard]] Network ring_topology(std::size_t n, const TopologyConfig& config,
+                                    util::SplitMix64& rng);
+
+// Star: switch 0 is the hub.
+[[nodiscard]] Network star_topology(std::size_t n, const TopologyConfig& config,
+                                    util::SplitMix64& rng);
+
+// k-ary fat-tree (k even): k^2/4 core, k^2/2 aggregation, k^2/2 edge
+// switches with the standard wiring.
+[[nodiscard]] Network fat_tree_topology(int k, const TopologyConfig& config,
+                                        util::SplitMix64& rng);
+
+// Connected random graph: a random spanning tree plus extra random edges
+// until `edges` total (edges must be >= n-1 and <= n(n-1)/2).
+[[nodiscard]] Network random_topology(std::size_t n, std::size_t edges,
+                                      const TopologyConfig& config,
+                                      util::SplitMix64& rng);
+
+}  // namespace hermes::net

@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace hermes::net {
+
+SwitchId Network::add_switch(SwitchProps props) {
+    if (props.stages <= 0) throw std::invalid_argument("add_switch: stages must be > 0");
+    if (props.stage_capacity <= 0.0) {
+        throw std::invalid_argument("add_switch: stage capacity must be > 0");
+    }
+    if (props.latency_us < 0.0) {
+        throw std::invalid_argument("add_switch: negative latency");
+    }
+    if (props.name.empty()) props.name = "sw" + std::to_string(switches_.size());
+    switches_.push_back(std::move(props));
+    adjacency_.emplace_back();
+    return switches_.size() - 1;
+}
+
+void Network::add_link(SwitchId a, SwitchId b, double latency_us) {
+    if (a >= switches_.size() || b >= switches_.size()) {
+        throw std::out_of_range("add_link: bad switch id");
+    }
+    if (a == b) throw std::invalid_argument("add_link: self-loop");
+    if (latency_us < 0.0) throw std::invalid_argument("add_link: negative latency");
+    if (link_latency(a, b)) throw std::invalid_argument("add_link: duplicate link");
+    links_.push_back(Link{a, b, latency_us});
+    adjacency_[a].emplace_back(b, latency_us);
+    adjacency_[b].emplace_back(a, latency_us);
+}
+
+const SwitchProps& Network::props(SwitchId u) const {
+    if (u >= switches_.size()) throw std::out_of_range("props: bad switch id");
+    return switches_[u];
+}
+
+SwitchProps& Network::props(SwitchId u) {
+    if (u >= switches_.size()) throw std::out_of_range("props: bad switch id");
+    return switches_[u];
+}
+
+std::vector<SwitchId> Network::neighbors(SwitchId u) const {
+    if (u >= switches_.size()) throw std::out_of_range("neighbors: bad switch id");
+    std::vector<SwitchId> out;
+    out.reserve(adjacency_[u].size());
+    for (const auto& [v, lat] : adjacency_[u]) out.push_back(v);
+    return out;
+}
+
+std::optional<double> Network::link_latency(SwitchId a, SwitchId b) const noexcept {
+    if (a >= switches_.size() || b >= switches_.size()) return std::nullopt;
+    for (const auto& [v, lat] : adjacency_[a]) {
+        if (v == b) return lat;
+    }
+    return std::nullopt;
+}
+
+std::vector<SwitchId> Network::programmable_switches() const {
+    std::vector<SwitchId> out;
+    for (SwitchId u = 0; u < switches_.size(); ++u) {
+        if (switches_[u].programmable) out.push_back(u);
+    }
+    return out;
+}
+
+double Network::total_programmable_capacity() const noexcept {
+    double total = 0.0;
+    for (const SwitchProps& s : switches_) {
+        if (s.programmable) total += s.stages * s.stage_capacity;
+    }
+    return total;
+}
+
+bool Network::is_connected() const {
+    if (switches_.empty()) return true;
+    std::vector<bool> seen(switches_.size(), false);
+    std::queue<SwitchId> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+        const SwitchId u = frontier.front();
+        frontier.pop();
+        ++visited;
+        for (const auto& [v, lat] : adjacency_[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                frontier.push(v);
+            }
+        }
+    }
+    return visited == switches_.size();
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,64 @@
+// Substrate network model (§V-A).
+//
+// An undirected graph G = (V_G, E_G) of switches and links. Each switch
+// carries the paper's four properties: programmability P(u), stage count
+// C_stage, per-stage resource capacity C_res, and maximum transmission
+// latency t_s(u). Each link carries its transmission latency t_l(u,v).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hermes::net {
+
+using SwitchId = std::size_t;
+
+struct SwitchProps {
+    std::string name;
+    bool programmable = false;
+    int stages = 12;               // C_stage (Tofino-class default)
+    double stage_capacity = 1.0;   // C_res, normalized resource units/stage
+    double latency_us = 1.0;       // t_s(u)
+};
+
+struct Link {
+    SwitchId a = 0;
+    SwitchId b = 0;
+    double latency_us = 0.0;  // t_l(a,b)
+};
+
+class Network {
+public:
+    SwitchId add_switch(SwitchProps props);
+
+    // Undirected link; throws on bad ids, self-loops, duplicates, or
+    // negative latency.
+    void add_link(SwitchId a, SwitchId b, double latency_us);
+
+    [[nodiscard]] std::size_t switch_count() const noexcept { return switches_.size(); }
+    [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+    [[nodiscard]] const SwitchProps& props(SwitchId u) const;
+    [[nodiscard]] SwitchProps& props(SwitchId u);
+    [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+    [[nodiscard]] std::vector<SwitchId> neighbors(SwitchId u) const;
+    [[nodiscard]] std::optional<double> link_latency(SwitchId a, SwitchId b) const noexcept;
+
+    // Ids of all programmable switches, ascending.
+    [[nodiscard]] std::vector<SwitchId> programmable_switches() const;
+
+    // Total switch deployment capacity: Σ stages · stage_capacity over
+    // programmable switches.
+    [[nodiscard]] double total_programmable_capacity() const noexcept;
+
+    [[nodiscard]] bool is_connected() const;
+
+private:
+    std::vector<SwitchProps> switches_;
+    std::vector<Link> links_;
+    std::vector<std::vector<std::pair<SwitchId, double>>> adjacency_;
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,171 @@
+#include "net/paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace hermes::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using EdgeKey = std::pair<SwitchId, SwitchId>;
+
+EdgeKey edge_key(SwitchId a, SwitchId b) { return {std::min(a, b), std::max(a, b)}; }
+
+// Dijkstra from src to dst avoiding banned nodes/edges; returns the path or
+// nullopt. Cost = sum of switch latencies (both endpoints of every hop,
+// counted once per switch) + link latencies.
+std::optional<Path> dijkstra(const Network& net, SwitchId src, SwitchId dst,
+                             const std::set<SwitchId>& banned_nodes,
+                             const std::set<EdgeKey>& banned_edges) {
+    const std::size_t n = net.switch_count();
+    if (src >= n || dst >= n) throw std::out_of_range("dijkstra: bad switch id");
+    if (banned_nodes.count(src) || banned_nodes.count(dst)) return std::nullopt;
+
+    std::vector<double> dist(n, kInf);
+    std::vector<SwitchId> parent(n, n);
+    using QueueItem = std::pair<double, SwitchId>;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> frontier;
+
+    dist[src] = net.props(src).latency_us;
+    frontier.emplace(dist[src], src);
+    while (!frontier.empty()) {
+        const auto [d, u] = frontier.top();
+        frontier.pop();
+        if (d > dist[u]) continue;
+        if (u == dst) break;
+        for (const SwitchId v : net.neighbors(u)) {
+            if (banned_nodes.count(v) || banned_edges.count(edge_key(u, v))) continue;
+            const double link = *net.link_latency(u, v);
+            const double nd = d + link + net.props(v).latency_us;
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                parent[v] = u;
+                frontier.emplace(nd, v);
+            }
+        }
+    }
+    if (dist[dst] == kInf) return std::nullopt;
+
+    Path p;
+    p.latency_us = dist[dst];
+    for (SwitchId v = dst;; v = parent[v]) {
+        p.switches.push_back(v);
+        if (v == src) break;
+    }
+    std::reverse(p.switches.begin(), p.switches.end());
+    return p;
+}
+}  // namespace
+
+bool Path::contains(SwitchId u) const noexcept {
+    return std::find(switches.begin(), switches.end(), u) != switches.end();
+}
+
+double path_latency(const Network& net, const std::vector<SwitchId>& sw) {
+    if (sw.empty()) return 0.0;
+    double total = net.props(sw.front()).latency_us;
+    for (std::size_t i = 1; i < sw.size(); ++i) {
+        const auto link = net.link_latency(sw[i - 1], sw[i]);
+        if (!link) {
+            throw std::invalid_argument("path_latency: switches " +
+                                        std::to_string(sw[i - 1]) + " and " +
+                                        std::to_string(sw[i]) + " are not linked");
+        }
+        total += *link + net.props(sw[i]).latency_us;
+    }
+    return total;
+}
+
+std::vector<double> shortest_latencies(const Network& net, SwitchId src) {
+    const std::size_t n = net.switch_count();
+    if (src >= n) throw std::out_of_range("shortest_latencies: bad switch id");
+    std::vector<double> dist(n, kInf);
+    using QueueItem = std::pair<double, SwitchId>;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> frontier;
+    dist[src] = net.props(src).latency_us;
+    frontier.emplace(dist[src], src);
+    while (!frontier.empty()) {
+        const auto [d, u] = frontier.top();
+        frontier.pop();
+        if (d > dist[u]) continue;
+        for (const SwitchId v : net.neighbors(u)) {
+            const double nd = d + *net.link_latency(u, v) + net.props(v).latency_us;
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                frontier.emplace(nd, v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::optional<Path> shortest_path(const Network& net, SwitchId src, SwitchId dst) {
+    if (src == dst) {
+        if (src >= net.switch_count()) throw std::out_of_range("shortest_path: bad id");
+        return Path{{src}, net.props(src).latency_us};
+    }
+    return dijkstra(net, src, dst, {}, {});
+}
+
+std::vector<Path> k_shortest_paths(const Network& net, SwitchId src, SwitchId dst,
+                                   std::size_t k) {
+    std::vector<Path> result;
+    if (k == 0) return result;
+    auto first = shortest_path(net, src, dst);
+    if (!first) return result;
+    result.push_back(std::move(*first));
+    if (src == dst) return result;
+
+    // Candidate pool ordered by latency; lexicographic switch sequence used
+    // only as a deterministic tie-break.
+    auto cmp = [](const Path& a, const Path& b) {
+        if (a.latency_us != b.latency_us) return a.latency_us < b.latency_us;
+        return a.switches < b.switches;
+    };
+    std::vector<Path> candidates;
+
+    while (result.size() < k) {
+        const Path& last = result.back();
+        for (std::size_t i = 0; i + 1 < last.switches.size(); ++i) {
+            const SwitchId spur = last.switches[i];
+            const std::vector<SwitchId> root(last.switches.begin(),
+                                             last.switches.begin() +
+                                                 static_cast<std::ptrdiff_t>(i) + 1);
+            std::set<EdgeKey> banned_edges;
+            for (const Path& p : result) {
+                if (p.switches.size() > i &&
+                    std::equal(root.begin(), root.end(), p.switches.begin()) &&
+                    p.switches.size() > i + 1) {
+                    banned_edges.insert(edge_key(p.switches[i], p.switches[i + 1]));
+                }
+            }
+            std::set<SwitchId> banned_nodes(root.begin(), root.end() - 1);
+            const auto spur_path = dijkstra(net, spur, dst, banned_nodes, banned_edges);
+            if (!spur_path) continue;
+
+            Path total;
+            total.switches = root;
+            total.switches.insert(total.switches.end(), spur_path->switches.begin() + 1,
+                                  spur_path->switches.end());
+            total.latency_us = path_latency(net, total.switches);
+            const bool duplicate =
+                std::any_of(result.begin(), result.end(),
+                            [&](const Path& p) { return p.switches == total.switches; }) ||
+                std::any_of(candidates.begin(), candidates.end(), [&](const Path& p) {
+                    return p.switches == total.switches;
+                });
+            if (!duplicate) candidates.push_back(std::move(total));
+        }
+        if (candidates.empty()) break;
+        const auto best = std::min_element(candidates.begin(), candidates.end(), cmp);
+        result.push_back(*best);
+        candidates.erase(best);
+    }
+    return result;
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,43 @@
+// Path computation over the substrate network.
+//
+// Path latency follows the paper's t_p(p): the sum of t_s(u) over every
+// switch on the path (endpoints included) plus t_l(l) over every link.
+// The optimization framework's P(u,v) path sets are produced here with
+// Yen's k-shortest-paths algorithm over Dijkstra.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace hermes::net {
+
+struct Path {
+    std::vector<SwitchId> switches;  // ordered, src first, dst last
+    double latency_us = 0.0;         // t_p(p)
+
+    [[nodiscard]] std::size_t hop_count() const noexcept {
+        return switches.empty() ? 0 : switches.size() - 1;
+    }
+    [[nodiscard]] bool contains(SwitchId u) const noexcept;
+};
+
+// Latency of an explicit switch sequence; throws std::invalid_argument if
+// consecutive switches are not linked.
+[[nodiscard]] double path_latency(const Network& net, const std::vector<SwitchId>& sw);
+
+// Single-source shortest-path latencies (Dijkstra over t_s + t_l).
+// Unreachable switches get infinity.
+[[nodiscard]] std::vector<double> shortest_latencies(const Network& net, SwitchId src);
+
+// Shortest path between two switches, if any. src == dst yields the trivial
+// one-switch path with latency t_s(src).
+[[nodiscard]] std::optional<Path> shortest_path(const Network& net, SwitchId src,
+                                                SwitchId dst);
+
+// Yen's algorithm: up to k loop-free shortest paths, ascending latency.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Network& net, SwitchId src,
+                                                 SwitchId dst, std::size_t k);
+
+}  // namespace hermes::net

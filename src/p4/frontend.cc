@@ -1,0 +1,349 @@
+#include "p4/frontend.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "p4/lexer.h"
+#include "util/strings.h"
+
+namespace hermes::p4 {
+
+namespace {
+
+using tdg::Field;
+using tdg::MatchKind;
+
+struct TableDecl {
+    std::string name;
+    std::vector<std::pair<std::string, MatchKind>> keys;  // field name, kind
+    std::vector<std::string> actions;
+    std::int64_t size = 0;
+    double resource = 0.0;
+    int line = 0;
+};
+
+struct ApplyStmt;
+struct IfStmt;
+
+struct Statement {
+    // Exactly one of these is set.
+    std::string apply_table;           // non-empty for apply
+    std::string if_field;              // non-empty for if
+    std::vector<Statement> if_body;    // body of the if
+};
+
+class Parser {
+public:
+    explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+    prog::Program run() {
+        expect_keyword("program");
+        const std::string program_name = expect(TokenKind::kIdentifier).text;
+        expect(TokenKind::kSemicolon);
+
+        while (!at_end()) {
+            const Token& tok = peek();
+            if (tok.kind != TokenKind::kIdentifier) {
+                fail(tok.line, "expected a declaration, got " + describe(tok));
+            }
+            if (tok.text == "header" || tok.text == "metadata") parse_fields();
+            else if (tok.text == "action") parse_action();
+            else if (tok.text == "table") parse_table();
+            else if (tok.text == "control") parse_control();
+            else fail(tok.line, "unknown declaration '" + tok.text + "'");
+        }
+        if (!control_) fail(last_line(), "program has no control block");
+        return lower(program_name);
+    }
+
+private:
+    // ---- token plumbing -----------------------------------------------------
+    [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
+    [[nodiscard]] bool at_end() const { return peek().kind == TokenKind::kEnd; }
+    [[nodiscard]] int last_line() const { return tokens_.back().line; }
+
+    const Token& advance() { return tokens_[index_++]; }
+
+    const Token& expect(TokenKind kind) {
+        const Token& tok = advance();
+        if (tok.kind != kind) {
+            fail(tok.line, std::string("expected ") + to_string(kind) + ", got " +
+                               describe(tok));
+        }
+        return tok;
+    }
+
+    void expect_keyword(const std::string& word) {
+        const Token& tok = expect(TokenKind::kIdentifier);
+        if (tok.text != word) {
+            fail(tok.line, "expected '" + word + "', got '" + tok.text + "'");
+        }
+    }
+
+    [[nodiscard]] bool match_keyword(const std::string& word) {
+        if (peek().kind == TokenKind::kIdentifier && peek().text == word) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] static void fail(int line, const std::string& message) {
+        throw std::invalid_argument("p4: line " + std::to_string(line) + ": " + message);
+    }
+
+    [[nodiscard]] static std::string describe(const Token& tok) {
+        if (tok.kind == TokenKind::kIdentifier || tok.kind == TokenKind::kNumber ||
+            tok.kind == TokenKind::kReal) {
+            return std::string(to_string(tok.kind)) + " '" + tok.text + "'";
+        }
+        return to_string(tok.kind);
+    }
+
+    // ---- declarations ---------------------------------------------------------
+    void parse_fields() {
+        const Token& kw = advance();  // header | metadata
+        const bool is_metadata = kw.text == "metadata";
+        const std::string prefix = expect(TokenKind::kIdentifier).text;
+        expect(TokenKind::kLBrace);
+        while (peek().kind != TokenKind::kRBrace) {
+            const Token& name = expect(TokenKind::kIdentifier);
+            expect(TokenKind::kColon);
+            const Token& width = expect(TokenKind::kNumber);
+            expect(TokenKind::kSemicolon);
+            const long bits = util::parse_int(width.text);
+            if (bits <= 0) fail(width.line, "field width must be positive");
+            const int bytes = static_cast<int>((bits + 7) / 8);
+            const std::string full = prefix + "." + name.text;
+            if (fields_.count(full)) fail(name.line, "duplicate field '" + full + "'");
+            fields_.emplace(full, is_metadata ? tdg::metadata_field(full, bytes)
+                                              : tdg::header_field(full, bytes));
+        }
+        expect(TokenKind::kRBrace);
+    }
+
+    void parse_action() {
+        advance();  // action
+        const Token& name = expect(TokenKind::kIdentifier);
+        if (actions_.count(name.text)) {
+            fail(name.line, "duplicate action '" + name.text + "'");
+        }
+        expect(TokenKind::kLParen);
+        // Formal parameters are accepted and ignored (they carry rule data,
+        // not placement-relevant structure).
+        while (peek().kind == TokenKind::kIdentifier) {
+            advance();
+            if (peek().kind == TokenKind::kComma) advance();
+        }
+        expect(TokenKind::kRParen);
+        expect(TokenKind::kLBrace);
+        std::vector<std::string> writes;
+        while (peek().kind != TokenKind::kRBrace) {
+            expect_keyword("writes");
+            const Token& field = expect(TokenKind::kIdentifier);
+            if (!fields_.count(field.text)) {
+                fail(field.line, "unknown field '" + field.text + "'");
+            }
+            writes.push_back(field.text);
+            expect(TokenKind::kSemicolon);
+        }
+        expect(TokenKind::kRBrace);
+        actions_.emplace(name.text, std::move(writes));
+    }
+
+    [[nodiscard]] static MatchKind parse_match_kind(const Token& tok) {
+        if (tok.text == "exact") return MatchKind::kExact;
+        if (tok.text == "lpm") return MatchKind::kLpm;
+        if (tok.text == "ternary") return MatchKind::kTernary;
+        if (tok.text == "range") return MatchKind::kRange;
+        fail(tok.line, "unknown match kind '" + tok.text + "'");
+    }
+
+    void parse_table() {
+        advance();  // table
+        TableDecl decl;
+        const Token& name = expect(TokenKind::kIdentifier);
+        decl.name = name.text;
+        decl.line = name.line;
+        if (tables_.count(decl.name)) fail(name.line, "duplicate table '" + decl.name + "'");
+        expect(TokenKind::kLBrace);
+        while (peek().kind != TokenKind::kRBrace) {
+            const Token& prop = expect(TokenKind::kIdentifier);
+            expect(TokenKind::kEquals);
+            if (prop.text == "key") {
+                expect(TokenKind::kLBrace);
+                while (peek().kind != TokenKind::kRBrace) {
+                    const Token& field = expect(TokenKind::kIdentifier);
+                    if (!fields_.count(field.text)) {
+                        fail(field.line, "unknown field '" + field.text + "'");
+                    }
+                    MatchKind kind = MatchKind::kExact;
+                    if (peek().kind == TokenKind::kColon) {
+                        advance();
+                        kind = parse_match_kind(expect(TokenKind::kIdentifier));
+                    }
+                    decl.keys.emplace_back(field.text, kind);
+                    expect(TokenKind::kSemicolon);
+                }
+                expect(TokenKind::kRBrace);
+            } else if (prop.text == "actions") {
+                expect(TokenKind::kLBrace);
+                while (peek().kind != TokenKind::kRBrace) {
+                    const Token& action = expect(TokenKind::kIdentifier);
+                    if (!actions_.count(action.text)) {
+                        fail(action.line, "unknown action '" + action.text + "'");
+                    }
+                    decl.actions.push_back(action.text);
+                    expect(TokenKind::kSemicolon);
+                }
+                expect(TokenKind::kRBrace);
+            } else if (prop.text == "size") {
+                decl.size = util::parse_int(expect(TokenKind::kNumber).text);
+            } else if (prop.text == "resource") {
+                const Token& value = advance();
+                if (value.kind != TokenKind::kReal && value.kind != TokenKind::kNumber) {
+                    fail(value.line, "resource must be a number");
+                }
+                decl.resource = util::parse_double(value.text);
+            } else {
+                fail(prop.line, "unknown table property '" + prop.text + "'");
+            }
+            if (peek().kind == TokenKind::kSemicolon) advance();
+        }
+        expect(TokenKind::kRBrace);
+        if (decl.keys.empty()) fail(decl.line, "table '" + decl.name + "' has no key");
+        if (decl.actions.empty()) {
+            fail(decl.line, "table '" + decl.name + "' has no actions");
+        }
+        if (decl.size <= 0) fail(decl.line, "table '" + decl.name + "' needs size > 0");
+        if (decl.resource <= 0.0) {
+            fail(decl.line, "table '" + decl.name + "' needs resource > 0");
+        }
+        tables_.emplace(decl.name, std::move(decl));
+    }
+
+    std::vector<Statement> parse_block() {
+        std::vector<Statement> body;
+        expect(TokenKind::kLBrace);
+        while (peek().kind != TokenKind::kRBrace) {
+            const Token& tok = expect(TokenKind::kIdentifier);
+            if (tok.text == "apply") {
+                expect(TokenKind::kLParen);
+                Statement stmt;
+                stmt.apply_table = expect(TokenKind::kIdentifier).text;
+                if (!tables_.count(stmt.apply_table)) {
+                    fail(tok.line, "unknown table '" + stmt.apply_table + "'");
+                }
+                expect(TokenKind::kRParen);
+                expect(TokenKind::kSemicolon);
+                body.push_back(std::move(stmt));
+            } else if (tok.text == "if") {
+                expect(TokenKind::kLParen);
+                Statement stmt;
+                stmt.if_field = expect(TokenKind::kIdentifier).text;
+                if (!fields_.count(stmt.if_field)) {
+                    fail(tok.line, "unknown field '" + stmt.if_field + "'");
+                }
+                expect(TokenKind::kRParen);
+                stmt.if_body = parse_block();
+                body.push_back(std::move(stmt));
+            } else {
+                fail(tok.line, "expected 'apply' or 'if', got '" + tok.text + "'");
+            }
+        }
+        expect(TokenKind::kRBrace);
+        return body;
+    }
+
+    void parse_control() {
+        const Token& kw = advance();  // control
+        if (control_) fail(kw.line, "duplicate control block");
+        control_ = parse_block();
+    }
+
+    // ---- lowering ---------------------------------------------------------------
+    void lower_block(const std::vector<Statement>& block, prog::Program& program,
+                     std::map<std::string, std::string>& last_writer,
+                     const std::optional<std::string>& gate) {
+        for (const Statement& stmt : block) {
+            if (!stmt.apply_table.empty()) {
+                const TableDecl& decl = tables_.at(stmt.apply_table);
+                if (applied_.count(decl.name)) {
+                    fail(decl.line, "table '" + decl.name + "' applied twice");
+                }
+                applied_.insert(decl.name);
+
+                std::vector<Field> matches;
+                MatchKind kind = MatchKind::kExact;
+                for (const auto& [field, key_kind] : decl.keys) {
+                    matches.push_back(fields_.at(field));
+                    // The strongest key kind names the table's match kind.
+                    if (static_cast<int>(key_kind) > static_cast<int>(kind)) {
+                        kind = key_kind;
+                    }
+                }
+                std::vector<tdg::Action> actions;
+                for (const std::string& action_name : decl.actions) {
+                    tdg::Action action{action_name, {}};
+                    for (const std::string& field : actions_.at(action_name)) {
+                        action.writes.push_back(fields_.at(field));
+                    }
+                    actions.push_back(std::move(action));
+                }
+                program.add_mat(tdg::Mat(decl.name, std::move(matches), std::move(actions),
+                                         decl.size, decl.resource, kind));
+                if (gate) program.add_gate(*gate, decl.name);
+                for (const std::string& action_name : decl.actions) {
+                    for (const std::string& field : actions_.at(action_name)) {
+                        last_writer[field] = decl.name;
+                    }
+                }
+            } else {
+                const auto writer = last_writer.find(stmt.if_field);
+                if (writer == last_writer.end()) {
+                    fail(last_line(), "if (" + stmt.if_field +
+                                          "): no applied table writes this field");
+                }
+                lower_block(stmt.if_body, program, last_writer,
+                            std::optional<std::string>(writer->second));
+            }
+        }
+    }
+
+    prog::Program lower(const std::string& name) {
+        prog::Program program(name);
+        std::map<std::string, std::string> last_writer;
+        lower_block(*control_, program, last_writer, std::nullopt);
+        if (program.mat_count() == 0) {
+            fail(last_line(), "control block applies no tables");
+        }
+        return program;
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t index_ = 0;
+
+    std::map<std::string, Field> fields_;
+    std::map<std::string, std::vector<std::string>> actions_;
+    std::map<std::string, TableDecl> tables_;
+    std::optional<std::vector<Statement>> control_;
+    std::set<std::string> applied_;
+};
+
+}  // namespace
+
+prog::Program compile(std::string_view source) { return Parser(source).run(); }
+
+prog::Program compile_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("p4::compile_file: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return compile(buffer.str());
+}
+
+}  // namespace hermes::p4

@@ -1,0 +1,56 @@
+// mini-P4 front end: a P4-16-flavored subset that lowers to prog::Program,
+// standing in for the paper's P4C pipeline (program text -> TDG).
+//
+// Grammar (informal):
+//
+//   program flow_monitor;
+//
+//   header ipv4 { dst_addr: 32; src_addr: 32; ttl: 8; }    // widths in bits
+//   metadata meta { counter_index: 32; flow_count: 32; }
+//
+//   action set_index() { writes meta.counter_index; }
+//   action mark(color) { writes meta.color; writes ipv4.ttl; }
+//
+//   table mon_hash {
+//     key = { ipv4.src_addr; ipv4.dst_addr: lpm; }  // optional match kind
+//     actions = { set_index; }
+//     size = 1024;        // rule capacity
+//     resource = 0.4;     // fraction of one pipeline stage
+//   }
+//
+//   control {
+//     apply(mon_hash);
+//     if (meta.counter_index) {   // gates on a field: the last applied
+//       apply(mon_count);         // table writing it becomes the gate
+//     }
+//     apply(mon_report);
+//   }
+//
+// Lowering rules:
+//  - header fields are packet headers; metadata fields are switch metadata
+//    (bit widths are rounded up to whole bytes);
+//  - a table becomes one MAT: key -> match fields, actions -> write sets,
+//    size -> rule capacity, resource -> stage fraction;
+//  - apply order inside `control` is the MAT program order;
+//  - an `if (field)` block gates each directly applied table on the last
+//    table before the block that writes `field` (successor dependencies).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "prog/program.h"
+
+namespace hermes::p4 {
+
+// Compiles mini-P4 source into a Program. Throws std::invalid_argument with
+// a line number and message on lexical, syntactic, or semantic errors
+// (unknown fields, unknown tables, tables applied twice, missing control
+// block, ...).
+[[nodiscard]] prog::Program compile(std::string_view source);
+
+// Loads and compiles a .p4mini file; throws std::runtime_error when the file
+// cannot be read.
+[[nodiscard]] prog::Program compile_file(const std::string& path);
+
+}  // namespace hermes::p4

@@ -1,0 +1,96 @@
+#include "p4/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hermes::p4 {
+
+const char* to_string(TokenKind k) noexcept {
+    switch (k) {
+        case TokenKind::kIdentifier: return "identifier";
+        case TokenKind::kNumber: return "number";
+        case TokenKind::kReal: return "real";
+        case TokenKind::kLBrace: return "'{'";
+        case TokenKind::kRBrace: return "'}'";
+        case TokenKind::kLParen: return "'('";
+        case TokenKind::kRParen: return "')'";
+        case TokenKind::kSemicolon: return "';'";
+        case TokenKind::kColon: return "':'";
+        case TokenKind::kComma: return "','";
+        case TokenKind::kEquals: return "'='";
+        case TokenKind::kEnd: return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto is_ident_start = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+    };
+    auto is_ident_char = [&](char c) {
+        return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               c == '.';  // dotted field paths are single identifiers
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n') ++i;
+            continue;
+        }
+        if (is_ident_start(c)) {
+            std::size_t begin = i;
+            while (i < n && is_ident_char(source[i])) ++i;
+            tokens.push_back(Token{TokenKind::kIdentifier,
+                                   std::string(source.substr(begin, i - begin)), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t begin = i;
+            bool real = false;
+            while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) != 0 ||
+                             source[i] == '.')) {
+                real = real || source[i] == '.';
+                ++i;
+            }
+            tokens.push_back(Token{real ? TokenKind::kReal : TokenKind::kNumber,
+                                   std::string(source.substr(begin, i - begin)), line});
+            continue;
+        }
+        TokenKind kind;
+        switch (c) {
+            case '{': kind = TokenKind::kLBrace; break;
+            case '}': kind = TokenKind::kRBrace; break;
+            case '(': kind = TokenKind::kLParen; break;
+            case ')': kind = TokenKind::kRParen; break;
+            case ';': kind = TokenKind::kSemicolon; break;
+            case ':': kind = TokenKind::kColon; break;
+            case ',': kind = TokenKind::kComma; break;
+            case '=': kind = TokenKind::kEquals; break;
+            default:
+                throw std::invalid_argument("p4 lexer: line " + std::to_string(line) +
+                                            ": unexpected character '" +
+                                            std::string(1, c) + "'");
+        }
+        tokens.push_back(Token{kind, std::string(1, c), line});
+        ++i;
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", line});
+    return tokens;
+}
+
+}  // namespace hermes::p4

@@ -1,0 +1,38 @@
+// Lexer for mini-P4, the P4-16-flavored subset this repository accepts in
+// place of the paper's P4C front end (see p4/frontend.h for the grammar).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::p4 {
+
+enum class TokenKind : std::uint8_t {
+    kIdentifier,  // table names, field paths (dotted)
+    kNumber,      // integer literals
+    kReal,        // floating literals (resource fractions)
+    kLBrace,      // {
+    kRBrace,      // }
+    kLParen,      // (
+    kRParen,      // )
+    kSemicolon,   // ;
+    kColon,       // :
+    kComma,       // ,
+    kEquals,      // =
+    kEnd,         // end of input
+};
+
+struct Token {
+    TokenKind kind = TokenKind::kEnd;
+    std::string text;
+    int line = 0;
+};
+
+[[nodiscard]] const char* to_string(TokenKind k) noexcept;
+
+// Tokenizes mini-P4 source. '//' comments run to end of line. Throws
+// std::invalid_argument with a line number on unexpected characters.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace hermes::p4

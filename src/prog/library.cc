@@ -1,0 +1,238 @@
+#include "prog/library.h"
+
+#include <stdexcept>
+
+#include "tdg/field.h"
+
+namespace hermes::prog {
+
+using tdg::Action;
+using tdg::Field;
+using tdg::Mat;
+using tdg::MatchKind;
+using tdg::header_field;
+using tdg::metadata_field;
+namespace cm = tdg::common_metadata;
+
+namespace {
+
+// -- Shared header fields -----------------------------------------------
+Field eth_dst() { return header_field("ethernet.dst_addr", 6); }
+Field eth_src() { return header_field("ethernet.src_addr", 6); }
+Field ipv4_dst() { return header_field("ipv4.dst_addr", 4); }
+Field ipv4_src() { return header_field("ipv4.src_addr", 4); }
+Field ipv4_ttl() { return header_field("ipv4.ttl", 1); }
+Field ipv4_proto() { return header_field("ipv4.protocol", 1); }
+Field l4_sport() { return header_field("l4.src_port", 2); }
+Field l4_dport() { return header_field("l4.dst_port", 2); }
+Field ig_port() { return header_field("intrinsic.ingress_port", 2); }
+
+std::vector<Field> five_tuple() {
+    return {ipv4_src(), ipv4_dst(), ipv4_proto(), l4_sport(), l4_dport()};
+}
+
+// -- Program definitions --------------------------------------------------
+
+Program l2l3_routing() {
+    Program p("l2l3_routing");
+    p.add_mat(Mat("port_mapping", {ig_port()},
+                  {Action{"set_vrf", {metadata_field("meta.vrf", 2)}}}, 256, 0.15));
+    p.add_mat(Mat("ipv4_lpm", {ipv4_dst(), metadata_field("meta.vrf", 2)},
+                  {Action{"set_nexthop", {metadata_field("meta.nexthop_id", 4)}}}, 16384,
+                  0.45, MatchKind::kLpm));
+    p.add_mat(Mat("nexthop_resolve", {metadata_field("meta.nexthop_id", 4)},
+                  {Action{"rewrite_dmac",
+                          {eth_dst(), metadata_field("meta.egress_port", 2)}}},
+                  4096, 0.30));
+    p.add_mat(Mat("smac_rewrite", {metadata_field("meta.egress_port", 2)},
+                  {Action{"rewrite_smac", {eth_src(), ipv4_ttl()}}}, 128, 0.15));
+    return p;
+}
+
+Program acl_firewall() {
+    Program p("acl_firewall");
+    p.add_mat(Mat("acl_ipv4", five_tuple(),
+                  {Action{"set_verdict", {metadata_field("meta.acl_verdict", 1)}}}, 8192,
+                  0.50, MatchKind::kTernary));
+    p.add_mat(Mat("acl_meter", {metadata_field("meta.acl_verdict", 1)},
+                  {Action{"police", {metadata_field("meta.drop_flag", 1)}}}, 256, 0.20));
+    p.add_mat(Mat("acl_stats",
+                  {metadata_field("meta.acl_verdict", 1)},
+                  {Action{"count", {cm::counter_index()}}}, 1024, 0.25));
+    return p;
+}
+
+Program nat() {
+    Program p("nat");
+    p.add_mat(Mat("nat_lookup", five_tuple(),
+                  {Action{"hit", {metadata_field("meta.nat_index", 4),
+                                  metadata_field("meta.nat_hit", 1)}}},
+                  4096, 0.40, MatchKind::kExact));
+    p.add_mat(Mat("nat_rewrite", {metadata_field("meta.nat_index", 4)},
+                  {Action{"rewrite", {ipv4_src(), l4_sport()}}}, 4096, 0.35));
+    p.add_mat(Mat("nat_miss", {metadata_field("meta.nat_hit", 1)},
+                  {Action{"to_cpu", {metadata_field("meta.cpu_reason", 2)}}}, 16, 0.10));
+    return p;
+}
+
+Program ecmp_lb() {
+    Program p("ecmp_lb");
+    p.add_mat(Mat("ecmp_group", {ipv4_dst()},
+                  {Action{"pick_group", {metadata_field("meta.ecmp_group_id", 2)}}}, 2048,
+                  0.30, MatchKind::kLpm));
+    p.add_mat(Mat("ecmp_hash", {metadata_field("meta.ecmp_group_id", 2)},
+                  {Action{"hash", {cm::counter_index()}}}, 64, 0.15));
+    p.add_mat(Mat("ecmp_select",
+                  {metadata_field("meta.ecmp_group_id", 2), cm::counter_index()},
+                  {Action{"set_port", {metadata_field("meta.egress_port", 2)}}}, 2048,
+                  0.30));
+    return p;
+}
+
+Program vxlan_tunnel() {
+    Program p("vxlan_tunnel");
+    p.add_mat(Mat("tunnel_classify", {ipv4_dst(), ipv4_proto()},
+                  {Action{"classify", {metadata_field("meta.tunnel_id", 3)}}}, 1024, 0.25));
+    p.add_mat(Mat("tunnel_decap", {metadata_field("meta.tunnel_id", 3)},
+                  {Action{"decap", {header_field("vxlan.vni", 3),
+                                    metadata_field("meta.inner_valid", 1)}}},
+                  512, 0.30));
+    p.add_mat(Mat("tunnel_encap", {metadata_field("meta.tunnel_id", 3)},
+                  {Action{"encap", {header_field("vxlan.vni", 3), ipv4_dst()}}}, 512, 0.30));
+    p.add_gate("tunnel_classify", "tunnel_encap");
+    return p;
+}
+
+Program int_telemetry() {
+    Program p("int_telemetry");
+    p.add_mat(Mat("int_source", {ipv4_dst(), l4_dport()},
+                  {Action{"stamp", {cm::switch_identifier(), cm::timestamps()}}}, 512,
+                  0.30));
+    p.add_mat(Mat("int_transit", {cm::switch_identifier()},
+                  {Action{"append", {cm::queue_lengths()}}}, 64, 0.25));
+    p.add_mat(Mat("int_sink",
+                  {cm::switch_identifier(), cm::queue_lengths()},
+                  {Action{"report", {metadata_field("meta.report_flag", 1)}}}, 64, 0.20));
+    return p;
+}
+
+Program countmin() {
+    Program p("countmin_sketch");
+    p.add_mat(Mat("cm_hash", five_tuple(),
+                  {Action{"hash", {cm::counter_index()}}}, 16, 0.15));
+    p.add_mat(Mat("cm_update", {cm::counter_index()},
+                  {Action{"update", {metadata_field("meta.cm_count", 4)}}}, 16, 0.25));
+    p.add_mat(Mat("cm_threshold", {metadata_field("meta.cm_count", 4)},
+                  {Action{"flag", {metadata_field("meta.hh_flag", 1)}}}, 32, 0.10));
+    return p;
+}
+
+Program bloom_filter() {
+    Program p("bloom_filter");
+    p.add_mat(Mat("bf_hash", five_tuple(),
+                  {Action{"hash", {cm::counter_index()}}}, 16, 0.15));
+    p.add_mat(Mat("bf_test", {cm::counter_index()},
+                  {Action{"test", {metadata_field("meta.bf_member", 1)}}}, 16, 0.20));
+    p.add_mat(Mat("bf_set", {metadata_field("meta.bf_member", 1)},
+                  {Action{"set", {metadata_field("meta.bf_updated", 1)}}}, 16, 0.20));
+    return p;
+}
+
+Program flow_stats() {
+    Program p("flow_stats");
+    p.add_mat(Mat("fr_hash", five_tuple(),
+                  {Action{"hash", {cm::counter_index()}}}, 16, 0.15));
+    p.add_mat(Mat("fr_encode", {cm::counter_index()},
+                  {Action{"encode", {metadata_field("meta.flow_xor", 4),
+                                     metadata_field("meta.flow_count", 4)}}},
+                  16, 0.35));
+    p.add_mat(Mat("fr_export", {metadata_field("meta.flow_count", 4)},
+                  {Action{"export", {metadata_field("meta.report_flag", 1)}}}, 32, 0.10));
+    return p;
+}
+
+Program qos_meter() {
+    Program p("qos_meter");
+    p.add_mat(Mat("qos_classify", {ipv4_dst(), header_field("ipv4.dscp", 1)},
+                  {Action{"set_tc", {metadata_field("meta.traffic_class", 1)}}}, 1024,
+                  0.25, MatchKind::kTernary));
+    p.add_mat(Mat("qos_police", {metadata_field("meta.traffic_class", 1)},
+                  {Action{"color", {metadata_field("meta.color", 1)}}}, 128, 0.25));
+    p.add_mat(Mat("qos_wred", {metadata_field("meta.color", 1)},
+                  {Action{"mark_drop", {metadata_field("meta.drop_flag", 1)}}}, 64, 0.15));
+    return p;
+}
+
+Program congestion_control() {
+    Program p("congestion_control");
+    p.add_mat(Mat("cc_probe", {ipv4_proto()},
+                  {Action{"probe", {cm::queue_lengths(), cm::timestamps()}}}, 64, 0.25));
+    p.add_mat(Mat("cc_decide", {cm::queue_lengths()},
+                  {Action{"decide", {metadata_field("meta.cc_window", 4)}}}, 256, 0.30));
+    p.add_mat(Mat("cc_feedback", {metadata_field("meta.cc_window", 4)},
+                  {Action{"feedback", {header_field("tcp.ecn", 1)}}}, 16, 0.15));
+    return p;
+}
+
+}  // namespace
+
+std::vector<std::string> program_names() {
+    return {"l2l3_routing", "acl_firewall",  "nat",        "ecmp_lb",
+            "vxlan_tunnel", "int_telemetry", "countmin_sketch", "bloom_filter",
+            "flow_stats",   "qos_meter"};
+}
+
+Program make_program(const std::string& name) {
+    if (name == "l2l3_routing") return l2l3_routing();
+    if (name == "acl_firewall") return acl_firewall();
+    if (name == "nat") return nat();
+    if (name == "ecmp_lb") return ecmp_lb();
+    if (name == "vxlan_tunnel") return vxlan_tunnel();
+    if (name == "int_telemetry") return int_telemetry();
+    if (name == "countmin_sketch") return countmin();
+    if (name == "bloom_filter") return bloom_filter();
+    if (name == "flow_stats") return flow_stats();
+    if (name == "qos_meter") return qos_meter();
+    if (name == "congestion_control") return congestion_control();
+    throw std::out_of_range("make_program: unknown program '" + name + "'");
+}
+
+std::vector<Program> real_programs() {
+    std::vector<Program> out;
+    for (const std::string& n : program_names()) out.push_back(make_program(n));
+    return out;
+}
+
+std::vector<std::string> sketch_names() {
+    return {"countmin", "countsketch", "kary",    "bloom", "hyperloglog",
+            "univmon",  "elastic",     "mvsketch", "fcm",   "deltoid"};
+}
+
+Program sketch_program(const std::string& kind) {
+    const auto names = sketch_names();
+    bool known = false;
+    for (const auto& n : names) known = known || n == kind;
+    if (!known) throw std::out_of_range("sketch_program: unknown sketch '" + kind + "'");
+
+    Program p("sketch_" + kind);
+    // Every sketch starts from the same structural hash-index computation —
+    // identical match fields, actions, and capacity — so merging collapses
+    // the hash MATs of concurrently deployed sketches into one.
+    p.add_mat(Mat("hash_index_" + kind, five_tuple(),
+                  {Action{"hash", {cm::counter_index()}}}, 16, 0.15));
+    p.add_mat(Mat(kind + "_update", {cm::counter_index()},
+                  {Action{"update", {metadata_field("meta." + kind + "_value", 4)}}}, 16,
+                  0.30));
+    p.add_mat(Mat(kind + "_report", {metadata_field("meta." + kind + "_value", 4)},
+                  {Action{"report", {metadata_field("meta." + kind + "_flag", 1)}}}, 32,
+                  0.10));
+    return p;
+}
+
+std::vector<Program> sketch_programs() {
+    std::vector<Program> out;
+    for (const std::string& n : sketch_names()) out.push_back(sketch_program(n));
+    return out;
+}
+
+}  // namespace hermes::prog

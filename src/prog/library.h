@@ -1,0 +1,39 @@
+// Library of realistic data plane programs.
+//
+// The paper's testbed experiments deploy "ten real programs", each a
+// specific version of switch.p4 (per the SPEED setup), and Exp#6 deploys ten
+// sketch-based measurement programs. This library models both families at
+// the MAT granularity the analyzer consumes: every MAT declares its match
+// fields, action write-sets (header vs metadata), rule capacity, and
+// resource footprint (fraction of one pipeline stage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prog/program.h"
+
+namespace hermes::prog {
+
+// Names of the ten realistic programs, in a fixed order.
+[[nodiscard]] std::vector<std::string> program_names();
+
+// Builds one realistic program by name; throws std::out_of_range on an
+// unknown name.
+[[nodiscard]] Program make_program(const std::string& name);
+
+// All ten realistic programs (the paper's Exp#1 workload).
+[[nodiscard]] std::vector<Program> real_programs();
+
+// Names of the ten sketch algorithms used by Exp#6.
+[[nodiscard]] std::vector<std::string> sketch_names();
+
+// Builds one sketch program. All sketches share a structurally identical
+// hash-index MAT, so TDG merging deduplicates that work — the redundancy the
+// paper's merging step exists to exploit.
+[[nodiscard]] Program sketch_program(const std::string& kind);
+
+// All ten sketch programs.
+[[nodiscard]] std::vector<Program> sketch_programs();
+
+}  // namespace hermes::prog

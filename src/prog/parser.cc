@@ -1,0 +1,209 @@
+#include "prog/parser.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace hermes::prog {
+
+using tdg::Action;
+using tdg::DepType;
+using tdg::Field;
+using tdg::FieldKind;
+using tdg::MatchKind;
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+    throw std::invalid_argument("parse_program: line " + std::to_string(line_no) + ": " +
+                                message);
+}
+
+Field parse_field(std::string_view spec, std::size_t line_no) {
+    const auto parts = util::split(spec, ':');
+    if (parts.size() != 3) fail(line_no, "field must be name:bytes:kind");
+    const auto bytes = util::parse_int(parts[1]);
+    if (bytes <= 0) fail(line_no, "field size must be positive");
+    if (parts[2] == "h") return tdg::header_field(parts[0], static_cast<int>(bytes));
+    if (parts[2] == "m") return tdg::metadata_field(parts[0], static_cast<int>(bytes));
+    fail(line_no, "field kind must be 'h' or 'm'");
+}
+
+MatchKind parse_match_kind(std::string_view s, std::size_t line_no) {
+    if (s == "exact") return MatchKind::kExact;
+    if (s == "lpm") return MatchKind::kLpm;
+    if (s == "ternary") return MatchKind::kTernary;
+    if (s == "range") return MatchKind::kRange;
+    fail(line_no, "unknown match kind '" + std::string(s) + "'");
+}
+
+DepType parse_dep_type(std::string_view s, std::size_t line_no) {
+    if (s == "M") return DepType::kMatch;
+    if (s == "A") return DepType::kAction;
+    if (s == "R") return DepType::kReverseMatch;
+    if (s == "S") return DepType::kSuccessor;
+    fail(line_no, "dependency type must be one of M A R S");
+}
+
+char dep_letter(DepType t) {
+    switch (t) {
+        case DepType::kMatch: return 'M';
+        case DepType::kAction: return 'A';
+        case DepType::kReverseMatch: return 'R';
+        case DepType::kSuccessor: return 'S';
+    }
+    return '?';
+}
+
+// Accumulates one `mat` block until it can be flushed into the program.
+struct MatDraft {
+    std::string name;
+    std::int64_t capacity = 0;
+    double resource = 0.0;
+    MatchKind kind = MatchKind::kExact;
+    std::vector<Field> matches;
+    std::vector<Action> actions;
+};
+
+void flush(std::optional<MatDraft>& draft, Program& program, std::size_t line_no) {
+    if (!draft) return;
+    if (draft->matches.empty()) fail(line_no, "mat '" + draft->name + "' has no match");
+    if (draft->actions.empty()) fail(line_no, "mat '" + draft->name + "' has no write");
+    program.add_mat(tdg::Mat(draft->name, std::move(draft->matches),
+                             std::move(draft->actions), draft->capacity, draft->resource,
+                             draft->kind));
+    draft.reset();
+}
+
+}  // namespace
+
+Program parse_program(std::string_view text) {
+    std::optional<Program> program;
+    std::optional<MatDraft> draft;
+    std::size_t line_no = 0;
+
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string_view line{raw};
+        if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+            line = line.substr(0, hash);
+        }
+        line = util::trim(line);
+        if (line.empty()) continue;
+
+        const auto tokens = util::split(line, ' ');
+        const std::string& keyword = tokens.front();
+
+        if (keyword == "program") {
+            if (program) fail(line_no, "duplicate 'program' directive");
+            if (tokens.size() != 2) fail(line_no, "usage: program <name>");
+            program.emplace(tokens[1]);
+            continue;
+        }
+        if (!program) fail(line_no, "file must start with 'program <name>'");
+
+        if (keyword == "mat") {
+            flush(draft, *program, line_no);
+            if (tokens.size() < 2) fail(line_no, "usage: mat <name> key=value...");
+            MatDraft d;
+            d.name = tokens[1];
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                const auto kv = util::split(tokens[i], '=');
+                if (kv.size() != 2) fail(line_no, "expected key=value, got '" + tokens[i] + "'");
+                if (kv[0] == "capacity") d.capacity = util::parse_int(kv[1]);
+                else if (kv[0] == "resource") d.resource = util::parse_double(kv[1]);
+                else if (kv[0] == "kind") d.kind = parse_match_kind(kv[1], line_no);
+                else fail(line_no, "unknown mat attribute '" + kv[0] + "'");
+            }
+            draft = std::move(d);
+            continue;
+        }
+        if (keyword == "match") {
+            if (!draft) fail(line_no, "'match' outside a mat block");
+            if (tokens.size() < 2) fail(line_no, "usage: match <field>...");
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                draft->matches.push_back(parse_field(tokens[i], line_no));
+            }
+            continue;
+        }
+        if (keyword == "write") {
+            if (!draft) fail(line_no, "'write' outside a mat block");
+            if (tokens.size() < 3) fail(line_no, "usage: write <action> <field>...");
+            Action a{tokens[1], {}};
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                a.writes.push_back(parse_field(tokens[i], line_no));
+            }
+            draft->actions.push_back(std::move(a));
+            continue;
+        }
+        if (keyword == "gate") {
+            flush(draft, *program, line_no);
+            if (tokens.size() != 3) fail(line_no, "usage: gate <up> <down>");
+            program->add_gate(tokens[1], tokens[2]);
+            continue;
+        }
+        if (keyword == "edge") {
+            flush(draft, *program, line_no);
+            if (tokens.size() != 4) fail(line_no, "usage: edge <from> <to> <M|A|R|S>");
+            program->add_explicit_edge(tokens[1], tokens[2],
+                                       parse_dep_type(tokens[3], line_no));
+            continue;
+        }
+        fail(line_no, "unknown directive '" + keyword + "'");
+    }
+    if (!program) throw std::invalid_argument("parse_program: empty input");
+    flush(draft, *program, line_no);
+    return std::move(*program);
+}
+
+Program load_program_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_program_file: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_program(buffer.str());
+}
+
+std::string to_text(const Program& p) {
+    std::ostringstream out;
+    out << "program " << p.name() << '\n';
+    auto field_spec = [](const Field& f) {
+        return f.name + ':' + std::to_string(f.size_bytes) + ':' +
+               (f.kind == FieldKind::kMetadata ? 'm' : 'h');
+    };
+    auto kind_name = [](MatchKind k) {
+        switch (k) {
+            case MatchKind::kExact: return "exact";
+            case MatchKind::kLpm: return "lpm";
+            case MatchKind::kTernary: return "ternary";
+            case MatchKind::kRange: return "range";
+        }
+        return "exact";
+    };
+    for (const tdg::Mat& m : p.mats()) {
+        out << "mat " << m.name() << " capacity=" << m.rule_capacity()
+            << " resource=" << m.resource_units() << " kind=" << kind_name(m.match_kind())
+            << '\n';
+        out << "  match";
+        for (const Field& f : m.match_fields()) out << ' ' << field_spec(f);
+        out << '\n';
+        for (const Action& a : m.actions()) {
+            out << "  write " << a.name;
+            for (const Field& f : a.writes) out << ' ' << field_spec(f);
+            out << '\n';
+        }
+    }
+    const tdg::Tdg t = p.to_tdg();
+    for (const tdg::Edge& e : t.edges()) {
+        out << "edge " << t.node(e.from).name() << ' ' << t.node(e.to).name() << ' '
+            << dep_letter(e.type) << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace hermes::prog

@@ -1,0 +1,39 @@
+// Textual program format (.prog).
+//
+// A small line-based exchange format so examples and tooling can load
+// programs from disk, mirroring what a P4C TDG dump provides:
+//
+//   program l3_demo
+//   mat ipv4_lpm capacity=1024 resource=0.4 kind=lpm
+//     match ipv4.dst_addr:4:h
+//     write set_nexthop meta.nexthop:4:m
+//   mat nexthop capacity=256 resource=0.2
+//     match meta.nexthop:4:m
+//     write rewrite ethernet.dst_addr:6:h
+//   gate ipv4_lpm nexthop          # optional successor relation
+//   edge ipv4_lpm nexthop M        # optional explicit typed edge
+//
+// Field syntax is name:bytes:kind with kind 'h' (header) or 'm' (metadata).
+// '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "prog/program.h"
+
+namespace hermes::prog {
+
+// Parses a program from text; throws std::invalid_argument with a line
+// number on malformed input.
+[[nodiscard]] Program parse_program(std::string_view text);
+
+// Loads and parses a .prog file; throws std::runtime_error when the file
+// cannot be read.
+[[nodiscard]] Program load_program_file(const std::string& path);
+
+// Serializes a program (MAT declarations plus the edges of its TDG as
+// explicit edges). parse_program(to_text(p)) reproduces p's TDG.
+[[nodiscard]] std::string to_text(const Program& p);
+
+}  // namespace hermes::prog

@@ -1,0 +1,88 @@
+#include "prog/program.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::prog {
+
+Program::Program(std::string name) : name_(std::move(name)) {
+    if (name_.empty()) throw std::invalid_argument("Program: empty name");
+}
+
+std::size_t Program::add_mat(tdg::Mat mat) {
+    for (const tdg::Mat& existing : mats_) {
+        if (existing.name() == mat.name()) {
+            throw std::invalid_argument("Program::add_mat: duplicate MAT name '" +
+                                        mat.name() + "'");
+        }
+    }
+    mats_.push_back(std::move(mat));
+    return mats_.size() - 1;
+}
+
+const tdg::Mat& Program::mat(std::size_t i) const {
+    if (i >= mats_.size()) throw std::out_of_range("Program::mat: bad index");
+    return mats_[i];
+}
+
+std::size_t Program::index_of(const std::string& mat_name) const {
+    for (std::size_t i = 0; i < mats_.size(); ++i) {
+        if (mats_[i].name() == mat_name) return i;
+    }
+    throw std::out_of_range("Program '" + name_ + "': no MAT named '" + mat_name + "'");
+}
+
+void Program::add_gate(const std::string& upstream, const std::string& downstream) {
+    const std::size_t u = index_of(upstream);
+    const std::size_t d = index_of(downstream);
+    if (u >= d) {
+        throw std::invalid_argument("Program::add_gate: gate must point forward (" +
+                                    upstream + " -> " + downstream + ")");
+    }
+    gates_.emplace_back(u, d);
+}
+
+void Program::add_explicit_edge(const std::string& from, const std::string& to,
+                                tdg::DepType type) {
+    const std::size_t f = index_of(from);
+    const std::size_t t = index_of(to);
+    if (f == t) throw std::invalid_argument("Program::add_explicit_edge: self-loop");
+    explicit_edges_.push_back(ExplicitEdge{f, t, type});
+}
+
+Program Program::with_scaled_resources(double factor) const {
+    if (factor <= 0.0) {
+        throw std::invalid_argument("with_scaled_resources: factor must be > 0");
+    }
+    Program scaled(name_);
+    for (const tdg::Mat& m : mats_) {
+        scaled.add_mat(tdg::Mat(m.name(), m.match_fields(), m.actions(),
+                                m.rule_capacity(), m.resource_units() * factor,
+                                m.match_kind()));
+    }
+    scaled.gates_ = gates_;
+    scaled.explicit_edges_ = explicit_edges_;
+    return scaled;
+}
+
+tdg::Tdg Program::to_tdg() const {
+    tdg::Tdg t;
+    for (const tdg::Mat& m : mats_) t.add_node(m);
+
+    auto gated = [&](std::size_t i, std::size_t j) {
+        return std::any_of(gates_.begin(), gates_.end(),
+                           [&](const auto& g) { return g.first == i && g.second == j; });
+    };
+    for (std::size_t i = 0; i < mats_.size(); ++i) {
+        for (std::size_t j = i + 1; j < mats_.size(); ++j) {
+            const auto dep = tdg::infer_dependency(mats_[i], mats_[j], gated(i, j));
+            if (dep) t.add_edge(i, j, *dep);
+        }
+    }
+    for (const ExplicitEdge& e : explicit_edges_) {
+        if (!t.find_edge(e.from, e.to)) t.add_edge(e.from, e.to, e.type);
+    }
+    return t;
+}
+
+}  // namespace hermes::prog

@@ -1,0 +1,67 @@
+// Data plane program model.
+//
+// A Program is an ordered list of MATs (program order = control-flow order,
+// exactly what a P4 control block provides) plus explicit gate relations
+// (if-conditions whose outcome decides whether a downstream table runs).
+// `to_tdg()` performs the paper's "enumerate every pair of MATs" step: for
+// each ordered pair it infers the dependency type from the MATs' field sets
+// and emits a typed TDG edge.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tdg/deps.h"
+#include "tdg/tdg.h"
+
+namespace hermes::prog {
+
+class Program {
+public:
+    explicit Program(std::string name);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    // Appends a MAT in program order; returns its position.
+    std::size_t add_mat(tdg::Mat mat);
+
+    [[nodiscard]] std::size_t mat_count() const noexcept { return mats_.size(); }
+    [[nodiscard]] const tdg::Mat& mat(std::size_t i) const;
+    [[nodiscard]] const std::vector<tdg::Mat>& mats() const noexcept { return mats_; }
+
+    // Declares that `upstream`'s result gates `downstream`'s execution
+    // (successor dependency). Both MATs must already exist; upstream must
+    // precede downstream in program order.
+    void add_gate(const std::string& upstream, const std::string& downstream);
+
+    // Forces an explicit dependency edge regardless of field analysis
+    // (used by the parser and by tests to build exact TDG shapes).
+    void add_explicit_edge(const std::string& from, const std::string& to,
+                           tdg::DepType type);
+
+    // Builds the TDG: nodes in program order; edges from pairwise dependency
+    // inference plus all explicit edges.
+    [[nodiscard]] tdg::Tdg to_tdg() const;
+
+    // Position of a MAT by name; throws std::out_of_range when absent.
+    [[nodiscard]] std::size_t index_of(const std::string& mat_name) const;
+
+    // Copy of this program with every MAT's resource footprint multiplied by
+    // `factor` (> 0). Used to study resource-pressure regimes — e.g. to model
+    // switch.p4-scale programs with the compact library entries.
+    [[nodiscard]] Program with_scaled_resources(double factor) const;
+
+private:
+    std::string name_;
+    std::vector<tdg::Mat> mats_;
+    std::vector<std::pair<std::size_t, std::size_t>> gates_;
+    struct ExplicitEdge {
+        std::size_t from;
+        std::size_t to;
+        tdg::DepType type;
+    };
+    std::vector<ExplicitEdge> explicit_edges_;
+};
+
+}  // namespace hermes::prog

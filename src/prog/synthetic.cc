@@ -1,0 +1,113 @@
+#include "prog/synthetic.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "prog/library.h"
+#include "tdg/field.h"
+
+namespace hermes::prog {
+
+using tdg::Action;
+using tdg::DepType;
+using tdg::Field;
+using tdg::Mat;
+using tdg::header_field;
+using tdg::metadata_field;
+
+namespace {
+
+// Metadata field sizes follow Table I plus small generic result fields.
+int pick_metadata_size(util::SplitMix64& rng) {
+    static constexpr int kSizes[] = {1, 2, 4, 4, 6, 8, 12};
+    return kSizes[rng.uniform_int(0, std::size(kSizes) - 1)];
+}
+
+DepType pick_dep_type(util::SplitMix64& rng) {
+    const double r = rng.uniform_real(0.0, 1.0);
+    if (r < 0.40) return DepType::kMatch;
+    if (r < 0.65) return DepType::kAction;
+    if (r < 0.85) return DepType::kSuccessor;
+    return DepType::kReverseMatch;
+}
+
+}  // namespace
+
+Program synthetic_program(const SyntheticConfig& config, std::uint64_t seed, int index) {
+    if (config.min_mats < 1 || config.max_mats < config.min_mats) {
+        throw std::invalid_argument("synthetic_program: bad MAT count range");
+    }
+    if (config.dependency_probability < 0.0 || config.dependency_probability > 1.0) {
+        throw std::invalid_argument("synthetic_program: bad dependency probability");
+    }
+    // Mix the index into the seed so each program draws an independent stream.
+    util::SplitMix64 rng(seed ^ (0x51ed2701a3c5u * static_cast<std::uint64_t>(index + 1)));
+
+    const std::string tag = "syn" + std::to_string(index);
+    Program p("synthetic_" + tag);
+
+    const int mat_count =
+        static_cast<int>(rng.uniform_int(config.min_mats, config.max_mats));
+    for (int m = 0; m < mat_count; ++m) {
+        const std::string mat_tag = tag + "_m" + std::to_string(m);
+        // Unique field names per MAT: dependencies are injected explicitly
+        // below, never accidentally through shared names.
+        std::vector<Field> matches = {header_field("hdr." + mat_tag + ".key", 4)};
+        std::vector<Field> writes;
+        const int field_count = static_cast<int>(
+            rng.uniform_int(config.min_metadata_fields, config.max_metadata_fields));
+        for (int f = 0; f < field_count; ++f) {
+            if (rng.chance(config.shared_field_probability)) {
+                // A Table I common field, shared across concurrent programs.
+                static const Field catalog[] = {
+                    tdg::common_metadata::switch_identifier(),
+                    tdg::common_metadata::queue_lengths(),
+                    tdg::common_metadata::timestamps(),
+                    tdg::common_metadata::counter_index(),
+                };
+                writes.push_back(catalog[rng.uniform_int(0, std::size(catalog) - 1)]);
+                continue;
+            }
+            writes.push_back(metadata_field(
+                "meta." + mat_tag + ".out" + std::to_string(f), pick_metadata_size(rng)));
+        }
+        const double resource = rng.uniform_real(config.min_resource, config.max_resource);
+        const auto capacity = rng.uniform_int(64, 4096);
+        p.add_mat(Mat("mat_" + mat_tag, std::move(matches),
+                      {Action{"act_" + mat_tag, std::move(writes)}}, capacity, resource));
+    }
+    for (int i = 0; i < mat_count; ++i) {
+        for (int j = i + 1; j < mat_count; ++j) {
+            if (!rng.chance(config.dependency_probability)) continue;
+            p.add_explicit_edge(p.mat(static_cast<std::size_t>(i)).name(),
+                                p.mat(static_cast<std::size_t>(j)).name(),
+                                pick_dep_type(rng));
+        }
+    }
+    return p;
+}
+
+std::vector<Program> synthetic_programs(const SyntheticConfig& config, std::uint64_t seed,
+                                        int count) {
+    if (count < 0) throw std::invalid_argument("synthetic_programs: negative count");
+    std::vector<Program> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) out.push_back(synthetic_program(config, seed, i));
+    return out;
+}
+
+std::vector<Program> paper_workload(int count, std::uint64_t seed) {
+    if (count < 1) throw std::invalid_argument("paper_workload: count must be >= 1");
+    std::vector<Program> out = real_programs();
+    if (static_cast<int>(out.size()) > count) {
+        out.erase(out.begin() + count, out.end());
+        return out;
+    }
+    const int extra = count - static_cast<int>(out.size());
+    for (Program& p : synthetic_programs(SyntheticConfig{}, seed, extra)) {
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace hermes::prog

@@ -1,0 +1,47 @@
+// Synthetic program generator (§VI-A).
+//
+// Reproduces the paper's synthetic workload: each program has 10-20 MATs,
+// each MAT consumes 10%-50% of one pipeline stage, and each ordered MAT pair
+// carries a dependency with probability 30%. MATs write metadata fields
+// drawn from the Table I catalog (plus generic result fields), so the
+// analyzer derives realistic A(a,b) values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prog/program.h"
+#include "util/rng.h"
+
+namespace hermes::prog {
+
+struct SyntheticConfig {
+    int min_mats = 10;
+    int max_mats = 20;
+    double dependency_probability = 0.30;
+    double min_resource = 0.10;  // fraction of one stage
+    double max_resource = 0.50;
+    int min_metadata_fields = 1;  // metadata fields written per MAT
+    int max_metadata_fields = 3;
+    // Probability that a written metadata field is one of the Table I
+    // *common* fields (switch id, queue lengths, timestamps, counter index)
+    // instead of a program-private one. Shared fields couple concurrent
+    // programs exactly the way the paper's common metadata does: the merged
+    // pipeline must order their accesses, so cutting the TDG anywhere
+    // between them costs header bytes.
+    double shared_field_probability = 0.15;
+};
+
+// One synthetic program. Deterministic in (config, seed, index).
+[[nodiscard]] Program synthetic_program(const SyntheticConfig& config,
+                                        std::uint64_t seed, int index);
+
+// A batch of `count` synthetic programs from one master seed.
+[[nodiscard]] std::vector<Program> synthetic_programs(const SyntheticConfig& config,
+                                                      std::uint64_t seed, int count);
+
+// The paper's mixed workload: the ten real programs followed by enough
+// synthetic ones to reach `count` total (the evaluation deploys up to 50).
+[[nodiscard]] std::vector<Program> paper_workload(int count, std::uint64_t seed);
+
+}  // namespace hermes::prog

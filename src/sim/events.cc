@@ -1,0 +1,40 @@
+#include "sim/events.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hermes::sim {
+
+void EventQueue::schedule(double at_us, Callback callback) {
+    if (at_us < now_us_) {
+        throw std::invalid_argument("EventQueue::schedule: time travels backwards");
+    }
+    queue_.push(Event{at_us, next_seq_++, std::move(callback)});
+}
+
+double EventQueue::run() {
+    double last = now_us_;
+    while (!queue_.empty()) {
+        // The callback may schedule more events; copy out before popping.
+        Event e = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_us_ = e.time_us;
+        last = e.time_us;
+        e.callback();
+    }
+    return last;
+}
+
+std::size_t EventQueue::run_steps(std::size_t limit) {
+    std::size_t ran = 0;
+    while (ran < limit && !queue_.empty()) {
+        Event e = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_us_ = e.time_us;
+        e.callback();
+        ++ran;
+    }
+    return ran;
+}
+
+}  // namespace hermes::sim

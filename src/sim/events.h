@@ -1,0 +1,49 @@
+// Discrete-event core: a time-ordered event queue with a stable tie-break so
+// simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hermes::sim {
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    // Schedules `callback` at absolute time `at_us` (microseconds). Throws
+    // std::invalid_argument when scheduling into the past.
+    void schedule(double at_us, Callback callback);
+
+    // Runs events in time order until the queue drains. Returns the time of
+    // the last executed event (0 when nothing ran).
+    double run();
+
+    // Executes at most `limit` events; returns how many ran.
+    std::size_t run_steps(std::size_t limit);
+
+    [[nodiscard]] double now() const noexcept { return now_us_; }
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+private:
+    struct Event {
+        double time_us;
+        std::uint64_t seq;
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.time_us != b.time_us) return a.time_us > b.time_us;
+            return a.seq > b.seq;  // FIFO among simultaneous events
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    double now_us_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,63 @@
+// Flow-level network simulation (the paper's testbed substitute).
+//
+// Models a message split into MTU-bound packets crossing a sequence of
+// store-and-forward hops (links with bandwidth + propagation, switches with
+// processing latency, FIFO transmission per link). Per-packet metadata
+// overhead steals MTU payload space — the application needs more packets for
+// the same message — which is exactly the FCT/goodput degradation mechanism
+// of §II-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment.h"
+#include "net/paths.h"
+
+namespace hermes::sim {
+
+struct HopSpec {
+    double propagation_us = 0.0;     // link propagation t_l
+    double switch_latency_us = 0.0;  // receiving switch's t_s
+};
+
+struct SimConfig {
+    double link_bandwidth_gbps = 100.0;  // the testbed's 100 Gbps links
+};
+
+struct FlowSpec {
+    std::int64_t payload_bytes_total = 0;  // application message size
+    int mtu_bytes = 1500;
+    int base_header_bytes = 40;  // Ethernet/IP/transport headers
+    int overhead_bytes = 0;      // piggybacked metadata per packet
+};
+
+struct FlowResult {
+    std::int64_t packets = 0;
+    int payload_per_packet = 0;  // effective MSS after overhead
+    double fct_us = 0.0;
+    double goodput_gbps = 0.0;
+};
+
+// Effective payload per packet under the MTU and metadata overhead; throws
+// std::invalid_argument when the overhead leaves no payload room.
+[[nodiscard]] int effective_payload(const FlowSpec& spec);
+
+// Event-driven simulation of one flow across `hops` (hop i = link i followed
+// by its receiving node). Packets leave the sender back-to-back at line rate.
+[[nodiscard]] FlowResult simulate_flow(const std::vector<HopSpec>& hops,
+                                       const FlowSpec& spec, const SimConfig& config = {});
+
+// Hop list of a concrete network path (links + downstream switch latencies).
+[[nodiscard]] std::vector<HopSpec> hops_from_path(const net::Network& net,
+                                                  const net::Path& path);
+
+// End-to-end hop list induced by a deployment: the occupied switches in
+// traversal order, expanded through the deployment's routes (shortest path
+// when a consecutive pair has no recorded route), with an ingress hop in
+// front. Used by Exp#4/Exp#5's FCT and goodput measurements.
+[[nodiscard]] std::vector<HopSpec> deployment_hops(const tdg::Tdg& t,
+                                                   const net::Network& net,
+                                                   const core::Deployment& d);
+
+}  // namespace hermes::sim

@@ -1,0 +1,65 @@
+#include "sim/testbed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::sim {
+
+namespace {
+
+FlowResult run_once(const MotivationConfig& config, int packet_size, int overhead_bytes) {
+    const int wire = std::min(packet_size + overhead_bytes, config.ethernet_mtu);
+    FlowSpec spec;
+    spec.mtu_bytes = wire;
+    spec.base_header_bytes = config.base_header_bytes;
+    spec.overhead_bytes = overhead_bytes;
+    spec.payload_bytes_total =
+        config.packets * static_cast<std::int64_t>(packet_size - config.base_header_bytes);
+
+    std::vector<HopSpec> hops(static_cast<std::size_t>(config.hop_count),
+                              HopSpec{config.link_propagation_us, config.switch_latency_us});
+    return simulate_flow(hops, spec);
+}
+
+}  // namespace
+
+MotivationPoint run_motivation(const MotivationConfig& config, int packet_size,
+                               int overhead_bytes) {
+    if (packet_size <= config.base_header_bytes) {
+        throw std::invalid_argument("run_motivation: packet smaller than headers");
+    }
+    if (overhead_bytes < 0) {
+        throw std::invalid_argument("run_motivation: negative overhead");
+    }
+    const FlowResult baseline = run_once(config, packet_size, 0);
+    const FlowResult loaded = run_once(config, packet_size, overhead_bytes);
+
+    MotivationPoint point;
+    point.packet_size = packet_size;
+    point.overhead_bytes = overhead_bytes;
+    point.fct_us = loaded.fct_us;
+    point.goodput_gbps = loaded.goodput_gbps;
+    point.fct_increase = loaded.fct_us / baseline.fct_us - 1.0;
+    point.goodput_decrease = 1.0 - loaded.goodput_gbps / baseline.goodput_gbps;
+    return point;
+}
+
+net::Network make_testbed(const TestbedConfig& config) {
+    if (config.switch_count == 0) throw std::invalid_argument("make_testbed: no switches");
+    net::Network net;
+    for (std::size_t i = 0; i < config.switch_count; ++i) {
+        net::SwitchProps props;
+        props.name = "tofino" + std::to_string(i);
+        props.programmable = true;
+        props.stages = config.stages;
+        props.stage_capacity = config.stage_capacity;
+        props.latency_us = config.switch_latency_us;
+        net.add_switch(std::move(props));
+    }
+    for (std::size_t i = 1; i < config.switch_count; ++i) {
+        net.add_link(i - 1, i, config.link_latency_us);
+    }
+    return net;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,55 @@
+// Models of the paper's two physical setups:
+//  - the §II-B motivation rig (one Tofino switch looping layer-3 routing
+//    five times between two hosts), and
+//  - the §VI-A evaluation testbed (three 32x100 Gbps Tofino switches in a
+//    linear topology).
+#pragma once
+
+#include "net/network.h"
+#include "sim/flowsim.h"
+
+namespace hermes::sim {
+
+// ---- §II-B motivation experiment ----------------------------------------
+
+struct MotivationConfig {
+    int hop_count = 5;                  // a DCN flow crosses five switches
+    double link_propagation_us = 0.5;   // intra-testbed cabling
+    double switch_latency_us = 1.0;     // Tofino forwarding latency
+    std::int64_t packets = 100'000;     // paper: 1e6; scaled, results are ratios
+    int ethernet_mtu = 1500;
+    int base_header_bytes = 40;
+};
+
+struct MotivationPoint {
+    int packet_size = 0;       // original wire packet size (512/1024/1500)
+    int overhead_bytes = 0;    // metadata added per packet
+    double fct_us = 0.0;
+    double goodput_gbps = 0.0;
+    double fct_increase = 0.0;      // vs the zero-overhead run (e.g. 0.15 = +15%)
+    double goodput_decrease = 0.0;  // vs the zero-overhead run
+};
+
+// Runs the flow with `overhead_bytes` of metadata per packet and normalizes
+// against the zero-overhead run of the same packet size. The MTU adaptation
+// of §II-B is applied: the wire packet grows until it hits the Ethernet MTU,
+// after which payload shrinks.
+[[nodiscard]] MotivationPoint run_motivation(const MotivationConfig& config,
+                                             int packet_size, int overhead_bytes);
+
+// ---- §VI-A linear Tofino testbed ----------------------------------------
+
+struct TestbedConfig {
+    std::size_t switch_count = 3;
+    int stages = 6;               // scaled-down Tofino profile (see DESIGN.md):
+                                  // keeps the paper's resource-pressure regime
+                                  // with our compact program models
+    double stage_capacity = 1.0;
+    double switch_latency_us = 1.0;
+    double link_latency_us = 5.0;  // short intra-rack 100 Gbps links
+};
+
+// Linear all-programmable topology mirroring the paper's testbed.
+[[nodiscard]] net::Network make_testbed(const TestbedConfig& config = {});
+
+}  // namespace hermes::sim

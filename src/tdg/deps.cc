@@ -1,0 +1,24 @@
+#include "tdg/deps.h"
+
+namespace hermes::tdg {
+
+namespace {
+bool shares_name(const std::vector<Field>& xs, const std::vector<Field>& ys) {
+    for (const Field& x : xs) {
+        for (const Field& y : ys) {
+            if (x.name == y.name) return true;
+        }
+    }
+    return false;
+}
+}  // namespace
+
+std::optional<DepType> infer_dependency(const Mat& a, const Mat& b, bool gated) {
+    if (shares_name(a.modified_fields(), b.match_fields())) return DepType::kMatch;
+    if (shares_name(a.modified_fields(), b.modified_fields())) return DepType::kAction;
+    if (gated) return DepType::kSuccessor;
+    if (shares_name(a.match_fields(), b.modified_fields())) return DepType::kReverseMatch;
+    return std::nullopt;
+}
+
+}  // namespace hermes::tdg

@@ -1,0 +1,25 @@
+// Dependency-type inference between MATs.
+//
+// The paper (§IV) classifies the dependency T(a,b) of an ordered MAT pair,
+// where a precedes b in program order:
+//   M (match):         b matches a field modified by a  (f ∈ F^a_a ∩ F^m_b)
+//   A (action):        a and b modify a common field    (f ∈ F^a_a ∩ F^a_b)
+//   R (reverse match): b modifies a field matched by a  (f ∈ F^m_a ∩ F^a_b)
+//   S (successor):     a's result gates b's execution (explicit in program)
+// When several hold, the strictest ordering requirement wins:
+// match > action > successor > reverse-match.
+#pragma once
+
+#include <optional>
+
+#include "tdg/tdg.h"
+
+namespace hermes::tdg {
+
+// Infers T(a,b) for the ordered pair (a precedes b). `gated` marks an
+// explicit control (successor) relation declared by the program. Returns
+// nullopt when the MATs are independent.
+[[nodiscard]] std::optional<DepType> infer_dependency(const Mat& a, const Mat& b,
+                                                      bool gated = false);
+
+}  // namespace hermes::tdg

@@ -1,0 +1,41 @@
+#include "tdg/field.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace hermes::tdg {
+
+namespace {
+Field make(std::string name, FieldKind kind, int size_bytes) {
+    if (name.empty()) throw std::invalid_argument("field: empty name");
+    if (size_bytes <= 0) throw std::invalid_argument("field: non-positive size");
+    return Field{std::move(name), kind, size_bytes};
+}
+}  // namespace
+
+Field header_field(std::string name, int size_bytes) {
+    return make(std::move(name), FieldKind::kHeader, size_bytes);
+}
+
+Field metadata_field(std::string name, int size_bytes) {
+    return make(std::move(name), FieldKind::kMetadata, size_bytes);
+}
+
+namespace common_metadata {
+Field switch_identifier() { return metadata_field("meta.switch_id", 4); }
+Field queue_lengths() { return metadata_field("meta.queue_lengths", 6); }
+Field timestamps() { return metadata_field("meta.timestamps", 12); }
+Field counter_index() { return metadata_field("meta.counter_index", 4); }
+}  // namespace common_metadata
+
+int metadata_bytes(const std::vector<Field>& fields) {
+    std::set<std::string> seen;
+    int total = 0;
+    for (const Field& f : fields) {
+        if (!f.is_metadata()) continue;
+        if (seen.insert(f.name).second) total += f.size_bytes;
+    }
+    return total;
+}
+
+}  // namespace hermes::tdg

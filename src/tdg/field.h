@@ -1,0 +1,49 @@
+// Packet fields referenced by match-action tables.
+//
+// A field is either a *header* field (already present in every packet; it
+// costs nothing to communicate between switches) or a *metadata* field
+// (produced by switch processing; it must be piggybacked on packets when its
+// producer and consumer MATs land on different switches). The distinction is
+// the heart of the paper: only metadata fields contribute to the per-packet
+// byte overhead A(a,b).
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace hermes::tdg {
+
+enum class FieldKind : std::uint8_t {
+    kHeader,    // resides in the packet already (e.g. ipv4.src_addr)
+    kMetadata,  // produced on-switch (e.g. hash index, queue depth)
+};
+
+struct Field {
+    std::string name;
+    FieldKind kind = FieldKind::kHeader;
+    int size_bytes = 0;
+
+    [[nodiscard]] bool is_metadata() const noexcept { return kind == FieldKind::kMetadata; }
+
+    friend bool operator==(const Field&, const Field&) = default;
+    friend auto operator<=>(const Field&, const Field&) = default;
+};
+
+// Convenience constructors used throughout the program library and tests.
+[[nodiscard]] Field header_field(std::string name, int size_bytes);
+[[nodiscard]] Field metadata_field(std::string name, int size_bytes);
+
+// The metadata catalog of Table I in the paper.
+namespace common_metadata {
+[[nodiscard]] Field switch_identifier();  // 4 bytes: path tracing/conformance
+[[nodiscard]] Field queue_lengths();      // 6 bytes: congestion control
+[[nodiscard]] Field timestamps();         // 12 bytes: troubleshooting/anomaly
+[[nodiscard]] Field counter_index();      // 4 bytes: hash tables, sketches
+}  // namespace common_metadata
+
+// Total size of the metadata fields in `fields`, deduplicated by field name
+// (the same metadata field appearing in several sets is carried once).
+[[nodiscard]] int metadata_bytes(const std::vector<Field>& fields);
+
+}  // namespace hermes::tdg

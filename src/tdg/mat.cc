@@ -1,0 +1,53 @@
+#include "tdg/mat.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hermes::tdg {
+
+Mat::Mat(std::string name, std::vector<Field> match_fields, std::vector<Action> actions,
+         std::int64_t rule_capacity, double resource_units, MatchKind match_kind)
+    : name_(std::move(name)),
+      match_fields_(std::move(match_fields)),
+      actions_(std::move(actions)),
+      rule_capacity_(rule_capacity),
+      resource_units_(resource_units),
+      match_kind_(match_kind) {
+    if (name_.empty()) throw std::invalid_argument("Mat: empty name");
+    if (rule_capacity_ < 0) throw std::invalid_argument("Mat: negative rule capacity");
+    if (resource_units_ < 0.0) throw std::invalid_argument("Mat: negative resources");
+    std::set<std::string> seen;
+    for (const Action& a : actions_) {
+        for (const Field& f : a.writes) {
+            if (seen.insert(f.name).second) modified_fields_.push_back(f);
+        }
+    }
+}
+
+bool Mat::matches_field(const std::string& field_name) const noexcept {
+    return std::any_of(match_fields_.begin(), match_fields_.end(),
+                       [&](const Field& f) { return f.name == field_name; });
+}
+
+bool Mat::modifies_field(const std::string& field_name) const noexcept {
+    return std::any_of(modified_fields_.begin(), modified_fields_.end(),
+                       [&](const Field& f) { return f.name == field_name; });
+}
+
+void Mat::add_rule(Rule rule) {
+    if (static_cast<std::int64_t>(rules_.size()) >= rule_capacity_) {
+        throw std::runtime_error("Mat::add_rule: capacity exhausted for " + name_);
+    }
+    if (rule.action_index >= actions_.size()) {
+        throw std::out_of_range("Mat::add_rule: bad action index in " + name_);
+    }
+    rules_.push_back(std::move(rule));
+}
+
+bool Mat::same_structure(const Mat& other) const noexcept {
+    return match_kind_ == other.match_kind_ && rule_capacity_ == other.rule_capacity_ &&
+           match_fields_ == other.match_fields_ && actions_ == other.actions_;
+}
+
+}  // namespace hermes::tdg

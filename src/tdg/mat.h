@@ -1,0 +1,86 @@
+// Match-action table (MAT) model.
+//
+// A MAT carries the five properties the paper's analyzer consumes (§IV):
+//   F^m_a  match fields          (match_fields)
+//   A_a    actions               (actions)
+//   F^a_a  action-modified fields (modified_fields(), derived from actions)
+//   R_a    user-specified rules  (rules)
+//   C_a    rule capacity         (rule_capacity)
+// plus the resource requirement R(a) used by constraint (9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tdg/field.h"
+
+namespace hermes::tdg {
+
+// An action names the fields whose values it writes. (The concrete compute —
+// hash, add, register update — is irrelevant to placement; only the write
+// set matters for dependency typing and metadata sizing.)
+struct Action {
+    std::string name;
+    std::vector<Field> writes;
+
+    friend bool operator==(const Action&, const Action&) = default;
+};
+
+// A user rule: an abstract match key plus the index of the action it fires.
+struct Rule {
+    std::string match_key;
+    std::size_t action_index = 0;
+
+    friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary, kRange };
+
+class Mat {
+public:
+    Mat(std::string name, std::vector<Field> match_fields, std::vector<Action> actions,
+        std::int64_t rule_capacity, double resource_units,
+        MatchKind match_kind = MatchKind::kExact);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Field>& match_fields() const noexcept {
+        return match_fields_;
+    }
+    [[nodiscard]] const std::vector<Action>& actions() const noexcept { return actions_; }
+    [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+    [[nodiscard]] std::int64_t rule_capacity() const noexcept { return rule_capacity_; }
+    [[nodiscard]] double resource_units() const noexcept { return resource_units_; }
+    [[nodiscard]] MatchKind match_kind() const noexcept { return match_kind_; }
+
+    // F^a_a: union of all action write sets (duplicates by name removed).
+    [[nodiscard]] const std::vector<Field>& modified_fields() const noexcept {
+        return modified_fields_;
+    }
+
+    // True if `field_name` appears among the match fields / modified fields.
+    [[nodiscard]] bool matches_field(const std::string& field_name) const noexcept;
+    [[nodiscard]] bool modifies_field(const std::string& field_name) const noexcept;
+
+    // Install a rule; throws std::runtime_error when capacity is exhausted
+    // or std::out_of_range when the action index is invalid.
+    void add_rule(Rule rule);
+
+    // Two MATs are *redundant* (SPEED merging, §IV) when every placement-
+    // relevant property matches: match fields, actions, match kind, and rule
+    // capacity. Names and installed rules are not compared — redundancy is
+    // about structure, not identity.
+    [[nodiscard]] bool same_structure(const Mat& other) const noexcept;
+
+private:
+    std::string name_;
+    std::vector<Field> match_fields_;
+    std::vector<Action> actions_;
+    std::vector<Field> modified_fields_;
+    std::vector<Rule> rules_;
+    std::int64_t rule_capacity_;
+    double resource_units_;
+    MatchKind match_kind_;
+};
+
+}  // namespace hermes::tdg

@@ -1,0 +1,89 @@
+#include "tdg/merge.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hermes::tdg {
+
+Tdg graph_union(const Tdg& t1, const Tdg& t2) {
+    Tdg out;
+    for (NodeId v = 0; v < t1.node_count(); ++v) out.add_node(t1.node(v));
+    const std::size_t offset = t1.node_count();
+    for (NodeId v = 0; v < t2.node_count(); ++v) out.add_node(t2.node(v));
+    for (const Edge& e : t1.edges()) out.add_edge(e.from, e.to, e.type);
+    for (const Edge& e : t2.edges()) out.add_edge(e.from + offset, e.to + offset, e.type);
+    return out;
+}
+
+namespace {
+
+// Rebuilds `t` with node `victim` contracted into `survivor`. Returns the
+// candidate graph; the caller decides whether to keep it (DAG check).
+Tdg contract(const Tdg& t, NodeId survivor, NodeId victim) {
+    Tdg out;
+    std::vector<NodeId> remap(t.node_count());
+    NodeId next = 0;
+    for (NodeId v = 0; v < t.node_count(); ++v) {
+        if (v == victim) continue;
+        remap[v] = next++;
+        out.add_node(t.node(v));
+    }
+    remap[victim] = remap[survivor];
+    for (const Edge& e : t.edges()) {
+        const NodeId from = remap[e.from];
+        const NodeId to = remap[e.to];
+        if (from == to) continue;  // edge between the twins disappears
+        if (out.find_edge(from, to)) continue;
+        out.add_edge(from, to, e.type);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::size_t deduplicate(Tdg& t, std::size_t new_from) {
+    std::size_t eliminated = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (NodeId i = 0; i < t.node_count() && !progress; ++i) {
+            // Only pairs touching the fresh suffix need scanning.
+            const NodeId j_begin = std::max<NodeId>(i + 1, new_from);
+            for (NodeId j = j_begin; j < t.node_count() && !progress; ++j) {
+                if (!t.node(i).same_structure(t.node(j))) continue;
+                Tdg candidate = contract(t, i, j);
+                if (!candidate.is_dag()) continue;  // contraction would cycle
+                t = std::move(candidate);
+                ++eliminated;
+                // Contraction renumbers the suffix; rescan it conservatively.
+                if (new_from > 0) --new_from;
+                progress = true;
+            }
+        }
+    }
+    return eliminated;
+}
+
+Tdg merge(const Tdg& t1, const Tdg& t2) {
+    Tdg merged = graph_union(t1, t2);
+    deduplicate(merged, t1.node_count());
+    return merged;
+}
+
+Tdg merge_all(std::vector<Tdg> tdgs) {
+    if (tdgs.empty()) throw std::invalid_argument("merge_all: empty program set");
+    // Each incoming TDG is deduplicated internally first, then only its
+    // nodes are compared against the accumulated (already deduplicated)
+    // prefix — quadratic-in-total-size scans happen once, not per merge.
+    Tdg merged = std::move(tdgs.front());
+    deduplicate(merged);
+    for (std::size_t i = 1; i < tdgs.size(); ++i) {
+        deduplicate(tdgs[i]);
+        const std::size_t prefix = merged.node_count();
+        merged = graph_union(merged, tdgs[i]);
+        deduplicate(merged, prefix);
+    }
+    return merged;
+}
+
+}  // namespace hermes::tdg

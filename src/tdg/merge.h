@@ -1,0 +1,34 @@
+// SPEED-style TDG merging (§IV, Algorithm 1 lines 4-8).
+//
+// Different programs exhibit redundancy (e.g. every sketch computes hash
+// indexes the same way). Merging unions the node/edge sets of two TDGs and
+// then contracts *redundant* MATs — structurally identical tables — so the
+// shared work is deployed once. Contractions that would create a cycle are
+// skipped, keeping the merged TDG a DAG.
+#pragma once
+
+#include <vector>
+
+#include "tdg/tdg.h"
+
+namespace hermes::tdg {
+
+// Union of two TDGs (no deduplication).
+[[nodiscard]] Tdg graph_union(const Tdg& t1, const Tdg& t2);
+
+// Contracts structurally redundant MATs in-place. Returns the number of
+// nodes eliminated. Edges into/out of an eliminated node are redirected to
+// its surviving twin; duplicate edges and would-be self-loops are dropped.
+// `new_from` restricts the scan to pairs with at least one node id >=
+// new_from — incremental merging only needs to compare fresh nodes against
+// the (already deduplicated) prefix.
+std::size_t deduplicate(Tdg& t, std::size_t new_from = 0);
+
+// Merges two TDGs: union + deduplicate.
+[[nodiscard]] Tdg merge(const Tdg& t1, const Tdg& t2);
+
+// Merges a whole set of TDGs into the merged TDG T_m (pairwise, in order).
+// Throws std::invalid_argument on an empty input set.
+[[nodiscard]] Tdg merge_all(std::vector<Tdg> tdgs);
+
+}  // namespace hermes::tdg

@@ -1,0 +1,48 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace hermes::util {
+
+std::int64_t SplitMix64::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+        return static_cast<std::int64_t>((*this)());
+    }
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t r = (*this)();
+    while (r >= limit) r = (*this)();
+    return lo + static_cast<std::int64_t>(r % span);
+}
+
+double SplitMix64::uniform_real(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_real: lo > hi");
+    // 53 random mantissa bits -> uniform in [0,1).
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+}
+
+bool SplitMix64::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_real(0.0, 1.0) < p;
+}
+
+std::vector<std::size_t> SplitMix64::sample_indices(std::size_t n, std::size_t k) {
+    if (k > n) throw std::invalid_argument("sample_indices: k > n");
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    // Partial Fisher-Yates: the first k slots end up as the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(
+            uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+}  // namespace hermes::util

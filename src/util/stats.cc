@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hermes::util {
+
+void RunningStats::add(double x) noexcept {
+    ++n_;
+    if (n_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) noexcept {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.mean();
+}
+
+double stddev(const std::vector<double>& xs) noexcept {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.stddev();
+}
+
+double percentile(std::vector<double> xs, double q) {
+    if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+    if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q out of range");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) return xs.front();
+    const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace hermes::util

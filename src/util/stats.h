@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used by benchmarks and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes::util {
+
+// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    // Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+// Mean of a vector; 0 for an empty vector.
+[[nodiscard]] double mean(const std::vector<double>& xs) noexcept;
+
+// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(const std::vector<double>& xs) noexcept;
+
+// Linear-interpolated percentile, q in [0, 100]. Throws on empty input or
+// out-of-range q.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+}  // namespace hermes::util

@@ -1,0 +1,68 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+
+namespace hermes::util {
+
+std::string_view trim(std::string_view s) noexcept {
+    auto is_space = [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; };
+    while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+    while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+    return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= s.size()) {
+        const std::size_t end = s.find(sep, begin);
+        const std::string_view piece =
+            trim(s.substr(begin, end == std::string_view::npos ? std::string_view::npos
+                                                               : end - begin));
+        if (!piece.empty()) out.emplace_back(piece);
+        if (end == std::string_view::npos) break;
+        begin = end + 1;
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::int64_t parse_int(std::string_view s) {
+    s = trim(s);
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw std::invalid_argument("parse_int: bad integer '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+double parse_double(std::string_view s) {
+    s = trim(s);
+    // std::from_chars for double is unreliable across libstdc++ versions; use stod.
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(std::string(s), &used);
+        if (used != s.size()) throw std::invalid_argument("trailing junk");
+        return v;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("parse_double: bad number '" + std::string(s) + "'");
+    }
+}
+
+}  // namespace hermes::util

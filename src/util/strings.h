@@ -1,0 +1,30 @@
+// String helpers shared by the program/topology parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::util {
+
+// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+// Split on `sep`, trimming each piece; empty pieces are dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+// Join with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+// Parse a non-negative integer; throws std::invalid_argument with context on
+// malformed input.
+[[nodiscard]] std::int64_t parse_int(std::string_view s);
+
+// Parse a double; throws std::invalid_argument with context on malformed input.
+[[nodiscard]] double parse_double(std::string_view s);
+
+}  // namespace hermes::util

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hermes::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table::add_row: cell count mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    if (!title.empty()) os << "== " << title << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << csv_escape(row[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace hermes::util

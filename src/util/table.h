@@ -1,0 +1,40 @@
+// Console table rendering for experiment output.
+//
+// Every bench binary prints the rows/series the paper reports through this
+// helper so all experiment output is uniformly aligned and can additionally
+// be dumped as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hermes::util {
+
+class Table {
+public:
+    // Column headers fix the column count; every row must match it.
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    // Convenience: formats arithmetic cells with operator<< semantics.
+    // Doubles are printed with `precision` digits after the decimal point.
+    static std::string num(double v, int precision = 2);
+    static std::string num(std::int64_t v);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+    // Render with padded columns, a header underline, and `title` on top.
+    void print(std::ostream& os, const std::string& title = "") const;
+
+    // RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).
+    void write_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hermes::util

@@ -1,0 +1,100 @@
+// Algorithm 1 tests: A(a,b) per dependency type, header-field exclusion,
+// deduplication, and whole-pipeline analysis.
+#include <gtest/gtest.h>
+
+#include "tdg/analyzer.h"
+
+namespace hermes::tdg {
+namespace {
+
+Mat writer(const std::string& name, std::vector<Field> writes) {
+    return Mat(name, {header_field("h_" + name, 2)}, {Action{"w", std::move(writes)}}, 16,
+               0.1);
+}
+
+TEST(Analyzer, MatchDependencyCountsUpstreamMetadata) {
+    const Mat a = writer("a", {metadata_field("meta.x", 4), metadata_field("meta.y", 2)});
+    const Mat b = writer("b", {metadata_field("meta.z", 1)});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kMatch), 6);
+}
+
+TEST(Analyzer, MatchDependencyIgnoresHeaderFields) {
+    // Header fields already ride in the packet: zero extra bytes.
+    const Mat a = writer("a", {header_field("ipv4.ttl", 1), metadata_field("meta.x", 4)});
+    const Mat b = writer("b", {});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kMatch), 4);
+}
+
+TEST(Analyzer, ActionDependencyUnionOfBothSides) {
+    const Mat a = writer("a", {metadata_field("meta.x", 4)});
+    const Mat b = writer("b", {metadata_field("meta.y", 2)});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kAction), 6);
+}
+
+TEST(Analyzer, ActionDependencySharedFieldCountedOnce) {
+    const Mat a = writer("a", {metadata_field("meta.shared", 4)});
+    const Mat b = writer("b", {metadata_field("meta.shared", 4)});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kAction), 4);
+}
+
+TEST(Analyzer, ReverseMatchDeliversNothing) {
+    const Mat a = writer("a", {metadata_field("meta.x", 4)});
+    const Mat b = writer("b", {metadata_field("meta.y", 2)});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kReverseMatch), 0);
+}
+
+TEST(Analyzer, SuccessorCountsUpstreamMetadata) {
+    const Mat a = writer("a", {metadata_field("meta.flag", 1)});
+    const Mat b = writer("b", {metadata_field("meta.y", 2)});
+    EXPECT_EQ(edge_metadata_bytes(a, b, DepType::kSuccessor), 1);
+}
+
+TEST(Analyzer, AnalyzeAnnotatesEveryEdge) {
+    Tdg t;
+    const NodeId a = t.add_node(writer("a", {metadata_field("meta.a", 4)}));
+    const NodeId b = t.add_node(writer("b", {metadata_field("meta.b", 6)}));
+    const NodeId c = t.add_node(writer("c", {metadata_field("meta.c", 12)}));
+    t.add_edge(a, b, DepType::kMatch);
+    t.add_edge(b, c, DepType::kReverseMatch);
+    t.add_edge(a, c, DepType::kAction);
+    analyze(t);
+    EXPECT_EQ(t.find_edge(a, b)->metadata_bytes, 4);
+    EXPECT_EQ(t.find_edge(b, c)->metadata_bytes, 0);
+    EXPECT_EQ(t.find_edge(a, c)->metadata_bytes, 16);
+    EXPECT_EQ(t.total_metadata_bytes(), 20);
+}
+
+TEST(Analyzer, AnalyzeProgramsMergesThenAnnotates) {
+    auto make_sketch = [](const std::string& id) {
+        Tdg t;
+        const NodeId h = t.add_node(Mat("hash", {header_field("5t", 13)},
+                                        {Action{"h", {metadata_field("meta.idx", 4)}}},
+                                        16, 0.1));
+        const NodeId u = t.add_node(writer("update_" + id,
+                                           {metadata_field("meta." + id, 4)}));
+        t.add_edge(h, u, DepType::kMatch);
+        return t;
+    };
+    const Tdg merged = analyze_programs({make_sketch("cm"), make_sketch("bloom")});
+    EXPECT_EQ(merged.node_count(), 3u);  // hash deduplicated
+    for (const Edge& e : merged.edges()) {
+        EXPECT_EQ(e.metadata_bytes, 4);  // each carries the 4-byte index
+    }
+}
+
+TEST(Analyzer, AnalyzeProgramsEmptyThrows) {
+    EXPECT_THROW((void)analyze_programs({}), std::invalid_argument);
+}
+
+TEST(Analyzer, TableOneScenario) {
+    // An INT-style source->transit edge carrying switch id + timestamps:
+    // 4 + 12 = 16 bytes, matching the Table I arithmetic.
+    const Mat source = writer("int_source", {common_metadata::switch_identifier(),
+                                             common_metadata::timestamps()});
+    const Mat transit = writer("int_transit", {common_metadata::queue_lengths()});
+    EXPECT_EQ(edge_metadata_bytes(source, transit, DepType::kMatch), 16);
+    EXPECT_EQ(edge_metadata_bytes(source, transit, DepType::kAction), 22);
+}
+
+}  // namespace
+}  // namespace hermes::tdg

@@ -1,0 +1,283 @@
+// Data plane backend + interpreter tests: configuration synthesis from
+// deployments, packet semantics, and the headline property — distributed
+// execution with metadata piggybacking is observationally equivalent to
+// running the merged TDG on one giant switch.
+#include <gtest/gtest.h>
+
+#include "core/hermes.h"
+#include "dataplane/backend.h"
+#include "dataplane/interp.h"
+#include "prog/library.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+
+namespace hermes::dataplane {
+namespace {
+
+Packet test_packet() {
+    Packet p;
+    p.set_header("ipv4.src_addr", 0x0a000001, 4);
+    p.set_header("ipv4.dst_addr", 0x0a000002, 4);
+    p.set_header("ipv4.protocol", 6, 1);
+    p.set_header("ipv4.ttl", 64, 1);
+    p.set_header("ipv4.dscp", 0, 1);
+    p.set_header("l4.src_port", 12345, 2);
+    p.set_header("l4.dst_port", 443, 2);
+    p.set_header("ethernet.dst_addr", 0xaabbccddee01, 6);
+    p.set_header("ethernet.src_addr", 0xaabbccddee02, 6);
+    p.set_header("intrinsic.ingress_port", 3, 2);
+    p.set_header("tcp.ecn", 0, 1);
+    return p;
+}
+
+// ---- Packet -----------------------------------------------------------------
+
+TEST(Packet, HeaderAndMetadataNamespaces) {
+    Packet p;
+    p.set_header("ipv4.ttl", 64, 1);
+    p.set_metadata("meta.idx", 7, 4);
+    EXPECT_EQ(p.header("ipv4.ttl")->value, 64u);
+    EXPECT_EQ(p.metadata("meta.idx")->value, 7u);
+    EXPECT_FALSE(p.header("meta.idx").has_value());
+    EXPECT_FALSE(p.metadata("ipv4.ttl").has_value());
+    EXPECT_EQ(p.field("meta.idx")->size_bytes, 4);
+    EXPECT_EQ(p.field("ipv4.ttl")->value, 64u);
+    EXPECT_FALSE(p.field("nope").has_value());
+}
+
+TEST(Packet, ClearMetadataKeepsHeaders) {
+    Packet p;
+    p.set_header("h", 1, 1);
+    p.set_metadata("m", 2, 1);
+    p.clear_metadata();
+    EXPECT_TRUE(p.header("h").has_value());
+    EXPECT_FALSE(p.metadata("m").has_value());
+}
+
+TEST(Packet, Validation) {
+    Packet p;
+    EXPECT_THROW(p.set_header("", 0, 1), std::invalid_argument);
+    EXPECT_THROW(p.set_metadata("m", 0, 0), std::invalid_argument);
+}
+
+// ---- Action semantics ----------------------------------------------------------
+
+TEST(ActionValue, DeterministicAndSizeTruncated) {
+    const std::vector<FieldValue> inputs{{42, 4}};
+    const auto a = action_value("t", "act", inputs, 2);
+    const auto b = action_value("t", "act", inputs, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, 1u << 16);
+    const auto c = action_value("t", "act", {{43, 4}}, 2);
+    EXPECT_NE(a, c);  // different inputs, different value (w.h.p.)
+    const auto wide = action_value("t", "act", inputs, 8);
+    EXPECT_GT(wide, 0u);
+}
+
+// ---- Backend --------------------------------------------------------------------
+
+TEST(Backend, ConfigsCoverOccupiedSwitches) {
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 1;  // one MAT per switch: forces full distribution
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const NetworkConfig configs = build_configs(t, n, outcome.deployment);
+    EXPECT_EQ(configs.size(), outcome.deployment.occupied_switches().size());
+    // Every cross edge produced an egress directive upstream and an ingress
+    // registration downstream.
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = outcome.deployment.switch_of(e.from);
+        const net::SwitchId v = outcome.deployment.switch_of(e.to);
+        if (u == v || e.type == tdg::DepType::kReverseMatch) continue;
+        const SwitchConfig& up = configs.at(u);
+        const bool has_directive =
+            std::any_of(up.egress.begin(), up.egress.end(),
+                        [&](const EgressDirective& d) { return d.next_switch == v; });
+        EXPECT_TRUE(has_directive);
+        EXPECT_FALSE(configs.at(v).ingress_fields.empty());
+    }
+}
+
+TEST(Backend, PiggybackFieldsAreUpstreamMetadata) {
+    const tdg::Mat mat("m", {tdg::header_field("h", 2)},
+                       {tdg::Action{"a",
+                                    {tdg::metadata_field("meta.x", 4),
+                                     tdg::header_field("ipv4.ttl", 1)}}},
+                       16, 0.1);
+    const auto fields = piggyback_fields(mat);
+    ASSERT_EQ(fields.size(), 1u);  // header writes ride in the packet anyway
+    EXPECT_EQ(fields.at("meta.x"), 4);
+}
+
+TEST(Backend, EgressBytesNeverExceedAnalyzerAccounting) {
+    const tdg::Tdg t = core::analyze(prog::real_programs());
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 6;
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const NetworkConfig configs = build_configs(t, n, outcome.deployment);
+    // The physically shipped bytes per pair are bounded by A_max-style
+    // accounting (which over-counts action-type edges).
+    for (const auto& [u, config_u] : configs) {
+        for (const EgressDirective& d : config_u.egress) {
+            EXPECT_LE(d.total_bytes(), t.total_metadata_bytes());
+        }
+    }
+}
+
+TEST(Backend, ShapeMismatchRejected) {
+    const tdg::Tdg t = core::analyze({prog::make_program("nat")});
+    const net::Network n = sim::make_testbed();
+    core::Deployment bogus;
+    EXPECT_THROW((void)build_configs(t, n, bogus), std::invalid_argument);
+}
+
+// ---- Monolithic interpreter -------------------------------------------------------
+
+TEST(Interp, MonolithicRunsEveryTable) {
+    const tdg::Tdg t = core::analyze({prog::make_program("l2l3_routing")});
+    const InterpResult r = run_monolithic(t, test_packet());
+    EXPECT_EQ(r.trace.size(), t.node_count());
+    EXPECT_FALSE(r.writes.empty());
+}
+
+TEST(Interp, MetadataFlowsThroughDependencies) {
+    // countmin: hash writes meta.counter_index; update matches it.
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    const InterpResult r = run_monolithic(t, test_packet());
+    for (const ExecutionRecord& rec : r.trace) {
+        EXPECT_TRUE(rec.matched) << t.node(rec.node).name();
+    }
+    EXPECT_TRUE(r.writes.count("meta.counter_index"));
+    EXPECT_TRUE(r.writes.count("meta.cm_count"));
+}
+
+TEST(Interp, MissingHeaderCausesMiss) {
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    Packet empty;  // no headers at all
+    const InterpResult r = run_monolithic(t, empty);
+    for (const ExecutionRecord& rec : r.trace) EXPECT_FALSE(rec.matched);
+    EXPECT_TRUE(r.writes.empty());
+}
+
+// ---- Distributed equivalence ------------------------------------------------------
+
+void expect_equivalent(const tdg::Tdg& t, const net::Network& n,
+                       const core::Deployment& d) {
+    const NetworkConfig configs = build_configs(t, n, d);
+    const InterpResult mono = run_monolithic(t, test_packet());
+    const InterpResult dist = run_deployment(t, n, d, configs, test_packet());
+    ASSERT_EQ(mono.writes.size(), dist.writes.size());
+    for (const auto& [name, value] : mono.writes) {
+        ASSERT_TRUE(dist.writes.count(name)) << name;
+        EXPECT_EQ(dist.writes.at(name), value) << name;
+    }
+    EXPECT_EQ(mono.trace.size(), dist.trace.size());
+}
+
+TEST(Interp, SingleProgramFullyDistributedEquivalence) {
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 1;  // every MAT on its own switch
+    const net::Network n = sim::make_testbed(config);
+    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+}
+
+TEST(Interp, SketchWorkloadEquivalence) {
+    const tdg::Tdg t = core::analyze(prog::sketch_programs());
+    sim::TestbedConfig config;
+    config.switch_count = 4;
+    config.stages = 3;
+    const net::Network n = sim::make_testbed(config);
+    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+}
+
+TEST(Interp, RealProgramsEquivalenceAcrossStrategies) {
+    // Merged ten-program workload deployed two different ways: both must
+    // preserve processing semantics.
+    const tdg::Tdg t = core::analyze(prog::real_programs());
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 6;
+    const net::Network n = sim::make_testbed(config);
+    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+
+    std::vector<tdg::NodeId> all(t.node_count());
+    for (tdg::NodeId v = 0; v < t.node_count(); ++v) all[v] = v;
+    const core::GreedyResult first_fit = core::deploy_segments_on_chain(
+        t, n, core::split_tdg_first_fit(t, all, config.stages, config.stage_capacity),
+        {});
+    expect_equivalent(t, n, first_fit.deployment);
+}
+
+TEST(Interp, WireBytesBoundedByInflightMetric) {
+    const tdg::Tdg t = core::analyze(prog::real_programs());
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 6;
+    const net::Network n = sim::make_testbed(config);
+    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    const InterpResult r = run_deployment(t, n, d, build_configs(t, n, d), test_packet());
+    const std::int64_t bound = core::max_inflight_metadata(t, n, d);
+    for (const int bytes : r.wire_bytes) {
+        EXPECT_LE(bytes, bound);
+        EXPECT_GE(bytes, 0);
+    }
+}
+
+TEST(Interp, BrokenCoordinationBreaksEquivalence) {
+    // Drop one egress directive: the downstream MAT must now miss, and the
+    // write sets must diverge — proving the equivalence check has teeth.
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 1;
+    const net::Network n = sim::make_testbed(config);
+    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    NetworkConfig configs = build_configs(t, n, d);
+    bool dropped = false;
+    for (auto& [u, config_u] : configs) {
+        if (!config_u.egress.empty()) {
+            config_u.egress.clear();
+            dropped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(dropped);
+    const InterpResult mono = run_monolithic(t, test_packet());
+    const InterpResult broken = run_deployment(t, n, d, configs, test_packet());
+    EXPECT_LT(broken.writes.size(), mono.writes.size());
+}
+
+TEST(Interp, SyntheticProgramEquivalence) {
+    prog::SyntheticConfig config;
+    config.min_mats = 8;
+    config.max_mats = 12;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const tdg::Tdg t = core::analyze({prog::synthetic_program(config, seed, 0)});
+        sim::TestbedConfig tb;
+        tb.switch_count = 6;
+        tb.stages = 12;
+        const net::Network n = sim::make_testbed(tb);
+        const core::Deployment d = core::deploy_greedy(t, n).deployment;
+
+        // Synthetic headers are per-MAT unique: build a packet providing all.
+        Packet packet;
+        for (tdg::NodeId v = 0; v < t.node_count(); ++v) {
+            for (const tdg::Field& f : t.node(v).match_fields()) {
+                if (!f.is_metadata()) packet.set_header(f.name, 0x1234 + v, f.size_bytes);
+            }
+        }
+        const NetworkConfig configs = build_configs(t, n, d);
+        const InterpResult mono = run_monolithic(t, packet);
+        const InterpResult dist = run_deployment(t, n, d, configs, packet);
+        EXPECT_EQ(mono.writes, dist.writes) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace hermes::dataplane

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "tdg/deps.h"
+#include "tdg/merge.h"
+
+namespace hermes::tdg {
+namespace {
+
+Mat make_mat(const std::string& name, std::vector<Field> matches,
+             std::vector<Field> writes, double resource = 0.1) {
+    return Mat(name, std::move(matches), {Action{"act", std::move(writes)}}, 16, resource);
+}
+
+// ---- Dependency inference ---------------------------------------------------
+
+TEST(Deps, MatchDependency) {
+    // a writes meta.idx, b matches meta.idx -> M.
+    const Mat a = make_mat("a", {header_field("h", 2)}, {metadata_field("meta.idx", 4)});
+    const Mat b = make_mat("b", {metadata_field("meta.idx", 4)}, {metadata_field("m2", 1)});
+    const auto dep = infer_dependency(a, b);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, DepType::kMatch);
+}
+
+TEST(Deps, ActionDependency) {
+    // Both write ipv4.ttl -> A.
+    const Mat a = make_mat("a", {header_field("h", 2)}, {header_field("ipv4.ttl", 1)});
+    const Mat b = make_mat("b", {header_field("h2", 2)}, {header_field("ipv4.ttl", 1)});
+    const auto dep = infer_dependency(a, b);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, DepType::kAction);
+}
+
+TEST(Deps, ReverseMatchDependency) {
+    // a matches ipv4.dst, b modifies ipv4.dst -> R.
+    const Mat a = make_mat("a", {header_field("ipv4.dst", 4)}, {metadata_field("m", 1)});
+    const Mat b = make_mat("b", {header_field("h", 2)}, {header_field("ipv4.dst", 4)});
+    const auto dep = infer_dependency(a, b);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, DepType::kReverseMatch);
+}
+
+TEST(Deps, SuccessorWhenGated) {
+    const Mat a = make_mat("a", {header_field("h", 2)}, {metadata_field("m1", 1)});
+    const Mat b = make_mat("b", {header_field("h2", 2)}, {metadata_field("m2", 1)});
+    EXPECT_FALSE(infer_dependency(a, b).has_value());
+    const auto dep = infer_dependency(a, b, /*gated=*/true);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, DepType::kSuccessor);
+}
+
+TEST(Deps, MatchBeatsActionBeatsReverse) {
+    // a writes m (b matches m) and both write shared; M must win.
+    const Mat a = make_mat("a", {header_field("x", 1)},
+                           {metadata_field("m", 4), metadata_field("shared", 2)});
+    const Mat b = make_mat("b", {metadata_field("m", 4)},
+                           {metadata_field("shared", 2)});
+    EXPECT_EQ(*infer_dependency(a, b), DepType::kMatch);
+    // Without the match link, the action link must win over gating.
+    const Mat a2 = make_mat("a2", {header_field("x", 1)}, {metadata_field("shared", 2)});
+    const Mat b2 = make_mat("b2", {header_field("y", 1)}, {metadata_field("shared", 2)});
+    EXPECT_EQ(*infer_dependency(a2, b2, true), DepType::kAction);
+}
+
+TEST(Deps, IndependentMats) {
+    const Mat a = make_mat("a", {header_field("h1", 2)}, {metadata_field("m1", 1)});
+    const Mat b = make_mat("b", {header_field("h2", 2)}, {metadata_field("m2", 1)});
+    EXPECT_FALSE(infer_dependency(a, b).has_value());
+}
+
+// ---- Merging ----------------------------------------------------------------
+
+Tdg chain2(const std::string& prefix) {
+    Tdg t;
+    const NodeId a = t.add_node(
+        make_mat(prefix + "_a", {header_field("h_" + prefix, 2)},
+                 {metadata_field("meta." + prefix, 4)}));
+    const NodeId b = t.add_node(
+        make_mat(prefix + "_b", {metadata_field("meta." + prefix, 4)},
+                 {metadata_field("meta." + prefix + "2", 2)}));
+    t.add_edge(a, b, DepType::kMatch);
+    return t;
+}
+
+TEST(Merge, GraphUnionConcatenates) {
+    const Tdg u = graph_union(chain2("p"), chain2("q"));
+    EXPECT_EQ(u.node_count(), 4u);
+    EXPECT_EQ(u.edge_count(), 2u);
+    EXPECT_TRUE(u.find_edge(0, 1).has_value());
+    EXPECT_TRUE(u.find_edge(2, 3).has_value());
+    EXPECT_TRUE(u.is_dag());
+}
+
+TEST(Merge, DeduplicateContractsIdenticalMats) {
+    // Two programs sharing a structurally identical hash MAT.
+    auto shared = [] {
+        return make_mat("hash", {header_field("五tuple", 13)},
+                        {metadata_field("meta.idx", 4)});
+    };
+    Tdg t1;
+    const NodeId h1 = t1.add_node(shared());
+    const NodeId u1 = t1.add_node(make_mat("p_update", {metadata_field("meta.idx", 4)},
+                                           {metadata_field("meta.p", 4)}));
+    t1.add_edge(h1, u1, DepType::kMatch);
+    Tdg t2;
+    const NodeId h2 = t2.add_node(shared());
+    const NodeId u2 = t2.add_node(make_mat("q_update", {metadata_field("meta.idx", 4)},
+                                           {metadata_field("meta.q", 4)}));
+    t2.add_edge(h2, u2, DepType::kMatch);
+
+    const Tdg merged = merge(t1, t2);
+    EXPECT_EQ(merged.node_count(), 3u);  // hash deduplicated
+    EXPECT_EQ(merged.edge_count(), 2u);  // both update edges kept
+    EXPECT_TRUE(merged.is_dag());
+}
+
+TEST(Merge, NoFalseDeduplication) {
+    const Tdg merged = merge(chain2("p"), chain2("q"));
+    EXPECT_EQ(merged.node_count(), 4u);
+}
+
+TEST(Merge, DeduplicationSkippedWhenItWouldCycle) {
+    // t1: X -> A; t2: A' -> X' where X/X' and A/A' are identical pairs.
+    // Contracting both pairs would create X <-> A; at most one contraction
+    // may happen and the result must stay a DAG.
+    auto mat_x = [] {
+        return make_mat("x", {header_field("hx", 2)}, {metadata_field("mx", 2)});
+    };
+    auto mat_a = [] {
+        return make_mat("a", {header_field("ha", 2)}, {metadata_field("ma", 2)});
+    };
+    Tdg t1;
+    t1.add_edge(t1.add_node(mat_x()), t1.add_node(mat_a()), DepType::kSuccessor);
+    Tdg t2;
+    t2.add_edge(t2.add_node(mat_a()), t2.add_node(mat_x()), DepType::kSuccessor);
+    const Tdg merged = merge(t1, t2);
+    EXPECT_TRUE(merged.is_dag());
+    EXPECT_GE(merged.node_count(), 3u);
+}
+
+TEST(Merge, MergeAllReducesSketchFamilies) {
+    std::vector<Tdg> tdgs;
+    for (int i = 0; i < 4; ++i) {
+        Tdg t;
+        const NodeId h = t.add_node(make_mat("hash", {header_field("5t", 13)},
+                                             {metadata_field("meta.idx", 4)}));
+        const NodeId u = t.add_node(
+            make_mat("u" + std::to_string(i), {metadata_field("meta.idx", 4)},
+                     {metadata_field("meta.v" + std::to_string(i), 4)}));
+        t.add_edge(h, u, DepType::kMatch);
+        tdgs.push_back(std::move(t));
+    }
+    const Tdg merged = merge_all(std::move(tdgs));
+    EXPECT_EQ(merged.node_count(), 5u);  // 1 shared hash + 4 updates
+    EXPECT_EQ(merged.edge_count(), 4u);
+}
+
+TEST(Merge, MergeAllEmptyThrows) {
+    EXPECT_THROW((void)merge_all({}), std::invalid_argument);
+}
+
+TEST(Merge, DeduplicateReturnsEliminationCount) {
+    Tdg u = graph_union(chain2("p"), chain2("p"));  // identical twice
+    const std::size_t eliminated = deduplicate(u);
+    EXPECT_EQ(eliminated, 2u);
+    EXPECT_EQ(u.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hermes::tdg

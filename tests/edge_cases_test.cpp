@@ -1,0 +1,265 @@
+// Edge-case and robustness suite: degenerate inputs, boundary geometries,
+// zero-metadata workloads, isolated switches, and cross-module consistency
+// checks that don't fit a single module's suite.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/common.h"
+#include "core/dp_split.h"
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "dataplane/backend.h"
+#include "dataplane/interp.h"
+#include "net/builders.h"
+#include "prog/library.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+#include "tdg/analyzer.h"
+
+namespace hermes {
+namespace {
+
+using tdg::DepType;
+using tdg::NodeId;
+
+tdg::Mat mat(const std::string& name, double resource,
+             std::vector<tdg::Field> writes = {}) {
+    return tdg::Mat(name, {tdg::header_field("h_" + name, 2)},
+                    {tdg::Action{"a", std::move(writes)}}, 16, resource);
+}
+
+// ---- Degenerate TDGs --------------------------------------------------------
+
+TEST(EdgeCases, SingleMatDeploysOnOneSwitch) {
+    tdg::Tdg t;
+    t.add_node(mat("only", 0.5, {tdg::metadata_field("m", 4)}));
+    const net::Network n = sim::make_testbed();
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_EQ(outcome.metrics.occupied_switches, 1);
+    EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
+    EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
+}
+
+TEST(EdgeCases, ZeroMetadataWorkloadDeploysWithZeroOverhead) {
+    // All dependencies are reverse-match (ordering only): any split is free.
+    tdg::Tdg t;
+    for (int i = 0; i < 6; ++i) t.add_node(mat("m" + std::to_string(i), 0.9));
+    for (int i = 1; i < 6; ++i) t.add_edge(i - 1, i, DepType::kReverseMatch);
+    tdg::analyze(t);
+    EXPECT_EQ(t.total_metadata_bytes(), 0);
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
+    EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
+}
+
+TEST(EdgeCases, WideIndependentTdgPacksDensely) {
+    // 24 independent small MATs on one 12-stage switch: everything fits.
+    tdg::Tdg t;
+    for (int i = 0; i < 24; ++i) t.add_node(mat("w" + std::to_string(i), 0.45));
+    sim::TestbedConfig tb;
+    tb.stages = 12;  // full Tofino profile (the testbed default is scaled down)
+    const net::Network n = sim::make_testbed(tb);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_EQ(outcome.metrics.occupied_switches, 1);
+}
+
+TEST(EdgeCases, DeepChainNeedsDepthNotResources) {
+    // 8-deep dependency chain of tiny MATs: resources fit one stage, but the
+    // chain needs 8 stages; with 4-stage switches it must span 2.
+    tdg::Tdg t;
+    for (int i = 0; i < 8; ++i) {
+        t.add_node(mat("c" + std::to_string(i), 0.05,
+                       {tdg::metadata_field("meta.c" + std::to_string(i), 2)}));
+        if (i > 0) t.add_edge(i - 1, i, DepType::kMatch);
+    }
+    tdg::analyze(t);
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_GE(outcome.metrics.occupied_switches, 2);
+    EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
+}
+
+// ---- Network corner cases --------------------------------------------------------
+
+TEST(EdgeCases, SingleProgrammableSwitchAmongLegacy) {
+    // Only one programmable switch in a legacy network: everything lands on
+    // it or deployment fails loudly.
+    net::Network n;
+    net::SwitchProps legacy;
+    legacy.programmable = false;
+    net::SwitchProps tofino;
+    tofino.programmable = true;
+    tofino.stages = 12;
+    const net::SwitchId a = n.add_switch(legacy);
+    const net::SwitchId b = n.add_switch(tofino);
+    const net::SwitchId c = n.add_switch(legacy);
+    n.add_link(a, b, 1.0);
+    n.add_link(b, c, 1.0);
+
+    const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    for (const core::Placement& p : outcome.deployment.placements) EXPECT_EQ(p.sw, b);
+}
+
+TEST(EdgeCases, DisconnectedProgrammableIslandUnusable) {
+    // Two programmable switches with no path between them cannot form a
+    // two-segment chain.
+    net::Network n;
+    net::SwitchProps tofino;
+    tofino.programmable = true;
+    tofino.stages = 1;
+    tofino.stage_capacity = 1.0;
+    n.add_switch(tofino);
+    n.add_switch(tofino);  // no link between them
+
+    tdg::Tdg t;
+    t.add_node(mat("a", 0.9, {tdg::metadata_field("m", 4)}));
+    t.add_node(mat("b", 0.9));
+    t.add_edge(0, 1, DepType::kSuccessor);
+    tdg::analyze(t);
+    EXPECT_THROW((void)core::deploy_greedy(t, n), std::runtime_error);
+}
+
+TEST(EdgeCases, HeterogeneousSwitchGeometries) {
+    // Mixed stage counts: the fit check must respect each switch's own shape.
+    net::Network n;
+    net::SwitchProps small;
+    small.programmable = true;
+    small.stages = 2;
+    net::SwitchProps big;
+    big.programmable = true;
+    big.stages = 12;
+    const net::SwitchId s0 = n.add_switch(small);
+    const net::SwitchId s1 = n.add_switch(big);
+    n.add_link(s0, s1, 1.0);
+
+    const tdg::Tdg t = core::analyze(prog::sketch_programs());
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
+}
+
+// ---- Conflict ordering invariants ---------------------------------------------------
+
+TEST(EdgeCases, ConflictEdgesMakeMergedWorkloadsDeterministic) {
+    // Any two analyzed workloads sharing fields: every pair of same-field
+    // writers must be ordered (path between them).
+    const tdg::Tdg t = core::analyze(prog::paper_workload(12, 31));
+    // Build reachability by brute force.
+    std::vector<std::vector<bool>> reach(t.node_count(),
+                                         std::vector<bool>(t.node_count(), false));
+    const auto topo = t.topological_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        for (const tdg::Edge& e : t.edges()) {
+            if (e.from != *it) continue;
+            reach[*it][e.to] = true;
+            for (std::size_t v = 0; v < t.node_count(); ++v) {
+                if (reach[e.to][v]) reach[*it][v] = true;
+            }
+        }
+    }
+    std::map<std::string, std::vector<NodeId>> writers;
+    for (NodeId v = 0; v < t.node_count(); ++v) {
+        for (const tdg::Field& f : t.node(v).modified_fields()) {
+            writers[f.name].push_back(v);
+        }
+    }
+    for (const auto& [field, nodes] : writers) {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+                EXPECT_TRUE(reach[nodes[i]][nodes[j]] || reach[nodes[j]][nodes[i]])
+                    << field << ": " << t.node(nodes[i]).name() << " vs "
+                    << t.node(nodes[j]).name();
+            }
+        }
+    }
+}
+
+TEST(EdgeCases, ConflictPassIdempotent) {
+    tdg::Tdg t = core::analyze(prog::paper_workload(8, 13));
+    const std::size_t edges_before = t.edge_count();
+    EXPECT_EQ(tdg::add_write_conflict_edges(t), 0u);
+    EXPECT_EQ(t.edge_count(), edges_before);
+}
+
+// ---- Cross-module consistency ---------------------------------------------------------
+
+TEST(EdgeCases, BackendEgressBytesMatchPairMetadataForPureMatchTdg) {
+    // For a TDG of match-type edges with single-writer fields, the backend's
+    // per-pair egress bytes equal the objective evaluator's pair metadata.
+    tdg::Tdg t;
+    t.add_node(mat("a", 0.9, {tdg::metadata_field("meta.x", 4)}));
+    t.add_node(mat("b", 0.9, {tdg::metadata_field("meta.y", 6)}));
+    t.add_node(mat("c", 0.9, {tdg::metadata_field("meta.z", 1)}));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.add_edge(1, 2, DepType::kMatch);
+    tdg::analyze(t);
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 1;
+    const net::Network n = sim::make_testbed(config);
+    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    const dataplane::NetworkConfig configs = dataplane::build_configs(t, n, d);
+
+    std::map<std::pair<net::SwitchId, net::SwitchId>, std::int64_t> pair_bytes;
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = d.switch_of(e.from);
+        const net::SwitchId v = d.switch_of(e.to);
+        if (u != v) pair_bytes[{u, v}] += e.metadata_bytes;
+    }
+    for (const auto& [u, config_u] : configs) {
+        for (const dataplane::EgressDirective& eg : config_u.egress) {
+            EXPECT_EQ(eg.total_bytes(), pair_bytes.at({u, eg.next_switch}));
+        }
+    }
+}
+
+TEST(EdgeCases, DpSplitAgreesWithBoundaryCutsOnDeployments) {
+    const tdg::Tdg t = core::analyze(prog::real_programs());
+    const core::DpSplitResult r = core::dp_split(t, 6, 1.0);
+    // Re-derive the objective from the boundary table.
+    const auto cuts = core::boundary_cuts(t);
+    std::int64_t max_cut = 0;
+    std::size_t position = 0;
+    for (std::size_t i = 0; i + 1 < r.segments.size(); ++i) {
+        position += r.segments[i].size();
+        max_cut = std::max(max_cut, cuts[position]);
+    }
+    EXPECT_EQ(max_cut, r.max_cut_bytes);
+}
+
+TEST(EdgeCases, StrategiesHandleSingleProgram) {
+    const std::vector<prog::Program> one{prog::make_program("nat")};
+    const net::Network n = sim::make_testbed();
+    baselines::BaselineOptions options;
+    options.milp.time_limit_seconds = 2.0;
+    for (const auto& strategy : baselines::all_strategies()) {
+        const baselines::StrategyOutcome outcome = strategy->deploy(one, n, options);
+        EXPECT_TRUE(core::verify(outcome.merged, n, outcome.deployment).ok)
+            << strategy->name();
+    }
+}
+
+TEST(EdgeCases, EmptyProgramListRejectedEverywhere) {
+    EXPECT_THROW((void)core::analyze({}), std::invalid_argument);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    EXPECT_THROW((void)baselines::union_programs({}, ranges), std::invalid_argument);
+}
+
+TEST(EdgeCases, MotivationRigAt1500PlusOverheadStaysWithinMtu) {
+    // Wire size is clamped at the Ethernet MTU; payload shrinks instead.
+    sim::MotivationConfig config;
+    config.packets = 200;
+    const sim::MotivationPoint p = sim::run_motivation(config, 1500, 108);
+    EXPECT_GT(p.fct_increase, 0.0);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "tdg/field.h"
+#include "tdg/mat.h"
+
+namespace hermes::tdg {
+namespace {
+
+TEST(Field, Constructors) {
+    const Field h = header_field("ipv4.dst", 4);
+    EXPECT_EQ(h.kind, FieldKind::kHeader);
+    EXPECT_FALSE(h.is_metadata());
+    const Field m = metadata_field("meta.idx", 4);
+    EXPECT_TRUE(m.is_metadata());
+}
+
+TEST(Field, Validation) {
+    EXPECT_THROW((void)header_field("", 4), std::invalid_argument);
+    EXPECT_THROW((void)header_field("x", 0), std::invalid_argument);
+    EXPECT_THROW((void)metadata_field("x", -1), std::invalid_argument);
+}
+
+TEST(Field, TableOneCatalogSizes) {
+    // Table I of the paper.
+    EXPECT_EQ(common_metadata::switch_identifier().size_bytes, 4);
+    EXPECT_EQ(common_metadata::queue_lengths().size_bytes, 6);
+    EXPECT_EQ(common_metadata::timestamps().size_bytes, 12);
+    EXPECT_EQ(common_metadata::counter_index().size_bytes, 4);
+}
+
+TEST(Field, MetadataBytesCountsOnlyMetadata) {
+    const std::vector<Field> fields{header_field("h1", 6), metadata_field("m1", 4),
+                                    metadata_field("m2", 2)};
+    EXPECT_EQ(metadata_bytes(fields), 6);
+}
+
+TEST(Field, MetadataBytesDeduplicatesByName) {
+    const std::vector<Field> fields{metadata_field("m", 4), metadata_field("m", 4),
+                                    metadata_field("n", 1)};
+    EXPECT_EQ(metadata_bytes(fields), 5);
+}
+
+TEST(Field, MetadataBytesEmpty) { EXPECT_EQ(metadata_bytes({}), 0); }
+
+// ---- Mat --------------------------------------------------------------------
+
+Mat sample_mat() {
+    return Mat("lpm", {header_field("ipv4.dst", 4)},
+               {Action{"set_nh", {metadata_field("meta.nh", 4)}},
+                Action{"drop", {metadata_field("meta.drop", 1)}}},
+               128, 0.4, MatchKind::kLpm);
+}
+
+TEST(Mat, PropertiesExposed) {
+    const Mat m = sample_mat();
+    EXPECT_EQ(m.name(), "lpm");
+    EXPECT_EQ(m.match_fields().size(), 1u);
+    EXPECT_EQ(m.actions().size(), 2u);
+    EXPECT_EQ(m.rule_capacity(), 128);
+    EXPECT_DOUBLE_EQ(m.resource_units(), 0.4);
+    EXPECT_EQ(m.match_kind(), MatchKind::kLpm);
+}
+
+TEST(Mat, ModifiedFieldsUnionOfActionWrites) {
+    const Mat m = sample_mat();
+    ASSERT_EQ(m.modified_fields().size(), 2u);
+    EXPECT_TRUE(m.modifies_field("meta.nh"));
+    EXPECT_TRUE(m.modifies_field("meta.drop"));
+    EXPECT_FALSE(m.modifies_field("ipv4.dst"));
+}
+
+TEST(Mat, ModifiedFieldsDeduplicated) {
+    const Mat m("t", {header_field("h", 1)},
+                {Action{"a1", {metadata_field("m", 4)}},
+                 Action{"a2", {metadata_field("m", 4)}}},
+                1, 0.1);
+    EXPECT_EQ(m.modified_fields().size(), 1u);
+}
+
+TEST(Mat, MatchesField) {
+    const Mat m = sample_mat();
+    EXPECT_TRUE(m.matches_field("ipv4.dst"));
+    EXPECT_FALSE(m.matches_field("meta.nh"));
+}
+
+TEST(Mat, Validation) {
+    EXPECT_THROW(Mat("", {}, {}, 1, 0.1), std::invalid_argument);
+    EXPECT_THROW(Mat("x", {}, {}, -1, 0.1), std::invalid_argument);
+    EXPECT_THROW(Mat("x", {}, {}, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Mat, RuleCapacityEnforced) {
+    Mat m("t", {header_field("h", 1)}, {Action{"a", {}}}, 2, 0.1);
+    m.add_rule(Rule{"k1", 0});
+    m.add_rule(Rule{"k2", 0});
+    EXPECT_THROW(m.add_rule(Rule{"k3", 0}), std::runtime_error);
+}
+
+TEST(Mat, RuleActionIndexValidated) {
+    Mat m("t", {header_field("h", 1)}, {Action{"a", {}}}, 4, 0.1);
+    EXPECT_THROW(m.add_rule(Rule{"k", 1}), std::out_of_range);
+}
+
+TEST(Mat, SameStructureIgnoresNameAndRules) {
+    Mat a("a", {header_field("h", 4)}, {Action{"act", {metadata_field("m", 2)}}}, 16, 0.2);
+    Mat b("b", {header_field("h", 4)}, {Action{"act", {metadata_field("m", 2)}}}, 16, 0.2);
+    b.add_rule(Rule{"k", 0});
+    EXPECT_TRUE(a.same_structure(b));
+}
+
+TEST(Mat, SameStructureDetectsDifferences) {
+    const Mat a("a", {header_field("h", 4)}, {Action{"act", {metadata_field("m", 2)}}}, 16,
+                0.2);
+    const Mat diff_match("b", {header_field("h2", 4)},
+                         {Action{"act", {metadata_field("m", 2)}}}, 16, 0.2);
+    const Mat diff_capacity("c", {header_field("h", 4)},
+                            {Action{"act", {metadata_field("m", 2)}}}, 32, 0.2);
+    const Mat diff_action("d", {header_field("h", 4)},
+                          {Action{"other", {metadata_field("m", 2)}}}, 16, 0.2);
+    EXPECT_FALSE(a.same_structure(diff_match));
+    EXPECT_FALSE(a.same_structure(diff_capacity));
+    EXPECT_FALSE(a.same_structure(diff_action));
+}
+
+}  // namespace
+}  // namespace hermes::tdg

@@ -1,0 +1,239 @@
+// P#1 MILP formulation tests: solved instances against known optima,
+// decode/encode round trips, epsilon bounds, objective variants, and the
+// segment-level reduction.
+#include <gtest/gtest.h>
+
+#include "core/formulation.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/verifier.h"
+#include "milp/solver.h"
+#include "sim/testbed.h"
+
+namespace hermes::core {
+namespace {
+
+using tdg::DepType;
+using tdg::NodeId;
+
+tdg::Mat mat(const std::string& name, double resource) {
+    return tdg::Mat(name, {tdg::header_field("h_" + name, 2)},
+                    {tdg::Action{"act", {tdg::metadata_field("m_" + name, 4)}}}, 16,
+                    resource);
+}
+
+// Figure 1's motivating example: a --1B--> b --4B--> c, switches holding two
+// MATs each. The optimal deployment co-locates b and c (overhead 1 byte).
+tdg::Tdg fig1_tdg() {
+    tdg::Tdg t;
+    for (const char* n : {"a", "b", "c"}) t.add_node(mat(n, 1.0));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.edges().back().metadata_bytes = 1;
+    t.add_edge(1, 2, DepType::kMatch);
+    t.edges().back().metadata_bytes = 4;
+    return t;
+}
+
+net::Network two_switches() {
+    sim::TestbedConfig config;
+    config.switch_count = 2;
+    config.stages = 2;
+    return sim::make_testbed(config);
+}
+
+milp::MilpOptions quick() {
+    milp::MilpOptions o;
+    o.time_limit_seconds = 30.0;
+    return o;
+}
+
+TEST(Formulation, Figure1OptimalCoLocatesHeavyEdge) {
+    const tdg::Tdg t = fig1_tdg();
+    const net::Network n = two_switches();
+    P1Formulation f(t, n, FormulationOptions{});
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-6);  // only the 1-byte edge crosses
+    const Deployment d = f.decode(r.values);
+    EXPECT_EQ(max_pair_metadata(t, d), 1);
+    EXPECT_EQ(d.switch_of(1), d.switch_of(2));  // b and c together
+    EXPECT_TRUE(verify(t, n, d).ok);
+}
+
+TEST(Formulation, MatchesGreedyOnFigure4) {
+    // On the Fig 4 instance both the exact model and Algorithm 2 reach 4
+    // bytes (the heuristic is optimal at this scale, as the paper observes).
+    tdg::Tdg t;
+    for (const char* nm : {"a", "b", "c", "d", "e"}) t.add_node(mat(nm, 1.0));
+    auto edge = [&](NodeId f, NodeId to, int bytes) {
+        t.add_edge(f, to, DepType::kMatch);
+        t.edges().back().metadata_bytes = bytes;
+    };
+    edge(0, 1, 2);
+    edge(0, 2, 2);
+    edge(1, 2, 5);
+    edge(2, 3, 1);
+    edge(2, 4, 2);
+    edge(3, 4, 2);
+
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+
+    P1Formulation f(t, n, FormulationOptions{});
+    milp::MilpOptions options = quick();
+    options.warm_start = f.encode(greedy_deploy(t, n).deployment);
+    ASSERT_TRUE(options.warm_start.has_value());
+    const milp::MilpResult r = milp::solve_milp(f.model(), options);
+    ASSERT_TRUE(r.has_solution());
+    EXPECT_NEAR(r.objective, 4.0, 1e-6);
+}
+
+TEST(Formulation, SingleSwitchZeroOverhead) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 2;
+    config.stages = 4;  // everything fits one switch
+    const net::Network n = sim::make_testbed(config);
+    P1Formulation f(t, n, FormulationOptions{});
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 0.0, 1e-6);
+    const Deployment d = f.decode(r.values);
+    EXPECT_EQ(d.occupied_switches().size(), 1u);
+    EXPECT_TRUE(verify(t, n, d).ok);
+}
+
+TEST(Formulation, InfeasibleWhenCapacityShort) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 1;
+    config.stages = 2;  // 3 unit-size MATs cannot fit 2 stages
+    const net::Network n = sim::make_testbed(config);
+    P1Formulation f(t, n, FormulationOptions{});
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    EXPECT_EQ(r.status, milp::MilpStatus::kInfeasible);
+}
+
+TEST(Formulation, Epsilon2ForcesFewerSwitches) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    FormulationOptions fo;
+    fo.epsilon2 = 1;
+    P1Formulation f(t, n, fo);
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    const Deployment d = f.decode(r.values);
+    EXPECT_EQ(d.occupied_switches().size(), 1u);
+}
+
+TEST(Formulation, Epsilon1BoundsRouteLatency) {
+    const tdg::Tdg t = fig1_tdg();
+    const net::Network n = two_switches();  // must use both switches
+    FormulationOptions fo;
+    fo.epsilon1 = 1.0;  // a single inter-switch hop costs 7us
+    P1Formulation f(t, n, fo);
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    EXPECT_EQ(r.status, milp::MilpStatus::kInfeasible);
+}
+
+TEST(Formulation, EncodeRoundTripsGreedy) {
+    const tdg::Tdg t = fig1_tdg();
+    const net::Network n = two_switches();
+    P1Formulation f(t, n, FormulationOptions{});
+    const Deployment greedy = greedy_deploy(t, n).deployment;
+    const auto values = f.encode(greedy);
+    ASSERT_TRUE(values.has_value());
+    EXPECT_TRUE(f.model().is_feasible(*values, 1e-5));
+    const Deployment decoded = f.decode(*values);
+    for (NodeId v = 0; v < t.node_count(); ++v) {
+        EXPECT_EQ(decoded.switch_of(v), greedy.switch_of(v));
+    }
+}
+
+TEST(Formulation, EncodeRejectsForeignDeployment) {
+    const tdg::Tdg t = fig1_tdg();
+    const net::Network n = two_switches();
+    P1Formulation f(t, n, FormulationOptions{});
+    Deployment bogus;
+    bogus.placements = {{9, 0}, {9, 0}, {9, 0}};
+    EXPECT_FALSE(f.encode(bogus).has_value());
+    Deployment wrong_arity;
+    wrong_arity.placements = {{0, 0}};
+    EXPECT_FALSE(f.encode(wrong_arity).has_value());
+}
+
+TEST(Formulation, SegmentLevelReachesSameObjectiveHere) {
+    const tdg::Tdg t = fig1_tdg();
+    const net::Network n = two_switches();
+    FormulationOptions fo;
+    fo.segment_level = true;
+    P1Formulation f(t, n, fo);
+    EXPECT_LT(f.unit_count(), t.node_count());
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    // The min-metadata split already separates a | b,c, so the segment-level
+    // optimum matches the MAT-level one.
+    EXPECT_NEAR(r.objective, 1.0, 1e-6);
+    EXPECT_TRUE(verify(t, n, f.decode(r.values)).ok);
+}
+
+TEST(Formulation, LatencyObjectiveMinimizesRoutes) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 4;  // fits one switch -> zero routes is optimal
+    const net::Network n = sim::make_testbed(config);
+    FormulationOptions fo;
+    fo.objective = P1Objective::kMinLatency;
+    P1Formulation f(t, n, fo);
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 0.0, 1e-6);
+}
+
+TEST(Formulation, OccupiedObjectiveUsesOneSwitch) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    FormulationOptions fo;
+    fo.objective = P1Objective::kMinOccupied;
+    P1Formulation f(t, n, fo);
+    const milp::MilpResult r = milp::solve_milp(f.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-6);
+}
+
+TEST(Formulation, CandidateLimitShrinksModel) {
+    const tdg::Tdg t = fig1_tdg();
+    sim::TestbedConfig config;
+    config.switch_count = 6;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+    FormulationOptions full;
+    P1Formulation f_full(t, n, full);
+    FormulationOptions capped;
+    capped.candidate_limit = 2;
+    P1Formulation f_capped(t, n, capped);
+    EXPECT_EQ(f_capped.candidates().size(), 2u);
+    EXPECT_LT(f_capped.model().variable_count(), f_full.model().variable_count());
+    const milp::MilpResult r = milp::solve_milp(f_capped.model(), quick());
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-6);
+}
+
+TEST(Formulation, NoProgrammableSwitchesRejected) {
+    const tdg::Tdg t = fig1_tdg();
+    net::Network n;
+    n.add_switch(net::SwitchProps{});
+    EXPECT_THROW((P1Formulation(t, n, FormulationOptions{})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hermes::core

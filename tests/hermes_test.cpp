@@ -1,0 +1,104 @@
+// Framework facade tests: analyze -> deploy_greedy / deploy_optimal on real
+// program workloads against the paper's testbed topology.
+#include <gtest/gtest.h>
+
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "prog/library.h"
+#include "sim/testbed.h"
+
+namespace hermes::core {
+namespace {
+
+std::vector<prog::Program> few_programs(std::size_t count) {
+    std::vector<prog::Program> all = prog::real_programs();
+    all.erase(all.begin() + static_cast<std::ptrdiff_t>(count), all.end());
+    return all;
+}
+
+TEST(Hermes, AnalyzeMergesAndAnnotates) {
+    const tdg::Tdg t = analyze(prog::real_programs());
+    EXPECT_GT(t.node_count(), 10u);
+    EXPECT_TRUE(t.is_dag());
+    EXPECT_GT(t.total_metadata_bytes(), 0);
+    // Merging must be no larger than the plain union.
+    std::size_t union_nodes = 0;
+    for (const prog::Program& p : prog::real_programs()) union_nodes += p.mat_count();
+    EXPECT_LT(t.node_count(), union_nodes);
+}
+
+TEST(Hermes, GreedyDeploysRealProgramsOnTestbed) {
+    const tdg::Tdg t = analyze(few_programs(4));
+    const net::Network n = sim::make_testbed();
+    const DeployOutcome outcome = deploy_greedy(t, n);
+    EXPECT_EQ(outcome.solver_status, "greedy");
+    EXPECT_GT(outcome.solve_seconds, 0.0);
+    const VerificationReport report = verify(t, n, outcome.deployment);
+    EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                         : report.violations.front());
+    EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes,
+              max_pair_metadata(t, outcome.deployment));
+}
+
+TEST(Hermes, OptimalNeverWorseThanGreedy) {
+    const tdg::Tdg t = analyze(few_programs(3));
+    sim::TestbedConfig config;
+    config.stages = 3;  // force a multi-switch deployment
+    const net::Network n = sim::make_testbed(config);
+
+    const DeployOutcome greedy = deploy_greedy(t, n);
+    HermesOptions options;
+    options.milp.time_limit_seconds = 60.0;
+    const DeployOutcome optimal = deploy_optimal(t, n, options);
+    EXPECT_LE(optimal.metrics.max_pair_metadata_bytes,
+              greedy.metrics.max_pair_metadata_bytes);
+    const VerificationReport report = verify(t, n, optimal.deployment);
+    EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                         : report.violations.front());
+}
+
+TEST(Hermes, OptimalSegmentLevelMode) {
+    const tdg::Tdg t = analyze(few_programs(5));
+    sim::TestbedConfig config;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    HermesOptions options;
+    options.segment_level_milp = true;
+    options.milp.time_limit_seconds = 30.0;
+    const DeployOutcome outcome = deploy_optimal(t, n, options);
+    EXPECT_TRUE(verify(t, n, outcome.deployment).ok);
+}
+
+TEST(Hermes, GreedyInfeasiblePropagates) {
+    const tdg::Tdg t = analyze(prog::real_programs());
+    sim::TestbedConfig config;
+    config.switch_count = 1;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+    EXPECT_THROW((void)deploy_greedy(t, n), std::runtime_error);
+}
+
+TEST(Hermes, EpsilonBoundsForwarded) {
+    const tdg::Tdg t = analyze(few_programs(4));
+    sim::TestbedConfig config;
+    config.stages = 3;
+    const net::Network n = sim::make_testbed(config);
+    HermesOptions options;
+    options.epsilon2 = 1;  // cannot fit on a single switch
+    EXPECT_THROW((void)deploy_greedy(t, n, options), std::runtime_error);
+}
+
+TEST(Hermes, SketchWorkloadZeroOverheadWhenFitting) {
+    // Ten sketches merge into a small TDG that fits one Tofino switch:
+    // Hermes should then produce a zero-overhead single-switch deployment.
+    const tdg::Tdg t = analyze(prog::sketch_programs());
+    sim::TestbedConfig config;
+    config.stages = 12;
+    const net::Network n = sim::make_testbed(config);
+    const DeployOutcome outcome = deploy_greedy(t, n);
+    EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
+    EXPECT_EQ(outcome.metrics.occupied_switches, 1);
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,115 @@
+// End-to-end integration: programs -> analyzer -> placement (all
+// strategies) -> verification -> flow simulation, on testbed and WAN
+// topologies. These tests exercise the exact pipeline the benchmark
+// binaries run.
+#include <gtest/gtest.h>
+
+#include "baselines/common.h"
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+
+namespace hermes {
+namespace {
+
+TEST(Integration, TestbedPipelineAllStrategies) {
+    const auto programs = prog::paper_workload(6, 11);
+    sim::TestbedConfig config;
+    config.stages = 6;
+    const net::Network n = sim::make_testbed(config);
+
+    // Hermes greedy.
+    const tdg::Tdg merged = core::analyze(programs);
+    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, n);
+    ASSERT_TRUE(core::verify(merged, n, hermes_outcome.deployment).ok);
+
+    // Flow simulation on the Hermes deployment.
+    sim::FlowSpec spec;
+    spec.payload_bytes_total = 1460 * 200;
+    spec.overhead_bytes =
+        static_cast<int>(hermes_outcome.metrics.max_inflight_metadata_bytes);
+    const auto hops = sim::deployment_hops(merged, n, hermes_outcome.deployment);
+    ASSERT_FALSE(hops.empty());
+    const sim::FlowResult flow = sim::simulate_flow(hops, spec);
+    EXPECT_GT(flow.goodput_gbps, 0.0);
+    EXPECT_GT(flow.fct_us, 0.0);
+
+    // Baselines: all verified, all simulate.
+    baselines::BaselineOptions options;
+    options.milp.time_limit_seconds = 3.0;
+    options.candidate_limit = 3;
+    for (const auto& strategy : baselines::all_strategies()) {
+        const baselines::StrategyOutcome outcome = strategy->deploy(programs, n, options);
+        ASSERT_TRUE(core::verify(outcome.merged, n, outcome.deployment).ok)
+            << strategy->name();
+        sim::FlowSpec s2 = spec;
+        s2.overhead_bytes = static_cast<int>(
+            core::max_inflight_metadata(outcome.merged, n, outcome.deployment));
+        const auto h2 = sim::deployment_hops(outcome.merged, n, outcome.deployment);
+        const sim::FlowResult f2 = sim::simulate_flow(h2, s2);
+        EXPECT_GT(f2.goodput_gbps, 0.0) << strategy->name();
+    }
+}
+
+TEST(Integration, WanTopologyGreedyDeployment) {
+    // Topology 1 of Table III with a 20-program workload.
+    const auto programs = prog::paper_workload(20, 3);
+    const net::Network n = net::table3_topology(1);
+    const tdg::Tdg merged = core::analyze(programs);
+    const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+    const core::VerificationReport report = core::verify(merged, n, outcome.deployment);
+    ASSERT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                         : report.violations.front());
+    EXPECT_GT(outcome.metrics.occupied_switches, 1);
+    // Only programmable switches host MATs.
+    for (const core::Placement& p : outcome.deployment.placements) {
+        EXPECT_TRUE(n.props(p.sw).programmable);
+    }
+}
+
+TEST(Integration, GreedyScalesAcrossAllTenTopologies) {
+    const auto programs = prog::paper_workload(15, 5);
+    const tdg::Tdg merged = core::analyze(programs);
+    for (int id = 1; id <= net::kTopologyCount; ++id) {
+        const net::Network n = net::table3_topology(id);
+        const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+        EXPECT_TRUE(core::verify(merged, n, outcome.deployment).ok) << "topology " << id;
+        EXPECT_LT(outcome.solve_seconds, 30.0) << "topology " << id;
+    }
+}
+
+TEST(Integration, OverheadTranslatesToWorseFlows) {
+    // Deployments with larger in-flight overhead must not get better
+    // goodput over the same hop count (the §II-B mechanism).
+    sim::FlowSpec base;
+    base.payload_bytes_total = 1460 * 500;
+    const std::vector<sim::HopSpec> hops(5, sim::HopSpec{0.5, 1.0});
+    double last_goodput = 1e9;
+    for (const int overhead : {0, 32, 64, 128}) {
+        sim::FlowSpec spec = base;
+        spec.overhead_bytes = overhead;
+        const sim::FlowResult r = sim::simulate_flow(hops, spec);
+        EXPECT_LT(r.goodput_gbps, last_goodput);
+        last_goodput = r.goodput_gbps;
+    }
+}
+
+TEST(Integration, OptimalAndGreedyAgreeOnSmallTestbed) {
+    const auto programs = prog::paper_workload(3, 9);
+    sim::TestbedConfig config;
+    config.stages = 3;
+    const net::Network n = sim::make_testbed(config);
+    const tdg::Tdg merged = core::analyze(programs);
+    const core::DeployOutcome greedy = core::deploy_greedy(merged, n);
+    core::HermesOptions options;
+    options.milp.time_limit_seconds = 60.0;
+    const core::DeployOutcome optimal = core::deploy_optimal(merged, n, options);
+    EXPECT_LE(optimal.metrics.max_pair_metadata_bytes,
+              greedy.metrics.max_pair_metadata_bytes);
+    EXPECT_TRUE(core::verify(merged, n, optimal.deployment).ok);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,149 @@
+// Linearization helper tests: each gadget is solved through the MILP solver
+// and checked against the boolean/semantic truth table.
+#include <gtest/gtest.h>
+
+#include "milp/lin.h"
+#include "milp/solver.h"
+
+namespace hermes::milp {
+namespace {
+
+double solve_value(Model m, LinExpr objective, bool maximize_objective, VarId watch) {
+    if (maximize_objective) m.maximize(std::move(objective));
+    else m.minimize(std::move(objective));
+    const MilpResult r = solve_milp(m);
+    EXPECT_EQ(r.status, MilpStatus::kOptimal);
+    return r.values[static_cast<std::size_t>(watch)];
+}
+
+TEST(Lin, AndTruthTable) {
+    for (const bool xv : {false, true}) {
+        for (const bool yv : {false, true}) {
+            Model m;
+            const VarId x = m.add_binary("x");
+            const VarId y = m.add_binary("y");
+            const VarId z = add_and(m, x, y);
+            m.add_constraint(LinExpr::term(x), Sense::kEq, xv ? 1.0 : 0.0);
+            m.add_constraint(LinExpr::term(y), Sense::kEq, yv ? 1.0 : 0.0);
+            // Probe both directions so the constraints, not the objective,
+            // pin z.
+            const double zmax = solve_value(m, LinExpr::term(z), true, z);
+            const double zmin = solve_value(m, LinExpr::term(z), false, z);
+            EXPECT_DOUBLE_EQ(zmax, (xv && yv) ? 1.0 : 0.0);
+            EXPECT_DOUBLE_EQ(zmin, (xv && yv) ? 1.0 : 0.0);
+        }
+    }
+}
+
+TEST(Lin, AndRequiresBinaries) {
+    Model m;
+    const VarId x = m.add_binary("x");
+    const VarId c = m.add_continuous(0.0, 1.0, "c");
+    EXPECT_THROW((void)add_and(m, x, c), std::invalid_argument);
+}
+
+TEST(Lin, OrTruthTable) {
+    for (int mask = 0; mask < 8; ++mask) {
+        Model m;
+        std::vector<VarId> xs;
+        for (int i = 0; i < 3; ++i) {
+            xs.push_back(m.add_binary());
+            m.add_constraint(LinExpr::term(xs.back()), Sense::kEq,
+                             (mask & (1 << i)) ? 1.0 : 0.0);
+        }
+        const VarId z = add_or(m, xs);
+        const double zmax = solve_value(m, LinExpr::term(z), true, z);
+        const double zmin = solve_value(m, LinExpr::term(z), false, z);
+        const double expected = mask != 0 ? 1.0 : 0.0;
+        EXPECT_DOUBLE_EQ(zmax, expected) << mask;
+        EXPECT_DOUBLE_EQ(zmin, expected) << mask;
+    }
+}
+
+TEST(Lin, OrEmptyRejected) {
+    Model m;
+    EXPECT_THROW((void)add_or(m, {}), std::invalid_argument);
+}
+
+TEST(Lin, MaxBoundYieldsMaximum) {
+    Model m;
+    const VarId a = m.add_continuous(3.0, 3.0, "a");
+    const VarId b = m.add_continuous(7.0, 7.0, "b");
+    const std::vector<LinExpr> exprs{LinExpr::term(a), LinExpr::term(b),
+                                     LinExpr::term(a) + LinExpr::term(b, 0.5)};
+    const VarId t = add_max_bound(m, exprs);
+    m.minimize(LinExpr::term(t));
+    const MilpResult r = solve_milp(m);
+    ASSERT_EQ(r.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 7.0, 1e-6);
+}
+
+TEST(Lin, MaxBoundEmptyRejected) {
+    Model m;
+    EXPECT_THROW((void)add_max_bound(m, {}), std::invalid_argument);
+}
+
+TEST(Lin, IndicatorLeEnforcedOnlyWhenOn) {
+    for (const bool on : {false, true}) {
+        Model m;
+        const VarId z = m.add_binary("z");
+        const VarId x = m.add_continuous(0.0, 10.0, "x");
+        add_indicator(m, z, LinExpr::term(x), Sense::kLe, 4.0, 10.0);
+        m.add_constraint(LinExpr::term(z), Sense::kEq, on ? 1.0 : 0.0);
+        m.maximize(LinExpr::term(x));
+        const MilpResult r = solve_milp(m);
+        ASSERT_EQ(r.status, MilpStatus::kOptimal);
+        EXPECT_NEAR(r.objective, on ? 4.0 : 10.0, 1e-6);
+    }
+}
+
+TEST(Lin, IndicatorGeEnforcedOnlyWhenOn) {
+    for (const bool on : {false, true}) {
+        Model m;
+        const VarId z = m.add_binary("z");
+        const VarId x = m.add_continuous(0.0, 10.0, "x");
+        add_indicator(m, z, LinExpr::term(x), Sense::kGe, 6.0, 10.0);
+        m.add_constraint(LinExpr::term(z), Sense::kEq, on ? 1.0 : 0.0);
+        m.minimize(LinExpr::term(x));
+        const MilpResult r = solve_milp(m);
+        ASSERT_EQ(r.status, MilpStatus::kOptimal);
+        EXPECT_NEAR(r.objective, on ? 6.0 : 0.0, 1e-6);
+    }
+}
+
+TEST(Lin, IndicatorEqCombinesBoth) {
+    Model m;
+    const VarId z = m.add_binary("z");
+    const VarId x = m.add_continuous(0.0, 10.0, "x");
+    add_indicator(m, z, LinExpr::term(x), Sense::kEq, 5.0, 10.0, "pin");
+    m.add_constraint(LinExpr::term(z), Sense::kEq, 1.0);
+    m.maximize(LinExpr::term(x));
+    const MilpResult r = solve_milp(m);
+    ASSERT_EQ(r.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 5.0, 1e-6);
+}
+
+TEST(Lin, IndicatorNegativeBigMRejected) {
+    Model m;
+    const VarId z = m.add_binary("z");
+    EXPECT_THROW(add_indicator(m, z, LinExpr{0.0}, Sense::kLe, 0.0, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(Lin, BoxBigMCoversRange) {
+    Model m;
+    const VarId x = m.add_continuous(-2.0, 3.0, "x");
+    const VarId y = m.add_continuous(0.0, 4.0, "y");
+    const LinExpr e = LinExpr::term(x, 2.0) - LinExpr::term(y) + LinExpr{1.0};
+    // Range of e: [2*-2-4+1, 2*3-0+1] = [-7, 7]; vs rhs 1 -> max |.| = 8.
+    EXPECT_DOUBLE_EQ(box_big_m(m, e, 1.0), 8.0);
+}
+
+TEST(Lin, BoxBigMRejectsUnbounded) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    EXPECT_THROW((void)box_big_m(m, LinExpr::term(x), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hermes::milp

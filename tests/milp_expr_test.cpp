@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "milp/expr.h"
+#include "milp/model.h"
+
+namespace hermes::milp {
+namespace {
+
+TEST(LinExpr, TermConstruction) {
+    const LinExpr e = LinExpr::term(3, 2.5);
+    ASSERT_EQ(e.terms().size(), 1u);
+    EXPECT_EQ(e.terms()[0].var, 3);
+    EXPECT_DOUBLE_EQ(e.terms()[0].coef, 2.5);
+    EXPECT_DOUBLE_EQ(e.constant(), 0.0);
+}
+
+TEST(LinExpr, ImplicitConstant) {
+    const LinExpr e = 4.5;
+    EXPECT_TRUE(e.empty());
+    EXPECT_DOUBLE_EQ(e.constant(), 4.5);
+}
+
+TEST(LinExpr, AddTermCombines) {
+    LinExpr e;
+    e.add_term(1, 2.0);
+    e.add_term(1, 3.0);
+    ASSERT_EQ(e.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(e.coefficient(1), 5.0);
+}
+
+TEST(LinExpr, CancellationRemovesTerm) {
+    LinExpr e;
+    e.add_term(1, 2.0);
+    e.add_term(1, -2.0);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(LinExpr, ZeroCoefficientIgnored) {
+    LinExpr e;
+    e.add_term(1, 0.0);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(LinExpr, NegativeVarRejected) {
+    LinExpr e;
+    EXPECT_THROW(e.add_term(-1, 1.0), std::invalid_argument);
+}
+
+TEST(LinExpr, TermsStaySorted) {
+    LinExpr e;
+    e.add_term(5, 1.0);
+    e.add_term(1, 1.0);
+    e.add_term(3, 1.0);
+    ASSERT_EQ(e.terms().size(), 3u);
+    EXPECT_EQ(e.terms()[0].var, 1);
+    EXPECT_EQ(e.terms()[1].var, 3);
+    EXPECT_EQ(e.terms()[2].var, 5);
+}
+
+TEST(LinExpr, ArithmeticOperators) {
+    const LinExpr a = LinExpr::term(0, 1.0) + LinExpr::term(1, 2.0);
+    const LinExpr b = LinExpr::term(1, 3.0) + LinExpr{5.0};
+    const LinExpr sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.coefficient(0), 1.0);
+    EXPECT_DOUBLE_EQ(sum.coefficient(1), 5.0);
+    EXPECT_DOUBLE_EQ(sum.constant(), 5.0);
+    const LinExpr diff = a - b;
+    EXPECT_DOUBLE_EQ(diff.coefficient(1), -1.0);
+    EXPECT_DOUBLE_EQ(diff.constant(), -5.0);
+    const LinExpr scaled = 2.0 * a;
+    EXPECT_DOUBLE_EQ(scaled.coefficient(1), 4.0);
+    const LinExpr scaled2 = a * -1.0;
+    EXPECT_DOUBLE_EQ(scaled2.coefficient(0), -1.0);
+}
+
+TEST(LinExpr, ScaleByZeroClears) {
+    LinExpr e = LinExpr::term(0, 2.0) + LinExpr{3.0};
+    e *= 0.0;
+    EXPECT_TRUE(e.empty());
+    EXPECT_DOUBLE_EQ(e.constant(), 0.0);
+}
+
+TEST(LinExpr, Evaluate) {
+    const LinExpr e = LinExpr::term(0, 2.0) + LinExpr::term(2, -1.0) + LinExpr{1.0};
+    EXPECT_DOUBLE_EQ(e.evaluate({1.0, 99.0, 4.0}), 2.0 - 4.0 + 1.0);
+    EXPECT_THROW((void)e.evaluate({1.0}), std::out_of_range);
+}
+
+TEST(LinExpr, CoefficientLookup) {
+    const LinExpr e = LinExpr::term(2, 7.0);
+    EXPECT_DOUBLE_EQ(e.coefficient(2), 7.0);
+    EXPECT_DOUBLE_EQ(e.coefficient(1), 0.0);
+}
+
+// ---- Model ------------------------------------------------------------------
+
+TEST(Model, VariableKinds) {
+    Model m;
+    const VarId c = m.add_continuous(0.0, 5.0, "c");
+    const VarId i = m.add_integer(0.0, 5.0, "i");
+    const VarId b = m.add_binary("b");
+    EXPECT_EQ(m.variable(c).type, VarType::kContinuous);
+    EXPECT_EQ(m.variable(i).type, VarType::kInteger);
+    EXPECT_EQ(m.variable(b).type, VarType::kBinary);
+    EXPECT_DOUBLE_EQ(m.variable(b).upper, 1.0);
+    EXPECT_EQ(m.variable_count(), 3u);
+}
+
+TEST(Model, BadBoundsRejected) {
+    Model m;
+    EXPECT_THROW((void)m.add_continuous(2.0, 1.0, "x"), std::invalid_argument);
+}
+
+TEST(Model, ConstraintFoldsConstant) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 10.0, "x");
+    LinExpr e = LinExpr::term(x);
+    e.add_constant(3.0);
+    m.add_constraint(e, Sense::kLe, 10.0);
+    EXPECT_DOUBLE_EQ(m.constraints()[0].rhs, 7.0);
+    EXPECT_DOUBLE_EQ(m.constraints()[0].expr.constant(), 0.0);
+}
+
+TEST(Model, ConstraintUnknownVariableRejected) {
+    Model m;
+    EXPECT_THROW(m.add_constraint(LinExpr::term(0), Sense::kLe, 1.0), std::out_of_range);
+}
+
+TEST(Model, FeasibilityChecker) {
+    Model m;
+    const VarId x = m.add_integer(0.0, 5.0, "x");
+    const VarId y = m.add_continuous(0.0, 5.0, "y");
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kLe, 4.0);
+    m.add_constraint(LinExpr::term(x), Sense::kGe, 1.0);
+    m.add_constraint(LinExpr::term(y, 2.0), Sense::kEq, 2.0);
+    EXPECT_TRUE(m.is_feasible({2.0, 1.0}));
+    EXPECT_FALSE(m.is_feasible({2.5, 1.0}));  // integrality
+    EXPECT_FALSE(m.is_feasible({0.0, 1.0}));  // >= violated
+    EXPECT_FALSE(m.is_feasible({2.0, 3.0}));  // <= and == violated
+    EXPECT_FALSE(m.is_feasible({2.0}));       // wrong arity
+    EXPECT_FALSE(m.is_feasible({6.0, 1.0}));  // bound violated
+}
+
+TEST(Model, ObjectiveSense) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 1.0, "x");
+    m.minimize(LinExpr::term(x));
+    EXPECT_TRUE(m.is_minimization());
+    m.maximize(LinExpr::term(x));
+    EXPECT_FALSE(m.is_minimization());
+    EXPECT_DOUBLE_EQ(m.objective_value({0.25}), 0.25);
+}
+
+TEST(Model, BoundMutationForBranching) {
+    Model m;
+    const VarId x = m.add_integer(0.0, 9.0, "x");
+    m.set_upper(x, 4.0);
+    m.set_lower(x, 2.0);
+    EXPECT_DOUBLE_EQ(m.variable(x).lower, 2.0);
+    EXPECT_DOUBLE_EQ(m.variable(x).upper, 4.0);
+    EXPECT_THROW(m.set_upper(5, 1.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hermes::milp

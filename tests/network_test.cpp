@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.h"
+#include "net/network.h"
+#include "net/topozoo.h"
+
+namespace hermes::net {
+namespace {
+
+TEST(Network, AddSwitchValidation) {
+    Network n;
+    SwitchProps bad;
+    bad.stages = 0;
+    EXPECT_THROW((void)n.add_switch(bad), std::invalid_argument);
+    bad.stages = 12;
+    bad.stage_capacity = 0.0;
+    EXPECT_THROW((void)n.add_switch(bad), std::invalid_argument);
+    bad.stage_capacity = 1.0;
+    bad.latency_us = -1.0;
+    EXPECT_THROW((void)n.add_switch(bad), std::invalid_argument);
+}
+
+TEST(Network, AutoNames) {
+    Network n;
+    n.add_switch(SwitchProps{});
+    n.add_switch(SwitchProps{});
+    EXPECT_EQ(n.props(0).name, "sw0");
+    EXPECT_EQ(n.props(1).name, "sw1");
+}
+
+TEST(Network, LinkValidation) {
+    Network n;
+    n.add_switch(SwitchProps{});
+    n.add_switch(SwitchProps{});
+    EXPECT_THROW(n.add_link(0, 5, 1.0), std::out_of_range);
+    EXPECT_THROW(n.add_link(0, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(n.add_link(0, 1, -1.0), std::invalid_argument);
+    n.add_link(0, 1, 3.0);
+    EXPECT_THROW(n.add_link(1, 0, 3.0), std::invalid_argument);  // duplicate
+}
+
+TEST(Network, NeighborsAndLatency) {
+    Network n;
+    for (int i = 0; i < 3; ++i) n.add_switch(SwitchProps{});
+    n.add_link(0, 1, 2.0);
+    n.add_link(1, 2, 5.0);
+    EXPECT_EQ(n.neighbors(1).size(), 2u);
+    EXPECT_DOUBLE_EQ(*n.link_latency(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(*n.link_latency(1, 0), 2.0);
+    EXPECT_FALSE(n.link_latency(0, 2).has_value());
+}
+
+TEST(Network, ProgrammableSubsetAndCapacity) {
+    Network n;
+    SwitchProps p;
+    p.programmable = true;
+    p.stages = 10;
+    p.stage_capacity = 2.0;
+    n.add_switch(p);
+    n.add_switch(SwitchProps{});  // not programmable
+    n.add_switch(p);
+    EXPECT_EQ(n.programmable_switches(), (std::vector<SwitchId>{0, 2}));
+    EXPECT_DOUBLE_EQ(n.total_programmable_capacity(), 40.0);
+}
+
+TEST(Network, Connectivity) {
+    Network n;
+    for (int i = 0; i < 3; ++i) n.add_switch(SwitchProps{});
+    n.add_link(0, 1, 1.0);
+    EXPECT_FALSE(n.is_connected());
+    n.add_link(1, 2, 1.0);
+    EXPECT_TRUE(n.is_connected());
+}
+
+// ---- Builders ------------------------------------------------------------------
+
+TopologyConfig test_config() {
+    TopologyConfig c;
+    c.min_link_latency_us = 1.0;
+    c.max_link_latency_us = 2.0;
+    return c;
+}
+
+TEST(Builders, LinearAllProgrammable) {
+    util::SplitMix64 rng(1);
+    const Network n = linear_topology(4, test_config(), rng);
+    EXPECT_EQ(n.switch_count(), 4u);
+    EXPECT_EQ(n.link_count(), 3u);
+    EXPECT_EQ(n.programmable_switches().size(), 4u);
+    EXPECT_TRUE(n.is_connected());
+}
+
+TEST(Builders, RingAndStar) {
+    util::SplitMix64 rng(2);
+    const Network ring = ring_topology(6, test_config(), rng);
+    EXPECT_EQ(ring.link_count(), 6u);
+    EXPECT_TRUE(ring.is_connected());
+    const Network star = star_topology(5, test_config(), rng);
+    EXPECT_EQ(star.link_count(), 4u);
+    EXPECT_EQ(star.neighbors(0).size(), 4u);
+}
+
+TEST(Builders, FatTreeShape) {
+    util::SplitMix64 rng(3);
+    const Network ft = fat_tree_topology(4, test_config(), rng);
+    // k=4: 4 core + 8 agg + 8 edge = 20 switches, 8*2 + 8*2 = 32 links.
+    EXPECT_EQ(ft.switch_count(), 20u);
+    EXPECT_EQ(ft.link_count(), 32u);
+    EXPECT_TRUE(ft.is_connected());
+    EXPECT_THROW((void)fat_tree_topology(3, test_config(), rng), std::invalid_argument);
+}
+
+TEST(Builders, RandomTopologyShapeAndConnectivity) {
+    util::SplitMix64 rng(4);
+    const Network n = random_topology(20, 30, test_config(), rng);
+    EXPECT_EQ(n.switch_count(), 20u);
+    EXPECT_EQ(n.link_count(), 30u);
+    EXPECT_TRUE(n.is_connected());
+}
+
+TEST(Builders, RandomTopologyValidation) {
+    util::SplitMix64 rng(5);
+    EXPECT_THROW((void)random_topology(10, 8, test_config(), rng), std::invalid_argument);
+    EXPECT_THROW((void)random_topology(4, 7, test_config(), rng), std::invalid_argument);
+}
+
+TEST(Builders, ProgrammableFractionHonored) {
+    util::SplitMix64 rng(6);
+    TopologyConfig c = test_config();
+    c.programmable_fraction = 0.5;
+    const Network n = random_topology(40, 60, c, rng);
+    EXPECT_EQ(n.programmable_switches().size(), 20u);
+}
+
+TEST(Builders, LinkLatencyWithinRange) {
+    util::SplitMix64 rng(7);
+    TopologyConfig c;
+    c.min_link_latency_us = 1000.0;
+    c.max_link_latency_us = 10000.0;
+    const Network n = random_topology(10, 15, c, rng);
+    for (const Link& l : n.links()) {
+        EXPECT_GE(l.latency_us, 1000.0);
+        EXPECT_LE(l.latency_us, 10000.0);
+    }
+}
+
+// ---- Table III topologies ---------------------------------------------------------
+
+TEST(Topozoo, ShapesMatchTableIII) {
+    EXPECT_EQ(table3_shape(2).nodes, 70u);
+    EXPECT_EQ(table3_shape(2).edges, 85u);
+    EXPECT_EQ(table3_shape(7).nodes, 68u);
+    EXPECT_EQ(table3_shape(7).edges, 92u);
+    EXPECT_EQ(table3_shape(9).nodes, 74u);
+    EXPECT_EQ(table3_shape(9).edges, 92u);
+    EXPECT_EQ(table3_shape(10).nodes, 69u);
+    EXPECT_EQ(table3_shape(10).edges, 98u);
+    EXPECT_THROW((void)table3_shape(0), std::out_of_range);
+    EXPECT_THROW((void)table3_shape(11), std::out_of_range);
+}
+
+TEST(Topozoo, AllTenBuildConnectedWithPaperSettings) {
+    for (int id = 1; id <= kTopologyCount; ++id) {
+        const Network n = table3_topology(id);
+        const TopologyShape shape = table3_shape(id);
+        EXPECT_EQ(n.switch_count(), shape.nodes) << id;
+        EXPECT_EQ(n.link_count(), shape.edges) << id;
+        EXPECT_TRUE(n.is_connected()) << id;
+        // 50% programmable, Tofino profile, t_s = 1us, t_l in [1ms, 10ms].
+        EXPECT_NEAR(static_cast<double>(n.programmable_switches().size()),
+                    shape.nodes * 0.5, 1.0)
+            << id;
+        for (const Link& l : n.links()) {
+            EXPECT_GE(l.latency_us, 1000.0) << id;
+            EXPECT_LE(l.latency_us, 10000.0) << id;
+        }
+        EXPECT_DOUBLE_EQ(n.props(0).latency_us, 1.0) << id;
+    }
+}
+
+TEST(Topozoo, DeterministicPerIdAndSeed) {
+    const Network a = table3_topology(3, 42);
+    const Network b = table3_topology(3, 42);
+    ASSERT_EQ(a.link_count(), b.link_count());
+    for (std::size_t i = 0; i < a.links().size(); ++i) {
+        EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+        EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+        EXPECT_DOUBLE_EQ(a.links()[i].latency_us, b.links()[i].latency_us);
+    }
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "net/builders.h"
+
+namespace hermes::core {
+namespace {
+
+using tdg::DepType;
+
+tdg::Mat mat(const std::string& name) {
+    return tdg::Mat(name, {tdg::header_field("h_" + name, 2)},
+                    {tdg::Action{"a", {tdg::metadata_field("m_" + name, 4)}}}, 16, 0.2);
+}
+
+// a -> b (4B), b -> c (6B), a -> c (2B)
+tdg::Tdg small_tdg() {
+    tdg::Tdg t;
+    t.add_node(mat("a"));
+    t.add_node(mat("b"));
+    t.add_node(mat("c"));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.add_edge(1, 2, DepType::kMatch);
+    t.add_edge(0, 2, DepType::kMatch);
+    t.edges()[0].metadata_bytes = 4;
+    t.edges()[1].metadata_bytes = 6;
+    t.edges()[2].metadata_bytes = 2;
+    return t;
+}
+
+net::Network linear3() {
+    net::TopologyConfig c;
+    c.min_link_latency_us = 5.0;
+    c.max_link_latency_us = 5.0;
+    util::SplitMix64 rng(1);
+    return net::linear_topology(3, c, rng);
+}
+
+TEST(Objective, MaxPairMetadataAllSameSwitchIsZero) {
+    const tdg::Tdg t = small_tdg();
+    Deployment d;
+    d.placements = {{0, 0}, {0, 1}, {0, 2}};
+    EXPECT_EQ(max_pair_metadata(t, d), 0);
+}
+
+TEST(Objective, MaxPairMetadataPicksHeaviestPair) {
+    const tdg::Tdg t = small_tdg();
+    Deployment d;
+    // a on 0; b,c on 1 -> pair (0,1) carries a->b 4 + a->c 2 = 6.
+    d.placements = {{0, 0}, {1, 0}, {1, 1}};
+    EXPECT_EQ(max_pair_metadata(t, d), 6);
+    // a,b on 0; c on 1 -> pair (0,1) carries b->c 6 + a->c 2 = 8.
+    d.placements = {{0, 0}, {0, 1}, {1, 0}};
+    EXPECT_EQ(max_pair_metadata(t, d), 8);
+}
+
+TEST(Objective, MaxPairMetadataThreeWay) {
+    const tdg::Tdg t = small_tdg();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {2, 0}};
+    // pairs: (0,1)=4, (1,2)=6, (0,2)=2 -> 6.
+    EXPECT_EQ(max_pair_metadata(t, d), 6);
+}
+
+TEST(Objective, TraversalOrderFollowsTopology) {
+    const tdg::Tdg t = small_tdg();
+    Deployment d;
+    d.placements = {{2, 0}, {0, 0}, {1, 0}};  // a on sw2, b on sw0, c on sw1
+    EXPECT_EQ(traversal_order(t, d), (std::vector<net::SwitchId>{2, 0, 1}));
+}
+
+TEST(Objective, MaxInflightAccumulatesAcrossHops) {
+    const tdg::Tdg t = small_tdg();
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {2, 0}};
+    // hop 0-1 carries a->b (4) and a->c (2) = 6; hop 1-2 carries b->c (6)
+    // and a->c (2) = 8.
+    EXPECT_EQ(max_inflight_metadata(t, n, d), 8);
+}
+
+TEST(Objective, MaxInflightSingleSwitchZero) {
+    const tdg::Tdg t = small_tdg();
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{1, 0}, {1, 1}, {1, 2}};
+    EXPECT_EQ(max_inflight_metadata(t, n, d), 0);
+}
+
+TEST(Objective, RouteLatencyAndOccupiedCount) {
+    const tdg::Tdg t = small_tdg();
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {2, 0}};
+    d.routes[{0, 1}] = *net::shortest_path(n, 0, 1);
+    d.routes[{1, 2}] = *net::shortest_path(n, 1, 2);
+    // each hop: 1 + 5 + 1 = 7.
+    EXPECT_DOUBLE_EQ(total_route_latency(d), 14.0);
+    EXPECT_EQ(occupied_switch_count(d), 3);
+}
+
+TEST(Objective, EvaluateBundlesEverything) {
+    const tdg::Tdg t = small_tdg();
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {2, 0}};
+    d.routes[{0, 1}] = *net::shortest_path(n, 0, 1);
+    d.routes[{1, 2}] = *net::shortest_path(n, 1, 2);
+    const DeploymentMetrics m = evaluate(t, n, d);
+    EXPECT_EQ(m.max_pair_metadata_bytes, 6);
+    EXPECT_EQ(m.max_inflight_metadata_bytes, 8);
+    EXPECT_DOUBLE_EQ(m.route_latency_us, 14.0);
+    EXPECT_EQ(m.occupied_switches, 3);
+    EXPECT_NEAR(m.total_resource_units, 0.6, 1e-9);
+}
+
+TEST(Objective, EmptyDeployment) {
+    tdg::Tdg t;
+    const net::Network n = linear3();
+    const Deployment d;
+    EXPECT_EQ(max_pair_metadata(t, d), 0);
+    EXPECT_EQ(max_inflight_metadata(t, n, d), 0);
+    EXPECT_EQ(occupied_switch_count(d), 0);
+}
+
+}  // namespace
+}  // namespace hermes::core

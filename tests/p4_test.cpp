@@ -1,0 +1,245 @@
+// mini-P4 front end tests: lexing, parsing, lowering, gating, and errors.
+#include <gtest/gtest.h>
+
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "p4/frontend.h"
+#include "p4/lexer.h"
+#include "sim/testbed.h"
+#include "tdg/analyzer.h"
+
+namespace hermes::p4 {
+namespace {
+
+constexpr const char* kMonitor = R"(
+// a small measurement pipeline
+program flow_monitor;
+
+header ipv4 { src_addr: 32; dst_addr: 32; ttl: 8; }
+metadata meta { counter_index: 32; flow_count: 32; report: 1; }
+
+action set_index() { writes meta.counter_index; }
+action count_it()  { writes meta.flow_count; }
+action report_it() { writes meta.report; }
+
+table mon_hash {
+  key = { ipv4.src_addr; ipv4.dst_addr; }
+  actions = { set_index; }
+  size = 1024;
+  resource = 0.4;
+}
+table mon_count {
+  key = { meta.counter_index; }
+  actions = { count_it; }
+  size = 16;
+  resource = 0.3;
+}
+table mon_report {
+  key = { meta.flow_count; }
+  actions = { report_it; }
+  size = 32;
+  resource = 0.2;
+}
+
+control {
+  apply(mon_hash);
+  apply(mon_count);
+  apply(mon_report);
+}
+)";
+
+// ---- Lexer -------------------------------------------------------------------
+
+TEST(P4Lexer, TokenizesSymbolsAndIdents) {
+    const auto tokens = tokenize("table t { key = { a.b: lpm; } }");
+    ASSERT_GE(tokens.size(), 10u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+    EXPECT_EQ(tokens[0].text, "table");
+    EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+    EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(P4Lexer, DottedPathsAreSingleTokens) {
+    const auto tokens = tokenize("ipv4.dst_addr");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].text, "ipv4.dst_addr");
+}
+
+TEST(P4Lexer, NumbersAndReals) {
+    const auto tokens = tokenize("size = 1024; resource = 0.4;");
+    EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+    EXPECT_EQ(tokens[6].kind, TokenKind::kReal);
+}
+
+TEST(P4Lexer, CommentsSkippedLinesCounted) {
+    const auto tokens = tokenize("// comment\nx");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].line, 2);
+}
+
+TEST(P4Lexer, UnexpectedCharacterThrows) {
+    EXPECT_THROW((void)tokenize("table @"), std::invalid_argument);
+}
+
+// ---- Compilation ----------------------------------------------------------------
+
+TEST(P4Frontend, CompilesMonitorPipeline) {
+    const prog::Program p = compile(kMonitor);
+    EXPECT_EQ(p.name(), "flow_monitor");
+    ASSERT_EQ(p.mat_count(), 3u);
+    EXPECT_EQ(p.mat(0).name(), "mon_hash");
+    EXPECT_EQ(p.mat(0).rule_capacity(), 1024);
+    EXPECT_DOUBLE_EQ(p.mat(0).resource_units(), 0.4);
+    EXPECT_EQ(p.mat(0).match_fields().size(), 2u);
+    // Bit widths round up to bytes: 32 bits -> 4 bytes, 1 bit -> 1 byte.
+    EXPECT_EQ(p.mat(1).match_fields()[0].size_bytes, 4);
+    EXPECT_TRUE(p.mat(1).match_fields()[0].is_metadata());
+}
+
+TEST(P4Frontend, DependenciesFlowThroughMetadata) {
+    tdg::Tdg t = compile(kMonitor).to_tdg();
+    tdg::analyze(t);
+    // hash -M-> count -M-> report.
+    const auto e1 = t.find_edge(0, 1);
+    ASSERT_TRUE(e1.has_value());
+    EXPECT_EQ(e1->type, tdg::DepType::kMatch);
+    EXPECT_EQ(e1->metadata_bytes, 4);
+    ASSERT_TRUE(t.find_edge(1, 2).has_value());
+}
+
+TEST(P4Frontend, IfBlockGatesOnLastWriter) {
+    const prog::Program p = compile(R"(
+program gated;
+header h { f: 16; }
+metadata meta { flag: 1; out: 8; }
+action set_flag() { writes meta.flag; }
+action act() { writes meta.out; }
+table classify { key = { h.f; } actions = { set_flag; } size = 8; resource = 0.2; }
+table handle { key = { h.f; } actions = { act; } size = 8; resource = 0.2; }
+control {
+  apply(classify);
+  if (meta.flag) {
+    apply(handle);
+  }
+}
+)");
+    const tdg::Tdg t = p.to_tdg();
+    const auto edge = t.find_edge(0, 1);
+    ASSERT_TRUE(edge.has_value());
+    EXPECT_EQ(edge->type, tdg::DepType::kSuccessor);
+}
+
+TEST(P4Frontend, NestedIfGatesOnInnerWriter) {
+    const prog::Program p = compile(R"(
+program nested;
+header h { f: 16; }
+metadata meta { a: 8; b: 8; c: 8; }
+action wa() { writes meta.a; }
+action wb() { writes meta.b; }
+action wc() { writes meta.c; }
+table t1 { key = { h.f; } actions = { wa; } size = 1; resource = 0.1; }
+table t2 { key = { h.f; } actions = { wb; } size = 1; resource = 0.1; }
+table t3 { key = { h.f; } actions = { wc; } size = 1; resource = 0.1; }
+control {
+  apply(t1);
+  if (meta.a) {
+    apply(t2);
+    if (meta.b) {
+      apply(t3);
+    }
+  }
+}
+)");
+    const tdg::Tdg t = p.to_tdg();
+    EXPECT_EQ(t.find_edge(0, 1)->type, tdg::DepType::kSuccessor);
+    EXPECT_EQ(t.find_edge(1, 2)->type, tdg::DepType::kSuccessor);
+}
+
+TEST(P4Frontend, MatchKindsAndStrongestWins) {
+    const prog::Program p = compile(R"(
+program kinds;
+header h { a: 32; b: 32; }
+metadata meta { x: 8; }
+action w() { writes meta.x; }
+table t { key = { h.a: lpm; h.b: ternary; } actions = { w; } size = 4; resource = 0.1; }
+control { apply(t); }
+)");
+    EXPECT_EQ(p.mat(0).match_kind(), tdg::MatchKind::kTernary);
+}
+
+TEST(P4Frontend, CompiledProgramDeploys) {
+    const tdg::Tdg merged = core::analyze({compile(kMonitor)});
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 1;
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+    EXPECT_TRUE(core::verify(merged, n, outcome.deployment).ok);
+    EXPECT_EQ(outcome.metrics.occupied_switches, 3);
+    EXPECT_GT(outcome.metrics.max_pair_metadata_bytes, 0);
+}
+
+// ---- Errors -----------------------------------------------------------------------
+
+TEST(P4Frontend, ErrorsCarryLineNumbers) {
+    try {
+        (void)compile("program p;\nheader h { f: 8; }\ntable t {\n  key = { nope; }\n}");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& ex) {
+        EXPECT_NE(std::string(ex.what()).find("line 4"), std::string::npos) << ex.what();
+    }
+}
+
+TEST(P4Frontend, SemanticErrorsRejected) {
+    const std::string preamble = R"(
+program p;
+header h { f: 8; }
+metadata meta { x: 8; }
+action w() { writes meta.x; }
+)";
+    // unknown action
+    EXPECT_THROW((void)compile(preamble + "table t { key = { h.f; } actions = { nope; } "
+                                          "size = 1; resource = 0.1; } control { apply(t); }"),
+                 std::invalid_argument);
+    // table applied twice
+    EXPECT_THROW(
+        (void)compile(preamble + "table t { key = { h.f; } actions = { w; } size = 1; "
+                                 "resource = 0.1; } control { apply(t); apply(t); }"),
+        std::invalid_argument);
+    // missing control
+    EXPECT_THROW((void)compile(preamble + "table t { key = { h.f; } actions = { w; } "
+                                          "size = 1; resource = 0.1; }"),
+                 std::invalid_argument);
+    // if with no writer
+    EXPECT_THROW(
+        (void)compile(preamble + "table t { key = { h.f; } actions = { w; } size = 1; "
+                                 "resource = 0.1; } control { if (meta.x) { apply(t); } }"),
+        std::invalid_argument);
+    // zero resource
+    EXPECT_THROW((void)compile(preamble + "table t { key = { h.f; } actions = { w; } "
+                                          "size = 1; resource = 0; } control { apply(t); }"),
+                 std::invalid_argument);
+    // unknown field in if
+    EXPECT_THROW(
+        (void)compile(preamble + "table t { key = { h.f; } actions = { w; } size = 1; "
+                                 "resource = 0.1; } control { if (meta.nope) { apply(t); } }"),
+        std::invalid_argument);
+    // apply unknown table
+    EXPECT_THROW((void)compile(preamble + "control { apply(ghost); }"),
+                 std::invalid_argument);
+}
+
+TEST(P4Frontend, DuplicateDeclarationsRejected) {
+    EXPECT_THROW((void)compile("program p;\nheader h { f: 8; f: 8; }"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)compile("program p;\nheader h { f: 8; }\naction a() {}\n"
+                               "action a() {}"),
+                 std::invalid_argument);
+}
+
+TEST(P4Frontend, FileLoading) {
+    EXPECT_THROW((void)compile_file("/nonexistent.p4mini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hermes::p4

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/paths.h"
+
+namespace hermes::net {
+namespace {
+
+SwitchProps sw(double latency = 1.0) {
+    SwitchProps p;
+    p.latency_us = latency;
+    return p;
+}
+
+// 0 --2-- 1 --2-- 2
+//  \------8------/   (direct slow link 0-2)
+Network triangle() {
+    Network n;
+    for (int i = 0; i < 3; ++i) n.add_switch(sw());
+    n.add_link(0, 1, 2.0);
+    n.add_link(1, 2, 2.0);
+    n.add_link(0, 2, 8.0);
+    return n;
+}
+
+TEST(Paths, PathLatencyCountsSwitchesAndLinks) {
+    const Network n = triangle();
+    // 0-1-2: t_s x3 + 2 + 2 = 7.
+    EXPECT_DOUBLE_EQ(path_latency(n, {0, 1, 2}), 7.0);
+    // direct: t_s x2 + 8 = 10.
+    EXPECT_DOUBLE_EQ(path_latency(n, {0, 2}), 10.0);
+    EXPECT_DOUBLE_EQ(path_latency(n, {0}), 1.0);
+    EXPECT_DOUBLE_EQ(path_latency(n, {}), 0.0);
+    // A loopy walk over existing links is still computable.
+    EXPECT_DOUBLE_EQ(path_latency(n, {0, 1, 0}), 7.0);
+}
+
+TEST(Paths, PathLatencyRejectsMissingLink) {
+    Network n;
+    n.add_switch(sw());
+    n.add_switch(sw());
+    EXPECT_THROW((void)path_latency(n, {0, 1}), std::invalid_argument);
+}
+
+TEST(Paths, ShortestPathPrefersTwoHop) {
+    const Network n = triangle();
+    const auto p = shortest_path(n, 0, 2);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->switches, (std::vector<SwitchId>{0, 1, 2}));
+    EXPECT_DOUBLE_EQ(p->latency_us, 7.0);
+    EXPECT_EQ(p->hop_count(), 2u);
+    EXPECT_TRUE(p->contains(1));
+    EXPECT_FALSE(p->contains(3));
+}
+
+TEST(Paths, ShortestPathSelfIsTrivial) {
+    const Network n = triangle();
+    const auto p = shortest_path(n, 1, 1);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->switches, (std::vector<SwitchId>{1}));
+    EXPECT_DOUBLE_EQ(p->latency_us, 1.0);
+}
+
+TEST(Paths, ShortestPathDisconnected) {
+    Network n;
+    n.add_switch(sw());
+    n.add_switch(sw());
+    EXPECT_FALSE(shortest_path(n, 0, 1).has_value());
+}
+
+TEST(Paths, ShortestLatenciesAllTargets) {
+    const Network n = triangle();
+    const auto dist = shortest_latencies(n, 0);
+    EXPECT_DOUBLE_EQ(dist[0], 1.0);   // own switch latency
+    EXPECT_DOUBLE_EQ(dist[1], 4.0);   // 1 + 2 + 1
+    EXPECT_DOUBLE_EQ(dist[2], 7.0);
+}
+
+TEST(Paths, ShortestLatenciesUnreachableInfinite) {
+    Network n;
+    n.add_switch(sw());
+    n.add_switch(sw());
+    const auto dist = shortest_latencies(n, 0);
+    EXPECT_TRUE(std::isinf(dist[1]));
+}
+
+TEST(Paths, SwitchLatencyInfluencesRouting) {
+    // Middle switch so slow that the direct link wins.
+    Network n;
+    n.add_switch(sw(1.0));
+    n.add_switch(sw(50.0));
+    n.add_switch(sw(1.0));
+    n.add_link(0, 1, 2.0);
+    n.add_link(1, 2, 2.0);
+    n.add_link(0, 2, 8.0);
+    const auto p = shortest_path(n, 0, 2);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->switches, (std::vector<SwitchId>{0, 2}));
+}
+
+TEST(Paths, KShortestReturnsDistinctAscending) {
+    const Network n = triangle();
+    const auto paths = k_shortest_paths(n, 0, 2, 5);
+    ASSERT_EQ(paths.size(), 2u);  // only two loop-free routes exist
+    EXPECT_EQ(paths[0].switches, (std::vector<SwitchId>{0, 1, 2}));
+    EXPECT_EQ(paths[1].switches, (std::vector<SwitchId>{0, 2}));
+    EXPECT_LE(paths[0].latency_us, paths[1].latency_us);
+}
+
+TEST(Paths, KShortestOnGrid) {
+    // 2x3 grid: many alternative routes; k=4 must yield 4 distinct loop-free
+    // paths in ascending latency order.
+    Network n;
+    for (int i = 0; i < 6; ++i) n.add_switch(sw());
+    // grid indices: 0 1 2 / 3 4 5
+    n.add_link(0, 1, 1.0);
+    n.add_link(1, 2, 1.0);
+    n.add_link(3, 4, 1.0);
+    n.add_link(4, 5, 1.0);
+    n.add_link(0, 3, 1.0);
+    n.add_link(1, 4, 1.0);
+    n.add_link(2, 5, 1.0);
+    const auto paths = k_shortest_paths(n, 0, 5, 4);
+    ASSERT_EQ(paths.size(), 4u);
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+        EXPECT_LE(paths[i - 1].latency_us, paths[i].latency_us);
+        EXPECT_NE(paths[i - 1].switches, paths[i].switches);
+    }
+    for (const Path& p : paths) {
+        EXPECT_DOUBLE_EQ(path_latency(n, p.switches), p.latency_us);
+        // loop-free
+        std::set<SwitchId> unique(p.switches.begin(), p.switches.end());
+        EXPECT_EQ(unique.size(), p.switches.size());
+    }
+}
+
+TEST(Paths, KZeroEmpty) {
+    const Network n = triangle();
+    EXPECT_TRUE(k_shortest_paths(n, 0, 2, 0).empty());
+}
+
+TEST(Paths, KShortestDisconnectedEmpty) {
+    Network n;
+    n.add_switch(sw());
+    n.add_switch(sw());
+    EXPECT_TRUE(k_shortest_paths(n, 0, 1, 3).empty());
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "prog/library.h"
+#include "prog/parser.h"
+#include "prog/program.h"
+#include "prog/synthetic.h"
+#include "tdg/analyzer.h"
+
+namespace hermes::prog {
+namespace {
+
+using tdg::DepType;
+using tdg::header_field;
+using tdg::metadata_field;
+
+tdg::Mat mat(const std::string& name, std::vector<tdg::Field> matches,
+             std::vector<tdg::Field> writes) {
+    return tdg::Mat(name, std::move(matches), {tdg::Action{"a", std::move(writes)}}, 16,
+                    0.1);
+}
+
+// ---- Program ---------------------------------------------------------------
+
+TEST(Program, PairwiseInference) {
+    Program p("demo");
+    p.add_mat(mat("first", {header_field("h", 2)}, {metadata_field("meta.x", 4)}));
+    p.add_mat(mat("second", {metadata_field("meta.x", 4)}, {metadata_field("meta.y", 2)}));
+    const tdg::Tdg t = p.to_tdg();
+    ASSERT_EQ(t.edge_count(), 1u);
+    EXPECT_EQ(t.edges()[0].type, DepType::kMatch);
+}
+
+TEST(Program, DuplicateMatNameRejected) {
+    Program p("demo");
+    p.add_mat(mat("x", {header_field("h", 2)}, {}));
+    EXPECT_THROW(p.add_mat(mat("x", {header_field("h", 2)}, {})), std::invalid_argument);
+}
+
+TEST(Program, GateCreatesSuccessorEdge) {
+    Program p("demo");
+    p.add_mat(mat("cond", {header_field("h1", 2)}, {metadata_field("meta.c", 1)}));
+    p.add_mat(mat("then", {header_field("h2", 2)}, {metadata_field("meta.t", 1)}));
+    p.add_gate("cond", "then");
+    const tdg::Tdg t = p.to_tdg();
+    ASSERT_EQ(t.edge_count(), 1u);
+    EXPECT_EQ(t.edges()[0].type, DepType::kSuccessor);
+}
+
+TEST(Program, GateMustPointForward) {
+    Program p("demo");
+    p.add_mat(mat("a", {header_field("h1", 2)}, {}));
+    p.add_mat(mat("b", {header_field("h2", 2)}, {}));
+    EXPECT_THROW(p.add_gate("b", "a"), std::invalid_argument);
+    EXPECT_THROW(p.add_gate("a", "a"), std::invalid_argument);
+    EXPECT_THROW(p.add_gate("a", "missing"), std::out_of_range);
+}
+
+TEST(Program, ExplicitEdgeSupplementsInference) {
+    Program p("demo");
+    p.add_mat(mat("a", {header_field("h1", 2)}, {metadata_field("m1", 2)}));
+    p.add_mat(mat("b", {header_field("h2", 2)}, {metadata_field("m2", 2)}));
+    p.add_explicit_edge("a", "b", DepType::kAction);
+    const tdg::Tdg t = p.to_tdg();
+    ASSERT_EQ(t.edge_count(), 1u);
+    EXPECT_EQ(t.edges()[0].type, DepType::kAction);
+}
+
+// ---- Library ---------------------------------------------------------------
+
+TEST(Library, TenRealPrograms) {
+    const auto names = program_names();
+    EXPECT_EQ(names.size(), 10u);
+    EXPECT_EQ(real_programs().size(), 10u);
+}
+
+TEST(Library, EveryProgramYieldsConnectedDag) {
+    for (const auto& name : program_names()) {
+        const Program p = make_program(name);
+        EXPECT_GE(p.mat_count(), 3u) << name;
+        const tdg::Tdg t = p.to_tdg();
+        EXPECT_TRUE(t.is_dag()) << name;
+        EXPECT_GE(t.edge_count(), 2u) << name;
+    }
+}
+
+TEST(Library, UnknownProgramThrows) {
+    EXPECT_THROW((void)make_program("nope"), std::out_of_range);
+}
+
+TEST(Library, ProgramsCarryMetadata) {
+    // Analyzed TDGs must have positive per-edge metadata somewhere; that is
+    // the whole point of the inter-switch coordination problem.
+    for (const auto& name : program_names()) {
+        tdg::Tdg t = make_program(name).to_tdg();
+        tdg::analyze(t);
+        EXPECT_GT(t.total_metadata_bytes(), 0) << name;
+    }
+}
+
+TEST(Library, SketchFamilySharesHashStructure) {
+    EXPECT_EQ(sketch_names().size(), 10u);
+    const Program cm = sketch_program("countmin");
+    const Program bf = sketch_program("bloom");
+    EXPECT_TRUE(cm.mat(0).same_structure(bf.mat(0)));  // the shared hash MAT
+    EXPECT_THROW((void)sketch_program("nope"), std::out_of_range);
+}
+
+TEST(Library, SketchMergingDeduplicatesHash) {
+    std::vector<tdg::Tdg> tdgs;
+    for (const Program& p : sketch_programs()) tdgs.push_back(p.to_tdg());
+    const std::size_t separate_nodes = 3 * tdgs.size();
+    const tdg::Tdg merged = tdg::analyze_programs(std::move(tdgs));
+    // Ten hash MATs collapse into one: 30 - 9 = 21 nodes.
+    EXPECT_EQ(merged.node_count(), separate_nodes - 9);
+}
+
+// ---- Synthetic generator -----------------------------------------------------
+
+TEST(Synthetic, RespectsConfigRanges) {
+    SyntheticConfig config;
+    const Program p = synthetic_program(config, 99, 0);
+    EXPECT_GE(p.mat_count(), 10u);
+    EXPECT_LE(p.mat_count(), 20u);
+    for (const tdg::Mat& m : p.mats()) {
+        EXPECT_GE(m.resource_units(), 0.10);
+        EXPECT_LE(m.resource_units(), 0.50);
+    }
+}
+
+TEST(Synthetic, DeterministicPerSeedAndIndex) {
+    SyntheticConfig config;
+    const Program a = synthetic_program(config, 7, 3);
+    const Program b = synthetic_program(config, 7, 3);
+    EXPECT_EQ(a.mat_count(), b.mat_count());
+    EXPECT_EQ(a.to_tdg().edge_count(), b.to_tdg().edge_count());
+    const Program c = synthetic_program(config, 8, 3);
+    const bool differs = a.mat_count() != c.mat_count() ||
+                         a.to_tdg().edge_count() != c.to_tdg().edge_count();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, DependencyProbabilityRoughlyHonored) {
+    SyntheticConfig config;
+    config.min_mats = config.max_mats = 20;
+    std::size_t edges = 0, pairs = 0;
+    for (int i = 0; i < 30; ++i) {
+        const tdg::Tdg t = synthetic_program(config, 1234, i).to_tdg();
+        edges += t.edge_count();
+        pairs += t.node_count() * (t.node_count() - 1) / 2;
+    }
+    const double rate = static_cast<double>(edges) / static_cast<double>(pairs);
+    EXPECT_NEAR(rate, 0.30, 0.05);
+}
+
+TEST(Synthetic, ProgramsAreDags) {
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(synthetic_program(SyntheticConfig{}, 55, i).to_tdg().is_dag());
+    }
+}
+
+TEST(Synthetic, PaperWorkloadComposition) {
+    const auto w50 = paper_workload(50, 1);
+    EXPECT_EQ(w50.size(), 50u);
+    EXPECT_EQ(w50.front().name(), "l2l3_routing");  // real programs first
+    const auto w5 = paper_workload(5, 1);
+    EXPECT_EQ(w5.size(), 5u);
+    EXPECT_THROW((void)paper_workload(0, 1), std::invalid_argument);
+}
+
+TEST(Synthetic, BadConfigRejected) {
+    SyntheticConfig config;
+    config.min_mats = 5;
+    config.max_mats = 3;
+    EXPECT_THROW((void)synthetic_program(config, 1, 0), std::invalid_argument);
+    SyntheticConfig config2;
+    config2.dependency_probability = 1.5;
+    EXPECT_THROW((void)synthetic_program(config2, 1, 0), std::invalid_argument);
+}
+
+// ---- Parser -------------------------------------------------------------------
+
+constexpr const char* kSample = R"(
+# demo program
+program l3_demo
+mat ipv4_lpm capacity=1024 resource=0.4 kind=lpm
+  match ipv4.dst_addr:4:h
+  write set_nexthop meta.nexthop:4:m
+mat nexthop capacity=256 resource=0.2
+  match meta.nexthop:4:m
+  write rewrite ethernet.dst_addr:6:h
+gate ipv4_lpm nexthop
+)";
+
+TEST(Parser, ParsesSample) {
+    const Program p = parse_program(kSample);
+    EXPECT_EQ(p.name(), "l3_demo");
+    ASSERT_EQ(p.mat_count(), 2u);
+    EXPECT_EQ(p.mat(0).name(), "ipv4_lpm");
+    EXPECT_EQ(p.mat(0).match_kind(), tdg::MatchKind::kLpm);
+    EXPECT_EQ(p.mat(0).rule_capacity(), 1024);
+    const tdg::Tdg t = p.to_tdg();
+    ASSERT_EQ(t.edge_count(), 1u);
+    EXPECT_EQ(t.edges()[0].type, DepType::kMatch);  // field link beats the gate
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+    try {
+        (void)parse_program("program p\nmat t capacity=1 resource=0.1\n  match bad_field\n");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& ex) {
+        EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsStructuralMistakes) {
+    EXPECT_THROW((void)parse_program(""), std::invalid_argument);
+    EXPECT_THROW((void)parse_program("mat t capacity=1 resource=0.1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parse_program("program p\nprogram q\n"), std::invalid_argument);
+    EXPECT_THROW((void)parse_program("program p\nbogus directive\n"),
+                 std::invalid_argument);
+    // mat without match/write
+    EXPECT_THROW((void)parse_program("program p\nmat t capacity=1 resource=0.1\n"),
+                 std::invalid_argument);
+}
+
+TEST(Parser, RoundTripPreservesTdg) {
+    for (const auto& name : program_names()) {
+        const Program original = make_program(name);
+        const Program reparsed = parse_program(to_text(original));
+        const tdg::Tdg a = original.to_tdg();
+        const tdg::Tdg b = reparsed.to_tdg();
+        ASSERT_EQ(a.node_count(), b.node_count()) << name;
+        EXPECT_EQ(a.edge_count(), b.edge_count()) << name;
+        for (const tdg::Edge& e : a.edges()) {
+            const auto found = b.find_edge(e.from, e.to);
+            ASSERT_TRUE(found.has_value()) << name;
+            EXPECT_EQ(found->type, e.type) << name;
+        }
+    }
+}
+
+TEST(Parser, LoadMissingFileThrows) {
+    EXPECT_THROW((void)load_program_file("/nonexistent/path.prog"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hermes::prog

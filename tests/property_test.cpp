@@ -1,0 +1,200 @@
+// Property-based suites (parameterized gtest): invariants that must hold for
+// every random instance — deployments verify, splits partition, cuts are
+// conservative, simplex solutions are feasible, greedy never beats the
+// exact optimum.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/formulation.h"
+#include "core/greedy.h"
+#include "core/hermes.h"
+#include "core/objective.h"
+#include "core/verifier.h"
+#include "milp/solver.h"
+#include "net/builders.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+
+namespace hermes {
+namespace {
+
+// ---- Random synthetic instance sweeps -------------------------------------
+
+class SyntheticSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+TEST_P(SyntheticSweep, SplitPartitionsNodes) {
+    const tdg::Tdg t =
+        core::analyze({prog::synthetic_program(prog::SyntheticConfig{}, GetParam(), 0),
+                       prog::synthetic_program(prog::SyntheticConfig{}, GetParam(), 1)});
+    std::vector<tdg::NodeId> all(t.node_count());
+    std::iota(all.begin(), all.end(), tdg::NodeId{0});
+    const auto segments = core::split_tdg(t, all, 6, 1.0);
+    std::set<tdg::NodeId> seen;
+    for (const auto& segment : segments) {
+        EXPECT_FALSE(segment.empty());
+        EXPECT_TRUE(core::segment_fits(t, segment, 6, 1.0));
+        for (const tdg::NodeId v : segment) EXPECT_TRUE(seen.insert(v).second);
+    }
+    EXPECT_EQ(seen.size(), t.node_count());
+}
+
+TEST_P(SyntheticSweep, SegmentsRespectTopologicalOrder) {
+    // No TDG edge may point from a later segment to an earlier one.
+    const tdg::Tdg t =
+        core::analyze({prog::synthetic_program(prog::SyntheticConfig{}, GetParam(), 2)});
+    std::vector<tdg::NodeId> all(t.node_count());
+    std::iota(all.begin(), all.end(), tdg::NodeId{0});
+    const auto segments = core::split_tdg(t, all, 4, 1.0);
+    std::vector<std::size_t> segment_of(t.node_count());
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        for (const tdg::NodeId v : segments[s]) segment_of[v] = s;
+    }
+    for (const tdg::Edge& e : t.edges()) {
+        EXPECT_LE(segment_of[e.from], segment_of[e.to]);
+    }
+}
+
+TEST_P(SyntheticSweep, GreedyDeploymentAlwaysVerifies) {
+    const auto programs = prog::synthetic_programs(prog::SyntheticConfig{}, GetParam(), 3);
+    const tdg::Tdg t = core::analyze(programs);
+    net::TopologyConfig config;
+    util::SplitMix64 rng(GetParam());
+    const net::Network n = net::random_topology(30, 45, config, rng);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::VerificationReport report = core::verify(t, n, outcome.deployment);
+    EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                         : report.violations.front());
+}
+
+TEST_P(SyntheticSweep, InflightAtLeastPairMetadata) {
+    // The physical in-flight bytes on some hop can never undercut the
+    // heaviest single pair.
+    const auto programs = prog::synthetic_programs(prog::SyntheticConfig{}, GetParam(), 2);
+    const tdg::Tdg t = core::analyze(programs);
+    sim::TestbedConfig config;
+    config.switch_count = 8;
+    config.stages = 12;  // dense synthetic TDGs are deep; Tofino geometry
+    const net::Network n = sim::make_testbed(config);
+    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    EXPECT_GE(outcome.metrics.max_inflight_metadata_bytes,
+              outcome.metrics.max_pair_metadata_bytes);
+}
+
+TEST_P(SyntheticSweep, MergeNeverGrowsNodeCount) {
+    const auto programs = prog::synthetic_programs(prog::SyntheticConfig{}, GetParam(), 4);
+    std::size_t union_nodes = 0;
+    for (const prog::Program& p : programs) union_nodes += p.mat_count();
+    const tdg::Tdg merged = core::analyze(programs);
+    EXPECT_LE(merged.node_count(), union_nodes);
+    EXPECT_TRUE(merged.is_dag());
+}
+
+// ---- Random MILP sweeps -----------------------------------------------------
+
+class MilpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpSweep, ::testing::Range<std::uint64_t>(100u, 110u));
+
+TEST_P(MilpSweep, RandomKnapsackMatchesExhaustive) {
+    util::SplitMix64 rng(GetParam());
+    const int items = 10;
+    std::vector<double> w(items), v(items);
+    for (int i = 0; i < items; ++i) {
+        w[i] = static_cast<double>(rng.uniform_int(5, 40));
+        v[i] = static_cast<double>(rng.uniform_int(1, 100));
+    }
+    const double cap = 80.0;
+    double best = 0.0;
+    for (int mask = 0; mask < (1 << items); ++mask) {
+        double tw = 0.0, tv = 0.0;
+        for (int i = 0; i < items; ++i) {
+            if (mask & (1 << i)) {
+                tw += w[i];
+                tv += v[i];
+            }
+        }
+        if (tw <= cap) best = std::max(best, tv);
+    }
+    milp::Model m;
+    milp::LinExpr weight, value;
+    for (int i = 0; i < items; ++i) {
+        const milp::VarId x = m.add_binary();
+        weight += milp::LinExpr::term(x, w[i]);
+        value += milp::LinExpr::term(x, v[i]);
+    }
+    m.add_constraint(weight, milp::Sense::kLe, cap);
+    m.maximize(value);
+    const milp::MilpResult r = milp::solve_milp(m);
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, best, 1e-6);
+    EXPECT_TRUE(m.is_feasible(r.values, 1e-6));
+}
+
+TEST_P(MilpSweep, RandomLpSolutionsFeasible) {
+    util::SplitMix64 rng(GetParam() * 31);
+    milp::Model m;
+    const int n = 8;
+    std::vector<milp::VarId> xs;
+    for (int i = 0; i < n; ++i) {
+        xs.push_back(m.add_continuous(0.0, rng.uniform_real(1.0, 10.0)));
+    }
+    for (int c = 0; c < 6; ++c) {
+        milp::LinExpr e;
+        for (int i = 0; i < n; ++i) {
+            if (rng.chance(0.5)) e += milp::LinExpr::term(xs[i], rng.uniform_real(0.1, 3.0));
+        }
+        if (e.empty()) continue;
+        m.add_constraint(std::move(e), milp::Sense::kLe, rng.uniform_real(5.0, 20.0));
+    }
+    milp::LinExpr obj;
+    for (int i = 0; i < n; ++i) obj += milp::LinExpr::term(xs[i], rng.uniform_real(0.5, 2.0));
+    m.maximize(obj);
+    const milp::LpResult r = milp::solve_lp(m);
+    ASSERT_EQ(r.status, milp::LpStatus::kOptimal);
+    EXPECT_TRUE(m.is_feasible(r.values, 1e-6));
+    EXPECT_NEAR(m.objective_value(r.values), r.objective, 1e-6);
+}
+
+// ---- Greedy vs exact optimum -------------------------------------------------
+
+class OptimalitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalitySweep, ::testing::Values(7u, 17u, 27u, 37u));
+
+TEST_P(OptimalitySweep, GreedyNeverBeatsExactModel) {
+    // Small random TDG on a 4-switch testbed; the exact model (warm-started
+    // from the greedy solution) must never end up worse than greedy, and its
+    // decoded deployment must verify and realize its claimed objective.
+    prog::SyntheticConfig config;
+    config.min_mats = 5;
+    config.max_mats = 6;
+    config.min_resource = 0.4;
+    config.max_resource = 0.8;
+    const tdg::Tdg t =
+        core::analyze({prog::synthetic_program(config, GetParam(), 0)});
+    sim::TestbedConfig tb;
+    tb.switch_count = 4;
+    tb.stages = 4;
+    const net::Network n = sim::make_testbed(tb);
+
+    const core::DeployOutcome greedy = core::deploy_greedy(t, n);
+    core::P1Formulation f(t, n, core::FormulationOptions{});
+    milp::MilpOptions options;
+    options.time_limit_seconds = 20.0;
+    options.warm_start = f.encode(greedy.deployment);
+    const milp::MilpResult r = milp::solve_milp(f.model(), options);
+    ASSERT_TRUE(r.has_solution());
+    EXPECT_LE(r.objective, greedy.metrics.max_pair_metadata_bytes + 1e-6);
+    const core::Deployment d = f.decode(r.values);
+    EXPECT_TRUE(core::verify(t, n, d).ok);
+    // A_max upper-bounds every pair's crossing metadata at any feasible point.
+    EXPECT_LE(core::max_pair_metadata(t, d), static_cast<std::int64_t>(r.objective + 0.5));
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,195 @@
+// Simulator tests: event queue semantics, flow packetization, FCT/goodput
+// physics, and the §II-B motivation rig.
+#include <gtest/gtest.h>
+
+#include "sim/events.h"
+#include "sim/flowsim.h"
+#include "sim/testbed.h"
+
+namespace hermes::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    const double last = q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(last, 3.0);
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(1.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CallbacksMaySchedule) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] {
+        ++fired;
+        q.schedule(2.0, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunStepsLimits) {
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i) q.schedule(i, [&] { ++fired; });
+    EXPECT_EQ(q.run_steps(2), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 3u);
+}
+
+// ---- Flow simulation ---------------------------------------------------------
+
+TEST(FlowSim, EffectivePayloadShrinksWithOverhead) {
+    FlowSpec spec;
+    spec.mtu_bytes = 1500;
+    spec.base_header_bytes = 40;
+    spec.overhead_bytes = 0;
+    EXPECT_EQ(effective_payload(spec), 1460);
+    spec.overhead_bytes = 60;
+    EXPECT_EQ(effective_payload(spec), 1400);
+    spec.overhead_bytes = 1460;
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+}
+
+TEST(FlowSim, SinglePacketSingleHopLatency) {
+    // One 1000B-payload packet over one hop at 100 Gbps:
+    // tx = 1040*8/1e11 s = 83.2ns = 0.0832us, plus 0.5us prop + 1us switch.
+    FlowSpec spec;
+    spec.payload_bytes_total = 1000;
+    spec.mtu_bytes = 1500;
+    const std::vector<HopSpec> hops{{0.5, 1.0}};
+    const FlowResult r = simulate_flow(hops, spec);
+    EXPECT_EQ(r.packets, 1);
+    EXPECT_NEAR(r.fct_us, 0.0832 + 0.5 + 1.0, 1e-9);
+}
+
+TEST(FlowSim, PacketCountFromOverhead) {
+    FlowSpec spec;
+    spec.payload_bytes_total = 14600;  // 10 full packets at zero overhead
+    const FlowResult zero = simulate_flow({{0.5, 1.0}}, spec);
+    EXPECT_EQ(zero.packets, 10);
+    spec.overhead_bytes = 146;  // payload 1314 -> ceil(14600/1314) = 12
+    const FlowResult loaded = simulate_flow({{0.5, 1.0}}, spec);
+    EXPECT_EQ(loaded.packets, 12);
+    EXPECT_GT(loaded.fct_us, zero.fct_us);
+    EXPECT_LT(loaded.goodput_gbps, zero.goodput_gbps);
+}
+
+TEST(FlowSim, PipeliningAcrossHops) {
+    // N packets over H hops: FCT ~ N*tx + H*(tx + prop + switch) under
+    // store-and-forward pipelining; check against closed form.
+    FlowSpec spec;
+    spec.payload_bytes_total = 1460 * 100;
+    const std::vector<HopSpec> hops(5, HopSpec{0.5, 1.0});
+    const FlowResult r = simulate_flow(hops, spec);
+    const double tx = 1500.0 * 8.0 / 1e5;  // us at 100 Gbps
+    const double expected = 99 * tx + 5 * (tx + 1.5);
+    EXPECT_NEAR(r.fct_us, expected, 1e-6);
+}
+
+TEST(FlowSim, GoodputApproachesLineRateForLargeFlows) {
+    FlowSpec spec;
+    spec.payload_bytes_total = 1460 * 5000;
+    const FlowResult r = simulate_flow({{0.5, 1.0}}, spec);
+    // payload/wire ratio at zero overhead = 1460/1500 = 97.3% of 100 Gbps.
+    EXPECT_NEAR(r.goodput_gbps, 100.0 * 1460.0 / 1500.0, 1.0);
+}
+
+TEST(FlowSim, ZeroPayloadZeroPackets) {
+    FlowSpec spec;
+    const FlowResult r = simulate_flow({{0.5, 1.0}}, spec);
+    EXPECT_EQ(r.packets, 0);
+    EXPECT_EQ(r.fct_us, 0.0);
+}
+
+TEST(FlowSim, ShortFinalPacket) {
+    FlowSpec spec;
+    spec.payload_bytes_total = 1500;  // 1460 + 40 remainder
+    const FlowResult r = simulate_flow({{0.0, 0.0}}, spec);
+    EXPECT_EQ(r.packets, 2);
+    // Full 1500B wire packet followed by a 40+40=80B runt, back to back.
+    const double expected = (1500.0 + 80.0) * 8.0 / 1e5;
+    EXPECT_NEAR(r.fct_us, expected, 1e-9);
+}
+
+TEST(FlowSim, BandwidthValidation) {
+    SimConfig config;
+    config.link_bandwidth_gbps = 0.0;
+    FlowSpec spec;
+    spec.payload_bytes_total = 100;
+    EXPECT_THROW((void)simulate_flow({{0, 0}}, spec, config), std::invalid_argument);
+}
+
+// ---- Motivation experiment (§II-B / Fig 2) ------------------------------------
+
+TEST(Motivation, OverheadDegradesPerformanceMonotonically) {
+    MotivationConfig config;
+    config.packets = 2000;
+    double last_fct = 0.0;
+    double last_goodput_drop = -1.0;
+    for (const int overhead : {28, 48, 68, 88, 108}) {
+        const MotivationPoint p = run_motivation(config, 1500, overhead);
+        EXPECT_GT(p.fct_increase, 0.0) << overhead;
+        EXPECT_GT(p.goodput_decrease, 0.0) << overhead;
+        EXPECT_GE(p.fct_increase, last_fct) << overhead;
+        EXPECT_GE(p.goodput_decrease, last_goodput_drop) << overhead;
+        last_fct = p.fct_increase;
+        last_goodput_drop = p.goodput_decrease;
+    }
+}
+
+TEST(Motivation, ZeroOverheadIsBaseline) {
+    MotivationConfig config;
+    config.packets = 500;
+    const MotivationPoint p = run_motivation(config, 1024, 0);
+    EXPECT_NEAR(p.fct_increase, 0.0, 1e-12);
+    EXPECT_NEAR(p.goodput_decrease, 0.0, 1e-12);
+}
+
+TEST(Motivation, PaperBallparkAt48Bytes) {
+    // §I cites ~25% FCT increase at 48B overhead for DCN-sized packets.
+    MotivationConfig config;
+    config.packets = 2000;
+    const MotivationPoint p = run_motivation(config, 512, 48);
+    EXPECT_GT(p.fct_increase, 0.05);
+    EXPECT_LT(p.fct_increase, 0.40);
+}
+
+TEST(Motivation, Validation) {
+    MotivationConfig config;
+    EXPECT_THROW((void)run_motivation(config, 20, 0), std::invalid_argument);
+    EXPECT_THROW((void)run_motivation(config, 512, -1), std::invalid_argument);
+}
+
+TEST(Testbed, LinearAllProgrammable) {
+    const net::Network n = make_testbed();
+    EXPECT_EQ(n.switch_count(), 3u);
+    EXPECT_EQ(n.link_count(), 2u);
+    EXPECT_EQ(n.programmable_switches().size(), 3u);
+    EXPECT_TRUE(n.is_connected());
+    TestbedConfig bad;
+    bad.switch_count = 0;
+    EXPECT_THROW((void)make_testbed(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hermes::sim

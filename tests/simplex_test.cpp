@@ -1,0 +1,226 @@
+// LP solver tests: known-optimum problems, infeasibility, unboundedness,
+// bound handling, and degenerate cases.
+#include <gtest/gtest.h>
+
+#include "milp/simplex.h"
+
+namespace hermes::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TrivialBoundsOnlyMinimum) {
+    Model m;
+    const VarId x = m.add_continuous(2.0, 10.0, "x");
+    m.minimize(LinExpr::term(x));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 2.0, kTol);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(x)], 2.0, kTol);
+}
+
+TEST(Simplex, TrivialBoundsOnlyMaximum) {
+    Model m;
+    const VarId x = m.add_continuous(2.0, 10.0, "x");
+    m.maximize(LinExpr::term(x));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 10.0, kTol);
+}
+
+TEST(Simplex, ClassicTwoVariableMax) {
+    // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj=36.
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    const VarId y = m.add_continuous(0.0, kInfinity, "y");
+    m.add_constraint(LinExpr::term(x), Sense::kLe, 4.0);
+    m.add_constraint(LinExpr::term(y, 2.0), Sense::kLe, 12.0);
+    m.add_constraint(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Sense::kLe, 18.0);
+    m.maximize(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 36.0, kTol);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(x)], 2.0, kTol);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(y)], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+    // min x + y st x + y = 5, x - y >= 1 -> obj 5.
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    const VarId y = m.add_continuous(0.0, kInfinity, "y");
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kEq, 5.0);
+    m.add_constraint(LinExpr::term(x) - LinExpr::term(y), Sense::kGe, 1.0);
+    m.minimize(LinExpr::term(x) + LinExpr::term(y));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 5.0, kTol);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+    // min 2x + 3y st x + y >= 10, x <= 6 -> x=6, y=4, obj=24.
+    Model m;
+    const VarId x = m.add_continuous(0.0, 6.0, "x");
+    const VarId y = m.add_continuous(0.0, kInfinity, "y");
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kGe, 10.0);
+    m.minimize(LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 24.0, kTol);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 1.0, "x");
+    m.add_constraint(LinExpr::term(x), Sense::kGe, 2.0);
+    m.minimize(LinExpr::term(x));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, ContradictoryConstraintsInfeasible) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    const VarId y = m.add_continuous(0.0, kInfinity, "y");
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kLe, 1.0);
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kGe, 3.0);
+    m.minimize(LinExpr::term(x));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    m.maximize(LinExpr::term(x));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, UnboundedWithConstraint) {
+    // max x - y st x - y <= ... none binding the ray.
+    Model m;
+    const VarId x = m.add_continuous(0.0, kInfinity, "x");
+    const VarId y = m.add_continuous(0.0, kInfinity, "y");
+    m.add_constraint(LinExpr::term(y), Sense::kLe, 5.0);
+    m.maximize(LinExpr::term(x) + LinExpr::term(y));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBoundsShifted) {
+    // min x st x >= -5 (bound), x >= -3 (constraint) -> -3.
+    Model m;
+    const VarId x = m.add_continuous(-5.0, 5.0, "x");
+    m.add_constraint(LinExpr::term(x), Sense::kGe, -3.0);
+    m.minimize(LinExpr::term(x));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, -3.0, kTol);
+}
+
+TEST(Simplex, FreeLowerBoundRejected) {
+    Model m;
+    (void)m.add_continuous(-kInfinity, 5.0, "x");
+    m.minimize(LinExpr{0.0});
+    EXPECT_THROW((void)solve_lp(m), std::invalid_argument);
+}
+
+TEST(Simplex, ObjectiveConstantFolded) {
+    Model m;
+    const VarId x = m.add_continuous(1.0, 2.0, "x");
+    LinExpr obj = LinExpr::term(x);
+    obj.add_constant(100.0);
+    m.minimize(obj);
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 101.0, kTol);
+}
+
+TEST(Simplex, FixedVariableViaEqualBounds) {
+    Model m;
+    const VarId x = m.add_continuous(3.0, 3.0, "x");
+    const VarId y = m.add_continuous(0.0, 10.0, "y");
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y), Sense::kGe, 5.0);
+    m.minimize(LinExpr::term(y));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(y)], 2.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+    // Classic cycling-prone instance (Beale); Bland fallback must terminate.
+    Model m;
+    const VarId x1 = m.add_continuous(0.0, kInfinity, "x1");
+    const VarId x2 = m.add_continuous(0.0, kInfinity, "x2");
+    const VarId x3 = m.add_continuous(0.0, kInfinity, "x3");
+    const VarId x4 = m.add_continuous(0.0, kInfinity, "x4");
+    m.add_constraint(LinExpr::term(x1, 0.25) + LinExpr::term(x2, -8.0) +
+                         LinExpr::term(x3, -1.0) + LinExpr::term(x4, 9.0),
+                     Sense::kLe, 0.0);
+    m.add_constraint(LinExpr::term(x1, 0.5) + LinExpr::term(x2, -12.0) +
+                         LinExpr::term(x3, -0.5) + LinExpr::term(x4, 3.0),
+                     Sense::kLe, 0.0);
+    m.add_constraint(LinExpr::term(x3), Sense::kLe, 1.0);
+    m.maximize(LinExpr::term(x1, 0.75) + LinExpr::term(x2, -20.0) +
+               LinExpr::term(x3, 0.5) + LinExpr::term(x4, -6.0));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.25, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 10.0, "x");
+    m.add_constraint(LinExpr::term(x), Sense::kEq, 4.0);
+    m.add_constraint(LinExpr::term(x, 2.0), Sense::kEq, 8.0);  // same info
+    m.minimize(LinExpr::term(x));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 4.0, kTol);
+}
+
+TEST(Simplex, ManyVariablesTransportlike) {
+    // Balanced 3x3 transportation problem with known optimum.
+    // Supplies: 20, 30, 25; demands: 10, 35, 30.
+    const double cost[3][3] = {{8, 6, 10}, {9, 12, 13}, {14, 9, 16}};
+    const double supply[3] = {20, 30, 25};
+    const double demand[3] = {10, 35, 30};
+    Model m;
+    VarId x[3][3];
+    LinExpr obj;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            x[i][j] = m.add_continuous(0.0, kInfinity,
+                                       "x" + std::to_string(i) + std::to_string(j));
+            obj += LinExpr::term(x[i][j], cost[i][j]);
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        LinExpr row;
+        for (int j = 0; j < 3; ++j) row += LinExpr::term(x[i][j]);
+        m.add_constraint(std::move(row), Sense::kEq, supply[i]);
+    }
+    for (int j = 0; j < 3; ++j) {
+        LinExpr col;
+        for (int i = 0; i < 3; ++i) col += LinExpr::term(x[i][j]);
+        m.add_constraint(std::move(col), Sense::kEq, demand[j]);
+    }
+    m.minimize(obj);
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    // Brute-force-verified optimum (exhaustive integer enumeration): 735.
+    EXPECT_NEAR(r.objective, 735.0, 1e-4);
+}
+
+TEST(Simplex, SolutionSatisfiesModel) {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 7.0, "x");
+    const VarId y = m.add_continuous(0.0, 7.0, "y");
+    m.add_constraint(LinExpr::term(x, 2.0) + LinExpr::term(y), Sense::kLe, 9.0);
+    m.add_constraint(LinExpr::term(x) + LinExpr::term(y, 3.0), Sense::kGe, 6.0);
+    m.maximize(LinExpr::term(x) + LinExpr::term(y, 2.0));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_TRUE(m.is_feasible(r.values, 1e-6));
+    EXPECT_NEAR(m.objective_value(r.values), r.objective, kTol);
+}
+
+}  // namespace
+}  // namespace hermes::milp

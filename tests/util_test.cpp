@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace hermes::util {
+namespace {
+
+// ---- SplitMix64 -----------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+    SplitMix64 a(42), b(42), c(43);
+    EXPECT_EQ(a(), b());
+    SplitMix64 a2(42);
+    EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, UniformIntWithinRange) {
+    SplitMix64 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntSingleton) {
+    SplitMix64 rng(1);
+    EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+    SplitMix64 rng(1);
+    EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+    SplitMix64 rng(2);
+    bool seen[4] = {false, false, false, false};
+    for (int i = 0; i < 200; ++i) seen[rng.uniform_int(0, 3)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Rng, UniformRealWithinRange) {
+    SplitMix64 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform_real(1.5, 2.5);
+        EXPECT_GE(v, 1.5);
+        EXPECT_LT(v, 2.5);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    SplitMix64 rng(4);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+    SplitMix64 rng(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    SplitMix64 rng(6);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+    SplitMix64 rng(7);
+    const auto sample = rng.sample_indices(10, 4);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (const auto i : sample) EXPECT_LT(i, 10u);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+    SplitMix64 rng(8);
+    EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+    SplitMix64 rng(9);
+    const std::vector<int> empty;
+    EXPECT_THROW((void)rng.pick(empty), std::invalid_argument);
+}
+
+// ---- Stats ----------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.138089935, 1e-6);  // sample stddev
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+    RunningStats s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, SingleSampleVarianceZero) {
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(Stats, VectorHelpers) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(mean(xs), 2.5, 1e-12);
+    EXPECT_NEAR(stddev(xs), 1.2909944487, 1e-6);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_NEAR(percentile(xs, 0), 10.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 100), 40.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 50), 25.0, 1e-12);
+}
+
+TEST(Stats, PercentileValidation) {
+    EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+    EXPECT_THROW((void)percentile({1.0}, 101), std::invalid_argument);
+}
+
+// ---- Strings ----------------------------------------------------------------
+
+TEST(Strings, TrimBothEnds) {
+    EXPECT_EQ(trim("  hello \t"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+    const auto parts = split("a, b,, c ,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTrip) {
+    EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("hermes", "her"));
+    EXPECT_FALSE(starts_with("her", "hermes"));
+}
+
+TEST(Strings, ParseInt) {
+    EXPECT_EQ(parse_int(" 42 "), 42);
+    EXPECT_EQ(parse_int("-7"), -7);
+    EXPECT_THROW((void)parse_int("4x"), std::invalid_argument);
+    EXPECT_THROW((void)parse_int(""), std::invalid_argument);
+}
+
+TEST(Strings, ParseDouble) {
+    EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+    EXPECT_THROW((void)parse_double("abc"), std::invalid_argument);
+    EXPECT_THROW((void)parse_double("1.5x"), std::invalid_argument);
+}
+
+// ---- Table ------------------------------------------------------------------
+
+TEST(Table, RowCellCountEnforced) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintAligned) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os, "demo");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+    Table t({"a"});
+    t.add_row({"plain"});
+    t.add_row({"has,comma"});
+    t.add_row({"has\"quote"});
+    std::ostringstream os;
+    t.write_csv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace hermes::util

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "net/builders.h"
+
+namespace hermes::core {
+namespace {
+
+using tdg::DepType;
+
+tdg::Mat mat(const std::string& name, double resource = 0.4) {
+    return tdg::Mat(name, {tdg::header_field("h_" + name, 2)},
+                    {tdg::Action{"a", {tdg::metadata_field("m_" + name, 4)}}}, 16,
+                    resource);
+}
+
+// a -> b -> c
+tdg::Tdg chain3() {
+    tdg::Tdg t;
+    t.add_node(mat("a"));
+    t.add_node(mat("b"));
+    t.add_node(mat("c"));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.add_edge(1, 2, DepType::kMatch);
+    return t;
+}
+
+net::Network linear3() {
+    net::TopologyConfig c;
+    c.min_link_latency_us = 5.0;
+    c.max_link_latency_us = 5.0;
+    c.stages = 4;
+    util::SplitMix64 rng(1);
+    return net::linear_topology(3, c, rng);
+}
+
+Deployment valid_deployment(const net::Network& n) {
+    Deployment d;
+    d.placements = {{0, 0}, {0, 1}, {1, 0}};
+    d.routes[{0, 1}] = *net::shortest_path(n, 0, 1);
+    return d;
+}
+
+TEST(Verifier, AcceptsValidDeployment) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    const VerificationReport r = verify(t, n, valid_deployment(n));
+    EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Verifier, PlacementCountMismatch) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}};
+    EXPECT_FALSE(verify(t, n, d).ok);
+}
+
+TEST(Verifier, RejectsNonProgrammableSwitch) {
+    const tdg::Tdg t = chain3();
+    net::Network n = linear3();
+    n.props(1).programmable = false;
+    const VerificationReport r = verify(t, n, valid_deployment(n));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, RejectsInvalidStage) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.placements[2].stage = 99;
+    EXPECT_FALSE(verify(t, n, d).ok);
+    d.placements[2].stage = -1;
+    EXPECT_FALSE(verify(t, n, d).ok);
+}
+
+TEST(Verifier, RejectsUnknownSwitch) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.placements[0].sw = 42;
+    EXPECT_FALSE(verify(t, n, d).ok);
+}
+
+TEST(Verifier, RejectsStageOrderViolation) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.placements[1].stage = 0;  // same stage as its predecessor a
+    const VerificationReport r = verify(t, n, d);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, RejectsStageOverload) {
+    tdg::Tdg t;
+    t.add_node(mat("a", 0.7));
+    t.add_node(mat("b", 0.7));  // independent, same stage -> 1.4 > 1.0
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {0, 0}};
+    EXPECT_FALSE(verify(t, n, d).ok);
+    d.placements = {{0, 0}, {0, 1}};
+    EXPECT_TRUE(verify(t, n, d).ok);
+}
+
+TEST(Verifier, RejectsMissingRoute) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.routes.clear();
+    const VerificationReport r = verify(t, n, d);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, AcceptsRelayedRoute) {
+    // Edge 0 -> 2 crossing switches 0 -> 2 with routes 0->1 and 1->2 only:
+    // reachability through the route graph satisfies constraint (7).
+    tdg::Tdg t;
+    t.add_node(mat("a"));
+    t.add_node(mat("b"));
+    t.add_node(mat("c"));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.add_edge(0, 2, DepType::kMatch);
+    t.add_edge(1, 2, DepType::kMatch);
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {2, 0}};
+    d.routes[{0, 1}] = *net::shortest_path(n, 0, 1);
+    d.routes[{1, 2}] = *net::shortest_path(n, 1, 2);
+    const VerificationReport r = verify(t, n, d);
+    EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(Verifier, RejectsCyclicSwitchPrecedence) {
+    // a on sw0, b on sw1, c back on sw0 with b -> c: precedence 0->1->0.
+    tdg::Tdg t;
+    t.add_node(mat("a"));
+    t.add_node(mat("b"));
+    t.add_node(mat("c"));
+    t.add_edge(0, 1, DepType::kMatch);
+    t.add_edge(1, 2, DepType::kMatch);
+    const net::Network n = linear3();
+    Deployment d;
+    d.placements = {{0, 0}, {1, 0}, {0, 1}};
+    d.routes[{0, 1}] = *net::shortest_path(n, 0, 1);
+    d.routes[{1, 0}] = *net::shortest_path(n, 1, 0);
+    const VerificationReport r = verify(t, n, d);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, RejectsMismatchedRouteEndpoints) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.routes[{0, 1}] = *net::shortest_path(n, 1, 2);  // wrong endpoints
+    EXPECT_FALSE(verify(t, n, d).ok);
+}
+
+TEST(Verifier, EnforcesEpsilonBounds) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    const Deployment d = valid_deployment(n);
+    VerifyOptions strict;
+    strict.epsilon1 = 1.0;  // route latency is 7us
+    EXPECT_FALSE(verify(t, n, d, strict).ok);
+    VerifyOptions occupancy;
+    occupancy.epsilon2 = 1;  // two switches occupied
+    EXPECT_FALSE(verify(t, n, d, occupancy).ok);
+    VerifyOptions loose;
+    loose.epsilon1 = 100.0;
+    loose.epsilon2 = 2;
+    EXPECT_TRUE(verify(t, n, d, loose).ok);
+}
+
+TEST(Verifier, CollectsMultipleViolations) {
+    const tdg::Tdg t = chain3();
+    const net::Network n = linear3();
+    Deployment d = valid_deployment(n);
+    d.placements[1].stage = 0;
+    d.routes.clear();
+    const VerificationReport r = verify(t, n, d);
+    EXPECT_FALSE(r.ok);
+    EXPECT_GE(r.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hermes::core

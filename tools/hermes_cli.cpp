@@ -1,0 +1,292 @@
+// hermes_cli — command-line front end for the Hermes framework.
+//
+//   hermes_cli compile <file.p4mini>
+//       Compile a mini-P4 program and print its MATs and dependencies.
+//
+//   hermes_cli analyze --programs <spec> [--programs <spec> ...]
+//       Merge the programs, run the metadata analyzer, print the TDG.
+//
+//   hermes_cli deploy --programs <spec> --topology <spec>
+//              [--strategy greedy|optimal|ms|sonata|speed|mtp|fp|p4all|ffl|ffls]
+//              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>] [--csv]
+//       Deploy and print placements, routes, and metrics.
+//
+// Program specs:
+//   real[:N]           the library's real programs (first N, default 10)
+//   sketches           the ten sketch programs
+//   synthetic:N[:seed] N synthetic programs
+//   <path>.p4mini      a mini-P4 source file
+//   <path>.prog        a textual program file
+//
+// Topology specs:
+//   testbed[:switches[:stages]]   linear all-programmable testbed
+//   table3:<id>                   Table III WAN topology (1..10)
+//   random:<nodes>:<edges>[:seed] connected random WAN, 50% programmable
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "baselines/common.h"
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "net/topozoo.h"
+#include "p4/frontend.h"
+#include "prog/library.h"
+#include "prog/parser.h"
+#include "prog/synthetic.h"
+#include "tdg/analyzer.h"
+#include "sim/testbed.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hermes;
+
+[[noreturn]] void usage(const std::string& message = "") {
+    if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+    std::cerr <<
+        R"(usage:
+  hermes_cli compile <file.p4mini>
+  hermes_cli analyze --programs <spec> [--programs <spec> ...]
+  hermes_cli deploy  --programs <spec> [--programs <spec> ...]
+                     --topology <spec> [--strategy <name>] [--eps1 <us>]
+                     [--eps2 <switches>] [--time-limit <seconds>] [--csv]
+
+program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
+topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
+strategies    : greedy (default) | optimal | ms | sonata | speed | mtp | fp
+                | p4all | ffl | ffls
+)";
+    std::exit(2);
+}
+
+std::vector<prog::Program> parse_program_spec(const std::string& spec) {
+    const auto parts = util::split(spec, ':');
+    if (parts.empty()) usage("empty program spec");
+    if (parts[0] == "real") {
+        std::vector<prog::Program> all = prog::real_programs();
+        if (parts.size() > 1) {
+            const auto n = util::parse_int(parts[1]);
+            if (n < 1 || n > static_cast<std::int64_t>(all.size())) {
+                usage("real:N needs 1 <= N <= 10");
+            }
+            all.erase(all.begin() + n, all.end());
+        }
+        return all;
+    }
+    if (parts[0] == "sketches") return prog::sketch_programs();
+    if (parts[0] == "synthetic") {
+        if (parts.size() < 2) usage("synthetic:N[:seed]");
+        const auto n = util::parse_int(parts[1]);
+        const std::uint64_t seed =
+            parts.size() > 2 ? static_cast<std::uint64_t>(util::parse_int(parts[2])) : 1;
+        return prog::synthetic_programs(prog::SyntheticConfig{}, seed,
+                                        static_cast<int>(n));
+    }
+    if (spec.size() > 7 && spec.substr(spec.size() - 7) == ".p4mini") {
+        return {p4::compile_file(spec)};
+    }
+    if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".prog") {
+        return {prog::load_program_file(spec)};
+    }
+    usage("unknown program spec '" + spec + "'");
+}
+
+net::Network parse_topology_spec(const std::string& spec) {
+    const auto parts = util::split(spec, ':');
+    if (parts.empty()) usage("empty topology spec");
+    if (parts[0] == "testbed") {
+        sim::TestbedConfig config;
+        if (parts.size() > 1) config.switch_count = util::parse_int(parts[1]);
+        if (parts.size() > 2) config.stages = static_cast<int>(util::parse_int(parts[2]));
+        return sim::make_testbed(config);
+    }
+    if (parts[0] == "table3") {
+        if (parts.size() < 2) usage("table3:<id>");
+        return net::table3_topology(static_cast<int>(util::parse_int(parts[1])));
+    }
+    if (parts[0] == "random") {
+        if (parts.size() < 3) usage("random:<nodes>:<edges>[:seed]");
+        util::SplitMix64 rng(parts.size() > 3
+                                 ? static_cast<std::uint64_t>(util::parse_int(parts[3]))
+                                 : 7);
+        return net::random_topology(util::parse_int(parts[1]), util::parse_int(parts[2]),
+                                    net::TopologyConfig{}, rng);
+    }
+    usage("unknown topology spec '" + spec + "'");
+}
+
+void print_tdg(const tdg::Tdg& t) {
+    util::Table nodes({"MAT", "match fields", "resource", "capacity"});
+    for (tdg::NodeId v = 0; v < t.node_count(); ++v) {
+        const tdg::Mat& m = t.node(v);
+        std::string matches;
+        for (const tdg::Field& f : m.match_fields()) {
+            if (!matches.empty()) matches += ", ";
+            matches += f.name;
+        }
+        nodes.add_row({m.name(), matches, util::Table::num(m.resource_units(), 2),
+                       util::Table::num(m.rule_capacity())});
+    }
+    nodes.print(std::cout, "MATs (" + std::to_string(t.node_count()) + ")");
+    std::cout << '\n';
+    util::Table edges({"from", "to", "type", "A(a,b) bytes"});
+    for (const tdg::Edge& e : t.edges()) {
+        edges.add_row({t.node(e.from).name(), t.node(e.to).name(), tdg::to_string(e.type),
+                       util::Table::num(std::int64_t{e.metadata_bytes})});
+    }
+    edges.print(std::cout, "dependencies (" + std::to_string(t.edge_count()) + ")");
+}
+
+int cmd_compile(const std::vector<std::string>& args) {
+    if (args.size() != 1) usage("compile takes exactly one file");
+    const prog::Program p = p4::compile_file(args[0]);
+    std::cout << "program " << p.name() << ": " << p.mat_count() << " tables\n\n";
+    tdg::Tdg t = p.to_tdg();
+    tdg::analyze(t);
+    print_tdg(t);
+    return 0;
+}
+
+struct Options {
+    std::vector<prog::Program> programs;
+    std::optional<net::Network> network;
+    std::string strategy = "greedy";
+    double eps1 = std::numeric_limits<double>::infinity();
+    std::int64_t eps2 = std::numeric_limits<std::int64_t>::max();
+    double time_limit = 30.0;
+    bool csv = false;
+};
+
+Options parse_options(const std::vector<std::string>& args, bool need_topology) {
+    Options options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto value = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+            return args[++i];
+        };
+        if (args[i] == "--programs") {
+            for (prog::Program& p : parse_program_spec(value())) {
+                options.programs.push_back(std::move(p));
+            }
+        } else if (args[i] == "--topology") {
+            options.network = parse_topology_spec(value());
+        } else if (args[i] == "--strategy") {
+            options.strategy = value();
+        } else if (args[i] == "--eps1") {
+            options.eps1 = util::parse_double(value());
+        } else if (args[i] == "--eps2") {
+            options.eps2 = util::parse_int(value());
+        } else if (args[i] == "--time-limit") {
+            options.time_limit = util::parse_double(value());
+        } else if (args[i] == "--csv") {
+            options.csv = true;
+        } else {
+            usage("unknown option '" + args[i] + "'");
+        }
+    }
+    if (options.programs.empty()) usage("--programs is required");
+    if (need_topology && !options.network) usage("--topology is required");
+    return options;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+    const Options options = parse_options(args, /*need_topology=*/false);
+    const tdg::Tdg t = core::analyze(options.programs);
+    std::cout << options.programs.size() << " programs -> merged TDG with "
+              << t.node_count() << " MATs, " << t.edge_count() << " dependencies, "
+              << t.total_metadata_bytes() << " total metadata bytes, "
+              << util::Table::num(t.total_resource_units(), 2) << " resource units\n\n";
+    print_tdg(t);
+    return 0;
+}
+
+int cmd_deploy(const std::vector<std::string>& args) {
+    Options options = parse_options(args, /*need_topology=*/true);
+    const net::Network& network = *options.network;
+    const tdg::Tdg merged = core::analyze(options.programs);
+
+    core::Deployment deployment;
+    tdg::Tdg deployed_tdg = merged;
+    double seconds = 0.0;
+    std::string status;
+
+    if (options.strategy == "greedy" || options.strategy == "optimal") {
+        core::HermesOptions hermes_options;
+        hermes_options.epsilon1 = options.eps1;
+        hermes_options.epsilon2 = options.eps2;
+        hermes_options.milp.time_limit_seconds = options.time_limit;
+        hermes_options.segment_level_milp = merged.node_count() > 40;
+        const core::DeployOutcome outcome =
+            options.strategy == "greedy"
+                ? core::deploy_greedy(merged, network, hermes_options)
+                : core::deploy_optimal(merged, network, hermes_options);
+        deployment = outcome.deployment;
+        seconds = outcome.solve_seconds;
+        status = outcome.solver_status;
+    } else {
+        static const std::map<std::string, std::string> names{
+            {"ms", "MS"},   {"sonata", "Sonata"}, {"speed", "SPEED"}, {"mtp", "MTP"},
+            {"fp", "FP"},   {"p4all", "P4All"},   {"ffl", "FFL"},     {"ffls", "FFLS"}};
+        const auto it = names.find(options.strategy);
+        if (it == names.end()) usage("unknown strategy '" + options.strategy + "'");
+        baselines::BaselineOptions baseline_options;
+        baseline_options.epsilon1 = options.eps1;
+        baseline_options.epsilon2 = options.eps2;
+        baseline_options.milp.time_limit_seconds = options.time_limit;
+        for (const auto& strategy : baselines::all_strategies()) {
+            if (strategy->name() != it->second) continue;
+            baselines::StrategyOutcome outcome =
+                strategy->deploy(options.programs, network, baseline_options);
+            deployment = std::move(outcome.deployment);
+            deployed_tdg = std::move(outcome.merged);
+            seconds = outcome.solve_seconds;
+            status = outcome.status;
+        }
+    }
+
+    const core::DeploymentMetrics metrics =
+        core::evaluate(deployed_tdg, network, deployment);
+    const core::VerificationReport report = core::verify(deployed_tdg, network, deployment);
+
+    util::Table placements({"MAT", "switch", "stage"});
+    for (tdg::NodeId v = 0; v < deployed_tdg.node_count(); ++v) {
+        placements.add_row({deployed_tdg.node(v).name(),
+                            network.props(deployment.placements[v].sw).name,
+                            util::Table::num(std::int64_t{deployment.placements[v].stage})});
+    }
+    if (options.csv) {
+        placements.write_csv(std::cout);
+    } else {
+        placements.print(std::cout, "placements (" + options.strategy + ")");
+    }
+    std::cout << "\nper-packet overhead : " << metrics.max_pair_metadata_bytes << " B"
+              << " (in-flight " << metrics.max_inflight_metadata_bytes << " B)\n"
+              << "occupied switches   : " << metrics.occupied_switches << "\n"
+              << "route latency       : " << metrics.route_latency_us << " us\n"
+              << "solve time          : " << seconds * 1e3 << " ms (" << status << ")\n"
+              << "verified            : " << (report.ok ? "yes" : "NO") << "\n";
+    if (!report.ok) {
+        for (const std::string& v : report.violations) std::cerr << "  ! " << v << "\n";
+    }
+    return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) usage();
+    const std::string command = args.front();
+    args.erase(args.begin());
+    try {
+        if (command == "compile") return cmd_compile(args);
+        if (command == "analyze") return cmd_analyze(args);
+        if (command == "deploy") return cmd_deploy(args);
+        usage("unknown command '" + command + "'");
+    } catch (const std::exception& ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 1;
+    }
+}
