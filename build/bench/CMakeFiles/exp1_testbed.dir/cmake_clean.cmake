@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_testbed.dir/exp1_testbed.cpp.o"
+  "CMakeFiles/exp1_testbed.dir/exp1_testbed.cpp.o.d"
+  "exp1_testbed"
+  "exp1_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_overhead.dir/exp2_overhead.cpp.o"
+  "CMakeFiles/exp2_overhead.dir/exp2_overhead.cpp.o.d"
+  "exp2_overhead"
+  "exp2_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_exectime.dir/exp3_exectime.cpp.o"
+  "CMakeFiles/exp3_exectime.dir/exp3_exectime.cpp.o.d"
+  "exp3_exectime"
+  "exp3_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_endtoend.dir/exp4_endtoend.cpp.o"
+  "CMakeFiles/exp4_endtoend.dir/exp4_endtoend.cpp.o.d"
+  "exp4_endtoend"
+  "exp4_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

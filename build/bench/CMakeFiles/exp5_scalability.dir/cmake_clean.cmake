@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_scalability.dir/exp5_scalability.cpp.o"
+  "CMakeFiles/exp5_scalability.dir/exp5_scalability.cpp.o.d"
+  "exp5_scalability"
+  "exp5_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_resources.dir/exp6_resources.cpp.o"
+  "CMakeFiles/exp6_resources.dir/exp6_resources.cpp.o.d"
+  "exp6_resources"
+  "exp6_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

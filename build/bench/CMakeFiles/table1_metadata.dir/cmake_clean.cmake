@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_metadata.dir/table1_metadata.cpp.o"
+  "CMakeFiles/table1_metadata.dir/table1_metadata.cpp.o.d"
+  "table1_metadata"
+  "table1_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

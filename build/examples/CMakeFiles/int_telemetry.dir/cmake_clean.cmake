@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_telemetry.dir/int_telemetry.cpp.o"
+  "CMakeFiles/int_telemetry.dir/int_telemetry.cpp.o.d"
+  "int_telemetry"
+  "int_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

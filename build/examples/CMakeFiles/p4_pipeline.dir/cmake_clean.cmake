@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_pipeline.dir/p4_pipeline.cpp.o"
+  "CMakeFiles/p4_pipeline.dir/p4_pipeline.cpp.o.d"
+  "p4_pipeline"
+  "p4_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

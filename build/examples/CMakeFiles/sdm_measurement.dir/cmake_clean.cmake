@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdm_measurement.dir/sdm_measurement.cpp.o"
+  "CMakeFiles/sdm_measurement.dir/sdm_measurement.cpp.o.d"
+  "sdm_measurement"
+  "sdm_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdm_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

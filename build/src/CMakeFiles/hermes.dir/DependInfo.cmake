@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/CMakeFiles/hermes.dir/baselines/common.cc.o" "gcc" "src/CMakeFiles/hermes.dir/baselines/common.cc.o.d"
+  "/root/repo/src/baselines/network_wide.cc" "src/CMakeFiles/hermes.dir/baselines/network_wide.cc.o" "gcc" "src/CMakeFiles/hermes.dir/baselines/network_wide.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/hermes.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/hermes.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/single_switch.cc" "src/CMakeFiles/hermes.dir/baselines/single_switch.cc.o" "gcc" "src/CMakeFiles/hermes.dir/baselines/single_switch.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/CMakeFiles/hermes.dir/core/deployment.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/deployment.cc.o.d"
+  "/root/repo/src/core/dp_split.cc" "src/CMakeFiles/hermes.dir/core/dp_split.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/dp_split.cc.o.d"
+  "/root/repo/src/core/formulation.cc" "src/CMakeFiles/hermes.dir/core/formulation.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/formulation.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/CMakeFiles/hermes.dir/core/greedy.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/greedy.cc.o.d"
+  "/root/repo/src/core/hermes.cc" "src/CMakeFiles/hermes.dir/core/hermes.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/hermes.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/hermes.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/CMakeFiles/hermes.dir/core/objective.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/objective.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "src/CMakeFiles/hermes.dir/core/tradeoff.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/tradeoff.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/CMakeFiles/hermes.dir/core/verifier.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/verifier.cc.o.d"
+  "/root/repo/src/dataplane/backend.cc" "src/CMakeFiles/hermes.dir/dataplane/backend.cc.o" "gcc" "src/CMakeFiles/hermes.dir/dataplane/backend.cc.o.d"
+  "/root/repo/src/dataplane/interp.cc" "src/CMakeFiles/hermes.dir/dataplane/interp.cc.o" "gcc" "src/CMakeFiles/hermes.dir/dataplane/interp.cc.o.d"
+  "/root/repo/src/dataplane/packet.cc" "src/CMakeFiles/hermes.dir/dataplane/packet.cc.o" "gcc" "src/CMakeFiles/hermes.dir/dataplane/packet.cc.o.d"
+  "/root/repo/src/milp/expr.cc" "src/CMakeFiles/hermes.dir/milp/expr.cc.o" "gcc" "src/CMakeFiles/hermes.dir/milp/expr.cc.o.d"
+  "/root/repo/src/milp/lin.cc" "src/CMakeFiles/hermes.dir/milp/lin.cc.o" "gcc" "src/CMakeFiles/hermes.dir/milp/lin.cc.o.d"
+  "/root/repo/src/milp/model.cc" "src/CMakeFiles/hermes.dir/milp/model.cc.o" "gcc" "src/CMakeFiles/hermes.dir/milp/model.cc.o.d"
+  "/root/repo/src/milp/simplex.cc" "src/CMakeFiles/hermes.dir/milp/simplex.cc.o" "gcc" "src/CMakeFiles/hermes.dir/milp/simplex.cc.o.d"
+  "/root/repo/src/milp/solver.cc" "src/CMakeFiles/hermes.dir/milp/solver.cc.o" "gcc" "src/CMakeFiles/hermes.dir/milp/solver.cc.o.d"
+  "/root/repo/src/net/builders.cc" "src/CMakeFiles/hermes.dir/net/builders.cc.o" "gcc" "src/CMakeFiles/hermes.dir/net/builders.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/hermes.dir/net/network.cc.o" "gcc" "src/CMakeFiles/hermes.dir/net/network.cc.o.d"
+  "/root/repo/src/net/paths.cc" "src/CMakeFiles/hermes.dir/net/paths.cc.o" "gcc" "src/CMakeFiles/hermes.dir/net/paths.cc.o.d"
+  "/root/repo/src/net/topozoo.cc" "src/CMakeFiles/hermes.dir/net/topozoo.cc.o" "gcc" "src/CMakeFiles/hermes.dir/net/topozoo.cc.o.d"
+  "/root/repo/src/p4/frontend.cc" "src/CMakeFiles/hermes.dir/p4/frontend.cc.o" "gcc" "src/CMakeFiles/hermes.dir/p4/frontend.cc.o.d"
+  "/root/repo/src/p4/lexer.cc" "src/CMakeFiles/hermes.dir/p4/lexer.cc.o" "gcc" "src/CMakeFiles/hermes.dir/p4/lexer.cc.o.d"
+  "/root/repo/src/prog/library.cc" "src/CMakeFiles/hermes.dir/prog/library.cc.o" "gcc" "src/CMakeFiles/hermes.dir/prog/library.cc.o.d"
+  "/root/repo/src/prog/parser.cc" "src/CMakeFiles/hermes.dir/prog/parser.cc.o" "gcc" "src/CMakeFiles/hermes.dir/prog/parser.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/CMakeFiles/hermes.dir/prog/program.cc.o" "gcc" "src/CMakeFiles/hermes.dir/prog/program.cc.o.d"
+  "/root/repo/src/prog/synthetic.cc" "src/CMakeFiles/hermes.dir/prog/synthetic.cc.o" "gcc" "src/CMakeFiles/hermes.dir/prog/synthetic.cc.o.d"
+  "/root/repo/src/sim/events.cc" "src/CMakeFiles/hermes.dir/sim/events.cc.o" "gcc" "src/CMakeFiles/hermes.dir/sim/events.cc.o.d"
+  "/root/repo/src/sim/flowsim.cc" "src/CMakeFiles/hermes.dir/sim/flowsim.cc.o" "gcc" "src/CMakeFiles/hermes.dir/sim/flowsim.cc.o.d"
+  "/root/repo/src/sim/testbed.cc" "src/CMakeFiles/hermes.dir/sim/testbed.cc.o" "gcc" "src/CMakeFiles/hermes.dir/sim/testbed.cc.o.d"
+  "/root/repo/src/tdg/analyzer.cc" "src/CMakeFiles/hermes.dir/tdg/analyzer.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/analyzer.cc.o.d"
+  "/root/repo/src/tdg/deps.cc" "src/CMakeFiles/hermes.dir/tdg/deps.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/deps.cc.o.d"
+  "/root/repo/src/tdg/field.cc" "src/CMakeFiles/hermes.dir/tdg/field.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/field.cc.o.d"
+  "/root/repo/src/tdg/mat.cc" "src/CMakeFiles/hermes.dir/tdg/mat.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/mat.cc.o.d"
+  "/root/repo/src/tdg/merge.cc" "src/CMakeFiles/hermes.dir/tdg/merge.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/merge.cc.o.d"
+  "/root/repo/src/tdg/tdg.cc" "src/CMakeFiles/hermes.dir/tdg/tdg.cc.o" "gcc" "src/CMakeFiles/hermes.dir/tdg/tdg.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/hermes.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/hermes.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/hermes.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/hermes.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/hermes.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/hermes.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/hermes.dir/util/table.cc.o" "gcc" "src/CMakeFiles/hermes.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

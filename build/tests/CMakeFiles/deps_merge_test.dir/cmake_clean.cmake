@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_merge_test.dir/deps_merge_test.cpp.o"
+  "CMakeFiles/deps_merge_test.dir/deps_merge_test.cpp.o.d"
+  "deps_merge_test"
+  "deps_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_mat_test.dir/field_mat_test.cpp.o"
+  "CMakeFiles/field_mat_test.dir/field_mat_test.cpp.o.d"
+  "field_mat_test"
+  "field_mat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_mat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_test.dir/hermes_test.cpp.o"
+  "CMakeFiles/hermes_test.dir/hermes_test.cpp.o.d"
+  "hermes_test"
+  "hermes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

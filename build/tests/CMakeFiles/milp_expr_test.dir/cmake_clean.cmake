@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_expr_test.dir/milp_expr_test.cpp.o"
+  "CMakeFiles/milp_expr_test.dir/milp_expr_test.cpp.o.d"
+  "milp_expr_test"
+  "milp_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_solver_test.dir/milp_solver_test.cpp.o"
+  "CMakeFiles/milp_solver_test.dir/milp_solver_test.cpp.o.d"
+  "milp_solver_test"
+  "milp_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objective_test.dir/objective_test.cpp.o"
+  "CMakeFiles/objective_test.dir/objective_test.cpp.o.d"
+  "objective_test"
+  "objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdg_test.dir/tdg_test.cpp.o"
+  "CMakeFiles/tdg_test.dir/tdg_test.cpp.o.d"
+  "tdg_test"
+  "tdg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_cli.dir/hermes_cli.cpp.o"
+  "CMakeFiles/hermes_cli.dir/hermes_cli.cpp.o.d"
+  "hermes_cli"
+  "hermes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_deploy_smoke "/root/repo/build/tools/hermes_cli" "deploy" "--programs" "real:4" "--topology" "testbed:3:6")
+set_tests_properties(cli_deploy_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_smoke "/root/repo/build/tools/hermes_cli" "analyze" "--programs" "sketches")
+set_tests_properties(cli_analyze_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline_smoke "/root/repo/build/tools/hermes_cli" "deploy" "--programs" "real:4" "--topology" "testbed:3:6" "--strategy" "ffl")
+set_tests_properties(cli_baseline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/hermes_cli")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
