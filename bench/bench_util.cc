@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <fstream>
 #include <iomanip>
 
 namespace hermes::bench {
@@ -114,6 +115,19 @@ void print_rows(std::ostream& os, const std::string& title,
     }
     table.print(os, title);
     os << '\n';
+}
+
+void write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records) {
+    std::ofstream out(path);
+    out << "{\n  \"suite\": \"" << suite << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord& r = records[i];
+        out << "    {\"name\": \"" << r.name << "\", \"value\": "
+            << std::setprecision(10) << r.value << ", \"unit\": \"" << r.unit
+            << "\"}" << (i + 1 < records.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
 }
 
 }  // namespace hermes::bench

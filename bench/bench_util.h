@@ -53,4 +53,16 @@ void simulate_rows(std::vector<SolutionRow>& rows, const sim::FlowSpec& base_spe
 void print_rows(std::ostream& os, const std::string& title,
                 const std::vector<SolutionRow>& rows, bool with_flows = false);
 
+// One scalar of a perf-trajectory file (BENCH_*.json).
+struct BenchRecord {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+// Writes {"suite": ..., "records": [{"name", "value", "unit"}, ...]} so perf
+// numbers checked in at each PR stay machine-comparable across the history.
+void write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records);
+
 }  // namespace hermes::bench

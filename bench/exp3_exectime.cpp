@@ -19,6 +19,9 @@ int main() {
     config.hermes.segment_level_milp = true;
     config.hermes.candidate_limit = 0;
     config.hermes.milp.time_limit_seconds = 5.0;
+    // Execution time is the subject here: give the ILP paths every core.
+    config.baseline.milp.threads = 0;
+    config.hermes.milp.threads = 0;
 
     util::Table table({"topology", "Hermes", "Optimal", "MS", "Sonata", "SPEED", "MTP",
                        "FP", "P4All", "FFL", "FFLS"});

@@ -20,6 +20,9 @@ int main() {
     config.hermes.segment_level_milp = true;
     config.hermes.candidate_limit = 0;   // auto
     config.hermes.milp.time_limit_seconds = 3.0;
+    // Scalability sweep: give the ILP paths every core.
+    config.baseline.milp.threads = 0;
+    config.hermes.milp.threads = 0;
 
     sim::FlowSpec flow;
     flow.mtu_bytes = 1024;

@@ -1,9 +1,23 @@
 // Microbenchmarks for the MILP substrate: simplex pivoting, branch and
-// bound, and the per-program stage-packing model.
+// bound, the per-program stage-packing model, plus thread-count and
+// warm-vs-cold sweeps. Has a custom main: after the google-benchmark suites
+// it writes a BENCH_milp.json perf-trajectory summary (pass --sweep-only to
+// skip the google-benchmark portion).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
 #include "baselines/common.h"
+#include "bench_util.h"
+#include "core/formulation.h"
+#include "core/hermes.h"
 #include "milp/solver.h"
+#include "net/builders.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
 #include "util/rng.h"
 
 namespace {
@@ -88,4 +102,189 @@ void BM_MilpPackProgram(benchmark::State& state) {
 }
 BENCHMARK(BM_MilpPackProgram)->Arg(4)->Arg(8)->Arg(12);
 
+// Hard random MILP reused by the sweep benchmarks below: enough binaries to
+// force a real branch-and-bound tree.
+milp::Model sweep_milp(std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    milp::Model m;
+    std::vector<milp::VarId> xs;
+    for (int i = 0; i < 26; ++i) xs.push_back(m.add_binary());
+    for (int r = 0; r < 13; ++r) {
+        milp::LinExpr e;
+        for (const milp::VarId x : xs) {
+            e += milp::LinExpr::term(x, rng.uniform_real(0.1, 2.0));
+        }
+        m.add_constraint(std::move(e), milp::Sense::kLe, rng.uniform_real(4.0, 12.0));
+    }
+    milp::LinExpr obj;
+    for (const milp::VarId x : xs) {
+        obj += milp::LinExpr::term(x, rng.uniform_real(0.5, 3.0));
+    }
+    m.maximize(obj);
+    return m;
+}
+
+void BM_MilpThreadSweep(benchmark::State& state) {
+    const auto threads = static_cast<int>(state.range(0));
+    const milp::Model m = sweep_milp(0xabc);
+    milp::MilpOptions options;
+    options.threads = threads;
+    for (auto _ : state) {
+        const milp::MilpResult r = milp::solve_milp(m, options);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.counters["threads"] = threads;
+}
+BENCHMARK(BM_MilpThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpWarmVsCold(benchmark::State& state) {
+    const bool warm = state.range(0) != 0;
+    const milp::Model m = sweep_milp(0xabc);
+    milp::MilpOptions options;
+    options.threads = 1;
+    options.warm_lp_basis = warm;
+    for (auto _ : state) {
+        const milp::MilpResult r = milp::solve_milp(m, options);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.SetLabel(warm ? "warm" : "cold");
+}
+BENCHMARK(BM_MilpWarmVsCold)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// Seeded P#1 instance on the Tofino-shaped testbed: a chain-with-shortcuts
+// TDG whose branch-and-bound tree runs to thousands of nodes — the regime
+// where warm-started re-solves pay for their refactorization many times over.
+milp::Model sweep_p1(std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    tdg::Tdg t;
+    const int mats = static_cast<int>(rng.uniform_int(4, 6));
+    for (int i = 0; i < mats; ++i) {
+        t.add_node(tdg::Mat(
+            "m" + std::to_string(i), {tdg::header_field("h" + std::to_string(i), 2)},
+            {tdg::Action{"a", {tdg::metadata_field("x" + std::to_string(i), 4)}}}, 16,
+            rng.uniform_real(0.3, 0.6)));
+        if (i > 0) {
+            t.add_edge(static_cast<tdg::NodeId>(i - 1), static_cast<tdg::NodeId>(i),
+                       tdg::DepType::kMatch);
+            t.edges().back().metadata_bytes = static_cast<int>(rng.uniform_int(1, 6));
+        }
+        if (i > 1 && rng.chance(0.4)) {
+            t.add_edge(static_cast<tdg::NodeId>(i - 2), static_cast<tdg::NodeId>(i),
+                       tdg::DepType::kAction);
+            t.edges().back().metadata_bytes = static_cast<int>(rng.uniform_int(1, 4));
+        }
+    }
+    sim::TestbedConfig config;
+    config.switch_count = static_cast<std::size_t>(rng.uniform_int(2, 3));
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    core::P1Formulation f(t, n, core::FormulationOptions{});
+    return f.model();
+}
+
+// Timed sweeps behind BENCH_milp.json: warm-vs-cold at threads=1 and a
+// thread ladder, on (a) a seeded P#1 testbed instance solved directly and
+// (b) a seeded fat-tree workload through deploy_optimal, the production
+// entry point (segment-level, the configuration the exp binaries use at
+// that scale).
+void run_sweeps(const std::string& path) {
+    std::vector<bench::BenchRecord> records;
+    const double hw = static_cast<double>(std::thread::hardware_concurrency());
+    records.push_back({"hardware_concurrency", hw, "threads"});
+
+    const milp::Model p1 = sweep_p1(13);
+    for (const bool warm : {false, true}) {
+        milp::MilpOptions options;
+        options.time_limit_seconds = 300.0;
+        options.threads = 1;
+        options.warm_lp_basis = warm;
+        const auto start = std::chrono::steady_clock::now();
+        const milp::MilpResult r = milp::solve_milp(p1, options);
+        const double secs = seconds_since(start);
+        const std::string tag = warm ? "warm" : "cold";
+        records.push_back({"p1_testbed_" + tag + "_threads1_seconds", secs, "s"});
+        records.push_back({"p1_testbed_" + tag + "_nodes",
+                           static_cast<double>(r.nodes), "nodes"});
+        records.push_back({"p1_testbed_" + tag + "_lp_iterations",
+                           static_cast<double>(r.lp_iterations), "pivots"});
+        std::cout << "P#1 testbed threads=1 " << tag << ": " << secs << " s, "
+                  << r.nodes << " nodes, " << r.lp_iterations << " pivots\n";
+    }
+    for (const int threads : {1, 2, 4, 8}) {
+        milp::MilpOptions options;
+        options.time_limit_seconds = 300.0;
+        options.threads = threads;
+        const auto start = std::chrono::steady_clock::now();
+        const milp::MilpResult r = milp::solve_milp(p1, options);
+        const double secs = seconds_since(start);
+        records.push_back({"p1_testbed_threads" + std::to_string(threads) +
+                               "_seconds", secs, "s"});
+        std::cout << "P#1 testbed warm threads=" << threads << ": " << secs
+                  << " s, objective " << r.objective << "\n";
+    }
+
+    // Seeded fat-tree workload through deploy_optimal (k=4: 20 switches).
+    util::SplitMix64 rng(0xfeed);
+    net::TopologyConfig tconfig;
+    const net::Network n = net::fat_tree_topology(4, tconfig, rng);
+    const auto programs = prog::paper_workload(6, 0xfeed);
+    const tdg::Tdg t = core::analyze(programs);
+    for (const bool warm : {false, true}) {
+        core::HermesOptions options;
+        options.segment_level_milp = true;
+        options.milp.time_limit_seconds = 60.0;
+        options.milp.threads = 1;
+        options.milp.warm_lp_basis = warm;
+        const auto start = std::chrono::steady_clock::now();
+        const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+        const double secs = seconds_since(start);
+        const std::string tag = warm ? "warm" : "cold";
+        records.push_back({"fat_tree_p1_" + tag + "_threads1_seconds", secs, "s"});
+        std::cout << "fat-tree P#1 threads=1 " << tag << ": " << secs << " s ("
+                  << out.solver_status << ")\n";
+    }
+    for (const int threads : {1, 2, 4}) {
+        core::HermesOptions options;
+        options.segment_level_milp = true;
+        options.milp.time_limit_seconds = 60.0;
+        options.milp.threads = threads;
+        const auto start = std::chrono::steady_clock::now();
+        const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+        const double secs = seconds_since(start);
+        records.push_back({"fat_tree_p1_threads" + std::to_string(threads) +
+                               "_seconds", secs, "s"});
+        std::cout << "fat-tree P#1 warm threads=" << threads << ": " << secs
+                  << " s (" << out.solver_status << ")\n";
+    }
+
+    bench::write_bench_json(path, "milp_engine", records);
+    std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    bool sweep_only = false;
+    std::string json_path = "BENCH_milp.json";
+    std::vector<char*> passthrough;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0) {
+            sweep_only = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (!sweep_only) benchmark::RunSpecifiedBenchmarks();
+    run_sweeps(json_path);
+    return 0;
+}

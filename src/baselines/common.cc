@@ -119,7 +119,7 @@ std::optional<std::vector<int>> milp_pack(const tdg::Tdg& t,
                                           const std::vector<tdg::NodeId>& nodes,
                                           const std::vector<double>& remaining,
                                           const milp::MilpOptions& options,
-                                          long* lp_iterations,
+                                          std::int64_t* lp_iterations,
                                           const std::vector<int>& min_stages) {
     using milp::LinExpr;
     using milp::Sense;

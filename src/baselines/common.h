@@ -93,7 +93,7 @@ void chain_first_fit(const tdg::Tdg& t, const std::vector<tdg::NodeId>& order,
 [[nodiscard]] std::optional<std::vector<int>> milp_pack(
     const tdg::Tdg& t, const std::vector<tdg::NodeId>& nodes,
     const std::vector<double>& remaining, const milp::MilpOptions& options,
-    long* lp_iterations = nullptr, const std::vector<int>& min_stages = {});
+    std::int64_t* lp_iterations = nullptr, const std::vector<int>& min_stages = {});
 
 // Adds shortest-path routes for every ordered switch pair that carries at
 // least one cross-switch dependency. Throws when a needed pair is

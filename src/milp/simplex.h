@@ -1,9 +1,21 @@
-// LP solver: two-phase primal simplex on a dense tableau.
+// LP solver: two-phase primal simplex on a dense tableau, with optional
+// warm starts from an exported basis.
 //
 // Handles the general bounded-variable models produced by Model by shifting
 // every variable to its (finite) lower bound and emitting explicit upper-
 // bound rows. Dantzig pricing with a Bland's-rule fallback guarantees
-// termination; the iteration limit is a final safety net.
+// termination; the iteration limit is a final safety net. The pivot kernel
+// skips structurally-zero entries of the pivot row, which on the very sparse
+// P#1 matrices cuts each pivot from O(rows·cols) to O(rows·nnz).
+//
+// Warm starts serve branch and bound: an optimal solve exports its final
+// basis (solve_lp fills LpResult::basis); a later solve over the same model
+// with tightened bounds can start from that basis. The solver refactorizes
+// the tableau around the given basis, repairs primal infeasibility with dual
+// simplex pivots (the reduced costs stay dual-feasible across bound changes
+// because neither the constraint matrix nor the objective moved), and falls
+// back to the cold two-phase path when the basis no longer matches the
+// standard form or the repair stalls numerically.
 //
 // This is the substrate the paper outsources to Gurobi. It is exact on the
 // problem sizes where the paper reports optimal results, and — like any LP
@@ -11,6 +23,7 @@
 // instances is precisely the behaviour Exp#3 demonstrates for ILP solvers.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "milp/model.h"
@@ -26,18 +39,35 @@ enum class LpStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(LpStatus s) noexcept;
 
+// A simplex basis in standard-form column space: basic[r] is the column
+// basic in row r. `columns` (the non-rhs column count) together with
+// basic.size() (the row count) forms the compatibility signature: a warm
+// start is attempted only when the target model produces an identically
+// shaped standard form, which holds across branch-and-bound bound changes
+// as long as no variable gains or loses a finite upper bound.
+struct Basis {
+    std::vector<std::int32_t> basic;
+    std::uint32_t columns = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+};
+
 struct LpResult {
     LpStatus status = LpStatus::kIterationLimit;
     double objective = 0.0;             // in the model's own sense (min or max)
     std::vector<double> values;         // one per model variable (original space)
-    long iterations = 0;
+    std::int64_t iterations = 0;        // pivots, including warm-start refactorization
+    Basis basis;                        // exported on kOptimal; empty otherwise
 };
 
 // Solves the LP relaxation of `model` (integrality dropped). Throws
 // std::invalid_argument on variables with non-finite lower bounds.
 // `max_seconds` is a wall-clock budget (checked periodically; expiry yields
-// kIterationLimit).
-[[nodiscard]] LpResult solve_lp(const Model& model, long max_iterations = 200000,
-                                double max_seconds = 1e18);
+// kIterationLimit). A non-empty `warm_basis` seeds the solve as described
+// above; an incompatible or unrepairable basis silently degrades to the
+// cold path, so the result is identical either way.
+[[nodiscard]] LpResult solve_lp(const Model& model, std::int64_t max_iterations = 200000,
+                                double max_seconds = 1e18,
+                                const Basis* warm_basis = nullptr);
 
 }  // namespace hermes::milp

@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 namespace hermes::milp {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Objectives closer than this are the same incumbent; the lexicographic
+// value tie-break below then keeps the published solution deterministic.
+constexpr double kIncumbentTieEps = 1e-9;
 
 struct BoundChange {
     VarId var;
@@ -19,11 +27,22 @@ struct BoundChange {
 
 struct Node {
     std::vector<BoundChange> changes;  // cumulative path from the root
-    double parent_bound;               // LP bound inherited from the parent
+    double parent_bound = -kInf;       // LP bound inherited from the parent
+    std::uint64_t seq = 0;             // creation order, breaks bound ties
+    Basis basis;                       // parent's optimal basis (warm start)
+};
+
+// Heap comparator for a best-bound min-heap (ties: earliest-created node
+// first, which preserves the dive-first exploration among equal bounds).
+struct NodeOrder {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+        if (a.parent_bound != b.parent_bound) return a.parent_bound > b.parent_bound;
+        return a.seq > b.seq;
+    }
 };
 
 // Applies node bounds (intersected with the current ones) to `work`;
-// restores from `base` afterwards via restore().
+// restores from `base` afterwards via the destructor.
 class ScopedBounds {
 public:
     ScopedBounds(Model& work, const Model& base, const std::vector<BoundChange>& changes)
@@ -76,6 +95,222 @@ void snap_integers(const Model& model, std::vector<double>& values, double toler
     }
 }
 
+bool lexicographically_less(const std::vector<double>& a, const std::vector<double>& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// One branch-and-bound search: shared open list and incumbent behind a
+// mutex, workers solving node LPs outside it. All bound bookkeeping is in
+// minimization space (`sense_` folds max models in).
+class Search {
+public:
+    Search(const Model& model, const MilpOptions& options)
+        : model_(model),
+          options_(options),
+          sense_(model.is_minimization() ? 1.0 : -1.0),
+          start_(Clock::now()) {}
+
+    MilpResult run() {
+        if (options_.warm_start &&
+            model_.is_feasible(*options_.warm_start, options_.integrality_tolerance * 10)) {
+            incumbent_ = sense_ * model_.objective_value(*options_.warm_start);
+            incumbent_values_ = *options_.warm_start;
+        }
+        open_.push_back(Node{});  // root: no bound changes, cold LP
+
+        int threads = options_.threads;
+        if (threads <= 0) {
+            threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+        }
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(static_cast<std::size_t>(threads - 1));
+            for (int i = 1; i < threads; ++i) pool.emplace_back([this] { worker(); });
+            worker();  // the calling thread is worker 0
+        }  // jthreads join here
+
+        MilpResult result;
+        result.nodes = nodes_;
+        result.lp_iterations = lp_iterations_;
+        result.elapsed_seconds = seconds();
+        if (unbounded_) {
+            result.status = MilpStatus::kUnbounded;
+            return result;
+        }
+        // Residual bound over everything left unexplored: open nodes plus
+        // subtrees dropped on LP iteration limits.
+        double open_bound = residual_bound_;
+        for (const Node& n : open_) open_bound = std::min(open_bound, n.parent_bound);
+
+        const bool exhausted = !hit_limit_;
+        if (!incumbent_values_.empty()) {
+            result.values = std::move(incumbent_values_);
+            result.objective = sense_ * incumbent_;  // back to the model's own sense
+            if (exhausted && !any_lp_limit_) {
+                result.status = MilpStatus::kOptimal;
+                result.best_bound = result.objective;
+            } else {
+                result.status = MilpStatus::kFeasible;
+                result.best_bound = sense_ * std::min(open_bound, incumbent_);
+            }
+        } else if (exhausted && !any_lp_limit_) {
+            result.status = MilpStatus::kInfeasible;
+        } else {
+            result.status = MilpStatus::kNoSolution;
+            result.best_bound = sense_ * open_bound;
+        }
+        return result;
+    }
+
+private:
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    void worker() {
+        Model work = model_;  // private copy: bounds mutate per node
+        while (true) {
+            Node node;
+            {
+                std::unique_lock lk(mu_);
+                cv_.wait(lk, [&] { return stop_ || !open_.empty() || in_flight_ == 0; });
+                if (stop_) break;
+                if (open_.empty()) break;  // in_flight_ == 0: search exhausted
+                if (seconds() > options_.time_limit_seconds ||
+                    nodes_ >= options_.node_limit) {
+                    hit_limit_ = true;
+                    stop_ = true;
+                    cv_.notify_all();
+                    break;
+                }
+                std::pop_heap(open_.begin(), open_.end(), NodeOrder{});
+                node = std::move(open_.back());
+                open_.pop_back();
+                ++nodes_;
+                if (node.parent_bound >= incumbent_ - options_.absolute_gap) continue;
+                ++in_flight_;
+            }
+            process(std::move(node), work);
+            {
+                const std::lock_guard lk(mu_);
+                --in_flight_;
+            }
+            cv_.notify_all();
+        }
+        cv_.notify_all();  // wake peers so they observe stop/exhaustion too
+    }
+
+    void process(Node node, Model& work) {
+        LpResult lp;
+        {
+            const ScopedBounds scope(work, model_, node.changes);
+            // Each LP inherits the remaining wall-clock budget so one long
+            // solve cannot blow through the MILP time limit.
+            const double remaining =
+                std::max(0.05, options_.time_limit_seconds - seconds());
+            const Basis* warm =
+                options_.warm_lp_basis && !node.basis.empty() ? &node.basis : nullptr;
+            lp = solve_lp(work, options_.lp_iteration_limit, remaining, warm);
+        }
+
+        const std::lock_guard lk(mu_);
+        lp_iterations_ += lp.iterations;
+
+        if (lp.status == LpStatus::kInfeasible) return;
+        if (lp.status == LpStatus::kIterationLimit) {
+            // Cannot certify this subtree: remember its bound, drop it.
+            any_lp_limit_ = true;
+            residual_bound_ = std::min(residual_bound_, node.parent_bound);
+            return;
+        }
+        if (lp.status == LpStatus::kUnbounded) {
+            if (node.changes.empty()) {  // only the root can prove unboundedness
+                unbounded_ = true;
+                stop_ = true;
+                cv_.notify_all();
+            }
+            return;
+        }
+
+        const double bound = sense_ * lp.objective;
+        if (bound >= incumbent_ - options_.absolute_gap) return;
+
+        snap_integers(model_, lp.values, options_.integrality_tolerance);
+        const auto branch_var =
+            pick_branch_var(model_, lp.values, options_.integrality_tolerance);
+        if (!branch_var) {
+            publish_incumbent(bound, std::move(lp.values));
+            return;
+        }
+
+        const double x = lp.values[static_cast<std::size_t>(*branch_var)];
+        const double floor_x = std::floor(x);
+        Node down;
+        down.changes = node.changes;
+        down.changes.push_back(BoundChange{*branch_var, -kInfinity, floor_x});
+        down.parent_bound = bound;
+        Node up;
+        up.changes = std::move(node.changes);
+        up.changes.push_back(BoundChange{*branch_var, floor_x + 1.0, kInfinity});
+        up.parent_bound = bound;
+
+        // The child closer to the LP value gets the smaller sequence number,
+        // so equal-bound ties pop in diving order.
+        Node& first = x - floor_x < 0.5 ? down : up;
+        Node& second = x - floor_x < 0.5 ? up : down;
+        first.seq = next_seq_++;
+        second.seq = next_seq_++;
+        first.basis = lp.basis;
+        second.basis = std::move(lp.basis);
+
+        push_node(std::move(down));
+        push_node(std::move(up));
+        cv_.notify_all();
+    }
+
+    // mu_ must be held.
+    void push_node(Node node) {
+        open_.push_back(std::move(node));
+        std::push_heap(open_.begin(), open_.end(), NodeOrder{});
+    }
+
+    // mu_ must be held. Deterministic across schedules for the objective;
+    // on exact objective ties the lexicographically smallest assignment wins.
+    void publish_incumbent(double bound, std::vector<double> values) {
+        const bool better = bound < incumbent_ - kIncumbentTieEps;
+        const bool tie_break = std::abs(bound - incumbent_) <= kIncumbentTieEps &&
+                               lexicographically_less(values, incumbent_values_);
+        if (!better && !tie_break) return;
+        incumbent_ = std::min(incumbent_, bound);
+        incumbent_values_ = std::move(values);
+        // Prune on publish: open nodes that can no longer beat the incumbent
+        // are dropped immediately instead of at pop time.
+        const double cutoff = incumbent_ - options_.absolute_gap;
+        std::erase_if(open_, [&](const Node& n) { return n.parent_bound >= cutoff; });
+        std::make_heap(open_.begin(), open_.end(), NodeOrder{});
+    }
+
+    const Model& model_;
+    const MilpOptions& options_;
+    const double sense_;
+    const Clock::time_point start_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Node> open_;  // best-bound min-heap via NodeOrder
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+    bool hit_limit_ = false;
+    bool unbounded_ = false;
+    bool any_lp_limit_ = false;
+    double incumbent_ = kInf;  // minimization space
+    std::vector<double> incumbent_values_;
+    double residual_bound_ = kInf;
+    std::int64_t nodes_ = 0;
+    std::int64_t lp_iterations_ = 0;
+    std::uint64_t next_seq_ = 1;
+};
+
 }  // namespace
 
 const char* to_string(MilpStatus s) noexcept {
@@ -90,120 +325,8 @@ const char* to_string(MilpStatus s) noexcept {
 }
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options) {
-    const auto start = Clock::now();
-    auto elapsed = [&] {
-        return std::chrono::duration<double>(Clock::now() - start).count();
-    };
-    // Internally everything is in minimization space.
-    const double sense = model.is_minimization() ? 1.0 : -1.0;
-
-    MilpResult result;
-    double incumbent = std::numeric_limits<double>::infinity();
-    std::vector<double> incumbent_values;
-
-    if (options.warm_start &&
-        model.is_feasible(*options.warm_start, options.integrality_tolerance * 10)) {
-        incumbent = sense * model.objective_value(*options.warm_start);
-        incumbent_values = *options.warm_start;
-    }
-
-    Model work = model;  // bounds mutate per node; constraints shared by value
-    std::vector<Node> stack;
-    stack.push_back(Node{{}, -std::numeric_limits<double>::infinity()});
-
-    bool exhausted = true;    // search space fully explored?
-    bool any_lp_limit = false;
-    double open_bound = std::numeric_limits<double>::infinity();  // min open-node bound
-
-    while (!stack.empty()) {
-        if (elapsed() > options.time_limit_seconds || result.nodes >= options.node_limit) {
-            exhausted = false;
-            // Remaining open nodes define the residual bound.
-            for (const Node& n : stack) open_bound = std::min(open_bound, n.parent_bound);
-            break;
-        }
-        const Node node = std::move(stack.back());
-        stack.pop_back();
-        ++result.nodes;
-
-        // Bound-based pruning using the parent bound before the LP solve.
-        if (node.parent_bound >= incumbent - options.absolute_gap) continue;
-
-        LpResult lp;
-        {
-            const ScopedBounds scope(work, model, node.changes);
-            // Each LP inherits the remaining wall-clock budget so one long
-            // solve cannot blow through the MILP time limit.
-            const double remaining =
-                std::max(0.05, options.time_limit_seconds - elapsed());
-            lp = solve_lp(work, options.lp_iteration_limit, remaining);
-        }
-        result.lp_iterations += lp.iterations;
-
-        if (lp.status == LpStatus::kInfeasible) continue;
-        if (lp.status == LpStatus::kIterationLimit) {
-            any_lp_limit = true;  // cannot certify this subtree; not exhausted
-            continue;
-        }
-        if (lp.status == LpStatus::kUnbounded) {
-            if (node.changes.empty()) {
-                result.status = MilpStatus::kUnbounded;
-                result.elapsed_seconds = elapsed();
-                return result;
-            }
-            continue;  // bounded root cannot spawn unbounded children
-        }
-
-        const double bound = sense * lp.objective;
-        if (bound >= incumbent - options.absolute_gap) continue;
-
-        snap_integers(model, lp.values, options.integrality_tolerance);
-        const auto branch_var =
-            pick_branch_var(model, lp.values, options.integrality_tolerance);
-        if (!branch_var) {
-            // Integral: new incumbent.
-            incumbent = bound;
-            incumbent_values = lp.values;
-            continue;
-        }
-
-        const double x = lp.values[static_cast<std::size_t>(*branch_var)];
-        const double floor_x = std::floor(x);
-        Node down{node.changes, bound};
-        down.changes.push_back(BoundChange{*branch_var, -kInfinity, floor_x});
-        Node up{node.changes, bound};
-        up.changes.push_back(BoundChange{*branch_var, floor_x + 1.0, kInfinity});
-
-        // Dive first toward the LP value: push the closer child last.
-        if (x - floor_x < 0.5) {
-            stack.push_back(std::move(up));
-            stack.push_back(std::move(down));
-        } else {
-            stack.push_back(std::move(down));
-            stack.push_back(std::move(up));
-        }
-    }
-
-    result.elapsed_seconds = elapsed();
-    const bool have_incumbent = !incumbent_values.empty();
-    if (have_incumbent) {
-        result.values = std::move(incumbent_values);
-        result.objective = sense * incumbent;  // back to the model's own sense
-        if (exhausted && !any_lp_limit) {
-            result.status = MilpStatus::kOptimal;
-            result.best_bound = result.objective;
-        } else {
-            result.status = MilpStatus::kFeasible;
-            const double bound = std::min(open_bound, incumbent);
-            result.best_bound = sense * bound;
-        }
-    } else if (exhausted && !any_lp_limit) {
-        result.status = MilpStatus::kInfeasible;
-    } else {
-        result.status = MilpStatus::kNoSolution;
-        result.best_bound = sense * open_bound;
-    }
-    return result;
+    Search search(model, options);
+    return search.run();
 }
 
 }  // namespace hermes::milp

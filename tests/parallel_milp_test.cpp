@@ -1,0 +1,240 @@
+// Parallel MILP engine tests: identical objectives at every thread count on
+// seeded P#1 and random instances, valid decoded deployments, exact
+// single-thread reproducibility, and warm-started LP re-solves matching
+// cold solves on seeded perturbed models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/formulation.h"
+#include "core/greedy.h"
+#include "core/verifier.h"
+#include "milp/solver.h"
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+namespace hermes::milp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Random MILP in the spirit of bench/micro_solver's random_lp: maximize c'x
+// subject to Ax <= b over a mix of binary and small bounded integers.
+Model random_milp(int vars, int rows, std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    Model m;
+    std::vector<VarId> xs;
+    for (int i = 0; i < vars; ++i) {
+        xs.push_back(rng.chance(0.5)
+                         ? m.add_binary()
+                         : m.add_integer(0.0, static_cast<double>(rng.uniform_int(1, 4))));
+    }
+    for (int r = 0; r < rows; ++r) {
+        LinExpr e;
+        for (const VarId x : xs) e += LinExpr::term(x, rng.uniform_real(0.1, 2.0));
+        m.add_constraint(std::move(e), Sense::kLe, rng.uniform_real(2.0, 8.0));
+    }
+    LinExpr obj;
+    for (const VarId x : xs) obj += LinExpr::term(x, rng.uniform_real(0.5, 3.0));
+    m.maximize(obj);
+    return m;
+}
+
+// Random bounded LP (continuous) with a few >= rows so warm starts also
+// cross the phase-1/artificial machinery.
+Model random_lp(int vars, int rows, std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    Model m;
+    std::vector<VarId> xs;
+    for (int i = 0; i < vars; ++i) xs.push_back(m.add_continuous(0.0, 10.0));
+    for (int r = 0; r < rows; ++r) {
+        LinExpr e;
+        for (const VarId x : xs) e += LinExpr::term(x, rng.uniform_real(0.1, 2.0));
+        if (r % 4 == 3) {
+            m.add_constraint(std::move(e), Sense::kGe, rng.uniform_real(0.5, 2.0));
+        } else {
+            m.add_constraint(std::move(e), Sense::kLe, rng.uniform_real(5.0, 50.0));
+        }
+    }
+    LinExpr obj;
+    for (const VarId x : xs) obj += LinExpr::term(x, rng.uniform_real(0.5, 3.0));
+    m.maximize(obj);
+    return m;
+}
+
+// Seeded P#1 instance: a chain-with-shortcuts TDG on a small testbed.
+struct P1Instance {
+    tdg::Tdg t;
+    net::Network net;
+};
+
+P1Instance random_p1(std::uint64_t seed) {
+    util::SplitMix64 rng(seed);
+    P1Instance inst;
+    const int mats = static_cast<int>(rng.uniform_int(4, 6));
+    for (int i = 0; i < mats; ++i) {
+        inst.t.add_node(tdg::Mat(
+            "m" + std::to_string(i), {tdg::header_field("h" + std::to_string(i), 2)},
+            {tdg::Action{"a", {tdg::metadata_field("x" + std::to_string(i), 4)}}}, 16,
+            rng.uniform_real(0.3, 0.6)));
+        if (i > 0) {
+            inst.t.add_edge(static_cast<tdg::NodeId>(i - 1),
+                            static_cast<tdg::NodeId>(i), tdg::DepType::kMatch);
+            inst.t.edges().back().metadata_bytes =
+                static_cast<int>(rng.uniform_int(1, 6));
+        }
+        if (i > 1 && rng.chance(0.4)) {
+            inst.t.add_edge(static_cast<tdg::NodeId>(i - 2),
+                            static_cast<tdg::NodeId>(i), tdg::DepType::kAction);
+            inst.t.edges().back().metadata_bytes =
+                static_cast<int>(rng.uniform_int(1, 4));
+        }
+    }
+    sim::TestbedConfig config;
+    config.switch_count = static_cast<std::size_t>(rng.uniform_int(2, 3));
+    config.stages = 4;
+    inst.net = sim::make_testbed(config);
+    return inst;
+}
+
+MilpResult solve_with_threads(const Model& m, int threads) {
+    MilpOptions options;
+    options.time_limit_seconds = 60.0;
+    options.threads = threads;
+    return solve_milp(m, options);
+}
+
+TEST(ParallelMilp, SameObjectiveAtEveryThreadCountOnRandomMilps) {
+    for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+        const Model m = random_milp(12, 6, seed);
+        const MilpResult one = solve_with_threads(m, 1);
+        const MilpResult two = solve_with_threads(m, 2);
+        const MilpResult eight = solve_with_threads(m, 8);
+        ASSERT_EQ(one.status, MilpStatus::kOptimal) << "seed " << seed;
+        ASSERT_EQ(two.status, MilpStatus::kOptimal) << "seed " << seed;
+        ASSERT_EQ(eight.status, MilpStatus::kOptimal) << "seed " << seed;
+        EXPECT_NEAR(one.objective, two.objective, kTol) << "seed " << seed;
+        EXPECT_NEAR(one.objective, eight.objective, kTol) << "seed " << seed;
+        EXPECT_TRUE(m.is_feasible(two.values, 1e-6)) << "seed " << seed;
+        EXPECT_TRUE(m.is_feasible(eight.values, 1e-6)) << "seed " << seed;
+    }
+}
+
+TEST(ParallelMilp, SameObjectiveAndValidDeploymentOnSeededP1Instances) {
+    // Seeds picked to span tree sizes (15 / 32 / ~950 nodes) while staying
+    // inside the time budget under ThreadSanitizer's ~10x slowdown.
+    for (const std::uint64_t seed : {3u, 7u, 8u}) {
+        const P1Instance inst = random_p1(seed);
+        core::P1Formulation f(inst.t, inst.net, core::FormulationOptions{});
+        const MilpResult one = solve_with_threads(f.model(), 1);
+        const MilpResult two = solve_with_threads(f.model(), 2);
+        const MilpResult eight = solve_with_threads(f.model(), 8);
+        ASSERT_EQ(one.status, MilpStatus::kOptimal) << "seed " << seed;
+        ASSERT_EQ(two.status, MilpStatus::kOptimal) << "seed " << seed;
+        ASSERT_EQ(eight.status, MilpStatus::kOptimal) << "seed " << seed;
+        EXPECT_NEAR(one.objective, two.objective, kTol) << "seed " << seed;
+        EXPECT_NEAR(one.objective, eight.objective, kTol) << "seed " << seed;
+        for (const MilpResult* r : {&one, &two, &eight}) {
+            const core::Deployment d = f.decode(r->values);
+            EXPECT_TRUE(core::verify(inst.t, inst.net, d).ok) << "seed " << seed;
+        }
+    }
+}
+
+TEST(ParallelMilp, SingleThreadRunsAreExactlyReproducible) {
+    const Model m = random_milp(14, 7, 99);
+    const MilpResult a = solve_with_threads(m, 1);
+    const MilpResult b = solve_with_threads(m, 1);
+    ASSERT_EQ(a.status, b.status);
+    EXPECT_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.values, b.values);
+}
+
+TEST(ParallelMilp, ThreadsZeroMeansHardwareConcurrency) {
+    const Model m = random_milp(10, 5, 5);
+    const MilpResult hw = solve_with_threads(m, 0);
+    const MilpResult one = solve_with_threads(m, 1);
+    ASSERT_EQ(hw.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(hw.objective, one.objective, kTol);
+}
+
+TEST(ParallelMilp, WarmBasisOnAndOffAgree) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const Model m = random_milp(12, 6, seed);
+        MilpOptions warm;
+        warm.threads = 2;
+        MilpOptions cold = warm;
+        cold.warm_lp_basis = false;
+        const MilpResult rw = solve_milp(m, warm);
+        const MilpResult rc = solve_milp(m, cold);
+        ASSERT_EQ(rw.status, MilpStatus::kOptimal);
+        ASSERT_EQ(rc.status, MilpStatus::kOptimal);
+        EXPECT_NEAR(rw.objective, rc.objective, kTol) << "seed " << seed;
+    }
+}
+
+TEST(WarmStartLp, FiftySeededPerturbedModelsMatchColdSolves) {
+    int optimal_pairs = 0;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        util::SplitMix64 rng(seed * 7919 + 1);
+        Model base = random_lp(10, 8, seed);
+        const LpResult parent = solve_lp(base);
+        ASSERT_EQ(parent.status, LpStatus::kOptimal) << "seed " << seed;
+        ASSERT_FALSE(parent.basis.empty());
+
+        // Branch-like perturbation: tighten one variable's bound around its
+        // LP value (occasionally into infeasibility, which both paths must
+        // classify identically).
+        const auto j = static_cast<std::size_t>(rng.uniform_int(0, 9));
+        const double x = parent.values[j];
+        if (rng.chance(0.5)) {
+            base.set_upper(static_cast<VarId>(j), std::floor(x));
+        } else {
+            base.set_lower(static_cast<VarId>(j), std::floor(x) + 1.0);
+        }
+
+        const LpResult cold = solve_lp(base);
+        const LpResult warm = solve_lp(base, 200000, 1e18, &parent.basis);
+        ASSERT_EQ(warm.status, cold.status) << "seed " << seed;
+        if (cold.status != LpStatus::kOptimal) continue;
+        ++optimal_pairs;
+        EXPECT_NEAR(warm.objective, cold.objective, kTol) << "seed " << seed;
+        EXPECT_TRUE(base.is_feasible(warm.values, 1e-6)) << "seed " << seed;
+    }
+    // The perturbations are mild: most pairs must stay solvable for the
+    // equality check above to mean anything.
+    EXPECT_GE(optimal_pairs, 25);
+}
+
+TEST(WarmStartLp, IncompatibleBasisDegradesToColdPath) {
+    const Model a = random_lp(10, 8, 123);
+    const Model b = random_lp(6, 4, 321);  // different shape entirely
+    const LpResult pa = solve_lp(a);
+    ASSERT_EQ(pa.status, LpStatus::kOptimal);
+    const LpResult cold = solve_lp(b);
+    const LpResult warm = solve_lp(b, 200000, 1e18, &pa.basis);
+    ASSERT_EQ(warm.status, cold.status);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+}
+
+TEST(WarmStartLp, RepeatedReSolvesStayExact) {
+    // Chain of bound tightenings, each warm started from the previous basis,
+    // mirrors a branch-and-bound dive.
+    Model m = random_lp(12, 10, 2024);
+    LpResult prev = solve_lp(m);
+    ASSERT_EQ(prev.status, LpStatus::kOptimal);
+    for (int depth = 0; depth < 5; ++depth) {
+        const auto j = static_cast<std::size_t>(depth);
+        m.set_upper(static_cast<VarId>(j), std::max(0.0, std::floor(prev.values[j])));
+        const LpResult cold = solve_lp(m);
+        const LpResult warm = solve_lp(m, 200000, 1e18, &prev.basis);
+        ASSERT_EQ(warm.status, cold.status) << "depth " << depth;
+        if (cold.status != LpStatus::kOptimal) break;
+        EXPECT_NEAR(warm.objective, cold.objective, kTol) << "depth " << depth;
+        prev = warm;
+    }
+}
+
+}  // namespace
+}  // namespace hermes::milp

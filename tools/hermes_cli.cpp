@@ -8,7 +8,8 @@
 //
 //   hermes_cli deploy --programs <spec> --topology <spec>
 //              [--strategy greedy|optimal|ms|sonata|speed|mtp|fp|p4all|ffl|ffls]
-//              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>] [--csv]
+//              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>]
+//              [--threads <n>] [--csv]
 //       Deploy and print placements, routes, and metrics.
 //
 // Program specs:
@@ -51,12 +52,15 @@ using namespace hermes;
   hermes_cli analyze --programs <spec> [--programs <spec> ...]
   hermes_cli deploy  --programs <spec> [--programs <spec> ...]
                      --topology <spec> [--strategy <name>] [--eps1 <us>]
-                     [--eps2 <switches>] [--time-limit <seconds>] [--csv]
+                     [--eps2 <switches>] [--time-limit <seconds>]
+                     [--threads <n>] [--csv]
 
 program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
 topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
 strategies    : greedy (default) | optimal | ms | sonata | speed | mtp | fp
                 | p4all | ffl | ffls
+--threads     : branch-and-bound workers for the ILP paths
+                (default 0 = all hardware threads)
 )";
     std::exit(2);
 }
@@ -156,6 +160,7 @@ struct Options {
     double eps1 = std::numeric_limits<double>::infinity();
     std::int64_t eps2 = std::numeric_limits<std::int64_t>::max();
     double time_limit = 30.0;
+    int threads = 0;  // 0 = hardware concurrency
     bool csv = false;
 };
 
@@ -180,6 +185,8 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
             options.eps2 = util::parse_int(value());
         } else if (args[i] == "--time-limit") {
             options.time_limit = util::parse_double(value());
+        } else if (args[i] == "--threads") {
+            options.threads = static_cast<int>(util::parse_int(value()));
         } else if (args[i] == "--csv") {
             options.csv = true;
         } else {
@@ -217,6 +224,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
         hermes_options.epsilon1 = options.eps1;
         hermes_options.epsilon2 = options.eps2;
         hermes_options.milp.time_limit_seconds = options.time_limit;
+        hermes_options.milp.threads = options.threads;
         hermes_options.segment_level_milp = merged.node_count() > 40;
         const core::DeployOutcome outcome =
             options.strategy == "greedy"
@@ -235,6 +243,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
         baseline_options.epsilon1 = options.eps1;
         baseline_options.epsilon2 = options.eps2;
         baseline_options.milp.time_limit_seconds = options.time_limit;
+        baseline_options.milp.threads = options.threads;
         for (const auto& strategy : baselines::all_strategies()) {
             if (strategy->name() != it->second) continue;
             baselines::StrategyOutcome outcome =
