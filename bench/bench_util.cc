@@ -8,14 +8,15 @@ namespace hermes::bench {
 namespace {
 
 SolutionRow make_row(const std::string& name, const tdg::Tdg& t, const net::Network& net,
-                     const core::Deployment& d, double seconds, const std::string& status) {
+                     const core::Deployment& d, double seconds, const std::string& status,
+                     net::PathOracle& oracle) {
     SolutionRow row;
     row.name = name;
     row.metrics = core::evaluate(t, net, d);
     row.solve_seconds = seconds;
     row.status = status;
     row.verified = core::verify(t, net, d).ok;
-    row.hops = sim::deployment_hops(t, net, d);
+    row.hops = sim::deployment_hops(t, net, d, &oracle);
     return row;
 }
 
@@ -33,19 +34,28 @@ std::vector<SolutionRow> run_all_solutions(const std::vector<prog::Program>& pro
                                            const RunConfig& config) {
     std::vector<SolutionRow> rows;
 
+    // One path cache serves every solution on this network: the solvers,
+    // the baselines' route wiring, and the hop expansion all ask the same
+    // Dijkstra questions.
+    net::PathOracle oracle(net);
+    core::HermesOptions hermes_options = config.hermes;
+    if (!hermes_options.oracle) hermes_options.oracle = &oracle;
+    baselines::BaselineOptions baseline_options = config.baseline;
+    if (!baseline_options.oracle) baseline_options.oracle = &oracle;
+
     const tdg::Tdg merged = core::analyze(programs);
     try {
-        const core::DeployOutcome g = core::deploy_greedy(merged, net, config.hermes);
+        const core::DeployOutcome g = core::deploy_greedy(merged, net, hermes_options);
         rows.push_back(make_row("Hermes", merged, net, g.deployment, g.solve_seconds,
-                                g.solver_status));
+                                g.solver_status, oracle));
     } catch (const std::exception& ex) {
         rows.push_back(failed_row("Hermes", ex.what()));
     }
     if (config.include_optimal) {
         try {
-            const core::DeployOutcome o = core::deploy_optimal(merged, net, config.hermes);
+            const core::DeployOutcome o = core::deploy_optimal(merged, net, hermes_options);
             rows.push_back(make_row("Optimal", merged, net, o.deployment, o.solve_seconds,
-                                    o.solver_status));
+                                    o.solver_status, oracle));
         } catch (const std::exception& ex) {
             rows.push_back(failed_row("Optimal", ex.what()));
         }
@@ -54,10 +64,10 @@ std::vector<SolutionRow> run_all_solutions(const std::vector<prog::Program>& pro
         for (const auto& strategy : baselines::all_strategies()) {
             try {
                 const baselines::StrategyOutcome outcome =
-                    strategy->deploy(programs, net, config.baseline);
+                    strategy->deploy(programs, net, baseline_options);
                 rows.push_back(make_row(strategy->name(), outcome.merged, net,
                                         outcome.deployment, outcome.solve_seconds,
-                                        outcome.status));
+                                        outcome.status, oracle));
             } catch (const std::exception& ex) {
                 rows.push_back(failed_row(strategy->name(), ex.what()));
             }

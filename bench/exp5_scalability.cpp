@@ -12,17 +12,25 @@ int main() {
     using namespace hermes;
 
     const net::Network n = net::table3_topology(10);
+    // One shared path cache for the whole sweep: the topology never changes,
+    // so the Dijkstra trees of the first program count answer every later
+    // count (and all ten solutions) from cache.
+    net::PathOracle oracle(n);
 
     bench::RunConfig config;
     config.baseline.milp.time_limit_seconds = 3.0;
     config.baseline.segment_level = true;
     config.baseline.candidate_limit = 0;  // auto: segments + slack
+    config.baseline.oracle = &oracle;
     config.hermes.segment_level_milp = true;
     config.hermes.candidate_limit = 0;   // auto
     config.hermes.milp.time_limit_seconds = 3.0;
-    // Scalability sweep: give the ILP paths every core.
+    config.hermes.oracle = &oracle;
+    // Scalability sweep: give the ILP paths and the greedy anchor search
+    // every core.
     config.baseline.milp.threads = 0;
     config.hermes.milp.threads = 0;
+    config.hermes.greedy_threads = 0;
 
     sim::FlowSpec flow;
     flow.mtu_bytes = 1024;

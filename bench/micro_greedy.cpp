@@ -1,0 +1,166 @@
+// Microbenchmarks for Algorithm 2's splitting pipeline and anchor search.
+//
+// Google-benchmark suites compare the indexed splitter/coalescer against the
+// retained seed implementations (core/greedy_reference.h) and sweep the
+// anchor-search thread count. The custom main then runs timed end-to-end
+// sweeps over TDG size x topology size — the 3-switch testbed, a k=4
+// fat-tree, and Topology-Zoo scale (Table III topology 10) — and writes the
+// before/after trajectory to BENCH_greedy.json (pass --sweep-only to skip
+// the google-benchmark portion, --json=PATH to redirect the output).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/greedy_reference.h"
+#include "net/builders.h"
+#include "net/path_oracle.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+#include "tdg/analyzer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hermes;
+
+tdg::Tdg workload_tdg(int programs, std::uint64_t seed) {
+    std::vector<tdg::Tdg> tdgs;
+    for (const auto& p : prog::paper_workload(programs, seed)) {
+        tdgs.push_back(p.to_tdg());
+    }
+    return tdg::analyze_programs(std::move(tdgs));
+}
+
+std::vector<tdg::NodeId> all_nodes(const tdg::Tdg& t) {
+    std::vector<tdg::NodeId> nodes(t.node_count());
+    for (tdg::NodeId v = 0; v < t.node_count(); ++v) nodes[v] = v;
+    return nodes;
+}
+
+void BM_SplitTdgIndexed(benchmark::State& state) {
+    const tdg::Tdg t = workload_tdg(static_cast<int>(state.range(0)), 0xbeef);
+    for (auto _ : state) {
+        const auto segments = core::split_tdg(t, all_nodes(t), 12, 4.0);
+        benchmark::DoNotOptimize(segments);
+    }
+    state.counters["mats"] = static_cast<double>(t.node_count());
+}
+BENCHMARK(BM_SplitTdgIndexed)->Arg(10)->Arg(30)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_SplitTdgReference(benchmark::State& state) {
+    const tdg::Tdg t = workload_tdg(static_cast<int>(state.range(0)), 0xbeef);
+    for (auto _ : state) {
+        const auto segments = core::reference::split_tdg(t, all_nodes(t), 12, 4.0);
+        benchmark::DoNotOptimize(segments);
+    }
+    state.counters["mats"] = static_cast<double>(t.node_count());
+}
+BENCHMARK(BM_SplitTdgReference)->Arg(10)->Arg(30)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_AnchorSearchThreads(benchmark::State& state) {
+    const tdg::Tdg t = workload_tdg(30, 0xbeef);
+    const net::Network n = net::table3_topology(10);
+    auto segments = core::split_tdg(t, all_nodes(t), 12, 1.0);
+    core::GreedyOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        net::PathOracle oracle(n);  // cold cache: measure the full search
+        const auto result =
+            core::deploy_segments_on_chain(t, n, segments, options, &oracle);
+        benchmark::DoNotOptimize(result.anchor);
+    }
+    state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AnchorSearchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct SweepInstance {
+    std::string name;
+    net::Network network;
+    int programs;
+};
+
+// End-to-end greedy_deploy, seed pipeline vs indexed + oracle + threads,
+// per instance. Results must agree (the equivalence suite enforces it; here
+// we cross-check the anchor as a cheap canary).
+void run_sweeps(const std::string& path) {
+    std::vector<bench::BenchRecord> records;
+
+    util::SplitMix64 rng(0x9e1);
+    net::TopologyConfig tconfig;
+    std::vector<SweepInstance> instances;
+    instances.push_back({"testbed", sim::make_testbed({}), 8});
+    instances.push_back({"fat_tree_k4", net::fat_tree_topology(4, tconfig, rng), 20});
+    instances.push_back({"zoo_t10", net::table3_topology(10), 50});
+
+    double largest_speedup = 0.0;
+    for (const SweepInstance& inst : instances) {
+        const tdg::Tdg t = workload_tdg(inst.programs, 0xbeef);
+
+        const auto before_start = std::chrono::steady_clock::now();
+        const core::GreedyResult before = core::reference::greedy_deploy(t, inst.network);
+        const double before_secs = seconds_since(before_start);
+
+        net::PathOracle oracle(inst.network);
+        core::GreedyOptions options;
+        options.threads = 0;  // all cores
+        const auto after_start = std::chrono::steady_clock::now();
+        const core::GreedyResult after = core::greedy_deploy(t, inst.network, options,
+                                                             &oracle);
+        const double after_secs = seconds_since(after_start);
+
+        if (after.anchor != before.anchor) {
+            std::cerr << "MISMATCH on " << inst.name << ": anchors differ\n";
+            std::exit(1);
+        }
+        const double speedup = before_secs / after_secs;
+        largest_speedup = speedup;  // instances are ordered smallest to largest
+        records.push_back({inst.name + "_mats", static_cast<double>(t.node_count()),
+                           "mats"});
+        records.push_back({inst.name + "_switches",
+                           static_cast<double>(inst.network.switch_count()), "switches"});
+        records.push_back({inst.name + "_seed_seconds", before_secs, "s"});
+        records.push_back({inst.name + "_indexed_seconds", after_secs, "s"});
+        records.push_back({inst.name + "_speedup", speedup, "x"});
+        std::cout << inst.name << ": " << t.node_count() << " MATs on "
+                  << inst.network.switch_count() << " switches — seed " << before_secs
+                  << " s, indexed+oracle " << after_secs << " s (" << speedup
+                  << "x)\n";
+    }
+    records.push_back({"largest_instance_speedup", largest_speedup, "x"});
+
+    bench::write_bench_json(path, "greedy_pipeline", records);
+    std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool sweep_only = false;
+    std::string json_path = "BENCH_greedy.json";
+    std::vector<char*> passthrough;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0) {
+            sweep_only = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (!sweep_only) benchmark::RunSpecifiedBenchmarks();
+    run_sweeps(json_path);
+    return 0;
+}

@@ -193,7 +193,8 @@ std::optional<std::vector<int>> milp_pack(const tdg::Tdg& t,
     return out;
 }
 
-void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deployment& d) {
+void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deployment& d,
+                         net::PathOracle* oracle) {
     std::set<std::pair<net::SwitchId, net::SwitchId>> crossing;
     for (const tdg::Edge& e : t.edges()) {
         const net::SwitchId u = d.switch_of(e.from);
@@ -202,7 +203,7 @@ void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deplo
     }
     for (const auto& [u, v] : crossing) {
         if (d.routes.count({u, v})) continue;
-        auto path = net::shortest_path(net, u, v);
+        auto path = oracle ? oracle->path(u, v) : net::shortest_path(net, u, v);
         if (!path) {
             throw std::runtime_error("add_crossing_routes: switches " +
                                      net.props(u).name + " and " + net.props(v).name +

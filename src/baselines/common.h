@@ -13,6 +13,7 @@
 
 #include "core/deployment.h"
 #include "milp/solver.h"
+#include "net/path_oracle.h"
 #include "prog/program.h"
 
 namespace hermes::baselines {
@@ -24,6 +25,9 @@ struct BaselineOptions {
     std::size_t candidate_limit = 0;   // candidate switches for network-wide ILPs
     bool segment_level = true;         // contract TDGs for network-wide ILPs
     bool use_ilp = true;               // false = pure-heuristic variants
+    // Shared per-Network path cache for route wiring and chain building.
+    // Null = compute paths directly.
+    net::PathOracle* oracle = nullptr;
 };
 
 struct StrategyOutcome {
@@ -97,7 +101,8 @@ void chain_first_fit(const tdg::Tdg& t, const std::vector<tdg::NodeId>& order,
 
 // Adds shortest-path routes for every ordered switch pair that carries at
 // least one cross-switch dependency. Throws when a needed pair is
-// disconnected.
-void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deployment& d);
+// disconnected. Pass a shared net::PathOracle to reuse cached trees.
+void add_crossing_routes(const tdg::Tdg& t, const net::Network& net, core::Deployment& d,
+                         net::PathOracle* oracle = nullptr);
 
 }  // namespace hermes::baselines

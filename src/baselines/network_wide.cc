@@ -34,7 +34,7 @@ StrategyOutcome NetworkWideStrategy::deploy(const std::vector<prog::Program>& pr
         t, net,
         core::split_tdg_first_fit(t, std::move(all), reference.stages,
                                   reference.stage_capacity),
-        chain_options);
+        chain_options, options.oracle);
 
     if (!options.use_ilp) {
         outcome.deployment = std::move(warm.deployment);
@@ -50,6 +50,7 @@ StrategyOutcome NetworkWideStrategy::deploy(const std::vector<prog::Program>& pr
     fopts.segment_level = options.segment_level;
     fopts.objective = objective_;
     fopts.segment_split = core::SegmentSplit::kResourceFirstFit;
+    fopts.oracle = options.oracle;
 
     try {
         core::P1Formulation formulation(t, net, fopts);

@@ -175,7 +175,7 @@ StrategyOutcome SingleSwitchStrategy::deploy_with_pick(
         }
     }
 
-    add_crossing_routes(t, net, d);
+    add_crossing_routes(t, net, d, options.oracle);
     outcome.deployment = std::move(d);
     outcome.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
     outcome.status = used_ilp ? "ilp" : "heuristic";
@@ -188,7 +188,6 @@ FirstFitByLevelStrategy::FirstFitByLevelStrategy(std::string name, LevelOrder or
 StrategyOutcome FirstFitByLevelStrategy::deploy(const std::vector<prog::Program>& programs,
                                                 const net::Network& net,
                                                 const BaselineOptions& options) {
-    (void)options;
     const auto start = Clock::now();
     std::vector<std::pair<std::size_t, std::size_t>> ranges;
     StrategyOutcome outcome;
@@ -224,7 +223,7 @@ StrategyOutcome FirstFitByLevelStrategy::deploy(const std::vector<prog::Program>
     std::vector<bool> placed(t.node_count(), false);
     chain_first_fit(t, order, chain, packers, d, placed);
 
-    add_crossing_routes(t, net, d);
+    add_crossing_routes(t, net, d, options.oracle);
     outcome.deployment = std::move(d);
     outcome.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
     outcome.status = "heuristic";

@@ -37,32 +37,36 @@ std::optional<std::vector<int>> assign_stages(const tdg::Tdg& t,
     if (stages <= 0 || stage_capacity <= 0.0) {
         throw std::invalid_argument("assign_stages: bad switch geometry");
     }
-    const std::set<tdg::NodeId> members(segment.begin(), segment.end());
-    if (members.size() != segment.size()) {
-        throw std::invalid_argument("assign_stages: duplicate nodes in segment");
+    const std::size_t n = t.node_count();
+    std::vector<char> member(n, 0);
+    for (const tdg::NodeId v : segment) {
+        if (v >= n) throw std::out_of_range("assign_stages: bad node id");
+        if (member[v]) {
+            throw std::invalid_argument("assign_stages: duplicate nodes in segment");
+        }
+        member[v] = 1;
     }
 
     // Process in global topological order restricted to the segment. A
-    // single edge pass builds intra-segment predecessor lists — this routine
-    // is the innermost loop of splitting/coalescing, so no per-node edge
-    // rescans.
+    // single edge pass builds intra-segment predecessor lists; this routine
+    // is the innermost loop of splitting/coalescing, so everything is
+    // node-indexed flat storage (no associative containers).
     std::vector<tdg::NodeId> order;
+    order.reserve(segment.size());
     for (const tdg::NodeId v : t.topological_order()) {
-        if (members.count(v)) order.push_back(v);
+        if (member[v]) order.push_back(v);
     }
-    std::map<tdg::NodeId, std::vector<tdg::NodeId>> preds;
+    std::vector<std::vector<tdg::NodeId>> preds(n);
     for (const tdg::Edge& e : t.edges()) {
-        if (members.count(e.from) && members.count(e.to)) preds[e.to].push_back(e.from);
+        if (member[e.from] && member[e.to]) preds[e.to].push_back(e.from);
     }
 
     std::vector<double> stage_load(static_cast<std::size_t>(stages), 0.0);
-    std::map<tdg::NodeId, int> stage_of;
+    std::vector<int> stage_of(n, 0);
     for (const tdg::NodeId v : order) {
         int earliest = 0;
-        if (const auto it = preds.find(v); it != preds.end()) {
-            for (const tdg::NodeId p : it->second) {
-                earliest = std::max(earliest, stage_of.at(p) + 1);
-            }
+        for (const tdg::NodeId p : preds[v]) {
+            earliest = std::max(earliest, stage_of[p] + 1);
         }
         const double need = t.node(v).resource_units();
         if (need > stage_capacity) return std::nullopt;  // MAT larger than a stage
@@ -79,7 +83,7 @@ std::optional<std::vector<int>> assign_stages(const tdg::Tdg& t,
     }
 
     std::vector<int> result(segment.size());
-    for (std::size_t i = 0; i < segment.size(); ++i) result[i] = stage_of.at(segment[i]);
+    for (std::size_t i = 0; i < segment.size(); ++i) result[i] = stage_of[segment[i]];
     return result;
 }
 

@@ -60,9 +60,12 @@ P1Formulation::P1Formulation(const tdg::Tdg& t, const net::Network& net,
         std::set<net::SwitchId> chosen;
         try {
             const GreedyResult g =
-                greedy_deploy(t_, net_, GreedyOptions{options_.epsilon1, options_.epsilon2});
+                greedy_deploy(t_, net_, GreedyOptions{options_.epsilon1, options_.epsilon2},
+                              options_.oracle);
             for (const net::SwitchId u : g.deployment.occupied_switches()) chosen.insert(u);
-            const std::vector<double> dist = net::shortest_latencies(net_, g.anchor);
+            const std::vector<double> dist =
+                options_.oracle ? options_.oracle->latencies(g.anchor)
+                                : net::shortest_latencies(net_, g.anchor);
             std::vector<net::SwitchId> by_distance = programmable;
             std::sort(by_distance.begin(), by_distance.end(),
                       [&](net::SwitchId a, net::SwitchId b) { return dist[a] < dist[b]; });
@@ -295,8 +298,12 @@ void P1Formulation::build_model() {
             const std::size_t idx = pair_index(p, q);
             var_comm_[idx] = model_.add_binary("comm_" + std::to_string(p) + "_" +
                                                std::to_string(q));
-            pair_paths_[idx] = net::k_shortest_paths(net_, candidates_[p], candidates_[q],
-                                                     options_.k_paths);
+            pair_paths_[idx] =
+                options_.oracle
+                    ? options_.oracle->k_paths(candidates_[p], candidates_[q],
+                                               options_.k_paths)
+                    : net::k_shortest_paths(net_, candidates_[p], candidates_[q],
+                                            options_.k_paths);
             if (pair_paths_[idx].empty()) {
                 // Disconnected pair: may never communicate.
                 model_.add_constraint(LinExpr::term(var_comm_[idx]), Sense::kEq, 0.0);

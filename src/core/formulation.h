@@ -32,6 +32,7 @@
 
 #include "core/deployment.h"
 #include "milp/model.h"
+#include "net/path_oracle.h"
 #include "net/paths.h"
 
 namespace hermes::core {
@@ -60,6 +61,10 @@ struct FormulationOptions {
     bool segment_level = false;       // contract into segments first
     P1Objective objective = P1Objective::kMinAmax;
     SegmentSplit segment_split = SegmentSplit::kMinMetadataCut;
+    // Shared path cache for the Network; the formulation's P(u,v) sets, the
+    // candidate pre-selection, and route decoding all reuse its Dijkstra
+    // trees and Yen results. Null = compute paths directly (uncached).
+    net::PathOracle* oracle = nullptr;
 };
 
 class P1Formulation {

@@ -3,9 +3,14 @@
 // Splits the merged TDG into switch-sized segments at the topological prefix
 // cuts that carry the least metadata, then maps the segment chain onto the
 // closest feasible chain of programmable switches under the ε-bounds, wiring
-// consecutive switches with shortest paths. Runs in
-// O((|V|+|E|)·log|V| + |V_G|²) — the polynomial-time side of the paper's
-// optimality/timeliness tradeoff.
+// consecutive switches with shortest paths.
+//
+// The splitter and coalescer run on an adjacency-indexed view of the TDG
+// (out-/in-edge lists plus flat membership flags), so one split level is
+// O(V + E) instead of the edge-rescanning O(V·E); the anchor search shares
+// one net::PathOracle per Network and can fan out over a thread pool. All
+// rewrites are bit-identical to the retained reference implementations in
+// core/greedy_reference.h (enforced by tests/greedy_equivalence_test).
 #pragma once
 
 #include <cstdint>
@@ -13,12 +18,18 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "net/path_oracle.h"
 
 namespace hermes::core {
 
 struct GreedyOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();   // t_e2e bound (us)
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
+    // Worker threads for the anchor search in deploy_segments_on_chain;
+    // 0 = std::thread::hardware_concurrency(). The deterministic
+    // lowest-latency / lowest-anchor-id tie-break makes the result identical
+    // at any thread count.
+    int threads = 1;
 };
 
 struct GreedyResult {
@@ -43,10 +54,12 @@ struct GreedyResult {
 
 // SELECT_SWITCHES: the anchor plus up to epsilon2-1 nearest programmable
 // switches reachable from it, keeping the chain's consecutive shortest-path
-// latency within epsilon1. Returns the chain (anchor first).
+// latency within epsilon1. Returns the chain (anchor first). When `oracle`
+// is non-null its cached Dijkstra trees answer every distance query.
 [[nodiscard]] std::vector<net::SwitchId> select_switches(const net::Network& net,
                                                          net::SwitchId anchor,
-                                                         const GreedyOptions& options);
+                                                         const GreedyOptions& options,
+                                                         net::PathOracle* oracle = nullptr);
 
 // Coalesces adjacent segments — smallest inter-segment metadata first —
 // while the merged pair still fits one switch, until at most `target`
@@ -61,17 +74,22 @@ struct GreedyResult {
 // Places an already-computed segment list onto the best feasible switch
 // chain (lines 21-29 of Algorithm 2): for every programmable anchor, builds
 // its candidate chain via select_switches, keeps the feasible chain with the
-// lowest total latency, assigns segment i to chain switch i, and wires
-// consecutive switches with shortest paths. Throws std::runtime_error when
-// no anchor yields enough switches.
+// lowest total latency (ties broken toward the lowest anchor id), assigns
+// segment i to chain switch i, and wires consecutive switches with shortest
+// paths. The anchor loop runs on options.threads workers and is
+// deterministic at any thread count. Throws std::runtime_error when no
+// anchor yields enough switches.
 [[nodiscard]] GreedyResult deploy_segments_on_chain(
     const tdg::Tdg& t, const net::Network& net,
-    std::vector<std::vector<tdg::NodeId>> segments, const GreedyOptions& options = {});
+    std::vector<std::vector<tdg::NodeId>> segments, const GreedyOptions& options = {},
+    net::PathOracle* oracle = nullptr);
 
 // Full Algorithm 2. Considers every programmable anchor, keeps the feasible
 // chain with the lowest total latency. Throws std::runtime_error when no
-// anchor yields enough switches for the segments.
+// anchor yields enough switches for the segments. Pass a shared oracle to
+// reuse Dijkstra trees across calls touching the same Network.
 [[nodiscard]] GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
-                                         const GreedyOptions& options = {});
+                                         const GreedyOptions& options = {},
+                                         net::PathOracle* oracle = nullptr);
 
 }  // namespace hermes::core

@@ -1,0 +1,277 @@
+#include "core/greedy_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "core/dp_split.h"
+#include "core/objective.h"
+
+namespace hermes::core::reference {
+
+namespace {
+
+std::vector<tdg::NodeId> restricted_topo(const tdg::Tdg& t,
+                                         const std::vector<tdg::NodeId>& nodes) {
+    const std::set<tdg::NodeId> members(nodes.begin(), nodes.end());
+    std::vector<tdg::NodeId> order;
+    order.reserve(nodes.size());
+    for (const tdg::NodeId v : t.topological_order()) {
+        if (members.count(v)) order.push_back(v);
+    }
+    return order;
+}
+
+const net::SwitchProps& reference_geometry(const net::Network& net,
+                                           const std::vector<net::SwitchId>& programmable) {
+    const net::SwitchProps* best = &net.props(programmable.front());
+    for (const net::SwitchId u : programmable) {
+        const net::SwitchProps& props = net.props(u);
+        if (props.stages * props.stage_capacity > best->stages * best->stage_capacity) {
+            best = &props;
+        }
+    }
+    return *best;
+}
+
+}  // namespace
+
+std::vector<std::vector<tdg::NodeId>> split_tdg(const tdg::Tdg& t,
+                                                std::vector<tdg::NodeId> nodes, int stages,
+                                                double stage_capacity) {
+    if (nodes.empty()) return {};
+    if (segment_fits(t, nodes, stages, stage_capacity)) return {std::move(nodes)};
+    if (nodes.size() < 2) {
+        throw std::runtime_error("split_tdg: MAT '" + t.node(nodes.front()).name() +
+                                 "' cannot fit any switch");
+    }
+
+    const std::vector<tdg::NodeId> order = restricted_topo(t, nodes);
+    const std::set<tdg::NodeId> members(nodes.begin(), nodes.end());
+
+    std::set<tdg::NodeId> prefix;
+    std::int64_t cut = 0;
+    std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+    std::size_t best_pos = 1;
+    for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+        const tdg::NodeId x = order[pos];
+        for (const tdg::Edge& e : t.edges()) {
+            if (e.from == x && members.count(e.to) && !prefix.count(e.to)) {
+                cut += e.metadata_bytes;
+            }
+            if (e.to == x && prefix.count(e.from)) {
+                cut -= e.metadata_bytes;
+            }
+        }
+        prefix.insert(x);
+        if (cut < best_cut) {
+            best_cut = cut;
+            best_pos = pos + 1;
+        }
+    }
+
+    std::vector<tdg::NodeId> head(order.begin(),
+                                  order.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    std::vector<tdg::NodeId> tail(order.begin() + static_cast<std::ptrdiff_t>(best_pos),
+                                  order.end());
+    std::vector<std::vector<tdg::NodeId>> result =
+        split_tdg(t, std::move(head), stages, stage_capacity);
+    std::vector<std::vector<tdg::NodeId>> rest =
+        split_tdg(t, std::move(tail), stages, stage_capacity);
+    result.insert(result.end(), std::make_move_iterator(rest.begin()),
+                  std::make_move_iterator(rest.end()));
+    return result;
+}
+
+std::vector<std::vector<tdg::NodeId>> split_tdg_first_fit(const tdg::Tdg& t,
+                                                          std::vector<tdg::NodeId> nodes,
+                                                          int stages,
+                                                          double stage_capacity) {
+    if (nodes.empty()) return {};
+    const std::vector<tdg::NodeId> order = restricted_topo(t, nodes);
+
+    std::vector<std::vector<tdg::NodeId>> segments;
+    std::vector<tdg::NodeId> current;
+    for (const tdg::NodeId v : order) {
+        std::vector<tdg::NodeId> extended = current;
+        extended.push_back(v);
+        if (segment_fits(t, extended, stages, stage_capacity)) {
+            current = std::move(extended);
+            continue;
+        }
+        if (current.empty()) {
+            throw std::runtime_error("split_tdg_first_fit: MAT '" + t.node(v).name() +
+                                     "' cannot fit any switch");
+        }
+        segments.push_back(std::move(current));
+        current = {v};
+        if (!segment_fits(t, current, stages, stage_capacity)) {
+            throw std::runtime_error("split_tdg_first_fit: MAT '" + t.node(v).name() +
+                                     "' cannot fit any switch");
+        }
+    }
+    if (!current.empty()) segments.push_back(std::move(current));
+    return segments;
+}
+
+std::vector<std::vector<tdg::NodeId>> coalesce_segments(
+    const tdg::Tdg& t, std::vector<std::vector<tdg::NodeId>> segments, std::size_t target,
+    int stages, double stage_capacity) {
+    auto cut_between = [&](const std::vector<tdg::NodeId>& a,
+                           const std::vector<tdg::NodeId>& b) {
+        const std::set<tdg::NodeId> sa(a.begin(), a.end());
+        const std::set<tdg::NodeId> sb(b.begin(), b.end());
+        std::int64_t bytes = 0;
+        for (const tdg::Edge& e : t.edges()) {
+            if (sa.count(e.from) && sb.count(e.to)) bytes += e.metadata_bytes;
+        }
+        return bytes;
+    };
+    while (segments.size() > target) {
+        std::size_t best = segments.size();
+        std::int64_t best_cut = 0;
+        for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+            std::vector<tdg::NodeId> merged = segments[i];
+            merged.insert(merged.end(), segments[i + 1].begin(), segments[i + 1].end());
+            if (!segment_fits(t, merged, stages, stage_capacity)) continue;
+            const std::int64_t cut = cut_between(segments[i], segments[i + 1]);
+            if (best == segments.size() || cut > best_cut) {
+                best = i;
+                best_cut = cut;
+            }
+        }
+        if (best == segments.size()) break;  // nothing mergeable
+        segments[best].insert(segments[best].end(), segments[best + 1].begin(),
+                              segments[best + 1].end());
+        segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    }
+    return segments;
+}
+
+GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net,
+                                      std::vector<std::vector<tdg::NodeId>> segments,
+                                      const GreedyOptions& options) {
+    const std::vector<net::SwitchId> programmable = net.programmable_switches();
+    if (programmable.empty()) {
+        throw std::runtime_error("greedy_deploy: no programmable switches");
+    }
+
+    const std::size_t max_chain = std::min<std::size_t>(
+        programmable.size(),
+        options.epsilon2 < static_cast<std::int64_t>(programmable.size())
+            ? static_cast<std::size_t>(options.epsilon2)
+            : programmable.size());
+    if (segments.size() > max_chain) {
+        const net::SwitchProps& geometry = reference_geometry(net, programmable);
+        segments = coalesce_segments(t, std::move(segments), max_chain, geometry.stages,
+                                     geometry.stage_capacity);
+    }
+
+    std::optional<std::vector<net::SwitchId>> best_chain;
+    std::optional<std::vector<std::vector<tdg::NodeId>>> best_segments;
+    double best_latency = std::numeric_limits<double>::infinity();
+    net::SwitchId best_anchor = 0;
+    for (const net::SwitchId u : programmable) {
+        std::vector<net::SwitchId> chain = select_switches(net, u, options);
+        std::vector<std::vector<tdg::NodeId>> local = segments;
+        if (chain.size() < local.size()) continue;
+        chain.resize(local.size());
+        double latency = 0.0;
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            const auto hop = net::shortest_path(net, chain[i], chain[i + 1]);
+            if (!hop) {
+                ok = false;
+                break;
+            }
+            latency += hop->latency_us;
+        }
+        if (!ok) continue;
+        for (std::size_t i = 0; i < local.size() && ok; ++i) {
+            ok = segment_fits(t, local[i], net.props(chain[i]).stages,
+                              net.props(chain[i]).stage_capacity);
+        }
+        if (!ok) continue;
+        if (latency < best_latency) {
+            best_latency = latency;
+            best_chain = std::move(chain);
+            best_segments = std::move(local);
+            best_anchor = u;
+        }
+    }
+    if (!best_chain) {
+        throw std::runtime_error(
+            "greedy_deploy: no anchor yields enough programmable switches for " +
+            std::to_string(segments.size()) + " segments under the epsilon bounds");
+    }
+
+    GreedyResult result;
+    result.segments = *best_segments;
+    result.anchor = best_anchor;
+    result.deployment.placements.resize(t.node_count());
+    for (std::size_t i = 0; i < result.segments.size(); ++i) {
+        const net::SwitchId sw = (*best_chain)[i];
+        const auto stages = assign_stages(t, result.segments[i], net.props(sw).stages,
+                                          net.props(sw).stage_capacity);
+        if (!stages) {
+            throw std::runtime_error("greedy_deploy: stage assignment failed on switch " +
+                                     net.props(sw).name);
+        }
+        for (std::size_t j = 0; j < result.segments[i].size(); ++j) {
+            result.deployment.placements[result.segments[i][j]] =
+                Placement{sw, (*stages)[j]};
+        }
+    }
+    for (std::size_t i = 0; i + 1 < best_chain->size(); ++i) {
+        const net::SwitchId u = (*best_chain)[i];
+        const net::SwitchId v = (*best_chain)[i + 1];
+        auto path = net::shortest_path(net, u, v);
+        result.deployment.routes[{u, v}] = std::move(*path);
+    }
+    return result;
+}
+
+GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
+                           const GreedyOptions& options) {
+    const std::vector<net::SwitchId> programmable = net.programmable_switches();
+    if (programmable.empty()) {
+        throw std::runtime_error("greedy_deploy: no programmable switches");
+    }
+    const net::SwitchProps& reference = reference_geometry(net, programmable);
+    std::vector<tdg::NodeId> all_nodes(t.node_count());
+    for (tdg::NodeId v = 0; v < t.node_count(); ++v) all_nodes[v] = v;
+    std::vector<std::vector<tdg::NodeId>> segments =
+        split_tdg(t, std::move(all_nodes), reference.stages, reference.stage_capacity);
+
+    constexpr std::size_t kDpRefinementLimit = 250;
+    std::optional<GreedyResult> best;
+    try {
+        best = reference::deploy_segments_on_chain(t, net, std::move(segments), options);
+    } catch (const std::runtime_error&) {
+        // Fall through: the DP segmentation may still be feasible.
+    }
+    if (t.node_count() <= kDpRefinementLimit) {
+        try {
+            const DpSplitResult dp =
+                dp_split(t, reference.stages, reference.stage_capacity);
+            GreedyResult refined =
+                reference::deploy_segments_on_chain(t, net, dp.segments, options);
+            if (!best || max_pair_metadata(t, refined.deployment) <
+                             max_pair_metadata(t, best->deployment)) {
+                best = std::move(refined);
+            }
+        } catch (const std::runtime_error&) {
+            // DP infeasible under these bounds; keep the recursive result.
+        }
+    }
+    if (!best) {
+        throw std::runtime_error(
+            "greedy_deploy: no anchor yields enough programmable switches under the "
+            "epsilon bounds");
+    }
+    return std::move(*best);
+}
+
+}  // namespace hermes::core::reference

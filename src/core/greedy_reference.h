@@ -1,0 +1,44 @@
+// Retained reference implementation of Algorithm 2's splitting pipeline.
+//
+// These are the original (pre-indexing) edge-rescanning implementations of
+// split_tdg / split_tdg_first_fit / coalesce_segments and the serial,
+// uncached anchor search. They exist for two reasons:
+//   1. the golden equivalence suite asserts the production indexed rewrites
+//      in core/greedy.h produce bit-identical segments on seeded random
+//      TDGs, and
+//   2. bench/micro_greedy uses them as the "before" side of the
+//      BENCH_greedy.json speedup trajectory.
+// They are not called anywhere on the production path.
+#pragma once
+
+#include "core/greedy.h"
+
+namespace hermes::core::reference {
+
+// Recursive min-metadata prefix-cut split; rescans every TDG edge at every
+// prefix position (O(V·E) per split level).
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> split_tdg(
+    const tdg::Tdg& t, std::vector<tdg::NodeId> nodes, int stages, double stage_capacity);
+
+// Topological first-fit split; re-packs the whole open segment per node.
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> split_tdg_first_fit(
+    const tdg::Tdg& t, std::vector<tdg::NodeId> nodes, int stages, double stage_capacity);
+
+// Adjacent-pair coalescing; rescans every edge per pair per merge round.
+[[nodiscard]] std::vector<std::vector<tdg::NodeId>> coalesce_segments(
+    const tdg::Tdg& t, std::vector<std::vector<tdg::NodeId>> segments, std::size_t target,
+    int stages, double stage_capacity);
+
+// Serial anchor search with a fresh Dijkstra per hop and a full segment-list
+// copy per anchor (the seed code path of deploy_segments_on_chain).
+[[nodiscard]] GreedyResult deploy_segments_on_chain(
+    const tdg::Tdg& t, const net::Network& net,
+    std::vector<std::vector<tdg::NodeId>> segments, const GreedyOptions& options = {});
+
+// Full seed Algorithm 2 (reference split + serial uncached anchor search,
+// including the small-instance DP refinement), for end-to-end before/after
+// benchmarking.
+[[nodiscard]] GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
+                                         const GreedyOptions& options = {});
+
+}  // namespace hermes::core::reference

@@ -24,7 +24,9 @@ tdg::Tdg analyze(const std::vector<prog::Program>& programs) {
 DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
                             const HermesOptions& options) {
     const auto start = Clock::now();
-    GreedyResult g = greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+    GreedyResult g = greedy_deploy(
+        t, net, GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
+        options.oracle);
     DeployOutcome outcome;
     outcome.deployment = std::move(g.deployment);
     outcome.solve_seconds = seconds_since(start);
@@ -42,6 +44,7 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
     fopts.k_paths = options.k_paths;
     fopts.candidate_limit = options.candidate_limit;
     fopts.segment_level = options.segment_level_milp;
+    fopts.oracle = options.oracle;
 
     std::optional<P1Formulation> maybe_formulation;
     try {
@@ -50,8 +53,10 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
         // Instance beyond exact reach (the regime where the paper's Gurobi
         // runs exceed their two-hour budget): return the best incumbent we
         // can produce — the greedy solution — flagged as a time-limit hit.
-        GreedyResult g =
-            greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+        GreedyResult g = greedy_deploy(
+            t, net,
+            GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
+            options.oracle);
         DeployOutcome outcome;
         outcome.deployment = std::move(g.deployment);
         outcome.solve_seconds =
@@ -65,8 +70,10 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
     milp::MilpOptions milp_options = options.milp;
     if (options.warm_start_from_greedy && !milp_options.warm_start) {
         try {
-            const GreedyResult g =
-                greedy_deploy(t, net, GreedyOptions{options.epsilon1, options.epsilon2});
+            const GreedyResult g = greedy_deploy(
+                t, net,
+                GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
+                options.oracle);
             milp_options.warm_start = formulation.encode(g.deployment);
         } catch (const std::runtime_error&) {
             // No greedy incumbent; branch and bound starts cold.

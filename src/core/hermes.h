@@ -18,12 +18,18 @@ namespace hermes::core {
 struct HermesOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
+    // Worker threads for the greedy anchor search (0 = hardware concurrency;
+    // the result is identical at any thread count).
+    int greedy_threads = 1;
     // MILP path configuration.
     std::size_t k_paths = 2;
     std::size_t candidate_limit = 0;
     bool segment_level_milp = false;
     bool warm_start_from_greedy = true;
     milp::MilpOptions milp;
+    // Shared per-Network path cache; both solve paths reuse its Dijkstra
+    // trees. Null = each call builds a private cache.
+    net::PathOracle* oracle = nullptr;
 };
 
 struct DeployOutcome {

@@ -25,7 +25,8 @@ tdg::Tdg extend_programs(const tdg::Tdg& base,
 std::optional<IncrementalResult> incremental_deploy(const tdg::Tdg& combined,
                                                     std::size_t base_count,
                                                     const Deployment& existing,
-                                                    const net::Network& net) {
+                                                    const net::Network& net,
+                                                    net::PathOracle* oracle) {
     if (existing.placements.size() != base_count || base_count > combined.node_count()) {
         throw std::invalid_argument("incremental_deploy: base/deployment shape mismatch");
     }
@@ -131,7 +132,7 @@ std::optional<IncrementalResult> incremental_deploy(const tdg::Tdg& combined,
     }
     for (const auto& [u, v2] : crossing) {
         if (result.deployment.routes.count({u, v2})) continue;
-        auto path = net::shortest_path(net, u, v2);
+        auto path = oracle ? oracle->path(u, v2) : net::shortest_path(net, u, v2);
         if (!path) return std::nullopt;
         result.deployment.routes[{u, v2}] = std::move(*path);
     }

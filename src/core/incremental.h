@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/deployment.h"
+#include "net/path_oracle.h"
 #include "prog/program.h"
 
 namespace hermes::core {
@@ -30,9 +31,10 @@ struct IncrementalResult {
 // Places nodes [base_count, n) of `combined` around the fixed `existing`
 // placements (which cover nodes [0, base_count)). Returns nullopt when a new
 // MAT must precede an old one, or when the residual capacity cannot host the
-// additions.
+// additions. Pass a shared net::PathOracle to reuse cached Dijkstra trees
+// when wiring routes for newly crossing pairs.
 [[nodiscard]] std::optional<IncrementalResult> incremental_deploy(
     const tdg::Tdg& combined, std::size_t base_count, const Deployment& existing,
-    const net::Network& net);
+    const net::Network& net, net::PathOracle* oracle = nullptr);
 
 }  // namespace hermes::core

@@ -49,6 +49,11 @@ std::vector<SwitchId> Network::neighbors(SwitchId u) const {
     return out;
 }
 
+const std::vector<std::pair<SwitchId, double>>& Network::adjacency(SwitchId u) const {
+    if (u >= switches_.size()) throw std::out_of_range("adjacency: bad switch id");
+    return adjacency_[u];
+}
+
 std::optional<double> Network::link_latency(SwitchId a, SwitchId b) const noexcept {
     if (a >= switches_.size() || b >= switches_.size()) return std::nullopt;
     for (const auto& [v, lat] : adjacency_[a]) {

@@ -44,6 +44,10 @@ public:
     [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
 
     [[nodiscard]] std::vector<SwitchId> neighbors(SwitchId u) const;
+    // Neighbor list with link latencies, by reference — the allocation-free
+    // form every Dijkstra relaxation loop should iterate.
+    [[nodiscard]] const std::vector<std::pair<SwitchId, double>>& adjacency(
+        SwitchId u) const;
     [[nodiscard]] std::optional<double> link_latency(SwitchId a, SwitchId b) const noexcept;
 
     // Ids of all programmable switches, ascending.

@@ -1,0 +1,145 @@
+#include "net/path_oracle.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+
+namespace hermes::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+PathOracle::PathOracle(const Network& net)
+    : net_(&net), trees_(net.switch_count()) {}
+
+const PathOracle::Tree& PathOracle::tree(SwitchId src) {
+    if (src >= trees_.size()) throw std::out_of_range("PathOracle: bad switch id");
+    {
+        std::shared_lock lock(mutex_);
+        if (trees_[src]) {
+            tree_hits_.fetch_add(1, std::memory_order_relaxed);
+            return *trees_[src];
+        }
+    }
+    // Full single-source Dijkstra with the cost model of net/paths.h. The
+    // (distance, switch-id) queue ordering and strict-< relaxation make the
+    // parent chain to any destination identical to the pairwise early-exit
+    // Dijkstra's, so reconstructed paths are bit-identical to shortest_path.
+    //
+    // Computed outside the lock so concurrent misses on different sources
+    // run their Dijkstras in parallel; two threads racing on the same source
+    // just do the (deterministic) work twice and the first publish wins.
+    const std::size_t n = net_->switch_count();
+    auto t = std::make_shared<Tree>();
+    t->dist.assign(n, kInf);
+    t->parent.assign(n, n);
+    using QueueItem = std::pair<double, SwitchId>;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> frontier;
+    t->dist[src] = net_->props(src).latency_us;
+    frontier.emplace(t->dist[src], src);
+    while (!frontier.empty()) {
+        const auto [d, u] = frontier.top();
+        frontier.pop();
+        if (d > t->dist[u]) continue;
+        for (const auto& [v, link] : net_->adjacency(u)) {
+            const double nd = d + link + net_->props(v).latency_us;
+            if (nd < t->dist[v]) {
+                t->dist[v] = nd;
+                t->parent[v] = u;
+                frontier.emplace(nd, v);
+            }
+        }
+    }
+    std::unique_lock lock(mutex_);
+    if (trees_[src]) {
+        tree_hits_.fetch_add(1, std::memory_order_relaxed);
+        return *trees_[src];
+    }
+    tree_misses_.fetch_add(1, std::memory_order_relaxed);
+    trees_[src] = std::move(t);
+    return *trees_[src];
+}
+
+const std::vector<double>& PathOracle::latencies(SwitchId src) { return tree(src).dist; }
+
+std::optional<Path> PathOracle::path(SwitchId src, SwitchId dst) {
+    if (src >= trees_.size() || dst >= trees_.size()) {
+        throw std::out_of_range("PathOracle: bad switch id");
+    }
+    if (src == dst) return Path{{src}, net_->props(src).latency_us};
+    const Tree& t = tree(src);
+    if (t.dist[dst] == kInf) return std::nullopt;
+    Path p;
+    p.latency_us = t.dist[dst];
+    for (SwitchId v = dst;; v = t.parent[v]) {
+        p.switches.push_back(v);
+        if (v == src) break;
+    }
+    std::reverse(p.switches.begin(), p.switches.end());
+    return p;
+}
+
+double PathOracle::path_latency(SwitchId src, SwitchId dst) {
+    if (src >= trees_.size() || dst >= trees_.size()) {
+        throw std::out_of_range("PathOracle: bad switch id");
+    }
+    if (src == dst) return net_->props(src).latency_us;
+    return tree(src).dist[dst];
+}
+
+std::vector<Path> PathOracle::k_paths(SwitchId src, SwitchId dst, std::size_t k) {
+    if (src >= trees_.size() || dst >= trees_.size()) {
+        throw std::out_of_range("PathOracle: bad switch id");
+    }
+    if (k == 0) return {};
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(src) * trees_.size() + static_cast<std::uint64_t>(dst);
+    {
+        std::shared_lock lock(mutex_);
+        const auto it = k_cache_.find(key);
+        // A cached entry answers the request when it was computed with at
+        // least k, or when Yen already exhausted every loop-free path (it
+        // returned fewer paths than asked for).
+        if (it != k_cache_.end() &&
+            (k <= it->second.k_computed ||
+             it->second.paths.size() < it->second.k_computed)) {
+            k_hits_.fetch_add(1, std::memory_order_relaxed);
+            const std::vector<Path>& cached = it->second.paths;
+            return {cached.begin(),
+                    cached.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(k, cached.size()))};
+        }
+    }
+    std::unique_lock lock(mutex_);
+    auto& entry = k_cache_[key];
+    if (k > entry.k_computed && entry.paths.size() >= entry.k_computed) {
+        k_misses_.fetch_add(1, std::memory_order_relaxed);
+        entry.paths = k_shortest_paths(*net_, src, dst, k);
+        entry.k_computed = k;
+    } else {
+        k_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return {entry.paths.begin(),
+            entry.paths.begin() +
+                static_cast<std::ptrdiff_t>(std::min(k, entry.paths.size()))};
+}
+
+void PathOracle::invalidate() {
+    std::unique_lock lock(mutex_);
+    for (auto& slot : trees_) slot.reset();
+    k_cache_.clear();
+}
+
+PathOracle::Stats PathOracle::stats() const noexcept {
+    Stats s;
+    s.tree_hits = tree_hits_.load(std::memory_order_relaxed);
+    s.tree_misses = tree_misses_.load(std::memory_order_relaxed);
+    s.k_hits = k_hits_.load(std::memory_order_relaxed);
+    s.k_misses = k_misses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace hermes::net

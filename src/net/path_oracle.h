@@ -1,0 +1,97 @@
+// Memoized path provider over one immutable Network.
+//
+// Every consumer of the optimization pipeline (greedy anchor search, the
+// MILP formulation's P(u,v) sets, incremental deployment, the baselines'
+// route wiring, the flow simulator) asks the same shortest-path questions
+// about the same substrate graph over and over. The oracle computes one
+// full single-source Dijkstra tree (parents + distances) per source, caches
+// it, and reconstructs pairwise Paths from the tree; k-shortest-path sets
+// are cached per (src, dst) keyed on the largest k computed so far.
+//
+// Results are bit-identical to the free functions in net/paths.h: the tree
+// Dijkstra uses the same cost model, the same strict-< relaxation, and the
+// same (distance, switch-id) priority ordering, so the parent chain to any
+// destination matches the early-exit pairwise Dijkstra exactly.
+//
+// Invalidation contract: the oracle holds a reference to the Network and
+// assumes the topology and every latency is frozen for the oracle's
+// lifetime. Mutating the Network (add_switch / add_link / props()) makes
+// cached trees stale; the caller must call invalidate() afterwards — or,
+// when switches were added, construct a fresh oracle (per-source slots are
+// sized at construction). All accessors are safe to call concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/paths.h"
+
+namespace hermes::net {
+
+class PathOracle {
+public:
+    explicit PathOracle(const Network& net);
+
+    [[nodiscard]] const Network& network() const noexcept { return *net_; }
+
+    // Single-source shortest-path latencies; identical to
+    // shortest_latencies(net, src). The reference stays valid until
+    // invalidate() or destruction.
+    [[nodiscard]] const std::vector<double>& latencies(SwitchId src);
+
+    // Shortest path between two switches; identical to
+    // shortest_path(net, src, dst). Reconstructed from the cached tree.
+    [[nodiscard]] std::optional<Path> path(SwitchId src, SwitchId dst);
+
+    // Latency of the shortest src->dst path without materializing it
+    // (infinity when disconnected).
+    [[nodiscard]] double path_latency(SwitchId src, SwitchId dst);
+
+    // Up to k loop-free shortest paths; identical to
+    // k_shortest_paths(net, src, dst, k). Cached per (src, dst): a request
+    // with smaller k slices the cached result, a larger k recomputes once.
+    [[nodiscard]] std::vector<Path> k_paths(SwitchId src, SwitchId dst, std::size_t k);
+
+    // Drops every cached tree and k-path set. Required after the underlying
+    // Network's link or switch latencies change; adding switches requires a
+    // new oracle instead.
+    void invalidate();
+
+    struct Stats {
+        std::uint64_t tree_hits = 0;
+        std::uint64_t tree_misses = 0;  // Dijkstra runs
+        std::uint64_t k_hits = 0;
+        std::uint64_t k_misses = 0;  // Yen runs
+    };
+    [[nodiscard]] Stats stats() const noexcept;
+
+private:
+    struct Tree {
+        std::vector<double> dist;       // t_p to every switch (inf = unreachable)
+        std::vector<SwitchId> parent;   // parent[v] on the tree; n for src/unreached
+    };
+    struct KEntry {
+        std::size_t k_computed = 0;  // the k the paths were computed with
+        std::vector<Path> paths;
+    };
+
+    [[nodiscard]] const Tree& tree(SwitchId src);
+
+    const Network* net_;
+    // One slot per source; a published Tree is immutable and the slot array
+    // never resizes, so readers may use a Tree after dropping the lock.
+    std::vector<std::shared_ptr<const Tree>> trees_;
+    std::unordered_map<std::uint64_t, KEntry> k_cache_;
+    mutable std::shared_mutex mutex_;
+    std::atomic<std::uint64_t> tree_hits_{0};
+    std::atomic<std::uint64_t> tree_misses_{0};
+    std::atomic<std::uint64_t> k_hits_{0};
+    std::atomic<std::uint64_t> k_misses_{0};
+};
+
+}  // namespace hermes::net

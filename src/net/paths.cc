@@ -1,9 +1,9 @@
 #include "net/paths.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <queue>
-#include <set>
 #include <stdexcept>
 
 namespace hermes::net {
@@ -11,19 +11,28 @@ namespace hermes::net {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-using EdgeKey = std::pair<SwitchId, SwitchId>;
-
-EdgeKey edge_key(SwitchId a, SwitchId b) { return {std::min(a, b), std::max(a, b)}; }
+// Undirected edge key packed into one integer so Yen's banned-edge set can
+// be a sorted flat vector probed by binary search instead of a node-based
+// std::set (the spur loop builds and probes these sets thousands of times
+// on WAN-scale graphs).
+std::uint64_t edge_key(std::size_t n, SwitchId a, SwitchId b) {
+    return static_cast<std::uint64_t>(std::min(a, b)) * n + std::max(a, b);
+}
 
 // Dijkstra from src to dst avoiding banned nodes/edges; returns the path or
 // nullopt. Cost = sum of switch latencies (both endpoints of every hop,
-// counted once per switch) + link latencies.
+// counted once per switch) + link latencies. banned_nodes is empty (= none)
+// or a node-indexed flag vector; banned_edges is a sorted span of packed
+// edge keys.
 std::optional<Path> dijkstra(const Network& net, SwitchId src, SwitchId dst,
-                             const std::set<SwitchId>& banned_nodes,
-                             const std::set<EdgeKey>& banned_edges) {
+                             const std::vector<char>& banned_nodes,
+                             const std::vector<std::uint64_t>& banned_edges) {
     const std::size_t n = net.switch_count();
     if (src >= n || dst >= n) throw std::out_of_range("dijkstra: bad switch id");
-    if (banned_nodes.count(src) || banned_nodes.count(dst)) return std::nullopt;
+    const auto banned = [&](SwitchId v) {
+        return !banned_nodes.empty() && banned_nodes[v] != 0;
+    };
+    if (banned(src) || banned(dst)) return std::nullopt;
 
     std::vector<double> dist(n, kInf);
     std::vector<SwitchId> parent(n, n);
@@ -37,9 +46,11 @@ std::optional<Path> dijkstra(const Network& net, SwitchId src, SwitchId dst,
         frontier.pop();
         if (d > dist[u]) continue;
         if (u == dst) break;
-        for (const SwitchId v : net.neighbors(u)) {
-            if (banned_nodes.count(v) || banned_edges.count(edge_key(u, v))) continue;
-            const double link = *net.link_latency(u, v);
+        for (const auto& [v, link] : net.adjacency(u)) {
+            if (banned(v) || std::binary_search(banned_edges.begin(), banned_edges.end(),
+                                                edge_key(n, u, v))) {
+                continue;
+            }
             const double nd = d + link + net.props(v).latency_us;
             if (nd < dist[v]) {
                 dist[v] = nd;
@@ -92,8 +103,8 @@ std::vector<double> shortest_latencies(const Network& net, SwitchId src) {
         const auto [d, u] = frontier.top();
         frontier.pop();
         if (d > dist[u]) continue;
-        for (const SwitchId v : net.neighbors(u)) {
-            const double nd = d + *net.link_latency(u, v) + net.props(v).latency_us;
+        for (const auto& [v, link] : net.adjacency(u)) {
+            const double nd = d + link + net.props(v).latency_us;
             if (nd < dist[v]) {
                 dist[v] = nd;
                 frontier.emplace(nd, v);
@@ -128,6 +139,9 @@ std::vector<Path> k_shortest_paths(const Network& net, SwitchId src, SwitchId ds
     };
     std::vector<Path> candidates;
 
+    const std::size_t n = net.switch_count();
+    std::vector<char> banned_nodes(n, 0);
+    std::vector<std::uint64_t> banned_edges;
     while (result.size() < k) {
         const Path& last = result.back();
         for (std::size_t i = 0; i + 1 < last.switches.size(); ++i) {
@@ -135,16 +149,20 @@ std::vector<Path> k_shortest_paths(const Network& net, SwitchId src, SwitchId ds
             const std::vector<SwitchId> root(last.switches.begin(),
                                              last.switches.begin() +
                                                  static_cast<std::ptrdiff_t>(i) + 1);
-            std::set<EdgeKey> banned_edges;
+            banned_edges.clear();
             for (const Path& p : result) {
                 if (p.switches.size() > i &&
                     std::equal(root.begin(), root.end(), p.switches.begin()) &&
                     p.switches.size() > i + 1) {
-                    banned_edges.insert(edge_key(p.switches[i], p.switches[i + 1]));
+                    banned_edges.push_back(edge_key(n, p.switches[i], p.switches[i + 1]));
                 }
             }
-            std::set<SwitchId> banned_nodes(root.begin(), root.end() - 1);
+            std::sort(banned_edges.begin(), banned_edges.end());
+            banned_edges.erase(std::unique(banned_edges.begin(), banned_edges.end()),
+                               banned_edges.end());
+            for (std::size_t r = 0; r + 1 < root.size(); ++r) banned_nodes[root[r]] = 1;
             const auto spur_path = dijkstra(net, spur, dst, banned_nodes, banned_edges);
+            for (std::size_t r = 0; r + 1 < root.size(); ++r) banned_nodes[root[r]] = 0;
             if (!spur_path) continue;
 
             Path total;

@@ -101,7 +101,8 @@ std::vector<HopSpec> hops_from_path(const net::Network& net, const net::Path& pa
 }
 
 std::vector<HopSpec> deployment_hops(const tdg::Tdg& t, const net::Network& net,
-                                     const core::Deployment& d) {
+                                     const core::Deployment& d,
+                                     net::PathOracle* oracle) {
     const std::vector<net::SwitchId> order = core::traversal_order(t, d);
     std::vector<HopSpec> hops;
     if (order.empty()) return hops;
@@ -113,7 +114,8 @@ std::vector<HopSpec> deployment_hops(const tdg::Tdg& t, const net::Network& net,
         if (it != d.routes.end()) {
             path = it->second;
         } else {
-            auto sp = net::shortest_path(net, order[i - 1], order[i]);
+            auto sp = oracle ? oracle->path(order[i - 1], order[i])
+                             : net::shortest_path(net, order[i - 1], order[i]);
             if (!sp) {
                 throw std::runtime_error("deployment_hops: traversal pair disconnected");
             }

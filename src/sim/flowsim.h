@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "net/path_oracle.h"
 #include "net/paths.h"
 
 namespace hermes::sim {
@@ -55,9 +56,11 @@ struct FlowResult {
 // End-to-end hop list induced by a deployment: the occupied switches in
 // traversal order, expanded through the deployment's routes (shortest path
 // when a consecutive pair has no recorded route), with an ingress hop in
-// front. Used by Exp#4/Exp#5's FCT and goodput measurements.
+// front. Used by Exp#4/Exp#5's FCT and goodput measurements. Pass a shared
+// net::PathOracle to answer the fallback shortest paths from cache.
 [[nodiscard]] std::vector<HopSpec> deployment_hops(const tdg::Tdg& t,
                                                    const net::Network& net,
-                                                   const core::Deployment& d);
+                                                   const core::Deployment& d,
+                                                   net::PathOracle* oracle = nullptr);
 
 }  // namespace hermes::sim
