@@ -1,8 +1,9 @@
 // Microbenchmarks for the MILP substrate: simplex pivoting, branch and
-// bound, the per-program stage-packing model, plus thread-count and
-// warm-vs-cold sweeps. Has a custom main: after the google-benchmark suites
-// it writes a BENCH_milp.json perf-trajectory summary (pass --sweep-only to
-// skip the google-benchmark portion).
+// bound, the per-program stage-packing model, plus thread-count,
+// warm-vs-cold, and revised-vs-dense-kernel sweeps. Has a custom main: after
+// the google-benchmark suites it writes a BENCH_milp.json perf-trajectory
+// summary (pass --sweep-only to skip the google-benchmark portion, --smoke
+// for a short-capped CI check that exits nonzero on any solver error).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -188,34 +189,49 @@ milp::Model sweep_p1(std::uint64_t seed) {
     return f.model();
 }
 
-// Timed sweeps behind BENCH_milp.json: warm-vs-cold at threads=1 and a
-// thread ladder, on (a) a seeded P#1 testbed instance solved directly and
-// (b) a seeded fat-tree workload through deploy_optimal, the production
-// entry point (segment-level, the configuration the exp binaries use at
-// that scale).
+// Timed sweeps behind BENCH_milp.json: revised-vs-dense LP kernels and
+// warm-vs-cold at threads=1, a thread ladder, on (a) a seeded P#1 testbed
+// instance solved directly and (b) a seeded fat-tree workload through
+// deploy_optimal, the production entry point (segment-level, the
+// configuration the exp binaries use at that scale). The machine's
+// hardware_concurrency is recorded once under its own name; the thread
+// ladder records carry the actual swept thread counts in their names.
 void run_sweeps(const std::string& path) {
     std::vector<bench::BenchRecord> records;
     const double hw = static_cast<double>(std::thread::hardware_concurrency());
-    records.push_back({"hardware_concurrency", hw, "threads"});
+    records.push_back({"machine_hardware_concurrency", hw, "threads"});
 
     const milp::Model p1 = sweep_p1(13);
-    for (const bool warm : {false, true}) {
-        milp::MilpOptions options;
-        options.time_limit_seconds = 300.0;
-        options.threads = 1;
-        options.warm_lp_basis = warm;
-        const auto start = std::chrono::steady_clock::now();
-        const milp::MilpResult r = milp::solve_milp(p1, options);
-        const double secs = seconds_since(start);
-        const std::string tag = warm ? "warm" : "cold";
-        records.push_back({"p1_testbed_" + tag + "_threads1_seconds", secs, "s"});
-        records.push_back({"p1_testbed_" + tag + "_nodes",
-                           static_cast<double>(r.nodes), "nodes"});
-        records.push_back({"p1_testbed_" + tag + "_lp_iterations",
-                           static_cast<double>(r.lp_iterations), "pivots"});
-        std::cout << "P#1 testbed threads=1 " << tag << ": " << secs << " s, "
-                  << r.nodes << " nodes, " << r.lp_iterations << " pivots\n";
+    double revised_secs[2] = {0.0, 0.0};  // [cold, warm]
+    for (const bool dense : {false, true}) {
+        for (const bool warm : {false, true}) {
+            milp::MilpOptions options;
+            options.time_limit_seconds = 300.0;
+            options.threads = 1;
+            options.warm_lp_basis = warm;
+            options.use_reference_lp = dense;
+            const auto start = std::chrono::steady_clock::now();
+            const milp::MilpResult r = milp::solve_milp(p1, options);
+            const double secs = seconds_since(start);
+            const std::string tag =
+                std::string(dense ? "dense_" : "") + (warm ? "warm" : "cold");
+            records.push_back({"p1_testbed_" + tag + "_threads1_seconds", secs, "s"});
+            records.push_back({"p1_testbed_" + tag + "_nodes",
+                               static_cast<double>(r.nodes), "nodes"});
+            records.push_back({"p1_testbed_" + tag + "_lp_iterations",
+                               static_cast<double>(r.lp_iterations), "pivots"});
+            if (!dense) revised_secs[warm ? 1 : 0] = secs;
+            std::cout << "P#1 testbed threads=1 " << tag << ": " << secs << " s, "
+                      << r.nodes << " nodes, " << r.lp_iterations << " pivots\n";
+            if (dense && revised_secs[warm ? 1 : 0] > 0.0) {
+                records.push_back({std::string("p1_testbed_dense_over_revised_") +
+                                       (warm ? "warm" : "cold"),
+                                   secs / revised_secs[warm ? 1 : 0], "x"});
+            }
+        }
     }
+    double threads1_secs = 0.0;
+    double best_multi_secs = 1e18;
     for (const int threads : {1, 2, 4, 8}) {
         milp::MilpOptions options;
         options.time_limit_seconds = 300.0;
@@ -223,11 +239,17 @@ void run_sweeps(const std::string& path) {
         const auto start = std::chrono::steady_clock::now();
         const milp::MilpResult r = milp::solve_milp(p1, options);
         const double secs = seconds_since(start);
+        if (threads == 1) threads1_secs = secs;
+        else best_multi_secs = std::min(best_multi_secs, secs);
         records.push_back({"p1_testbed_threads" + std::to_string(threads) +
                                "_seconds", secs, "s"});
         std::cout << "P#1 testbed warm threads=" << threads << ": " << secs
                   << " s, objective " << r.objective << "\n";
     }
+    // >= 1.0 means adding workers never loses to the single-thread run (on a
+    // single-core machine the target is parity, not speedup).
+    records.push_back(
+        {"p1_testbed_thread_speedup", threads1_secs / best_multi_secs, "x"});
 
     // Seeded fat-tree workload through deploy_optimal (k=4: 20 switches).
     util::SplitMix64 rng(0xfeed);
@@ -267,21 +289,77 @@ void run_sweeps(const std::string& path) {
     std::cout << "wrote " << path << "\n";
 }
 
+// CI smoke run: short-capped solves that must come back clean. Exercises the
+// fat-tree workload through deploy_optimal plus a revised-vs-dense agreement
+// check on the P#1 testbed instance; returns nonzero on any solver error so
+// the bench job fails loudly instead of shipping a broken kernel.
+int run_smoke() {
+    int failures = 0;
+
+    const milp::Model p1 = sweep_p1(13);
+    double objective[2] = {0.0, 0.0};
+    for (const bool dense : {false, true}) {
+        milp::MilpOptions options;
+        options.time_limit_seconds = 20.0;
+        options.threads = 1;
+        options.use_reference_lp = dense;
+        const milp::MilpResult r = milp::solve_milp(p1, options);
+        objective[dense ? 1 : 0] = r.objective;
+        std::cout << "smoke P#1 " << (dense ? "dense" : "revised") << ": "
+                  << milp::to_string(r.status) << ", objective " << r.objective
+                  << ", " << r.nodes << " nodes\n";
+        if (!r.has_solution()) {
+            std::cout << "FAIL: P#1 " << (dense ? "dense" : "revised")
+                      << " solve returned " << milp::to_string(r.status) << "\n";
+            ++failures;
+        }
+    }
+    if (std::abs(objective[0] - objective[1]) > 1e-5 * (1.0 + std::abs(objective[1]))) {
+        std::cout << "FAIL: revised objective " << objective[0]
+                  << " != dense objective " << objective[1] << "\n";
+        ++failures;
+    }
+
+    util::SplitMix64 rng(0xfeed);
+    net::TopologyConfig tconfig;
+    const net::Network n = net::fat_tree_topology(4, tconfig, rng);
+    const auto programs = prog::paper_workload(6, 0xfeed);
+    const tdg::Tdg t = core::analyze(programs);
+    core::HermesOptions options;
+    options.segment_level_milp = true;
+    options.milp.time_limit_seconds = 20.0;
+    options.milp.threads = 1;
+    const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+    std::cout << "smoke fat-tree: " << out.solver_status << "\n";
+    if (out.solver_status != "optimal" && out.solver_status != "feasible") {
+        std::cout << "FAIL: fat-tree deploy_optimal returned " << out.solver_status
+                  << "\n";
+        ++failures;
+    }
+
+    std::cout << (failures == 0 ? "smoke OK\n" : "smoke FAILED\n");
+    return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool sweep_only = false;
+    bool smoke = false;
     std::string json_path = "BENCH_milp.json";
     std::vector<char*> passthrough;
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep-only") == 0) {
             sweep_only = true;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
         } else {
             passthrough.push_back(argv[i]);
         }
     }
+    if (smoke) return run_smoke();
     int pass_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&pass_argc, passthrough.data());
     if (!sweep_only) benchmark::RunSpecifiedBenchmarks();

@@ -305,8 +305,10 @@ void P1Formulation::build_model() {
                     : net::k_shortest_paths(net_, candidates_[p], candidates_[q],
                                             options_.k_paths);
             if (pair_paths_[idx].empty()) {
-                // Disconnected pair: may never communicate.
-                model_.add_constraint(LinExpr::term(var_comm_[idx]), Sense::kEq, 0.0);
+                // Disconnected pair: may never communicate. A bound, not a
+                // singleton row — the solver's presolve would only convert
+                // it back, and bounds never enter the simplex matrix.
+                model_.set_upper(var_comm_[idx], 0.0);
                 continue;
             }
             LinExpr y_sum;

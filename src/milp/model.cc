@@ -70,6 +70,20 @@ void Model::set_upper(VarId v, double upper) {
     variables_[static_cast<std::size_t>(v)].upper = upper;
 }
 
+std::vector<double> Model::lower_bounds() const {
+    std::vector<double> out;
+    out.reserve(variables_.size());
+    for (const Variable& v : variables_) out.push_back(v.lower);
+    return out;
+}
+
+std::vector<double> Model::upper_bounds() const {
+    std::vector<double> out;
+    out.reserve(variables_.size());
+    for (const Variable& v : variables_) out.push_back(v.upper);
+    return out;
+}
+
 bool Model::is_feasible(const std::vector<double>& values, double tolerance) const {
     if (values.size() != variables_.size()) return false;
     for (std::size_t i = 0; i < variables_.size(); ++i) {

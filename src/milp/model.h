@@ -60,6 +60,11 @@ public:
     void set_lower(VarId v, double lower);
     void set_upper(VarId v, double upper);
 
+    // All variable bounds as dense vectors, in variable-id order — the form
+    // LpContext::solve consumes (copy once, perturb per node).
+    [[nodiscard]] std::vector<double> lower_bounds() const;
+    [[nodiscard]] std::vector<double> upper_bounds() const;
+
     // True when `values` satisfies all bounds, integrality, and constraints
     // within `tolerance`.
     [[nodiscard]] bool is_feasible(const std::vector<double>& values,

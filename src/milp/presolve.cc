@@ -1,0 +1,254 @@
+#include "milp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hermes::milp {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;    // integrality slack when rounding bounds
+constexpr double kFixTol = 1e-9;    // bounds closer than this fix the variable
+constexpr double kFeasTol = 1e-7;   // row feasibility
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct WorkVar {
+    double lower = 0.0;
+    double upper = kInf;
+    VarType type = VarType::kContinuous;
+    bool fixed = false;
+    double value = 0.0;
+};
+
+struct WorkRow {
+    std::vector<Term> terms;
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+    bool alive = true;
+};
+
+}  // namespace
+
+std::vector<double> PresolveResult::postsolve(
+    const std::vector<double>& reduced_values) const {
+    std::vector<double> out(original_variables, 0.0);
+    for (std::size_t i = 0; i < original_variables; ++i) {
+        out[i] = var_map[i] >= 0
+                     ? reduced_values[static_cast<std::size_t>(var_map[i])]
+                     : fixed_value[i];
+    }
+    return out;
+}
+
+bool PresolveResult::restrict(const std::vector<double>& original_values,
+                              std::vector<double>& reduced_values,
+                              double tolerance) const {
+    reduced_values.assign(reduced.variable_count(), 0.0);
+    for (std::size_t i = 0; i < original_variables; ++i) {
+        if (var_map[i] >= 0) {
+            reduced_values[static_cast<std::size_t>(var_map[i])] = original_values[i];
+        } else if (std::abs(original_values[i] - fixed_value[i]) > tolerance) {
+            return false;
+        }
+    }
+    return true;
+}
+
+PresolveResult presolve(const Model& model) {
+    const std::size_t n = model.variable_count();
+    PresolveResult result;
+    result.original_variables = n;
+    result.original_constraints = model.constraint_count();
+    result.var_map.assign(n, -1);
+    result.fixed_value.assign(n, 0.0);
+
+    std::vector<WorkVar> vars(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        vars[j] = WorkVar{v.lower, v.upper, v.type, false, 0.0};
+    }
+    std::vector<WorkRow> rows;
+    rows.reserve(model.constraint_count());
+    std::vector<std::vector<std::int32_t>> rows_of_var(n);
+    for (const Constraint& c : model.constraints()) {
+        const auto r = static_cast<std::int32_t>(rows.size());
+        rows.push_back(WorkRow{c.expr.terms(), c.sense, c.rhs, true});
+        for (const Term& t : c.expr.terms()) {
+            rows_of_var[static_cast<std::size_t>(t.var)].push_back(r);
+        }
+    }
+
+    // Fixes variable j at `value`: substitutes into every row it appears in
+    // (rhs absorbs the contribution, the term disappears).
+    const auto fix_var = [&](std::size_t j, double value) {
+        vars[j].fixed = true;
+        vars[j].value = value;
+        for (const std::int32_t r : rows_of_var[j]) {
+            WorkRow& row = rows[static_cast<std::size_t>(r)];
+            if (!row.alive) continue;
+            for (std::size_t k = 0; k < row.terms.size(); ++k) {
+                if (static_cast<std::size_t>(row.terms[k].var) != j) continue;
+                row.rhs -= row.terms[k].coef * value;
+                row.terms.erase(row.terms.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+                break;
+            }
+        }
+    };
+
+    bool infeasible = false;
+    bool changed = true;
+    for (int round = 0; round < 50 && changed && !infeasible; ++round) {
+        changed = false;
+
+        // Bound sanity, integer rounding, and fixing.
+        for (std::size_t j = 0; j < n && !infeasible; ++j) {
+            WorkVar& v = vars[j];
+            if (v.fixed) continue;
+            if (v.type != VarType::kContinuous) {
+                const double rl = std::ceil(v.lower - kIntTol);
+                const double ru = std::floor(v.upper + kIntTol);
+                if (rl > v.lower) {
+                    v.lower = rl;
+                    changed = true;
+                }
+                if (ru < v.upper) {
+                    v.upper = ru;
+                    changed = true;
+                }
+            }
+            if (v.lower > v.upper + kFeasTol * (1.0 + std::abs(v.lower))) {
+                infeasible = true;
+                break;
+            }
+            if (std::isfinite(v.lower) && v.upper - v.lower <= kFixTol) {
+                double value = 0.5 * (v.lower + v.upper);
+                if (v.type != VarType::kContinuous) value = std::round(value);
+                fix_var(j, value);
+                changed = true;
+            }
+        }
+        if (infeasible) break;
+
+        for (WorkRow& row : rows) {
+            if (!row.alive) continue;
+            const double rtol = kFeasTol * (1.0 + std::abs(row.rhs));
+            if (row.terms.empty()) {
+                // Constant row: either vacuous or a contradiction.
+                const bool ok = row.sense == Sense::kLe   ? 0.0 <= row.rhs + rtol
+                                : row.sense == Sense::kGe ? 0.0 >= row.rhs - rtol
+                                                          : std::abs(row.rhs) <= rtol;
+                if (!ok) {
+                    infeasible = true;
+                    break;
+                }
+                row.alive = false;
+                changed = true;
+                continue;
+            }
+            if (row.terms.size() == 1) {
+                // Singleton row: fold into the variable's bounds and drop.
+                const auto j = static_cast<std::size_t>(row.terms[0].var);
+                const double a = row.terms[0].coef;
+                const double b = row.rhs / a;
+                WorkVar& v = vars[j];
+                const bool upper_side = (row.sense == Sense::kLe) == (a > 0.0);
+                if (row.sense == Sense::kEq) {
+                    v.lower = std::max(v.lower, b);
+                    v.upper = std::min(v.upper, b);
+                } else if (upper_side) {
+                    v.upper = std::min(v.upper, b);
+                } else {
+                    v.lower = std::max(v.lower, b);
+                }
+                row.alive = false;
+                changed = true;  // the bound pass re-checks sanity next round
+                continue;
+            }
+            // Activity bounds over the remaining free variables.
+            double min_act = 0.0;
+            double max_act = 0.0;
+            for (const Term& t : row.terms) {
+                const WorkVar& v = vars[static_cast<std::size_t>(t.var)];
+                const double lo = t.coef > 0.0 ? v.lower : v.upper;
+                const double hi = t.coef > 0.0 ? v.upper : v.lower;
+                min_act += std::isfinite(lo) ? t.coef * lo : -kInf;
+                max_act += std::isfinite(hi) ? t.coef * hi : kInf;
+            }
+            const bool le_side = row.sense != Sense::kGe;  // kLe or kEq
+            const bool ge_side = row.sense != Sense::kLe;  // kGe or kEq
+            if ((le_side && min_act > row.rhs + rtol) ||
+                (ge_side && max_act < row.rhs - rtol)) {
+                infeasible = true;
+                break;
+            }
+            const bool le_redundant = !le_side || max_act <= row.rhs + rtol;
+            const bool ge_redundant = !ge_side || min_act >= row.rhs - rtol;
+            if (le_redundant && ge_redundant) {
+                row.alive = false;
+                changed = true;
+            }
+        }
+    }
+
+    if (infeasible) {
+        result.infeasible = true;
+        return result;
+    }
+
+    // Rebuild the reduced model over the surviving variables and rows.
+    for (std::size_t j = 0; j < n; ++j) {
+        const Variable& orig = model.variable(static_cast<VarId>(j));
+        const WorkVar& v = vars[j];
+        if (v.fixed) {
+            result.fixed_value[j] = v.value;
+            ++result.removed_variables;
+            continue;
+        }
+        VarId id{};
+        switch (v.type) {
+            case VarType::kBinary:
+                id = result.reduced.add_binary(orig.name);
+                break;
+            case VarType::kInteger:
+                id = result.reduced.add_integer(v.lower, v.upper, orig.name);
+                break;
+            case VarType::kContinuous:
+                id = result.reduced.add_continuous(v.lower, v.upper, orig.name);
+                break;
+        }
+        result.var_map[j] = id;
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const WorkRow& row = rows[r];
+        if (!row.alive) {
+            ++result.removed_constraints;
+            continue;
+        }
+        LinExpr expr;
+        for (const Term& t : row.terms) {
+            expr.add_term(result.var_map[static_cast<std::size_t>(t.var)], t.coef);
+        }
+        result.reduced.add_constraint(std::move(expr), row.sense, row.rhs,
+                                      model.constraints()[r].name);
+    }
+    LinExpr objective;
+    objective.add_constant(model.objective().constant());
+    for (const Term& t : model.objective().terms()) {
+        const auto j = static_cast<std::size_t>(t.var);
+        if (vars[j].fixed) {
+            objective.add_constant(t.coef * vars[j].value);
+        } else {
+            objective.add_term(result.var_map[j], t.coef);
+        }
+    }
+    if (model.is_minimization()) {
+        result.reduced.minimize(std::move(objective));
+    } else {
+        result.reduced.maximize(std::move(objective));
+    }
+    return result;
+}
+
+}  // namespace hermes::milp

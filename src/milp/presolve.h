@@ -1,0 +1,59 @@
+// Lightweight MILP presolve: the cheap, always-safe reductions that run once
+// before the root relaxation of a branch-and-bound solve.
+//
+// Passes (iterated to a fixpoint):
+//   - bound sanity and integer bound rounding (ceil/floor of fractional
+//     bounds on integer variables; crossed bounds prove infeasibility),
+//   - singleton rows converted to variable bounds and dropped,
+//   - fixed variables (lower == upper) substituted into every row and the
+//     objective, then removed,
+//   - empty rows checked against their rhs and dropped,
+//   - rows proven redundant by their activity bounds dropped (and rows whose
+//     activity bounds contradict the rhs prove infeasibility).
+//
+// The P#1 formulation benefits directly: disconnected-pair `comm = 0` and
+// `y`-sum fixings cascade through the coupling rows, and every 0/1 variable
+// the reductions pin stops generating branch-and-bound work. Reductions
+// never tighten by integrality reasoning beyond single-variable rounding, so
+// the reduced model has exactly the same optimal objective and its solutions
+// postsolve to feasible originals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "milp/model.h"
+
+namespace hermes::milp {
+
+struct PresolveResult {
+    // Presolve proved the model infeasible; `reduced` is meaningless.
+    bool infeasible = false;
+    Model reduced;
+    // Original variable -> reduced index, or -1 when the variable was fixed.
+    std::vector<std::int32_t> var_map;
+    // Value of every fixed original variable (entries for mapped variables
+    // are unused).
+    std::vector<double> fixed_value;
+    std::size_t original_variables = 0;
+    std::size_t original_constraints = 0;
+    std::size_t removed_variables = 0;
+    std::size_t removed_constraints = 0;
+
+    // Lifts a reduced-space assignment back to the original variable space.
+    [[nodiscard]] std::vector<double> postsolve(
+        const std::vector<double>& reduced_values) const;
+
+    // Projects an original-space assignment onto the reduced space (used to
+    // carry a MILP warm-start solution across presolve). Returns false when
+    // the assignment contradicts a presolve fixing beyond `tolerance`.
+    [[nodiscard]] bool restrict(const std::vector<double>& original_values,
+                                std::vector<double>& reduced_values,
+                                double tolerance) const;
+};
+
+// Runs the reduction loop on `model`. Integrality information is respected
+// (integer bounds round inward; fixings keep integral values feasible).
+[[nodiscard]] PresolveResult presolve(const Model& model);
+
+}  // namespace hermes::milp

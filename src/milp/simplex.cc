@@ -3,403 +3,637 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace hermes::milp {
 
 namespace {
 
-constexpr double kEps = 1e-9;
-constexpr double kFeasTol = 1e-7;
+constexpr double kEps = 1e-9;       // reduced-cost / ratio tie tolerance
+constexpr double kFeasTol = 1e-7;   // primal bound feasibility
+constexpr double kPivTol = 1e-7;    // smallest acceptable pivot magnitude
+constexpr double kDropTol = 1e-12;  // entries below this are structural zero
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Dense tableau: `rows` x `cols` where the last column is the rhs.
-class Tableau {
-public:
-    Tableau(std::size_t rows, std::size_t cols)
-        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+constexpr std::int8_t kAtLower = 0;
+constexpr std::int8_t kAtUpper = 1;
+constexpr std::int8_t kBasic = 2;
 
-    [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-    [[nodiscard]] double at(std::size_t r, std::size_t c) const {
-        return data_[r * cols_ + c];
-    }
-    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
-    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-
-    // Gauss-Jordan pivot on (pr, pc). `scratch` receives the nonzero columns
-    // of the pivot row so every elimination touches only those entries — the
-    // P#1 matrices are sparse enough that this is the difference between
-    // O(rows·cols) and O(rows·nnz) per pivot.
-    void pivot(std::size_t pr, std::size_t pc, std::vector<double>& cost_row,
-               double& cost_rhs, std::vector<std::size_t>& scratch) {
-        double* prow = &data_[pr * cols_];
-        const double p = prow[pc];
-        scratch.clear();
-        for (std::size_t c = 0; c < cols_; ++c) {
-            if (prow[c] == 0.0) continue;  // structural zero: skip everywhere below
-            prow[c] /= p;
-            scratch.push_back(c);
-        }
-        prow[pc] = 1.0;
-        for (std::size_t r = 0; r < rows_; ++r) {
-            if (r == pr) continue;
-            double* row = &data_[r * cols_];
-            const double f = row[pc];
-            if (f == 0.0) continue;
-            if (std::abs(f) >= kEps) {
-                for (const std::size_t c : scratch) row[c] -= f * prow[c];
-            }
-            row[pc] = 0.0;  // exact unit pivot column
-        }
-        const double cf = cost_row[pc];
-        if (std::abs(cf) >= kEps) {
-            for (const std::size_t c : scratch) {
-                if (c < cols_ - 1) cost_row[c] -= cf * prow[c];
-            }
-            cost_rhs -= cf * prow[cols_ - 1];
-        }
-        cost_row[pc] = 0.0;  // exact, avoids round-off residue on the pivot column
-    }
-
-private:
-    std::size_t rows_;
-    std::size_t cols_;
-    std::vector<double> data_;
-};
-
-// Standard form with a layout that depends only on the model's shape
-// (constraint senses and which variables have finite upper bounds), never on
-// rhs signs: one slack/surplus column per inequality and one artificial
-// column per row. Bound changes between branch-and-bound nodes therefore
-// keep the column space identical, which is what makes a parent basis
-// meaningful for a child solve.
-struct StandardForm {
-    Tableau tableau{0, 0};
-    std::vector<std::size_t> basis;       // basis[r] = column basic in row r
-    std::vector<bool> usable;             // columns allowed to enter (false = artificial)
-    std::size_t structural_count = 0;     // shifted model variables
-    std::size_t artificial_begin = 0;     // first artificial column
-    std::vector<double> shift;            // lb per model variable
-    std::vector<double> costs;            // phase-2 cost per column (structural only)
-    double objective_constant = 0.0;      // folded objective constant
-    bool negate_result = false;           // true for maximization models
-};
-
-StandardForm build(const Model& model) {
-    const std::size_t n = model.variable_count();
-    StandardForm sf;
-    sf.shift.resize(n);
-    for (std::size_t j = 0; j < n; ++j) {
-        const Variable& v = model.variable(static_cast<VarId>(j));
-        if (!std::isfinite(v.lower)) {
-            throw std::invalid_argument("solve_lp: variable '" + v.name +
-                                        "' has non-finite lower bound");
-        }
-        sf.shift[j] = v.lower;
-    }
-
-    // Row list: model constraints (rhs adjusted by shifts) + upper-bound rows.
-    struct Row {
-        std::vector<Term> terms;
-        Sense sense;
-        double rhs;
-    };
-    std::vector<Row> rows;
-    rows.reserve(model.constraint_count() + n);
-    for (const Constraint& c : model.constraints()) {
-        double rhs = c.rhs;
-        for (const Term& t : c.expr.terms()) {
-            rhs -= t.coef * sf.shift[static_cast<std::size_t>(t.var)];
-        }
-        rows.push_back(Row{c.expr.terms(), c.sense, rhs});
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-        const Variable& v = model.variable(static_cast<VarId>(j));
-        if (!std::isfinite(v.upper)) continue;
-        rows.push_back(Row{{Term{static_cast<VarId>(j), 1.0}}, Sense::kLe,
-                           v.upper - v.lower});
-    }
-
-    std::size_t slack_count = 0;
-    for (const Row& r : rows) {
-        if (r.sense != Sense::kEq) ++slack_count;  // slack or surplus
-    }
-
-    const std::size_t m = rows.size();
-    sf.structural_count = n;
-    sf.artificial_begin = n + slack_count;
-    const std::size_t total_cols = n + slack_count + m + 1;
-    sf.tableau = Tableau(m, total_cols);
-    sf.basis.assign(m, 0);
-    sf.usable.assign(total_cols - 1, true);
-
-    std::size_t next_slack = n;
-    for (std::size_t r = 0; r < m; ++r) {
-        for (const Term& t : rows[r].terms) {
-            sf.tableau.at(r, static_cast<std::size_t>(t.var)) += t.coef;
-        }
-        sf.tableau.at(r, total_cols - 1) = rows[r].rhs;
-        std::size_t slack_col = total_cols;
-        if (rows[r].sense != Sense::kEq) {
-            slack_col = next_slack++;
-            sf.tableau.at(r, slack_col) = rows[r].sense == Sense::kLe ? 1.0 : -1.0;
-        }
-        if (rows[r].rhs < 0.0) {
-            // Normalize rhs >= 0 by scaling the row; the column layout is
-            // untouched, only the starting basis choice below changes.
-            for (std::size_t c = 0; c < total_cols; ++c) {
-                sf.tableau.at(r, c) = -sf.tableau.at(r, c);
-            }
-        }
-        const std::size_t art_col = sf.artificial_begin + r;
-        sf.tableau.at(r, art_col) = 1.0;
-        sf.basis[r] = (slack_col != total_cols && sf.tableau.at(r, slack_col) > 0.0)
-                          ? slack_col
-                          : art_col;
-    }
-    for (std::size_t c = sf.artificial_begin; c < total_cols - 1; ++c) {
-        sf.usable[c] = false;  // artificials may never re-enter
-    }
-
-    // Phase-2 costs (minimization sense).
-    sf.costs.assign(total_cols - 1, 0.0);
-    const double sign = model.is_minimization() ? 1.0 : -1.0;
-    sf.negate_result = !model.is_minimization();
-    sf.objective_constant = sign * model.objective().constant();
-    for (const Term& t : model.objective().terms()) {
-        sf.costs[static_cast<std::size_t>(t.var)] = sign * t.coef;
-        sf.objective_constant += sign * t.coef * sf.shift[static_cast<std::size_t>(t.var)];
-    }
-    return sf;
-}
-
-enum class PivotOutcome { kOptimal, kUnbounded, kIterationLimit };
-
-// Runs the simplex pivot loop on `sf` for the given cost row. `allow_enter`
-// masks columns that may enter (artificials always excluded).
-PivotOutcome run_simplex(StandardForm& sf, std::vector<double>& cost_row, double& cost_rhs,
-                         const std::vector<bool>& allow_enter, std::int64_t& iterations,
-                         std::int64_t max_iterations,
-                         std::chrono::steady_clock::time_point deadline,
-                         std::vector<std::size_t>& scratch) {
-    Tableau& t = sf.tableau;
-    const std::size_t rhs_col = t.cols() - 1;
-    const std::int64_t bland_threshold = 4 * static_cast<std::int64_t>(
-        t.rows() + t.cols());  // switch to Bland to kill cycles
-    std::int64_t local_iterations = 0;
-
-    while (true) {
-        if (iterations >= max_iterations) return PivotOutcome::kIterationLimit;
-        if ((local_iterations & 63) == 0 &&
-            std::chrono::steady_clock::now() > deadline) {
-            return PivotOutcome::kIterationLimit;
-        }
-
-        // Entering column.
-        std::size_t enter = rhs_col;
-        if (local_iterations < bland_threshold) {
-            double best = -kEps;
-            for (std::size_t c = 0; c < rhs_col; ++c) {
-                if (!allow_enter[c]) continue;
-                if (cost_row[c] < best) {
-                    best = cost_row[c];
-                    enter = c;
-                }
-            }
-        } else {
-            for (std::size_t c = 0; c < rhs_col; ++c) {
-                if (allow_enter[c] && cost_row[c] < -kEps) {
-                    enter = c;
-                    break;
-                }
-            }
-        }
-        if (enter == rhs_col) return PivotOutcome::kOptimal;
-
-        // Leaving row: min-ratio, ties by smallest basis column (Bland-safe).
-        std::size_t leave = t.rows();
-        double best_ratio = 0.0;
-        for (std::size_t r = 0; r < t.rows(); ++r) {
-            const double a = t.at(r, enter);
-            if (a <= kEps) continue;
-            const double ratio = t.at(r, rhs_col) / a;
-            if (leave == t.rows() || ratio < best_ratio - kEps ||
-                (ratio < best_ratio + kEps && sf.basis[r] < sf.basis[leave])) {
-                best_ratio = ratio;
-                leave = r;
-            }
-        }
-        if (leave == t.rows()) return PivotOutcome::kUnbounded;
-
-        t.pivot(leave, enter, cost_row, cost_rhs, scratch);
-        sf.basis[leave] = enter;
-        ++iterations;
-        ++local_iterations;
-    }
-}
-
-// Recomputes phase-2 reduced costs for the current basis.
-void phase2_costs(const StandardForm& sf, std::vector<double>& cost_row,
-                  double& cost_rhs) {
-    const Tableau& t = sf.tableau;
-    const std::size_t rhs_col = t.cols() - 1;
-    cost_row.assign(rhs_col, 0.0);
-    for (std::size_t c = 0; c < rhs_col; ++c) cost_row[c] = sf.costs[c];
-    cost_rhs = 0.0;
-    for (std::size_t r = 0; r < t.rows(); ++r) {
-        const double cb = sf.costs[sf.basis[r]];
-        if (std::abs(cb) < kEps) continue;
-        for (std::size_t c = 0; c < rhs_col; ++c) cost_row[c] -= cb * t.at(r, c);
-        cost_rhs -= cb * t.at(r, rhs_col);
-    }
-    for (std::size_t r = 0; r < t.rows(); ++r) cost_row[sf.basis[r]] = 0.0;
-}
-
-// Re-establishes a parent basis on a freshly built tableau by pivoting each
-// basic column into place (largest-pivot row choice for stability). Returns
-// false when the basis does not fit this standard form or turns out
-// singular — the caller then takes the cold path.
-bool refactorize(StandardForm& sf, const Basis& warm, std::int64_t& iterations,
-                 std::vector<std::size_t>& scratch) {
-    Tableau& t = sf.tableau;
-    const std::size_t rhs_col = t.cols() - 1;
-    if (warm.basic.size() != t.rows() || warm.columns != rhs_col) return false;
-    std::vector<double> no_cost(rhs_col, 0.0);
-    double no_rhs = 0.0;
-    std::vector<char> placed(t.rows(), 0);
-    // Slack/artificial basis columns first: on a fresh tableau each is still
-    // a one-entry unit vector, so pivoting it in scales one row and triggers
-    // no elimination. Only the (few) structural basic columns that follow
-    // pay for real Gauss-Jordan work.
-    std::vector<std::int32_t> order(warm.basic);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::int32_t a, std::int32_t b) {
-                         const bool slack_a =
-                             a >= 0 && static_cast<std::size_t>(a) >= sf.structural_count;
-                         const bool slack_b =
-                             b >= 0 && static_cast<std::size_t>(b) >= sf.structural_count;
-                         return slack_a > slack_b;
-                     });
-    for (const std::int32_t raw : order) {
-        if (raw < 0 || static_cast<std::size_t>(raw) >= rhs_col) return false;
-        const auto col = static_cast<std::size_t>(raw);
-        std::size_t pr = t.rows();
-        double best = kFeasTol;  // refuse near-singular pivots
-        for (std::size_t r = 0; r < t.rows(); ++r) {
-            if (placed[r]) continue;
-            const double a = std::abs(t.at(r, col));
-            if (a > best) {
-                best = a;
-                pr = r;
-            }
-        }
-        if (pr == t.rows()) return false;
-        t.pivot(pr, col, no_cost, no_rhs, scratch);
-        sf.basis[pr] = col;
-        placed[pr] = 1;
-        ++iterations;
-    }
-    return true;
-}
-
-enum class DualOutcome { kFeasible, kStalled, kIterationLimit };
-
-// Dual simplex repair: drives negative rhs entries out of the basis while
-// preserving dual feasibility of `cost_row`. Used after a warm start, where
-// a bound change leaves the parent basis optimal in reduced costs but
-// primal-infeasible in a handful of rows. Returns kStalled — meaning "give
-// up, take the cold two-phase path" — whenever the repair cannot proceed on
-// a well-conditioned pivot: a dense refactorized tableau accumulates round-off
-// fast, so this path never claims infeasibility itself (pivoting on ~1e-9
-// entries was observed to amplify rhs error past 1e20 and mint false
-// infeasibility certificates on degenerate P#1 bases). The cold path is the
-// only authority for an infeasible verdict.
-DualOutcome run_dual(StandardForm& sf, std::vector<double>& cost_row, double& cost_rhs,
-                     std::int64_t& iterations, std::int64_t max_iterations,
-                     std::chrono::steady_clock::time_point deadline,
-                     std::vector<std::size_t>& scratch) {
-    Tableau& t = sf.tableau;
-    const std::size_t rhs_col = t.cols() - 1;
-    const std::int64_t stall_cap = 4 * static_cast<std::int64_t>(t.rows() + t.cols());
-    constexpr double kRunawayRhs = 1e13;  // corrupted-tableau detector
-    std::int64_t local = 0;
-    while (true) {
-        if (iterations >= max_iterations) return DualOutcome::kIterationLimit;
-        if ((local & 63) == 0 && std::chrono::steady_clock::now() > deadline) {
-            return DualOutcome::kIterationLimit;
-        }
-        if (local >= stall_cap) return DualOutcome::kStalled;
-
-        // Leaving row: most negative rhs, ties by smallest basis column.
-        std::size_t leave = t.rows();
-        double best_b = -kFeasTol;
-        for (std::size_t r = 0; r < t.rows(); ++r) {
-            const double b = t.at(r, rhs_col);
-            if (b >= -kFeasTol) continue;
-            if (leave == t.rows() || b < best_b - kEps ||
-                (b < best_b + kEps && sf.basis[r] < sf.basis[leave])) {
-                best_b = std::min(best_b, b);
-                leave = r;
-            }
-        }
-        if (leave == t.rows()) return DualOutcome::kFeasible;
-        if (best_b < -kRunawayRhs) return DualOutcome::kStalled;
-
-        // Entering column: dual ratio test over well-conditioned negative
-        // entries of the row; ratio ties prefer the largest-magnitude pivot.
-        std::size_t enter = rhs_col;
-        double best_ratio = 0.0;
-        double best_mag = 0.0;
-        for (std::size_t c = 0; c < rhs_col; ++c) {
-            if (!sf.usable[c]) continue;
-            const double a = t.at(leave, c);
-            if (a >= -kFeasTol) continue;  // refuse near-singular dual pivots
-            const double ratio = std::max(cost_row[c], 0.0) / -a;
-            if (enter == rhs_col || ratio < best_ratio - kEps ||
-                (std::abs(ratio - best_ratio) <= kEps && -a > best_mag)) {
-                best_ratio = ratio;
-                best_mag = -a;
-                enter = c;
-            }
-        }
-        if (enter == rhs_col) return DualOutcome::kStalled;
-
-        t.pivot(leave, enter, cost_row, cost_rhs, scratch);
-        sf.basis[leave] = enter;
-        ++iterations;
-        ++local;
-    }
-}
-
-// Constraint-only feasibility (bounds and rows, no integrality): the final
-// gate on a warm-started solve. A repair that drifted numerically can reach
-// "optimal" on a tableau that no longer represents the model; the result is
-// only trusted when the extracted point satisfies the model directly.
-bool satisfies_constraints(const Model& model, const std::vector<double>& values) {
-    constexpr double kGuardTol = 1e-6;
-    for (std::size_t j = 0; j < model.variable_count(); ++j) {
-        const Variable& v = model.variable(static_cast<VarId>(j));
-        const double tol = kGuardTol * (1.0 + std::abs(values[j]));
-        if (values[j] < v.lower - tol || values[j] > v.upper + tol) return false;
-    }
-    for (const Constraint& c : model.constraints()) {
-        const double lhs = c.expr.evaluate(values);
-        const double tol = kGuardTol * (1.0 + std::abs(c.rhs));
-        switch (c.sense) {
-            case Sense::kLe:
-                if (lhs > c.rhs + tol) return false;
-                break;
-            case Sense::kGe:
-                if (lhs < c.rhs - tol) return false;
-                break;
-            case Sense::kEq:
-                if (std::abs(lhs - c.rhs) > tol) return false;
-                break;
-        }
-    }
-    return true;
+[[nodiscard]] std::chrono::steady_clock::time_point make_deadline(double max_seconds) {
+    if (max_seconds >= 1e17) return std::chrono::steady_clock::time_point::max();
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(max_seconds));
 }
 
 }  // namespace
+
+// One solve attempt-pair (warm then cold) over an LpContext. All state lives
+// in the caller-supplied workspace so branch-and-bound workers reuse their
+// eta pools across thousands of node re-solves.
+class RevisedSimplex {
+public:
+    RevisedSimplex(const LpContext& ctx, std::span<const double> lower,
+                   std::span<const double> upper, const LpOptions& options,
+                   LpWorkspace& ws)
+        : ctx_(ctx),
+          ws_(ws),
+          options_(options),
+          n_(ctx.structurals()),
+          m_(ctx.rows()),
+          total_(ctx.structurals() + ctx.rows()),
+          deadline_(make_deadline(options.max_seconds)) {
+        ws_.lower.assign(total_, 0.0);
+        ws_.upper.assign(total_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (!std::isfinite(lower[j])) {
+                throw std::invalid_argument("solve_lp: variable " + std::to_string(j) +
+                                            " has non-finite lower bound");
+            }
+            ws_.lower[j] = lower[j];
+            ws_.upper[j] = upper[j];
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            switch (ctx_.row_sense_[i]) {
+                case Sense::kLe:
+                    ws_.lower[n_ + i] = 0.0;
+                    ws_.upper[n_ + i] = kInf;
+                    break;
+                case Sense::kGe:
+                    ws_.lower[n_ + i] = -kInf;
+                    ws_.upper[n_ + i] = 0.0;
+                    break;
+                case Sense::kEq:
+                    ws_.lower[n_ + i] = 0.0;
+                    ws_.upper[n_ + i] = 0.0;
+                    break;
+            }
+        }
+    }
+
+    [[nodiscard]] LpResult run() {
+        LpResult result;
+        // Crossed bounds (branching can produce lower > upper) make the box
+        // itself empty. Pricing skips negative-range variables as "fixed", so
+        // this must be rejected up front or the solve quietly pins the
+        // variable at its lower bound and reports optimal.
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.lower[j] >
+                ws_.upper[j] + kFeasTol * (1.0 + std::abs(ws_.upper[j]))) {
+                result.status = LpStatus::kInfeasible;
+                return result;
+            }
+        }
+        const bool have_warm =
+            options_.warm_basis != nullptr && !options_.warm_basis->empty();
+        for (int attempt = have_warm ? 0 : 1; attempt < 2; ++attempt) {
+            const bool warm = attempt == 0;
+            if (warm) {
+                if (!load_warm_basis(*options_.warm_basis)) continue;
+            } else {
+                load_cold_basis();
+            }
+            if (!factorize(result.iterations)) {
+                if (warm) continue;
+                result.status = LpStatus::kIterationLimit;  // numerical give-up
+                return result;
+            }
+            compute_basic_solution();
+
+            // A reloaded basis that does not re-optimize within a small pivot
+            // budget is abandoned for the cold path: phase-1 repair from a
+            // badly drifted parent basis can cost far more than solving from
+            // the logical basis, and the cold attempt is always available.
+            const std::int64_t limit =
+                warm ? std::min(options_.max_iterations,
+                                result.iterations + warm_pivot_budget())
+                     : options_.max_iterations;
+            const Verdict v = iterate(result.iterations, limit);
+            if (v == Verdict::kIterationLimit) {
+                if (warm && result.iterations < options_.max_iterations &&
+                    std::chrono::steady_clock::now() <= deadline_) {
+                    continue;  // warm budget exhausted; redo cold
+                }
+                result.status = LpStatus::kIterationLimit;
+                return result;
+            }
+            if (warm && v != Verdict::kOptimal) continue;  // cold path decides
+            if (v == Verdict::kInfeasible) {
+                result.status = LpStatus::kInfeasible;
+                return result;
+            }
+            if (v == Verdict::kUnbounded) {
+                result.status = LpStatus::kUnbounded;
+                return result;
+            }
+            if (v == Verdict::kStall) {  // cold attempt hit a numerical wall
+                result.status = LpStatus::kIterationLimit;
+                return result;
+            }
+
+            extract(result);
+            if (warm && !verify_point(result.values)) {
+                result.values.clear();
+                continue;  // drifted warm solve; redo cold
+            }
+            result.status = LpStatus::kOptimal;
+            export_basis(result.basis);
+            return result;
+        }
+        result.status = LpStatus::kIterationLimit;  // unreachable
+        return result;
+    }
+
+private:
+    enum class Verdict { kOptimal, kInfeasible, kUnbounded, kIterationLimit, kStall };
+
+    // ---- eta file -------------------------------------------------------
+
+    void clear_etas() {
+        ws_.eta_start.assign(1, 0);
+        ws_.eta_pivot_row.clear();
+        ws_.eta_pivot.clear();
+        ws_.eta_row.clear();
+        ws_.eta_val.clear();
+    }
+
+    // Appends the eta derived from the FTRANed column `d` pivoting on row r.
+    void append_eta(const std::vector<double>& d, std::size_t r) {
+        ws_.eta_pivot_row.push_back(static_cast<std::int32_t>(r));
+        ws_.eta_pivot.push_back(d[r]);
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (i == r || std::abs(d[i]) <= kDropTol) continue;
+            ws_.eta_row.push_back(static_cast<std::int32_t>(i));
+            ws_.eta_val.push_back(d[i]);
+        }
+        ws_.eta_start.push_back(static_cast<std::int32_t>(ws_.eta_row.size()));
+    }
+
+    // v <- B^-1 v, applying etas oldest first.
+    void ftran(std::vector<double>& v) const {
+        const std::size_t k = ws_.eta_pivot_row.size();
+        for (std::size_t e = 0; e < k; ++e) {
+            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
+            double t = v[r];
+            if (t == 0.0) continue;
+            t /= ws_.eta_pivot[e];
+            v[r] = t;
+            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
+            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                v[static_cast<std::size_t>(ws_.eta_row[i])] -= ws_.eta_val[i] * t;
+            }
+        }
+    }
+
+    // y <- B^-T y, applying etas newest first (only the pivot component of y
+    // changes per eta, so BTRAN is a gather instead of a scatter).
+    void btran(std::vector<double>& y) const {
+        for (std::size_t e = ws_.eta_pivot_row.size(); e-- > 0;) {
+            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
+            double acc = y[r];
+            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
+            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                acc -= ws_.eta_val[i] * y[static_cast<std::size_t>(ws_.eta_row[i])];
+            }
+            y[r] = acc / ws_.eta_pivot[e];
+        }
+    }
+
+    // Writes column j of the standard-form matrix into the dense scratch.
+    void load_column(std::size_t j, std::vector<double>& dense) const {
+        std::fill(dense.begin(), dense.end(), 0.0);
+        if (j < n_) {
+            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                dense[static_cast<std::size_t>(ctx_.row_idx_[i])] = ctx_.val_[i];
+            }
+        } else {
+            dense[j - n_] = 1.0;
+        }
+    }
+
+    [[nodiscard]] double dot_column(std::size_t j, const std::vector<double>& y) const {
+        if (j >= n_) return y[j - n_];
+        double acc = 0.0;
+        const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
+        const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+        for (std::size_t i = begin; i < end; ++i) {
+            acc += ctx_.val_[i] * y[static_cast<std::size_t>(ctx_.row_idx_[i])];
+        }
+        return acc;
+    }
+
+    // ---- basis management ----------------------------------------------
+
+    void load_cold_basis() {
+        ws_.basic.resize(m_);
+        ws_.vstat.assign(total_, kAtLower);
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (!std::isfinite(ws_.lower[j])) ws_.vstat[j] = kAtUpper;
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            ws_.basic[i] = static_cast<std::int32_t>(n_ + i);
+            ws_.vstat[n_ + i] = kBasic;
+        }
+    }
+
+    [[nodiscard]] bool load_warm_basis(const Basis& warm) {
+        if (warm.basic.size() != m_ || warm.columns != total_) return false;
+        ws_.vstat.assign(total_, kAtLower);
+        if (warm.at_upper.size() == total_) {
+            for (std::size_t j = 0; j < total_; ++j) {
+                if (warm.at_upper[j]) ws_.vstat[j] = kAtUpper;
+            }
+        }
+        // A nonbasic variable must rest at a finite bound.
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kAtLower && !std::isfinite(ws_.lower[j])) {
+                if (!std::isfinite(ws_.upper[j])) return false;
+                ws_.vstat[j] = kAtUpper;
+            } else if (ws_.vstat[j] == kAtUpper && !std::isfinite(ws_.upper[j])) {
+                ws_.vstat[j] = kAtLower;  // lower is finite for structurals
+                if (!std::isfinite(ws_.lower[j])) return false;
+            }
+        }
+        ws_.basic.resize(m_);
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::int32_t v = warm.basic[i];
+            if (v < 0 || static_cast<std::size_t>(v) >= total_) return false;
+            ws_.basic[i] = v;
+            ws_.vstat[static_cast<std::size_t>(v)] = kBasic;
+        }
+        return true;
+    }
+
+    // Rebuilds the eta file for the current basic set: logical columns first
+    // (each is a unit vector, pivots on its own row, adds no eta), then the
+    // structural basics by largest-magnitude remaining row. Renumbers
+    // ws_.basic row assignments; returns false on duplicates/singularity.
+    [[nodiscard]] bool factorize(std::int64_t& iterations) {
+        clear_etas();
+        ws_.pos.assign(total_, -1);
+        std::vector<std::int32_t> new_basic(m_, -1);
+        std::vector<std::int32_t> structural;
+        structural.reserve(m_);
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::int32_t v = ws_.basic[i];
+            if (v < 0 || static_cast<std::size_t>(v) >= total_) return false;
+            if (ws_.pos[static_cast<std::size_t>(v)] != -1) return false;  // duplicate
+            ws_.pos[static_cast<std::size_t>(v)] = 0;  // provisional claim marker
+            if (static_cast<std::size_t>(v) >= n_) {
+                const std::size_t row = static_cast<std::size_t>(v) - n_;
+                if (new_basic[row] != -1) return false;
+                new_basic[row] = v;
+            } else {
+                structural.push_back(v);
+            }
+        }
+        ws_.col.assign(m_, 0.0);
+        for (const std::int32_t v : structural) {
+            load_column(static_cast<std::size_t>(v), ws_.col);
+            ftran(ws_.col);
+            std::size_t pr = m_;
+            double best = kPivTol;
+            for (std::size_t r = 0; r < m_; ++r) {
+                if (new_basic[r] != -1) continue;
+                const double a = std::abs(ws_.col[r]);
+                if (a > best) {
+                    best = a;
+                    pr = r;
+                }
+            }
+            if (pr == m_) return false;  // dependent / near-singular column
+            append_eta(ws_.col, pr);
+            new_basic[pr] = v;
+            ++iterations;
+        }
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (new_basic[r] == -1) return false;  // row left unpivoted
+        }
+        ws_.basic = std::move(new_basic);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.pos[static_cast<std::size_t>(ws_.basic[r])] =
+                static_cast<std::int32_t>(r);
+        }
+        updates_since_factor_ = 0;
+        return true;
+    }
+
+    // Recomputes x from scratch: nonbasic at their bound, basics via FTRAN of
+    // the bound-adjusted rhs. Wipes all incremental round-off.
+    void compute_basic_solution() {
+        ws_.x.assign(total_, 0.0);
+        ws_.rhs_work = ctx_.rhs_;
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            const double xj = ws_.vstat[j] == kAtUpper ? ws_.upper[j] : ws_.lower[j];
+            ws_.x[j] = xj;
+            if (xj == 0.0) continue;
+            if (j < n_) {
+                const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
+                const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+                for (std::size_t i = begin; i < end; ++i) {
+                    ws_.rhs_work[static_cast<std::size_t>(ctx_.row_idx_[i])] -=
+                        ctx_.val_[i] * xj;
+                }
+            } else {
+                ws_.rhs_work[j - n_] -= xj;
+            }
+        }
+        ftran(ws_.rhs_work);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.x[static_cast<std::size_t>(ws_.basic[r])] = ws_.rhs_work[r];
+        }
+    }
+
+    // ---- the pivot loop -------------------------------------------------
+
+    [[nodiscard]] bool basic_infeasible() const {
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
+                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] double phase_cost(std::size_t v, int phase) const {
+        if (phase == 2) return v < n_ ? ctx_.obj_[v] : 0.0;
+        // Phase 1: gradient of the sum of primal infeasibilities. Only basic
+        // variables can be out of bounds; nonbasic costs are zero.
+        const double xv = ws_.x[v];
+        if (xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) return 1.0;
+        if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v]))) return -1.0;
+        return 0.0;
+    }
+
+    // One BTRAN + one sparse pass over all columns: picks the entering
+    // variable (Dantzig most-improving, or Bland first-eligible once the
+    // degenerate-run guard tripped). Returns total_ when none is eligible.
+    [[nodiscard]] std::size_t price(int phase, bool bland) {
+        ws_.y.assign(m_, 0.0);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.y[r] = phase_cost(static_cast<std::size_t>(ws_.basic[r]), phase);
+        }
+        btran(ws_.y);
+        std::size_t enter = total_;
+        double best_score = kEps;
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;  // fixed
+            const double cost = phase == 2 && j < n_ ? ctx_.obj_[j] : 0.0;
+            const double d = cost - dot_column(j, ws_.y);
+            const double score = ws_.vstat[j] == kAtLower ? -d : d;
+            if (score <= kEps) continue;
+            if (bland) return j;  // smallest eligible index (ascending scan)
+            if (score > best_score) {
+                best_score = score;
+                enter = j;
+            }
+        }
+        return enter;
+    }
+
+    struct Ratio {
+        double step = kInf;
+        std::size_t leave_row = std::numeric_limits<std::size_t>::max();
+        bool leave_at_upper = false;
+        bool flip = false;
+    };
+
+    // Bounded-variable ratio test on the FTRANed entering column in ws_.col.
+    // In phase 1 an infeasible basic variable blocks only at the bound it is
+    // returning to (the first kink of the piecewise phase-1 objective), and
+    // never blocks while moving further out; feasible basics block at their
+    // bounds in both phases.
+    [[nodiscard]] Ratio ratio_test(std::size_t enter, double dir, int phase,
+                                   bool bland) const {
+        Ratio best;
+        double best_pivot = 0.0;
+        for (std::size_t r = 0; r < m_; ++r) {
+            const double a = ws_.col[r];
+            if (std::abs(a) <= kPivTol) continue;
+            const double w = dir * a;  // x_B[r] moves by -w per unit step
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            const double l = ws_.lower[v];
+            const double u = ws_.upper[v];
+            const double ltol = kFeasTol * (1.0 + std::abs(l));
+            const double utol = kFeasTol * (1.0 + std::abs(u));
+            double t = kInf;
+            bool at_upper = false;
+            if (phase == 1 && xv > u + utol) {
+                if (w <= 0.0) continue;  // moving further above: no kink
+                t = (xv - u) / w;
+                at_upper = true;
+            } else if (phase == 1 && xv < l - ltol) {
+                if (w >= 0.0) continue;
+                t = (xv - l) / w;
+                at_upper = false;
+            } else if (w > 0.0) {
+                if (!std::isfinite(l)) continue;
+                t = (xv - l) / w;
+                at_upper = false;
+            } else {
+                if (!std::isfinite(u)) continue;
+                t = (xv - u) / w;
+                at_upper = true;
+            }
+            if (t < 0.0) t = 0.0;  // degenerate beyond tolerance: zero step
+            const bool first = best.leave_row == std::numeric_limits<std::size_t>::max();
+            bool take = false;
+            if (first || t < best.step - kEps) {
+                take = true;
+            } else if (t < best.step + kEps) {
+                take = bland ? ws_.basic[r] <
+                                   ws_.basic[static_cast<std::size_t>(best.leave_row)]
+                             : std::abs(a) > best_pivot;
+            }
+            if (take) {
+                best.step = std::min(first ? t : best.step, t);
+                best.leave_row = r;
+                best.leave_at_upper = at_upper;
+                best_pivot = std::abs(a);
+            }
+        }
+        // The entering variable's own opposite bound: a flip step changes no
+        // basis and appends no eta, so prefer it on ties.
+        const double range = ws_.upper[enter] - ws_.lower[enter];
+        if (std::isfinite(range) && range <= best.step) {
+            best.step = range;
+            best.flip = true;
+        }
+        return best;
+    }
+
+    // Pivot allowance for a warm attempt before it is abandoned: generous
+    // enough for a short phase-1 repair plus re-optimization after one
+    // branching bound change, far below a typical from-scratch solve.
+    [[nodiscard]] std::int64_t warm_pivot_budget() const {
+        return 64 + 2 * static_cast<std::int64_t>(total_ + m_);
+    }
+
+    [[nodiscard]] Verdict iterate(std::int64_t& iterations, std::int64_t limit) {
+        std::int64_t local = 0;
+        std::int64_t degenerate_run = 0;
+        const std::int64_t bland_threshold =
+            64 + 4 * static_cast<std::int64_t>(total_ + m_);
+        bool bland = false;
+        int confirm_passes = 0;
+
+        while (true) {
+            if (iterations >= limit) return Verdict::kIterationLimit;
+            if ((local++ & 63) == 0 && std::chrono::steady_clock::now() > deadline_) {
+                return Verdict::kIterationLimit;
+            }
+
+            const int phase = basic_infeasible() ? 1 : 2;
+            const std::size_t enter = price(phase, bland);
+            if (enter == total_) {
+                // Never trust a verdict reached on a stale eta file: rebuild,
+                // recompute, and re-price once before declaring.
+                if (updates_since_factor_ > 0 && confirm_passes < 2) {
+                    ++confirm_passes;
+                    if (!factorize(iterations)) return Verdict::kStall;
+                    compute_basic_solution();
+                    continue;
+                }
+                return phase == 1 ? Verdict::kInfeasible : Verdict::kOptimal;
+            }
+            confirm_passes = 0;
+
+            const double dir = ws_.vstat[enter] == kAtLower ? 1.0 : -1.0;
+            load_column(enter, ws_.col);
+            ftran(ws_.col);
+            const Ratio ratio = ratio_test(enter, dir, phase, bland);
+            if (!std::isfinite(ratio.step)) {
+                // Phase 1 minimizes a function bounded below by zero, so an
+                // unblocked ray there is a numerical artifact, not a proof.
+                return phase == 2 ? Verdict::kUnbounded : Verdict::kStall;
+            }
+
+            const double t = ratio.step;
+            if (t > 0.0) {
+                for (std::size_t r = 0; r < m_; ++r) {
+                    if (ws_.col[r] == 0.0) continue;
+                    ws_.x[static_cast<std::size_t>(ws_.basic[r])] -=
+                        dir * ws_.col[r] * t;
+                }
+            }
+            if (ratio.flip) {
+                ws_.x[enter] =
+                    ws_.vstat[enter] == kAtLower ? ws_.upper[enter] : ws_.lower[enter];
+                ws_.vstat[enter] = ws_.vstat[enter] == kAtLower ? kAtUpper : kAtLower;
+            } else {
+                ws_.x[enter] = ws_.vstat[enter] == kAtLower ? ws_.lower[enter] + t
+                                                            : ws_.upper[enter] - t;
+                const auto leave = static_cast<std::size_t>(ws_.basic[ratio.leave_row]);
+                ws_.x[leave] = ratio.leave_at_upper ? ws_.upper[leave] : ws_.lower[leave];
+                ws_.vstat[leave] = ratio.leave_at_upper ? kAtUpper : kAtLower;
+                ws_.vstat[enter] = kBasic;
+                ws_.basic[ratio.leave_row] = static_cast<std::int32_t>(enter);
+                ws_.pos[leave] = -1;
+                ws_.pos[enter] = static_cast<std::int32_t>(ratio.leave_row);
+                append_eta(ws_.col, ratio.leave_row);
+            }
+            ++updates_since_factor_;  // flips also update x incrementally
+            ++iterations;
+            degenerate_run = t > kEps ? 0 : degenerate_run + 1;
+            if (degenerate_run > bland_threshold) bland = true;
+
+            if (ws_.eta_pivot_row.size() >=
+                static_cast<std::size_t>(std::max(1, options_.refactor_interval))) {
+                if (!factorize(iterations)) return Verdict::kStall;
+                compute_basic_solution();
+            }
+        }
+    }
+
+    // ---- solution handling ---------------------------------------------
+
+    void extract(LpResult& result) const {
+        result.values.assign(n_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            double xj = ws_.x[j];
+            // Snap round-off just outside a bound back onto it; larger
+            // violations are left visible for the verification gate.
+            const double tol = kFeasTol * (1.0 + std::abs(xj));
+            if (xj < ws_.lower[j] && xj > ws_.lower[j] - tol) {
+                xj = ws_.lower[j];
+            } else if (xj > ws_.upper[j] && xj < ws_.upper[j] + tol) {
+                xj = ws_.upper[j];
+            }
+            result.values[j] = xj;
+        }
+        double obj = ctx_.obj_constant_;
+        for (std::size_t j = 0; j < n_; ++j) obj += ctx_.obj_[j] * result.values[j];
+        result.objective = ctx_.sense_sign_ * obj;
+    }
+
+    // Constraint-only gate on warm results: row activities recomputed from
+    // the CSC matrix directly, independent of any solver state.
+    [[nodiscard]] bool verify_point(const std::vector<double>& values) const {
+        constexpr double kGuardTol = 1e-6;
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double tol = kGuardTol * (1.0 + std::abs(values[j]));
+            if (values[j] < ws_.lower[j] - tol || values[j] > ws_.upper[j] + tol) {
+                return false;
+            }
+        }
+        std::vector<double> activity(m_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double xj = values[j];
+            if (xj == 0.0) continue;
+            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                activity[static_cast<std::size_t>(ctx_.row_idx_[i])] +=
+                    ctx_.val_[i] * xj;
+            }
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            const double rhs = ctx_.rhs_[i];
+            const double tol = kGuardTol * (1.0 + std::abs(rhs));
+            switch (ctx_.row_sense_[i]) {
+                case Sense::kLe:
+                    if (activity[i] > rhs + tol) return false;
+                    break;
+                case Sense::kGe:
+                    if (activity[i] < rhs - tol) return false;
+                    break;
+                case Sense::kEq:
+                    if (std::abs(activity[i] - rhs) > tol) return false;
+                    break;
+            }
+        }
+        return true;
+    }
+
+    void export_basis(Basis& out) const {
+        out.basic.assign(ws_.basic.begin(), ws_.basic.end());
+        out.at_upper.assign(total_, 0);
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kAtUpper) out.at_upper[j] = 1;
+        }
+        out.columns = static_cast<std::uint32_t>(total_);
+    }
+
+    const LpContext& ctx_;
+    LpWorkspace& ws_;
+    const LpOptions& options_;
+    const std::size_t n_;
+    const std::size_t m_;
+    const std::size_t total_;
+    const std::chrono::steady_clock::time_point deadline_;
+    std::int64_t updates_since_factor_ = 0;
+};
 
 const char* to_string(LpStatus s) noexcept {
     switch (s) {
@@ -411,129 +645,65 @@ const char* to_string(LpStatus s) noexcept {
     return "?";
 }
 
+LpContext::LpContext(const Model& model) {
+    const std::size_t n = model.variable_count();
+    const std::size_t m = model.constraint_count();
+    row_sense_.reserve(m);
+    rhs_.reserve(m);
+    std::vector<std::int64_t> count(n + 1, 0);
+    for (const Constraint& c : model.constraints()) {
+        row_sense_.push_back(c.sense);
+        rhs_.push_back(c.rhs);
+        for (const Term& t : c.expr.terms()) ++count[static_cast<std::size_t>(t.var) + 1];
+    }
+    col_start_.assign(n + 1, 0);
+    for (std::size_t j = 0; j < n; ++j) col_start_[j + 1] = col_start_[j] + count[j + 1];
+    row_idx_.resize(static_cast<std::size_t>(col_start_[n]));
+    val_.resize(static_cast<std::size_t>(col_start_[n]));
+    std::vector<std::int64_t> cursor(col_start_.begin(), col_start_.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (const Term& t : model.constraints()[i].expr.terms()) {
+            const auto j = static_cast<std::size_t>(t.var);
+            const auto slot = static_cast<std::size_t>(cursor[j]++);
+            row_idx_[slot] = static_cast<std::int32_t>(i);
+            val_[slot] = t.coef;
+        }
+    }
+
+    sense_sign_ = model.is_minimization() ? 1.0 : -1.0;
+    obj_.assign(n, 0.0);
+    obj_constant_ = sense_sign_ * model.objective().constant();
+    for (const Term& t : model.objective().terms()) {
+        obj_[static_cast<std::size_t>(t.var)] = sense_sign_ * t.coef;
+    }
+
+    model_lower_ = model.lower_bounds();
+    model_upper_ = model.upper_bounds();
+}
+
+LpResult LpContext::solve(std::span<const double> lower, std::span<const double> upper,
+                          const LpOptions& options, LpWorkspace* workspace) const {
+    LpWorkspace local;
+    RevisedSimplex simplex(*this, lower, upper, options,
+                           workspace != nullptr ? *workspace : local);
+    return simplex.run();
+}
+
 LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_seconds,
                   const Basis* warm_basis) {
-    const auto deadline =
-        max_seconds >= 1e17
-            ? std::chrono::steady_clock::time_point::max()
-            : std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(max_seconds));
-    LpResult result;
-    std::vector<std::size_t> scratch;
-    std::vector<double> cost_row;
-
-    // Two attempts at most: a warm-started dual repair first (when a parent
-    // basis is supplied), then the authoritative cold two-phase solve. The
-    // warm attempt may only return kOptimal, and only after its solution
-    // verifies against the model; every other outcome — refactorization
-    // failure, repair stall, or a point that fails the constraint gate —
-    // falls through to the cold attempt.
-    const bool have_warm = warm_basis != nullptr && !warm_basis->empty();
-    for (int attempt = have_warm ? 0 : 1; attempt < 2; ++attempt) {
-        const bool warm_attempt = attempt == 0;
-        StandardForm sf = build(model);
-        Tableau& t = sf.tableau;
-        const std::size_t rhs_col = t.cols() - 1;
-        scratch.reserve(t.cols());
-        double cost_rhs = 0.0;
-
-        if (warm_attempt) {
-            if (!refactorize(sf, *warm_basis, result.iterations, scratch)) continue;
-            phase2_costs(sf, cost_row, cost_rhs);
-            const DualOutcome repair = run_dual(sf, cost_row, cost_rhs, result.iterations,
-                                                max_iterations, deadline, scratch);
-            if (repair == DualOutcome::kIterationLimit) {
-                result.status = LpStatus::kIterationLimit;
-                return result;
-            }
-            if (repair == DualOutcome::kStalled) continue;  // cold path decides
-        } else {
-            // ---- Phase 1: minimize the sum of artificials. ----
-            cost_row.assign(rhs_col, 0.0);
-            cost_rhs = 0.0;
-            // Reduced costs for cost vector e_artificials with artificial basis:
-            // subtract each artificial-basic row from the cost row.
-            for (std::size_t r = 0; r < t.rows(); ++r) {
-                if (sf.basis[r] < sf.artificial_begin) continue;
-                for (std::size_t c = 0; c < rhs_col; ++c) cost_row[c] -= t.at(r, c);
-                cost_rhs -= t.at(r, rhs_col);
-            }
-            for (std::size_t c = sf.artificial_begin; c < rhs_col; ++c) cost_row[c] = 0.0;
-
-            const PivotOutcome phase1 =
-                run_simplex(sf, cost_row, cost_rhs, sf.usable, result.iterations,
-                            max_iterations, deadline, scratch);
-            if (phase1 == PivotOutcome::kIterationLimit) {
-                result.status = LpStatus::kIterationLimit;
-                return result;
-            }
-            if (-cost_rhs > kFeasTol) {  // phase-1 objective = -cost_rhs after pivots
-                result.status = LpStatus::kInfeasible;
-                return result;
-            }
-
-            // Drive any residual basic artificials out of the basis.
-            for (std::size_t r = 0; r < t.rows(); ++r) {
-                if (sf.basis[r] < sf.artificial_begin) continue;
-                std::size_t enter = rhs_col;
-                for (std::size_t c = 0; c < sf.artificial_begin; ++c) {
-                    if (std::abs(t.at(r, c)) > kEps) {
-                        enter = c;
-                        break;
-                    }
-                }
-                if (enter == rhs_col) continue;  // redundant row; harmless to keep
-                t.pivot(r, enter, cost_row, cost_rhs, scratch);
-                sf.basis[r] = enter;
-            }
-
-            phase2_costs(sf, cost_row, cost_rhs);
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        if (!std::isfinite(v.lower)) {
+            throw std::invalid_argument("solve_lp: variable '" + v.name +
+                                        "' has non-finite lower bound");
         }
-
-        // ---- Phase 2: original objective (also the warm-start polish). ----
-        const PivotOutcome phase2 = run_simplex(sf, cost_row, cost_rhs, sf.usable,
-                                                result.iterations, max_iterations,
-                                                deadline, scratch);
-        if (phase2 == PivotOutcome::kIterationLimit) {
-            result.status = LpStatus::kIterationLimit;
-            return result;
-        }
-        if (phase2 == PivotOutcome::kUnbounded) {
-            if (warm_attempt) continue;  // cold path decides
-            result.status = LpStatus::kUnbounded;
-            return result;
-        }
-
-        // Extract solution: basic shifted vars read from rhs, others at 0.
-        result.values.assign(model.variable_count(), 0.0);
-        for (std::size_t r = 0; r < t.rows(); ++r) {
-            if (sf.basis[r] < sf.structural_count) {
-                result.values[sf.basis[r]] = t.at(r, rhs_col);
-            }
-        }
-        for (std::size_t j = 0; j < model.variable_count(); ++j) {
-            result.values[j] += sf.shift[j];
-        }
-        if (warm_attempt && !satisfies_constraints(model, result.values)) {
-            result.values.clear();
-            continue;  // drifted repair; redo cold
-        }
-        // Objective evaluated at the extracted point: immune to the round-off
-        // that cost_rhs accumulates over the pivot sequence.
-        result.objective = model.objective_value(result.values);
-        result.status = LpStatus::kOptimal;
-
-        result.basis.basic.reserve(t.rows());
-        for (std::size_t r = 0; r < t.rows(); ++r) {
-            result.basis.basic.push_back(static_cast<std::int32_t>(sf.basis[r]));
-        }
-        result.basis.columns = static_cast<std::uint32_t>(rhs_col);
-        return result;
     }
-    // Unreachable: the cold attempt always returns.
-    result.status = LpStatus::kIterationLimit;
-    return result;
+    const LpContext ctx(model);
+    LpOptions options;
+    options.max_iterations = max_iterations;
+    options.max_seconds = max_seconds;
+    options.warm_basis = warm_basis;
+    return ctx.solve(ctx.model_lower(), ctx.model_upper(), options);
 }
 
 }  // namespace hermes::milp

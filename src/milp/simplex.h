@@ -1,29 +1,46 @@
-// LP solver: two-phase primal simplex on a dense tableau, with optional
-// warm starts from an exported basis.
+// LP solver: revised primal simplex over a compressed-sparse-column matrix,
+// with a product-form (eta-file) basis inverse and native bounded variables.
 //
-// Handles the general bounded-variable models produced by Model by shifting
-// every variable to its (finite) lower bound and emitting explicit upper-
-// bound rows. Dantzig pricing with a Bland's-rule fallback guarantees
-// termination; the iteration limit is a final safety net. The pivot kernel
-// skips structurally-zero entries of the pivot row, which on the very sparse
-// P#1 matrices cuts each pivot from O(rows·cols) to O(rows·nnz).
+// The constraint matrix is converted once into an immutable LpContext: CSC
+// arrays for the structural columns, one implicit logical (slack/surplus)
+// column per row, and the objective folded to minimization sense. Variable
+// bounds are NOT part of the context — they are passed to each solve — so a
+// branch-and-bound search builds the context once and re-solves thousands of
+// node LPs against the same matrix with per-node bound vectors.
 //
-// Warm starts serve branch and bound: an optimal solve exports its final
-// basis (solve_lp fills LpResult::basis); a later solve over the same model
-// with tightened bounds can start from that basis. The solver refactorizes
-// the tableau around the given basis, repairs primal infeasibility with dual
-// simplex pivots (the reduced costs stay dual-feasible across bound changes
-// because neither the constraint matrix nor the objective moved), and falls
-// back to the cold two-phase path when the basis no longer matches the
-// standard form or the repair stalls numerically.
+// The basis inverse is kept as an eta file (product form): a factorization
+// from scratch places logical columns first (zero fill) and pivots the few
+// structural basic columns in by largest-magnitude row, then every simplex
+// pivot appends one eta. The file is rebuilt — and the basic solution
+// recomputed from scratch, wiping accumulated round-off — whenever it grows
+// past LpOptions::refactor_interval etas, when a pivot falls below the
+// acceptance tolerance, and once more before any terminal verdict is
+// trusted. Pricing is Dantzig (most-negative reduced cost over a single
+// BTRAN + one sparse pass), degrading to Bland's rule after a run of
+// degenerate steps so cycling cannot occur. Bounds are handled natively:
+// nonbasic variables sit at either bound, the ratio test includes
+// bound-flip steps that change no basis, and 0/1 variables therefore cost
+// nothing beyond their column — no explicit upper-bound rows.
 //
-// This is the substrate the paper outsources to Gurobi. It is exact on the
-// problem sizes where the paper reports optimal results, and — like any LP
-// core inside branch and bound — the scaling wall it hits on network-scale
-// instances is precisely the behaviour Exp#3 demonstrates for ILP solvers.
+// Infeasibility is resolved by a phase-1 that minimizes the sum of primal
+// infeasibilities from ANY starting basis (costs ±1 on out-of-bound basic
+// variables, recomputed per iteration; blocking at the first bound kink
+// keeps the piecewise objective exact). Because phase 1 does not need
+// artificial columns, a warm start is simply: load the parent basis, rebuild
+// the eta file, recompute the basic solution, and let phase 1 repair the
+// handful of rows the branching bound change disturbed. A warm attempt may
+// only return kOptimal, and only after the extracted point verifies against
+// the constraints; every other outcome falls through to the authoritative
+// cold solve from the all-logical basis, so the result is identical whether
+// or not a basis was supplied.
+//
+// The seed dense-tableau kernel this replaces is retained verbatim in
+// milp/simplex_reference.h (namespace milp::reference) and is held
+// equivalent by tests/simplex_equivalence_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "milp/model.h"
@@ -39,14 +56,20 @@ enum class LpStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(LpStatus s) noexcept;
 
-// A simplex basis in standard-form column space: basic[r] is the column
-// basic in row r. `columns` (the non-rhs column count) together with
-// basic.size() (the row count) forms the compatibility signature: a warm
-// start is attempted only when the target model produces an identically
-// shaped standard form, which holds across branch-and-bound bound changes
-// as long as no variable gains or loses a finite upper bound.
+// A simplex basis: basic[r] is the variable basic in row r (structural
+// variables are 0..n-1, the logical of row i is n+i), and at_upper flags
+// which nonbasic variables rest at their upper bound. `columns` (= n + m
+// for the revised kernel) together with basic.size() (= m) forms the
+// compatibility signature: a warm start is attempted only when the target
+// model has the same shape, which holds across branch-and-bound bound
+// changes because bounds are not part of the column space.
+//
+// (The retained reference kernel exports a basis in its own column space —
+// structurals + slacks + artificials — with at_upper empty; each kernel
+// rejects the other's bases by signature and degrades to a cold solve.)
 struct Basis {
     std::vector<std::int32_t> basic;
+    std::vector<std::uint8_t> at_upper;
     std::uint32_t columns = 0;
 
     [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
@@ -56,16 +79,86 @@ struct LpResult {
     LpStatus status = LpStatus::kIterationLimit;
     double objective = 0.0;             // in the model's own sense (min or max)
     std::vector<double> values;         // one per model variable (original space)
-    std::int64_t iterations = 0;        // pivots, including warm-start refactorization
+    std::int64_t iterations = 0;        // pivots + bound flips + refactorization etas
     Basis basis;                        // exported on kOptimal; empty otherwise
 };
 
-// Solves the LP relaxation of `model` (integrality dropped). Throws
-// std::invalid_argument on variables with non-finite lower bounds.
-// `max_seconds` is a wall-clock budget (checked periodically; expiry yields
-// kIterationLimit). A non-empty `warm_basis` seeds the solve as described
-// above; an incompatible or unrepairable basis silently degrades to the
-// cold path, so the result is identical either way.
+struct LpOptions {
+    std::int64_t max_iterations = 200000;
+    // Wall-clock budget (checked periodically; expiry yields kIterationLimit).
+    double max_seconds = 1e18;
+    // Non-empty parent basis to warm start from; incompatible or numerically
+    // unusable bases silently degrade to the cold path.
+    const Basis* warm_basis = nullptr;
+    // Eta-file length that forces a refactorization (and a from-scratch
+    // recompute of the basic solution). Smaller = more stable, larger =
+    // cheaper FTRAN/BTRAN; 64 is comfortable for the few-hundred-row P#1
+    // instances.
+    int refactor_interval = 64;
+};
+
+// Per-thread scratch reused across solves. Contents are meaningless between
+// calls; a default-constructed workspace is ready to use. Callers that solve
+// many LPs against one context (branch and bound) should keep one per worker
+// to avoid reallocating the eta pools on every node.
+struct LpWorkspace {
+    std::vector<double> x, y, col, rhs_work;
+    std::vector<double> lower, upper;
+    std::vector<std::int32_t> basic;
+    std::vector<std::int8_t> vstat;
+    std::vector<std::int32_t> pos;
+    // Pooled eta file: eta k spans [eta_start[k], eta_start[k+1]) of
+    // eta_row/eta_val and pivots on eta_pivot_row[k] with value eta_pivot[k].
+    std::vector<std::int32_t> eta_start, eta_pivot_row, eta_row;
+    std::vector<double> eta_pivot, eta_val;
+};
+
+// Immutable standard-form image of a Model: CSC structural columns, row
+// senses/rhs, minimization-sense objective. Safe to share across threads;
+// bounds are supplied per solve.
+class LpContext {
+public:
+    explicit LpContext(const Model& model);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rhs_.size(); }
+    [[nodiscard]] std::size_t structurals() const noexcept { return obj_.size(); }
+    [[nodiscard]] std::size_t nonzeros() const noexcept { return val_.size(); }
+
+    // Structural variable bounds as captured from the model at build time
+    // (the defaults a caller perturbs per node).
+    [[nodiscard]] const std::vector<double>& model_lower() const noexcept {
+        return model_lower_;
+    }
+    [[nodiscard]] const std::vector<double>& model_upper() const noexcept {
+        return model_upper_;
+    }
+
+    // Solves the LP over this matrix with the given structural bounds
+    // (size = structurals(); every lower bound must be finite, matching the
+    // Model-level contract — std::invalid_argument otherwise).
+    [[nodiscard]] LpResult solve(std::span<const double> lower,
+                                 std::span<const double> upper,
+                                 const LpOptions& options = {},
+                                 LpWorkspace* workspace = nullptr) const;
+
+private:
+    friend class RevisedSimplex;
+
+    std::vector<std::int64_t> col_start_;  // CSC: n+1 offsets
+    std::vector<std::int32_t> row_idx_;
+    std::vector<double> val_;
+    std::vector<Sense> row_sense_;
+    std::vector<double> rhs_;
+    std::vector<double> obj_;              // minimization-sense cost per structural
+    double obj_constant_ = 0.0;            // minimization-sense folded constant
+    double sense_sign_ = 1.0;              // +1 min model, -1 max model
+    std::vector<double> model_lower_, model_upper_;
+};
+
+// Solves the LP relaxation of `model` (integrality dropped) by building a
+// one-shot LpContext. Throws std::invalid_argument on variables with
+// non-finite lower bounds. Semantics of the limits and of `warm_basis` match
+// LpOptions above.
 [[nodiscard]] LpResult solve_lp(const Model& model, std::int64_t max_iterations = 200000,
                                 double max_seconds = 1e18,
                                 const Basis* warm_basis = nullptr);

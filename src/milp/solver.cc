@@ -7,6 +7,10 @@
 #include <limits>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "milp/presolve.h"
+#include "milp/simplex_reference.h"
 
 namespace hermes::milp {
 
@@ -107,6 +111,7 @@ public:
     Search(const Model& model, const MilpOptions& options)
         : model_(model),
           options_(options),
+          context_(model),
           sense_(model.is_minimization() ? 1.0 : -1.0),
           start_(Clock::now()) {}
 
@@ -115,6 +120,7 @@ public:
             model_.is_feasible(*options_.warm_start, options_.integrality_tolerance * 10)) {
             incumbent_ = sense_ * model_.objective_value(*options_.warm_start);
             incumbent_values_ = *options_.warm_start;
+            has_incumbent_ = true;
         }
         open_.push_back(Node{});  // root: no bound changes, cold LP
 
@@ -143,7 +149,9 @@ public:
         for (const Node& n : open_) open_bound = std::min(open_bound, n.parent_bound);
 
         const bool exhausted = !hit_limit_;
-        if (!incumbent_values_.empty()) {
+        // has_incumbent_, not incumbent_values_.empty(): a fully presolved
+        // model has zero variables, so a real incumbent can be empty.
+        if (has_incumbent_) {
             result.values = std::move(incumbent_values_);
             result.objective = sense_ * incumbent_;  // back to the model's own sense
             if (exhausted && !any_lp_limit_) {
@@ -168,7 +176,14 @@ private:
     }
 
     void worker() {
-        Model work = model_;  // private copy: bounds mutate per node
+        // Per-worker scratch: bound vectors perturbed per node against the
+        // shared context, the kernel workspace, and (reference path only) a
+        // private Model copy whose bounds mutate per node.
+        std::vector<double> lower = context_.model_lower();
+        std::vector<double> upper = context_.model_upper();
+        LpWorkspace workspace;
+        Model ref_work;
+        if (options_.use_reference_lp) ref_work = model_;
         while (true) {
             Node node;
             {
@@ -190,7 +205,7 @@ private:
                 if (node.parent_bound >= incumbent_ - options_.absolute_gap) continue;
                 ++in_flight_;
             }
-            process(std::move(node), work);
+            process(std::move(node), lower, upper, workspace, ref_work);
             {
                 const std::lock_guard lk(mu_);
                 --in_flight_;
@@ -200,17 +215,39 @@ private:
         cv_.notify_all();  // wake peers so they observe stop/exhaustion too
     }
 
-    void process(Node node, Model& work) {
+    void process(Node node, std::vector<double>& lower, std::vector<double>& upper,
+                 LpWorkspace& workspace, Model& ref_work) {
+        // Each LP inherits the remaining wall-clock budget so one long
+        // solve cannot blow through the MILP time limit.
+        const double remaining =
+            std::max(0.05, options_.time_limit_seconds - seconds());
+        const Basis* warm =
+            options_.warm_lp_basis && !node.basis.empty() ? &node.basis : nullptr;
         LpResult lp;
-        {
-            const ScopedBounds scope(work, model_, node.changes);
-            // Each LP inherits the remaining wall-clock budget so one long
-            // solve cannot blow through the MILP time limit.
-            const double remaining =
-                std::max(0.05, options_.time_limit_seconds - seconds());
-            const Basis* warm =
-                options_.warm_lp_basis && !node.basis.empty() ? &node.basis : nullptr;
-            lp = solve_lp(work, options_.lp_iteration_limit, remaining, warm);
+        if (options_.use_reference_lp) {
+            const ScopedBounds scope(ref_work, model_, node.changes);
+            lp = reference::solve_lp(ref_work, options_.lp_iteration_limit, remaining,
+                                     warm);
+        } else {
+            // Apply the node's cumulative bound changes (intersected, so
+            // repeated changes to one variable compose) directly onto the
+            // per-worker vectors — no per-node model rebuild.
+            for (const BoundChange& ch : node.changes) {
+                const auto j = static_cast<std::size_t>(ch.var);
+                lower[j] = std::max(lower[j], ch.lower);
+                upper[j] = std::min(upper[j], ch.upper);
+            }
+            LpOptions lp_options;
+            lp_options.max_iterations = options_.lp_iteration_limit;
+            lp_options.max_seconds = remaining;
+            lp_options.warm_basis = warm;
+            lp_options.refactor_interval = options_.lp_refactor_interval;
+            lp = context_.solve(lower, upper, lp_options, &workspace);
+            for (const BoundChange& ch : node.changes) {
+                const auto j = static_cast<std::size_t>(ch.var);
+                lower[j] = context_.model_lower()[j];
+                upper[j] = context_.model_upper()[j];
+            }
         }
 
         const std::lock_guard lk(mu_);
@@ -283,6 +320,7 @@ private:
         if (!better && !tie_break) return;
         incumbent_ = std::min(incumbent_, bound);
         incumbent_values_ = std::move(values);
+        has_incumbent_ = true;
         // Prune on publish: open nodes that can no longer beat the incumbent
         // are dropped immediately instead of at pop time.
         const double cutoff = incumbent_ - options_.absolute_gap;
@@ -292,6 +330,7 @@ private:
 
     const Model& model_;
     const MilpOptions& options_;
+    const LpContext context_;  // shared, immutable; bounds live per worker
     const double sense_;
     const Clock::time_point start_;
 
@@ -304,6 +343,7 @@ private:
     bool unbounded_ = false;
     bool any_lp_limit_ = false;
     double incumbent_ = kInf;  // minimization space
+    bool has_incumbent_ = false;
     std::vector<double> incumbent_values_;
     double residual_bound_ = kInf;
     std::int64_t nodes_ = 0;
@@ -325,8 +365,38 @@ const char* to_string(MilpStatus s) noexcept {
 }
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options) {
-    Search search(model, options);
-    return search.run();
+    if (!options.presolve) {
+        Search search(model, options);
+        return search.run();
+    }
+    const PresolveResult pre = presolve(model);
+    if (pre.infeasible) {
+        MilpResult result;
+        result.status = MilpStatus::kInfeasible;
+        return result;
+    }
+    MilpOptions reduced_options = options;
+    if (options.warm_start) {
+        // Carry the starting assignment into the reduced space; drop it when
+        // it contradicts a presolve fixing (it was infeasible anyway).
+        std::vector<double> reduced_start;
+        if (pre.restrict(*options.warm_start, reduced_start,
+                         options.integrality_tolerance * 10)) {
+            reduced_options.warm_start = std::move(reduced_start);
+        } else {
+            reduced_options.warm_start.reset();
+        }
+    }
+    Search search(pre.reduced, reduced_options);
+    MilpResult result = search.run();
+    if (result.has_solution()) {
+        result.values = pre.postsolve(result.values);
+        // The reduced objective already carries the fixed contributions as a
+        // constant; re-evaluating on the original model just sheds the
+        // accumulated float noise.
+        result.objective = model.objective_value(result.values);
+    }
+    return result;
 }
 
 }  // namespace hermes::milp

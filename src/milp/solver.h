@@ -1,16 +1,20 @@
 // MILP solver: LP-relaxation branch and bound, parallel across nodes.
 //
-// A pool of std::jthread workers drains a mutex-protected, best-bound-ordered
-// open list (ties broken by a deterministic node sequence number, so a
-// single-threaded run is fully reproducible and any thread count returns the
-// same objective). Each node carries its parent's optimal simplex basis, so
-// the child LP re-solve warm starts and typically finishes in a handful of
-// dual pivots instead of a cold two-phase solve. Incumbents are published
-// under the open-list lock with a lexicographic tie-break on equal
-// objectives, and every publish prunes the open list in place. Limits
-// (wall-clock/nodes) stop the search with the best incumbent in hand,
-// returned as kFeasible — exactly how the paper's time-limited Gurobi runs
-// behave in Exp#3.
+// The model is presolved once (milp/presolve.h) and converted once into an
+// immutable LpContext shared by every worker; a node LP is then just a pair
+// of per-worker bound vectors against that matrix — nothing per-node is
+// rebuilt. A pool of std::jthread workers drains a mutex-protected,
+// best-bound-ordered open list (ties broken by a deterministic node sequence
+// number, so a single-threaded run is fully reproducible and any thread
+// count returns the same objective). Each node carries its parent's optimal
+// simplex basis as an eta-file reload: the child solve refactorizes that
+// basis and lets phase 1 repair the handful of rows the branching bound
+// change disturbed, which typically takes a few pivots instead of a cold
+// two-phase solve. Incumbents are published under the open-list lock with a
+// lexicographic tie-break on equal objectives, and every publish prunes the
+// open list in place. Limits (wall-clock/nodes) stop the search with the
+// best incumbent in hand, returned as kFeasible — exactly how the paper's
+// time-limited Gurobi runs behave in Exp#3.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +47,19 @@ struct MilpOptions {
     // Warm start child LPs from the parent's exported basis (disable only to
     // measure the cold-solve baseline; results are identical either way).
     bool warm_lp_basis = true;
+    // Run the presolve reductions once before the root relaxation; the search
+    // then operates on the reduced model and the returned assignment is
+    // postsolved back to the original space. The objective is identical
+    // either way.
+    bool presolve = true;
+    // Solve node LPs with the retained dense tableau kernel
+    // (milp/simplex_reference.h) instead of the revised sparse one. A
+    // benchmarking/debugging aid — results are identical, the dense path is
+    // just slower and rebuilds its standard form on every node.
+    bool use_reference_lp = false;
+    // Eta-file length that forces a refactorization in the revised LP kernel
+    // (forwarded to LpOptions::refactor_interval).
+    int lp_refactor_interval = 64;
     // Feasible starting assignment (checked; ignored when infeasible).
     std::optional<std::vector<double>> warm_start;
 };

@@ -165,6 +165,34 @@ TEST(Simplex, DegenerateProblemTerminates) {
     EXPECT_NEAR(r.objective, 1.25, kTol);
 }
 
+TEST(Simplex, ChvatalCyclingFixtureTerminates) {
+    // Chvátal's textbook cycling LP: every basic feasible solution at the
+    // origin is degenerate and largest-coefficient pricing cycles forever
+    // under the wrong tie-breaks. The degenerate-run guard must hand pricing
+    // over to Bland's rule and terminate at the true optimum x=(1,0,1,0).
+    Model m;
+    const VarId x1 = m.add_continuous(0.0, kInfinity, "x1");
+    const VarId x2 = m.add_continuous(0.0, kInfinity, "x2");
+    const VarId x3 = m.add_continuous(0.0, kInfinity, "x3");
+    const VarId x4 = m.add_continuous(0.0, kInfinity, "x4");
+    m.add_constraint(LinExpr::term(x1, 0.5) + LinExpr::term(x2, -5.5) +
+                         LinExpr::term(x3, -2.5) + LinExpr::term(x4, 9.0),
+                     Sense::kLe, 0.0);
+    m.add_constraint(LinExpr::term(x1, 0.5) + LinExpr::term(x2, -1.5) +
+                         LinExpr::term(x3, -0.5) + LinExpr::term(x4, 1.0),
+                     Sense::kLe, 0.0);
+    m.add_constraint(LinExpr::term(x1), Sense::kLe, 1.0);
+    m.maximize(LinExpr::term(x1, 10.0) + LinExpr::term(x2, -57.0) +
+               LinExpr::term(x3, -9.0) + LinExpr::term(x4, -24.0));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.0, kTol);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(x1)], 1.0, kTol);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(x3)], 1.0, kTol);
+    // Termination came from the guard, not from exhausting the budget.
+    EXPECT_LT(r.iterations, 10000);
+}
+
 TEST(Simplex, RedundantEqualityRows) {
     Model m;
     const VarId x = m.add_continuous(0.0, 10.0, "x");
