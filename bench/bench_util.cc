@@ -1,7 +1,12 @@
 #include "bench_util.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
+
+#include "obs/export.h"
+#include "util/strings.h"
 
 namespace hermes::bench {
 
@@ -138,6 +143,80 @@ void write_bench_json(const std::string& path, const std::string& suite,
             << "\"}" << (i + 1 < records.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
+}
+
+namespace {
+
+// Matches "--name value" and "--name=value"; advances i past a consumed
+// separate value. Exits 2 on a missing value so the caller never sees one.
+bool match_value_flag(int argc, char** argv, int& i, const char* name,
+                      std::string& out) {
+    const char* arg = argv[i];
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return false;
+    if (arg[len] == '\0') {
+        if (i + 1 >= argc) {
+            std::cerr << "error: missing value after " << name << "\n";
+            std::exit(2);
+        }
+        out = argv[++i];
+        return true;
+    }
+    if (arg[len] == '=') {
+        out = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+ToolArgs parse_tool_args(int argc, char** argv, const std::string& default_json) {
+    ToolArgs args;
+    args.json_path = default_json;
+    if (argc > 0) args.passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        std::string value;
+        if (std::strcmp(arg, "--sweep-only") == 0) {
+            args.sweep_only = true;
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            args.smoke = true;
+        } else if (match_value_flag(argc, argv, i, "--json", value)) {
+            args.json_path = value;
+        } else if (match_value_flag(argc, argv, i, "--threads", value)) {
+            args.threads = static_cast<int>(util::parse_int(value));
+        } else if (match_value_flag(argc, argv, i, "--seed", value)) {
+            args.seed = static_cast<std::uint64_t>(util::parse_int(value));
+        } else if (match_value_flag(argc, argv, i, "--time-limit", value)) {
+            args.time_limit_seconds = util::parse_double(value);
+        } else if (match_value_flag(argc, argv, i, "--trace-out", value)) {
+            args.trace_out = value;
+        } else if (match_value_flag(argc, argv, i, "--metrics-out", value)) {
+            args.metrics_out = value;
+        } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+            args.passthrough.push_back(argv[i]);
+        } else {
+            std::cerr << "error: unknown option '" << arg << "'\n";
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+bool write_obs_exports(const obs::Sink* sink, const std::string& trace_out,
+                       const std::string& metrics_out) {
+    if (sink == nullptr) return true;
+    bool ok = true;
+    if (!trace_out.empty() && !obs::write_chrome_trace_file(*sink, trace_out)) {
+        std::cerr << "error: cannot write trace to '" << trace_out << "'\n";
+        ok = false;
+    }
+    if (!metrics_out.empty() && !obs::write_metrics_json_file(*sink, metrics_out)) {
+        std::cerr << "error: cannot write metrics to '" << metrics_out << "'\n";
+        ok = false;
+    }
+    return ok;
 }
 
 }  // namespace hermes::bench

@@ -3,13 +3,16 @@
 // Optimal) through the same pipeline and reports the paper's metrics.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "baselines/common.h"
 #include "core/hermes.h"
 #include "core/verifier.h"
+#include "obs/obs.h"
 #include "sim/flowsim.h"
 #include "util/table.h"
 
@@ -64,5 +67,32 @@ struct BenchRecord {
 // numbers checked in at each PR stay machine-comparable across the history.
 void write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records);
+
+// Command-line contract shared by the custom-main micro tools (micro_solver,
+// micro_greedy), matching hermes_cli's spellings: every value flag accepts
+// both "--flag value" and "--flag=value"; --benchmark_* flags pass through
+// to google-benchmark untouched; anything else prints to stderr and exits 2.
+// threads/seed/time-limit are std::optional so each tool keeps its own
+// defaults when the flag is absent.
+struct ToolArgs {
+    bool sweep_only = false;
+    bool smoke = false;
+    std::string json_path;                     // --json, seeded per tool
+    std::optional<int> threads;                // --threads
+    std::optional<std::uint64_t> seed;         // --seed
+    std::optional<double> time_limit_seconds;  // --time-limit
+    std::string trace_out;                     // --trace-out, empty = off
+    std::string metrics_out;                   // --metrics-out, empty = off
+    std::vector<char*> passthrough;            // argv[0] + --benchmark_* flags
+};
+
+[[nodiscard]] ToolArgs parse_tool_args(int argc, char** argv,
+                                       const std::string& default_json);
+
+// Writes the exports a ToolArgs asked for (no-ops on a null sink or empty
+// paths); false, with a message on stderr, when a file cannot be written.
+[[nodiscard]] bool write_obs_exports(const obs::Sink* sink,
+                                     const std::string& trace_out,
+                                     const std::string& metrics_out);
 
 }  // namespace hermes::bench

@@ -30,7 +30,7 @@ int main() {
     // every core.
     config.baseline.milp.threads = 0;
     config.hermes.milp.threads = 0;
-    config.hermes.greedy_threads = 0;
+    config.hermes.threads = 0;
 
     sim::FlowSpec flow;
     flow.mtu_bytes = 1024;

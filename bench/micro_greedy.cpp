@@ -7,11 +7,14 @@
 // fat-tree, and Topology-Zoo scale (Table III topology 10) — and writes the
 // before/after trajectory to BENCH_greedy.json (pass --sweep-only to skip
 // the google-benchmark portion, --json=PATH to redirect the output).
+// Accepts the common tool flags --threads/--seed/--time-limit and the obs
+// exports --trace-out/--metrics-out (see bench_util.h); unknown flags other
+// than --benchmark_* exit 2.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstring>
 #include <iostream>
+#include <optional>
 
 #include "bench_util.h"
 #include "core/greedy.h"
@@ -92,9 +95,19 @@ struct SweepInstance {
 
 // End-to-end greedy_deploy, seed pipeline vs indexed + oracle + threads,
 // per instance. Results must agree (the equivalence suite enforces it; here
-// we cross-check the anchor as a cheap canary).
-void run_sweeps(const std::string& path) {
+// we cross-check the anchor as a cheap canary). The indexed runs record
+// through `sink` (null = off), so --metrics-out captures the greedy.* and
+// oracle.* counters of the sweep.
+void run_sweeps(const bench::ToolArgs& args) {
     std::vector<bench::BenchRecord> records;
+
+    std::optional<obs::Sink> sink_storage;
+    obs::Sink* sink = nullptr;
+    if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+        sink = &sink_storage.emplace();
+        sink->name_thread("main");
+    }
+    const std::uint64_t workload_seed = args.seed.value_or(0xbeef);
 
     util::SplitMix64 rng(0x9e1);
     net::TopologyConfig tconfig;
@@ -105,7 +118,7 @@ void run_sweeps(const std::string& path) {
 
     double largest_speedup = 0.0;
     for (const SweepInstance& inst : instances) {
-        const tdg::Tdg t = workload_tdg(inst.programs, 0xbeef);
+        const tdg::Tdg t = workload_tdg(inst.programs, workload_seed);
 
         const auto before_start = std::chrono::steady_clock::now();
         const core::GreedyResult before = core::reference::greedy_deploy(t, inst.network);
@@ -113,7 +126,8 @@ void run_sweeps(const std::string& path) {
 
         net::PathOracle oracle(inst.network);
         core::GreedyOptions options;
-        options.threads = 0;  // all cores
+        options.threads = args.threads.value_or(0);  // default: all cores
+        options.sink = sink;
         const auto after_start = std::chrono::steady_clock::now();
         const core::GreedyResult after = core::greedy_deploy(t, inst.network, options,
                                                              &oracle);
@@ -139,28 +153,22 @@ void run_sweeps(const std::string& path) {
     }
     records.push_back({"largest_instance_speedup", largest_speedup, "x"});
 
-    bench::write_bench_json(path, "greedy_pipeline", records);
-    std::cout << "wrote " << path << "\n";
+    bench::write_bench_json(args.json_path, "greedy_pipeline", records);
+    std::cout << "wrote " << args.json_path << "\n";
+    if (!bench::write_obs_exports(sink, args.trace_out, args.metrics_out)) {
+        std::exit(1);
+    }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    bool sweep_only = false;
-    std::string json_path = "BENCH_greedy.json";
-    std::vector<char*> passthrough;
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--sweep-only") == 0) {
-            sweep_only = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else {
-            passthrough.push_back(argv[i]);
-        }
-    }
-    int pass_argc = static_cast<int>(passthrough.size());
+    const bench::ToolArgs args =
+        bench::parse_tool_args(argc, argv, "BENCH_greedy.json");
+    int pass_argc = static_cast<int>(args.passthrough.size());
+    std::vector<char*> passthrough = args.passthrough;
     benchmark::Initialize(&pass_argc, passthrough.data());
-    if (!sweep_only) benchmark::RunSpecifiedBenchmarks();
-    run_sweeps(json_path);
+    if (!args.sweep_only) benchmark::RunSpecifiedBenchmarks();
+    run_sweeps(args);
     return 0;
 }

@@ -4,11 +4,14 @@
 // the google-benchmark suites it writes a BENCH_milp.json perf-trajectory
 // summary (pass --sweep-only to skip the google-benchmark portion, --smoke
 // for a short-capped CI check that exits nonzero on any solver error).
+// Accepts the common tool flags --threads/--seed/--time-limit and the obs
+// exports --trace-out/--metrics-out (see bench_util.h); unknown flags other
+// than --benchmark_* exit 2.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstring>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "baselines/common.h"
@@ -292,16 +295,28 @@ void run_sweeps(const std::string& path) {
 // CI smoke run: short-capped solves that must come back clean. Exercises the
 // fat-tree workload through deploy_optimal plus a revised-vs-dense agreement
 // check on the P#1 testbed instance; returns nonzero on any solver error so
-// the bench job fails loudly instead of shipping a broken kernel.
-int run_smoke() {
+// the bench job fails loudly instead of shipping a broken kernel. With
+// --trace-out/--metrics-out the run is recorded through an obs::Sink, so CI
+// can assert on the bb.* / lp.* counters it produces.
+int run_smoke(const bench::ToolArgs& args) {
     int failures = 0;
 
-    const milp::Model p1 = sweep_p1(13);
+    std::optional<obs::Sink> sink_storage;
+    obs::Sink* sink = nullptr;
+    if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+        sink = &sink_storage.emplace();
+        sink->name_thread("main");
+    }
+    const double time_limit = args.time_limit_seconds.value_or(20.0);
+    const int threads = args.threads.value_or(1);
+
+    const milp::Model p1 = sweep_p1(args.seed.value_or(13));
     double objective[2] = {0.0, 0.0};
     for (const bool dense : {false, true}) {
         milp::MilpOptions options;
-        options.time_limit_seconds = 20.0;
-        options.threads = 1;
+        options.time_limit_seconds = time_limit;
+        options.threads = threads;
+        options.sink = sink;
         options.use_reference_lp = dense;
         const milp::MilpResult r = milp::solve_milp(p1, options);
         objective[dense ? 1 : 0] = r.objective;
@@ -324,11 +339,12 @@ int run_smoke() {
     net::TopologyConfig tconfig;
     const net::Network n = net::fat_tree_topology(4, tconfig, rng);
     const auto programs = prog::paper_workload(6, 0xfeed);
-    const tdg::Tdg t = core::analyze(programs);
+    const tdg::Tdg t = core::analyze(programs, sink);
     core::HermesOptions options;
+    options.sink = sink;
     options.segment_level_milp = true;
-    options.milp.time_limit_seconds = 20.0;
-    options.milp.threads = 1;
+    options.milp.time_limit_seconds = time_limit;
+    options.milp.threads = threads;
     const core::DeployOutcome out = core::deploy_optimal(t, n, options);
     std::cout << "smoke fat-tree: " << out.solver_status << "\n";
     if (out.solver_status != "optimal" && out.solver_status != "feasible") {
@@ -337,6 +353,7 @@ int run_smoke() {
         ++failures;
     }
 
+    if (!bench::write_obs_exports(sink, args.trace_out, args.metrics_out)) ++failures;
     std::cout << (failures == 0 ? "smoke OK\n" : "smoke FAILED\n");
     return failures == 0 ? 0 : 1;
 }
@@ -344,25 +361,12 @@ int run_smoke() {
 }  // namespace
 
 int main(int argc, char** argv) {
-    bool sweep_only = false;
-    bool smoke = false;
-    std::string json_path = "BENCH_milp.json";
-    std::vector<char*> passthrough;
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--sweep-only") == 0) {
-            sweep_only = true;
-        } else if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else {
-            passthrough.push_back(argv[i]);
-        }
-    }
-    if (smoke) return run_smoke();
-    int pass_argc = static_cast<int>(passthrough.size());
+    const bench::ToolArgs args = bench::parse_tool_args(argc, argv, "BENCH_milp.json");
+    if (args.smoke) return run_smoke(args);
+    int pass_argc = static_cast<int>(args.passthrough.size());
+    std::vector<char*> passthrough = args.passthrough;
     benchmark::Initialize(&pass_argc, passthrough.data());
-    if (!sweep_only) benchmark::RunSpecifiedBenchmarks();
-    run_sweeps(json_path);
+    if (!args.sweep_only) benchmark::RunSpecifiedBenchmarks();
+    run_sweeps(args.json_path);
     return 0;
 }

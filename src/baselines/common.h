@@ -12,13 +12,17 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "core/options.h"
 #include "milp/solver.h"
 #include "net/path_oracle.h"
 #include "prog/program.h"
 
 namespace hermes::baselines {
 
-struct BaselineOptions {
+// Inherits core::CommonOptions; `sink` is forwarded into the embedded MILP
+// options (when those leave it unset) so ILP-based baselines trace their
+// branch-and-bound search like the Hermes paths do.
+struct BaselineOptions : core::CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
     milp::MilpOptions milp;            // time/node limits for ILP-based baselines

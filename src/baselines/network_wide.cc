@@ -51,10 +51,12 @@ StrategyOutcome NetworkWideStrategy::deploy(const std::vector<prog::Program>& pr
     fopts.objective = objective_;
     fopts.segment_split = core::SegmentSplit::kResourceFirstFit;
     fopts.oracle = options.oracle;
+    fopts.sink = options.sink;
 
     try {
         core::P1Formulation formulation(t, net, fopts);
         milp::MilpOptions milp_options = options.milp;
+        if (!milp_options.sink) milp_options.sink = options.sink;
         milp_options.warm_start = formulation.encode(warm.deployment);
         const milp::MilpResult result = milp::solve_milp(formulation.model(), milp_options);
         if (result.has_solution()) {

@@ -154,6 +154,7 @@ StrategyOutcome SingleSwitchStrategy::deploy_with_pick(
             // MILP time limit is a *total* budget split across programs.
             if (options.use_ilp) {
                 milp::MilpOptions per_program = options.milp;
+                if (!per_program.sink) per_program.sink = options.sink;
                 per_program.time_limit_seconds =
                     options.milp.time_limit_seconds / static_cast<double>(ranges.size());
                 const auto exact = milp_pack(t, nodes, remaining_capacities(packers[k]),

@@ -9,6 +9,7 @@
 
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "obs/obs.h"
 
 namespace hermes::core {
 
@@ -59,9 +60,11 @@ P1Formulation::P1Formulation(const tdg::Tdg& t, const net::Network& net,
     } else {
         std::set<net::SwitchId> chosen;
         try {
-            const GreedyResult g =
-                greedy_deploy(t_, net_, GreedyOptions{options_.epsilon1, options_.epsilon2},
-                              options_.oracle);
+            GreedyOptions pre;
+            pre.epsilon1 = options_.epsilon1;
+            pre.epsilon2 = options_.epsilon2;
+            pre.sink = options_.sink;
+            const GreedyResult g = greedy_deploy(t_, net_, pre, options_.oracle);
             for (const net::SwitchId u : g.deployment.occupied_switches()) chosen.insert(u);
             const std::vector<double> dist =
                 options_.oracle ? options_.oracle->latencies(g.anchor)
@@ -81,8 +84,22 @@ P1Formulation::P1Formulation(const tdg::Tdg& t, const net::Network& net,
         }
         candidates_.assign(chosen.begin(), chosen.end());
     }
-    build_units();
-    build_model();
+    {
+        obs::Span span(options_.sink, "formulation.build_units");
+        build_units();
+    }
+    {
+        obs::Span span(options_.sink, "formulation.build_model");
+        build_model();
+    }
+    if (obs::Sink* sink = options_.sink) {
+        sink->counter("formulation.candidates").add(static_cast<std::int64_t>(candidates_.size()));
+        sink->counter("formulation.units").add(static_cast<std::int64_t>(units_.size()));
+        sink->counter("formulation.variables")
+            .add(static_cast<std::int64_t>(model_.variable_count()));
+        sink->counter("formulation.constraints")
+            .add(static_cast<std::int64_t>(model_.constraint_count()));
+    }
 }
 
 void P1Formulation::build_units() {

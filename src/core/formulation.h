@@ -31,6 +31,7 @@
 #include <optional>
 
 #include "core/deployment.h"
+#include "core/options.h"
 #include "milp/model.h"
 #include "net/path_oracle.h"
 #include "net/paths.h"
@@ -53,7 +54,11 @@ enum class SegmentSplit : std::uint8_t {
     kResourceFirstFit,  // resource-driven topological first-fit (baselines)
 };
 
-struct FormulationOptions {
+// Inherits core::CommonOptions; a non-null `sink` records the
+// formulation.build_units / formulation.build_model spans and model-size
+// counters. threads/seed are accepted but unused (the build is serial and
+// deterministic).
+struct FormulationOptions : CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
     std::size_t k_paths = 2;          // |P(u,v)| per ordered pair

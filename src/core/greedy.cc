@@ -2,6 +2,7 @@
 
 #include "core/dp_split.h"
 #include "core/objective.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <atomic>
@@ -118,6 +119,18 @@ void split_worker(const tdg::Tdg& t, const TdgIndex& index,
                  result);
     split_worker(t, index, std::move(tail), stages, stage_capacity, member, in_prefix,
                  result);
+}
+
+// Reports a privately created oracle's cache activity (it starts at zero,
+// so the totals are the call's own); shared oracles are reported by their
+// creator instead (see core/hermes.cc).
+void flush_local_oracle_stats(obs::Sink* sink, const net::PathOracle& oracle) {
+    if (sink == nullptr) return;
+    const net::PathOracle::Stats s = oracle.stats();
+    sink->counter("oracle.tree_hits").add(static_cast<std::int64_t>(s.tree_hits));
+    sink->counter("oracle.tree_misses").add(static_cast<std::int64_t>(s.tree_misses));
+    sink->counter("oracle.k_hits").add(static_cast<std::int64_t>(s.k_hits));
+    sink->counter("oracle.k_misses").add(static_cast<std::int64_t>(s.k_misses));
 }
 
 }  // namespace
@@ -335,6 +348,7 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
             ? static_cast<std::size_t>(options.epsilon2)
             : programmable.size());
     if (segments.size() > max_chain) {
+        obs::Span span(options.sink, "greedy.coalesce");
         const net::SwitchProps& geometry = reference_geometry(net, programmable);
         segments = coalesce_segments(t, std::move(segments), max_chain, geometry.stages,
                                      geometry.stage_capacity);
@@ -407,10 +421,13 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
     }
     threads = std::min<int>(threads, static_cast<int>(programmable.size()));
 
+    obs::Span search_span(options.sink, "greedy.anchor_search");
+    std::atomic<std::int64_t> feasible_count{0};
     Candidate best;
     if (threads <= 1) {
         for (const net::SwitchId u : programmable) {
             Candidate c = evaluate(u);
+            if (c.feasible) feasible_count.fetch_add(1, std::memory_order_relaxed);
             if (better(c, best)) best = std::move(c);
         }
     } else {
@@ -425,6 +442,7 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
                     for (std::size_t i = next.fetch_add(1); i < programmable.size();
                          i = next.fetch_add(1)) {
                         Candidate c = evaluate(programmable[i]);
+                        if (c.feasible) feasible_count.fetch_add(1, std::memory_order_relaxed);
                         if (better(c, local)) local = std::move(c);
                     }
                     std::lock_guard lock(merge_mutex);
@@ -432,6 +450,13 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
                 });
             }
         }
+    }
+    search_span.end();
+    if (obs::Sink* sink = options.sink) {
+        sink->counter("greedy.segments").add(static_cast<std::int64_t>(segments.size()));
+        sink->counter("greedy.anchors_tried")
+            .add(static_cast<std::int64_t>(programmable.size()));
+        sink->counter("greedy.anchors_feasible").add(feasible_count.load());
     }
     if (!best.feasible) {
         throw std::runtime_error(
@@ -462,6 +487,7 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
         auto path = oracle->path(u, v);
         result.deployment.routes[{u, v}] = std::move(*path);
     }
+    if (local_oracle) flush_local_oracle_stats(options.sink, *local_oracle);
     return result;
 }
 
@@ -482,8 +508,12 @@ GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
     const net::SwitchProps& reference = reference_geometry(net, programmable);
     std::vector<tdg::NodeId> all_nodes(t.node_count());
     for (tdg::NodeId v = 0; v < t.node_count(); ++v) all_nodes[v] = v;
-    std::vector<std::vector<tdg::NodeId>> segments =
-        split_tdg(t, std::move(all_nodes), reference.stages, reference.stage_capacity);
+    std::vector<std::vector<tdg::NodeId>> segments;
+    {
+        obs::Span span(options.sink, "greedy.split");
+        segments = split_tdg(t, std::move(all_nodes), reference.stages,
+                             reference.stage_capacity);
+    }
 
     // Refinement (DESIGN.md §5b): the recursive cut is not balance-aware and
     // can over-fragment; on small instances the exact DP segmentation is
@@ -515,6 +545,7 @@ GreedyResult greedy_deploy(const tdg::Tdg& t, const net::Network& net,
             "greedy_deploy: no anchor yields enough programmable switches under the "
             "epsilon bounds");
     }
+    if (local_oracle) flush_local_oracle_stats(options.sink, *local_oracle);
     return std::move(*best);
 }
 

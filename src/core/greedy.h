@@ -18,18 +18,19 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "core/options.h"
 #include "net/path_oracle.h"
 
 namespace hermes::core {
 
-struct GreedyOptions {
+// Inherits core::CommonOptions: `threads` is the worker count for the anchor
+// search in deploy_segments_on_chain (0 = hardware concurrency; the
+// deterministic lowest-latency / lowest-anchor-id tie-break makes the result
+// identical at any thread count), and `sink` records greedy.* spans and
+// counters.
+struct GreedyOptions : CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();   // t_e2e bound (us)
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
-    // Worker threads for the anchor search in deploy_segments_on_chain;
-    // 0 = std::thread::hardware_concurrency(). The deterministic
-    // lowest-latency / lowest-anchor-id tie-break makes the result identical
-    // at any thread count.
-    int threads = 1;
 };
 
 struct GreedyResult {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.h"
 #include "tdg/analyzer.h"
 
 namespace hermes::core {
@@ -12,21 +13,66 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Builds the greedy options from the facade options, honoring the
+// deprecated greedy_threads alias (-1 = unset) one more release.
+GreedyOptions greedy_options_from(const HermesOptions& options) {
+    GreedyOptions g;
+    static_cast<CommonOptions&>(g) = static_cast<const CommonOptions&>(options);
+    g.epsilon1 = options.epsilon1;
+    g.epsilon2 = options.epsilon2;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    if (options.greedy_threads != -1) g.threads = options.greedy_threads;
+#pragma GCC diagnostic pop
+    return g;
+}
+
+// Counts the shared oracle's cache activity during one deploy call as the
+// delta against the entry snapshot; privately created oracles report their
+// own stats where they are created (greedy.cc), so nothing double-counts.
+class OracleStatsScope {
+public:
+    OracleStatsScope(obs::Sink* sink, const net::PathOracle* oracle)
+        : sink_(sink), oracle_(oracle) {
+        if (sink_ && oracle_) before_ = oracle_->stats();
+    }
+    ~OracleStatsScope() {
+        if (!sink_ || !oracle_) return;
+        const net::PathOracle::Stats after = oracle_->stats();
+        sink_->counter("oracle.tree_hits")
+            .add(static_cast<std::int64_t>(after.tree_hits - before_.tree_hits));
+        sink_->counter("oracle.tree_misses")
+            .add(static_cast<std::int64_t>(after.tree_misses - before_.tree_misses));
+        sink_->counter("oracle.k_hits")
+            .add(static_cast<std::int64_t>(after.k_hits - before_.k_hits));
+        sink_->counter("oracle.k_misses")
+            .add(static_cast<std::int64_t>(after.k_misses - before_.k_misses));
+    }
+    OracleStatsScope(const OracleStatsScope&) = delete;
+    OracleStatsScope& operator=(const OracleStatsScope&) = delete;
+
+private:
+    obs::Sink* sink_;
+    const net::PathOracle* oracle_;
+    net::PathOracle::Stats before_;
+};
 }  // namespace
 
-tdg::Tdg analyze(const std::vector<prog::Program>& programs) {
+tdg::Tdg analyze(const std::vector<prog::Program>& programs, obs::Sink* sink) {
+    obs::Span span(sink, "analyze");
     std::vector<tdg::Tdg> tdgs;
     tdgs.reserve(programs.size());
     for (const prog::Program& p : programs) tdgs.push_back(p.to_tdg());
-    return tdg::analyze_programs(std::move(tdgs));
+    return tdg::analyze_programs(std::move(tdgs), sink);
 }
 
 DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
                             const HermesOptions& options) {
     const auto start = Clock::now();
-    GreedyResult g = greedy_deploy(
-        t, net, GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
-        options.oracle);
+    obs::Span span(options.sink, "deploy_greedy");
+    OracleStatsScope oracle_stats(options.sink, options.oracle);
+    GreedyResult g = greedy_deploy(t, net, greedy_options_from(options), options.oracle);
     DeployOutcome outcome;
     outcome.deployment = std::move(g.deployment);
     outcome.solve_seconds = seconds_since(start);
@@ -38,7 +84,10 @@ DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
 DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
                              const HermesOptions& options) {
     const auto start = Clock::now();
+    obs::Span span(options.sink, "deploy_optimal");
+    OracleStatsScope oracle_stats(options.sink, options.oracle);
     FormulationOptions fopts;
+    static_cast<CommonOptions&>(fopts) = static_cast<const CommonOptions&>(options);
     fopts.epsilon1 = options.epsilon1;
     fopts.epsilon2 = options.epsilon2;
     fopts.k_paths = options.k_paths;
@@ -48,15 +97,13 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
 
     std::optional<P1Formulation> maybe_formulation;
     try {
+        obs::Span fspan(options.sink, "formulation");
         maybe_formulation.emplace(t, net, fopts);
     } catch (const std::runtime_error&) {
         // Instance beyond exact reach (the regime where the paper's Gurobi
         // runs exceed their two-hour budget): return the best incumbent we
         // can produce — the greedy solution — flagged as a time-limit hit.
-        GreedyResult g = greedy_deploy(
-            t, net,
-            GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
-            options.oracle);
+        GreedyResult g = greedy_deploy(t, net, greedy_options_from(options), options.oracle);
         DeployOutcome outcome;
         outcome.deployment = std::move(g.deployment);
         outcome.solve_seconds =
@@ -68,25 +115,31 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
     P1Formulation& formulation = *maybe_formulation;
 
     milp::MilpOptions milp_options = options.milp;
+    if (!milp_options.sink) milp_options.sink = options.sink;
     if (options.warm_start_from_greedy && !milp_options.warm_start) {
         try {
-            const GreedyResult g = greedy_deploy(
-                t, net,
-                GreedyOptions{options.epsilon1, options.epsilon2, options.greedy_threads},
-                options.oracle);
+            const GreedyResult g =
+                greedy_deploy(t, net, greedy_options_from(options), options.oracle);
             milp_options.warm_start = formulation.encode(g.deployment);
         } catch (const std::runtime_error&) {
             // No greedy incumbent; branch and bound starts cold.
         }
     }
 
-    const milp::MilpResult result = milp::solve_milp(formulation.model(), milp_options);
+    milp::MilpResult result;
+    {
+        obs::Span mspan(options.sink, "milp.solve");
+        result = milp::solve_milp(formulation.model(), milp_options);
+    }
     if (!result.has_solution()) {
         throw std::runtime_error(std::string("deploy_optimal: MILP ended with status ") +
                                  milp::to_string(result.status));
     }
     DeployOutcome outcome;
-    outcome.deployment = formulation.decode(result.values);
+    {
+        obs::Span dspan(options.sink, "decode");
+        outcome.deployment = formulation.decode(result.values);
+    }
     outcome.solve_seconds = seconds_since(start);
     outcome.metrics = evaluate(t, net, outcome.deployment);
     outcome.solver_status = milp::to_string(result.status);

@@ -15,12 +15,18 @@
 
 namespace hermes::core {
 
-struct HermesOptions {
+// Inherits core::CommonOptions: `threads` drives the greedy anchor search
+// (0 = hardware concurrency; the result is identical at any thread count)
+// and `sink` turns on tracing/metrics for the whole pipeline (analyzer,
+// formulation, branch and bound, verifier). The MILP search keeps its own
+// budget knobs under `milp`.
+struct HermesOptions : CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
-    // Worker threads for the greedy anchor search (0 = hardware concurrency;
-    // the result is identical at any thread count).
-    int greedy_threads = 1;
+    // Deprecated alias for CommonOptions::threads, kept one release for the
+    // pre-obs API: -1 = unset; any other value overrides `threads` for the
+    // greedy anchor search.
+    [[deprecated("use HermesOptions::threads")]] int greedy_threads = -1;
     // MILP path configuration.
     std::size_t k_paths = 2;
     std::size_t candidate_limit = 0;
@@ -41,7 +47,9 @@ struct DeployOutcome {
 };
 
 // Step#1: program analysis — merge all programs' TDGs and annotate A(a,b).
-[[nodiscard]] tdg::Tdg analyze(const std::vector<prog::Program>& programs);
+// A non-null `sink` records the analyzer phase spans and TDG size counters.
+[[nodiscard]] tdg::Tdg analyze(const std::vector<prog::Program>& programs,
+                               obs::Sink* sink = nullptr);
 
 // Step#3 (heuristic): Algorithm 2. Throws std::runtime_error on infeasible
 // instances (not enough switch capacity under the epsilon bounds).

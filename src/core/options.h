@@ -1,0 +1,49 @@
+// Shared solver-facing knobs.
+//
+// Every options struct in the optimization pipeline (milp::MilpOptions,
+// milp::LpOptions, core::GreedyOptions, core::HermesOptions,
+// core::FormulationOptions, core::VerifyOptions, baselines::BaselineOptions)
+// embeds CommonOptions as a base, so threads / seed / limits / verbosity and
+// the observability sink are spelled identically everywhere and injected per
+// call instead of through globals. Because the fields are inherited, the
+// historical spellings (`options.threads`, `options.time_limit_seconds`)
+// keep compiling unchanged; renamed aliases are kept on the individual
+// structs as [[deprecated]] members for one release (see e.g.
+// HermesOptions::greedy_threads).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+
+namespace hermes::obs {
+class Sink;
+}  // namespace hermes::obs
+
+namespace hermes::core {
+
+struct CommonOptions {
+    // Worker threads for any parallel phase; 0 = hardware concurrency.
+    int threads = 1;
+    // RNG seed for any randomized choice a stage makes (all current solver
+    // paths are deterministic; synthetic workload generators honor it).
+    std::uint64_t seed = 1;
+    // Wall-clock budget in seconds; derived structs tighten the default.
+    double time_limit_seconds = 1e18;
+    // Cap on the stage's dominant unit of work (simplex pivots for LP/MILP).
+    std::int64_t iteration_limit = std::numeric_limits<std::int64_t>::max();
+    // 0 = silent; higher values may print progress to stderr.
+    int verbosity = 0;
+    // Observability sink (obs/obs.h). Null disables all instrumentation at
+    // near-zero cost; non-null makes every pipeline stage record trace spans
+    // and metrics into it.
+    obs::Sink* sink = nullptr;
+
+    [[nodiscard]] int resolved_threads() const noexcept {
+        if (threads > 0) return threads;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
+};
+
+}  // namespace hermes::core

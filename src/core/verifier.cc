@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/objective.h"
+#include "obs/obs.h"
 
 namespace hermes::core {
 
@@ -64,10 +65,8 @@ bool switch_precedence_acyclic(const tdg::Tdg& t, const Deployment& d) {
     return removed == nodes.size();
 }
 
-}  // namespace
-
-VerificationReport verify(const tdg::Tdg& t, const net::Network& net, const Deployment& d,
-                          const VerifyOptions& options) {
+VerificationReport verify_impl(const tdg::Tdg& t, const net::Network& net,
+                               const Deployment& d, const VerifyOptions& options) {
     VerificationReport report;
 
     if (d.placements.size() != t.node_count()) {
@@ -158,6 +157,19 @@ VerificationReport verify(const tdg::Tdg& t, const net::Network& net, const Depl
     if (occupied > options.epsilon2) {
         report.fail("Q_occ " + std::to_string(occupied) + " exceeds epsilon2 " +
                     std::to_string(options.epsilon2));
+    }
+    return report;
+}
+
+}  // namespace
+
+VerificationReport verify(const tdg::Tdg& t, const net::Network& net, const Deployment& d,
+                          const VerifyOptions& options) {
+    obs::Span span(options.sink, "verify");
+    VerificationReport report = verify_impl(t, net, d, options);
+    if (options.sink != nullptr) {
+        options.sink->counter("verify.violations")
+            .add(static_cast<std::int64_t>(report.violations.size()));
     }
     return report;
 }

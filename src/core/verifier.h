@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "core/options.h"
 
 namespace hermes::core {
 
-struct VerifyOptions {
+// Inherits core::CommonOptions; a non-null `sink` wraps the check in a
+// "verify" span and counts violations under verify.violations.
+struct VerifyOptions : CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();  // t_e2e bound
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
 };

@@ -43,7 +43,7 @@ public:
           n_(ctx.structurals()),
           m_(ctx.rows()),
           total_(ctx.structurals() + ctx.rows()),
-          deadline_(make_deadline(options.max_seconds)) {
+          deadline_(make_deadline(options.time_limit_seconds)) {
         ws_.lower.assign(total_, 0.0);
         ws_.upper.assign(total_, 0.0);
         for (std::size_t j = 0; j < n_; ++j) {
@@ -106,12 +106,12 @@ public:
             // badly drifted parent basis can cost far more than solving from
             // the logical basis, and the cold attempt is always available.
             const std::int64_t limit =
-                warm ? std::min(options_.max_iterations,
+                warm ? std::min(options_.iteration_limit,
                                 result.iterations + warm_pivot_budget())
-                     : options_.max_iterations;
+                     : options_.iteration_limit;
             const Verdict v = iterate(result.iterations, limit);
             if (v == Verdict::kIterationLimit) {
-                if (warm && result.iterations < options_.max_iterations &&
+                if (warm && result.iterations < options_.iteration_limit &&
                     std::chrono::steady_clock::now() <= deadline_) {
                     continue;  // warm budget exhausted; redo cold
                 }
@@ -138,6 +138,7 @@ public:
                 continue;  // drifted warm solve; redo cold
             }
             result.status = LpStatus::kOptimal;
+            result.warm_used = warm;
             export_basis(result.basis);
             return result;
         }
@@ -700,8 +701,8 @@ LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_se
     }
     const LpContext ctx(model);
     LpOptions options;
-    options.max_iterations = max_iterations;
-    options.max_seconds = max_seconds;
+    options.iteration_limit = max_iterations;
+    options.time_limit_seconds = max_seconds;
     options.warm_basis = warm_basis;
     return ctx.solve(ctx.model_lower(), ctx.model_upper(), options);
 }

@@ -43,6 +43,7 @@
 #include <span>
 #include <vector>
 
+#include "core/options.h"
 #include "milp/model.h"
 
 namespace hermes::milp {
@@ -81,12 +82,20 @@ struct LpResult {
     std::vector<double> values;         // one per model variable (original space)
     std::int64_t iterations = 0;        // pivots + bound flips + refactorization etas
     Basis basis;                        // exported on kOptimal; empty otherwise
+    // True when a supplied warm basis survived to the returned optimum (a
+    // false value on kOptimal means the warm attempt degraded to the cold
+    // path). Feeds the lp.warm_hits / lp.warm_misses observability counters.
+    bool warm_used = false;
 };
 
-struct LpOptions {
-    std::int64_t max_iterations = 200000;
-    // Wall-clock budget (checked periodically; expiry yields kIterationLimit).
-    double max_seconds = 1e18;
+// Inherits the common knobs (core/options.h): `iteration_limit` replaces the
+// pre-obs `max_iterations` spelling (default 200000 pivots) and
+// `time_limit_seconds` replaces `max_seconds` (checked periodically; expiry
+// yields kIterationLimit). threads/seed are accepted but unused — one LP
+// solve is single-threaded and deterministic.
+struct LpOptions : core::CommonOptions {
+    LpOptions() noexcept { iteration_limit = 200000; }
+
     // Non-empty parent basis to warm start from; incompatible or numerically
     // unusable bases silently degrade to the cold path.
     const Basis* warm_basis = nullptr;

@@ -516,6 +516,7 @@ LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_se
         // that cost_rhs accumulates over the pivot sequence.
         result.objective = model.objective_value(result.values);
         result.status = LpStatus::kOptimal;
+        result.warm_used = warm_attempt;
 
         result.basis.basic.reserve(t.rows());
         for (std::size_t r = 0; r < t.rows(); ++r) {

@@ -11,6 +11,7 @@
 
 #include "milp/presolve.h"
 #include "milp/simplex_reference.h"
+#include "obs/obs.h"
 
 namespace hermes::milp {
 
@@ -113,7 +114,18 @@ public:
           options_(options),
           context_(model),
           sense_(model.is_minimization() ? 1.0 : -1.0),
-          start_(Clock::now()) {}
+          start_(Clock::now()),
+          sink_(options.sink) {
+        if (sink_ != nullptr) {
+            // Look the metrics up once; workers bump the cached references.
+            warm_attempts_ = &sink_->counter("lp.warm_attempts");
+            warm_hits_ = &sink_->counter("lp.warm_hits");
+            warm_misses_ = &sink_->counter("lp.warm_misses");
+            idle_ns_ = &sink_->counter("bb.idle_ns");
+            lp_iterations_per_node_ = &sink_->histogram(
+                "bb.lp_iterations_per_node", obs::geometric_bounds(1.0, 4.0, 10));
+        }
+    }
 
     MilpResult run() {
         if (options_.warm_start &&
@@ -131,10 +143,14 @@ public:
         {
             std::vector<std::jthread> pool;
             pool.reserve(static_cast<std::size_t>(threads - 1));
-            for (int i = 1; i < threads; ++i) pool.emplace_back([this] { worker(); });
-            worker();  // the calling thread is worker 0
+            for (int i = 1; i < threads; ++i) pool.emplace_back([this, i] { worker(i); });
+            worker(0);  // the calling thread is worker 0
         }  // jthreads join here
 
+        if (sink_ != nullptr) {
+            sink_->counter("bb.nodes").add(nodes_);
+            sink_->counter("bb.lp_iterations").add(lp_iterations_);
+        }
         MilpResult result;
         result.nodes = nodes_;
         result.lp_iterations = lp_iterations_;
@@ -175,7 +191,20 @@ private:
         return std::chrono::duration<double>(Clock::now() - start_).count();
     }
 
-    void worker() {
+    // Per-worker tallies, flushed to the sink once at worker exit so the
+    // node loop never touches the shared metric atomics.
+    struct WorkerStats {
+        std::int64_t idle_ns = 0;
+        std::int64_t warm_attempts = 0;
+        std::int64_t warm_hits = 0;
+    };
+
+    void worker(int index) {
+        if (sink_ != nullptr && index > 0) {
+            sink_->name_thread("bb.worker." + std::to_string(index));
+        }
+        obs::Span lane(sink_, "bb.worker");
+        WorkerStats stats;
         // Per-worker scratch: bound vectors perturbed per node against the
         // shared context, the kernel workspace, and (reference path only) a
         // private Model copy whose bounds mutate per node.
@@ -188,11 +217,14 @@ private:
             Node node;
             {
                 std::unique_lock lk(mu_);
+                const std::int64_t wait_start = sink_ != nullptr ? obs::now_ns() : 0;
                 cv_.wait(lk, [&] { return stop_ || !open_.empty() || in_flight_ == 0; });
+                if (sink_ != nullptr) stats.idle_ns += obs::now_ns() - wait_start;
                 if (stop_) break;
                 if (open_.empty()) break;  // in_flight_ == 0: search exhausted
                 if (seconds() > options_.time_limit_seconds ||
-                    nodes_ >= options_.node_limit) {
+                    nodes_ >= options_.node_limit ||
+                    lp_iterations_ >= options_.iteration_limit) {
                     hit_limit_ = true;
                     stop_ = true;
                     cv_.notify_all();
@@ -205,7 +237,10 @@ private:
                 if (node.parent_bound >= incumbent_ - options_.absolute_gap) continue;
                 ++in_flight_;
             }
-            process(std::move(node), lower, upper, workspace, ref_work);
+            {
+                obs::Span node_span(sink_, "bb.node");
+                process(std::move(node), lower, upper, workspace, ref_work, stats);
+            }
             {
                 const std::lock_guard lk(mu_);
                 --in_flight_;
@@ -213,10 +248,16 @@ private:
             cv_.notify_all();
         }
         cv_.notify_all();  // wake peers so they observe stop/exhaustion too
+        if (sink_ != nullptr) {
+            idle_ns_->add(stats.idle_ns);
+            warm_attempts_->add(stats.warm_attempts);
+            warm_hits_->add(stats.warm_hits);
+            warm_misses_->add(stats.warm_attempts - stats.warm_hits);
+        }
     }
 
     void process(Node node, std::vector<double>& lower, std::vector<double>& upper,
-                 LpWorkspace& workspace, Model& ref_work) {
+                 LpWorkspace& workspace, Model& ref_work, WorkerStats& stats) {
         // Each LP inherits the remaining wall-clock budget so one long
         // solve cannot blow through the MILP time limit.
         const double remaining =
@@ -238,8 +279,8 @@ private:
                 upper[j] = std::min(upper[j], ch.upper);
             }
             LpOptions lp_options;
-            lp_options.max_iterations = options_.lp_iteration_limit;
-            lp_options.max_seconds = remaining;
+            lp_options.iteration_limit = options_.lp_iteration_limit;
+            lp_options.time_limit_seconds = remaining;
             lp_options.warm_basis = warm;
             lp_options.refactor_interval = options_.lp_refactor_interval;
             lp = context_.solve(lower, upper, lp_options, &workspace);
@@ -248,6 +289,14 @@ private:
                 lower[j] = context_.model_lower()[j];
                 upper[j] = context_.model_upper()[j];
             }
+        }
+
+        if (sink_ != nullptr) {
+            if (warm != nullptr) {
+                ++stats.warm_attempts;
+                if (lp.warm_used) ++stats.warm_hits;
+            }
+            lp_iterations_per_node_->observe(static_cast<double>(lp.iterations));
         }
 
         const std::lock_guard lk(mu_);
@@ -333,6 +382,12 @@ private:
     const LpContext context_;  // shared, immutable; bounds live per worker
     const double sense_;
     const Clock::time_point start_;
+    obs::Sink* const sink_;
+    obs::Counter* warm_attempts_ = nullptr;
+    obs::Counter* warm_hits_ = nullptr;
+    obs::Counter* warm_misses_ = nullptr;
+    obs::Counter* idle_ns_ = nullptr;
+    obs::Histogram* lp_iterations_per_node_ = nullptr;
 
     std::mutex mu_;
     std::condition_variable cv_;

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/options.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
 
@@ -36,14 +37,22 @@ enum class MilpStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(MilpStatus s) noexcept;
 
-struct MilpOptions {
-    double time_limit_seconds = 60.0;
+// The common knobs (threads, seed, time_limit_seconds, iteration_limit,
+// verbosity, sink) are inherited from core::CommonOptions: `threads` is the
+// branch-and-bound worker count (0 = hardware concurrency),
+// `time_limit_seconds` the search's wall-clock budget (default 60 s),
+// `iteration_limit` a cap on the total simplex pivots across the whole
+// search, and `sink` makes the search record per-worker trace lanes plus
+// bb.*/lp.* counters.
+struct MilpOptions : core::CommonOptions {
+    MilpOptions() noexcept { time_limit_seconds = 60.0; }
+
     std::int64_t node_limit = 1'000'000;
+    // Pivot cap for one node LP (distinct from the search-wide
+    // CommonOptions::iteration_limit).
     std::int64_t lp_iteration_limit = 200000;
     double integrality_tolerance = 1e-6;
     double absolute_gap = 1e-6;  // stop when incumbent - bound <= gap
-    // Branch-and-bound worker threads; 0 = std::thread::hardware_concurrency().
-    int threads = 1;
     // Warm start child LPs from the parent's exported basis (disable only to
     // measure the cold-solve baseline; results are identical either way).
     bool warm_lp_basis = true;

@@ -1,0 +1,118 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace hermes::obs {
+
+namespace {
+
+// Minimal JSON string escaping (control characters, quote, backslash).
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+// Fixed three-decimal microseconds (trace_event ts/dur are in us). Printed
+// via snprintf so the output is locale-independent.
+std::string us_fixed(std::int64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+    return buf;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(const Sink& sink, std::ostream& os) {
+    const std::int64_t epoch = sink.epoch_ns();
+    os << "[";
+    bool first = true;
+    for (const auto& [tid, name] : sink.thread_names()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name)
+           << "\"}}";
+    }
+    for (const TraceEvent& e : sink.events()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\""
+           << json_escape(e.name) << "\",\"ts\":" << us_fixed(e.start_ns - epoch)
+           << ",\"dur\":" << us_fixed(e.end_ns - e.start_ns) << "}";
+    }
+    os << "\n]\n";
+}
+
+void write_metrics_json(const Sink& sink, std::ostream& os) {
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const Sink::CounterValue& c : sink.counters()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n    \"" << json_escape(c.name) << "\": " << c.value;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const Sink::HistogramValue& h : sink.histograms()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n    \"" << json_escape(h.name) << "\": {\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            os << (i ? ", " : "") << json_number(h.bounds[i]);
+        }
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            os << (i ? ", " : "") << h.counts[i];
+        }
+        os << "], \"count\": " << h.count << ", \"sum\": " << json_number(h.sum) << "}";
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool write_chrome_trace_file(const Sink& sink, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    write_chrome_trace(sink, out);
+    return static_cast<bool>(out);
+}
+
+bool write_metrics_json_file(const Sink& sink, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    write_metrics_json(sink, out);
+    return static_cast<bool>(out);
+}
+
+}  // namespace hermes::obs

@@ -1,0 +1,30 @@
+// Exporters for obs::Sink snapshots.
+//
+// Chrome trace: a JSON array of trace_event "X" (complete) events — one per
+// recorded span, timestamped in microseconds relative to the sink epoch,
+// with one lane per thread — plus "M" metadata events carrying thread
+// names. Open the file in chrome://tracing or https://ui.perfetto.dev.
+//
+// Metrics: a single flat JSON object,
+//   {"counters": {name: value, ...},
+//    "histograms": {name: {"bounds": [...], "counts": [...],
+//                          "count": N, "sum": S}, ...}}
+// with name-sorted keys, so bench tooling and CI can diff runs with jq.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace hermes::obs {
+
+void write_chrome_trace(const Sink& sink, std::ostream& os);
+void write_metrics_json(const Sink& sink, std::ostream& os);
+
+// File variants; false (with no file written or a partial file) when the
+// path cannot be opened or the stream fails.
+[[nodiscard]] bool write_chrome_trace_file(const Sink& sink, const std::string& path);
+[[nodiscard]] bool write_metrics_json_file(const Sink& sink, const std::string& path);
+
+}  // namespace hermes::obs

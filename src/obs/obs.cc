@@ -1,0 +1,165 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::obs {
+
+namespace {
+
+// Process-wide lane ids: one per OS thread, assigned on the thread's first
+// span so lanes are numbered in order of appearance.
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t t_tid = 0;
+
+std::uint32_t this_thread_tid() {
+    if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return t_tid;
+}
+
+// Thread-local (sink id -> buffer) cache. Sink ids are process-unique and
+// never reused, so a stale entry for a destroyed sink can never be looked up
+// again — it is just a few idle bytes until the thread exits.
+struct LocalRef {
+    std::uint64_t sink_id = 0;
+    void* buffer = nullptr;
+};
+thread_local std::vector<LocalRef> t_refs;
+
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        if (!(bounds_[i - 1] < bounds_[i])) {
+            throw std::invalid_argument("obs::Histogram: bounds must be ascending");
+        }
+    }
+    buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::int64_t> Histogram::counts() const {
+    std::vector<std::int64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::vector<double> geometric_bounds(double first, double factor, std::size_t count) {
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double b = first;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(b);
+        b *= factor;
+    }
+    return bounds;
+}
+
+Sink::Sink()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)), epoch_ns_(now_ns()) {}
+
+Sink::~Sink() = default;
+
+Counter& Sink::counter(std::string_view name) {
+    const std::lock_guard lk(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Histogram& Sink::histogram(std::string_view name, std::vector<double> bounds) {
+    const std::lock_guard lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Sink::ThreadBuffer& Sink::local_buffer() {
+    for (const LocalRef& r : t_refs) {
+        if (r.sink_id == id_) return *static_cast<ThreadBuffer*>(r.buffer);
+    }
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = this_thread_tid();
+    ThreadBuffer* raw = buffer.get();
+    {
+        const std::lock_guard lk(mu_);
+        buffers_.push_back(std::move(buffer));
+    }
+    t_refs.push_back(LocalRef{id_, raw});
+    return *raw;
+}
+
+void Sink::record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns) {
+    ThreadBuffer& buffer = local_buffer();
+    buffer.events.push_back(TraceEvent{name, start_ns, end_ns, buffer.tid});
+}
+
+void Sink::name_thread(std::string name) {
+    const std::uint32_t tid = this_thread_tid();
+    const std::lock_guard lk(mu_);
+    thread_names_[tid] = std::move(name);
+}
+
+std::vector<TraceEvent> Sink::events() const {
+    std::vector<TraceEvent> out;
+    {
+        const std::lock_guard lk(mu_);
+        for (const auto& buffer : buffers_) {
+            out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+        if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+        if (a.tid != b.tid) return a.tid < b.tid;
+        return a.end_ns > b.end_ns;  // enclosing span first
+    });
+    return out;
+}
+
+std::vector<Sink::CounterValue> Sink::counters() const {
+    const std::lock_guard lk(mu_);
+    std::vector<CounterValue> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+        out.push_back(CounterValue{name, counter->value()});
+    }
+    return out;
+}
+
+std::vector<Sink::HistogramValue> Sink::histograms() const {
+    const std::lock_guard lk(mu_);
+    std::vector<HistogramValue> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        out.push_back(HistogramValue{name, h->bounds(), h->counts(), h->count(), h->sum()});
+    }
+    return out;
+}
+
+std::map<std::uint32_t, std::string> Sink::thread_names() const {
+    const std::lock_guard lk(mu_);
+    return thread_names_;
+}
+
+}  // namespace hermes::obs

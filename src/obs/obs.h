@@ -1,0 +1,190 @@
+// Pipeline observability: low-overhead tracing spans and process metrics.
+//
+// One obs::Sink represents one observed run (a CLI invocation, a bench
+// sweep, a test). Instrumented code receives a `Sink*` through
+// core::CommonOptions — never through a global — and wraps phases in RAII
+// obs::Span objects and bumps obs::Counter / obs::Histogram entries looked
+// up by name. A null sink disables everything: Span construction is two
+// pointer stores and one branch, counter lookups are skipped by the caller,
+// and no clock is read — the instrumented hot paths (the branch-and-bound
+// node loop, the greedy anchor search) run at their uninstrumented speed.
+//
+// Concurrency model:
+//  - Span completion appends to a per-thread buffer owned by the sink. The
+//    append takes no lock (only the owning thread touches its buffer); the
+//    buffer is registered with the sink once, under the sink mutex, on the
+//    thread's first span against that sink.
+//  - Counters and histograms are shared atomics: `counter(name)` returns a
+//    stable reference that may be cached and bumped from any thread.
+//  - Flush (events() / the exporters in obs/export.h) merges the thread
+//    buffers under the sink mutex. It must not run concurrently with span
+//    recording: flush after the instrumented phase's worker threads have
+//    been joined. Hermes's pipelines all join their pools before returning,
+//    so flushing between pipeline calls is always safe.
+//
+// Exporters live in obs/export.h: Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and a flat metrics JSON that
+// bench tooling and CI diff with jq.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::obs {
+
+// Monotonic nanoseconds (steady clock).
+[[nodiscard]] inline std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// One completed span. `name` must have static storage duration (the
+// instrumentation passes string literals), which keeps recording
+// allocation-free.
+struct TraceEvent {
+    const char* name = "";
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+    std::uint32_t tid = 0;  // process-unique lane id (assigned per thread)
+};
+
+// Monotonic counter. add() is wait-free and safe from any thread.
+class Counter {
+public:
+    void add(std::int64_t delta) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+// with an implicit overflow bucket at the end. observe() is wait-free.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value) noexcept;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+    // bounds().size() + 1 entries; the last is the overflow bucket.
+    [[nodiscard]] std::vector<std::int64_t> counts() const;
+    [[nodiscard]] std::int64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+// Geometric bucket bounds: {first, first*factor, ...} (count entries).
+[[nodiscard]] std::vector<double> geometric_bounds(double first, double factor,
+                                                   std::size_t count);
+
+class Sink {
+public:
+    Sink();
+    ~Sink();
+    Sink(const Sink&) = delete;
+    Sink& operator=(const Sink&) = delete;
+
+    // Named metric registry. The returned references stay valid for the
+    // sink's lifetime; hot loops should look a metric up once and cache the
+    // reference. A histogram's bounds are fixed by its first registration.
+    [[nodiscard]] Counter& counter(std::string_view name);
+    [[nodiscard]] Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+    // Appends one completed span to the calling thread's buffer. Normally
+    // called by ~Span; also the test seam for deterministic exporter
+    // fixtures (timestamps are taken verbatim).
+    void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns);
+
+    // Labels the calling thread's lane in the trace export.
+    void name_thread(std::string name);
+
+    struct CounterValue {
+        std::string name;
+        std::int64_t value = 0;
+    };
+    struct HistogramValue {
+        std::string name;
+        std::vector<double> bounds;
+        std::vector<std::int64_t> counts;
+        std::int64_t count = 0;
+        double sum = 0.0;
+    };
+
+    // Snapshots, name-sorted (deterministic for golden files). events() is
+    // sorted by (start, tid) and merges every registered thread buffer; see
+    // the flush contract in the file comment.
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+    [[nodiscard]] std::vector<CounterValue> counters() const;
+    [[nodiscard]] std::vector<HistogramValue> histograms() const;
+    [[nodiscard]] std::map<std::uint32_t, std::string> thread_names() const;
+
+    // Trace timestamps are exported relative to this epoch (defaults to the
+    // construction instant). Overridable so tests can pin exact exporter
+    // output.
+    [[nodiscard]] std::int64_t epoch_ns() const noexcept { return epoch_ns_; }
+    void set_epoch_ns(std::int64_t ns) noexcept { epoch_ns_ = ns; }
+
+private:
+    struct ThreadBuffer {
+        std::vector<TraceEvent> events;
+        std::uint32_t tid = 0;
+    };
+
+    [[nodiscard]] ThreadBuffer& local_buffer();
+
+    const std::uint64_t id_;  // process-unique; keys the thread-local cache
+    std::int64_t epoch_ns_;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    std::map<std::uint32_t, std::string> thread_names_;
+};
+
+// RAII trace span. With a null sink the constructor is two stores and a
+// branch — no clock read, no allocation — so instrumentation left in place
+// costs nothing when observability is off.
+class Span {
+public:
+    Span(Sink* sink, const char* name) noexcept
+        : sink_(sink), name_(name), start_ns_(sink ? now_ns() : 0) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    // Ends the span early (idempotent).
+    void end() {
+        if (sink_ == nullptr) return;
+        sink_->record_span(name_, start_ns_, now_ns());
+        sink_ = nullptr;
+    }
+
+private:
+    Sink* sink_;
+    const char* name_;
+    std::int64_t start_ns_;
+};
+
+}  // namespace hermes::obs

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "p4/lexer.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace hermes::p4 {
@@ -48,13 +49,13 @@ public:
         while (!at_end()) {
             const Token& tok = peek();
             if (tok.kind != TokenKind::kIdentifier) {
-                fail(tok.line, "expected a declaration, got " + describe(tok));
+                fail_at(tok, "expected a declaration, got " + describe(tok));
             }
             if (tok.text == "header" || tok.text == "metadata") parse_fields();
             else if (tok.text == "action") parse_action();
             else if (tok.text == "table") parse_table();
             else if (tok.text == "control") parse_control();
-            else fail(tok.line, "unknown declaration '" + tok.text + "'");
+            else fail_at(tok, "unknown declaration '" + tok.text + "'");
         }
         if (!control_) fail(last_line(), "program has no control block");
         return lower(program_name);
@@ -71,8 +72,7 @@ private:
     const Token& expect(TokenKind kind) {
         const Token& tok = advance();
         if (tok.kind != kind) {
-            fail(tok.line, std::string("expected ") + to_string(kind) + ", got " +
-                               describe(tok));
+            fail_at(tok, std::string("expected ") + to_string(kind) + ", got " + describe(tok));
         }
         return tok;
     }
@@ -80,7 +80,7 @@ private:
     void expect_keyword(const std::string& word) {
         const Token& tok = expect(TokenKind::kIdentifier);
         if (tok.text != word) {
-            fail(tok.line, "expected '" + word + "', got '" + tok.text + "'");
+            fail_at(tok, "expected '" + word + "', got '" + tok.text + "'");
         }
     }
 
@@ -93,7 +93,14 @@ private:
     }
 
     [[noreturn]] static void fail(int line, const std::string& message) {
-        throw std::invalid_argument("p4: line " + std::to_string(line) + ": " + message);
+        throw util::StatusError(
+            util::Status::invalid(message, util::SourceLoc{"", line, 0}));
+    }
+
+    // Token-anchored failure: points at the token's exact line:col.
+    [[noreturn]] static void fail_at(const Token& tok, const std::string& message) {
+        throw util::StatusError(
+            util::Status::invalid(message, util::SourceLoc{"", tok.line, tok.col}));
     }
 
     [[nodiscard]] static std::string describe(const Token& tok) {
@@ -116,10 +123,10 @@ private:
             const Token& width = expect(TokenKind::kNumber);
             expect(TokenKind::kSemicolon);
             const long bits = util::parse_int(width.text);
-            if (bits <= 0) fail(width.line, "field width must be positive");
+            if (bits <= 0) fail_at(width, "field width must be positive");
             const int bytes = static_cast<int>((bits + 7) / 8);
             const std::string full = prefix + "." + name.text;
-            if (fields_.count(full)) fail(name.line, "duplicate field '" + full + "'");
+            if (fields_.count(full)) fail_at(name, "duplicate field '" + full + "'");
             fields_.emplace(full, is_metadata ? tdg::metadata_field(full, bytes)
                                               : tdg::header_field(full, bytes));
         }
@@ -130,7 +137,7 @@ private:
         advance();  // action
         const Token& name = expect(TokenKind::kIdentifier);
         if (actions_.count(name.text)) {
-            fail(name.line, "duplicate action '" + name.text + "'");
+            fail_at(name, "duplicate action '" + name.text + "'");
         }
         expect(TokenKind::kLParen);
         // Formal parameters are accepted and ignored (they carry rule data,
@@ -146,7 +153,7 @@ private:
             expect_keyword("writes");
             const Token& field = expect(TokenKind::kIdentifier);
             if (!fields_.count(field.text)) {
-                fail(field.line, "unknown field '" + field.text + "'");
+                fail_at(field, "unknown field '" + field.text + "'");
             }
             writes.push_back(field.text);
             expect(TokenKind::kSemicolon);
@@ -160,7 +167,7 @@ private:
         if (tok.text == "lpm") return MatchKind::kLpm;
         if (tok.text == "ternary") return MatchKind::kTernary;
         if (tok.text == "range") return MatchKind::kRange;
-        fail(tok.line, "unknown match kind '" + tok.text + "'");
+        fail_at(tok, "unknown match kind '" + tok.text + "'");
     }
 
     void parse_table() {
@@ -169,7 +176,7 @@ private:
         const Token& name = expect(TokenKind::kIdentifier);
         decl.name = name.text;
         decl.line = name.line;
-        if (tables_.count(decl.name)) fail(name.line, "duplicate table '" + decl.name + "'");
+        if (tables_.count(decl.name)) fail_at(name, "duplicate table '" + decl.name + "'");
         expect(TokenKind::kLBrace);
         while (peek().kind != TokenKind::kRBrace) {
             const Token& prop = expect(TokenKind::kIdentifier);
@@ -179,7 +186,7 @@ private:
                 while (peek().kind != TokenKind::kRBrace) {
                     const Token& field = expect(TokenKind::kIdentifier);
                     if (!fields_.count(field.text)) {
-                        fail(field.line, "unknown field '" + field.text + "'");
+                        fail_at(field, "unknown field '" + field.text + "'");
                     }
                     MatchKind kind = MatchKind::kExact;
                     if (peek().kind == TokenKind::kColon) {
@@ -195,7 +202,7 @@ private:
                 while (peek().kind != TokenKind::kRBrace) {
                     const Token& action = expect(TokenKind::kIdentifier);
                     if (!actions_.count(action.text)) {
-                        fail(action.line, "unknown action '" + action.text + "'");
+                        fail_at(action, "unknown action '" + action.text + "'");
                     }
                     decl.actions.push_back(action.text);
                     expect(TokenKind::kSemicolon);
@@ -206,11 +213,11 @@ private:
             } else if (prop.text == "resource") {
                 const Token& value = advance();
                 if (value.kind != TokenKind::kReal && value.kind != TokenKind::kNumber) {
-                    fail(value.line, "resource must be a number");
+                    fail_at(value, "resource must be a number");
                 }
                 decl.resource = util::parse_double(value.text);
             } else {
-                fail(prop.line, "unknown table property '" + prop.text + "'");
+                fail_at(prop, "unknown table property '" + prop.text + "'");
             }
             if (peek().kind == TokenKind::kSemicolon) advance();
         }
@@ -236,7 +243,7 @@ private:
                 Statement stmt;
                 stmt.apply_table = expect(TokenKind::kIdentifier).text;
                 if (!tables_.count(stmt.apply_table)) {
-                    fail(tok.line, "unknown table '" + stmt.apply_table + "'");
+                    fail_at(tok, "unknown table '" + stmt.apply_table + "'");
                 }
                 expect(TokenKind::kRParen);
                 expect(TokenKind::kSemicolon);
@@ -246,13 +253,13 @@ private:
                 Statement stmt;
                 stmt.if_field = expect(TokenKind::kIdentifier).text;
                 if (!fields_.count(stmt.if_field)) {
-                    fail(tok.line, "unknown field '" + stmt.if_field + "'");
+                    fail_at(tok, "unknown field '" + stmt.if_field + "'");
                 }
                 expect(TokenKind::kRParen);
                 stmt.if_body = parse_block();
                 body.push_back(std::move(stmt));
             } else {
-                fail(tok.line, "expected 'apply' or 'if', got '" + tok.text + "'");
+                fail_at(tok, "expected 'apply' or 'if', got '" + tok.text + "'");
             }
         }
         expect(TokenKind::kRBrace);
@@ -261,7 +268,7 @@ private:
 
     void parse_control() {
         const Token& kw = advance();  // control
-        if (control_) fail(kw.line, "duplicate control block");
+        if (control_) fail_at(kw, "duplicate control block");
         control_ = parse_block();
     }
 
@@ -336,14 +343,36 @@ private:
 
 }  // namespace
 
+util::StatusOr<prog::Program> try_compile(std::string_view source) {
+    try {
+        return Parser(source).run();
+    } catch (const util::StatusError& e) {
+        return e.status();
+    }
+}
+
+util::StatusOr<prog::Program> try_compile_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        return util::Status::io("p4::compile_file: cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return Parser(buffer.str()).run();
+    } catch (const util::StatusError& e) {
+        return e.status().with_file(path);
+    }
+}
+
+// A StatusError already is the std::invalid_argument the historical API
+// promised, so the parser's exceptions propagate unchanged.
 prog::Program compile(std::string_view source) { return Parser(source).run(); }
 
 prog::Program compile_file(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) throw std::runtime_error("p4::compile_file: cannot open '" + path + "'");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return compile(buffer.str());
+    util::StatusOr<prog::Program> result = try_compile_file(path);
+    result.status().throw_if_error();
+    return std::move(result).value();
 }
 
 }  // namespace hermes::p4

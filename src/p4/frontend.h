@@ -40,17 +40,26 @@
 #include <string_view>
 
 #include "prog/program.h"
+#include "util/status.h"
 
 namespace hermes::p4 {
 
-// Compiles mini-P4 source into a Program. Throws std::invalid_argument with
-// a line number and message on lexical, syntactic, or semantic errors
-// (unknown fields, unknown tables, tables applied twice, missing control
-// block, ...).
+// Compiles mini-P4 source into a Program. Lexical, syntactic, and semantic
+// errors (unknown fields, unknown tables, tables applied twice, missing
+// control block, ...) come back as a status whose location carries the
+// line — and, for token-anchored errors, the column.
+[[nodiscard]] util::StatusOr<prog::Program> try_compile(std::string_view source);
+
+// Loads and compiles a .p4mini file. An unreadable file yields a kIo status;
+// compile errors carry the path in their location ("path:line:col: message").
+[[nodiscard]] util::StatusOr<prog::Program> try_compile_file(const std::string& path);
+
+// Throwing wrapper around try_compile: throws std::invalid_argument with the
+// status's line:col message on any compile error.
 [[nodiscard]] prog::Program compile(std::string_view source);
 
-// Loads and compiles a .p4mini file; throws std::runtime_error when the file
-// cannot be read.
+// Throwing wrapper around try_compile_file: std::runtime_error when the file
+// cannot be read, std::invalid_argument on compile errors.
 [[nodiscard]] prog::Program compile_file(const std::string& path);
 
 }  // namespace hermes::p4

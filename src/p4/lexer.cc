@@ -1,7 +1,8 @@
 #include "p4/lexer.h"
 
 #include <cctype>
-#include <stdexcept>
+
+#include "util/status.h"
 
 namespace hermes::p4 {
 
@@ -27,7 +28,9 @@ std::vector<Token> tokenize(std::string_view source) {
     std::vector<Token> tokens;
     int line = 1;
     std::size_t i = 0;
+    std::size_t line_begin = 0;  // index of the current line's first character
     const std::size_t n = source.size();
+    auto col_at = [&](std::size_t pos) { return static_cast<int>(pos - line_begin) + 1; };
 
     auto is_ident_start = [](char c) {
         return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -42,6 +45,7 @@ std::vector<Token> tokenize(std::string_view source) {
         if (c == '\n') {
             ++line;
             ++i;
+            line_begin = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -56,7 +60,8 @@ std::vector<Token> tokenize(std::string_view source) {
             std::size_t begin = i;
             while (i < n && is_ident_char(source[i])) ++i;
             tokens.push_back(Token{TokenKind::kIdentifier,
-                                   std::string(source.substr(begin, i - begin)), line});
+                                   std::string(source.substr(begin, i - begin)), line,
+                                   col_at(begin)});
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -68,7 +73,8 @@ std::vector<Token> tokenize(std::string_view source) {
                 ++i;
             }
             tokens.push_back(Token{real ? TokenKind::kReal : TokenKind::kNumber,
-                                   std::string(source.substr(begin, i - begin)), line});
+                                   std::string(source.substr(begin, i - begin)), line,
+                                   col_at(begin)});
             continue;
         }
         TokenKind kind;
@@ -82,14 +88,14 @@ std::vector<Token> tokenize(std::string_view source) {
             case ',': kind = TokenKind::kComma; break;
             case '=': kind = TokenKind::kEquals; break;
             default:
-                throw std::invalid_argument("p4 lexer: line " + std::to_string(line) +
-                                            ": unexpected character '" +
-                                            std::string(1, c) + "'");
+                throw util::StatusError(util::Status::invalid(
+                    "unexpected character '" + std::string(1, c) + "'",
+                    util::SourceLoc{"", line, col_at(i)}));
         }
-        tokens.push_back(Token{kind, std::string(1, c), line});
+        tokens.push_back(Token{kind, std::string(1, c), line, col_at(i)});
         ++i;
     }
-    tokens.push_back(Token{TokenKind::kEnd, "", line});
+    tokens.push_back(Token{TokenKind::kEnd, "", line, col_at(i)});
     return tokens;
 }
 

@@ -27,12 +27,14 @@ struct Token {
     TokenKind kind = TokenKind::kEnd;
     std::string text;
     int line = 0;
+    int col = 0;  // 1-based column of the token's first character
 };
 
 [[nodiscard]] const char* to_string(TokenKind k) noexcept;
 
 // Tokenizes mini-P4 source. '//' comments run to end of line. Throws
-// std::invalid_argument with a line number on unexpected characters.
+// util::StatusError (a std::invalid_argument carrying a line:col location)
+// on unexpected characters.
 [[nodiscard]] std::vector<Token> tokenize(std::string_view source);
 
 }  // namespace hermes::p4

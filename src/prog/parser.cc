@@ -18,8 +18,8 @@ using tdg::MatchKind;
 namespace {
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& message) {
-    throw std::invalid_argument("parse_program: line " + std::to_string(line_no) + ": " +
-                                message);
+    throw util::StatusError(util::Status::invalid(
+        message, util::SourceLoc{"", static_cast<int>(line_no), 0}));
 }
 
 Field parse_field(std::string_view spec, std::size_t line_no) {
@@ -80,7 +80,8 @@ void flush(std::optional<MatDraft>& draft, Program& program, std::size_t line_no
 
 }  // namespace
 
-Program parse_program(std::string_view text) {
+namespace {
+Program parse_program_impl(std::string_view text) {
     std::optional<Program> program;
     std::optional<MatDraft> draft;
     std::size_t line_no = 0;
@@ -156,17 +157,44 @@ Program parse_program(std::string_view text) {
         }
         fail(line_no, "unknown directive '" + keyword + "'");
     }
-    if (!program) throw std::invalid_argument("parse_program: empty input");
+    if (!program) {
+        throw util::StatusError(util::Status::invalid("parse_program: empty input"));
+    }
     flush(draft, *program, line_no);
     return std::move(*program);
 }
+}  // namespace
 
-Program load_program_file(const std::string& path) {
+util::StatusOr<Program> try_parse_program(std::string_view text) {
+    try {
+        return parse_program_impl(text);
+    } catch (const util::StatusError& e) {
+        return e.status();
+    }
+}
+
+util::StatusOr<Program> try_load_program_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("load_program_file: cannot open '" + path + "'");
+    if (!in) {
+        return util::Status::io("load_program_file: cannot open '" + path + "'");
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parse_program(buffer.str());
+    try {
+        return parse_program_impl(buffer.str());
+    } catch (const util::StatusError& e) {
+        return e.status().with_file(path);
+    }
+}
+
+// A StatusError already is the std::invalid_argument the historical API
+// promised, so the impl's exceptions propagate unchanged.
+Program parse_program(std::string_view text) { return parse_program_impl(text); }
+
+Program load_program_file(const std::string& path) {
+    util::StatusOr<Program> result = try_load_program_file(path);
+    result.status().throw_if_error();
+    return std::move(result).value();
 }
 
 std::string to_text(const Program& p) {

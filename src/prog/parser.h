@@ -21,15 +21,24 @@
 #include <string_view>
 
 #include "prog/program.h"
+#include "util/status.h"
 
 namespace hermes::prog {
 
-// Parses a program from text; throws std::invalid_argument with a line
-// number on malformed input.
+// Parses a program from text. Errors carry the offending line in the
+// status location ("<input>:line: message").
+[[nodiscard]] util::StatusOr<Program> try_parse_program(std::string_view text);
+
+// Loads and parses a .prog file. An unreadable file yields a kIo status;
+// parse errors carry the path in their location ("path:line: message").
+[[nodiscard]] util::StatusOr<Program> try_load_program_file(const std::string& path);
+
+// Throwing wrapper around try_parse_program: throws std::invalid_argument
+// (with the status's file:line: message) on malformed input.
 [[nodiscard]] Program parse_program(std::string_view text);
 
-// Loads and parses a .prog file; throws std::runtime_error when the file
-// cannot be read.
+// Throwing wrapper around try_load_program_file: std::runtime_error when the
+// file cannot be read, std::invalid_argument on malformed content.
 [[nodiscard]] Program load_program_file(const std::string& path);
 
 // Serializes a program (MAT declarations plus the edges of its TDG as

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/objective.h"
+#include "obs/obs.h"
 #include "sim/events.h"
 
 namespace hermes::sim {
@@ -25,6 +26,8 @@ FlowResult simulate_flow(const std::vector<HopSpec>& hops, const FlowSpec& spec,
     if (config.link_bandwidth_gbps <= 0.0) {
         throw std::invalid_argument("simulate_flow: non-positive bandwidth");
     }
+    obs::Span span(config.sink, "flowsim.flow");
+    std::int64_t events = 0;
     FlowResult result;
     result.payload_per_packet = effective_payload(spec);
     result.packets = spec.payload_bytes_total == 0
@@ -55,6 +58,7 @@ FlowResult simulate_flow(const std::vector<HopSpec>& hops, const FlowSpec& spec,
     // One closure per (packet, hop) arrival.
     std::function<void(std::int64_t, std::size_t, double)> arrive =
         [&](std::int64_t packet, std::size_t hop, double at_us) {
+            ++events;
             if (hop == hops.size()) {
                 ++received;
                 completion_us = at_us;
@@ -85,6 +89,10 @@ FlowResult simulate_flow(const std::vector<HopSpec>& hops, const FlowSpec& spec,
     result.fct_us = completion_us;
     result.goodput_gbps =
         static_cast<double>(spec.payload_bytes_total) * 8.0 / (result.fct_us * 1e3);
+    if (config.sink != nullptr) {
+        config.sink->counter("flowsim.packets").add(result.packets);
+        config.sink->counter("flowsim.events").add(events);
+    }
     return result;
 }
 

@@ -15,6 +15,10 @@
 #include "net/path_oracle.h"
 #include "net/paths.h"
 
+namespace hermes::obs {
+class Sink;
+}  // namespace hermes::obs
+
 namespace hermes::sim {
 
 struct HopSpec {
@@ -24,6 +28,9 @@ struct HopSpec {
 
 struct SimConfig {
     double link_bandwidth_gbps = 100.0;  // the testbed's 100 Gbps links
+    // Non-null: each simulate_flow call records a flowsim.flow span plus
+    // flowsim.packets / flowsim.events counters.
+    obs::Sink* sink = nullptr;
 };
 
 struct FlowSpec {

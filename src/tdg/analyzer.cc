@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/obs.h"
 #include "tdg/field.h"
 #include "tdg/merge.h"
 
@@ -150,10 +151,25 @@ std::size_t add_write_conflict_edges(Tdg& t) {
     return added;
 }
 
-Tdg analyze_programs(std::vector<Tdg> programs) {
-    Tdg merged = merge_all(std::move(programs));
-    add_write_conflict_edges(merged);
-    analyze(merged);
+Tdg analyze_programs(std::vector<Tdg> programs, obs::Sink* sink) {
+    Tdg merged = [&] {
+        obs::Span span(sink, "analyzer.merge");
+        return merge_all(std::move(programs));
+    }();
+    std::size_t conflict_edges = 0;
+    {
+        obs::Span span(sink, "analyzer.conflict_edges");
+        conflict_edges = add_write_conflict_edges(merged);
+    }
+    {
+        obs::Span span(sink, "analyzer.annotate");
+        analyze(merged);
+    }
+    if (sink) {
+        sink->counter("analyzer.nodes").add(static_cast<std::int64_t>(merged.node_count()));
+        sink->counter("analyzer.edges").add(static_cast<std::int64_t>(merged.edges().size()));
+        sink->counter("analyzer.conflict_edges").add(static_cast<std::int64_t>(conflict_edges));
+    }
     return merged;
 }
 

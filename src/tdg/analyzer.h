@@ -14,6 +14,10 @@
 
 #include "tdg/tdg.h"
 
+namespace hermes::obs {
+class Sink;
+}  // namespace hermes::obs
+
 namespace hermes::tdg {
 
 // A(a,b) for one ordered MAT pair under dependency type `type`.
@@ -34,7 +38,9 @@ void analyze(Tdg& t);
 std::size_t add_write_conflict_edges(Tdg& t);
 
 // PROGRAM_ANALYZER: merge the program set into T_m and analyze it.
-// Throws std::invalid_argument on an empty set.
-[[nodiscard]] Tdg analyze_programs(std::vector<Tdg> programs);
+// Throws std::invalid_argument on an empty set. A non-null `sink` records
+// one span per phase (analyzer.merge / analyzer.conflict_edges /
+// analyzer.annotate) and the merged TDG's size counters.
+[[nodiscard]] Tdg analyze_programs(std::vector<Tdg> programs, obs::Sink* sink = nullptr);
 
 }  // namespace hermes::tdg

@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace hermes::util {
+
+std::string Status::to_string() const {
+    if (ok()) return "ok";
+    std::string out;
+    if (loc_.line > 0) {
+        out += loc_.file.empty() ? "<input>" : loc_.file;
+        out += ':';
+        out += std::to_string(loc_.line);
+        if (loc_.col > 0) {
+            out += ':';
+            out += std::to_string(loc_.col);
+        }
+        out += ": ";
+    } else if (!loc_.file.empty()) {
+        out += loc_.file;
+        out += ": ";
+    }
+    out += message_;
+    return out;
+}
+
+void Status::throw_if_error() const {
+    if (ok()) return;
+    if (code_ == StatusCode::kInvalidInput) throw std::invalid_argument(to_string());
+    throw std::runtime_error(to_string());
+}
+
+}  // namespace hermes::util

@@ -1,0 +1,110 @@
+// Unified error reporting for the text front ends (prog/parser, p4/frontend).
+//
+// A Status carries an error code, a message, and the source location the
+// diagnostic points at; to_string() renders the conventional
+// "file:line:col: message" form every front end and the CLI print. The
+// try_* entry points (prog::try_parse_program, p4::try_compile, ...) return
+// StatusOr<T>; the historical throwing entry points remain as thin wrappers
+// whose exception types are unchanged (std::invalid_argument for malformed
+// input, std::runtime_error for I/O failures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hermes::util {
+
+// Where a diagnostic points: file (empty = in-memory source), 1-based line
+// (0 = whole input), 1-based column (0 = unknown).
+struct SourceLoc {
+    std::string file;
+    int line = 0;
+    int col = 0;
+};
+
+enum class StatusCode : std::uint8_t {
+    kOk = 0,
+    kInvalidInput,  // malformed source (throw_if_error -> std::invalid_argument)
+    kIo,            // unreadable file   (throw_if_error -> std::runtime_error)
+};
+
+class Status {
+public:
+    Status() = default;  // ok
+
+    [[nodiscard]] static Status invalid(std::string message, SourceLoc loc = {}) {
+        return Status(StatusCode::kInvalidInput, std::move(message), std::move(loc));
+    }
+    [[nodiscard]] static Status io(std::string message, SourceLoc loc = {}) {
+        return Status(StatusCode::kIo, std::move(message), std::move(loc));
+    }
+
+    [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+    [[nodiscard]] StatusCode code() const noexcept { return code_; }
+    [[nodiscard]] const std::string& message() const noexcept { return message_; }
+    [[nodiscard]] const SourceLoc& loc() const noexcept { return loc_; }
+
+    // Same status with the location's file filled in (parsers report
+    // file-less locations; file loaders patch the path in afterwards).
+    [[nodiscard]] Status with_file(std::string file) const {
+        Status s = *this;
+        s.loc_.file = std::move(file);
+        return s;
+    }
+
+    // "file:line:col: message", omitting unknown parts; "<input>" stands in
+    // for the file of in-memory sources when a line is known. "ok" when ok().
+    [[nodiscard]] std::string to_string() const;
+
+    // No-op when ok; otherwise throws the exception type the historical
+    // APIs threw for this class of error, with to_string() as the message.
+    void throw_if_error() const;
+
+private:
+    Status(StatusCode code, std::string message, SourceLoc loc)
+        : code_(code), message_(std::move(message)), loc_(std::move(loc)) {}
+
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+    SourceLoc loc_;
+};
+
+// Exception that carries a Status. Derives std::invalid_argument so code
+// (and tests) that treats parse failures as invalid_argument keeps working;
+// the try_* entry points catch it and return the Status instead. Reserved
+// for kInvalidInput-class errors.
+class StatusError : public std::invalid_argument {
+public:
+    explicit StatusError(Status status)
+        : std::invalid_argument(status.to_string()), status_(std::move(status)) {}
+
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+private:
+    Status status_;
+};
+
+// Minimal value-or-status holder for the try_* front-end entry points.
+template <typename T>
+class StatusOr {
+public:
+    StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+    StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+    [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+    // Requires ok().
+    [[nodiscard]] T& value() & { return *value_; }
+    [[nodiscard]] const T& value() const& { return *value_; }
+    [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+}  // namespace hermes::util

@@ -186,8 +186,24 @@ TEST(P4Frontend, ErrorsCarryLineNumbers) {
         (void)compile("program p;\nheader h { f: 8; }\ntable t {\n  key = { nope; }\n}");
         FAIL() << "expected throw";
     } catch (const std::invalid_argument& ex) {
-        EXPECT_NE(std::string(ex.what()).find("line 4"), std::string::npos) << ex.what();
+        EXPECT_NE(std::string(ex.what()).find(":4:"), std::string::npos) << ex.what();
     }
+}
+
+TEST(P4Frontend, TryCompileReturnsStatusWithColumn) {
+    const auto bad = p4::try_compile(
+        "program p;\nheader h { f: 8; }\ntable t {\n  key = { nope; }\n}");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), hermes::util::StatusCode::kInvalidInput);
+    EXPECT_EQ(bad.status().loc().line, 4);
+    EXPECT_GT(bad.status().loc().col, 0);
+
+    const auto good = p4::try_compile(kMonitor);
+    ASSERT_TRUE(good.ok());
+
+    const auto missing = p4::try_compile_file("/nonexistent.p4mini");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), hermes::util::StatusCode::kIo);
 }
 
 TEST(P4Frontend, SemanticErrorsRejected) {

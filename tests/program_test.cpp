@@ -208,8 +208,27 @@ TEST(Parser, ErrorsCarryLineNumbers) {
         (void)parse_program("program p\nmat t capacity=1 resource=0.1\n  match bad_field\n");
         FAIL() << "expected throw";
     } catch (const std::invalid_argument& ex) {
-        EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos);
+        EXPECT_NE(std::string(ex.what()).find(":3:"), std::string::npos) << ex.what();
     }
+}
+
+TEST(Parser, TryParseReturnsStatus) {
+    const auto bad = prog::try_parse_program(
+        "program p\nmat t capacity=1 resource=0.1\n  match bad_field\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), hermes::util::StatusCode::kInvalidInput);
+    EXPECT_EQ(bad.status().loc().line, 3);
+    EXPECT_NE(bad.status().to_string().find(":3:"), std::string::npos);
+
+    const auto good = prog::try_parse_program(kSample);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().name(), "l3_demo");
+}
+
+TEST(Parser, TryLoadMissingFileIsIoStatus) {
+    const auto missing = prog::try_load_program_file("/nonexistent.prog");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), hermes::util::StatusCode::kIo);
 }
 
 TEST(Parser, RejectsStructuralMistakes) {

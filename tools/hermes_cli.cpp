@@ -9,8 +9,17 @@
 //   hermes_cli deploy --programs <spec> --topology <spec>
 //              [--strategy greedy|optimal|ms|sonata|speed|mtp|fp|p4all|ffl|ffls]
 //              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>]
-//              [--threads <n>] [--csv]
+//              [--threads <n>] [--seed <n>] [--csv]
+//              [--trace-out <file>] [--metrics-out <file>]
 //       Deploy and print placements, routes, and metrics.
+//
+// Every option accepts both "--flag value" and "--flag=value". Unknown
+// options exit with status 2. Parse and I/O errors print one uniform
+// "error: file:line:col: message" line and exit with status 1.
+//
+// --trace-out writes a Chrome trace_event JSON of the run (open it in
+// chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
+// flat counters/histograms JSON described in obs/export.h.
 //
 // Program specs:
 //   real[:N]           the library's real programs (first N, default 10)
@@ -31,12 +40,15 @@
 #include "core/hermes.h"
 #include "core/verifier.h"
 #include "net/topozoo.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "p4/frontend.h"
 #include "prog/library.h"
 #include "prog/parser.h"
 #include "prog/synthetic.h"
 #include "tdg/analyzer.h"
 #include "sim/testbed.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -53,16 +65,32 @@ using namespace hermes;
   hermes_cli deploy  --programs <spec> [--programs <spec> ...]
                      --topology <spec> [--strategy <name>] [--eps1 <us>]
                      [--eps2 <switches>] [--time-limit <seconds>]
-                     [--threads <n>] [--csv]
+                     [--threads <n>] [--seed <n>] [--csv]
+                     [--trace-out <file>] [--metrics-out <file>]
 
 program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
 topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
 strategies    : greedy (default) | optimal | ms | sonata | speed | mtp | fp
                 | p4all | ffl | ffls
---threads     : branch-and-bound workers for the ILP paths
+--threads     : branch-and-bound / anchor-search workers
                 (default 0 = all hardware threads)
+--seed        : RNG seed handed to the solver options (default 1)
+--trace-out   : write a Chrome trace_event JSON of the run
+--metrics-out : write the run's counters and histograms as JSON
+options also accept the --flag=value spelling
 )";
     std::exit(2);
+}
+
+// Unwraps a StatusOr, printing the uniform one-line error and exiting on
+// failure — every parse/IO problem reaches the user through this path.
+template <typename T>
+T unwrap(util::StatusOr<T> result) {
+    if (!result.ok()) {
+        std::cerr << "error: " << result.status().to_string() << "\n";
+        std::exit(1);
+    }
+    return std::move(result).value();
 }
 
 std::vector<prog::Program> parse_program_spec(const std::string& spec) {
@@ -89,10 +117,10 @@ std::vector<prog::Program> parse_program_spec(const std::string& spec) {
                                         static_cast<int>(n));
     }
     if (spec.size() > 7 && spec.substr(spec.size() - 7) == ".p4mini") {
-        return {p4::compile_file(spec)};
+        return {unwrap(p4::try_compile_file(spec))};
     }
     if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".prog") {
-        return {prog::load_program_file(spec)};
+        return {unwrap(prog::try_load_program_file(spec))};
     }
     usage("unknown program spec '" + spec + "'");
 }
@@ -145,7 +173,7 @@ void print_tdg(const tdg::Tdg& t) {
 
 int cmd_compile(const std::vector<std::string>& args) {
     if (args.size() != 1) usage("compile takes exactly one file");
-    const prog::Program p = p4::compile_file(args[0]);
+    const prog::Program p = unwrap(p4::try_compile_file(args[0]));
     std::cout << "program " << p.name() << ": " << p.mat_count() << " tables\n\n";
     tdg::Tdg t = p.to_tdg();
     tdg::analyze(t);
@@ -161,36 +189,55 @@ struct Options {
     std::int64_t eps2 = std::numeric_limits<std::int64_t>::max();
     double time_limit = 30.0;
     int threads = 0;  // 0 = hardware concurrency
+    std::uint64_t seed = 1;
     bool csv = false;
+    std::string trace_out;    // empty = no trace export
+    std::string metrics_out;  // empty = no metrics export
 };
 
 Options parse_options(const std::vector<std::string>& args, bool need_topology) {
     Options options;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        auto value = [&]() -> const std::string& {
-            if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+        std::string flag = args[i];
+        std::optional<std::string> inline_value;
+        if (flag.rfind("--", 0) == 0) {
+            if (const auto eq = flag.find('='); eq != std::string::npos) {
+                inline_value = flag.substr(eq + 1);
+                flag.erase(eq);
+            }
+        }
+        auto value = [&]() -> std::string {
+            if (inline_value) return *inline_value;
+            if (i + 1 >= args.size()) usage("missing value after " + flag);
             return args[++i];
         };
-        if (args[i] == "--programs") {
+        if (flag == "--programs") {
             for (prog::Program& p : parse_program_spec(value())) {
                 options.programs.push_back(std::move(p));
             }
-        } else if (args[i] == "--topology") {
+        } else if (flag == "--topology") {
             options.network = parse_topology_spec(value());
-        } else if (args[i] == "--strategy") {
+        } else if (flag == "--strategy") {
             options.strategy = value();
-        } else if (args[i] == "--eps1") {
+        } else if (flag == "--eps1") {
             options.eps1 = util::parse_double(value());
-        } else if (args[i] == "--eps2") {
+        } else if (flag == "--eps2") {
             options.eps2 = util::parse_int(value());
-        } else if (args[i] == "--time-limit") {
+        } else if (flag == "--time-limit") {
             options.time_limit = util::parse_double(value());
-        } else if (args[i] == "--threads") {
+        } else if (flag == "--threads") {
             options.threads = static_cast<int>(util::parse_int(value()));
-        } else if (args[i] == "--csv") {
+        } else if (flag == "--seed") {
+            options.seed = static_cast<std::uint64_t>(util::parse_int(value()));
+        } else if (flag == "--trace-out") {
+            options.trace_out = value();
+        } else if (flag == "--metrics-out") {
+            options.metrics_out = value();
+        } else if (flag == "--csv") {
+            if (inline_value) usage("--csv takes no value");
             options.csv = true;
         } else {
-            usage("unknown option '" + args[i] + "'");
+            usage("unknown option '" + flag + "'");
         }
     }
     if (options.programs.empty()) usage("--programs is required");
@@ -198,21 +245,48 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
     return options;
 }
 
+// Creates the run's sink in `storage` when an export was requested; the
+// returned pointer (null = observability off) threads through every stage.
+obs::Sink* make_sink(const Options& options, std::optional<obs::Sink>& storage) {
+    if (options.trace_out.empty() && options.metrics_out.empty()) return nullptr;
+    obs::Sink& sink = storage.emplace();
+    sink.name_thread("main");
+    return &sink;
+}
+
+void write_exports(const obs::Sink& sink, const Options& options) {
+    if (!options.trace_out.empty() &&
+        !obs::write_chrome_trace_file(sink, options.trace_out)) {
+        std::cerr << "error: cannot write trace to '" << options.trace_out << "'\n";
+        std::exit(1);
+    }
+    if (!options.metrics_out.empty() &&
+        !obs::write_metrics_json_file(sink, options.metrics_out)) {
+        std::cerr << "error: cannot write metrics to '" << options.metrics_out << "'\n";
+        std::exit(1);
+    }
+}
+
 int cmd_analyze(const std::vector<std::string>& args) {
     const Options options = parse_options(args, /*need_topology=*/false);
-    const tdg::Tdg t = core::analyze(options.programs);
+    std::optional<obs::Sink> sink_storage;
+    obs::Sink* const sink = make_sink(options, sink_storage);
+    const tdg::Tdg t = core::analyze(options.programs, sink);
     std::cout << options.programs.size() << " programs -> merged TDG with "
               << t.node_count() << " MATs, " << t.edge_count() << " dependencies, "
               << t.total_metadata_bytes() << " total metadata bytes, "
               << util::Table::num(t.total_resource_units(), 2) << " resource units\n\n";
     print_tdg(t);
+    if (sink != nullptr) write_exports(*sink, options);
     return 0;
 }
 
 int cmd_deploy(const std::vector<std::string>& args) {
     Options options = parse_options(args, /*need_topology=*/true);
     const net::Network& network = *options.network;
-    const tdg::Tdg merged = core::analyze(options.programs);
+    std::optional<obs::Sink> sink_storage;
+    obs::Sink* const sink = make_sink(options, sink_storage);
+    const tdg::Tdg merged = core::analyze(options.programs, sink);
 
     core::Deployment deployment;
     tdg::Tdg deployed_tdg = merged;
@@ -221,6 +295,9 @@ int cmd_deploy(const std::vector<std::string>& args) {
 
     if (options.strategy == "greedy" || options.strategy == "optimal") {
         core::HermesOptions hermes_options;
+        hermes_options.threads = options.threads;
+        hermes_options.seed = options.seed;
+        hermes_options.sink = sink;
         hermes_options.epsilon1 = options.eps1;
         hermes_options.epsilon2 = options.eps2;
         hermes_options.milp.time_limit_seconds = options.time_limit;
@@ -240,6 +317,9 @@ int cmd_deploy(const std::vector<std::string>& args) {
         const auto it = names.find(options.strategy);
         if (it == names.end()) usage("unknown strategy '" + options.strategy + "'");
         baselines::BaselineOptions baseline_options;
+        baseline_options.threads = options.threads;
+        baseline_options.seed = options.seed;
+        baseline_options.sink = sink;
         baseline_options.epsilon1 = options.eps1;
         baseline_options.epsilon2 = options.eps2;
         baseline_options.milp.time_limit_seconds = options.time_limit;
@@ -257,7 +337,10 @@ int cmd_deploy(const std::vector<std::string>& args) {
 
     const core::DeploymentMetrics metrics =
         core::evaluate(deployed_tdg, network, deployment);
-    const core::VerificationReport report = core::verify(deployed_tdg, network, deployment);
+    core::VerifyOptions verify_options;
+    verify_options.sink = sink;
+    const core::VerificationReport report =
+        core::verify(deployed_tdg, network, deployment, verify_options);
 
     util::Table placements({"MAT", "switch", "stage"});
     for (tdg::NodeId v = 0; v < deployed_tdg.node_count(); ++v) {
@@ -279,6 +362,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
     if (!report.ok) {
         for (const std::string& v : report.violations) std::cerr << "  ! " << v << "\n";
     }
+    if (sink != nullptr) write_exports(*sink, options);
     return report.ok ? 0 : 1;
 }
 
