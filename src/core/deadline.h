@@ -1,0 +1,81 @@
+// Cooperative cancellation token shared by every interruptible stage.
+//
+// A Deadline combines an optional wall-clock expiry with an optional shared
+// cancel flag. Copies are cheap and all refer to the same cancellation state,
+// so one token can be handed to a branch-and-bound worker pool, the simplex
+// pivot loops, and the greedy anchor search at once; each of them polls
+// expired() at a coarse granularity and unwinds to its best-known-feasible
+// answer instead of throwing. A default-constructed Deadline is inactive:
+// expired() is always false and the poll costs two branches, so passing one
+// through options structs that rarely set it is free.
+//
+// The repair pipeline (core/repair.h) is the main producer: it creates one
+// Deadline per repair attempt and the whole ladder — reroute, re-placement,
+// MILP escalation — degrades gracefully when it trips.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace hermes::core {
+
+class Deadline {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    // Inactive token: never expires, cancel() is a no-op.
+    Deadline() = default;
+
+    // Expires `seconds` from now; seconds <= 0 yields an already-expired
+    // token (useful in tests), non-finite/huge values an inactive one.
+    [[nodiscard]] static Deadline after(double seconds) {
+        Deadline d;
+        if (seconds < 1e17) {
+            d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(seconds));
+        }
+        return d;
+    }
+
+    // Token with a manual trip wire (and optionally a wall-clock expiry on
+    // top). Any copy may cancel(); every copy observes it.
+    [[nodiscard]] static Deadline cancellable(
+        double seconds = std::numeric_limits<double>::infinity()) {
+        Deadline d = after(seconds);
+        d.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return d;
+    }
+
+    // True when the token can ever expire (time bound or cancel flag set up).
+    [[nodiscard]] bool active() const noexcept {
+        return flag_ != nullptr || at_ != Clock::time_point::max();
+    }
+
+    [[nodiscard]] bool expired() const noexcept {
+        if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+        return at_ != Clock::time_point::max() && Clock::now() >= at_;
+    }
+
+    // Seconds until expiry: +inf for inactive tokens, 0 once expired.
+    [[nodiscard]] double remaining_seconds() const noexcept {
+        if (flag_ && flag_->load(std::memory_order_relaxed)) return 0.0;
+        if (at_ == Clock::time_point::max()) {
+            return std::numeric_limits<double>::infinity();
+        }
+        const double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+        return s > 0.0 ? s : 0.0;
+    }
+
+    // Trips a cancellable() token from any thread; no-op on other tokens.
+    void cancel() const noexcept {
+        if (flag_) flag_->store(true, std::memory_order_relaxed);
+    }
+
+private:
+    Clock::time_point at_ = Clock::time_point::max();
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace hermes::core

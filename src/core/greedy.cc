@@ -421,11 +421,16 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
     }
     threads = std::min<int>(threads, static_cast<int>(programmable.size()));
 
+    // An active deadline token truncates the anchor scan to the best chain
+    // found so far (trading the full deterministic sweep for a prompt exit);
+    // without one the scan is exhaustive and deterministic at any thread
+    // count.
     obs::Span search_span(options.sink, "greedy.anchor_search");
     std::atomic<std::int64_t> feasible_count{0};
     Candidate best;
     if (threads <= 1) {
         for (const net::SwitchId u : programmable) {
+            if (options.deadline.expired()) break;
             Candidate c = evaluate(u);
             if (c.feasible) feasible_count.fetch_add(1, std::memory_order_relaxed);
             if (better(c, best)) best = std::move(c);
@@ -441,6 +446,7 @@ GreedyResult deploy_segments_on_chain(const tdg::Tdg& t, const net::Network& net
                     Candidate local;
                     for (std::size_t i = next.fetch_add(1); i < programmable.size();
                          i = next.fetch_add(1)) {
+                        if (options.deadline.expired()) break;
                         Candidate c = evaluate(programmable[i]);
                         if (c.feasible) feasible_count.fetch_add(1, std::memory_order_relaxed);
                         if (better(c, local)) local = std::move(c);

@@ -116,6 +116,9 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
 
     milp::MilpOptions milp_options = options.milp;
     if (!milp_options.sink) milp_options.sink = options.sink;
+    // The facade's cancellation token reaches the branch and bound (and its
+    // node LPs) unless the caller armed a MILP-specific one.
+    if (!milp_options.deadline.active()) milp_options.deadline = options.deadline;
     if (options.warm_start_from_greedy && !milp_options.warm_start) {
         try {
             const GreedyResult g =

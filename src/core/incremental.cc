@@ -35,6 +35,11 @@ std::optional<IncrementalResult> incremental_deploy(const tdg::Tdg& combined,
     for (const tdg::Edge& e : combined.edges()) {
         if (e.from >= base_count && e.to < base_count) return std::nullopt;
     }
+    // An existing placement on a failed switch cannot be extended in place;
+    // the caller must repair (core/repair.h) before adding programs.
+    for (const Placement& p : existing.placements) {
+        if (p.sw < net.switch_count() && !net.switch_up(p.sw)) return std::nullopt;
+    }
 
     // Chain: the existing traversal order followed by untouched programmable
     // switches (nearest-first to the chain tail would need a metric; id

@@ -16,6 +16,8 @@
 #include <limits>
 #include <thread>
 
+#include "core/deadline.h"
+
 namespace hermes::obs {
 class Sink;
 }  // namespace hermes::obs
@@ -38,6 +40,11 @@ struct CommonOptions {
     // near-zero cost; non-null makes every pipeline stage record trace spans
     // and metrics into it.
     obs::Sink* sink = nullptr;
+    // Cooperative cancellation token (core/deadline.h). Inactive by default;
+    // an active token is polled by the branch-and-bound workers, the simplex
+    // pivot loops, and the greedy anchor search, each of which unwinds to its
+    // best incumbent when the token trips instead of throwing.
+    Deadline deadline{};
 
     [[nodiscard]] int resolved_threads() const noexcept {
         if (threads > 0) return threads;

@@ -1,0 +1,202 @@
+#include "core/repair.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/hermes.h"
+#include "core/objective.h"
+#include "core/verifier.h"
+#include "net/paths.h"
+#include "obs/obs.h"
+
+namespace hermes::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// True when the recorded path is fully live: every switch up, every hop a
+// live link.
+bool route_alive(const net::Network& net, const net::Path& path) {
+    for (const net::SwitchId s : path.switches) {
+        if (s >= net.switch_count() || !net.switch_up(s)) return false;
+    }
+    for (std::size_t i = 0; i + 1 < path.switches.size(); ++i) {
+        if (!net.link_up(path.switches[i], path.switches[i + 1])) return false;
+    }
+    return true;
+}
+
+std::int64_t count_moved_mats(const Deployment& before, const Deployment& after) {
+    std::int64_t moved = 0;
+    for (std::size_t i = 0; i < before.placements.size() && i < after.placements.size();
+         ++i) {
+        if (before.placements[i].sw != after.placements[i].sw) ++moved;
+    }
+    return moved;
+}
+
+}  // namespace
+
+DamageReport classify_damage(const tdg::Tdg& t, const net::Network& net,
+                             const Deployment& d) {
+    (void)t;  // the placement vector is already node-indexed
+    DamageReport report;
+    for (tdg::NodeId a = 0; a < d.placements.size(); ++a) {
+        const net::SwitchId sw = d.placements[a].sw;
+        if (sw >= net.switch_count() || !net.switch_up(sw)) {
+            report.stranded_mats.push_back(a);
+        }
+    }
+    for (const auto& [pair, path] : d.routes) {
+        if (!route_alive(net, path)) report.dead_routes.push_back(pair);
+    }
+    return report;
+}
+
+RepairResult repair(const tdg::Tdg& t, const net::Network& net, const Deployment& broken,
+                    const RepairOptions& options) {
+    obs::Span span(options.sink, "repair");
+    const auto start = Clock::now();
+    obs::Sink* const sink = options.sink;
+    if (sink != nullptr) {
+        // Register every repair.* counter up front so exported metrics carry
+        // them at 0 even on repairs that never reach the later rungs.
+        sink->counter("repair.events").add(1);
+        sink->counter("repair.reroute_only").add(0);
+        sink->counter("repair.replaced_mats").add(0);
+        sink->counter("repair.deadline_aborts").add(0);
+    }
+
+    RepairResult result;
+    result.deployment = broken;
+    auto finish = [&](const char* status, bool ok) -> RepairResult& {
+        result.status = status;
+        result.ok = ok;
+        result.repair_seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        return result;
+    };
+
+    {
+        obs::Span cspan(sink, "repair.classify");
+        result.damage = classify_damage(t, net, broken);
+    }
+    if (result.damage.intact()) return finish("intact", true);
+
+    // One token bounds the whole ladder; a plain wall-clock budget is
+    // converted so every rung polls the same thing.
+    Deadline deadline = options.deadline;
+    if (!deadline.active() && options.time_limit_seconds > 0.0 &&
+        options.time_limit_seconds < 1e17) {
+        deadline = Deadline::after(options.time_limit_seconds);
+    }
+
+    VerifyOptions verify_options;
+    static_cast<CommonOptions&>(verify_options) =
+        static_cast<const CommonOptions&>(options);
+    verify_options.epsilon1 = options.epsilon1;
+    verify_options.epsilon2 = options.epsilon2;
+
+    // Rung 1: reroute-only — every placement survives, only paths died.
+    if (result.damage.stranded_mats.empty()) {
+        obs::Span rspan(sink, "repair.reroute");
+        Deployment candidate = broken;
+        bool rewired = true;
+        std::int64_t pairs = 0;
+        for (const auto& pair : result.damage.dead_routes) {
+            auto path = options.oracle != nullptr
+                            ? options.oracle->path(pair.first, pair.second)
+                            : net::shortest_path(net, pair.first, pair.second);
+            if (!path) {
+                rewired = false;
+                break;
+            }
+            candidate.routes[pair] = std::move(*path);
+            ++pairs;
+        }
+        if (rewired && verify(t, net, candidate, verify_options).ok) {
+            result.deployment = std::move(candidate);
+            result.rerouted_pairs = pairs;
+            if (sink != nullptr) sink->counter("repair.reroute_only").add(1);
+            return finish("reroute", true);
+        }
+    }
+
+    // Rung 2: greedy re-placement on the surviving topology (the live
+    // adjacency and programmable_switches() already exclude failed elements).
+    Deployment incumbent;
+    bool have_incumbent = false;
+    {
+        obs::Span gspan(sink, "repair.replace");
+        GreedyOptions greedy_options;
+        static_cast<CommonOptions&>(greedy_options) =
+            static_cast<const CommonOptions&>(options);
+        greedy_options.deadline = deadline;
+        greedy_options.epsilon1 = options.epsilon1;
+        greedy_options.epsilon2 = options.epsilon2;
+        try {
+            GreedyResult g = greedy_deploy(t, net, greedy_options, options.oracle);
+            if (verify(t, net, g.deployment, verify_options).ok) {
+                incumbent = std::move(g.deployment);
+                have_incumbent = true;
+            }
+        } catch (const std::runtime_error&) {
+            // Surviving capacity may genuinely be short; MILP (or infeasible)
+            // decides below.
+        }
+    }
+
+    // Rung 3: opt-in exact re-solve, warm started from the incumbent.
+    bool milp_completed = false;
+    if (options.allow_milp && !deadline.expired()) {
+        obs::Span mspan(sink, "repair.milp");
+        HermesOptions hermes_options;
+        static_cast<CommonOptions&>(hermes_options) =
+            static_cast<const CommonOptions&>(options);
+        hermes_options.deadline = deadline;
+        hermes_options.epsilon1 = options.epsilon1;
+        hermes_options.epsilon2 = options.epsilon2;
+        hermes_options.oracle = options.oracle;
+        hermes_options.milp = options.milp;
+        hermes_options.milp.deadline = deadline;
+        try {
+            DeployOutcome outcome = deploy_optimal(t, net, hermes_options);
+            const bool exact = outcome.solver_status == "optimal" ||
+                               outcome.solver_status == "feasible";
+            if (verify(t, net, outcome.deployment, verify_options).ok &&
+                (!have_incumbent ||
+                 max_pair_metadata(t, outcome.deployment) <=
+                     max_pair_metadata(t, incumbent))) {
+                incumbent = std::move(outcome.deployment);
+                have_incumbent = true;
+                milp_completed = exact;
+            }
+        } catch (const std::runtime_error&) {
+            // No MILP incumbent within the budget; the greedy one stands.
+        }
+    }
+
+    const bool deadline_tripped = deadline.active() && deadline.expired();
+    if (have_incumbent) {
+        result.replaced_mats = count_moved_mats(broken, incumbent);
+        result.deployment = std::move(incumbent);
+        if (sink != nullptr) {
+            sink->counter("repair.replaced_mats").add(result.replaced_mats);
+        }
+        if (milp_completed) return finish("milp", true);
+        if (deadline_tripped) {
+            if (sink != nullptr) sink->counter("repair.deadline_aborts").add(1);
+            return finish("fallback(deadline)", true);
+        }
+        return finish("replace", true);
+    }
+    if (deadline_tripped && sink != nullptr) {
+        sink->counter("repair.deadline_aborts").add(1);
+    }
+    result.deployment = broken;  // untouched original, explicitly
+    return finish("infeasible", false);
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,98 @@
+// Self-healing redeployment after switch/link failures (DESIGN.md §5g).
+//
+// Given a deployment that failures may have broken, repair() classifies the
+// damage and climbs an escalation ladder, cheapest rung first:
+//
+//   1. reroute — no MAT sits on a failed switch, only inter-switch routes
+//      died: re-wire each dead (u,v) pair with a live shortest path and keep
+//      every placement. The cheapest repair and the common case for single
+//      link failures.
+//   2. replace — stranded MATs (or reroute infeasible): rerun Algorithm 2 on
+//      the surviving topology. Network::programmable_switches() and the live
+//      adjacency already exclude failed elements, so the greedy search
+//      naturally places onto survivors only.
+//   3. milp — opt-in (RepairOptions::allow_milp): exact re-solve warm-started
+//      from the greedy incumbent, under whatever budget remains.
+//
+// Deadline semantics: an active RepairOptions::deadline (or a positive
+// time_limit_seconds, converted to one) is threaded into every rung. When it
+// trips, the ladder stops where it is and returns the best verified
+// incumbent found so far with status "fallback(deadline)" — cooperative
+// degradation, never an exception. With no incumbent at all the result is
+// ok=false / "infeasible" and the original deployment is returned untouched.
+//
+// Observability (RepairOptions::sink): repair.events, repair.reroute_only,
+// repair.replaced_mats, repair.deadline_aborts counters plus a span per rung
+// (repair.classify / repair.reroute / repair.replace / repair.milp) under an
+// enclosing "repair" span. All four counters are registered on every call so
+// exported metrics JSON always carries them (CI asserts on their values).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/deployment.h"
+#include "core/options.h"
+#include "milp/solver.h"
+#include "net/path_oracle.h"
+
+namespace hermes::core {
+
+// Inherits core::CommonOptions: `deadline` (or time_limit_seconds) bounds
+// the whole repair, `threads` drives the greedy anchor search, `sink`
+// records the repair.* metrics.
+struct RepairOptions : CommonOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();         // t_e2e bound
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
+    // Escalate to the exact MILP re-solve when the greedy incumbent exists
+    // (or failed). Off by default: the exact solve can dwarf the repair
+    // budget on anything but small instances.
+    bool allow_milp = false;
+    // Budget knobs for the opt-in escalation (its deadline is overridden by
+    // the repair deadline).
+    milp::MilpOptions milp;
+    // Shared per-Network path cache, kept in sync by fault::Injector. Null =
+    // private caches per rung.
+    net::PathOracle* oracle = nullptr;
+};
+
+// What the failures broke in a deployment.
+struct DamageReport {
+    // MATs placed on failed (or unknown) switches.
+    std::vector<tdg::NodeId> stranded_mats;
+    // Route pairs whose recorded path crosses a failed link or switch.
+    std::vector<std::pair<net::SwitchId, net::SwitchId>> dead_routes;
+
+    [[nodiscard]] bool intact() const noexcept {
+        return stranded_mats.empty() && dead_routes.empty();
+    }
+};
+
+// Classifies `d` against the network's current up/down state. Pure
+// inspection: touches no caches, never throws on damage.
+[[nodiscard]] DamageReport classify_damage(const tdg::Tdg& t, const net::Network& net,
+                                           const Deployment& d);
+
+struct RepairResult {
+    // True when `deployment` verifies on the surviving topology. False only
+    // for "infeasible" (deployment is then the unrepaired original).
+    bool ok = false;
+    Deployment deployment;
+    DamageReport damage;
+    // "intact" | "reroute" | "replace" | "milp" | "fallback(deadline)" |
+    // "infeasible" — the rung that produced `deployment`.
+    std::string status;
+    std::int64_t replaced_mats = 0;   // MATs whose switch changed
+    std::int64_t rerouted_pairs = 0;  // dead pairs re-wired in place
+    double repair_seconds = 0.0;
+};
+
+// Repairs `broken` against the network's current state via the ladder above.
+[[nodiscard]] RepairResult repair(const tdg::Tdg& t, const net::Network& net,
+                                  const Deployment& broken,
+                                  const RepairOptions& options = {});
+
+}  // namespace hermes::core

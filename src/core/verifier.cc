@@ -87,6 +87,10 @@ VerificationReport verify_impl(const tdg::Tdg& t, const net::Network& net,
             report.fail("MAT '" + t.node(a).name() + "' placed on non-programmable " +
                         props.name);
         }
+        if (!net.switch_up(p.sw)) {
+            report.fail("MAT '" + t.node(a).name() + "' placed on failed switch " +
+                        props.name);
+        }
         if (p.stage < 0 || p.stage >= props.stages) {
             report.fail("MAT '" + t.node(a).name() + "' placed on invalid stage " +
                         std::to_string(p.stage) + " of " + props.name);

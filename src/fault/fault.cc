@@ -1,0 +1,197 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace hermes::fault {
+
+namespace {
+
+// Stable ascending-time order: equal times keep their script order so a
+// deliberate fail-then-recover pair at one instant stays a pair.
+void sort_by_time(std::vector<FaultEvent>& events) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) {
+                         return x.at_us < y.at_us;
+                     });
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) noexcept {
+    switch (k) {
+        case FaultKind::kLinkDown: return "link-down";
+        case FaultKind::kLinkUp: return "link-up";
+        case FaultKind::kSwitchDown: return "switch-down";
+        case FaultKind::kSwitchUp: return "switch-up";
+    }
+    return "?";
+}
+
+std::string format_fault_script(const std::vector<FaultEvent>& events) {
+    std::ostringstream os;
+    for (const FaultEvent& e : events) {
+        os << e.at_us << ' ' << to_string(e.kind) << ' ' << e.a;
+        if (e.is_link()) os << ' ' << e.b;
+        os << '\n';
+    }
+    return os.str();
+}
+
+util::StatusOr<std::vector<FaultEvent>> parse_fault_script(std::string_view text) {
+    std::vector<FaultEvent> events;
+    std::istringstream in{std::string(text)};
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream fields(line);
+        double at_us = 0.0;
+        std::string kind_word;
+        if (!(fields >> at_us)) {
+            // Blank (or comment-only) line.
+            std::string rest;
+            fields.clear();
+            if (!(std::istringstream(line) >> rest)) continue;
+            return util::Status::invalid("fault script: bad event time",
+                                         {"", lineno, 0});
+        }
+        if (!(fields >> kind_word)) {
+            return util::Status::invalid("fault script: missing event kind",
+                                         {"", lineno, 0});
+        }
+        FaultEvent e;
+        e.at_us = at_us;
+        if (kind_word == "link-down") {
+            e.kind = FaultKind::kLinkDown;
+        } else if (kind_word == "link-up") {
+            e.kind = FaultKind::kLinkUp;
+        } else if (kind_word == "switch-down") {
+            e.kind = FaultKind::kSwitchDown;
+        } else if (kind_word == "switch-up") {
+            e.kind = FaultKind::kSwitchUp;
+        } else {
+            return util::Status::invalid("fault script: unknown event kind '" +
+                                             kind_word + "'",
+                                         {"", lineno, 0});
+        }
+        if (!(fields >> e.a) || (e.is_link() && !(fields >> e.b))) {
+            return util::Status::invalid(
+                std::string("fault script: ") + to_string(e.kind) + " needs " +
+                    (e.is_link() ? "two switch ids" : "one switch id"),
+                {"", lineno, 0});
+        }
+        std::string extra;
+        if (fields >> extra) {
+            return util::Status::invalid("fault script: trailing field '" + extra + "'",
+                                         {"", lineno, 0});
+        }
+        if (e.is_link() && e.a == e.b) {
+            return util::Status::invalid("fault script: self-loop link event",
+                                         {"", lineno, 0});
+        }
+        events.push_back(e);
+    }
+    sort_by_time(events);
+    return events;
+}
+
+util::StatusOr<std::vector<FaultEvent>> load_fault_script(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return util::Status::io("cannot open fault script: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = parse_fault_script(buffer.str());
+    if (!parsed.ok()) return parsed.status().with_file(path);
+    return parsed;
+}
+
+std::vector<FaultEvent> random_fault_script(const net::Network& net, std::uint64_t seed,
+                                            const ScriptConfig& config) {
+    std::vector<FaultEvent> events;
+    if (net.switch_count() == 0 || config.events == 0) return events;
+    util::SplitMix64 rng(seed);
+
+    // The generator tracks its own view of what it failed so far; it never
+    // consults live network state beyond the initial element lists, so the
+    // script depends only on (topology, seed, config).
+    struct OpenFault {
+        bool is_switch = false;
+        net::SwitchId a = 0;
+        net::SwitchId b = 0;
+    };
+    std::vector<OpenFault> open;
+
+    std::vector<std::pair<net::SwitchId, net::SwitchId>> up_links;
+    for (const net::Link& l : net.links()) {
+        if (l.up) up_links.emplace_back(l.a, l.b);
+    }
+    std::vector<net::SwitchId> up_switches;
+    for (net::SwitchId u = 0; u < net.switch_count(); ++u) {
+        if (net.switch_up(u)) up_switches.push_back(u);
+    }
+
+    // Times are drawn up front and sorted so kinds are assigned in replay
+    // order — a recovery always refers to a failure that precedes it in time,
+    // and max_concurrent genuinely bounds the simultaneous damage.
+    std::vector<double> times(config.events);
+    for (double& at : times) at = rng.uniform_real(0.0, config.window_us);
+    std::sort(times.begin(), times.end());
+
+    for (const double at : times) {
+        const bool must_recover = open.size() >= std::max<std::size_t>(1, config.max_concurrent);
+        const bool want_recover =
+            !open.empty() && (must_recover || rng.chance(config.recover_probability));
+        if (want_recover) {
+            const auto idx = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(open.size()) - 1));
+            const OpenFault f = open[idx];
+            open.erase(open.begin() + static_cast<std::ptrdiff_t>(idx));
+            FaultEvent e;
+            e.at_us = at;
+            e.kind = f.is_switch ? FaultKind::kSwitchUp : FaultKind::kLinkUp;
+            e.a = f.a;
+            e.b = f.b;
+            events.push_back(e);
+            if (f.is_switch) {
+                up_switches.push_back(f.a);
+            } else {
+                up_links.emplace_back(f.a, f.b);
+            }
+            continue;
+        }
+        const bool hit_switch = config.allow_switch_failures && !up_switches.empty() &&
+                                (up_links.empty() || rng.chance(config.switch_fraction));
+        FaultEvent e;
+        e.at_us = at;
+        if (hit_switch) {
+            const auto idx = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(up_switches.size()) - 1));
+            e.kind = FaultKind::kSwitchDown;
+            e.a = up_switches[idx];
+            up_switches.erase(up_switches.begin() + static_cast<std::ptrdiff_t>(idx));
+            open.push_back({true, e.a, 0});
+        } else if (!up_links.empty()) {
+            const auto idx = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(up_links.size()) - 1));
+            e.kind = FaultKind::kLinkDown;
+            e.a = up_links[idx].first;
+            e.b = up_links[idx].second;
+            up_links.erase(up_links.begin() + static_cast<std::ptrdiff_t>(idx));
+            open.push_back({false, e.a, e.b});
+        } else {
+            continue;  // nothing left to fail this round
+        }
+        events.push_back(e);
+    }
+    sort_by_time(events);
+    return events;
+}
+
+}  // namespace hermes::fault

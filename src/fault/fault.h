@@ -1,0 +1,90 @@
+// Fault model: scripted or seeded link/switch failure and recovery events.
+//
+// A fault script is a time-ordered list of events applied to a net::Network
+// through fault::Injector (injector.h). Scripts come from three places: the
+// text format below (hermes_cli --fault-script), programmatic construction
+// in tests, and the seeded generator random_fault_script — the same script
+// always replays the same way, so every failure experiment is reproducible
+// from its seed or file alone.
+//
+// Text format, one event per line (blank lines and '#' comments ignored):
+//
+//   <at_us> link-down   <a> <b>
+//   <at_us> link-up     <a> <b>
+//   <at_us> switch-down <u>
+//   <at_us> switch-up   <u>
+//
+// Times are microseconds into the failure window; ids are switch indices.
+// parse_fault_script validates shape only (ids are checked against the
+// network when the script is applied).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/network.h"
+#include "util/status.h"
+
+namespace hermes::fault {
+
+enum class FaultKind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kSwitchDown,
+    kSwitchUp,
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+struct FaultEvent {
+    double at_us = 0.0;
+    FaultKind kind = FaultKind::kLinkDown;
+    net::SwitchId a = 0;  // the switch for switch events; one link endpoint otherwise
+    net::SwitchId b = 0;  // the other link endpoint (unused for switch events)
+
+    [[nodiscard]] bool is_link() const noexcept {
+        return kind == FaultKind::kLinkDown || kind == FaultKind::kLinkUp;
+    }
+    [[nodiscard]] bool is_failure() const noexcept {
+        return kind == FaultKind::kLinkDown || kind == FaultKind::kSwitchDown;
+    }
+};
+
+// One line per event, in the text format above (round-trips through
+// parse_fault_script).
+[[nodiscard]] std::string format_fault_script(const std::vector<FaultEvent>& events);
+
+// Parses the text format; events are returned sorted by time (stable for
+// equal times). kInvalidInput with a 1-based line number on malformed lines.
+[[nodiscard]] util::StatusOr<std::vector<FaultEvent>> parse_fault_script(
+    std::string_view text);
+
+// Reads and parses a script file (kIo when unreadable).
+[[nodiscard]] util::StatusOr<std::vector<FaultEvent>> load_fault_script(
+    const std::string& path);
+
+// Knobs for the seeded generator.
+struct ScriptConfig {
+    std::size_t events = 10;          // total events (failures + recoveries)
+    double window_us = 1000.0;        // event times uniform in [0, window_us)
+    double switch_fraction = 0.25;    // chance a new failure hits a switch
+    double recover_probability = 0.5; // chance an event recovers an open failure
+    // Cap on simultaneously failed elements; once reached, the generator
+    // emits recoveries until a slot frees up. Keeps seeded scripts from
+    // partitioning sparse topologies outright.
+    std::size_t max_concurrent = 2;
+    bool allow_switch_failures = true;
+};
+
+// Deterministic failure/recovery script against `net`'s live elements:
+// failures pick uniformly among currently-up links (or up programmable-and
+// -plain switches), recoveries among this script's own open failures.
+// Event times are sorted ascending. Only elements present in `net` are
+// referenced; an empty network yields an empty script.
+[[nodiscard]] std::vector<FaultEvent> random_fault_script(const net::Network& net,
+                                                          std::uint64_t seed,
+                                                          const ScriptConfig& config = {});
+
+}  // namespace hermes::fault

@@ -1,0 +1,49 @@
+#include "fault/injector.h"
+
+#include "obs/obs.h"
+
+namespace hermes::fault {
+
+Injector::Injector(net::Network& net, net::PathOracle* oracle, obs::Sink* sink)
+    : net_(&net), oracle_(oracle), sink_(sink) {}
+
+bool Injector::apply(const FaultEvent& e) {
+    bool changed = false;
+    switch (e.kind) {
+        case FaultKind::kLinkDown:
+            changed = net_->fail_link(e.a, e.b);
+            if (changed && oracle_ != nullptr) oracle_->on_link_down(e.a, e.b);
+            break;
+        case FaultKind::kLinkUp:
+            changed = net_->recover_link(e.a, e.b);
+            if (changed && oracle_ != nullptr) oracle_->on_link_up(e.a, e.b);
+            break;
+        case FaultKind::kSwitchDown:
+            changed = net_->fail_switch(e.a);
+            if (changed && oracle_ != nullptr) oracle_->on_switch_down(e.a);
+            break;
+        case FaultKind::kSwitchUp:
+            changed = net_->recover_switch(e.a);
+            if (changed && oracle_ != nullptr) oracle_->on_switch_up(e.a);
+            break;
+    }
+    if (changed) {
+        ++applied_;
+    } else {
+        ++noops_;
+    }
+    if (sink_ != nullptr) {
+        sink_->counter(changed ? "fault.applied" : "fault.noops").add(1);
+    }
+    return changed;
+}
+
+std::size_t Injector::apply_all(const std::vector<FaultEvent>& events) {
+    std::size_t changed = 0;
+    for (const FaultEvent& e : events) {
+        if (apply(e)) ++changed;
+    }
+    return changed;
+}
+
+}  // namespace hermes::fault

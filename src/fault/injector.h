@@ -1,0 +1,50 @@
+// Applies fault scripts to a live Network, keeping a PathOracle in sync.
+//
+// The injector is the one place that pairs each Network::fail_*/recover_*
+// mutation with the matching PathOracle::on_*() notification, so consumers
+// holding the shared oracle never observe a stale cache (the epoch contract
+// in net/path_oracle.h). Events referencing unknown elements throw
+// std::out_of_range (the network's own id checks); events that are no-ops —
+// failing an already-failed link, recovering an up switch — are counted and
+// skipped without touching the oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/network.h"
+#include "net/path_oracle.h"
+
+namespace hermes::obs {
+class Sink;
+}  // namespace hermes::obs
+
+namespace hermes::fault {
+
+class Injector {
+public:
+    // `oracle` (optional) must cache paths of `net`; `sink` (optional)
+    // records fault.applied / fault.noops counters.
+    explicit Injector(net::Network& net, net::PathOracle* oracle = nullptr,
+                      obs::Sink* sink = nullptr);
+
+    // Applies one event. Returns true when the network actually changed
+    // state, false for a no-op.
+    bool apply(const FaultEvent& e);
+
+    // Applies every event in order; returns how many changed state.
+    std::size_t apply_all(const std::vector<FaultEvent>& events);
+
+    [[nodiscard]] std::int64_t applied() const noexcept { return applied_; }
+    [[nodiscard]] std::int64_t noops() const noexcept { return noops_; }
+
+private:
+    net::Network* net_;
+    net::PathOracle* oracle_;
+    obs::Sink* sink_;
+    std::int64_t applied_ = 0;
+    std::int64_t noops_ = 0;
+};
+
+}  // namespace hermes::fault

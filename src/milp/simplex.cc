@@ -21,7 +21,9 @@ constexpr std::int8_t kAtUpper = 1;
 constexpr std::int8_t kBasic = 2;
 
 [[nodiscard]] std::chrono::steady_clock::time_point make_deadline(double max_seconds) {
-    if (max_seconds >= 1e17) return std::chrono::steady_clock::time_point::max();
+    if (max_seconds <= 0.0 || max_seconds >= 1e17) {
+        return std::chrono::steady_clock::time_point::max();  // no budget
+    }
     return std::chrono::steady_clock::now() +
            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                std::chrono::duration<double>(max_seconds));
@@ -112,7 +114,8 @@ public:
             const Verdict v = iterate(result.iterations, limit);
             if (v == Verdict::kIterationLimit) {
                 if (warm && result.iterations < options_.iteration_limit &&
-                    std::chrono::steady_clock::now() <= deadline_) {
+                    std::chrono::steady_clock::now() <= deadline_ &&
+                    !options_.deadline.expired()) {
                     continue;  // warm budget exhausted; redo cold
                 }
                 result.status = LpStatus::kIterationLimit;
@@ -491,7 +494,9 @@ private:
 
         while (true) {
             if (iterations >= limit) return Verdict::kIterationLimit;
-            if ((local++ & 63) == 0 && std::chrono::steady_clock::now() > deadline_) {
+            if ((local++ & 63) == 0 &&
+                (std::chrono::steady_clock::now() > deadline_ ||
+                 options_.deadline.expired())) {
                 return Verdict::kIterationLimit;
             }
 

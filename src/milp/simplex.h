@@ -90,9 +90,12 @@ struct LpResult {
 
 // Inherits the common knobs (core/options.h): `iteration_limit` replaces the
 // pre-obs `max_iterations` spelling (default 200000 pivots) and
-// `time_limit_seconds` replaces `max_seconds` (checked periodically; expiry
-// yields kIterationLimit). threads/seed are accepted but unused — one LP
-// solve is single-threaded and deterministic.
+// `time_limit_seconds` replaces `max_seconds` (<= 0 means no budget; checked
+// periodically, expiry yields kIterationLimit). An active `deadline` token is
+// polled in the same pivot-loop check and trips the same way, so a caller can
+// cancel a solve mid-pivot without waiting for the wall clock. threads/seed
+// are accepted but unused — one LP solve is single-threaded and
+// deterministic.
 struct LpOptions : core::CommonOptions {
     LpOptions() noexcept { iteration_limit = 200000; }
 

@@ -147,6 +147,20 @@ public:
             worker(0);  // the calling thread is worker 0
         }  // jthreads join here
 
+        // A deadline (or wall-clock budget) that trips mid-LP surfaces as
+        // per-node iteration limits: the affected subtrees are dropped and
+        // the open list can drain before any worker reaches the pop-time
+        // check, leaving hit_limit_ false. Reclassify that exit as the
+        // time-limit stop it actually is, so a cooperative cancellation
+        // never masquerades as a clean kFeasible/kOptimal finish.
+        const bool clock_up = (options_.time_limit_seconds > 0.0 &&
+                               seconds() > options_.time_limit_seconds) ||
+                              options_.deadline.expired();
+        if (clock_up && (hit_limit_ || any_lp_limit_)) {
+            hit_limit_ = true;
+            hit_time_limit_ = true;
+        }
+
         if (sink_ != nullptr) {
             sink_->counter("bb.nodes").add(nodes_);
             sink_->counter("bb.lp_iterations").add(lp_iterations_);
@@ -174,7 +188,8 @@ public:
                 result.status = MilpStatus::kOptimal;
                 result.best_bound = result.objective;
             } else {
-                result.status = MilpStatus::kFeasible;
+                result.status = hit_time_limit_ ? MilpStatus::kTimeLimit
+                                                : MilpStatus::kFeasible;
                 result.best_bound = sense_ * std::min(open_bound, incumbent_);
             }
         } else if (exhausted && !any_lp_limit_) {
@@ -222,10 +237,13 @@ private:
                 if (sink_ != nullptr) stats.idle_ns += obs::now_ns() - wait_start;
                 if (stop_) break;
                 if (open_.empty()) break;  // in_flight_ == 0: search exhausted
-                if (seconds() > options_.time_limit_seconds ||
-                    nodes_ >= options_.node_limit ||
+                const bool time_up = (options_.time_limit_seconds > 0.0 &&
+                                      seconds() > options_.time_limit_seconds) ||
+                                     options_.deadline.expired();
+                if (time_up || nodes_ >= options_.node_limit ||
                     lp_iterations_ >= options_.iteration_limit) {
                     hit_limit_ = true;
+                    if (time_up) hit_time_limit_ = true;
                     stop_ = true;
                     cv_.notify_all();
                     break;
@@ -259,9 +277,12 @@ private:
     void process(Node node, std::vector<double>& lower, std::vector<double>& upper,
                  LpWorkspace& workspace, Model& ref_work, WorkerStats& stats) {
         // Each LP inherits the remaining wall-clock budget so one long
-        // solve cannot blow through the MILP time limit.
+        // solve cannot blow through the MILP time limit; <= 0 means the
+        // search has no budget and node LPs get none either.
         const double remaining =
-            std::max(0.05, options_.time_limit_seconds - seconds());
+            options_.time_limit_seconds <= 0.0
+                ? 1e18
+                : std::max(0.05, options_.time_limit_seconds - seconds());
         const Basis* warm =
             options_.warm_lp_basis && !node.basis.empty() ? &node.basis : nullptr;
         LpResult lp;
@@ -281,6 +302,7 @@ private:
             LpOptions lp_options;
             lp_options.iteration_limit = options_.lp_iteration_limit;
             lp_options.time_limit_seconds = remaining;
+            lp_options.deadline = options_.deadline;
             lp_options.warm_basis = warm;
             lp_options.refactor_interval = options_.lp_refactor_interval;
             lp = context_.solve(lower, upper, lp_options, &workspace);
@@ -395,6 +417,7 @@ private:
     std::size_t in_flight_ = 0;
     bool stop_ = false;
     bool hit_limit_ = false;
+    bool hit_time_limit_ = false;  // wall-clock/deadline specifically
     bool unbounded_ = false;
     bool any_lp_limit_ = false;
     double incumbent_ = kInf;  // minimization space
@@ -412,6 +435,7 @@ const char* to_string(MilpStatus s) noexcept {
     switch (s) {
         case MilpStatus::kOptimal: return "optimal";
         case MilpStatus::kFeasible: return "feasible";
+        case MilpStatus::kTimeLimit: return "time-limit";
         case MilpStatus::kInfeasible: return "infeasible";
         case MilpStatus::kNoSolution: return "no-solution";
         case MilpStatus::kUnbounded: return "unbounded";

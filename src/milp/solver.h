@@ -12,8 +12,9 @@
 // change disturbed, which typically takes a few pivots instead of a cold
 // two-phase solve. Incumbents are published under the open-list lock with a
 // lexicographic tie-break on equal objectives, and every publish prunes the
-// open list in place. Limits (wall-clock/nodes) stop the search with the
-// best incumbent in hand, returned as kFeasible — exactly how the paper's
+// open list in place. Limits stop the search with the best incumbent in
+// hand — node/iteration caps return it as kFeasible, the wall-clock budget
+// or a tripped Deadline token as kTimeLimit — exactly how the paper's
 // time-limited Gurobi runs behave in Exp#3.
 #pragma once
 
@@ -29,7 +30,8 @@ namespace hermes::milp {
 
 enum class MilpStatus : std::uint8_t {
     kOptimal,     // proven optimal
-    kFeasible,    // limit hit with an incumbent in hand
+    kFeasible,    // node/iteration limit hit with an incumbent in hand
+    kTimeLimit,   // wall-clock budget or Deadline token hit with an incumbent
     kInfeasible,  // proven infeasible
     kNoSolution,  // limit hit before any incumbent was found
     kUnbounded,
@@ -38,12 +40,16 @@ enum class MilpStatus : std::uint8_t {
 [[nodiscard]] const char* to_string(MilpStatus s) noexcept;
 
 // The common knobs (threads, seed, time_limit_seconds, iteration_limit,
-// verbosity, sink) are inherited from core::CommonOptions: `threads` is the
-// branch-and-bound worker count (0 = hardware concurrency),
-// `time_limit_seconds` the search's wall-clock budget (default 60 s),
-// `iteration_limit` a cap on the total simplex pivots across the whole
-// search, and `sink` makes the search record per-worker trace lanes plus
-// bb.*/lp.* counters.
+// verbosity, sink, deadline) are inherited from core::CommonOptions:
+// `threads` is the branch-and-bound worker count (0 = hardware concurrency),
+// `time_limit_seconds` the search's wall-clock budget (default 60 s; any
+// value <= 0 means "no budget" — here, in the LP kernel, and in every warm
+// re-solve alike), `iteration_limit` a cap on the total simplex pivots
+// across the whole search, `sink` makes the search record per-worker trace
+// lanes plus bb.*/lp.* counters, and an active `deadline` token is polled by
+// every worker between nodes and inside the simplex pivot loops — expiry
+// stops the search cooperatively and returns the incumbent as kTimeLimit
+// (kNoSolution when there is none) instead of throwing.
 struct MilpOptions : core::CommonOptions {
     MilpOptions() noexcept { time_limit_seconds = 60.0; }
 
@@ -83,7 +89,8 @@ struct MilpResult {
     double elapsed_seconds = 0.0;
 
     [[nodiscard]] bool has_solution() const noexcept {
-        return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible;
+        return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible ||
+               status == MilpStatus::kTimeLimit;
     }
 };
 

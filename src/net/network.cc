@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -15,7 +16,9 @@ SwitchId Network::add_switch(SwitchProps props) {
     }
     if (props.name.empty()) props.name = "sw" + std::to_string(switches_.size());
     switches_.push_back(std::move(props));
+    switch_up_.push_back(1);
     adjacency_.emplace_back();
+    ++epoch_;
     return switches_.size() - 1;
 }
 
@@ -25,10 +28,14 @@ void Network::add_link(SwitchId a, SwitchId b, double latency_us) {
     }
     if (a == b) throw std::invalid_argument("add_link: self-loop");
     if (latency_us < 0.0) throw std::invalid_argument("add_link: negative latency");
-    if (link_latency(a, b)) throw std::invalid_argument("add_link: duplicate link");
-    links_.push_back(Link{a, b, latency_us});
-    adjacency_[a].emplace_back(b, latency_us);
-    adjacency_[b].emplace_back(a, latency_us);
+    for (const Link& l : links_) {
+        if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+            throw std::invalid_argument("add_link: duplicate link");
+        }
+    }
+    links_.push_back(Link{a, b, latency_us, true});
+    if (link_usable(links_.back())) attach(links_.back());
+    ++epoch_;
 }
 
 const SwitchProps& Network::props(SwitchId u) const {
@@ -62,28 +69,120 @@ std::optional<double> Network::link_latency(SwitchId a, SwitchId b) const noexce
     return std::nullopt;
 }
 
+bool Network::switch_up(SwitchId u) const {
+    if (u >= switches_.size()) throw std::out_of_range("switch_up: bad switch id");
+    return switch_up_[u] != 0;
+}
+
+bool Network::link_up(SwitchId a, SwitchId b) const noexcept {
+    return link_latency(a, b).has_value();
+}
+
+void Network::attach(const Link& l) {
+    adjacency_[l.a].emplace_back(l.b, l.latency_us);
+    adjacency_[l.b].emplace_back(l.a, l.latency_us);
+}
+
+void Network::detach(SwitchId a, SwitchId b) {
+    std::erase_if(adjacency_[a], [&](const auto& p) { return p.first == b; });
+    std::erase_if(adjacency_[b], [&](const auto& p) { return p.first == a; });
+}
+
+bool Network::fail_link(SwitchId a, SwitchId b) {
+    if (a >= switches_.size() || b >= switches_.size()) {
+        throw std::out_of_range("fail_link: bad switch id");
+    }
+    for (Link& l : links_) {
+        if ((l.a != a || l.b != b) && (l.a != b || l.b != a)) continue;
+        if (!l.up) return false;
+        if (link_usable(l)) detach(l.a, l.b);
+        l.up = false;
+        ++epoch_;
+        return true;
+    }
+    return false;
+}
+
+bool Network::recover_link(SwitchId a, SwitchId b) {
+    if (a >= switches_.size() || b >= switches_.size()) {
+        throw std::out_of_range("recover_link: bad switch id");
+    }
+    for (Link& l : links_) {
+        if ((l.a != a || l.b != b) && (l.a != b || l.b != a)) continue;
+        if (l.up) return false;
+        l.up = true;
+        if (link_usable(l)) attach(l);
+        ++epoch_;
+        return true;
+    }
+    return false;
+}
+
+bool Network::fail_switch(SwitchId u) {
+    if (u >= switches_.size()) throw std::out_of_range("fail_switch: bad switch id");
+    if (switch_up_[u] == 0) return false;
+    // Detach every currently-usable incident link; their own up flags are
+    // untouched so recovery restores exactly the pre-failure state.
+    for (const Link& l : links_) {
+        if (l.a != u && l.b != u) continue;
+        if (link_usable(l)) detach(l.a, l.b);
+    }
+    switch_up_[u] = 0;
+    ++epoch_;
+    return true;
+}
+
+bool Network::recover_switch(SwitchId u) {
+    if (u >= switches_.size()) throw std::out_of_range("recover_switch: bad switch id");
+    if (switch_up_[u] != 0) return false;
+    switch_up_[u] = 1;
+    for (const Link& l : links_) {
+        if (l.a != u && l.b != u) continue;
+        if (link_usable(l)) attach(l);
+    }
+    ++epoch_;
+    return true;
+}
+
+std::size_t Network::live_link_count() const noexcept {
+    std::size_t n = 0;
+    for (const Link& l : links_) {
+        if (link_usable(l)) ++n;
+    }
+    return n;
+}
+
 std::vector<SwitchId> Network::programmable_switches() const {
     std::vector<SwitchId> out;
     for (SwitchId u = 0; u < switches_.size(); ++u) {
-        if (switches_[u].programmable) out.push_back(u);
+        if (switches_[u].programmable && switch_up_[u] != 0) out.push_back(u);
     }
     return out;
 }
 
 double Network::total_programmable_capacity() const noexcept {
     double total = 0.0;
-    for (const SwitchProps& s : switches_) {
-        if (s.programmable) total += s.stages * s.stage_capacity;
+    for (SwitchId u = 0; u < switches_.size(); ++u) {
+        const SwitchProps& s = switches_[u];
+        if (s.programmable && switch_up_[u] != 0) total += s.stages * s.stage_capacity;
     }
     return total;
 }
 
 bool Network::is_connected() const {
-    if (switches_.empty()) return true;
+    std::size_t live = 0;
+    SwitchId start = 0;
+    for (SwitchId u = 0; u < switches_.size(); ++u) {
+        if (switch_up_[u] != 0) {
+            if (live == 0) start = u;
+            ++live;
+        }
+    }
+    if (live == 0) return true;
     std::vector<bool> seen(switches_.size(), false);
     std::queue<SwitchId> frontier;
-    frontier.push(0);
-    seen[0] = true;
+    frontier.push(start);
+    seen[start] = true;
     std::size_t visited = 0;
     while (!frontier.empty()) {
         const SwitchId u = frontier.front();
@@ -96,7 +195,7 @@ bool Network::is_connected() const {
             }
         }
     }
-    return visited == switches_.size();
+    return visited == live;
 }
 
 }  // namespace hermes::net

@@ -4,9 +4,23 @@
 // carries the paper's four properties: programmability P(u), stage count
 // C_stage, per-stage resource capacity C_res, and maximum transmission
 // latency t_s(u). Each link carries its transmission latency t_l(u,v).
+//
+// Fault model: switches and links can fail and recover at runtime
+// (fail_switch / fail_link / recover_*). Failed elements keep their ids and
+// properties, but disappear from the live adjacency — every path computation,
+// programmable_switches(), and capacity total sees only the surviving
+// topology. A link is usable iff itself and both endpoints are up.
+//
+// Epoch contract: every topology mutation (adding or failing/recovering
+// switches and links) bumps epoch(). Long-lived consumers that cache derived
+// structure — net::PathOracle above all — snapshot the epoch and treat a
+// mutation they were not told about as a contract violation. Mutating switch
+// properties through the non-const props() accessor is invisible to the
+// network; callers doing so must call bump_epoch() themselves.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +41,7 @@ struct Link {
     SwitchId a = 0;
     SwitchId b = 0;
     double latency_us = 0.0;  // t_l(a,b)
+    bool up = true;           // false after fail_link (independent of endpoint state)
 };
 
 class Network {
@@ -40,29 +55,74 @@ public:
     [[nodiscard]] std::size_t switch_count() const noexcept { return switches_.size(); }
     [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
     [[nodiscard]] const SwitchProps& props(SwitchId u) const;
+    // Mutable property access does NOT bump the epoch (the network cannot see
+    // what the caller changes); call bump_epoch() after mutating through it.
     [[nodiscard]] SwitchProps& props(SwitchId u);
+    // All links ever added, including failed ones (check Link::up).
     [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
 
+    // Live neighbors only.
     [[nodiscard]] std::vector<SwitchId> neighbors(SwitchId u) const;
-    // Neighbor list with link latencies, by reference — the allocation-free
-    // form every Dijkstra relaxation loop should iterate.
+    // Live neighbor list with link latencies, by reference — the
+    // allocation-free form every Dijkstra relaxation loop should iterate.
     [[nodiscard]] const std::vector<std::pair<SwitchId, double>>& adjacency(
         SwitchId u) const;
+    // Latency of the live link (a,b); nullopt when absent, failed, or either
+    // endpoint is down.
     [[nodiscard]] std::optional<double> link_latency(SwitchId a, SwitchId b) const noexcept;
 
-    // Ids of all programmable switches, ascending.
+    // ---- fault surface ---------------------------------------------------
+
+    // Monotonic mutation counter: bumped by add_switch, add_link, and every
+    // successful fail_*/recover_* call.
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+    // Manual bump for mutations the network cannot observe (props()).
+    void bump_epoch() noexcept { ++epoch_; }
+
+    [[nodiscard]] bool switch_up(SwitchId u) const;
+    // True when the link exists, is itself up, and both endpoints are up.
+    [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const noexcept;
+
+    // Takes the link (a,b) down / brings it back. Return false (and do not
+    // bump the epoch) when the link does not exist or is already in the
+    // requested state. Recovering a link whose endpoint is down succeeds (the
+    // link's own flag flips) but it stays unusable until the switch recovers.
+    bool fail_link(SwitchId a, SwitchId b);
+    bool recover_link(SwitchId a, SwitchId b);
+
+    // Takes switch u down / brings it back, detaching or reattaching every
+    // incident link whose own up flag (and other endpoint) allows it. False
+    // when already in the requested state; throws on bad ids.
+    bool fail_switch(SwitchId u);
+    bool recover_switch(SwitchId u);
+
+    // Live link count (both endpoints and the link itself up).
+    [[nodiscard]] std::size_t live_link_count() const noexcept;
+
+    // Ids of all live programmable switches, ascending.
     [[nodiscard]] std::vector<SwitchId> programmable_switches() const;
 
-    // Total switch deployment capacity: Σ stages · stage_capacity over
+    // Total switch deployment capacity: Σ stages · stage_capacity over live
     // programmable switches.
     [[nodiscard]] double total_programmable_capacity() const noexcept;
 
+    // Connectivity of the surviving topology (down switches excluded; an
+    // all-down or empty network counts as connected).
     [[nodiscard]] bool is_connected() const;
 
 private:
+    [[nodiscard]] bool link_usable(const Link& l) const noexcept {
+        return l.up && switch_up_[l.a] != 0 && switch_up_[l.b] != 0;
+    }
+    void attach(const Link& l);
+    void detach(SwitchId a, SwitchId b);
+
     std::vector<SwitchProps> switches_;
     std::vector<Link> links_;
+    std::vector<std::uint8_t> switch_up_;
+    // Live adjacency only: kept in sync with the up/down state.
     std::vector<std::vector<std::pair<SwitchId, double>>> adjacency_;
+    std::uint64_t epoch_ = 0;
 };
 
 }  // namespace hermes::net

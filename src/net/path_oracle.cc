@@ -1,6 +1,7 @@
 #include "net/path_oracle.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <mutex>
 #include <queue>
@@ -10,10 +11,36 @@ namespace hermes::net {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// True when `path` traverses the undirected link (a,b) as a hop.
+bool path_uses_link(const Path& p, SwitchId a, SwitchId b) noexcept {
+    for (std::size_t i = 0; i + 1 < p.switches.size(); ++i) {
+        const SwitchId x = p.switches[i];
+        const SwitchId y = p.switches[i + 1];
+        if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+}
 }  // namespace
 
 PathOracle::PathOracle(const Network& net)
-    : net_(&net), trees_(net.switch_count()) {}
+    : net_(&net), trees_(net.switch_count()), observed_epoch_(net.epoch()) {}
+
+void PathOracle::check_epoch() {
+    const std::uint64_t live = net_->epoch();
+    if (observed_epoch_.load(std::memory_order_acquire) == live) return;
+    // The Network was mutated without an on_*()/invalidate() notification —
+    // a contract violation that would otherwise silently serve paths through
+    // dead links. Debug builds fail fast; release builds self-heal by
+    // dropping every cache.
+    assert(false &&
+           "PathOracle: Network mutated without on_*()/invalidate() notification");
+    std::unique_lock lock(mutex_);
+    if (observed_epoch_.load(std::memory_order_relaxed) == net_->epoch()) return;
+    for (auto& slot : trees_) slot.reset();
+    k_cache_.clear();
+    observed_epoch_.store(net_->epoch(), std::memory_order_release);
+}
 
 const PathOracle::Tree& PathOracle::tree(SwitchId src) {
     if (src >= trees_.size()) throw std::out_of_range("PathOracle: bad switch id");
@@ -63,12 +90,17 @@ const PathOracle::Tree& PathOracle::tree(SwitchId src) {
     return *trees_[src];
 }
 
-const std::vector<double>& PathOracle::latencies(SwitchId src) { return tree(src).dist; }
+const std::vector<double>& PathOracle::latencies(SwitchId src) {
+    check_epoch();
+    return tree(src).dist;
+}
 
 std::optional<Path> PathOracle::path(SwitchId src, SwitchId dst) {
     if (src >= trees_.size() || dst >= trees_.size()) {
         throw std::out_of_range("PathOracle: bad switch id");
     }
+    check_epoch();
+    if (!net_->switch_up(src) || !net_->switch_up(dst)) return std::nullopt;
     if (src == dst) return Path{{src}, net_->props(src).latency_us};
     const Tree& t = tree(src);
     if (t.dist[dst] == kInf) return std::nullopt;
@@ -86,6 +118,8 @@ double PathOracle::path_latency(SwitchId src, SwitchId dst) {
     if (src >= trees_.size() || dst >= trees_.size()) {
         throw std::out_of_range("PathOracle: bad switch id");
     }
+    check_epoch();
+    if (!net_->switch_up(src) || !net_->switch_up(dst)) return kInf;
     if (src == dst) return net_->props(src).latency_us;
     return tree(src).dist[dst];
 }
@@ -94,6 +128,7 @@ std::vector<Path> PathOracle::k_paths(SwitchId src, SwitchId dst, std::size_t k)
     if (src >= trees_.size() || dst >= trees_.size()) {
         throw std::out_of_range("PathOracle: bad switch id");
     }
+    check_epoch();
     if (k == 0) return {};
     const std::uint64_t key =
         static_cast<std::uint64_t>(src) * trees_.size() + static_cast<std::uint64_t>(dst);
@@ -127,10 +162,112 @@ std::vector<Path> PathOracle::k_paths(SwitchId src, SwitchId dst, std::size_t k)
                 static_cast<std::ptrdiff_t>(std::min(k, entry.paths.size()))};
 }
 
+template <typename TreePred, typename KPred>
+void PathOracle::evict_if(TreePred&& drop_tree, KPred&& drop_k) {
+    std::unique_lock lock(mutex_);
+    std::uint64_t dropped_trees = 0;
+    for (auto& slot : trees_) {
+        if (slot && drop_tree(*slot)) {
+            slot.reset();
+            ++dropped_trees;
+        }
+    }
+    std::uint64_t dropped_k = 0;
+    for (auto it = k_cache_.begin(); it != k_cache_.end();) {
+        if (drop_k(it->first, it->second)) {
+            it = k_cache_.erase(it);
+            ++dropped_k;
+        } else {
+            ++it;
+        }
+    }
+    tree_evictions_.fetch_add(dropped_trees, std::memory_order_relaxed);
+    k_evictions_.fetch_add(dropped_k, std::memory_order_relaxed);
+    observed_epoch_.store(net_->epoch(), std::memory_order_release);
+}
+
+void PathOracle::on_link_down(SwitchId a, SwitchId b) {
+    if (a >= trees_.size() || b >= trees_.size()) {
+        throw std::out_of_range("PathOracle: bad switch id");
+    }
+    // A tree is stale only when the dead link is one of its tree edges; every
+    // other tree's parent chains avoid the link entirely and stay exact. A
+    // cached k-set is stale only when one of its paths hops the link: the
+    // removal deletes exactly the paths that used it from the global ranking,
+    // so a set not containing it keeps the same first-k prefix.
+    evict_if(
+        [&](const Tree& t) { return t.parent[a] == b || t.parent[b] == a; },
+        [&](std::uint64_t, const KEntry& e) {
+            return std::any_of(e.paths.begin(), e.paths.end(),
+                               [&](const Path& p) { return path_uses_link(p, a, b); });
+        });
+}
+
+void PathOracle::on_link_up(SwitchId a, SwitchId b) {
+    if (a >= trees_.size() || b >= trees_.size()) {
+        throw std::out_of_range("PathOracle: bad switch id");
+    }
+    // A recovered link can only change a tree when routing through it would
+    // improve some label: dist[a] + t_l + t_s(b) < dist[b] (or symmetric).
+    // k-sets are dropped wholesale: a new path can displace any cached rank.
+    const auto latency = net_->link_latency(a, b);
+    const double lat = latency ? *latency : 0.0;
+    const double ts_a = net_->props(a).latency_us;
+    const double ts_b = net_->props(b).latency_us;
+    evict_if(
+        [&](const Tree& t) {
+            if (!latency) return false;  // endpoint still down: nothing usable changed
+            return t.dist[a] + lat + ts_b < t.dist[b] ||
+                   t.dist[b] + lat + ts_a < t.dist[a];
+        },
+        [&](std::uint64_t, const KEntry&) { return latency.has_value(); });
+}
+
+void PathOracle::on_switch_down(SwitchId u) {
+    if (u >= trees_.size()) throw std::out_of_range("PathOracle: bad switch id");
+    // Trees routing *through* u (u is some node's parent) or rooted at it are
+    // stale; trees where u is a leaf keep every other destination exact, and
+    // the down-endpoint guards in path()/path_latency() cover queries to u.
+    evict_if(
+        [&](const Tree& t) {
+            if (t.dist[u] == kInf) return false;
+            if (t.parent[u] == trees_.size() && t.dist[u] != kInf) {
+                // u is the root (parent sentinel + finite dist): drop.
+                return true;
+            }
+            return std::any_of(t.parent.begin(), t.parent.end(),
+                               [&](SwitchId p) { return p == u; });
+        },
+        [&](std::uint64_t, const KEntry& e) {
+            return std::any_of(e.paths.begin(), e.paths.end(),
+                               [&](const Path& p) { return p.contains(u); });
+        });
+}
+
+void PathOracle::on_switch_up(SwitchId u) {
+    if (u >= trees_.size()) throw std::out_of_range("PathOracle: bad switch id");
+    // Equivalent to every incident live link coming up at once: a tree is
+    // affected when any of them could improve a label. Cached trees computed
+    // while u was down hold dist[u] = inf, so any live neighbor with a finite
+    // label triggers the drop.
+    const double ts_u = net_->props(u).latency_us;
+    const auto& incident = net_->adjacency(u);
+    evict_if(
+        [&](const Tree& t) {
+            for (const auto& [v, lat] : incident) {
+                if (t.dist[v] + lat + ts_u < t.dist[u]) return true;
+                if (t.dist[u] + lat + net_->props(v).latency_us < t.dist[v]) return true;
+            }
+            return false;
+        },
+        [&](std::uint64_t, const KEntry&) { return !incident.empty(); });
+}
+
 void PathOracle::invalidate() {
     std::unique_lock lock(mutex_);
     for (auto& slot : trees_) slot.reset();
     k_cache_.clear();
+    observed_epoch_.store(net_->epoch(), std::memory_order_release);
 }
 
 PathOracle::Stats PathOracle::stats() const noexcept {
@@ -139,6 +276,8 @@ PathOracle::Stats PathOracle::stats() const noexcept {
     s.tree_misses = tree_misses_.load(std::memory_order_relaxed);
     s.k_hits = k_hits_.load(std::memory_order_relaxed);
     s.k_misses = k_misses_.load(std::memory_order_relaxed);
+    s.tree_evictions = tree_evictions_.load(std::memory_order_relaxed);
+    s.k_evictions = k_evictions_.load(std::memory_order_relaxed);
     return s;
 }
 

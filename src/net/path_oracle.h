@@ -1,4 +1,4 @@
-// Memoized path provider over one immutable Network.
+// Memoized path provider over one Network.
 //
 // Every consumer of the optimization pipeline (greedy anchor search, the
 // MILP formulation's P(u,v) sets, incremental deployment, the baselines'
@@ -13,12 +13,27 @@
 // same (distance, switch-id) priority ordering, so the parent chain to any
 // destination matches the early-exit pairwise Dijkstra exactly.
 //
-// Invalidation contract: the oracle holds a reference to the Network and
-// assumes the topology and every latency is frozen for the oracle's
-// lifetime. Mutating the Network (add_switch / add_link / props()) makes
-// cached trees stale; the caller must call invalidate() afterwards — or,
-// when switches were added, construct a fresh oracle (per-source slots are
-// sized at construction). All accessors are safe to call concurrently.
+// Invalidation contract (epoch-based): the oracle snapshots Network::epoch()
+// at construction and after every invalidation, and every accessor checks
+// the snapshot against the live epoch. Mutating the Network and then querying
+// the oracle WITHOUT telling it is a contract violation: debug builds assert;
+// release builds self-heal by dropping every cache (correct, but forfeits all
+// memoization — fix the caller). The ways to tell it, cheapest first:
+//   - on_link_down / on_link_up / on_switch_down / on_switch_up after the
+//     matching Network::fail_* / recover_* call (fault::Injector does this):
+//     caches are dropped selectively — only Dijkstra trees that actually used
+//     the failed element (or could improve through the recovered one) and
+//     k-path entries whose cached paths traverse it are evicted; trees of
+//     unaffected sources survive. Call after EVERY mutation, in order.
+//   - invalidate(): drops everything. Required after latency changes through
+//     props() (+ bump_epoch()); adding switches requires a new oracle instead
+//     (per-source slots are sized at construction).
+// After a switch failure handled via on_switch_down, surviving trees may
+// still hold finite latencies(src)[u] entries for the down leaf switch u;
+// path()/path_latency() guard against down endpoints, raw latencies()
+// consumers must filter by Network::switch_up() themselves (every in-repo
+// consumer iterates programmable_switches(), which already excludes them).
+// All accessors are safe to call concurrently.
 #pragma once
 
 #include <atomic>
@@ -40,16 +55,17 @@ public:
     [[nodiscard]] const Network& network() const noexcept { return *net_; }
 
     // Single-source shortest-path latencies; identical to
-    // shortest_latencies(net, src). The reference stays valid until
-    // invalidate() or destruction.
+    // shortest_latencies(net, src). The reference stays valid until any
+    // invalidation or destruction.
     [[nodiscard]] const std::vector<double>& latencies(SwitchId src);
 
     // Shortest path between two switches; identical to
     // shortest_path(net, src, dst). Reconstructed from the cached tree.
+    // nullopt when disconnected or either endpoint is down.
     [[nodiscard]] std::optional<Path> path(SwitchId src, SwitchId dst);
 
     // Latency of the shortest src->dst path without materializing it
-    // (infinity when disconnected).
+    // (infinity when disconnected or either endpoint is down).
     [[nodiscard]] double path_latency(SwitchId src, SwitchId dst);
 
     // Up to k loop-free shortest paths; identical to
@@ -57,9 +73,17 @@ public:
     // with smaller k slices the cached result, a larger k recomputes once.
     [[nodiscard]] std::vector<Path> k_paths(SwitchId src, SwitchId dst, std::size_t k);
 
-    // Drops every cached tree and k-path set. Required after the underlying
-    // Network's link or switch latencies change; adding switches requires a
-    // new oracle instead.
+    // Selective invalidation after one matching Network mutation (see the
+    // epoch contract above). Each call syncs the oracle to the network's
+    // current epoch, so call them once per mutation, in mutation order.
+    void on_link_down(SwitchId a, SwitchId b);
+    void on_link_up(SwitchId a, SwitchId b);
+    void on_switch_down(SwitchId u);
+    void on_switch_up(SwitchId u);
+
+    // Drops every cached tree and k-path set and syncs the epoch. Required
+    // after link or switch latency changes; adding switches requires a new
+    // oracle instead.
     void invalidate();
 
     struct Stats {
@@ -67,6 +91,8 @@ public:
         std::uint64_t tree_misses = 0;  // Dijkstra runs
         std::uint64_t k_hits = 0;
         std::uint64_t k_misses = 0;  // Yen runs
+        std::uint64_t tree_evictions = 0;  // trees dropped by selective sync
+        std::uint64_t k_evictions = 0;     // k-entries dropped by selective sync
     };
     [[nodiscard]] Stats stats() const noexcept;
 
@@ -81,6 +107,11 @@ private:
     };
 
     [[nodiscard]] const Tree& tree(SwitchId src);
+    // Asserts (debug) / self-heals (release) the epoch contract; see above.
+    void check_epoch();
+    // Drops trees/k-entries matched by the predicates and syncs the epoch.
+    template <typename TreePred, typename KPred>
+    void evict_if(TreePred&& drop_tree, KPred&& drop_k);
 
     const Network* net_;
     // One slot per source; a published Tree is immutable and the slot array
@@ -88,10 +119,13 @@ private:
     std::vector<std::shared_ptr<const Tree>> trees_;
     std::unordered_map<std::uint64_t, KEntry> k_cache_;
     mutable std::shared_mutex mutex_;
+    std::atomic<std::uint64_t> observed_epoch_;
     std::atomic<std::uint64_t> tree_hits_{0};
     std::atomic<std::uint64_t> tree_misses_{0};
     std::atomic<std::uint64_t> k_hits_{0};
     std::atomic<std::uint64_t> k_misses_{0};
+    std::atomic<std::uint64_t> tree_evictions_{0};
+    std::atomic<std::uint64_t> k_evictions_{0};
 };
 
 }  // namespace hermes::net

@@ -203,7 +203,10 @@ TEST(MilpSolver, NodeLimitReturnsIncumbentAsFeasible) {
     EXPECT_NEAR(r.objective, 0.0, kTol);  // the warm start itself
 }
 
-TEST(MilpSolver, TimeLimitZeroStillReturnsWarmStart) {
+TEST(MilpSolver, TimeLimitZeroMeansNoBudget) {
+    // time_limit_seconds <= 0 is "no wall-clock budget" everywhere (search
+    // and node LPs alike), so a trivial model solves to proven optimality
+    // instead of bailing out with the warm start.
     Model m;
     const VarId x = m.add_binary();
     m.maximize(LinExpr::term(x));
@@ -211,8 +214,52 @@ TEST(MilpSolver, TimeLimitZeroStillReturnsWarmStart) {
     options.time_limit_seconds = 0.0;
     options.warm_start = std::vector<double>{1.0};
     const MilpResult r = solve_milp(m, options);
-    EXPECT_EQ(r.status, MilpStatus::kFeasible);
+    EXPECT_EQ(r.status, MilpStatus::kOptimal);
     EXPECT_NEAR(r.objective, 1.0, kTol);
+}
+
+TEST(MilpSolver, ExpiredDeadlineReturnsIncumbentAsTimeLimit) {
+    // A pre-cancelled token stops the search before its first node; the warm
+    // start survives as the incumbent and the status says why the search
+    // stopped — no exception anywhere.
+    Model m;
+    LinExpr weight, value;
+    std::vector<double> start;
+    for (int i = 0; i < 12; ++i) {
+        const VarId x = m.add_binary();
+        weight += LinExpr::term(x, 7.0 + i);
+        value += LinExpr::term(x, 11.0 + 3 * i);
+        start.push_back(0.0);
+    }
+    m.add_constraint(weight, Sense::kLe, 40.0);
+    m.maximize(value);
+    MilpOptions options;
+    options.deadline = hermes::core::Deadline::cancellable();
+    options.deadline.cancel();
+    options.warm_start = start;
+    const MilpResult r = solve_milp(m, options);
+    EXPECT_EQ(r.status, MilpStatus::kTimeLimit);
+    EXPECT_TRUE(r.has_solution());
+    EXPECT_NEAR(r.objective, 0.0, kTol);  // the warm start itself
+}
+
+TEST(MilpSolver, ExpiredDeadlineWithoutIncumbentReturnsNoSolution) {
+    Model m;
+    LinExpr weight, value;
+    for (int i = 0; i < 12; ++i) {
+        const VarId x = m.add_binary();
+        weight += LinExpr::term(x, 7.0 + i);
+        value += LinExpr::term(x, 11.0 + 3 * i);
+    }
+    m.add_constraint(weight, Sense::kLe, 40.0);
+    m.maximize(value);
+    MilpOptions options;
+    options.presolve = false;  // presolve alone can crack tiny instances
+    options.deadline = hermes::core::Deadline::cancellable();
+    options.deadline.cancel();
+    const MilpResult r = solve_milp(m, options);
+    EXPECT_EQ(r.status, MilpStatus::kNoSolution);
+    EXPECT_FALSE(r.has_solution());
 }
 
 TEST(MilpSolver, UnboundedDetected) {

@@ -318,6 +318,54 @@ TEST(Presolve, IntegerBoundsRoundInward) {
     EXPECT_NEAR(r.objective, 2.0, kTol);
 }
 
+TEST(Presolve, SwitchBanInfeasibilityRoundTripsWithBoundsIntact) {
+    // Failure-induced switch ban, as the repair planner's MILP escalation
+    // issues it: the assignment row Σ x(a,u) = 1 stays, but every candidate
+    // switch is banned by pinning its x to upper bound 0. Presolve's fixing
+    // pass must prove infeasibility (all terms fix to 0, the empty row
+    // contradicts its rhs), solve_milp must report kInfeasible without
+    // touching a simplex, and the original model — presolve operates on a
+    // copy — must keep the caller's bounds exactly.
+    Model m;
+    const VarId x0 = m.add_binary("x_a_u0");
+    const VarId x1 = m.add_binary("x_a_u1");
+    const VarId x2 = m.add_binary("x_a_u2");
+    m.add_constraint(LinExpr::term(x0) + LinExpr::term(x1) + LinExpr::term(x2),
+                     Sense::kEq, 1.0);
+    m.minimize(LinExpr::term(x0) + LinExpr::term(x1, 2.0) + LinExpr::term(x2, 3.0));
+    for (const VarId x : {x0, x1, x2}) m.set_upper(x, 0.0);  // all switches failed
+
+    const PresolveResult pre = presolve(m);
+    EXPECT_TRUE(pre.infeasible);
+
+    const MilpResult r = solve_milp(m);
+    EXPECT_EQ(r.status, MilpStatus::kInfeasible);
+    EXPECT_FALSE(r.has_solution());
+
+    for (const VarId x : {x0, x1, x2}) {
+        EXPECT_DOUBLE_EQ(m.variable(x).lower, 0.0);
+        EXPECT_DOUBLE_EQ(m.variable(x).upper, 0.0);
+    }
+}
+
+TEST(Presolve, PartialSwitchBanKeepsSurvivorsFeasible) {
+    // Banning a strict subset must not over-trigger: the survivor picks up
+    // the assignment and the banned variables postsolve to 0.
+    Model m;
+    const VarId x0 = m.add_binary("x_a_u0");
+    const VarId x1 = m.add_binary("x_a_u1");
+    m.add_constraint(LinExpr::term(x0) + LinExpr::term(x1), Sense::kEq, 1.0);
+    m.minimize(LinExpr::term(x0) + LinExpr::term(x1, 2.0));
+    m.set_upper(x0, 0.0);  // only u0 failed
+
+    const MilpResult r = solve_milp(m);
+    ASSERT_EQ(r.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 2.0, kTol);
+    ASSERT_EQ(r.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+    EXPECT_DOUBLE_EQ(r.values[1], 1.0);
+}
+
 TEST(Presolve, WarmStartSurvivesRestriction) {
     Model m;
     const VarId x = m.add_binary("x");

@@ -11,7 +11,13 @@
 //              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>]
 //              [--threads <n>] [--seed <n>] [--csv]
 //              [--trace-out <file>] [--metrics-out <file>]
-//       Deploy and print placements, routes, and metrics.
+//              [--fault-script <file>|random:<events>[:seed]]
+//              [--repair-deadline <s>] [--repair-milp]
+//       Deploy and print placements, routes, and metrics. With
+//       --fault-script, afterwards replay the failure script event by
+//       event: inject the fault, run the self-healing repair ladder
+//       (core/repair.h), verify the repaired deployment, and report
+//       per-event status plus traffic lost before each repair.
 //
 // Every option accepts both "--flag value" and "--flag=value". Unknown
 // options exit with status 2. Parse and I/O errors print one uniform
@@ -38,8 +44,14 @@
 
 #include "baselines/common.h"
 #include "core/hermes.h"
+#include "core/objective.h"
+#include "core/repair.h"
 #include "core/verifier.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
+#include "net/path_oracle.h"
 #include "net/topozoo.h"
+#include "sim/replay.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "p4/frontend.h"
@@ -67,6 +79,8 @@ using namespace hermes;
                      [--eps2 <switches>] [--time-limit <seconds>]
                      [--threads <n>] [--seed <n>] [--csv]
                      [--trace-out <file>] [--metrics-out <file>]
+                     [--fault-script <file>|random:<events>[:seed]]
+                     [--repair-deadline <seconds>] [--repair-milp]
 
 program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
 topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
@@ -77,6 +91,12 @@ strategies    : greedy (default) | optimal | ms | sonata | speed | mtp | fp
 --seed        : RNG seed handed to the solver options (default 1)
 --trace-out   : write a Chrome trace_event JSON of the run
 --metrics-out : write the run's counters and histograms as JSON
+--fault-script: failure scenario — a script file (see src/fault/fault.h for
+                the text format) or random:<events>[:seed] for a generated one
+--repair-deadline: wall-clock budget per repair in seconds (0 = none); on
+                expiry the repair degrades to its best incumbent instead of
+                escalating further
+--repair-milp : allow the repair ladder to escalate to a MILP re-solve
 options also accept the --flag=value spelling
 )";
     std::exit(2);
@@ -191,8 +211,11 @@ struct Options {
     int threads = 0;  // 0 = hardware concurrency
     std::uint64_t seed = 1;
     bool csv = false;
-    std::string trace_out;    // empty = no trace export
-    std::string metrics_out;  // empty = no metrics export
+    std::string trace_out;     // empty = no trace export
+    std::string metrics_out;   // empty = no metrics export
+    std::string fault_script;  // empty = no fault replay
+    double repair_deadline = 0.0;  // seconds; 0 = unbounded repairs
+    bool repair_milp = false;
 };
 
 Options parse_options(const std::vector<std::string>& args, bool need_topology) {
@@ -233,6 +256,13 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
             options.trace_out = value();
         } else if (flag == "--metrics-out") {
             options.metrics_out = value();
+        } else if (flag == "--fault-script") {
+            options.fault_script = value();
+        } else if (flag == "--repair-deadline") {
+            options.repair_deadline = util::parse_double(value());
+        } else if (flag == "--repair-milp") {
+            if (inline_value) usage("--repair-milp takes no value");
+            options.repair_milp = true;
         } else if (flag == "--csv") {
             if (inline_value) usage("--csv takes no value");
             options.csv = true;
@@ -281,9 +311,98 @@ int cmd_analyze(const std::vector<std::string>& args) {
     return 0;
 }
 
+// Replays a failure script against the live deployment: inject each event,
+// run the repair ladder, verify, and measure traffic lost in the window
+// before the repair lands. Returns false when any repair or verification
+// fails.
+bool run_fault_replay(const Options& options, net::Network& network,
+                      const tdg::Tdg& merged, core::Deployment deployment,
+                      net::PathOracle& oracle, obs::Sink* sink) {
+    std::vector<fault::FaultEvent> script;
+    const auto parts = util::split(options.fault_script, ':');
+    if (!parts.empty() && parts[0] == "random") {
+        if (parts.size() < 2) usage("--fault-script random:<events>[:seed]");
+        fault::ScriptConfig config;
+        config.events = static_cast<int>(util::parse_int(parts[1]));
+        const std::uint64_t seed =
+            parts.size() > 2 ? static_cast<std::uint64_t>(util::parse_int(parts[2]))
+                             : options.seed;
+        script = fault::random_fault_script(network, seed, config);
+    } else {
+        script = unwrap(fault::load_fault_script(options.fault_script));
+    }
+
+    fault::Injector injector(network, &oracle, sink);
+    core::RepairOptions repair_options;
+    repair_options.threads = options.threads;
+    repair_options.seed = options.seed;
+    repair_options.sink = sink;
+    repair_options.epsilon1 = options.eps1;
+    repair_options.epsilon2 = options.eps2;
+    repair_options.oracle = &oracle;
+    repair_options.allow_milp = options.repair_milp;
+    repair_options.milp.time_limit_seconds = options.time_limit;
+    repair_options.milp.threads = options.threads;
+
+    util::Table table({"t (us)", "event", "status", "moved", "rerouted",
+                       "repair (ms)", "pkts lost"});
+    bool ok = true;
+    std::int64_t total_lost = 0;
+    for (const fault::FaultEvent& e : script) {
+        injector.apply(e);
+        const core::Deployment before = deployment;
+        if (options.repair_deadline > 0.0) {
+            repair_options.deadline = core::Deadline::after(options.repair_deadline);
+        }
+        const core::RepairResult r = core::repair(merged, network, deployment,
+                                                  repair_options);
+        std::int64_t lost = 0;
+        if (r.ok) {
+            deployment = r.deployment;
+            const core::VerificationReport report =
+                core::verify(merged, network, deployment);
+            if (!report.ok) {
+                ok = false;
+                for (const std::string& v : report.violations) {
+                    std::cerr << "  ! " << v << "\n";
+                }
+            }
+            sim::ReplayConfig replay_config;
+            replay_config.flow.payload_bytes_total = 1460 * 10;
+            replay_config.sim.sink = sink;
+            lost = sim::replay_failure_window(merged, network, before, deployment,
+                                              replay_config, &oracle)
+                       .packets_lost_before_repair;
+            total_lost += lost;
+        } else {
+            ok = false;
+        }
+        std::string what = to_string(e.kind);
+        what += ' ';
+        what += std::to_string(e.a);
+        if (e.is_link()) what += "-" + std::to_string(e.b);
+        table.add_row({util::Table::num(e.at_us, 1), what, r.status,
+                       util::Table::num(r.replaced_mats),
+                       util::Table::num(r.rerouted_pairs),
+                       util::Table::num(r.repair_seconds * 1e3, 2),
+                       util::Table::num(lost)});
+    }
+    if (options.csv) {
+        table.write_csv(std::cout);
+    } else {
+        table.print(std::cout, "fault replay (" + std::to_string(script.size()) +
+                                   " events)");
+    }
+    std::cout << "\npackets lost before repair: " << total_lost << "\n"
+              << "post-script overhead      : "
+              << core::max_pair_metadata(merged, deployment) << " B\n"
+              << "script survived           : " << (ok ? "yes" : "NO") << "\n";
+    return ok;
+}
+
 int cmd_deploy(const std::vector<std::string>& args) {
     Options options = parse_options(args, /*need_topology=*/true);
-    const net::Network& network = *options.network;
+    net::Network& network = *options.network;
     std::optional<obs::Sink> sink_storage;
     obs::Sink* const sink = make_sink(options, sink_storage);
     const tdg::Tdg merged = core::analyze(options.programs, sink);
@@ -292,6 +411,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
     tdg::Tdg deployed_tdg = merged;
     double seconds = 0.0;
     std::string status;
+    net::PathOracle oracle(network);
 
     if (options.strategy == "greedy" || options.strategy == "optimal") {
         core::HermesOptions hermes_options;
@@ -303,6 +423,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
         hermes_options.milp.time_limit_seconds = options.time_limit;
         hermes_options.milp.threads = options.threads;
         hermes_options.segment_level_milp = merged.node_count() > 40;
+        hermes_options.oracle = &oracle;
         const core::DeployOutcome outcome =
             options.strategy == "greedy"
                 ? core::deploy_greedy(merged, network, hermes_options)
@@ -362,8 +483,14 @@ int cmd_deploy(const std::vector<std::string>& args) {
     if (!report.ok) {
         for (const std::string& v : report.violations) std::cerr << "  ! " << v << "\n";
     }
+    bool survived = true;
+    if (!options.fault_script.empty()) {
+        std::cout << "\n";
+        survived = run_fault_replay(options, network, deployed_tdg, deployment,
+                                    oracle, sink);
+    }
     if (sink != nullptr) write_exports(*sink, options);
-    return report.ok ? 0 : 1;
+    return report.ok && survived ? 0 : 1;
 }
 
 }  // namespace
