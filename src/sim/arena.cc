@@ -1,0 +1,16 @@
+#include "sim/arena.h"
+
+namespace hermes::sim {
+
+std::string to_string(const ArenaStats& stats) {
+    std::string out = "live ";
+    out += std::to_string(stats.live);
+    out += " (peak " + std::to_string(stats.peak_live) + ")";
+    out += ", allocs " + std::to_string(stats.allocations);
+    out += " (reused " + std::to_string(stats.reuses) + ")";
+    out += ", capacity " + std::to_string(stats.capacity);
+    out += " in " + std::to_string(stats.blocks) + " blocks";
+    return out;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,154 @@
+// Network-wide parallel discrete-event traffic engine.
+//
+// Admits many concurrent flows, models per-link FIFO transmission contention
+// between them, and scales three ways:
+//
+//  1. Switch-domain sharding (conservative lookahead). Links are partitioned
+//     into shards; each shard runs its own event loop on its own thread
+//     inside conflict-free time windows. The window bound is
+//     `min pending event time + lookahead`, where the lookahead is the
+//     smallest propagation + switch latency of any consecutive hop pair an
+//     event-carrying flow crosses between shards (flows delivered by the
+//     admission fast path never produce events, so their routes don't
+//     shrink the bound) — a batch finishing transmission during a window
+//     cannot reach another shard before the bound, so shards never see an
+//     event from their past. Hop pairs with zero delay are merged into one shard
+//     (union-find) so the lookahead is always positive; when no route
+//     crosses shards the lookahead is infinite and every shard runs to
+//     completion in a single window.
+//
+//  2. Flat arena-allocated pools and a d-ary heap per shard (arena.h,
+//     events.h, shard.h): no per-event allocation, no closures.
+//
+//  3. A flow-level fast path. At admission, a flow none of whose links carry
+//     any other flow is advanced analytically — the exact per-packet
+//     store-and-forward recurrence, same floating-point operations in the
+//     same order as the classic event loop, so results are bit-identical —
+//     without creating a single event. During the run, a batch whose
+//     remaining links are all shard-local and carry no other flow
+//     fast-forwards to delivery in one step (shard.h). Batched packetization
+//     (two batches per flow: the full-packet train and the final short
+//     packet) makes back-to-back line-rate trains O(1) events per hop.
+//
+// Determinism: results are bit-identical at any shard/thread count. Each
+// link's transmitter is owned by one shard, events tie-break on
+// (time, flow, hop, batch), and the fast paths only fire when no competing
+// flow exists, so every link observes the same arrival sequence regardless
+// of how the loops are scheduled. Diagnostics (event counts, fast-path hit
+// rate, window count) DO vary with the shard count; timestamps never do.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/flowsim.h"
+#include "sim/shard.h"
+
+namespace hermes::sim {
+
+using LinkId = std::uint32_t;
+using RouteId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+struct EngineConfig {
+    double link_bandwidth_gbps = 100.0;  // shared line rate, as in SimConfig
+    // Worker threads for the sharded loop; <= 1 runs every shard inline on
+    // the caller's thread. 0 picks std::thread::hardware_concurrency().
+    int threads = 1;
+    // Link shards; 0 = one shard per worker thread. Clamped to the link
+    // count. The shard count changes scheduling and diagnostics, never
+    // results.
+    int shards = 0;
+    // Disables both fast paths (admission-time analytic flows and in-run
+    // batch fast-forwarding); every flow then travels the per-batch event
+    // path. For tests and for measuring the fast path's worth.
+    bool enable_fastpath = true;
+    // Cap on each shard's live event-pool slots (0 = unbounded); exhaustion
+    // throws std::runtime_error from run().
+    std::size_t max_events_per_shard = 0;
+    // Non-null: the run records sim.flows / sim.events / sim.fastpath_flows
+    // / sim.window_syncs counters, a sim.fct_us histogram, per-shard
+    // sim.shard<k>.idle_ns counters, and one sim.window span per shard per
+    // window on the worker lanes.
+    obs::Sink* sink = nullptr;
+};
+
+struct EngineStats {
+    std::int64_t flows = 0;
+    std::int64_t packets = 0;          // total packets across all flows
+    std::int64_t events = 0;           // batch events popped from the heaps
+    std::int64_t fastpath_flows = 0;   // flows delivered analytically
+    std::int64_t window_syncs = 0;     // barrier synchronizations
+    int shards = 0;
+    double lookahead_us = 0.0;         // conservative window bound (inf = one window)
+    double horizon_us = 0.0;           // latest delivery instant
+};
+
+class Engine {
+public:
+    explicit Engine(const EngineConfig& config = {});
+
+    // A directed hop: the wire (propagation) plus the receiving node's
+    // processing latency. Negative latencies throw std::invalid_argument.
+    LinkId add_link(double propagation_us, double switch_latency_us);
+
+    // A route is an ordered link sequence shared by any number of flows
+    // (flows sharing a link contend for its FIFO transmitter). An empty
+    // route delivers at injection time. Throws on unknown link ids or more
+    // than 65535 hops (the heap tie-break packs the hop index).
+    RouteId add_route(const std::vector<LinkId>& links);
+    // Convenience: fresh private links, one per hop — the single-flow
+    // adapter's shape, where each hop is its own transmitter.
+    RouteId add_route(const std::vector<HopSpec>& hops);
+
+    // Admits one flow: `spec`'s message is packetized exactly as
+    // simulate_flow does (effective_payload validation included) and its
+    // packets leave the source back-to-back at line rate from `start_us`.
+    FlowId add_flow(const FlowSpec& spec, RouteId route, double start_us = 0.0);
+
+    // Simulates every admitted flow to completion. Call once.
+    void run();
+
+    // Completed flow's result; fct_us is completion minus start.
+    [[nodiscard]] FlowResult result(FlowId flow) const;
+    [[nodiscard]] double completion_us(FlowId flow) const;
+
+    [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+    [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+    [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+private:
+    void partition_links(int shard_count);
+    void fastpath_admission();
+    void compute_lookahead();
+    void inject(FlowId flow);
+    void sync_mailboxes();
+    void run_windows(int workers);
+    [[nodiscard]] double next_event_time() const noexcept;
+
+    EngineConfig config_;
+    std::vector<LinkState> links_;
+    std::vector<std::uint32_t> route_links_;  // flat route → link ids
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> routes_;  // offset, len
+    std::vector<FlowState> flows_;
+    std::vector<Shard> shards_;
+    double lookahead_us_ = 0.0;
+    EngineStats stats_;
+    bool ran_ = false;
+};
+
+// Interns network paths into shared engine links: two paths crossing the
+// same directed (from, to) network link get the same engine link, so flows
+// whose routes overlap contend for its transmitter. One interner per engine.
+// Link latencies come from the network's live adjacency (dead links throw,
+// as in hops_from_path).
+class PathInterner {
+public:
+    RouteId add_path(Engine& engine, const net::Network& net, const net::Path& path);
+
+private:
+    std::unordered_map<std::uint64_t, LinkId> links_;  // (from << 32 | to)
+};
+
+}  // namespace hermes::sim

@@ -5,33 +5,70 @@
 
 namespace hermes::sim {
 
+void EventHeap::push(const EventKey& key) {
+    std::size_t i = heap_.size();
+    heap_.push_back(key);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!heap_[i].before(heap_[parent])) break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+EventKey EventHeap::pop() {
+    EventKey out = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap_[c].before(heap_[best])) best = c;
+        }
+        if (!heap_[best].before(heap_[i])) break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return out;
+}
+
 void EventQueue::schedule(double at_us, Callback callback) {
     if (at_us < now_us_) {
         throw std::invalid_argument("EventQueue::schedule: time travels backwards");
     }
-    queue_.push(Event{at_us, next_seq_++, std::move(callback)});
+    const std::uint32_t slot = pool_.alloc();
+    pool_[slot] = std::move(callback);
+    heap_.push(EventKey{at_us, next_seq_++, slot});
+}
+
+void EventQueue::run_one() {
+    const EventKey key = heap_.pop();
+    now_us_ = key.time_us;
+    // Move the closure out before running it: the callback may schedule,
+    // which can reuse the freed slot.
+    Callback cb = std::move(pool_[key.payload]);
+    pool_.free(key.payload);
+    cb();
 }
 
 double EventQueue::run() {
     double last = now_us_;
-    while (!queue_.empty()) {
-        // The callback may schedule more events; copy out before popping.
-        Event e = std::move(const_cast<Event&>(queue_.top()));
-        queue_.pop();
-        now_us_ = e.time_us;
-        last = e.time_us;
-        e.callback();
+    while (!heap_.empty()) {
+        run_one();
+        last = now_us_;
     }
     return last;
 }
 
 std::size_t EventQueue::run_steps(std::size_t limit) {
     std::size_t ran = 0;
-    while (ran < limit && !queue_.empty()) {
-        Event e = std::move(const_cast<Event&>(queue_.top()));
-        queue_.pop();
-        now_us_ = e.time_us;
-        e.callback();
+    while (ran < limit && !heap_.empty()) {
+        run_one();
         ++ran;
     }
     return ran;

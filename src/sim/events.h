@@ -1,20 +1,68 @@
-// Discrete-event core: a time-ordered event queue with a stable tie-break so
-// simulations are fully deterministic.
+// Discrete-event core.
+//
+// EventHeap is the engine's hot priority queue: a flat 4-ary min-heap of
+// 24-byte (time, order, payload) entries. Four-way branching halves the
+// sift-down depth of a binary heap and keeps each level inside one cache
+// line, which matters when a shard pops tens of millions of events. Entries
+// carry no behavior — `payload` is an index into the owning shard's
+// Arena<BatchEvent> pool — so pushing an event never allocates.
+//
+// Ordering is (time_us, order) ascending. `order` is the determinism
+// tie-break: the engine packs (flow, hop, batch) into it so simultaneous
+// events pop in one fixed order at any shard/thread count; EventQueue packs
+// a scheduling sequence number for its documented FIFO-among-equals rule.
+//
+// EventQueue is the legacy closure-based interface (same API as before this
+// file's rewrite), now a thin adapter: an EventHeap for ordering plus an
+// Arena<Callback> pool for the closures, instead of a std::priority_queue of
+// heap-allocated std::functions.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
+
+#include "sim/arena.h"
 
 namespace hermes::sim {
 
+struct EventKey {
+    double time_us = 0.0;
+    std::uint64_t order = 0;      // deterministic tie-break at equal times
+    std::uint32_t payload = 0;    // pool index (meaning owned by the caller)
+
+    [[nodiscard]] bool before(const EventKey& other) const noexcept {
+        if (time_us != other.time_us) return time_us < other.time_us;
+        return order < other.order;
+    }
+};
+
+class EventHeap {
+public:
+    void push(const EventKey& key);
+    // Undefined on an empty heap (callers check empty() first).
+    [[nodiscard]] const EventKey& top() const noexcept { return heap_.front(); }
+    EventKey pop();
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+    void reserve(std::size_t n) { heap_.reserve(n); }
+    void clear() noexcept { heap_.clear(); }
+
+private:
+    static constexpr std::size_t kArity = 4;
+    std::vector<EventKey> heap_;
+};
+
+// Legacy callback event queue (kept for the library's small single-threaded
+// simulations and its existing tests). Scheduling is O(log n) with pooled
+// closure storage; semantics are unchanged: time order, FIFO among
+// simultaneous events, callbacks may schedule more events, scheduling into
+// the past throws std::invalid_argument.
 class EventQueue {
 public:
     using Callback = std::function<void()>;
 
-    // Schedules `callback` at absolute time `at_us` (microseconds). Throws
-    // std::invalid_argument when scheduling into the past.
     void schedule(double at_us, Callback callback);
 
     // Runs events in time order until the queue drains. Returns the time of
@@ -25,23 +73,14 @@ public:
     std::size_t run_steps(std::size_t limit);
 
     [[nodiscard]] double now() const noexcept { return now_us_; }
-    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
 private:
-    struct Event {
-        double time_us;
-        std::uint64_t seq;
-        Callback callback;
-    };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.time_us != b.time_us) return a.time_us > b.time_us;
-            return a.seq > b.seq;  // FIFO among simultaneous events
-        }
-    };
+    void run_one();
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    EventHeap heap_;
+    Arena<Callback> pool_{256};
     double now_us_ = 0.0;
     std::uint64_t next_seq_ = 0;
 };

@@ -1,10 +1,12 @@
 #include "sim/flowsim.h"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "core/objective.h"
 #include "obs/obs.h"
+#include "sim/engine.h"
 #include "sim/events.h"
 
 namespace hermes::sim {
@@ -12,6 +14,17 @@ namespace hermes::sim {
 int effective_payload(const FlowSpec& spec) {
     if (spec.payload_bytes_total < 0) {
         throw std::invalid_argument("effective_payload: negative payload");
+    }
+    if (spec.mtu_bytes <= 0) {
+        throw std::invalid_argument("effective_payload: non-positive MTU");
+    }
+    if (spec.base_header_bytes < 0 || spec.overhead_bytes < 0) {
+        throw std::invalid_argument(
+            "effective_payload: negative header or overhead bytes");
+    }
+    if (spec.mtu_bytes <= spec.base_header_bytes) {
+        throw std::invalid_argument(
+            "effective_payload: MTU does not fit the base headers");
     }
     const int room = spec.mtu_bytes - spec.base_header_bytes - spec.overhead_bytes;
     if (room <= 0) {
@@ -23,6 +36,27 @@ int effective_payload(const FlowSpec& spec) {
 
 FlowResult simulate_flow(const std::vector<HopSpec>& hops, const FlowSpec& spec,
                          const SimConfig& config) {
+    if (config.link_bandwidth_gbps <= 0.0) {
+        throw std::invalid_argument("simulate_flow: non-positive bandwidth");
+    }
+    obs::Span span(config.sink, "flowsim.flow");
+    EngineConfig engine_config;
+    engine_config.link_bandwidth_gbps = config.link_bandwidth_gbps;
+    engine_config.threads = 1;
+    Engine engine(engine_config);
+    const RouteId route = engine.add_route(hops);
+    const FlowId flow = engine.add_flow(spec, route);
+    engine.run();
+    const FlowResult result = engine.result(flow);
+    if (config.sink != nullptr) {
+        config.sink->counter("flowsim.packets").add(result.packets);
+        config.sink->counter("flowsim.events").add(engine.stats().events);
+    }
+    return result;
+}
+
+FlowResult simulate_flow_reference(const std::vector<HopSpec>& hops,
+                                   const FlowSpec& spec, const SimConfig& config) {
     if (config.link_bandwidth_gbps <= 0.0) {
         throw std::invalid_argument("simulate_flow: non-positive bandwidth");
     }
@@ -97,6 +131,11 @@ FlowResult simulate_flow(const std::vector<HopSpec>& hops, const FlowSpec& spec,
 }
 
 std::vector<HopSpec> hops_from_path(const net::Network& net, const net::Path& path) {
+    for (const net::SwitchId s : path.switches) {
+        if (!net.switch_up(s)) {
+            throw std::invalid_argument("hops_from_path: path visits a failed switch");
+        }
+    }
     std::vector<HopSpec> hops;
     for (std::size_t i = 1; i < path.switches.size(); ++i) {
         const auto latency = net.link_latency(path.switches[i - 1], path.switches[i]);
@@ -108,20 +147,44 @@ std::vector<HopSpec> hops_from_path(const net::Network& net, const net::Path& pa
     return hops;
 }
 
+namespace {
+
+// A recorded route is only usable while every switch it visits is up and
+// every link it crosses is live; failures must force a re-resolution rather
+// than silently simulating traffic through dead hardware.
+bool path_alive(const net::Network& net, const net::Path& path) {
+    for (const net::SwitchId s : path.switches) {
+        if (!net.switch_up(s)) return false;
+    }
+    for (std::size_t i = 1; i < path.switches.size(); ++i) {
+        if (!net.link_latency(path.switches[i - 1], path.switches[i])) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
 std::vector<HopSpec> deployment_hops(const tdg::Tdg& t, const net::Network& net,
                                      const core::Deployment& d,
                                      net::PathOracle* oracle) {
     const std::vector<net::SwitchId> order = core::traversal_order(t, d);
     std::vector<HopSpec> hops;
     if (order.empty()) return hops;
+    for (const net::SwitchId s : order) {
+        if (!net.switch_up(s)) {
+            throw std::runtime_error("deployment_hops: deployment occupies a failed switch");
+        }
+    }
     // Ingress hop into the first occupied switch.
     hops.push_back(HopSpec{0.0, net.props(order.front()).latency_us});
     for (std::size_t i = 1; i < order.size(); ++i) {
         const auto it = d.routes.find({order[i - 1], order[i]});
         net::Path path;
-        if (it != d.routes.end()) {
+        if (it != d.routes.end() && path_alive(net, it->second)) {
             path = it->second;
         } else {
+            // No recorded route, or the recorded route crosses failed
+            // hardware: resolve a live shortest path instead.
             auto sp = oracle ? oracle->path(order[i - 1], order[i])
                              : net::shortest_path(net, order[i - 1], order[i]);
             if (!sp) {

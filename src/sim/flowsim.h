@@ -53,10 +53,20 @@ struct FlowResult {
 
 // Event-driven simulation of one flow across `hops` (hop i = link i followed
 // by its receiving node). Packets leave the sender back-to-back at line rate.
+// A thin adapter over sim::Engine (engine.h); results are bit-identical to
+// simulate_flow_reference, enforced by test.
 [[nodiscard]] FlowResult simulate_flow(const std::vector<HopSpec>& hops,
                                        const FlowSpec& spec, const SimConfig& config = {});
 
+// The pre-engine closure-based single-flow simulator, retained verbatim as
+// the physics oracle the engine is tested against.
+[[nodiscard]] FlowResult simulate_flow_reference(const std::vector<HopSpec>& hops,
+                                                 const FlowSpec& spec,
+                                                 const SimConfig& config = {});
+
 // Hop list of a concrete network path (links + downstream switch latencies).
+// Consults live adjacency: throws std::invalid_argument when the path visits
+// a failed switch or uses a missing/failed link.
 [[nodiscard]] std::vector<HopSpec> hops_from_path(const net::Network& net,
                                                   const net::Path& path);
 
@@ -65,6 +75,10 @@ struct FlowResult {
 // when a consecutive pair has no recorded route), with an ingress hop in
 // front. Used by Exp#4/Exp#5's FCT and goodput measurements. Pass a shared
 // net::PathOracle to answer the fallback shortest paths from cache.
+// Consults live adjacency: a recorded route that crosses failed hardware is
+// re-resolved through the oracle (or shortest path); throws
+// std::runtime_error when an occupied switch is down or a traversal pair has
+// no live path.
 [[nodiscard]] std::vector<HopSpec> deployment_hops(const tdg::Tdg& t,
                                                    const net::Network& net,
                                                    const core::Deployment& d,

@@ -1,0 +1,109 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::sim {
+
+namespace {
+
+// Heap tie-break: (flow, hop, runt) packed so simultaneous events pop in one
+// fixed order at any shard/thread count. The runt bit orders a flow's final
+// short packet behind its full-packet train at equal timestamps (injection
+// schedules both at the same instant).
+std::uint64_t order_key(const BatchEvent& e, bool runt) noexcept {
+    return (static_cast<std::uint64_t>(e.flow) << 18) |
+           (static_cast<std::uint64_t>(e.hop & 0xffff) << 2) | (runt ? 1u : 0u);
+}
+
+bool is_runt(const BatchEvent& e, const FlowState& f) noexcept {
+    return e.first == f.packets - 1;
+}
+
+}  // namespace
+
+Shard::Shard(std::uint32_t id, std::uint32_t shard_count, std::size_t max_events)
+    : id_(id), pool_(4096, max_events), outbox_(shard_count) {}
+
+void Shard::schedule(const BatchEvent& event) {
+    const std::uint32_t slot = pool_.alloc();
+    if (slot == kArenaNull) {
+        throw std::runtime_error("sim::Shard: event pool exhausted (max_events cap)");
+    }
+    pool_[slot] = event;
+    // The runt bit only needs to order batches of the same flow at the same
+    // hop; first==0 batches are the train, anything else the runt.
+    heap_.push(EventKey{event.time_us, order_key(event, event.first != 0),
+                        slot});
+}
+
+void Shard::run_window(const ShardEnv& env, double end_us) {
+    while (!heap_.empty() && heap_.top().time_us < end_us) {
+        const EventKey key = heap_.pop();
+        const BatchEvent event = pool_[key.payload];
+        pool_.free(key.payload);
+        ++events_;
+        process(env, event);
+    }
+}
+
+bool Shard::can_fastforward(const ShardEnv& env, const FlowState& flow,
+                            std::uint32_t from_hop) const noexcept {
+    for (std::uint32_t h = from_hop; h < flow.route_len; ++h) {
+        const LinkState& link = env.links[env.route_links[flow.route_offset + h]];
+        if (link.shard != id_ || link.pending_flows != 1) return false;
+    }
+    return true;
+}
+
+void Shard::process(const ShardEnv& env, const BatchEvent& event) {
+    FlowState& flow = env.flows[event.flow];
+    const bool runt = is_runt(event, flow);
+    const std::int64_t wire = runt ? flow.last_wire : flow.full_wire;
+    const double tx = static_cast<double>(wire) * 8.0 / env.bandwidth_denom_us;
+    const double occupy = static_cast<double>(event.count) * tx;
+
+    std::uint32_t hop = event.hop;
+    double arrival = event.time_us;
+    std::uint32_t inline_hops = 0;
+    for (;;) {
+        LinkState& link = env.links[env.route_links[flow.route_offset + hop]];
+        const double start = std::max(arrival, link.free_at_us);
+        link.free_at_us = start + occupy;
+        const double depart = link.propagation_us + link.switch_latency_us;
+        // The flow is fully past this link once its final packet departs.
+        if (runt) --link.pending_flows;
+        if (hop + 1 == flow.route_len) {
+            const double delivered = link.free_at_us + depart;
+            flow.received += event.count;
+            if (delivered > flow.completion_us) flow.completion_us = delivered;
+            if (runt && inline_hops > 0) {
+                flow.fastpath = true;
+                ++fastpath_flows_;
+            }
+            return;
+        }
+        const double next_arrival = (start + tx) + depart;
+        if (env.fastforward && can_fastforward(env, flow, hop + 1)) {
+            // No other flow can reach any remaining link before us, and they
+            // are all shard-local: advance the batch analytically instead of
+            // bouncing it through the heap.
+            ++hop;
+            arrival = next_arrival;
+            ++inline_hops;
+            continue;
+        }
+        const BatchEvent next{next_arrival, event.flow, hop + 1, event.first,
+                              event.count};
+        const std::uint32_t dest =
+            env.links[env.route_links[flow.route_offset + hop + 1]].shard;
+        if (dest == id_) {
+            schedule(next);
+        } else {
+            outbox_[dest].push_back(next);
+        }
+        return;
+    }
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,123 @@
+// One shard of the sharded traffic engine: the links it owns, their FIFO
+// transmitter state, an arena-pooled event heap, and outboxes toward every
+// other shard.
+//
+// Ownership rules (these are what make the engine race-free without locks):
+//  - Every link belongs to exactly one shard. Only that shard's event loop
+//    reads or writes the link's transmitter (free_at_us) and pending count.
+//  - A shard's heap and event pool are touched only by the shard's worker
+//    thread during a window, and only by the coordinator between windows.
+//  - Cross-shard handoffs travel by value through `outbox[dst]`; the source
+//    appends during its window, the coordinator drains into the destination
+//    heap at the barrier. Conservative lookahead (engine.h) guarantees the
+//    handoff's timestamp is at or beyond the window bound, so no shard ever
+//    sees an event from its past.
+//
+// Determinism: the heap key's tie-break packs (flow, hop, runt) — a total
+// order over simultaneous events that is independent of arrival order, so
+// any shard/thread count pops the same sequence and computes the same
+// timestamps bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/arena.h"
+#include "sim/events.h"
+
+namespace hermes::sim {
+
+// Transmitter + topology state of one simulated link (a directed hop: the
+// wire plus the receiving node's processing latency).
+struct LinkState {
+    double propagation_us = 0.0;
+    double switch_latency_us = 0.0;
+    double free_at_us = 0.0;         // FIFO transmitter frees at this instant
+    std::uint32_t shard = 0;         // owning shard
+    std::uint32_t pending_flows = 0; // route occurrences not yet fully past
+};
+
+// Derived per-flow state (packetization precomputed at admission).
+struct FlowState {
+    std::int64_t packets = 0;
+    std::int64_t payload_bytes_total = 0;
+    std::int64_t full_wire = 0;        // wire bytes of a full packet
+    std::int64_t last_wire = 0;        // wire bytes of the final packet
+    int payload_per_packet = 0;
+    std::uint32_t route_offset = 0;    // into the engine's flat link-id array
+    std::uint32_t route_len = 0;
+    double start_us = 0.0;
+    double completion_us = 0.0;        // delivery of the last packet
+    std::int64_t received = 0;
+    bool fastpath = false;             // delivery was produced analytically
+};
+
+// A contiguous run of back-to-back packets of one flow arriving at one hop.
+// Batching is what makes line-rate trains O(1) events per hop: a flow is at
+// most two batches (the full packets and the final short packet), and a
+// batch stays contiguous across same-bandwidth hops, so its transit of a
+// link is one max() and two additions.
+struct BatchEvent {
+    double time_us = 0.0;     // arrival of the batch's first packet
+    std::uint32_t flow = 0;
+    std::uint32_t hop = 0;    // index into the flow's route
+    std::int64_t first = 0;   // first packet ordinal
+    std::int64_t count = 0;
+};
+
+// Read-mostly view of the engine state a shard loop needs. Flows and links
+// are written under the ownership rules above; everything else is immutable
+// during run().
+struct ShardEnv {
+    LinkState* links = nullptr;
+    FlowState* flows = nullptr;
+    const std::uint32_t* route_links = nullptr;  // flat route → link ids
+    double bandwidth_denom_us = 0.0;  // link_bandwidth_gbps * 1e3
+    bool fastforward = true;          // in-run batch fast-forwarding enabled
+};
+
+class Shard {
+public:
+    Shard(std::uint32_t id, std::uint32_t shard_count, std::size_t max_events);
+
+    // Enqueues a batch into this shard's heap (pool-backed). Throws
+    // std::runtime_error when the configured event-pool cap is exhausted.
+    void schedule(const BatchEvent& event);
+
+    // Processes every event strictly before `end_us`, updating link and flow
+    // state and appending cross-shard handoffs to the outboxes.
+    void run_window(const ShardEnv& env, double end_us);
+
+    [[nodiscard]] bool idle() const noexcept { return heap_.empty(); }
+    // Time of the earliest pending event (call only when !idle()).
+    [[nodiscard]] double next_time_us() const noexcept { return heap_.top().time_us; }
+
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+    [[nodiscard]] std::vector<std::vector<BatchEvent>>& outboxes() noexcept {
+        return outbox_;
+    }
+    [[nodiscard]] std::int64_t events() const noexcept { return events_; }
+    [[nodiscard]] std::int64_t fastpath_flows() const noexcept { return fastpath_flows_; }
+    [[nodiscard]] const ArenaStats& pool_stats() const noexcept { return pool_.stats(); }
+
+    // Busy-time accounting for shard.idle_ns (maintained by the engine; only
+    // touched when a sink is attached, so the hot loop reads no clock).
+    std::int64_t busy_ns = 0;
+
+private:
+    void process(const ShardEnv& env, const BatchEvent& event);
+    // True when every link from `from_hop` to the end of the route is owned
+    // by this shard and carries no other flow — the in-run fast-forward
+    // condition (safe: nothing can arrive ahead of us on any of them).
+    [[nodiscard]] bool can_fastforward(const ShardEnv& env, const FlowState& flow,
+                                       std::uint32_t from_hop) const noexcept;
+
+    std::uint32_t id_;
+    EventHeap heap_;
+    Arena<BatchEvent> pool_;
+    std::vector<std::vector<BatchEvent>> outbox_;  // one per destination shard
+    std::int64_t events_ = 0;
+    std::int64_t fastpath_flows_ = 0;
+};
+
+}  // namespace hermes::sim

@@ -620,6 +620,57 @@ TEST(Replay, IntactDeploymentLosesNothing) {
     EXPECT_EQ(report.amax_delta_bytes, 0);
 }
 
+// ---- deployment_hops over failed hardware (regression) -------------------
+// deployment_hops/hops_from_path used to build hop lists straight through
+// failed links and switches, silently simulating traffic on dead hardware.
+
+TEST(DeploymentHops, HopsFromPathRejectsDeadHardware) {
+    net::Network n = diamond();
+    net::Path p;
+    p.switches = {0, 1, 3};
+    EXPECT_EQ(sim::hops_from_path(n, p).size(), 2u);
+    ASSERT_TRUE(n.fail_link(0, 1));
+    EXPECT_THROW((void)sim::hops_from_path(n, p), std::invalid_argument);
+    ASSERT_TRUE(n.recover_link(0, 1));
+    ASSERT_TRUE(n.fail_switch(1));
+    EXPECT_THROW((void)sim::hops_from_path(n, p), std::invalid_argument);
+}
+
+TEST(DeploymentHops, ThrowsWhenOccupiedSwitchIsDown) {
+    Scenario s = testbed_scenario();
+    EXPECT_FALSE(sim::deployment_hops(s.merged, s.net, s.deployment).empty());
+    ASSERT_TRUE(s.net.fail_switch(s.deployment.occupied_switches().front()));
+    EXPECT_THROW((void)sim::deployment_hops(s.merged, s.net, s.deployment),
+                 std::runtime_error);
+}
+
+TEST(DeploymentHops, ReroutesRecordedRouteAroundFailedLink) {
+    // Same setup as the reroute-only repair test: both MAT hosts survive a
+    // link failure on a recorded route, and the diamond's heavier detour
+    // stays available.
+    net::Network n = diamond();
+    for (net::SwitchId u = 0; u < n.switch_count(); ++u) n.props(u).stages = 4;
+    n.bump_epoch();
+    const tdg::Tdg merged = core::analyze(prog::paper_workload(4, 17));
+    core::Deployment d = core::deploy_greedy(merged, n).deployment;
+    ASSERT_FALSE(d.routes.empty());
+    const auto sum_propagation = [](const std::vector<sim::HopSpec>& hops) {
+        double total = 0.0;
+        for (const sim::HopSpec& h : hops) total += h.propagation_us;
+        return total;
+    };
+    const double intact_prop = sum_propagation(sim::deployment_hops(merged, n, d));
+
+    const net::Path& route = d.routes.begin()->second;
+    ASSERT_GE(route.switches.size(), 2u);
+    ASSERT_TRUE(n.fail_link(route.switches[0], route.switches[1]));
+    // The recorded route is dead; the hop list must follow a live path (the
+    // old behavior returned the intact hop list unchanged).
+    const auto rerouted = sim::deployment_hops(merged, n, d);
+    for (const sim::HopSpec& h : rerouted) EXPECT_GE(h.propagation_us, 0.0);
+    EXPECT_GT(sum_propagation(rerouted), intact_prop);
+}
+
 TEST(Replay, FailedRepairLosesPostWindowFlowsToo) {
     Scenario s = testbed_scenario();
     fault::Injector injector(s.net);

@@ -1,7 +1,14 @@
 // Simulator tests: event queue semantics, flow packetization, FCT/goodput
-// physics, and the §II-B motivation rig.
+// physics, the §II-B motivation rig, and the sharded multi-flow engine
+// (adapter equivalence, thread-count determinism, fast-path agreement,
+// arena pools).
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "net/topozoo.h"
+#include "sim/arena.h"
+#include "sim/engine.h"
 #include "sim/events.h"
 #include "sim/flowsim.h"
 #include "sim/testbed.h"
@@ -178,6 +185,228 @@ TEST(Motivation, Validation) {
     MotivationConfig config;
     EXPECT_THROW((void)run_motivation(config, 20, 0), std::invalid_argument);
     EXPECT_THROW((void)run_motivation(config, 512, -1), std::invalid_argument);
+}
+
+// ---- Arena + event heap -------------------------------------------------------
+
+TEST(Arena, ReusesFreedSlotsLifo) {
+    Arena<int> arena(4);
+    const std::uint32_t a = arena.alloc();
+    const std::uint32_t b = arena.alloc();
+    arena[a] = 7;
+    arena[b] = 9;
+    arena.free(a);
+    EXPECT_EQ(arena.alloc(), a);  // LIFO: the just-freed slot comes back first
+    const ArenaStats& stats = arena.stats();
+    EXPECT_EQ(stats.live, 2u);
+    EXPECT_EQ(stats.peak_live, 2u);
+    EXPECT_EQ(stats.allocations, 3u);
+    EXPECT_EQ(stats.reuses, 1u);
+}
+
+TEST(Arena, ExhaustionReturnsNull) {
+    Arena<int> arena(4, 6);
+    std::vector<std::uint32_t> slots;
+    for (int i = 0; i < 6; ++i) {
+        const std::uint32_t s = arena.alloc();
+        ASSERT_NE(s, kArenaNull);
+        slots.push_back(s);
+    }
+    EXPECT_EQ(arena.alloc(), kArenaNull);
+    arena.free(slots.back());
+    EXPECT_NE(arena.alloc(), kArenaNull);  // freed capacity is usable again
+    EXPECT_EQ(arena.stats().blocks, 2u);   // 6 slots over 4-slot blocks
+}
+
+TEST(EventHeap, PopsInTimeThenOrderKey) {
+    EventHeap heap;
+    heap.push(EventKey{2.0, 1, 0});
+    heap.push(EventKey{1.0, 9, 1});
+    heap.push(EventKey{1.0, 3, 2});
+    heap.push(EventKey{0.5, 7, 3});
+    std::vector<std::uint32_t> popped;
+    while (!heap.empty()) popped.push_back(heap.pop().payload);
+    EXPECT_EQ(popped, (std::vector<std::uint32_t>{3, 2, 1, 0}));
+}
+
+// ---- Sharded engine -----------------------------------------------------------
+
+// The engine's single-flow adapter must reproduce the retained reference
+// simulator bit for bit across message shapes, hop counts, and bandwidths.
+TEST(Engine, AdapterMatchesReferenceBitIdentical) {
+    const std::vector<std::vector<HopSpec>> hop_sets{
+        {{0.5, 1.0}},
+        {{0.0, 0.0}},
+        {{0.5, 1.0}, {2.0, 0.3}, {0.0, 0.0}, {1.5, 1.0}},
+        std::vector<HopSpec>(5, HopSpec{0.5, 1.0}),
+    };
+    SimConfig config;
+    for (const double gbps : {100.0, 10.0, 0.37}) {
+        config.link_bandwidth_gbps = gbps;
+        for (const std::int64_t payload : {std::int64_t{0}, std::int64_t{1},
+                                           std::int64_t{1000}, std::int64_t{1500},
+                                           std::int64_t{14600}, std::int64_t{146000}}) {
+            for (const int overhead : {0, 60, 146}) {
+                FlowSpec spec;
+                spec.payload_bytes_total = payload;
+                spec.overhead_bytes = overhead;
+                for (const auto& hops : hop_sets) {
+                    const FlowResult engine = simulate_flow(hops, spec, config);
+                    const FlowResult reference =
+                        simulate_flow_reference(hops, spec, config);
+                    EXPECT_EQ(engine.packets, reference.packets);
+                    EXPECT_EQ(engine.payload_per_packet, reference.payload_per_packet);
+                    EXPECT_EQ(engine.fct_us, reference.fct_us)
+                        << gbps << " " << payload << " " << overhead;
+                    EXPECT_EQ(engine.goodput_gbps, reference.goodput_gbps);
+                }
+            }
+        }
+    }
+}
+
+// A contended-link hand check: two one-packet flows share a hop; the second
+// launches mid-transmission and queues behind the first in the link FIFO.
+TEST(Engine, ContendedLinkFifoHandCheck) {
+    Engine engine;
+    const RouteId route = engine.add_route(std::vector<HopSpec>{{0.5, 1.0}});
+    FlowSpec spec;
+    spec.payload_bytes_total = 1460;  // one full 1500B wire packet, tx = 0.12us
+    const FlowId first = engine.add_flow(spec, route, 0.0);
+    const FlowId second = engine.add_flow(spec, route, 0.05);
+    engine.run();
+    EXPECT_NEAR(engine.result(first).fct_us, 0.12 + 1.5, 1e-9);
+    // Second flow waits for the transmitter: starts at 0.12, delivered at
+    // 0.24 + 1.5, FCT measured from its own launch at 0.05.
+    EXPECT_NEAR(engine.result(second).fct_us, 0.24 + 1.5 - 0.05, 1e-9);
+}
+
+// Heavy concurrent traffic over a Table III WAN: shortest-path routes
+// between pseudorandom endpoint pairs, interned so overlapping paths
+// contend. Used by the determinism and fast-path tests below.
+std::vector<double> run_wan_traffic(int threads, int shards, bool fastpath,
+                                    int flows) {
+    const net::Network net = net::table3_topology(3);
+    EngineConfig config;
+    config.threads = threads;
+    config.shards = shards;
+    config.enable_fastpath = fastpath;
+    Engine engine(config);
+    PathInterner interner;
+    std::mt19937 rng(0x5eed);
+    const auto n = static_cast<net::SwitchId>(net.switch_count());
+    std::vector<FlowId> ids;
+    for (int i = 0; i < flows; ++i) {
+        const auto a = static_cast<net::SwitchId>(rng() % n);
+        auto b = static_cast<net::SwitchId>(rng() % n);
+        if (b == a) b = (b + 1) % n;
+        const auto path = net::shortest_path(net, a, b);
+        if (!path.has_value()) {  // Table III graphs are connected
+            throw std::runtime_error("run_wan_traffic: disconnected pair");
+        }
+        const RouteId route = interner.add_path(engine, net, *path);
+        FlowSpec spec;
+        spec.payload_bytes_total = 1460 * (1 + static_cast<int>(rng() % 64));
+        spec.overhead_bytes = static_cast<int>(rng() % 120);
+        ids.push_back(engine.add_flow(spec, route, 0.25 * i));
+    }
+    engine.run();
+    std::vector<double> fct;
+    fct.reserve(ids.size());
+    for (const FlowId id : ids) fct.push_back(engine.result(id).fct_us);
+    return fct;
+}
+
+// Results must be bit-identical at any shard/thread count (the ISSUE's
+// determinism contract): same WAN, same flows, FCTs compared with ==.
+TEST(Engine, DeterministicAcrossThreadCounts) {
+    const std::vector<double> one = run_wan_traffic(1, 0, true, 160);
+    const std::vector<double> two = run_wan_traffic(2, 0, true, 160);
+    const std::vector<double> eight = run_wan_traffic(8, 0, true, 160);
+    const std::vector<double> lopsided = run_wan_traffic(3, 7, true, 160);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+    EXPECT_EQ(one, lopsided);
+}
+
+// The fast paths are an optimization, not a model change: with contention
+// forced on (shared WAN routes) and off (fastpath disabled) the FCTs agree
+// to relative 1e-9.
+TEST(Engine, FastPathAgreesWithSlowPath) {
+    const std::vector<double> fast = run_wan_traffic(1, 0, true, 80);
+    const std::vector<double> slow = run_wan_traffic(1, 0, false, 80);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_NEAR(fast[i], slow[i], 1e-9 * std::max(1.0, slow[i])) << i;
+    }
+}
+
+// A private route with a single flow must take the analytic fast path and
+// still agree with the batch path bit for bit (identical FP operations).
+TEST(Engine, FastPathHitsOnPrivateRoute) {
+    for (const bool fastpath : {true, false}) {
+        EngineConfig config;
+        config.enable_fastpath = fastpath;
+        Engine engine(config);
+        const RouteId route =
+            engine.add_route(std::vector<HopSpec>{{0.5, 1.0}, {2.0, 0.3}});
+        FlowSpec spec;
+        spec.payload_bytes_total = 14600;
+        const FlowId flow = engine.add_flow(spec, route);
+        engine.run();
+        EXPECT_EQ(engine.stats().fastpath_flows, fastpath ? 1 : 0);
+        EXPECT_EQ(engine.stats().events, fastpath ? 0 : 4);  // 2 batches x 2 hops
+        EXPECT_NEAR(engine.result(flow).fct_us,
+                    simulate_flow({{0.5, 1.0}, {2.0, 0.3}}, spec).fct_us, 1e-12);
+    }
+}
+
+TEST(Engine, EventPoolCapThrows) {
+    EngineConfig config;
+    config.enable_fastpath = false;
+    config.max_events_per_shard = 1;
+    Engine engine(config);
+    const RouteId route = engine.add_route(std::vector<HopSpec>{{0.5, 1.0}});
+    FlowSpec spec;
+    spec.payload_bytes_total = 14600;
+    (void)engine.add_flow(spec, route);
+    EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Engine, Validation) {
+    EngineConfig bad;
+    bad.link_bandwidth_gbps = 0.0;
+    EXPECT_THROW(Engine{bad}, std::invalid_argument);
+    Engine engine;
+    EXPECT_THROW((void)engine.add_link(-1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)engine.add_route(std::vector<LinkId>{42}),
+                 std::invalid_argument);
+    const RouteId route = engine.add_route(std::vector<HopSpec>{{0.5, 1.0}});
+    EXPECT_THROW((void)engine.add_flow(FlowSpec{}, route + 1),
+                 std::invalid_argument);
+    engine.run();
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(FlowSim, EffectivePayloadValidatesDegenerateSpecs) {
+    FlowSpec spec;
+    spec.mtu_bytes = 0;  // would divide by a non-positive packet payload
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.mtu_bytes = -1500;
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.mtu_bytes = 40;  // MTU exactly the base headers: zero payload room
+    spec.base_header_bytes = 40;
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.mtu_bytes = 30;  // MTU below the base headers
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.mtu_bytes = 1500;
+    spec.base_header_bytes = -1;
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.base_header_bytes = 40;
+    spec.overhead_bytes = -1;
+    EXPECT_THROW((void)effective_payload(spec), std::invalid_argument);
+    spec.overhead_bytes = 0;
+    EXPECT_EQ(effective_payload(spec), 1460);
 }
 
 TEST(Testbed, LinearAllProgrammable) {

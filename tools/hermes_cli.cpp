@@ -51,6 +51,7 @@
 #include "fault/injector.h"
 #include "net/path_oracle.h"
 #include "net/topozoo.h"
+#include "sim/engine.h"
 #include "sim/replay.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -81,6 +82,7 @@ using namespace hermes;
                      [--trace-out <file>] [--metrics-out <file>]
                      [--fault-script <file>|random:<events>[:seed]]
                      [--repair-deadline <seconds>] [--repair-milp]
+                     [--sim-flows <n>] [--sim-threads <n>]
 
 program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
 topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
@@ -97,6 +99,11 @@ strategies    : greedy (default) | optimal | ms | sonata | speed | mtp | fp
                 expiry the repair degrades to its best incumbent instead of
                 escalating further
 --repair-milp : allow the repair ladder to escalate to a MILP re-solve
+--sim-flows   : after deploying, push this many concurrent flows through the
+                deployment's route with the sharded traffic engine and
+                report FCT/goodput under contention (default 0 = off)
+--sim-threads : worker threads for the traffic engine (default 1; results
+                are thread-count invariant)
 options also accept the --flag=value spelling
 )";
     std::exit(2);
@@ -216,6 +223,8 @@ struct Options {
     std::string fault_script;  // empty = no fault replay
     double repair_deadline = 0.0;  // seconds; 0 = unbounded repairs
     bool repair_milp = false;
+    std::int64_t sim_flows = 0;  // 0 = no traffic simulation
+    int sim_threads = 1;
 };
 
 Options parse_options(const std::vector<std::string>& args, bool need_topology) {
@@ -260,6 +269,10 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
             options.fault_script = value();
         } else if (flag == "--repair-deadline") {
             options.repair_deadline = util::parse_double(value());
+        } else if (flag == "--sim-flows") {
+            options.sim_flows = util::parse_int(value());
+        } else if (flag == "--sim-threads") {
+            options.sim_threads = static_cast<int>(util::parse_int(value()));
         } else if (flag == "--repair-milp") {
             if (inline_value) usage("--repair-milp takes no value");
             options.repair_milp = true;
@@ -400,6 +413,42 @@ bool run_fault_replay(const Options& options, net::Network& network,
     return ok;
 }
 
+// --sim-flows: concurrent traffic over the deployment's end-to-end route
+// through the sharded engine (sim/engine.h). All flows share the route's
+// links, so later launches queue behind earlier ones; the spread between the
+// first and last FCT is the contention price. Engine counters (sim.*) land
+// in --metrics-out through the shared sink.
+void run_traffic_sim(const Options& options, const net::Network& network,
+                     const tdg::Tdg& merged, const core::Deployment& deployment,
+                     const core::DeploymentMetrics& metrics,
+                     net::PathOracle& oracle, obs::Sink* sink) {
+    const auto hops = sim::deployment_hops(merged, network, deployment, &oracle);
+    sim::FlowSpec spec;
+    spec.payload_bytes_total = 1 << 20;  // 1 MB message per flow
+    spec.overhead_bytes = static_cast<int>(metrics.max_inflight_metadata_bytes);
+    sim::EngineConfig config;
+    config.threads = options.sim_threads;
+    config.sink = sink;
+    sim::Engine engine(config);
+    const sim::RouteId route = engine.add_route(hops);
+    std::vector<sim::FlowId> flows;
+    flows.reserve(static_cast<std::size_t>(options.sim_flows));
+    for (std::int64_t i = 0; i < options.sim_flows; ++i) {
+        flows.push_back(engine.add_flow(spec, route, static_cast<double>(i)));
+    }
+    engine.run();
+    const sim::EngineStats& stats = engine.stats();
+    std::cout << "traffic simulation  : " << stats.flows << " flows, "
+              << stats.packets << " packets, " << stats.events << " events ("
+              << stats.shards << " shards, " << stats.window_syncs
+              << " windows, " << stats.fastpath_flows << " fast-path)\n"
+              << "  first flow FCT    : " << engine.result(flows.front()).fct_us
+              << " us\n"
+              << "  last flow FCT     : " << engine.result(flows.back()).fct_us
+              << " us\n"
+              << "  horizon           : " << stats.horizon_us << " us\n";
+}
+
 int cmd_deploy(const std::vector<std::string>& args) {
     Options options = parse_options(args, /*need_topology=*/true);
     net::Network& network = *options.network;
@@ -482,6 +531,10 @@ int cmd_deploy(const std::vector<std::string>& args) {
               << "verified            : " << (report.ok ? "yes" : "NO") << "\n";
     if (!report.ok) {
         for (const std::string& v : report.violations) std::cerr << "  ! " << v << "\n";
+    }
+    if (options.sim_flows > 0 && report.ok) {
+        run_traffic_sim(options, network, deployed_tdg, deployment, metrics,
+                        oracle, sink);
     }
     bool survived = true;
     if (!options.fault_script.empty()) {
