@@ -180,6 +180,7 @@ void P1Formulation::build_model() {
             var_l_[a].push_back(v);
             sum += LinExpr::term(v);
         }
+        row_groups_.assignment.push_back(model_.constraint_count());
         model_.add_constraint(sum, Sense::kEq, 1.0, "assign_" + std::to_string(a));
     }
 
@@ -190,11 +191,13 @@ void P1Formulation::build_model() {
         if (options_.segment_level) {
             // One whole-switch segment per switch.
             for (std::size_t a = 0; a < n; ++a) load += LinExpr::term(var_l_[a][p]);
+            row_groups_.capacity.push_back(model_.constraint_count());
             model_.add_constraint(load, Sense::kLe, 1.0, "seg_cap_" + std::to_string(p));
         } else {
             for (std::size_t a = 0; a < n; ++a) {
                 load += LinExpr::term(var_l_[a][p], unit_resource_[a]);
             }
+            row_groups_.capacity.push_back(model_.constraint_count());
             model_.add_constraint(load, Sense::kLe, props.stages * props.stage_capacity,
                                   "cap_" + std::to_string(p));
             // Two MATs larger than half a stage can never share one, so at
@@ -207,6 +210,7 @@ void P1Formulation::build_model() {
                 }
             }
             if (!large.empty()) {
+                row_groups_.capacity.push_back(model_.constraint_count());
                 model_.add_constraint(std::move(large), Sense::kLe,
                                       static_cast<double>(props.stages),
                                       "large_" + std::to_string(p));
@@ -338,6 +342,7 @@ void P1Formulation::build_model() {
                 t_e2e += LinExpr::term(y, pair_paths_[idx][k].latency_us);
             }
             y_sum -= LinExpr::term(var_comm_[idx]);
+            row_groups_.coupling.push_back(model_.constraint_count());
             model_.add_constraint(std::move(y_sum), Sense::kEq, 0.0);
         }
     }
@@ -417,6 +422,7 @@ void P1Formulation::build_model() {
                 crossing += LinExpr::term(z, static_cast<double>(e.metadata_bytes));
             }
             if (crossing.empty()) continue;
+            row_groups_.amax.push_back(model_.constraint_count());
             model_.add_constraint(LinExpr::term(var_amax_) - crossing, Sense::kGe, 0.0);
         }
     }

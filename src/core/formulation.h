@@ -95,6 +95,19 @@ public:
     // deployment does not fit this formulation's candidates/units.
     [[nodiscard]] std::optional<std::vector<double>> encode(const Deployment& d) const;
 
+    // Row-index groups of the built model, recorded while build_model adds
+    // them, so cut separators (milp/cuts.h) can target the families that
+    // carry knapsack structure — the per-switch capacity rows — and the
+    // A_max rows that bound the objective, without rescanning and
+    // re-classifying every constraint by shape.
+    struct RowGroups {
+        std::vector<std::size_t> assignment;  // assign_a: sum_p L[a][p] = 1
+        std::vector<std::size_t> capacity;    // cap_p / seg_cap_p / large_p
+        std::vector<std::size_t> amax;        // A_max - crossing(p,q) >= 0
+        std::vector<std::size_t> coupling;    // sum_k y[pq][k] - comm[pq] = 0
+    };
+    [[nodiscard]] const RowGroups& row_groups() const noexcept { return row_groups_; }
+
 private:
     struct UnitEdge {
         std::size_t from;
@@ -130,6 +143,7 @@ private:
     milp::VarId var_amax_ = -1;
     milp::VarId var_mats_max_ = -1;   // MTP objective auxiliary
     milp::VarId var_stage_max_ = -1;  // P4All objective auxiliary
+    RowGroups row_groups_;
 };
 
 }  // namespace hermes::core

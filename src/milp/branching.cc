@@ -1,0 +1,71 @@
+#include "milp/branching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes::milp {
+
+namespace {
+// Floor for a direction estimate so one near-zero observation cannot zero
+// out the whole product score.
+constexpr double kScoreEps = 1e-6;
+}  // namespace
+
+void PseudocostTable::record(VarId var, bool up, double distance, double gain) {
+    if (var < 0 || static_cast<std::size_t>(var) >= entries_.size()) return;
+    if (!(distance > 1e-9)) return;  // degenerate branch, nothing to learn
+    const double per_unit = std::max(0.0, gain) / distance;
+    if (!std::isfinite(per_unit)) return;
+    const std::lock_guard lk(mu_);
+    Entry& e = entries_[static_cast<std::size_t>(var)];
+    e.sum[up ? 1 : 0] += per_unit;
+    ++e.count[up ? 1 : 0];
+    total_sum_ += per_unit;
+    ++total_count_;
+}
+
+double PseudocostTable::estimate(VarId var, bool up) const {
+    const std::lock_guard lk(mu_);
+    const Entry& e = entries_[static_cast<std::size_t>(var)];
+    const int dir = up ? 1 : 0;
+    if (e.count[dir] > 0) return e.sum[dir] / e.count[dir];
+    if (total_count_ > 0) return total_sum_ / static_cast<double>(total_count_);
+    return 1.0;
+}
+
+int PseudocostTable::observations(VarId var, bool up) const {
+    const std::lock_guard lk(mu_);
+    return entries_[static_cast<std::size_t>(var)].count[up ? 1 : 0];
+}
+
+std::optional<VarId> PseudocostTable::select(const Model& model,
+                                             const std::vector<double>& values,
+                                             double tolerance) const {
+    std::optional<VarId> best;
+    double best_score = -1.0;
+    const std::lock_guard lk(mu_);
+    const double fallback =
+        total_count_ > 0 ? total_sum_ / static_cast<double>(total_count_) : 1.0;
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        if (v.type == VarType::kContinuous) continue;
+        const double x = values[j];
+        const double f = x - std::floor(x);
+        if (f <= tolerance || f >= 1.0 - tolerance) continue;
+        const Entry& e = entries_[j];
+        const double down =
+            e.count[0] > 0 ? e.sum[0] / e.count[0] : fallback;
+        const double up = e.count[1] > 0 ? e.sum[1] / e.count[1] : fallback;
+        const double score =
+            std::max(kScoreEps, down * f) * std::max(kScoreEps, up * (1.0 - f));
+        // Strict >: equal scores keep the earlier (lowest-id) candidate, so
+        // selection is deterministic for any observation interleaving.
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<VarId>(j);
+        }
+    }
+    return best;
+}
+
+}  // namespace hermes::milp

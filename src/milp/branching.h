@@ -1,0 +1,63 @@
+// Branching-variable selection for the MILP search: shared pseudocosts.
+//
+// A pseudocost is the observed objective degradation per unit of fractional
+// distance when branching a variable down (x <= floor) or up (x >= ceil).
+// The table is shared by every branch-and-bound worker: each processed child
+// node records (bound_child - bound_parent) / distance for the branch that
+// created it, and selection scores a fractional candidate by the product of
+// its estimated down and up degradations (the product rule), falling back to
+// the table-wide average for directions never observed. Reliability comes
+// from strong branching at the root: the search seeds the table by actually
+// solving both child LPs of the most fractional root candidates, so early
+// selections are driven by measured degradations instead of the raw
+// fraction. Ties are broken by the lowest variable id, which keeps selection
+// deterministic for any worker count and any observation interleaving.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "milp/model.h"
+
+namespace hermes::milp {
+
+class PseudocostTable {
+public:
+    explicit PseudocostTable(std::size_t variable_count)
+        : entries_(variable_count) {}
+
+    // Records one observed branching outcome: the child created by branching
+    // `var` in direction `up` at fractional distance `distance` (f for the
+    // down child, 1-f for the up child) raised the LP bound by `gain` (>= 0
+    // in minimization space; negative observations are clamped). Thread-safe.
+    void record(VarId var, bool up, double distance, double gain);
+
+    // Degradation-per-unit estimate for one direction; falls back to the
+    // table-wide average, then to 1.0, when unobserved.
+    [[nodiscard]] double estimate(VarId var, bool up) const;
+
+    // Observation count for one direction of one variable.
+    [[nodiscard]] int observations(VarId var, bool up) const;
+
+    // Picks the fractional integer variable with the largest product score
+    //   max(eps, est_down * f) * max(eps, est_up * (1 - f)),
+    // lowest variable id on ties; nullopt when `values` is integral.
+    [[nodiscard]] std::optional<VarId> select(const Model& model,
+                                              const std::vector<double>& values,
+                                              double tolerance) const;
+
+private:
+    struct Entry {
+        double sum[2] = {0.0, 0.0};  // [down, up] summed per-unit gains
+        std::int32_t count[2] = {0, 0};
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+    double total_sum_ = 0.0;  // across both directions, for the fallback
+    std::int64_t total_count_ = 0;
+};
+
+}  // namespace hermes::milp

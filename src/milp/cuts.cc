@@ -1,0 +1,319 @@
+#include "milp/cuts.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <set>
+#include <utility>
+
+#include "milp/simplex.h"
+#include "obs/obs.h"
+
+namespace hermes::milp {
+
+namespace {
+
+constexpr double kTightTol = 1e-6;
+
+// A variable usable in cover/clique cuts: an integer restricted to {0, 1}.
+bool is_binary(const Variable& v) {
+    return v.type != VarType::kContinuous && v.lower >= 0.0 && v.upper <= 1.0;
+}
+
+// True for rows of knapsack shape: `<=` over binaries with positive weights.
+// `kEq` rows qualify for the conflict graph too (their `<=` half).
+bool knapsack_shape(const Model& model, const Constraint& c) {
+    if (c.sense == Sense::kGe) return false;
+    if (c.expr.terms().size() < 2) return false;
+    for (const Term& t : c.expr.terms()) {
+        if (t.coef <= 0.0) return false;
+        if (!is_binary(model.variable(t.var))) return false;
+    }
+    return true;
+}
+
+// Canonical signature for de-duplicating cuts against each other: the terms
+// vector is already sorted by variable id (LinExpr invariant).
+std::string key_of(const Cut& cut) {
+    std::string key;
+    for (const Term& t : cut.expr.terms()) {
+        key += std::to_string(t.var);
+        key += ':';
+        key += std::to_string(t.coef);
+        key += ';';
+    }
+    key += '|';
+    key += std::to_string(cut.rhs);
+    return key;
+}
+
+}  // namespace
+
+std::vector<Cut> separate_cover_cuts(const Model& model,
+                                     const std::vector<double>& values,
+                                     std::size_t max_cuts, double min_violation,
+                                     const std::vector<std::size_t>* rows) {
+    std::vector<Cut> cuts;
+    std::vector<std::size_t> all;
+    if (rows == nullptr) {
+        all.resize(model.constraint_count());
+        for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+        rows = &all;
+    }
+    for (const std::size_t row : *rows) {
+        if (cuts.size() >= max_cuts) break;
+        const Constraint& c = model.constraints()[row];
+        if (c.sense != Sense::kLe || !knapsack_shape(model, c)) continue;
+        const double b = c.rhs;
+        if (b <= 0.0) continue;
+
+        // Greedy minimal cover: take items by ascending (1 - x_j) / a_j —
+        // cheapest violation per unit of weight — until the capacity is
+        // exceeded, then drop members that are not needed to keep it
+        // exceeded (heaviest first, so the surviving cover is small).
+        struct Item {
+            VarId var;
+            double weight;
+            double x;
+        };
+        std::vector<Item> items;
+        double total = 0.0;
+        for (const Term& t : c.expr.terms()) {
+            items.push_back({t.var, t.coef, values[static_cast<std::size_t>(t.var)]});
+            total += t.coef;
+        }
+        if (total <= b + kTightTol) continue;  // no cover exists
+        std::sort(items.begin(), items.end(), [](const Item& l, const Item& r) {
+            const double lk = (1.0 - l.x) / l.weight;
+            const double rk = (1.0 - r.x) / r.weight;
+            if (lk != rk) return lk < rk;
+            return l.var < r.var;
+        });
+        std::vector<Item> cover;
+        double weight = 0.0;
+        for (const Item& it : items) {
+            cover.push_back(it);
+            weight += it.weight;
+            if (weight > b + kTightTol) break;
+        }
+        if (weight <= b + kTightTol) continue;
+        std::sort(cover.begin(), cover.end(), [](const Item& l, const Item& r) {
+            if (l.weight != r.weight) return l.weight > r.weight;
+            return l.var < r.var;
+        });
+        std::erase_if(cover, [&](const Item& it) {
+            if (weight - it.weight > b + kTightTol) {
+                weight -= it.weight;
+                return true;
+            }
+            return false;
+        });
+
+        // Extended cover: every non-member at least as heavy as the heaviest
+        // cover member joins with coefficient 1 — still valid, never weaker.
+        double heaviest = 0.0;
+        double lhs = 0.0;
+        for (const Item& it : cover) {
+            heaviest = std::max(heaviest, it.weight);
+            lhs += it.x;
+        }
+        Cut cut;
+        cut.rhs = static_cast<double>(cover.size()) - 1.0;
+        for (const Item& it : cover) cut.expr.add_term(it.var, 1.0);
+        for (const Item& it : items) {
+            if (cut.expr.coefficient(it.var) != 0.0) continue;
+            if (it.weight >= heaviest - kTightTol) {
+                cut.expr.add_term(it.var, 1.0);
+                lhs += it.x;
+            }
+        }
+        if (lhs - cut.rhs < min_violation) continue;
+        cut.name = "cut_cover_" +
+                   (c.name.empty() ? std::to_string(row) : c.name);
+        cuts.push_back(std::move(cut));
+    }
+    return cuts;
+}
+
+std::vector<Cut> separate_clique_cuts(const Model& model,
+                                      const std::vector<double>& values,
+                                      std::size_t max_cuts, double min_violation,
+                                      const std::vector<std::size_t>* rows) {
+    // Candidates: binaries with meaningful LP mass, largest first — a clique
+    // cut needs its members' values to sum past 1. Capped so the pairwise
+    // conflict scan stays cheap on wide models.
+    constexpr std::size_t kMaxCandidates = 64;
+    constexpr double kMinMass = 0.05;
+    struct Cand {
+        VarId var;
+        double x;
+    };
+    std::vector<Cand> cands;
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        const auto v = static_cast<VarId>(j);
+        if (!is_binary(model.variable(v))) continue;
+        if (values[j] >= kMinMass) cands.push_back({v, values[j]});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& l, const Cand& r) {
+        if (l.x != r.x) return l.x > r.x;
+        return l.var < r.var;
+    });
+    if (cands.size() > kMaxCandidates) cands.resize(kMaxCandidates);
+    if (cands.size() < 2) return {};
+
+    std::vector<std::int32_t> slot(model.variable_count(), -1);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        slot[static_cast<std::size_t>(cands[i].var)] = static_cast<std::int32_t>(i);
+    }
+
+    // Conflict graph over the candidates: i ~ j when some knapsack row's
+    // capacity cannot fit both weights (assignment equalities conflict every
+    // pair; AND-linearization rows never qualify as knapsacks).
+    std::vector<std::size_t> all;
+    if (rows == nullptr) {
+        all.resize(model.constraint_count());
+        for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+        rows = &all;
+    }
+    std::vector<std::vector<std::uint8_t>> conflict(
+        cands.size(), std::vector<std::uint8_t>(cands.size(), 0));
+    for (const std::size_t row : *rows) {
+        const Constraint& c = model.constraints()[row];
+        if (!knapsack_shape(model, c)) continue;
+        std::vector<std::pair<std::int32_t, double>> members;
+        for (const Term& t : c.expr.terms()) {
+            const std::int32_t s = slot[static_cast<std::size_t>(t.var)];
+            if (s >= 0) members.emplace_back(s, t.coef);
+        }
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                if (members[a].second + members[b].second > c.rhs + kTightTol) {
+                    conflict[static_cast<std::size_t>(members[a].first)]
+                            [static_cast<std::size_t>(members[b].first)] = 1;
+                    conflict[static_cast<std::size_t>(members[b].first)]
+                            [static_cast<std::size_t>(members[a].first)] = 1;
+                }
+            }
+        }
+    }
+
+    std::vector<Cut> cuts;
+    std::set<std::string> seen;
+    for (std::size_t seed = 0; seed < cands.size() && cuts.size() < max_cuts; ++seed) {
+        // Grow greedily from the seed: always the largest-mass candidate
+        // conflicting with every current member (lowest id on ties, via the
+        // candidate ordering above).
+        std::vector<std::size_t> clique{seed};
+        double mass = cands[seed].x;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (i == seed) continue;
+            bool ok = true;
+            for (const std::size_t m : clique) {
+                if (!conflict[i][m]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                clique.push_back(i);
+                mass += cands[i].x;
+            }
+        }
+        if (clique.size() < 2 || mass < 1.0 + min_violation) continue;
+        Cut cut;
+        cut.rhs = 1.0;
+        for (const std::size_t m : clique) cut.expr.add_term(cands[m].var, 1.0);
+        cut.name = "cut_clique_" + std::to_string(cands[seed].var);
+        if (!seen.insert(key_of(cut)).second) continue;
+        cuts.push_back(std::move(cut));
+    }
+    return cuts;
+}
+
+CutStats run_root_cut_loop(Model& model, const CutOptions& options, obs::Sink* sink) {
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    CutStats stats;
+    const double sense = model.is_minimization() ? 1.0 : -1.0;
+    std::vector<Cut> pool;
+    std::set<std::string> seen;
+    Basis warm;  // carries the previous round's optimum across re-solves
+
+    for (int round = 0; round < options.max_rounds; ++round) {
+        double remaining = 1e18;
+        if (options.time_limit_seconds > 0.0) {
+            remaining = options.time_limit_seconds -
+                        std::chrono::duration<double>(Clock::now() - start).count();
+            if (remaining <= 0.0) break;
+        }
+        // Working model = base rows + the live pool. Rebuilt per round so a
+        // retired cut genuinely leaves the LP.
+        Model work = model;
+        for (const Cut& cut : pool) {
+            work.add_constraint(cut.expr, Sense::kLe, cut.rhs, cut.name);
+        }
+        const LpResult lp =
+            solve_lp(work, /*max_iterations=*/200000, remaining,
+                     warm.empty() ? nullptr : &warm);
+        if (lp.status != LpStatus::kOptimal) break;
+        warm = lp.basis;
+        stats.rounds = round + 1;
+        stats.root_bound_after = sense * lp.objective;
+        if (round == 0) stats.root_bound_before = stats.root_bound_after;
+
+        // Age the pool on this round's optimum; retire the persistently
+        // slack. Retirement invalidates the warm basis row space, so drop it.
+        bool retired_any = false;
+        for (Cut& cut : pool) {
+            cut.slack_rounds =
+                cut.violation(lp.values) > -kTightTol ? 0 : cut.slack_rounds + 1;
+        }
+        std::erase_if(pool, [&](const Cut& cut) {
+            if (cut.slack_rounds > options.max_age) {
+                ++stats.retired;
+                retired_any = true;
+                return true;
+            }
+            return false;
+        });
+        if (retired_any) warm = Basis{};
+
+        const std::vector<std::size_t>* rows =
+            options.knapsack_rows.empty() ? nullptr : &options.knapsack_rows;
+        std::vector<Cut> fresh =
+            separate_cover_cuts(model, lp.values, options.max_cuts_per_round,
+                                options.min_violation, rows);
+        const std::size_t covers = fresh.size();
+        std::vector<Cut> cliques =
+            separate_clique_cuts(model, lp.values, options.max_cuts_per_round,
+                                 options.min_violation, rows);
+        fresh.insert(fresh.end(), std::make_move_iterator(cliques.begin()),
+                     std::make_move_iterator(cliques.end()));
+        std::size_t added = 0;
+        std::size_t added_covers = 0;
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            if (!seen.insert(key_of(fresh[i])).second) continue;
+            pool.push_back(std::move(fresh[i]));
+            ++added;
+            if (i < covers) ++added_covers;
+        }
+        stats.cover_cuts += static_cast<std::int64_t>(added_covers);
+        stats.clique_cuts += static_cast<std::int64_t>(added - added_covers);
+        if (added == 0) break;  // separation is dry; the pool is stable
+        warm = Basis{};         // new rows change the LP shape
+    }
+
+    for (const Cut& cut : pool) {
+        model.add_constraint(cut.expr, Sense::kLe, cut.rhs, cut.name);
+    }
+    if (sink != nullptr) {
+        sink->counter("cuts.rounds").add(stats.rounds);
+        sink->counter("cuts.cover").add(stats.cover_cuts);
+        sink->counter("cuts.clique").add(stats.clique_cuts);
+        sink->counter("cuts.retired").add(stats.retired);
+    }
+    return stats;
+}
+
+}  // namespace hermes::milp

@@ -1,0 +1,100 @@
+// Cutting planes for the MILP search: knapsack covers and cliques, with a
+// root cut loop and an aging cut pool.
+//
+// Both families are separated structurally, so they apply to any model the
+// search sees (including the presolve-reduced image of a P#1 formulation,
+// whose row indices differ from the original — callers that know their row
+// groups, e.g. core::P1Formulation::row_groups(), can use them to audit what
+// the separators found, but the separators never require them):
+//
+//  * Cover cuts come from knapsack rows — `<=` rows over binary variables
+//    with positive coefficients, which is exactly the shape of the per-stage
+//    capacity rows (`stage_cap_*`), the aggregate capacity rows (`cap_*`),
+//    and the epsilon2 occupancy row. A minimal cover C (sum of its weights
+//    exceeds the capacity) yields sum_{j in C} x_j <= |C| - 1, extended by
+//    every variable at least as heavy as the heaviest cover member.
+//
+//  * Clique cuts come from the pairwise conflict graph implied by those same
+//    knapsack rows (two variables conflict when their weights together
+//    exceed the capacity — `A_max`-style AND-linearization rows `z <= L`
+//    contribute nothing, but assignment rows `sum L = 1` make every pair of
+//    their binaries conflict). A greedily grown clique Q yields
+//    sum_{j in Q} x_j <= 1.
+//
+// The root loop alternates: solve the LP relaxation, separate violated cuts
+// at its optimum, append them to the model, and age the pool — a pool cut
+// that stays slack for `CutOptions::max_age` consecutive rounds is retired
+// (dropped from the model) so the LP does not accrete dead rows. Every cut
+// is valid for the integer hull, so the loop changes the root bound but
+// never the MILP optimum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "milp/model.h"
+
+namespace hermes::obs {
+class Sink;
+}  // namespace hermes::obs
+
+namespace hermes::milp {
+
+// One globally valid cutting plane, always in `expr <= rhs` form.
+struct Cut {
+    LinExpr expr;
+    double rhs = 0.0;
+    std::string name;
+    int slack_rounds = 0;  // consecutive root rounds this cut was not tight
+
+    // Amount by which `values` violates the cut (<= 0 means satisfied).
+    [[nodiscard]] double violation(const std::vector<double>& values) const {
+        return expr.evaluate(values) - rhs;
+    }
+};
+
+struct CutOptions {
+    int max_rounds = 6;                  // root separation rounds
+    std::size_t max_cuts_per_round = 64;  // per family
+    double min_violation = 1e-4;         // below this a cut is not worth adding
+    int max_age = 2;       // slack rounds before a pool cut is retired
+    double time_limit_seconds = 0.0;     // <= 0: no budget for the loop
+    // Row indices to separate from (e.g. P1Formulation::row_groups()'s
+    // capacity group); empty scans every row. Only meaningful when the loop
+    // runs on the same model the indices were recorded against (presolve
+    // renumbers rows).
+    std::vector<std::size_t> knapsack_rows;
+};
+
+struct CutStats {
+    int rounds = 0;
+    std::int64_t cover_cuts = 0;
+    std::int64_t clique_cuts = 0;
+    std::int64_t retired = 0;
+    double root_bound_before = 0.0;  // minimization-sense LP bound
+    double root_bound_after = 0.0;
+};
+
+// Separators, exposed for unit tests. Each returns cuts violated by at least
+// `min_violation` at `values`, capped at `max_cuts`, in a deterministic
+// order (by source row, then variable ids).
+// `rows` restricts separation to those constraint indices (null = all).
+[[nodiscard]] std::vector<Cut> separate_cover_cuts(const Model& model,
+                                                   const std::vector<double>& values,
+                                                   std::size_t max_cuts,
+                                                   double min_violation,
+                                                   const std::vector<std::size_t>* rows = nullptr);
+[[nodiscard]] std::vector<Cut> separate_clique_cuts(const Model& model,
+                                                    const std::vector<double>& values,
+                                                    std::size_t max_cuts,
+                                                    double min_violation,
+                                                    const std::vector<std::size_t>* rows = nullptr);
+
+// Runs the root cut loop on `model` in place: the model afterwards carries
+// every surviving pool cut as an ordinary `<=` constraint (named "cut_*").
+// Emits cuts.* counters to `sink` when non-null.
+CutStats run_root_cut_loop(Model& model, const CutOptions& options = {},
+                           obs::Sink* sink = nullptr);
+
+}  // namespace hermes::milp

@@ -1,0 +1,395 @@
+#include "milp/decompose.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "milp/simplex.h"
+#include "obs/obs.h"
+
+namespace hermes::milp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kCutTol = 1e-6;
+constexpr int kMaxIterations = 50;
+
+// One communicating pair carved out of the model: the y columns of its
+// coupling row, the linking (comm) variable, and the per-path cost taken
+// from the objective / epsilon1 row.
+struct PairBlock {
+    VarId link = -1;               // comm[pq]
+    std::vector<VarId> paths;      // y[pq][k], coupling coefficient +1
+    std::vector<double> cost;      // per-path latency (0 when y is costless)
+    // Subproblem: min cost'y s.t. sum y - c = 0, y in [0,1], c fixed to the
+    // master's comm value via its bounds. Built once, re-solved warm.
+    Model sub;
+    VarId sub_link = -1;           // the c column inside `sub`
+    Basis warm;                    // previous iteration's optimal basis
+};
+
+struct Seam {
+    std::vector<PairBlock> pairs;
+    bool objective_has_y = false;
+    bool has_budget_row = false;   // the epsilon1 row
+    double budget_rhs = 0.0;
+    std::vector<double> budget_cost;  // per-variable latency in that row
+};
+
+bool is_path_var(const Variable& v) { return v.name.rfind("y_", 0) == 0; }
+
+// Classifies every row touching a y variable. Returns false when the seam
+// does not look like the P#1 shape (the caller then falls back).
+bool extract_seam(const Model& model, Seam& seam) {
+    const std::size_t n = model.variable_count();
+    std::vector<std::uint8_t> path_var(n, 0);
+    std::size_t path_count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (is_path_var(model.variable(static_cast<VarId>(j)))) {
+            path_var[j] = 1;
+            ++path_count;
+        }
+    }
+    if (path_count == 0) return false;
+
+    seam.budget_cost.assign(n, 0.0);
+    std::vector<double> obj_cost(n, 0.0);
+    for (const Term& t : model.objective().terms()) {
+        if (path_var[static_cast<std::size_t>(t.var)]) {
+            seam.objective_has_y = true;
+            obj_cost[static_cast<std::size_t>(t.var)] = t.coef;
+        }
+    }
+    // The paper's objectives never maximize path latency; a maximizing model
+    // with y in the objective would need a concave value function instead.
+    if (seam.objective_has_y && !model.is_minimization()) return false;
+
+    for (const Constraint& c : model.constraints()) {
+        bool touches = false;
+        for (const Term& t : c.expr.terms()) {
+            if (path_var[static_cast<std::size_t>(t.var)]) {
+                touches = true;
+                break;
+            }
+        }
+        if (!touches) continue;
+        // Coupling row: sum_k y - comm = 0.
+        if (c.sense == Sense::kEq && c.rhs == 0.0) {
+            PairBlock block;
+            bool shape_ok = true;
+            for (const Term& t : c.expr.terms()) {
+                if (path_var[static_cast<std::size_t>(t.var)]) {
+                    if (t.coef != 1.0) shape_ok = false;
+                    block.paths.push_back(t.var);
+                } else if (block.link < 0 && t.coef == -1.0) {
+                    block.link = t.var;
+                } else {
+                    shape_ok = false;
+                }
+            }
+            if (!shape_ok || block.link < 0 || block.paths.empty()) return false;
+            seam.pairs.push_back(std::move(block));
+            continue;
+        }
+        // Budget row: latency-weighted y's only, <= epsilon1.
+        if (c.sense == Sense::kLe && !seam.has_budget_row) {
+            bool pure = true;
+            for (const Term& t : c.expr.terms()) {
+                if (!path_var[static_cast<std::size_t>(t.var)] || t.coef < 0.0) {
+                    pure = false;
+                    break;
+                }
+            }
+            if (pure) {
+                seam.has_budget_row = true;
+                seam.budget_rhs = c.rhs;
+                for (const Term& t : c.expr.terms()) {
+                    seam.budget_cost[static_cast<std::size_t>(t.var)] = t.coef;
+                }
+                continue;
+            }
+        }
+        return false;  // any other y-row: unsupported seam
+    }
+    if (seam.pairs.empty()) return false;
+
+    // Every y must belong to exactly one coupling row, or fixing the master
+    // copies to zero would lose constraints on it.
+    std::vector<std::uint8_t> covered(n, 0);
+    for (const PairBlock& b : seam.pairs) {
+        for (const VarId y : b.paths) {
+            if (covered[static_cast<std::size_t>(y)]) return false;
+            covered[static_cast<std::size_t>(y)] = 1;
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        if (path_var[j] && !covered[j]) return false;
+    }
+
+    // Per-path cost: the objective's latency when it prices y, else the
+    // budget row's. When both exist they must coincide (both are t_e2e in
+    // the formulation) or the budget feasibility cut below would be priced
+    // in the wrong units — bail out to the monolithic path if they differ.
+    if (seam.objective_has_y && seam.has_budget_row) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (path_var[j] &&
+                std::abs(obj_cost[j] - seam.budget_cost[j]) > 1e-9) {
+                return false;
+            }
+        }
+    }
+    for (PairBlock& b : seam.pairs) {
+        b.cost.reserve(b.paths.size());
+        for (const VarId y : b.paths) {
+            const auto j = static_cast<std::size_t>(y);
+            b.cost.push_back(seam.objective_has_y ? obj_cost[j]
+                                                  : seam.budget_cost[j]);
+        }
+        b.sub = Model{};
+        LinExpr coupling;
+        LinExpr objective;
+        for (std::size_t k = 0; k < b.paths.size(); ++k) {
+            const VarId y = b.sub.add_continuous(0.0, 1.0, "y" + std::to_string(k));
+            coupling += LinExpr::term(y);
+            objective += LinExpr::term(y, b.cost[k]);
+        }
+        b.sub_link = b.sub.add_continuous(0.0, 1.0, "c");
+        coupling -= LinExpr::term(b.sub_link);
+        b.sub.add_constraint(std::move(coupling), Sense::kEq, 0.0, "couple");
+        b.sub.minimize(std::move(objective));
+    }
+    return true;
+}
+
+// Prices one pair at the master's comm value: optimal cost, its subgradient
+// with respect to comm (the reduced cost of the fixed link column), and the
+// optimal path mix. Solves warm from the previous iteration's basis.
+struct PairPrice {
+    double value = 0.0;
+    double gradient = 0.0;
+    std::vector<double> path_values;
+    std::int64_t iterations = 0;
+};
+
+PairPrice price_pair(PairBlock& block, double comm) {
+    const LpContext context(block.sub);
+    std::vector<double> lower = context.model_lower();
+    std::vector<double> upper = context.model_upper();
+    const auto link = static_cast<std::size_t>(block.sub_link);
+    lower[link] = comm;
+    upper[link] = comm;
+    LpOptions options;
+    options.want_dual_values = true;
+    options.warm_basis = block.warm.empty() ? nullptr : &block.warm;
+    LpWorkspace workspace;
+    const LpResult lp = context.solve(lower, upper, options, &workspace);
+    PairPrice price;
+    price.iterations = lp.iterations;
+    if (lp.status != LpStatus::kOptimal) {
+        // Numerically impossible for this box-simplex LP; treat as zero so
+        // the caller's feasibility verification catches any real trouble.
+        price.path_values.assign(block.paths.size(), 0.0);
+        return price;
+    }
+    block.warm = lp.basis;
+    price.value = lp.objective;
+    price.gradient = lp.reduced_costs[link];
+    price.path_values.assign(lp.values.begin(),
+                             lp.values.begin() + static_cast<std::ptrdiff_t>(
+                                                     block.paths.size()));
+    return price;
+}
+
+}  // namespace
+
+MilpResult solve_benders(const Model& model, const MilpOptions& options) {
+    const auto start = Clock::now();
+    const auto elapsed = [&] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    Seam seam;
+    MilpOptions mono = options;
+    mono.decompose = false;
+    if (!extract_seam(model, seam)) {
+        return solve_milp(model, mono);  // no seam: monolithic search
+    }
+
+    // Master: every variable of the original model (y's pinned to zero, so
+    // presolve strips them), the non-y rows, the objective with its y terms
+    // replaced by theta when present.
+    const std::size_t n = model.variable_count();
+    std::vector<std::uint8_t> path_var(n, 0);
+    for (const PairBlock& b : seam.pairs) {
+        for (const VarId y : b.paths) path_var[static_cast<std::size_t>(y)] = 1;
+    }
+    Model master;
+    for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = model.variable(static_cast<VarId>(j));
+        const double upper = path_var[j] ? 0.0 : v.upper;
+        if (v.type == VarType::kBinary) {
+            const VarId id = master.add_binary(v.name);
+            master.set_lower(id, v.lower);
+            master.set_upper(id, upper);
+        } else if (v.type == VarType::kInteger) {
+            master.add_integer(v.lower, upper, v.name);
+        } else {
+            master.add_continuous(v.lower, upper, v.name);
+        }
+    }
+    for (const Constraint& c : model.constraints()) {
+        bool touches = false;
+        for (const Term& t : c.expr.terms()) {
+            if (path_var[static_cast<std::size_t>(t.var)]) {
+                touches = true;
+                break;
+            }
+        }
+        if (!touches) master.add_constraint(c.expr, c.sense, c.rhs, c.name);
+    }
+    VarId theta = -1;
+    LinExpr master_objective;
+    for (const Term& t : model.objective().terms()) {
+        if (!path_var[static_cast<std::size_t>(t.var)]) {
+            master_objective += LinExpr::term(t.var, t.coef);
+        }
+    }
+    if (seam.objective_has_y) {
+        theta = master.add_continuous(0.0, kInfinity, "theta");
+        master_objective += LinExpr::term(theta);
+    }
+    if (model.is_minimization()) {
+        master.minimize(std::move(master_objective));
+    } else {
+        master.maximize(std::move(master_objective));
+    }
+
+    obs::Sink* sink = options.sink;
+    MilpResult result;
+    std::vector<double> assembled;
+    std::int64_t total_nodes = 0;
+    std::int64_t total_iterations = 0;
+    int iteration = 0;
+    std::optional<std::vector<double>> master_warm;
+
+    for (; iteration < kMaxIterations; ++iteration) {
+        MilpOptions master_options = mono;
+        master_options.warm_start = master_warm;
+        if (options.time_limit_seconds > 0.0) {
+            master_options.time_limit_seconds =
+                options.time_limit_seconds - elapsed();
+            if (master_options.time_limit_seconds <= 0.0 ||
+                options.deadline.expired()) {
+                break;
+            }
+        }
+        MilpResult m = solve_milp(master, master_options);
+        total_nodes += m.nodes;
+        total_iterations += m.lp_iterations;
+        if (!m.has_solution()) {
+            m.nodes = total_nodes;
+            m.lp_iterations = total_iterations;
+            m.elapsed_seconds = elapsed();
+            return m;  // infeasible / unbounded / starved master is final
+        }
+        master_warm = m.values;
+
+        // Price the comm vector through the pair subproblems.
+        double path_cost = 0.0;     // objective-sense latency of best paths
+        double budget_used = 0.0;   // epsilon1-row latency of best paths
+        LinExpr affine;             // sum_p (v_p + g_p (comm_p - c_p))
+        double affine_constant = 0.0;
+        std::vector<PairPrice> prices(seam.pairs.size());
+        for (std::size_t p = 0; p < seam.pairs.size(); ++p) {
+            PairBlock& block = seam.pairs[p];
+            const double comm =
+                m.values[static_cast<std::size_t>(block.link)];
+            prices[p] = price_pair(block, comm);
+            total_iterations += prices[p].iterations;
+            path_cost += prices[p].value;
+            affine += LinExpr::term(block.link, prices[p].gradient);
+            affine_constant += prices[p].value - prices[p].gradient * comm;
+            if (seam.has_budget_row) {
+                for (std::size_t k = 0; k < block.paths.size(); ++k) {
+                    budget_used +=
+                        seam.budget_cost[static_cast<std::size_t>(block.paths[k])] *
+                        prices[p].path_values[k];
+                }
+            }
+        }
+
+        bool cut_added = false;
+        if (seam.has_budget_row && budget_used > seam.budget_rhs + kCutTol) {
+            // Even the cheapest paths overshoot epsilon1: cut this comm
+            // pattern (and everything at least as communicative) off.
+            LinExpr feas = affine;
+            master.add_constraint(std::move(feas), Sense::kLe,
+                                  seam.budget_rhs - affine_constant,
+                                  "benders_feas_" + std::to_string(iteration));
+            cut_added = true;
+        }
+        if (theta >= 0) {
+            const double theta_hat = m.values[static_cast<std::size_t>(theta)];
+            if (path_cost > theta_hat + kCutTol * (1.0 + std::abs(path_cost))) {
+                LinExpr opt = LinExpr::term(theta) - affine;
+                master.add_constraint(std::move(opt), Sense::kGe, affine_constant,
+                                      "benders_opt_" + std::to_string(iteration));
+                cut_added = true;
+            }
+        }
+
+        if (!cut_added) {
+            // Converged: assemble the exact solution from master + pair
+            // optima (y entries in the master copy are pinned to zero).
+            assembled.assign(m.values.begin(),
+                             m.values.begin() + static_cast<std::ptrdiff_t>(n));
+            for (std::size_t p = 0; p < seam.pairs.size(); ++p) {
+                const PairBlock& block = seam.pairs[p];
+                for (std::size_t k = 0; k < block.paths.size(); ++k) {
+                    assembled[static_cast<std::size_t>(block.paths[k])] =
+                        prices[p].path_values[k];
+                }
+            }
+            result = std::move(m);
+            result.values = std::move(assembled);
+            result.objective = model.objective_value(result.values);
+            result.best_bound =
+                result.status == MilpStatus::kOptimal ? result.objective
+                                                      : result.best_bound;
+            break;
+        }
+        // The master's warm start now violates the fresh cut; drop it and
+        // let the next iteration find its own incumbent.
+        master_warm.reset();
+    }
+
+    if (result.values.empty()) {
+        // Ran out of iterations or time before the cut loop closed; the
+        // monolithic path is authoritative for whatever budget remains.
+        MilpOptions rest = mono;
+        if (options.time_limit_seconds > 0.0) {
+            rest.time_limit_seconds =
+                std::max(0.05, options.time_limit_seconds - elapsed());
+        }
+        result = solve_milp(model, rest);
+    } else if (!model.is_feasible(result.values, 1e-6)) {
+        // Defense in depth: a seam misread must never return garbage.
+        result = solve_milp(model, mono);
+    }
+    result.nodes += total_nodes;
+    result.lp_iterations += total_iterations;
+    result.elapsed_seconds = elapsed();
+    if (sink != nullptr) {
+        sink->counter("benders.iterations").add(iteration);
+        sink->counter("benders.pairs")
+            .add(static_cast<std::int64_t>(seam.pairs.size()));
+    }
+    return result;
+}
+
+}  // namespace hermes::milp

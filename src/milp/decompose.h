@@ -1,0 +1,40 @@
+// Benders-style decomposition over the P#1 placement/path seam.
+//
+// In the P#1 formulation the per-pair path variables y(u,v,p) touch the
+// rest of the model only through (a) one coupling equality per ordered pair,
+// sum_k y[pq][k] = comm[pq], (b) the shared end-to-end latency budget
+// `epsilon1`, and (c) possibly the objective (the SPEED baseline minimizes
+// t_e2e). Everything else — placement, stage packing, ordering, crossing
+// metadata, A_max — never mentions y. That seam lets the model split into:
+//
+//   master      the full placement MILP with every y fixed to zero, its
+//               y-rows dropped, and (when the objective had y terms) a
+//               single epigraph variable `theta` standing in for the path
+//               cost, solved by the ordinary branch-and-bound;
+//   subproblems one tiny LP per communicating pair — pick the cheapest
+//               path mix for the master's comm decision — each warm-started
+//               from its own previous basis across master iterations.
+//
+// Each iteration solves the master, prices its comm vector through the
+// subproblems, and adds violated cuts built from the subproblem duals
+// (reduced cost of the comm link column = subgradient of the pair's value
+// function): an optimality cut `theta >= sum_p (v_p + g_p (comm_p - c_p))`
+// when the objective underestimates the true path cost, and the analogous
+// feasibility cut against the epsilon1 budget when the cheapest paths
+// already overshoot it. Both are supporting hyperplanes of convex value
+// functions, so they never cut a feasible master point; with binary comm
+// the loop terminates, and on convergence the assembled solution is exact.
+//
+// Models without the seam (no `y_*` variables, or y-rows of an unexpected
+// shape) fall back to the monolithic search unchanged.
+#pragma once
+
+#include "milp/solver.h"
+
+namespace hermes::milp {
+
+// Entry point behind MilpOptions::decompose; callable directly by tests.
+// `options.decompose` is ignored here (no recursion).
+[[nodiscard]] MilpResult solve_benders(const Model& model, const MilpOptions& options);
+
+}  // namespace hermes::milp

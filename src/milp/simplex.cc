@@ -75,6 +75,13 @@ public:
     }
 
     [[nodiscard]] LpResult run() {
+        LpResult result = run_attempts();
+        result.factor_etas = factor_etas_;
+        return result;
+    }
+
+private:
+    [[nodiscard]] LpResult run_attempts() {
         LpResult result;
         // Crossed bounds (branching can produce lower > upper) make the box
         // itself empty. Pricing skips negative-range variables as "fixed", so
@@ -89,19 +96,41 @@ public:
         }
         const bool have_warm =
             options_.warm_basis != nullptr && !options_.warm_basis->empty();
+        // Notes the abandon reason and charges everything the warm attempt
+        // burned (reload etas included) as pure waste before falling through
+        // to the authoritative cold solve.
+        const auto abandon = [&](WarmAbandon why) {
+            result.warm_abandon = why;
+            result.warm_wasted_iterations = result.iterations;
+        };
         for (int attempt = have_warm ? 0 : 1; attempt < 2; ++attempt) {
             const bool warm = attempt == 0;
             if (warm) {
-                if (!load_warm_basis(*options_.warm_basis)) continue;
+                if (!load_warm_basis(*options_.warm_basis)) {
+                    abandon(WarmAbandon::kLoad);
+                    continue;
+                }
             } else {
                 load_cold_basis();
             }
-            if (!factorize(result.iterations)) {
-                if (warm) continue;
+            if (!factorize()) {
+                if (warm) {
+                    abandon(WarmAbandon::kFactorize);
+                    continue;
+                }
                 result.status = LpStatus::kIterationLimit;  // numerical give-up
                 return result;
             }
             compute_basic_solution();
+
+            if (warm && infeasible_basic_count() > crash_infeasible_count()) {
+                // Cost gate: the reloaded basis needs more phase-1 repair
+                // than a fresh crash (all-logical) basis would, so the parent
+                // basis carries no information worth paying for — abandon
+                // before burning any pivots on it.
+                abandon(WarmAbandon::kGate);
+                continue;
+            }
 
             // A reloaded basis that does not re-optimize within a small pivot
             // budget is abandoned for the cold path: phase-1 repair from a
@@ -116,15 +145,25 @@ public:
                 if (warm && result.iterations < options_.iteration_limit &&
                     std::chrono::steady_clock::now() <= deadline_ &&
                     !options_.deadline.expired()) {
+                    abandon(WarmAbandon::kBudget);
                     continue;  // warm budget exhausted; redo cold
                 }
                 result.status = LpStatus::kIterationLimit;
                 return result;
             }
-            if (warm && v != Verdict::kOptimal) continue;  // cold path decides
             if (v == Verdict::kInfeasible) {
+                // Sound from a warm basis too: the phase-1 optimality proof
+                // is re-priced on a freshly refactorized basis and a
+                // from-scratch basic solution (confirm-before-declare), the
+                // same evidence a cold proof rests on. Re-proving it cold
+                // doubled the cost of every branching-fixed infeasible node.
                 result.status = LpStatus::kInfeasible;
+                result.warm_used = warm;  // a warm-certified proof is a hit
                 return result;
+            }
+            if (warm && v != Verdict::kOptimal) {
+                abandon(WarmAbandon::kVerdict);
+                continue;  // cold decides unbounded rays and numerical stalls
             }
             if (v == Verdict::kUnbounded) {
                 result.status = LpStatus::kUnbounded;
@@ -138,18 +177,19 @@ public:
             extract(result);
             if (warm && !verify_point(result.values)) {
                 result.values.clear();
+                abandon(WarmAbandon::kVerify);
                 continue;  // drifted warm solve; redo cold
             }
             result.status = LpStatus::kOptimal;
             result.warm_used = warm;
             export_basis(result.basis);
+            if (options_.want_dual_values) export_duals(result);
             return result;
         }
         result.status = LpStatus::kIterationLimit;  // unreachable
         return result;
     }
 
-private:
     enum class Verdict { kOptimal, kInfeasible, kUnbounded, kIterationLimit, kStall };
 
     // ---- eta file -------------------------------------------------------
@@ -277,7 +317,7 @@ private:
     // (each is a unit vector, pivots on its own row, adds no eta), then the
     // structural basics by largest-magnitude remaining row. Renumbers
     // ws_.basic row assignments; returns false on duplicates/singularity.
-    [[nodiscard]] bool factorize(std::int64_t& iterations) {
+    [[nodiscard]] bool factorize() {
         clear_etas();
         ws_.pos.assign(total_, -1);
         std::vector<std::int32_t> new_basic(m_, -1);
@@ -313,7 +353,7 @@ private:
             if (pr == m_) return false;  // dependent / near-singular column
             append_eta(ws_.col, pr);
             new_basic[pr] = v;
-            ++iterations;
+            ++factor_etas_;
         }
         for (std::size_t r = 0; r < m_; ++r) {
             if (new_basic[r] == -1) return false;  // row left unpivoted
@@ -479,9 +519,58 @@ private:
 
     // Pivot allowance for a warm attempt before it is abandoned: generous
     // enough for a short phase-1 repair plus re-optimization after one
-    // branching bound change, far below a typical from-scratch solve.
+    // branching bound change, far below a typical from-scratch solve. A
+    // failed attempt wastes its whole budget on top of the cold solve, so
+    // the default is tight; LpOptions::warm_pivot_budget overrides it.
     [[nodiscard]] std::int64_t warm_pivot_budget() const {
-        return 64 + 2 * static_cast<std::int64_t>(total_ + m_);
+        if (options_.warm_pivot_budget > 0) return options_.warm_pivot_budget;
+        return 32 + static_cast<std::int64_t>(m_) / 2;
+    }
+
+    // Number of basic variables outside their bounds at the current point —
+    // the phase-1 workload the current basis still owes.
+    [[nodiscard]] std::int64_t infeasible_basic_count() const {
+        std::int64_t violated = 0;
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
+                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
+                ++violated;
+            }
+        }
+        return violated;
+    }
+
+    // Phase-1 workload of a fresh crash (all-logical) basis: structural
+    // variables at their cold-path bound, each logical at its row residual.
+    // One pass over the nonzeros, no factorization — the yardstick the warm
+    // gate compares the reloaded basis against.
+    [[nodiscard]] std::int64_t crash_infeasible_count() const {
+        if (crash_infeasible_ >= 0) return crash_infeasible_;
+        std::vector<double>& residual = ws_.y;  // dead until the next price()
+        residual.assign(ctx_.rhs_.begin(), ctx_.rhs_.end());
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double xj = !std::isfinite(ws_.lower[j]) ? ws_.upper[j]
+                                                          : ws_.lower[j];
+            if (xj == 0.0) continue;
+            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                residual[static_cast<std::size_t>(ctx_.row_idx_[i])] -=
+                    ctx_.val_[i] * xj;
+            }
+        }
+        std::int64_t violated = 0;
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::size_t s = n_ + i;
+            if (residual[i] < ws_.lower[s] - kFeasTol * (1.0 + std::abs(ws_.lower[s])) ||
+                residual[i] > ws_.upper[s] + kFeasTol * (1.0 + std::abs(ws_.upper[s]))) {
+                ++violated;
+            }
+        }
+        crash_infeasible_ = violated;
+        return crash_infeasible_;
     }
 
     [[nodiscard]] Verdict iterate(std::int64_t& iterations, std::int64_t limit) {
@@ -507,7 +596,7 @@ private:
                 // recompute, and re-price once before declaring.
                 if (updates_since_factor_ > 0 && confirm_passes < 2) {
                     ++confirm_passes;
-                    if (!factorize(iterations)) return Verdict::kStall;
+                    if (!factorize()) return Verdict::kStall;
                     compute_basic_solution();
                     continue;
                 }
@@ -554,9 +643,13 @@ private:
             degenerate_run = t > kEps ? 0 : degenerate_run + 1;
             if (degenerate_run > bland_threshold) bland = true;
 
-            if (ws_.eta_pivot_row.size() >=
-                static_cast<std::size_t>(std::max(1, options_.refactor_interval))) {
-                if (!factorize(iterations)) return Verdict::kStall;
+            // Count pivots since the last rebuild, NOT the eta-file length:
+            // the file starts at one eta per structural basic after a warm
+            // reload, and measuring it would re-trigger a full factorization
+            // on every pivot whenever that reload exceeds the interval.
+            if (updates_since_factor_ >=
+                static_cast<std::int64_t>(std::max(1, options_.refactor_interval))) {
+                if (!factorize()) return Verdict::kStall;
                 compute_basic_solution();
             }
         }
@@ -581,6 +674,29 @@ private:
         double obj = ctx_.obj_constant_;
         for (std::size_t j = 0; j < n_; ++j) obj += ctx_.obj_[j] * result.values[j];
         result.objective = ctx_.sense_sign_ * obj;
+    }
+
+    // Row duals lambda = B^-T c_B and structural reduced costs
+    // d_j = c_j - lambda' A_j at the optimum, exported in the model's own
+    // objective sense. The eta file is fresh here (every verdict is
+    // confirmed on a rebuilt factorization), so this is one BTRAN plus one
+    // pricing-style pass over the columns.
+    void export_duals(LpResult& result) const {
+        ws_.y.assign(m_, 0.0);
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            ws_.y[r] = v < n_ ? ctx_.obj_[v] : 0.0;
+        }
+        btran(ws_.y);
+        result.duals.resize(m_);
+        for (std::size_t r = 0; r < m_; ++r) {
+            result.duals[r] = ctx_.sense_sign_ * ws_.y[r];
+        }
+        result.reduced_costs.resize(n_);
+        for (std::size_t j = 0; j < n_; ++j) {
+            result.reduced_costs[j] =
+                ctx_.sense_sign_ * (ctx_.obj_[j] - dot_column(j, ws_.y));
+        }
     }
 
     // Constraint-only gate on warm results: row activities recomputed from
@@ -639,6 +755,8 @@ private:
     const std::size_t total_;
     const std::chrono::steady_clock::time_point deadline_;
     std::int64_t updates_since_factor_ = 0;
+    std::int64_t factor_etas_ = 0;
+    mutable std::int64_t crash_infeasible_ = -1;  // lazily computed, then cached
 };
 
 const char* to_string(LpStatus s) noexcept {

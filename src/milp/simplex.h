@@ -76,16 +76,46 @@ struct Basis {
     [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
 };
 
+// Why a warm attempt did not survive to the returned optimum. Feeds the
+// lp.warm_abandon_* observability counters so a branch-and-bound run can
+// report *where* its warm starts die, not just that they missed.
+enum class WarmAbandon : std::uint8_t {
+    kNone,       // warm basis survived (warm_used == true) or none was given
+    kLoad,       // shape/bound-compatibility rejection before factorizing
+    kFactorize,  // duplicate row claim or singular column during refactorize
+    kGate,       // repaired basis judged worse than a fresh crash basis
+    kBudget,     // warm pivot budget exhausted before re-optimizing
+    kVerdict,    // warm reached a non-optimal verdict (cold must decide)
+    kVerify,     // warm optimum failed the constraint re-verification
+};
+
 struct LpResult {
     LpStatus status = LpStatus::kIterationLimit;
     double objective = 0.0;             // in the model's own sense (min or max)
     std::vector<double> values;         // one per model variable (original space)
-    std::int64_t iterations = 0;        // pivots + bound flips + refactorization etas
+    std::int64_t iterations = 0;        // priced simplex pivots + bound flips
+    // Etas appended by basis (re)factorizations — warm reloads and periodic
+    // rebuilds. Kept apart from `iterations` because an eta costs one sparse
+    // FTRAN while a pivot pays BTRAN + a full pricing pass + FTRAN + ratio
+    // test; folding them together made warm and cold pivot counts
+    // incomparable (a warm reload is all etas, a cold start has none).
+    std::int64_t factor_etas = 0;
     Basis basis;                        // exported on kOptimal; empty otherwise
+    // Row duals and structural reduced costs at the optimum, in the model's
+    // own objective sense; filled on kOptimal when
+    // LpOptions::want_dual_values is set (empty otherwise). Benders-style
+    // decomposition reads `duals` for optimality cuts, and the MILP search
+    // reads root `reduced_costs` for incumbent-driven bound tightening.
+    std::vector<double> duals;
+    std::vector<double> reduced_costs;
     // True when a supplied warm basis survived to the returned optimum (a
     // false value on kOptimal means the warm attempt degraded to the cold
     // path). Feeds the lp.warm_hits / lp.warm_misses observability counters.
     bool warm_used = false;
+    // Iterations charged to the abandoned warm attempt (0 on a hit): the
+    // pure waste a miss added on top of the authoritative cold solve.
+    std::int64_t warm_wasted_iterations = 0;
+    WarmAbandon warm_abandon = WarmAbandon::kNone;
 };
 
 // Inherits the common knobs (core/options.h): `iteration_limit` replaces the
@@ -107,6 +137,14 @@ struct LpOptions : core::CommonOptions {
     // cheaper FTRAN/BTRAN; 64 is comfortable for the few-hundred-row P#1
     // instances.
     int refactor_interval = 64;
+    // Pivot allowance for a warm attempt before it is abandoned for the cold
+    // path; 0 = auto (a small multiple of the basis reload cost). A failed
+    // warm attempt wastes its whole budget on top of the cold solve, so this
+    // is deliberately tight — see DESIGN.md 5e.
+    std::int64_t warm_pivot_budget = 0;
+    // Fill LpResult::duals / reduced_costs on kOptimal (one extra BTRAN plus
+    // one pricing-style pass; off by default).
+    bool want_dual_values = false;
 };
 
 // Per-thread scratch reused across solves. Contents are meaningless between

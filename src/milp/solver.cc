@@ -9,6 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "milp/branching.h"
+#include "milp/cuts.h"
+#include "milp/decompose.h"
 #include "milp/presolve.h"
 #include "milp/simplex_reference.h"
 #include "obs/obs.h"
@@ -35,6 +38,12 @@ struct Node {
     double parent_bound = -kInf;       // LP bound inherited from the parent
     std::uint64_t seq = 0;             // creation order, breaks bound ties
     Basis basis;                       // parent's optimal basis (warm start)
+    // The branch that created this node, for pseudocost learning: variable,
+    // direction, and the fractional distance the branch rounded away
+    // (f for the down child, 1 - f for the up child). var < 0 at the root.
+    VarId branch_var = -1;
+    bool branch_up = false;
+    double branch_dist = 0.0;
 };
 
 // Heap comparator for a best-bound min-heap (ties: earliest-created node
@@ -115,7 +124,10 @@ public:
           context_(model),
           sense_(model.is_minimization() ? 1.0 : -1.0),
           start_(Clock::now()),
-          sink_(options.sink) {
+          sink_(options.sink),
+          pseudocosts_(model.variable_count()),
+          global_lower_(context_.model_lower()),
+          global_upper_(context_.model_upper()) {
         if (sink_ != nullptr) {
             // Look the metrics up once; workers bump the cached references.
             warm_attempts_ = &sink_->counter("lp.warm_attempts");
@@ -212,7 +224,45 @@ private:
         std::int64_t idle_ns = 0;
         std::int64_t warm_attempts = 0;
         std::int64_t warm_hits = 0;
+        std::int64_t warm_wasted_pivots = 0;
+        // Indexed by WarmAbandon (kLoad..kVerify); kNone is never counted.
+        std::int64_t abandons[6] = {0, 0, 0, 0, 0, 0};
     };
+
+    // RAII flush of one worker's stats: runs on every exit path — clean
+    // drain, stop flag, deadline/limit trip, or an exception unwinding the
+    // worker — so repair-ladder escalations that abort via core::Deadline
+    // still show their lp.warm_* counters in the metrics export.
+    class FlushStatsOnExit {
+    public:
+        FlushStatsOnExit(Search& search, WorkerStats& stats) noexcept
+            : search_(search), stats_(stats) {}
+        ~FlushStatsOnExit() { search_.flush_worker_stats(stats_); }
+        FlushStatsOnExit(const FlushStatsOnExit&) = delete;
+        FlushStatsOnExit& operator=(const FlushStatsOnExit&) = delete;
+
+    private:
+        Search& search_;
+        WorkerStats& stats_;
+    };
+
+    void flush_worker_stats(const WorkerStats& stats) {
+        if (sink_ == nullptr) return;
+        idle_ns_->add(stats.idle_ns);
+        warm_attempts_->add(stats.warm_attempts);
+        warm_hits_->add(stats.warm_hits);
+        warm_misses_->add(stats.warm_attempts - stats.warm_hits);
+        sink_->counter("lp.warm_wasted_pivots").add(stats.warm_wasted_pivots);
+        static constexpr const char* kAbandonNames[6] = {
+            "lp.warm_abandon_load",    "lp.warm_abandon_factorize",
+            "lp.warm_abandon_gate",    "lp.warm_abandon_budget",
+            "lp.warm_abandon_verdict", "lp.warm_abandon_verify"};
+        for (int i = 0; i < 6; ++i) {
+            if (stats.abandons[i] != 0) {
+                sink_->counter(kAbandonNames[i]).add(stats.abandons[i]);
+            }
+        }
+    }
 
     void worker(int index) {
         if (sink_ != nullptr && index > 0) {
@@ -220,11 +270,19 @@ private:
         }
         obs::Span lane(sink_, "bb.worker");
         WorkerStats stats;
+        const FlushStatsOnExit flush(*this, stats);
         // Per-worker scratch: bound vectors perturbed per node against the
         // shared context, the kernel workspace, and (reference path only) a
-        // private Model copy whose bounds mutate per node.
-        std::vector<double> lower = context_.model_lower();
-        std::vector<double> upper = context_.model_upper();
+        // private Model copy whose bounds mutate per node. `base` mirrors
+        // the globally tightened bounds (strong-branch fixings, incumbent
+        // reduced-cost fixing) and is refreshed under the lock whenever the
+        // shared version moves; `lower`/`upper` are `base` plus the node's
+        // own changes during one LP solve.
+        std::vector<double> base_lower = context_.model_lower();
+        std::vector<double> base_upper = context_.model_upper();
+        std::vector<double> lower = base_lower;
+        std::vector<double> upper = base_upper;
+        std::uint64_t seen_bounds_version = 0;
         LpWorkspace workspace;
         Model ref_work;
         if (options_.use_reference_lp) ref_work = model_;
@@ -253,11 +311,19 @@ private:
                 open_.pop_back();
                 ++nodes_;
                 if (node.parent_bound >= incumbent_ - options_.absolute_gap) continue;
+                if (seen_bounds_version != bounds_version_) {
+                    base_lower = global_lower_;
+                    base_upper = global_upper_;
+                    lower = base_lower;
+                    upper = base_upper;
+                    seen_bounds_version = bounds_version_;
+                }
                 ++in_flight_;
             }
             {
                 obs::Span node_span(sink_, "bb.node");
-                process(std::move(node), lower, upper, workspace, ref_work, stats);
+                process(std::move(node), base_lower, base_upper, lower, upper,
+                        workspace, ref_work, stats);
             }
             {
                 const std::lock_guard lk(mu_);
@@ -266,16 +332,12 @@ private:
             cv_.notify_all();
         }
         cv_.notify_all();  // wake peers so they observe stop/exhaustion too
-        if (sink_ != nullptr) {
-            idle_ns_->add(stats.idle_ns);
-            warm_attempts_->add(stats.warm_attempts);
-            warm_hits_->add(stats.warm_hits);
-            warm_misses_->add(stats.warm_attempts - stats.warm_hits);
-        }
     }
 
-    void process(Node node, std::vector<double>& lower, std::vector<double>& upper,
-                 LpWorkspace& workspace, Model& ref_work, WorkerStats& stats) {
+    void process(Node node, std::vector<double>& base_lower,
+                 std::vector<double>& base_upper, std::vector<double>& lower,
+                 std::vector<double>& upper, LpWorkspace& workspace, Model& ref_work,
+                 WorkerStats& stats) {
         // Each LP inherits the remaining wall-clock budget so one long
         // solve cannot blow through the MILP time limit; <= 0 means the
         // search has no budget and node LPs get none either.
@@ -285,6 +347,7 @@ private:
                 : std::max(0.05, options_.time_limit_seconds - seconds());
         const Basis* warm =
             options_.warm_lp_basis && !node.basis.empty() ? &node.basis : nullptr;
+        const bool is_root = node.changes.empty() && node.branch_var < 0;
         LpResult lp;
         if (options_.use_reference_lp) {
             const ScopedBounds scope(ref_work, model_, node.changes);
@@ -305,11 +368,14 @@ private:
             lp_options.deadline = options_.deadline;
             lp_options.warm_basis = warm;
             lp_options.refactor_interval = options_.lp_refactor_interval;
+            lp_options.warm_pivot_budget = options_.lp_warm_pivot_budget;
+            // Root reduced costs feed incumbent-driven bound tightening.
+            lp_options.want_dual_values = is_root;
             lp = context_.solve(lower, upper, lp_options, &workspace);
             for (const BoundChange& ch : node.changes) {
                 const auto j = static_cast<std::size_t>(ch.var);
-                lower[j] = context_.model_lower()[j];
-                upper[j] = context_.model_upper()[j];
+                lower[j] = base_lower[j];
+                upper[j] = base_upper[j];
             }
         }
 
@@ -317,12 +383,39 @@ private:
             if (warm != nullptr) {
                 ++stats.warm_attempts;
                 if (lp.warm_used) ++stats.warm_hits;
+                stats.warm_wasted_pivots += lp.warm_wasted_iterations;
+                if (lp.warm_abandon != WarmAbandon::kNone) {
+                    ++stats.abandons[static_cast<int>(lp.warm_abandon) - 1];
+                }
             }
             lp_iterations_per_node_->observe(static_cast<double>(lp.iterations));
         }
 
+        // Pseudocost learning: this node's LP bound measures the degradation
+        // the branch that created it actually caused. Outside the search
+        // lock — the table has its own.
+        if (lp.status == LpStatus::kOptimal && node.branch_var >= 0) {
+            pseudocosts_.record(node.branch_var, node.branch_up, node.branch_dist,
+                                sense_ * lp.objective - node.parent_bound);
+        }
+
+        std::int64_t probe_iterations = 0;
+        if (lp.status == LpStatus::kOptimal && is_root && !options_.use_reference_lp &&
+            options_.pseudocost_branching) {
+            probe_iterations = strong_branch_root(lp, base_lower, base_upper, lower,
+                                                  upper, workspace);
+            if (!lp.reduced_costs.empty()) {
+                const std::lock_guard lk(mu_);
+                root_bound_ = sense_ * lp.objective;
+                root_reduced_costs_.resize(lp.reduced_costs.size());
+                for (std::size_t j = 0; j < lp.reduced_costs.size(); ++j) {
+                    root_reduced_costs_[j] = sense_ * lp.reduced_costs[j];
+                }
+            }
+        }
+
         const std::lock_guard lk(mu_);
-        lp_iterations_ += lp.iterations;
+        lp_iterations_ += lp.iterations + probe_iterations;
 
         if (lp.status == LpStatus::kInfeasible) return;
         if (lp.status == LpStatus::kIterationLimit) {
@@ -345,7 +438,10 @@ private:
 
         snap_integers(model_, lp.values, options_.integrality_tolerance);
         const auto branch_var =
-            pick_branch_var(model_, lp.values, options_.integrality_tolerance);
+            options_.pseudocost_branching
+                ? pseudocosts_.select(model_, lp.values,
+                                      options_.integrality_tolerance)
+                : pick_branch_var(model_, lp.values, options_.integrality_tolerance);
         if (!branch_var) {
             publish_incumbent(bound, std::move(lp.values));
             return;
@@ -353,14 +449,21 @@ private:
 
         const double x = lp.values[static_cast<std::size_t>(*branch_var)];
         const double floor_x = std::floor(x);
+        const double frac = x - floor_x;
         Node down;
         down.changes = node.changes;
         down.changes.push_back(BoundChange{*branch_var, -kInfinity, floor_x});
         down.parent_bound = bound;
+        down.branch_var = *branch_var;
+        down.branch_up = false;
+        down.branch_dist = frac;
         Node up;
         up.changes = std::move(node.changes);
         up.changes.push_back(BoundChange{*branch_var, floor_x + 1.0, kInfinity});
         up.parent_bound = bound;
+        up.branch_var = *branch_var;
+        up.branch_up = true;
+        up.branch_dist = 1.0 - frac;
 
         // The child closer to the LP value gets the smaller sequence number,
         // so equal-bound ties pop in diving order.
@@ -374,6 +477,129 @@ private:
         push_node(std::move(down));
         push_node(std::move(up));
         cv_.notify_all();
+    }
+
+    // Strong branching at the root: actually solves both child LPs of the
+    // most fractional candidates (warm from the root basis, tight pivot
+    // cap) and seeds the shared pseudocost table with the measured
+    // degradations, so every later selection starts reliable instead of
+    // guessing from fractions. An infeasible probe is a free fixing: that
+    // side of the dichotomy is empty everywhere, so the global bound
+    // tightens and every worker picks it up on its next node. Returns the
+    // pivots the probes spent (charged to the search total).
+    std::int64_t strong_branch_root(const LpResult& root,
+                                    std::vector<double>& base_lower,
+                                    std::vector<double>& base_upper,
+                                    std::vector<double>& lower,
+                                    std::vector<double>& upper,
+                                    LpWorkspace& workspace) {
+        struct Candidate {
+            VarId var;
+            double frac;  // distance from the nearest integer, in (tol, 0.5]
+        };
+        std::vector<Candidate> cands;
+        for (std::size_t j = 0; j < model_.variable_count(); ++j) {
+            if (model_.variable(static_cast<VarId>(j)).type == VarType::kContinuous) {
+                continue;
+            }
+            const double x = root.values[j];
+            const double f = x - std::floor(x);
+            const double dist = std::min(f, 1.0 - f);
+            if (dist <= options_.integrality_tolerance) continue;
+            cands.push_back({static_cast<VarId>(j), dist});
+        }
+        std::sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+            if (a.frac != b.frac) return a.frac > b.frac;
+            return a.var < b.var;
+        });
+        if (cands.size() > static_cast<std::size_t>(
+                               std::max(0, options_.strong_branch_candidates))) {
+            cands.resize(
+                static_cast<std::size_t>(options_.strong_branch_candidates));
+        }
+
+        const double root_bound = sense_ * root.objective;
+        std::int64_t spent = 0;
+        for (const Candidate& c : cands) {
+            const auto j = static_cast<std::size_t>(c.var);
+            const double x = root.values[j];
+            const double floor_x = std::floor(x);
+            const double f = x - floor_x;
+            for (const bool up : {false, true}) {
+                const double saved_lower = lower[j];
+                const double saved_upper = upper[j];
+                if (up) {
+                    lower[j] = floor_x + 1.0;
+                } else {
+                    upper[j] = floor_x;
+                }
+                LpOptions probe;
+                probe.iteration_limit = options_.strong_branch_pivot_limit;
+                probe.time_limit_seconds =
+                    options_.time_limit_seconds <= 0.0
+                        ? 1e18
+                        : std::max(0.05, options_.time_limit_seconds - seconds());
+                probe.deadline = options_.deadline;
+                probe.warm_basis = &root.basis;
+                probe.refactor_interval = options_.lp_refactor_interval;
+                probe.warm_pivot_budget = options_.lp_warm_pivot_budget;
+                const LpResult child = context_.solve(lower, upper, probe, &workspace);
+                lower[j] = saved_lower;
+                upper[j] = saved_upper;
+                spent += child.iterations;
+                if (child.status == LpStatus::kOptimal) {
+                    pseudocosts_.record(c.var, up, up ? 1.0 - f : f,
+                                        sense_ * child.objective - root_bound);
+                } else if (child.status == LpStatus::kInfeasible) {
+                    const std::lock_guard lk(mu_);
+                    if (up) {
+                        global_upper_[j] = std::min(global_upper_[j], floor_x);
+                    } else {
+                        global_lower_[j] = std::max(global_lower_[j], floor_x + 1.0);
+                    }
+                    ++bounds_version_;
+                    base_lower[j] = global_lower_[j];
+                    base_upper[j] = global_upper_[j];
+                    lower[j] = base_lower[j];
+                    upper[j] = base_upper[j];
+                }
+            }
+        }
+        return spent;
+    }
+
+    // Reduced-cost fixing against the fresh incumbent (mu_ must be held):
+    // from LP duality, any feasible point's objective is at least
+    // root_bound + d_j * (x_j - l_j) for a root reduced cost d_j > 0 (and
+    // symmetrically from the upper bound for d_j < 0), so variables whose
+    // movement alone would cross the incumbent-minus-gap cutoff get their
+    // box clipped globally. Workers resync on the version bump.
+    void tighten_from_incumbent() {
+        if (root_reduced_costs_.empty() || !has_incumbent_) return;
+        const double slack = (incumbent_ - options_.absolute_gap) - root_bound_;
+        if (!std::isfinite(slack) || slack < 0.0) return;
+        bool changed = false;
+        for (std::size_t j = 0; j < root_reduced_costs_.size(); ++j) {
+            const double d = root_reduced_costs_[j];
+            const bool integral =
+                model_.variable(static_cast<VarId>(j)).type != VarType::kContinuous;
+            if (d > 1e-9 && std::isfinite(context_.model_lower()[j])) {
+                double ub = context_.model_lower()[j] + slack / d;
+                if (integral) ub = std::floor(ub + 1e-9);
+                if (ub < global_upper_[j] - 1e-12) {
+                    global_upper_[j] = std::max(ub, global_lower_[j]);
+                    changed = true;
+                }
+            } else if (d < -1e-9 && std::isfinite(context_.model_upper()[j])) {
+                double lb = context_.model_upper()[j] + slack / d;
+                if (integral) lb = std::ceil(lb - 1e-9);
+                if (lb > global_lower_[j] + 1e-12) {
+                    global_lower_[j] = std::min(lb, global_upper_[j]);
+                    changed = true;
+                }
+            }
+        }
+        if (changed) ++bounds_version_;
     }
 
     // mu_ must be held.
@@ -392,6 +618,7 @@ private:
         incumbent_ = std::min(incumbent_, bound);
         incumbent_values_ = std::move(values);
         has_incumbent_ = true;
+        if (better) tighten_from_incumbent();
         // Prune on publish: open nodes that can no longer beat the incumbent
         // are dropped immediately instead of at pop time.
         const double cutoff = incumbent_ - options_.absolute_gap;
@@ -427,6 +654,16 @@ private:
     std::int64_t nodes_ = 0;
     std::int64_t lp_iterations_ = 0;
     std::uint64_t next_seq_ = 1;
+
+    // Shared branching state: pseudocosts have their own lock; the global
+    // bound box and its version are guarded by mu_ and mirrored into each
+    // worker's base vectors on version mismatch.
+    PseudocostTable pseudocosts_;
+    std::vector<double> global_lower_;
+    std::vector<double> global_upper_;
+    std::uint64_t bounds_version_ = 1;  // workers start at 0, so they sync once
+    std::vector<double> root_reduced_costs_;  // minimization sense; root only
+    double root_bound_ = -kInf;
 };
 
 }  // namespace
@@ -443,10 +680,37 @@ const char* to_string(MilpStatus s) noexcept {
     return "?";
 }
 
-MilpResult solve_milp(const Model& model, const MilpOptions& options) {
-    if (!options.presolve) {
+namespace {
+
+// Search preceded by the root cut loop: the model is copied, augmented with
+// the surviving cut pool, and searched. Cuts are valid for the integer
+// hull, so the objective is identical with or without them.
+MilpResult search_with_cuts(const Model& model, const MilpOptions& options) {
+    if (options.cut_rounds <= 0) {
         Search search(model, options);
         return search.run();
+    }
+    Model cut_model = model;
+    CutOptions cut_options;
+    cut_options.max_rounds = options.cut_rounds;
+    if (options.time_limit_seconds > 0.0) {
+        // The loop is a root-strengthening preamble; cap it well below the
+        // search budget so a slow separation can never starve the tree.
+        cut_options.time_limit_seconds = 0.2 * options.time_limit_seconds;
+    }
+    run_root_cut_loop(cut_model, cut_options, options.sink);
+    Search search(cut_model, options);
+    return search.run();
+}
+
+}  // namespace
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+    if (options.decompose) {
+        return solve_benders(model, options);
+    }
+    if (!options.presolve) {
+        return search_with_cuts(model, options);
     }
     const PresolveResult pre = presolve(model);
     if (pre.infeasible) {
@@ -466,8 +730,7 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
             reduced_options.warm_start.reset();
         }
     }
-    Search search(pre.reduced, reduced_options);
-    MilpResult result = search.run();
+    MilpResult result = search_with_cuts(pre.reduced, reduced_options);
     if (result.has_solution()) {
         result.values = pre.postsolve(result.values);
         // The reduced objective already carries the fixed contributions as a

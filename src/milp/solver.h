@@ -75,6 +75,28 @@ struct MilpOptions : core::CommonOptions {
     // Eta-file length that forces a refactorization in the revised LP kernel
     // (forwarded to LpOptions::refactor_interval).
     int lp_refactor_interval = 64;
+    // Pivot allowance for one warm LP attempt before it abandons to cold
+    // (forwarded to LpOptions::warm_pivot_budget; 0 = the kernel's auto
+    // heuristic).
+    std::int64_t lp_warm_pivot_budget = 0;
+    // Root cutting-plane rounds (milp/cuts.h): knapsack cover + clique cuts
+    // separated at the root relaxation before the search starts. Every cut
+    // is valid for the integer hull, so the objective is identical with any
+    // value; 0 disables the loop.
+    int cut_rounds = 4;
+    // Branch on shared pseudocosts (milp/branching.h), seeded by strong
+    // branching at the root, instead of most-fractional. Off = the plain
+    // most-fractional rule (kept for A/B benchmarking).
+    bool pseudocost_branching = true;
+    // Fractional root candidates probed by strong branching, and the pivot
+    // cap for each probe LP.
+    int strong_branch_candidates = 8;
+    std::int64_t strong_branch_pivot_limit = 400;
+    // Benders-style decomposition (milp/decompose.h): a placement master
+    // over everything but the per-pair path variables, plus per-pair path
+    // subproblems generating optimality/feasibility cuts. Falls back to the
+    // monolithic search when the model has no path seam.
+    bool decompose = false;
     // Feasible starting assignment (checked; ignored when infeasible).
     std::optional<std::vector<double>> warm_start;
 };

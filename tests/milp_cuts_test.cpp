@@ -1,0 +1,265 @@
+// Unit tests for the root cutting planes (milp/cuts.h) and the shared
+// pseudocost branching table (milp/branching.h): separator correctness and
+// validity for the integer hull, the root loop's bound monotonicity and
+// objective invariance, the formulation's row-group exposure, and the
+// deterministic branching selection rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "core/formulation.h"
+#include "milp/branching.h"
+#include "milp/cuts.h"
+#include "milp/solver.h"
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+namespace hermes::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Every integer-feasible point of `model` must satisfy `cut` — checked by
+// brute force over all binary assignments (models under ~16 binaries).
+void expect_valid_for_integer_hull(const Model& model, const Cut& cut) {
+    const std::size_t n = model.variable_count();
+    ASSERT_LE(n, 16u);
+    for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+        std::vector<double> point(n);
+        for (std::size_t j = 0; j < n; ++j) point[j] = (mask >> j) & 1u ? 1.0 : 0.0;
+        if (!model.is_feasible(point, 1e-9)) continue;
+        EXPECT_LE(cut.expr.evaluate(point), cut.rhs + 1e-9)
+            << "cut " << cut.name << " cuts off feasible point " << mask;
+    }
+}
+
+TEST(Cuts, CoverSeparatedOnFractionalKnapsack) {
+    // 3 + 3 + 3 > 7: all three binaries form a minimal cover, so
+    // x0 + x1 + x2 <= 2 — violated by the fractional point (.9, .9, .9).
+    Model m;
+    LinExpr row;
+    for (int i = 0; i < 3; ++i) row += LinExpr::term(m.add_binary(), 3.0);
+    m.add_constraint(row, Sense::kLe, 7.0, "cap");
+    m.minimize(LinExpr{});
+    const std::vector<double> point{0.9, 0.9, 0.9};
+    const std::vector<Cut> cuts = separate_cover_cuts(m, point, 8, 1e-4);
+    ASSERT_EQ(cuts.size(), 1u);
+    EXPECT_EQ(cuts[0].rhs, 2.0);
+    EXPECT_EQ(cuts[0].expr.terms().size(), 3u);
+    EXPECT_GT(cuts[0].violation(point), 1e-4);
+    expect_valid_for_integer_hull(m, cuts[0]);
+}
+
+TEST(Cuts, CoverNotSeparatedWhenPointIsInteger) {
+    Model m;
+    LinExpr row;
+    for (int i = 0; i < 3; ++i) row += LinExpr::term(m.add_binary(), 3.0);
+    m.add_constraint(row, Sense::kLe, 7.0, "cap");
+    m.minimize(LinExpr{});
+    EXPECT_TRUE(separate_cover_cuts(m, {1.0, 1.0, 0.0}, 8, 1e-4).empty());
+}
+
+TEST(Cuts, CliqueSeparatedFromPairwiseConflicts) {
+    // 5 + 5 > 7 and 5 + 4 > 7: all three binaries pairwise conflict, so
+    // x0 + x1 + x2 <= 1 — violated at (.6, .6, .5).
+    Model m;
+    const VarId a = m.add_binary("a");
+    const VarId b = m.add_binary("b");
+    const VarId c = m.add_binary("c");
+    m.add_constraint(LinExpr::term(a, 5.0) + LinExpr::term(b, 5.0) +
+                         LinExpr::term(c, 4.0),
+                     Sense::kLe, 7.0, "cap");
+    m.minimize(LinExpr{});
+    const std::vector<double> point{0.6, 0.6, 0.5};
+    const std::vector<Cut> cuts = separate_clique_cuts(m, point, 8, 1e-4);
+    ASSERT_GE(cuts.size(), 1u);
+    EXPECT_EQ(cuts[0].rhs, 1.0);
+    EXPECT_EQ(cuts[0].expr.terms().size(), 3u);
+    EXPECT_GT(cuts[0].violation(point), 1e-4);
+    expect_valid_for_integer_hull(m, cuts[0]);
+}
+
+TEST(Cuts, RootLoopTightensBoundAndPreservesOptimum) {
+    // A knapsack whose LP relaxation is fractional: the cut loop must never
+    // weaken the root bound, and the MILP optimum must be identical with the
+    // loop on or off (every cut is valid for the integer hull).
+    util::SplitMix64 rng(5);
+    Model m;
+    LinExpr weight, value;
+    for (int i = 0; i < 14; ++i) {
+        const VarId x = m.add_binary();
+        weight += LinExpr::term(x, static_cast<double>(rng.uniform_int(5, 40)));
+        value += LinExpr::term(x, static_cast<double>(rng.uniform_int(1, 100)));
+    }
+    m.add_constraint(weight, Sense::kLe, 80.0);
+    m.maximize(value);
+
+    Model with_cuts = m;
+    const CutStats stats = run_root_cut_loop(with_cuts, CutOptions{});
+    EXPECT_GE(stats.rounds, 1);
+    EXPECT_GE(stats.root_bound_after, stats.root_bound_before - kTol);
+    EXPECT_GE(with_cuts.constraint_count(), m.constraint_count());
+
+    MilpOptions without;
+    without.cut_rounds = 0;
+    MilpOptions with;
+    with.cut_rounds = 4;
+    const MilpResult a = solve_milp(m, without);
+    const MilpResult b = solve_milp(m, with);
+    ASSERT_EQ(a.status, MilpStatus::kOptimal);
+    ASSERT_EQ(b.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, kTol);
+    EXPECT_TRUE(m.is_feasible(b.values, 1e-6));
+}
+
+TEST(Cuts, RowRestrictionLimitsSeparationScope) {
+    // Two knapsack rows; restricting separation to the first must only
+    // produce the first row's cover.
+    Model m;
+    LinExpr row0, row1;
+    const VarId a = m.add_binary("a");
+    const VarId b = m.add_binary("b");
+    const VarId c = m.add_binary("c");
+    const VarId d = m.add_binary("d");
+    row0 += LinExpr::term(a, 3.0) + LinExpr::term(b, 3.0);
+    row1 += LinExpr::term(c, 3.0) + LinExpr::term(d, 3.0);
+    m.add_constraint(row0, Sense::kLe, 5.0, "cap0");
+    m.add_constraint(row1, Sense::kLe, 5.0, "cap1");
+    m.minimize(LinExpr{});
+    const std::vector<double> point{0.9, 0.9, 0.9, 0.9};
+    const std::vector<std::size_t> only_first{0};
+    const auto all = separate_cover_cuts(m, point, 8, 1e-4);
+    const auto restricted = separate_cover_cuts(m, point, 8, 1e-4, &only_first);
+    EXPECT_EQ(all.size(), 2u);
+    ASSERT_EQ(restricted.size(), 1u);
+    EXPECT_NE(restricted[0].expr.coefficient(a), 0.0);
+    EXPECT_EQ(restricted[0].expr.coefficient(c), 0.0);
+}
+
+TEST(Cuts, FormulationExposesRowGroups) {
+    // The recorded capacity group must point at the cap_*/large_* rows the
+    // separators feed on, and the assignment group at the Σ L = 1 rows.
+    tdg::Tdg t;
+    for (const char* n : {"a", "b", "c"}) {
+        t.add_node(tdg::Mat(n, {tdg::header_field(std::string("h_") + n, 2)},
+                            {tdg::Action{"act", {tdg::metadata_field(
+                                                    std::string("m_") + n, 4)}}},
+                            16, 1.0));
+    }
+    t.add_edge(0, 1, tdg::DepType::kMatch);
+    t.edges().back().metadata_bytes = 1;
+    t.add_edge(1, 2, tdg::DepType::kMatch);
+    t.edges().back().metadata_bytes = 4;
+    sim::TestbedConfig config;
+    config.switch_count = 2;
+    config.stages = 2;
+    const net::Network n = sim::make_testbed(config);
+    core::P1Formulation f(t, n, core::FormulationOptions{});
+    const auto& groups = f.row_groups();
+    const Model& m = f.model();
+
+    ASSERT_EQ(groups.assignment.size(), f.unit_count());
+    for (const std::size_t row : groups.assignment) {
+        ASSERT_LT(row, m.constraint_count());
+        EXPECT_EQ(m.constraints()[row].sense, Sense::kEq);
+        EXPECT_DOUBLE_EQ(m.constraints()[row].rhs, 1.0);
+    }
+    ASSERT_FALSE(groups.capacity.empty());
+    for (const std::size_t row : groups.capacity) {
+        ASSERT_LT(row, m.constraint_count());
+        EXPECT_EQ(m.constraints()[row].sense, Sense::kLe);
+        EXPECT_EQ(m.constraints()[row].name.rfind("cut_", 0), std::string::npos);
+    }
+    ASSERT_FALSE(groups.amax.empty());
+    for (const std::size_t row : groups.amax) {
+        ASSERT_LT(row, m.constraint_count());
+        EXPECT_EQ(m.constraints()[row].sense, Sense::kGe);
+    }
+    ASSERT_FALSE(groups.coupling.empty());
+    for (const std::size_t row : groups.coupling) {
+        ASSERT_LT(row, m.constraint_count());
+        EXPECT_EQ(m.constraints()[row].sense, Sense::kEq);
+        EXPECT_DOUBLE_EQ(m.constraints()[row].rhs, 0.0);
+    }
+}
+
+TEST(Branching, PseudocostSelectPrefersObservedGains) {
+    // Variable 1 has a large recorded per-unit gain in both directions;
+    // variable 0's history is flat. At an equally fractional point the
+    // product rule must pick variable 1.
+    PseudocostTable table(3);
+    table.record(0, /*up=*/true, 0.5, 0.01);
+    table.record(0, /*up=*/false, 0.5, 0.01);
+    table.record(1, /*up=*/true, 0.5, 5.0);
+    table.record(1, /*up=*/false, 0.5, 4.0);
+    Model m;
+    for (int i = 0; i < 3; ++i) m.add_binary();
+    m.minimize(LinExpr{});
+    const std::vector<double> point{0.5, 0.5, 0.0};
+    const std::optional<VarId> pick = table.select(m, point, 1e-6);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1);
+}
+
+TEST(Branching, SelectBreaksTiesOnLowestId) {
+    // No history at all: every fractional candidate scores identically via
+    // the table-average fallback, so the lowest id must win — this is the
+    // determinism the parallel search relies on.
+    PseudocostTable table(4);
+    Model m;
+    for (int i = 0; i < 4; ++i) m.add_binary();
+    m.minimize(LinExpr{});
+    const std::vector<double> point{0.0, 0.5, 0.5, 0.5};
+    const std::optional<VarId> pick = table.select(m, point, 1e-6);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1);
+}
+
+TEST(Branching, SelectReturnsNulloptOnIntegerPoint) {
+    PseudocostTable table(2);
+    Model m;
+    m.add_binary();
+    m.add_binary();
+    m.minimize(LinExpr{});
+    EXPECT_FALSE(table.select(m, {1.0, 0.0}, 1e-6).has_value());
+}
+
+TEST(Branching, EstimateAveragesRecordedGains) {
+    PseudocostTable table(1);
+    table.record(0, /*up=*/true, 0.5, 2.0);   // 4 per unit
+    table.record(0, /*up=*/true, 0.25, 3.0);  // 12 per unit
+    EXPECT_NEAR(table.estimate(0, true), 8.0, kTol);
+    EXPECT_EQ(table.observations(0, true), 2);
+    EXPECT_EQ(table.observations(0, false), 0);
+}
+
+TEST(Branching, PseudocostOnAndOffAgreeOnRandomMilps) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        util::SplitMix64 rng(seed);
+        Model m;
+        std::vector<VarId> xs;
+        for (int i = 0; i < 12; ++i) xs.push_back(m.add_binary());
+        for (int r = 0; r < 6; ++r) {
+            LinExpr e;
+            for (const VarId x : xs) e += LinExpr::term(x, rng.uniform_real(0.1, 2.0));
+            m.add_constraint(std::move(e), Sense::kLe, rng.uniform_real(2.0, 8.0));
+        }
+        LinExpr obj;
+        for (const VarId x : xs) obj += LinExpr::term(x, rng.uniform_real(0.5, 3.0));
+        m.maximize(std::move(obj));
+
+        MilpOptions on;
+        MilpOptions off = on;
+        off.pseudocost_branching = false;
+        const MilpResult a = solve_milp(m, on);
+        const MilpResult b = solve_milp(m, off);
+        ASSERT_EQ(a.status, b.status) << "seed " << seed;
+        if (!a.has_solution()) continue;
+        EXPECT_NEAR(a.objective, b.objective, kTol) << "seed " << seed;
+        EXPECT_TRUE(m.is_feasible(a.values, 1e-6)) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace hermes::milp

@@ -1,0 +1,153 @@
+// Benders decomposition tests (milp/decompose.h): the decomposed solve must
+// reproduce the monolithic objective on P#1 instances — randomized testbed
+// TDGs and a fat-tree instance, under both the A_max and the latency
+// objective (the latter exercises the theta epigraph) — and models without
+// the path seam must fall back to the monolithic search unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/formulation.h"
+#include "milp/decompose.h"
+#include "milp/solver.h"
+#include "net/builders.h"
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+namespace hermes::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Randomized chain-with-shortcuts TDG, the same family the solver benches
+// use.
+tdg::Tdg random_tdg(std::uint64_t seed, int max_mats) {
+    util::SplitMix64 rng(seed);
+    tdg::Tdg t;
+    const int mats = static_cast<int>(rng.uniform_int(3, max_mats));
+    for (int i = 0; i < mats; ++i) {
+        t.add_node(tdg::Mat(
+            "m" + std::to_string(i), {tdg::header_field("h" + std::to_string(i), 2)},
+            {tdg::Action{"a", {tdg::metadata_field("x" + std::to_string(i), 4)}}}, 16,
+            rng.uniform_real(0.3, 0.6)));
+        if (i > 0) {
+            t.add_edge(static_cast<tdg::NodeId>(i - 1), static_cast<tdg::NodeId>(i),
+                       tdg::DepType::kMatch);
+            t.edges().back().metadata_bytes = static_cast<int>(rng.uniform_int(1, 6));
+        }
+        if (i > 1 && rng.chance(0.4)) {
+            t.add_edge(static_cast<tdg::NodeId>(i - 2), static_cast<tdg::NodeId>(i),
+                       tdg::DepType::kAction);
+            t.edges().back().metadata_bytes = static_cast<int>(rng.uniform_int(1, 4));
+        }
+    }
+    return t;
+}
+
+void expect_decompose_matches_monolithic(const Model& m, double time_limit,
+                                         const std::string& label) {
+    MilpOptions mono;
+    mono.time_limit_seconds = time_limit;
+    MilpOptions dec = mono;
+    dec.decompose = true;
+    const MilpResult a = solve_milp(m, mono);
+    const MilpResult b = solve_milp(m, dec);
+    ASSERT_EQ(a.status, b.status) << label;
+    if (!a.has_solution()) return;
+    EXPECT_NEAR(a.objective, b.objective, kTol * (1.0 + std::abs(a.objective)))
+        << label;
+    EXPECT_TRUE(m.is_feasible(b.values, 1e-6)) << label;
+    EXPECT_NEAR(m.objective_value(b.values), b.objective,
+                kTol * (1.0 + std::abs(b.objective)))
+        << label;
+}
+
+TEST(Decompose, MatchesMonolithicOnRandomTestbedInstances) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        util::SplitMix64 rng(seed * 17);
+        sim::TestbedConfig config;
+        config.switch_count = static_cast<std::size_t>(rng.uniform_int(2, 3));
+        config.stages = 4;
+        const net::Network n = sim::make_testbed(config);
+        core::P1Formulation f(random_tdg(seed, 5), n, core::FormulationOptions{});
+        expect_decompose_matches_monolithic(f.model(), 30.0,
+                                            "testbed seed " + std::to_string(seed));
+    }
+}
+
+TEST(Decompose, MatchesMonolithicUnderLatencyObjective) {
+    // The SPEED objective puts the path variables in the objective, so the
+    // master needs the theta epigraph and real optimality cuts.
+    for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+        sim::TestbedConfig config;
+        config.switch_count = 3;
+        config.stages = 4;
+        const net::Network n = sim::make_testbed(config);
+        core::FormulationOptions fopt;
+        fopt.objective = core::P1Objective::kMinLatency;
+        core::P1Formulation f(random_tdg(seed, 4), n, fopt);
+        expect_decompose_matches_monolithic(f.model(), 30.0,
+                                            "latency seed " + std::to_string(seed));
+    }
+}
+
+TEST(Decompose, MatchesMonolithicOnFatTreeInstance) {
+    util::SplitMix64 rng(0xfa7);
+    net::TopologyConfig tconfig;
+    const net::Network n = net::fat_tree_topology(4, tconfig, rng);
+    core::FormulationOptions fopt;
+    fopt.candidate_limit = 3;
+    core::P1Formulation f(random_tdg(7, 4), n, fopt);
+    expect_decompose_matches_monolithic(f.model(), 30.0, "fat-tree");
+}
+
+TEST(Decompose, MatchesMonolithicWithEpsilon1Budget) {
+    // A finite epsilon1 adds the shared budget row — the feasibility-cut
+    // side of the loop.
+    sim::TestbedConfig config;
+    config.switch_count = 3;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    core::FormulationOptions fopt;
+    fopt.epsilon1 = 2000.0;
+    core::P1Formulation f(random_tdg(3, 5), n, fopt);
+    expect_decompose_matches_monolithic(f.model(), 30.0, "epsilon1");
+}
+
+TEST(Decompose, SeamlessModelFallsBackToMonolithic) {
+    // A plain knapsack has no y_* variables: solve_benders must hand the
+    // model to the ordinary search and return its exact result.
+    util::SplitMix64 rng(4);
+    Model m;
+    LinExpr weight, value;
+    for (int i = 0; i < 12; ++i) {
+        const VarId x = m.add_binary();
+        weight += LinExpr::term(x, static_cast<double>(rng.uniform_int(5, 40)));
+        value += LinExpr::term(x, static_cast<double>(rng.uniform_int(1, 100)));
+    }
+    m.add_constraint(weight, Sense::kLe, 90.0);
+    m.maximize(value);
+    MilpOptions options;
+    const MilpResult mono = solve_milp(m, options);
+    const MilpResult dec = solve_benders(m, options);
+    ASSERT_EQ(mono.status, dec.status);
+    ASSERT_EQ(mono.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(mono.objective, dec.objective, kTol);
+}
+
+TEST(Decompose, OptionFlagRoutesThroughSolveMilp) {
+    sim::TestbedConfig config;
+    config.switch_count = 2;
+    config.stages = 4;
+    const net::Network n = sim::make_testbed(config);
+    core::P1Formulation f(random_tdg(11, 4), n, core::FormulationOptions{});
+    MilpOptions options;
+    options.time_limit_seconds = 30.0;
+    options.decompose = true;
+    const MilpResult r = solve_milp(f.model(), options);
+    ASSERT_TRUE(r.has_solution());
+    EXPECT_TRUE(f.model().is_feasible(r.values, 1e-6));
+}
+
+}  // namespace
+}  // namespace hermes::milp

@@ -125,6 +125,27 @@ Model seeded_p1_model(std::uint64_t seed) {
     return f.model();
 }
 
+// Primal feasibility of an LP *relaxation* point: bounds and constraint
+// rows of the original model, without the integrality check that
+// Model::is_feasible applies to binary variables.
+bool relaxation_feasible(const Model& m, const std::vector<double>& values,
+                         double tolerance) {
+    if (values.size() != m.variable_count()) return false;
+    for (std::size_t i = 0; i < m.variable_count(); ++i) {
+        const Variable& v = m.variables()[i];
+        if (values[i] < v.lower - tolerance || values[i] > v.upper + tolerance) {
+            return false;
+        }
+    }
+    for (const Constraint& c : m.constraints()) {
+        const double lhs = c.expr.evaluate(values);
+        if (c.sense == Sense::kLe && lhs > c.rhs + tolerance) return false;
+        if (c.sense == Sense::kGe && lhs < c.rhs - tolerance) return false;
+        if (c.sense == Sense::kEq && std::abs(lhs - c.rhs) > tolerance) return false;
+    }
+    return true;
+}
+
 TEST(SimplexEquivalence, RandomLpsAgreeWithReferenceKernel) {
     int optimal = 0;
     for (std::uint64_t seed = 0; seed < 60; ++seed) {
@@ -156,6 +177,10 @@ TEST(SimplexEquivalence, P1RelaxationsAgreeWithReferenceKernel) {
         if (revised.status != LpStatus::kOptimal) continue;
         EXPECT_NEAR(revised.objective, dense.objective,
                     kTol * (1.0 + std::abs(dense.objective)))
+            << "seed " << seed;
+        EXPECT_TRUE(relaxation_feasible(m, revised.values, 1e-5))
+            << "seed " << seed;
+        EXPECT_TRUE(relaxation_feasible(m, dense.values, 1e-5))
             << "seed " << seed;
     }
 }
@@ -233,7 +258,13 @@ TEST(SimplexEquivalence, PresolveOnAndOffAgree) {
         ASSERT_EQ(a.status, b.status) << "seed " << seed;
         if (!a.has_solution()) continue;
         EXPECT_NEAR(a.objective, b.objective, kTol) << "seed " << seed;
+        // Both assignments must satisfy the ORIGINAL rows, not merely the
+        // presolve-reduced image: a postsolve bug that fabricates values for
+        // eliminated variables would pass the objective check alone.
         EXPECT_TRUE(m.is_feasible(a.values, 1e-5)) << "seed " << seed;
+        EXPECT_TRUE(m.is_feasible(b.values, 1e-5)) << "seed " << seed;
+        EXPECT_NEAR(m.objective_value(a.values), a.objective, 1e-5)
+            << "seed " << seed;
     }
 }
 
@@ -249,6 +280,9 @@ TEST(SimplexEquivalence, PresolveOnAndOffAgreeOnP1) {
     ASSERT_TRUE(a.has_solution());
     EXPECT_NEAR(a.objective, b.objective, kTol * (1.0 + std::abs(b.objective)));
     EXPECT_TRUE(m.is_feasible(a.values, 1e-5));
+    EXPECT_TRUE(m.is_feasible(b.values, 1e-5));
+    EXPECT_NEAR(m.objective_value(a.values), a.objective,
+                1e-5 * (1.0 + std::abs(a.objective)));
 }
 
 TEST(Presolve, FixesAndDropsCascade) {
