@@ -36,22 +36,34 @@ int largest_topology_id() {
     return best;
 }
 
-// A deterministic heavy-traffic workload on one WAN: `shared` flows cycle
-// over `routes` interned shortest paths (overlapping paths contend for the
-// same links), `privates` flows each ride a private 5-hop route (the
-// analytic fast path's regime). Launches are staggered 1us apart.
+// A deterministic heavy-traffic workload on one WAN covering the engine's
+// three delivery regimes: `shared` flows cycle over `routes` interned
+// shortest paths staggered 1us apart (dense cross-route contention — the
+// event loop's regime), `grouped` flows ride group-private 5-hop routes in
+// paced trains whose head is spaced beyond any flow's occupancy (the
+// time-serialized analytic admission's regime) with a 2us-spaced burst tail
+// that genuinely contends, and `privates` flows each ride an exclusive
+// route (the classic alone fast path). The fast-path hit rate of the mix is
+// therefore a behavioral measurement — it moves when admission eligibility
+// changes — not an echo of the class sizes.
 struct Workload {
     net::Network net;
     int routes = 0;
     std::int64_t shared = 0;
+    std::int64_t grouped = 0;
     std::int64_t privates = 0;
 };
 
-Workload make_workload(std::int64_t shared, std::int64_t privates, int routes,
-                       std::uint64_t seed) {
+Workload make_workload(std::int64_t shared, std::int64_t grouped,
+                       std::int64_t privates, int routes, std::uint64_t seed) {
     return Workload{net::table3_topology(largest_topology_id(), seed), routes,
-                    shared, privates};
+                    shared, grouped, privates};
 }
+
+// Flows per group-private route: a paced head the serialized admission can
+// prove disjoint, then a burst tail it must hand to the event loop.
+constexpr std::int64_t kGroupFlows = 196;
+constexpr std::int64_t kGroupHead = 156;
 
 std::vector<double> run_workload(const Workload& w, int threads, int shards,
                                  sim::EngineStats* stats_out,
@@ -83,6 +95,28 @@ std::vector<double> run_workload(const Workload& w, int threads, int shards,
         spec.overhead_bytes = static_cast<int>(i % 96);
         const sim::RouteId route = routes[static_cast<std::size_t>(i) % routes.size()];
         flows.push_back(engine.add_flow(spec, route, static_cast<double>(i)));
+    }
+    sim::RouteId group_route = 0;
+    for (std::int64_t i = 0; i < w.grouped; ++i) {
+        const std::int64_t g = i / kGroupFlows;
+        const std::int64_t j = i % kGroupFlows;
+        if (j == 0) {
+            group_route = engine.add_route(
+                std::vector<sim::HopSpec>(5, sim::HopSpec{2.0, 1.0}));
+        }
+        sim::FlowSpec spec;
+        spec.payload_bytes_total = 1460 * (1 + static_cast<int>(i % 61));
+        // 12us pacing exceeds the largest flow's transmitter occupancy
+        // (61 packets x 0.12us), so the head of each train serializes; the
+        // 2us tail overlaps for all but the smallest payloads and falls back
+        // to the event loop.
+        const double start =
+            static_cast<double>(g) * 37.0 +
+            (j < kGroupHead
+                 ? static_cast<double>(j) * 12.0
+                 : static_cast<double>(kGroupHead) * 12.0 +
+                       static_cast<double>(j - kGroupHead) * 2.0);
+        flows.push_back(engine.add_flow(spec, group_route, start));
     }
     for (std::int64_t i = 0; i < w.privates; ++i) {
         sim::FlowSpec spec;
@@ -124,7 +158,7 @@ BENCHMARK(BM_ArenaChurn);
 
 void BM_ContendedWan(benchmark::State& state) {
     const auto flows = static_cast<std::int64_t>(state.range(0));
-    const Workload w = make_workload(flows, 0, 64, 0x7e23);
+    const Workload w = make_workload(flows, 0, 0, 64, 0x7e23);
     sim::EngineStats stats;
     for (auto _ : state) {
         const auto fct = run_workload(w, 1, 0, &stats);
@@ -139,11 +173,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
-// The BENCH_sim.json trajectory: one million flows (900k contended over 512
-// interned WAN routes + 100k on private fast-path routes) across a worker
-// ladder, with the single-thread FCT vector as the bit-identity baseline,
-// plus a shard-count sweep at fixed threads. Returns nonzero when any
-// multi-thread run diverges from the single-thread results.
+// The BENCH_sim.json trajectory: one million flows (850k contended over 512
+// interned WAN routes + 100k in paced group trains + 50k on private
+// fast-path routes) across a worker ladder, with the single-thread FCT
+// vector as the bit-identity baseline, plus a shard-count sweep at fixed
+// threads. Returns nonzero when any multi-thread run diverges from the
+// single-thread results.
 int run_sweeps(const std::string& path, std::uint64_t seed) {
     std::vector<bench::BenchRecord> records;
     records.push_back({"machine_hardware_concurrency",
@@ -154,7 +189,7 @@ int run_sweeps(const std::string& path, std::uint64_t seed) {
     records.push_back(
         {"wan_nodes", static_cast<double>(net::table3_shape(topo).nodes), "nodes"});
 
-    const Workload w = make_workload(900000, 100000, 512, seed);
+    const Workload w = make_workload(850000, 100000, 50000, 512, seed);
     int failures = 0;
     std::vector<double> baseline;
     double threads1_secs = 0.0;
@@ -186,6 +221,9 @@ int run_sweeps(const std::string& path, std::uint64_t seed) {
                                static_cast<double>(stats.fastpath_flows) /
                                    static_cast<double>(stats.flows),
                                "ratio"});
+            records.push_back({"flows1m_fastpath_serialized",
+                               static_cast<double>(stats.fastpath_serialized),
+                               "flows"});
         } else {
             best_multi_secs = std::min(best_multi_secs, secs);
             if (fct != baseline) {
@@ -200,7 +238,7 @@ int run_sweeps(const std::string& path, std::uint64_t seed) {
 
     // Shard-count sweep at two workers: more shards = smaller windows but
     // better balance; results must stay bit-identical throughout.
-    const Workload small = make_workload(90000, 10000, 256, seed);
+    const Workload small = make_workload(80000, 10000, 10000, 256, seed);
     const std::vector<double> shard_baseline = run_workload(small, 1, 1, nullptr);
     for (const int shards : {2, 8, 32}) {
         sim::EngineStats stats;
@@ -233,14 +271,16 @@ int run_smoke(const bench::ToolArgs& args) {
         sink = &sink_storage.emplace();
         sink->name_thread("main");
     }
-    const Workload w = make_workload(18000, 2000, 128, args.seed.value_or(0x7e23));
+    const Workload w =
+        make_workload(16000, 2000, 2000, 128, args.seed.value_or(0x7e23));
     const std::vector<double> one = run_workload(w, 1, 0, nullptr);
     sim::EngineStats stats;
     const int threads = args.threads.value_or(2);
     const std::vector<double> multi = run_workload(w, threads, 0, &stats, sink);
     std::cout << "smoke: " << stats.flows << " flows, " << stats.events
-              << " events, " << stats.fastpath_flows << " fast-path, "
-              << stats.shards << " shards, " << stats.window_syncs << " windows\n";
+              << " events, " << stats.fastpath_flows << " fast-path ("
+              << stats.fastpath_serialized << " serialized), " << stats.shards
+              << " shards, " << stats.window_syncs << " windows\n";
     if (multi != one) {
         std::cout << "FAIL: threads=" << threads
                   << " FCTs diverge from the single-thread run\n";
@@ -248,6 +288,11 @@ int run_smoke(const bench::ToolArgs& args) {
     }
     if (stats.events <= 0 || stats.fastpath_flows <= 0) {
         std::cout << "FAIL: degenerate run (no events or no fast-path flows)\n";
+        ++failures;
+    }
+    if (stats.fastpath_serialized <= 0) {
+        std::cout << "FAIL: time-serialized admission never engaged — the "
+                     "fast-path rate is an echo of the class sizes again\n";
         ++failures;
     }
     if (sink != nullptr) {

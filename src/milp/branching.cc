@@ -56,8 +56,15 @@ std::optional<VarId> PseudocostTable::select(const Model& model,
         const double down =
             e.count[0] > 0 ? e.sum[0] / e.count[0] : fallback;
         const double up = e.count[1] > 0 ? e.sum[1] / e.count[1] : fallback;
-        const double score =
-            std::max(kScoreEps, down * f) * std::max(kScoreEps, up * (1.0 - f));
+        // The floor is applied to each directional estimate, not the whole
+        // factor, so the fractional distances always stay in the score: a
+        // degenerate root (every probe reporting zero degradation — common
+        // at the 0.5-heavy vertices the LU kernel's Devex path lands on)
+        // then reduces to the most-fractional rule instead of collapsing
+        // every candidate onto the same eps^2 score, which would turn
+        // selection into branching by lowest id and blow the tree up.
+        const double score = std::max(kScoreEps, down) * f *
+                             std::max(kScoreEps, up) * (1.0 - f);
         // Strict >: equal scores keep the earlier (lowest-id) candidate, so
         // selection is deterministic for any observation interleaving.
         if (score > best_score) {

@@ -42,8 +42,10 @@ public:
     [[nodiscard]] int observations(VarId var, bool up) const;
 
     // Picks the fractional integer variable with the largest product score
-    //   max(eps, est_down * f) * max(eps, est_up * (1 - f)),
-    // lowest variable id on ties; nullopt when `values` is integral.
+    //   max(eps, est_down) * f * max(eps, est_up) * (1 - f),
+    // lowest variable id on ties; nullopt when `values` is integral. The
+    // eps floor guards each directional estimate alone, so an all-zero
+    // table degrades to the most-fractional rule, never to id order.
     [[nodiscard]] std::optional<VarId> select(const Model& model,
                                               const std::vector<double>& values,
                                               double tolerance) const;

@@ -1,0 +1,991 @@
+#include "milp/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "milp/simplex.h"
+
+namespace hermes::milp {
+
+namespace {
+
+constexpr double kDropTol = 1e-12;   // entries below this are structural zero
+constexpr double kAbsPivTol = 1e-10; // absolute pivot floor (Markowitz stage)
+constexpr double kHintPivTol = 1e-7; // pivot floor when replaying a stored order
+constexpr double kTau = 0.1;         // threshold partial pivoting: |a| >= tau*colmax
+constexpr double kMuMax = 1e8;       // Forrest-Tomlin multiplier growth bound
+constexpr double kHyperFrac = 0.2;   // sparse-RHS density bound for the DFS path
+constexpr int kMarkowitzCands = 8;   // candidate columns examined per pivot
+
+}  // namespace
+
+void LuFactor::reset_pools() {
+    l_start_.assign(1, 0);
+    l_piv_row_.clear();
+    l_row_.clear();
+    l_val_.clear();
+    r_start_.assign(1, 0);
+    r_target_.clear();
+    r_row_.clear();
+    r_val_.clear();
+    ucol_.resize(m_);
+    urow_.resize(m_);
+    for (auto& c : ucol_) c.clear();
+    for (auto& r : urow_) r.clear();
+    udiag_.assign(m_, 0.0);
+    urowof_.assign(m_, -1);
+    slot_of_row_.assign(m_, -1);
+    rowver_.assign(m_, 0);
+    colver_.assign(m_, 0);
+    pivot_seq_.clear();
+    pivot_seq_.reserve(m_);
+    seq_pos_.assign(m_, -1);
+    work_.assign(m_, 0.0);
+    seed_val_.assign(m_, 0.0);
+    mark_.assign(m_, 0);
+    epoch_ = 0;
+    spike_.assign(m_, 0.0);
+    spike_list_.clear();
+    spike_valid_ = false;
+    mu_.assign(m_, 0.0);
+    mu_list_.clear();
+    mu_touched_.clear();
+}
+
+// One right-looking elimination step on the working matrix: pivot at
+// (pivot_row, pivot_col), with every other live row of the pivot column
+// reduced through an L multiplier. Singleton pivots take this same path with
+// empty update sets, so the factor layout is identical whichever stage chose
+// the pivot. Returns false only when the probed pivot entry has vanished.
+bool LuFactor::eliminate(std::size_t k, std::size_t pivot_row,
+                         std::size_t pivot_col) {
+    (void)k;
+    auto& prow = wrow_[pivot_row];
+    double pivot_val = 0.0;
+    bool found = false;
+    for (const auto& [col, val] : prow) {
+        if (static_cast<std::size_t>(col) == pivot_col) {
+            pivot_val = val;
+            found = true;
+            break;
+        }
+    }
+    if (!found || std::abs(pivot_val) <= kDropTol) return false;
+
+    // Surviving pivot-row entries become U entries of their columns.
+    std::vector<std::pair<std::int32_t, double>> urow_entries;
+    urow_entries.reserve(prow.size());
+    for (const auto& [col, val] : prow) {
+        if (static_cast<std::size_t>(col) == pivot_col || !col_active_[col]) continue;
+        urow_entries.emplace_back(col, val);
+    }
+
+    const auto push_bucket = [&](std::int32_t c) {
+        buckets_[std::min<std::size_t>(
+                     static_cast<std::size_t>(std::max(0, col_count_[c])), m_)]
+            .push_back(c);
+    };
+
+    // Reduce the other rows of the pivot column.
+    const std::size_t ops_before = l_row_.size();
+    for (const std::int32_t i : wcol_[pivot_col]) {
+        if (!row_active_[i] || static_cast<std::size_t>(i) == pivot_row) continue;
+        auto& row = wrow_[i];
+        std::size_t at = row.size();
+        for (std::size_t e = 0; e < row.size(); ++e) {
+            if (static_cast<std::size_t>(row[e].first) == pivot_col) {
+                at = e;
+                break;
+            }
+        }
+        if (at == row.size()) continue;  // stale column-list entry
+        const double mult = row[at].second / pivot_val;
+        row[at] = row.back();
+        row.pop_back();
+        --row_count_[i];
+        if (std::abs(mult) <= kDropTol) continue;
+        l_row_.push_back(i);
+        l_val_.push_back(mult);
+        // row_i -= mult * pivot_row over the surviving pivot-row pattern.
+        for (const auto& [c2, u] : urow_entries) {
+            std::size_t hit = row.size();
+            for (std::size_t e = 0; e < row.size(); ++e) {
+                if (row[e].first == c2) {
+                    hit = e;
+                    break;
+                }
+            }
+            if (hit != row.size()) {
+                row[hit].second -= mult * u;
+                if (std::abs(row[hit].second) <= kDropTol) {
+                    row[hit] = row.back();
+                    row.pop_back();
+                    --row_count_[i];
+                    --col_count_[c2];
+                    push_bucket(c2);
+                }
+            } else {
+                const double fill = -mult * u;
+                if (std::abs(fill) <= kDropTol) continue;
+                row.emplace_back(c2, fill);
+                wcol_[c2].push_back(i);
+                ++row_count_[i];
+                ++col_count_[c2];
+                push_bucket(c2);
+            }
+        }
+    }
+    if (l_row_.size() > ops_before) {
+        l_piv_row_.push_back(static_cast<std::int32_t>(pivot_row));
+        l_start_.push_back(static_cast<std::int64_t>(l_row_.size()));
+    }
+
+    // Record U entries and retire the pivot row and column.
+    const auto slot = static_cast<std::int32_t>(pivot_col);
+    for (const auto& [c2, u] : urow_entries) {
+        ucol_[c2].push_back({slot, u, rowver_[slot]});
+        urow_[slot].push_back({c2, u, colver_[c2]});
+        --col_count_[c2];
+        push_bucket(c2);
+    }
+    udiag_[pivot_col] = pivot_val;
+    urowof_[pivot_col] = static_cast<std::int32_t>(pivot_row);
+    slot_of_row_[pivot_row] = slot;
+    seq_pos_[pivot_col] = static_cast<std::int32_t>(pivot_seq_.size());
+    pivot_seq_.push_back(slot);
+    row_active_[pivot_row] = 0;
+    col_active_[pivot_col] = 0;
+    row_count_[pivot_row] = 0;
+    col_count_[pivot_col] = 0;
+    return true;
+}
+
+bool LuFactor::factorize(const LpContext& ctx, std::span<const std::int32_t> basic,
+                         std::span<const std::int32_t> hint_slot,
+                         std::span<const std::int32_t> hint_row) {
+    m_ = basic.size();
+    valid_ = false;
+    reset_pools();
+    if (m_ == 0) {
+        valid_ = true;
+        ++stats_.refactorizations;
+        return true;
+    }
+
+    const std::size_t n = ctx.structurals();
+    const auto& col_start = ctx.col_start();
+    const auto& row_idx = ctx.row_idx();
+    const auto& vals = ctx.values();
+
+    wrow_.resize(m_);
+    wcol_.resize(m_);
+    for (auto& r : wrow_) r.clear();
+    for (auto& c : wcol_) c.clear();
+    row_count_.assign(m_, 0);
+    col_count_.assign(m_, 0);
+    row_active_.assign(m_, 1);
+    col_active_.assign(m_, 1);
+    buckets_.resize(m_ + 1);
+    for (auto& b : buckets_) b.clear();
+
+    std::int64_t nnz = 0;
+    for (std::size_t j = 0; j < m_; ++j) {
+        const auto v = static_cast<std::size_t>(basic[j]);
+        const auto add = [&](std::size_t row, double val) {
+            wrow_[row].emplace_back(static_cast<std::int32_t>(j), val);
+            wcol_[j].push_back(static_cast<std::int32_t>(row));
+            ++row_count_[row];
+            ++col_count_[j];
+            ++nnz;
+        };
+        if (v >= n) {
+            add(v - n, 1.0);
+        } else {
+            const auto begin = static_cast<std::size_t>(col_start[v]);
+            const auto end = static_cast<std::size_t>(col_start[v + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                add(static_cast<std::size_t>(row_idx[i]), vals[i]);
+            }
+        }
+        if (col_count_[j] == 0) return false;  // empty column: singular
+    }
+    stats_.basis_nnz += static_cast<double>(nnz);
+
+    if (hint_slot.size() == m_ && hint_row.size() == m_) {
+        // Replay a stored pivot order (warm-start snapshot). Any missing or
+        // shrunken pivot abandons the replay; the caller retries Markowitz.
+        for (std::size_t k = 0; k < m_; ++k) {
+            const std::int32_t c = hint_slot[k];
+            const std::int32_t r = hint_row[k];
+            if (c < 0 || static_cast<std::size_t>(c) >= m_ || r < 0 ||
+                static_cast<std::size_t>(r) >= m_ || !col_active_[c] ||
+                !row_active_[r]) {
+                return false;
+            }
+            double val = 0.0;
+            bool found = false;
+            for (const auto& [col, v] : wrow_[r]) {
+                if (col == c) {
+                    val = v;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found || std::abs(val) < kHintPivTol) return false;
+            if (!eliminate(k, static_cast<std::size_t>(r),
+                           static_cast<std::size_t>(c))) {
+                return false;
+            }
+        }
+    } else {
+        std::vector<std::int32_t> col_single, row_single;
+        for (std::size_t j = 0; j < m_; ++j) {
+            buckets_[std::min<std::size_t>(
+                         static_cast<std::size_t>(col_count_[j]), m_)]
+                .push_back(static_cast<std::int32_t>(j));
+            if (col_count_[j] == 1) col_single.push_back(static_cast<std::int32_t>(j));
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (row_count_[i] == 1) row_single.push_back(static_cast<std::int32_t>(i));
+        }
+
+        const auto live_row_of_col = [&](std::int32_t c) -> std::int32_t {
+            for (const std::int32_t i : wcol_[c]) {
+                if (!row_active_[i]) continue;
+                for (const auto& [col, v] : wrow_[i]) {
+                    if (col == c) return i;
+                }
+            }
+            return -1;
+        };
+        const auto live_col_of_row = [&](std::int32_t r) -> std::int32_t {
+            for (const auto& [col, v] : wrow_[r]) {
+                if (col_active_[col]) return col;
+            }
+            return -1;
+        };
+
+        std::size_t pivots = 0;
+        while (pivots < m_) {
+            // Stage 1: zero-fill singleton pivots until none remain.
+            bool advanced = true;
+            while (advanced) {
+                advanced = false;
+                while (!col_single.empty()) {
+                    const std::int32_t c = col_single.back();
+                    col_single.pop_back();
+                    if (!col_active_[c] || col_count_[c] != 1) continue;
+                    const std::int32_t r = live_row_of_col(c);
+                    if (r < 0) return false;
+                    if (!eliminate(pivots, static_cast<std::size_t>(r),
+                                   static_cast<std::size_t>(c))) {
+                        return false;
+                    }
+                    ++pivots;
+                    advanced = true;
+                    for (const auto& [col, v] : wrow_[r]) {
+                        if (col_active_[col] && col_count_[col] == 1) {
+                            col_single.push_back(col);
+                        }
+                    }
+                }
+                while (!row_single.empty()) {
+                    const std::int32_t r = row_single.back();
+                    row_single.pop_back();
+                    if (!row_active_[r] || row_count_[r] != 1) continue;
+                    const std::int32_t c = live_col_of_row(r);
+                    if (c < 0) return false;
+                    // Snapshot the rows the pivot column reaches before it is
+                    // retired, to seed new row singletons afterwards.
+                    std::vector<std::int32_t> touched(wcol_[c]);
+                    if (!eliminate(pivots, static_cast<std::size_t>(r),
+                                   static_cast<std::size_t>(c))) {
+                        return false;
+                    }
+                    ++pivots;
+                    advanced = true;
+                    for (const std::int32_t i : touched) {
+                        if (row_active_[i] && row_count_[i] == 1) {
+                            row_single.push_back(i);
+                        }
+                    }
+                    if (!col_single.empty()) break;  // prefer zero-fill columns
+                }
+            }
+            if (pivots >= m_) break;
+
+            // Stage 2: one Markowitz pivot from the lowest-count buckets with
+            // threshold partial pivoting, then return to the singleton sweep.
+            std::vector<std::int32_t> cand;
+            for (std::size_t cc = 1;
+                 cc <= m_ && cand.size() < static_cast<std::size_t>(kMarkowitzCands);
+                 ++cc) {
+                auto& bucket = buckets_[cc];
+                while (!bucket.empty() &&
+                       cand.size() < static_cast<std::size_t>(kMarkowitzCands)) {
+                    const std::int32_t c = bucket.back();
+                    bucket.pop_back();
+                    if (!col_active_[c] ||
+                        static_cast<std::size_t>(col_count_[c]) != cc) {
+                        continue;  // stale bucket entry: drop it
+                    }
+                    if (std::find(cand.begin(), cand.end(), c) == cand.end()) {
+                        cand.push_back(c);
+                    }
+                }
+            }
+            std::int32_t best_row = -1, best_col = -1;
+            double best_val = 0.0;
+            std::int64_t best_cost = -1;
+            for (const std::int32_t c : cand) {
+                double colmax = 0.0;
+                for (const std::int32_t i : wcol_[c]) {
+                    if (!row_active_[i]) continue;
+                    for (const auto& [col, v] : wrow_[i]) {
+                        if (col == c) {
+                            colmax = std::max(colmax, std::abs(v));
+                            break;
+                        }
+                    }
+                }
+                if (colmax <= kAbsPivTol) continue;
+                for (const std::int32_t i : wcol_[c]) {
+                    if (!row_active_[i]) continue;
+                    double v = 0.0;
+                    bool found = false;
+                    for (const auto& [col, vv] : wrow_[i]) {
+                        if (col == c) {
+                            v = vv;
+                            found = true;
+                            break;
+                        }
+                    }
+                    if (!found || std::abs(v) < kTau * colmax ||
+                        std::abs(v) <= kAbsPivTol) {
+                        continue;
+                    }
+                    const std::int64_t cost =
+                        static_cast<std::int64_t>(row_count_[i] - 1) *
+                        static_cast<std::int64_t>(col_count_[c] - 1);
+                    if (best_cost < 0 || cost < best_cost ||
+                        (cost == best_cost && std::abs(v) > std::abs(best_val))) {
+                        best_cost = cost;
+                        best_row = i;
+                        best_col = c;
+                        best_val = v;
+                    }
+                }
+            }
+            if (best_row < 0) return false;  // numerically singular bump
+            // Return the unselected candidates to their buckets.
+            for (const std::int32_t c : cand) {
+                if (c == best_col) continue;
+                buckets_[std::min<std::size_t>(
+                             static_cast<std::size_t>(col_count_[c]), m_)]
+                    .push_back(c);
+            }
+            const auto pre_col_rows = wcol_[best_col];
+            if (!eliminate(pivots, static_cast<std::size_t>(best_row),
+                           static_cast<std::size_t>(best_col))) {
+                return false;
+            }
+            ++pivots;
+            for (const auto& [col, v] : wrow_[best_row]) {
+                if (col_active_[col] && col_count_[col] == 1) col_single.push_back(col);
+            }
+            for (const std::int32_t i : pre_col_rows) {
+                if (row_active_[i] && row_count_[i] == 1) row_single.push_back(i);
+            }
+        }
+    }
+
+    // Row -> L-op incidence for the hypersparse BTRAN-L^T walk.
+    const std::size_t ops = l_piv_row_.size();
+    lrow_start_.assign(m_ + 1, 0);
+    for (const std::int32_t i : l_row_) ++lrow_start_[static_cast<std::size_t>(i) + 1];
+    for (std::size_t i = 0; i < m_; ++i) lrow_start_[i + 1] += lrow_start_[i];
+    lrow_op_.resize(l_row_.size());
+    {
+        std::vector<std::int64_t> cursor(lrow_start_.begin(), lrow_start_.end() - 1);
+        for (std::size_t k = 0; k < ops; ++k) {
+            const auto begin = static_cast<std::size_t>(l_start_[k]);
+            const auto end = static_cast<std::size_t>(l_start_[k + 1]);
+            for (std::size_t e = begin; e < end; ++e) {
+                lrow_op_[static_cast<std::size_t>(
+                    cursor[static_cast<std::size_t>(l_row_[e])]++)] =
+                    static_cast<std::int32_t>(k);
+            }
+        }
+    }
+    lop_mark_.assign(ops, 0);
+    lop_epoch_ = 0;
+
+    std::int64_t fill = static_cast<std::int64_t>(l_val_.size()) +
+                        static_cast<std::int64_t>(m_);
+    for (const auto& c : ucol_) fill += static_cast<std::int64_t>(c.size());
+    stats_.fill_nnz += static_cast<double>(fill);
+    ++stats_.refactorizations;
+    valid_ = true;
+    return true;
+}
+
+void LuFactor::apply_l_ftran(std::vector<double>& v, std::vector<std::int32_t>* list) {
+    const std::size_t ops = l_piv_row_.size();
+    for (std::size_t k = 0; k < ops; ++k) {
+        const double t = v[static_cast<std::size_t>(l_piv_row_[k])];
+        if (t == 0.0) continue;
+        const auto begin = static_cast<std::size_t>(l_start_[k]);
+        const auto end = static_cast<std::size_t>(l_start_[k + 1]);
+        for (std::size_t e = begin; e < end; ++e) {
+            const auto i = static_cast<std::size_t>(l_row_[e]);
+            v[i] -= l_val_[e] * t;
+            if (list != nullptr && mark_[i] != epoch_) {
+                mark_[i] = epoch_;
+                list->push_back(static_cast<std::int32_t>(i));
+            }
+        }
+    }
+}
+
+void LuFactor::apply_r_ftran(std::vector<double>& v, std::vector<std::int32_t>* list) {
+    const std::size_t ops = r_target_.size();
+    for (std::size_t k = 0; k < ops; ++k) {
+        const auto begin = static_cast<std::size_t>(r_start_[k]);
+        const auto end = static_cast<std::size_t>(r_start_[k + 1]);
+        double acc = 0.0;
+        for (std::size_t e = begin; e < end; ++e) {
+            acc += r_val_[e] * v[static_cast<std::size_t>(r_row_[e])];
+        }
+        if (acc == 0.0) continue;
+        const auto tr = static_cast<std::size_t>(r_target_[k]);
+        v[tr] -= acc;
+        if (list != nullptr && mark_[tr] != epoch_) {
+            mark_[tr] = epoch_;
+            list->push_back(static_cast<std::int32_t>(tr));
+        }
+    }
+}
+
+// Backward substitution through U. `work` holds the L/R-applied RHS over
+// rows (consumed and re-zeroed); the result lands in x over slots with its
+// nonzero slots appended to xlist (x is all-zero on entry by contract).
+void LuFactor::solve_u_ftran(std::vector<double>& work, std::vector<double>& x,
+                             std::vector<std::int32_t>& xlist,
+                             const std::vector<std::int32_t>& seed_rows,
+                             bool force_dense) {
+    const bool hyper =
+        !force_dense &&
+        seed_rows.size() < std::max<std::size_t>(
+                               16, static_cast<std::size_t>(
+                                       kHyperFrac * static_cast<double>(m_)));
+    if (hyper) {
+        // Reachability over the U dependency DAG: processing slot s scatters
+        // into the pivot rows named by ucol_[s], so the result pattern is the
+        // closure of the seed slots under those edges. The DFS emits
+        // postorder — every slot lands after the slots it scatters into — so
+        // walking reach_ backwards is already topological, no sort needed.
+        reach_.clear();
+        dstack_.clear();
+        ++epoch_;
+        for (const std::int32_t row : seed_rows) {
+            const std::int32_t seed = slot_of_row_[static_cast<std::size_t>(row)];
+            if (mark_[static_cast<std::size_t>(seed)] == epoch_) continue;
+            mark_[static_cast<std::size_t>(seed)] = epoch_;
+            dstack_.push_back({seed, 0});
+            while (!dstack_.empty()) {
+                auto& top = dstack_.back();
+                const auto& col = ucol_[static_cast<std::size_t>(top.first)];
+                std::int32_t child = -1;
+                auto i = static_cast<std::size_t>(top.second);
+                for (; i < col.size(); ++i) {
+                    const UEntry& e = col[i];
+                    if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+                    if (mark_[static_cast<std::size_t>(e.slot)] == epoch_) continue;
+                    child = e.slot;
+                    ++i;
+                    break;
+                }
+                top.second = static_cast<std::int32_t>(i);
+                if (child >= 0) {
+                    mark_[static_cast<std::size_t>(child)] = epoch_;
+                    dstack_.push_back({child, 0});
+                } else {
+                    reach_.push_back(top.first);
+                    dstack_.pop_back();
+                }
+            }
+        }
+        for (std::size_t r = reach_.size(); r-- > 0;) {
+            const std::int32_t s = reach_[r];
+            const auto row =
+                static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)]);
+            const double t = work[row];
+            work[row] = 0.0;
+            if (t == 0.0) continue;
+            const double xv = t / udiag_[static_cast<std::size_t>(s)];
+            x[static_cast<std::size_t>(s)] = xv;
+            xlist.push_back(s);
+            for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+                if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+                work[static_cast<std::size_t>(
+                    urowof_[static_cast<std::size_t>(e.slot)])] -= e.val * xv;
+            }
+        }
+        ++stats_.hyper_solves;
+    } else {
+        for (std::size_t pos = m_; pos-- > 0;) {
+            const std::int32_t s = pivot_seq_[pos];
+            const auto row =
+                static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)]);
+            const double t = work[row];
+            work[row] = 0.0;
+            if (t == 0.0) continue;
+            const double xv = t / udiag_[static_cast<std::size_t>(s)];
+            x[static_cast<std::size_t>(s)] = xv;
+            xlist.push_back(s);
+            for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+                if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+                work[static_cast<std::size_t>(
+                    urowof_[static_cast<std::size_t>(e.slot)])] -= e.val * xv;
+            }
+        }
+        ++stats_.dense_solves;
+    }
+}
+
+void LuFactor::ftran_column(const LpContext& ctx, std::int32_t var,
+                            std::vector<double>& x,
+                            std::vector<std::int32_t>& xlist) {
+    if (x.size() != m_) {
+        x.assign(m_, 0.0);
+        xlist.clear();
+    }
+    for (const std::int32_t s : xlist) x[static_cast<std::size_t>(s)] = 0.0;
+    xlist.clear();
+    if (m_ == 0) return;
+
+    ++epoch_;
+    for (const std::int32_t row : spike_list_) {
+        spike_[static_cast<std::size_t>(row)] = 0.0;
+    }
+    spike_list_.clear();
+    const std::size_t n = ctx.structurals();
+    if (static_cast<std::size_t>(var) >= n) {
+        const auto row = static_cast<std::size_t>(var) - n;
+        spike_[row] = 1.0;
+        mark_[row] = epoch_;
+        spike_list_.push_back(static_cast<std::int32_t>(row));
+    } else {
+        const auto& col_start = ctx.col_start();
+        const auto& row_idx = ctx.row_idx();
+        const auto& vals = ctx.values();
+        const auto begin =
+            static_cast<std::size_t>(col_start[static_cast<std::size_t>(var)]);
+        const auto end =
+            static_cast<std::size_t>(col_start[static_cast<std::size_t>(var) + 1]);
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto row = static_cast<std::size_t>(row_idx[i]);
+            spike_[row] = vals[i];
+            mark_[row] = epoch_;
+            spike_list_.push_back(static_cast<std::int32_t>(row));
+        }
+    }
+    apply_l_ftran(spike_, &spike_list_);
+    apply_r_ftran(spike_, &spike_list_);
+    spike_valid_ = true;
+
+    for (const std::int32_t row : spike_list_) {
+        work_[static_cast<std::size_t>(row)] =
+            spike_[static_cast<std::size_t>(row)];
+    }
+    solve_u_ftran(work_, x, xlist, spike_list_, /*force_dense=*/false);
+}
+
+void LuFactor::ftran_dense(std::vector<double>& b_rows, std::vector<double>& x_slots) {
+    x_slots.assign(m_, 0.0);
+    if (m_ == 0) return;
+    apply_l_ftran(b_rows, nullptr);
+    apply_r_ftran(b_rows, nullptr);
+    for (std::size_t pos = m_; pos-- > 0;) {
+        const std::int32_t s = pivot_seq_[pos];
+        const auto row = static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)]);
+        const double t = b_rows[row];
+        if (t == 0.0) continue;
+        const double xv = t / udiag_[static_cast<std::size_t>(s)];
+        x_slots[static_cast<std::size_t>(s)] = xv;
+        for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+            if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+            b_rows[static_cast<std::size_t>(
+                urowof_[static_cast<std::size_t>(e.slot)])] -= e.val * xv;
+        }
+    }
+    ++stats_.dense_solves;
+}
+
+void LuFactor::btran_unit(std::size_t slot, std::vector<double>& rho,
+                          std::vector<std::int32_t>& rholist) {
+    const auto s = static_cast<std::int32_t>(slot);
+    const double one = 1.0;
+    btran_seeds({&s, 1}, {&one, 1}, rho, rholist);
+}
+
+void LuFactor::btran_seeds(std::span<const std::int32_t> slots,
+                           std::span<const double> vals,
+                           std::vector<double>& rho,
+                           std::vector<std::int32_t>& rholist) {
+    if (rho.size() != m_) {
+        rho.assign(m_, 0.0);
+        rholist.clear();
+    }
+    for (const std::int32_t r : rholist) rho[static_cast<std::size_t>(r)] = 0.0;
+    rholist.clear();
+    if (m_ == 0) return;
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        seed_val_[static_cast<std::size_t>(slots[i])] += vals[i];
+    }
+
+    const std::size_t cap = std::max<std::size_t>(
+        16, static_cast<std::size_t>(kHyperFrac * static_cast<double>(m_)));
+
+    // U^T forward solve. The dependency edges run from a slot to the later
+    // slots whose U columns gather its pivot row — exactly urow_. The DFS
+    // emits postorder (walking reach_ backwards visits a slot before every
+    // slot that depends on it) and aborts to the dense pass once the
+    // reached set stops being sparse.
+    reach_.clear();
+    dstack_.clear();
+    bool u_hyper = slots.size() <= cap;
+    std::size_t reached = 0;
+    ++epoch_;
+    for (const std::int32_t seed : slots) {
+        if (!u_hyper) break;
+        if (mark_[static_cast<std::size_t>(seed)] == epoch_) continue;
+        mark_[static_cast<std::size_t>(seed)] = epoch_;
+        if (++reached > cap) {
+            u_hyper = false;
+            break;
+        }
+        dstack_.push_back({seed, 0});
+        while (!dstack_.empty()) {
+            auto& top = dstack_.back();
+            const auto& row = urow_[static_cast<std::size_t>(top.first)];
+            std::int32_t child = -1;
+            auto i = static_cast<std::size_t>(top.second);
+            for (; i < row.size(); ++i) {
+                const UEntry& e = row[i];
+                if (e.ver != colver_[static_cast<std::size_t>(e.slot)]) continue;
+                if (mark_[static_cast<std::size_t>(e.slot)] == epoch_) continue;
+                child = e.slot;
+                ++i;
+                break;
+            }
+            top.second = static_cast<std::int32_t>(i);
+            if (child >= 0) {
+                mark_[static_cast<std::size_t>(child)] = epoch_;
+                if (++reached > cap) {
+                    u_hyper = false;
+                    break;
+                }
+                dstack_.push_back({child, 0});
+            } else {
+                reach_.push_back(top.first);
+                dstack_.pop_back();
+            }
+        }
+    }
+    ++epoch_;  // the DFS slot marks are dead; row marks below use a fresh epoch
+    if (u_hyper) {
+        for (std::size_t r = reach_.size(); r-- > 0;) {
+            const std::int32_t s = reach_[r];
+            double acc = seed_val_[static_cast<std::size_t>(s)];
+            for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+                if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+                acc -= e.val *
+                       rho[static_cast<std::size_t>(
+                           urowof_[static_cast<std::size_t>(e.slot)])];
+            }
+            if (acc == 0.0) continue;
+            const auto row =
+                static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)]);
+            rho[row] = acc / udiag_[static_cast<std::size_t>(s)];
+            if (mark_[row] != epoch_) {
+                mark_[row] = epoch_;
+                rholist.push_back(static_cast<std::int32_t>(row));
+            }
+        }
+    } else {
+        for (std::size_t pos = 0; pos < m_; ++pos) {
+            const std::int32_t s = pivot_seq_[pos];
+            double acc = seed_val_[static_cast<std::size_t>(s)];
+            for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+                if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+                acc -= e.val *
+                       rho[static_cast<std::size_t>(
+                           urowof_[static_cast<std::size_t>(e.slot)])];
+            }
+            if (acc == 0.0) continue;
+            const auto row =
+                static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)]);
+            rho[row] = acc / udiag_[static_cast<std::size_t>(s)];
+            if (mark_[row] != epoch_) {
+                mark_[row] = epoch_;
+                rholist.push_back(static_cast<std::int32_t>(row));
+            }
+        }
+    }
+
+    for (const std::int32_t s : slots) seed_val_[static_cast<std::size_t>(s)] = 0.0;
+
+    // R^T, newest update first: each op folds its target into its sources.
+    for (std::size_t k = r_target_.size(); k-- > 0;) {
+        const double t = rho[static_cast<std::size_t>(r_target_[k])];
+        if (t == 0.0) continue;
+        const auto begin = static_cast<std::size_t>(r_start_[k]);
+        const auto end = static_cast<std::size_t>(r_start_[k + 1]);
+        for (std::size_t e = begin; e < end; ++e) {
+            const auto i = static_cast<std::size_t>(r_row_[e]);
+            rho[i] -= r_val_[e] * t;
+            if (mark_[i] != epoch_) {
+                mark_[i] = epoch_;
+                rholist.push_back(static_cast<std::int32_t>(i));
+            }
+        }
+    }
+
+    // L^T, newest op first. Hypersparse: an op can only fire if one of its
+    // source rows is already nonzero, so collect the ops reachable from the
+    // current nonzero set through the row->op incidence and apply just those.
+    const std::size_t ops = l_piv_row_.size();
+    const bool l_hyper = rholist.size() < cap || ops == 0;
+    if (l_hyper && ops > 0) {
+        // DFS with its own epoch for row-visited marks; op-visited marks live
+        // in lop_mark_. Firing op k makes its pivot row a potential source.
+        ++epoch_;
+        ++lop_epoch_;
+        reach_.clear();
+        stack_.assign(rholist.begin(), rholist.end());
+        for (const std::int32_t r : rholist) {
+            mark_[static_cast<std::size_t>(r)] = epoch_;
+        }
+        while (!stack_.empty()) {
+            const auto row = static_cast<std::size_t>(stack_.back());
+            stack_.pop_back();
+            const auto begin = static_cast<std::size_t>(lrow_start_[row]);
+            const auto end = static_cast<std::size_t>(lrow_start_[row + 1]);
+            for (std::size_t e = begin; e < end; ++e) {
+                const std::int32_t k = lrow_op_[e];
+                if (lop_mark_[static_cast<std::size_t>(k)] == lop_epoch_) continue;
+                lop_mark_[static_cast<std::size_t>(k)] = lop_epoch_;
+                reach_.push_back(k);
+                const auto piv =
+                    static_cast<std::size_t>(l_piv_row_[static_cast<std::size_t>(k)]);
+                if (mark_[piv] != epoch_) {
+                    mark_[piv] = epoch_;
+                    stack_.push_back(static_cast<std::int32_t>(piv));
+                }
+            }
+        }
+        std::sort(reach_.begin(), reach_.end(), std::greater<std::int32_t>());
+        // Fresh epoch for nonzero membership: the DFS marks above include
+        // rows that may stay zero and must not block a rholist append.
+        ++epoch_;
+        for (const std::int32_t r : rholist) {
+            mark_[static_cast<std::size_t>(r)] = epoch_;
+        }
+        for (const std::int32_t k : reach_) {
+            const auto begin =
+                static_cast<std::size_t>(l_start_[static_cast<std::size_t>(k)]);
+            const auto end =
+                static_cast<std::size_t>(l_start_[static_cast<std::size_t>(k) + 1]);
+            double acc = 0.0;
+            for (std::size_t e = begin; e < end; ++e) {
+                acc += l_val_[e] * rho[static_cast<std::size_t>(l_row_[e])];
+            }
+            if (acc == 0.0) continue;
+            const auto piv =
+                static_cast<std::size_t>(l_piv_row_[static_cast<std::size_t>(k)]);
+            rho[piv] -= acc;
+            if (mark_[piv] != epoch_) {
+                mark_[piv] = epoch_;
+                rholist.push_back(static_cast<std::int32_t>(piv));
+            }
+        }
+    } else if (ops > 0) {
+        for (std::size_t k = ops; k-- > 0;) {
+            const auto begin = static_cast<std::size_t>(l_start_[k]);
+            const auto end = static_cast<std::size_t>(l_start_[k + 1]);
+            double acc = 0.0;
+            for (std::size_t e = begin; e < end; ++e) {
+                acc += l_val_[e] * rho[static_cast<std::size_t>(l_row_[e])];
+            }
+            if (acc == 0.0) continue;
+            const auto piv = static_cast<std::size_t>(l_piv_row_[k]);
+            rho[piv] -= acc;
+            if (mark_[piv] != epoch_) {
+                mark_[piv] = epoch_;
+                rholist.push_back(static_cast<std::int32_t>(piv));
+            }
+        }
+    }
+    if (u_hyper && l_hyper) {
+        ++stats_.hyper_solves;
+    } else {
+        ++stats_.dense_solves;
+    }
+}
+
+void LuFactor::btran_dense(const std::vector<double>& c_slots,
+                           std::vector<double>& y_rows) {
+    y_rows.assign(m_, 0.0);
+    for (std::size_t pos = 0; pos < m_; ++pos) {
+        const std::int32_t s = pivot_seq_[pos];
+        double acc = c_slots[static_cast<std::size_t>(s)];
+        for (const UEntry& e : ucol_[static_cast<std::size_t>(s)]) {
+            if (e.ver != rowver_[static_cast<std::size_t>(e.slot)]) continue;
+            acc -= e.val *
+                   y_rows[static_cast<std::size_t>(
+                       urowof_[static_cast<std::size_t>(e.slot)])];
+        }
+        if (acc == 0.0) continue;
+        y_rows[static_cast<std::size_t>(urowof_[static_cast<std::size_t>(s)])] =
+            acc / udiag_[static_cast<std::size_t>(s)];
+    }
+    for (std::size_t k = r_target_.size(); k-- > 0;) {
+        const double t = y_rows[static_cast<std::size_t>(r_target_[k])];
+        if (t == 0.0) continue;
+        const auto begin = static_cast<std::size_t>(r_start_[k]);
+        const auto end = static_cast<std::size_t>(r_start_[k + 1]);
+        for (std::size_t e = begin; e < end; ++e) {
+            y_rows[static_cast<std::size_t>(r_row_[e])] -= r_val_[e] * t;
+        }
+    }
+    for (std::size_t k = l_piv_row_.size(); k-- > 0;) {
+        const auto begin = static_cast<std::size_t>(l_start_[k]);
+        const auto end = static_cast<std::size_t>(l_start_[k + 1]);
+        double acc = 0.0;
+        for (std::size_t e = begin; e < end; ++e) {
+            acc += l_val_[e] * y_rows[static_cast<std::size_t>(l_row_[e])];
+        }
+        if (acc != 0.0) {
+            y_rows[static_cast<std::size_t>(l_piv_row_[k])] -= acc;
+        }
+    }
+    ++stats_.dense_solves;
+}
+
+bool LuFactor::update(std::size_t slot) {
+    if (!spike_valid_ || m_ == 0) return false;
+    const auto j0 = static_cast<std::size_t>(seq_pos_[slot]);
+
+    // Multipliers eliminating the displaced U row: mu solves mu^T U~ = r^T
+    // over the sub-order after j0, computed by scattering each finalized mu
+    // through that slot's U row (the natural pivot-order recurrence). Every
+    // live urow_ entry targets a strictly later slot, so one ascending pass
+    // over positions suffices.
+    mu_list_.clear();
+    mu_touched_.clear();
+    for (const UEntry& e : urow_[slot]) {
+        if (e.ver != colver_[static_cast<std::size_t>(e.slot)]) continue;
+        mu_[static_cast<std::size_t>(e.slot)] += e.val;
+        mu_touched_.push_back(e.slot);
+    }
+    bool ok = true;
+    for (std::size_t pos = j0 + 1; pos < m_; ++pos) {
+        const auto s = static_cast<std::size_t>(pivot_seq_[pos]);
+        const double num = mu_[s];
+        if (num == 0.0) continue;
+        const double mv = num / udiag_[s];
+        if (std::abs(mv) <= kDropTol) {
+            mu_[s] = 0.0;
+            continue;
+        }
+        if (std::abs(mv) > kMuMax) {
+            ok = false;
+            break;
+        }
+        mu_[s] = mv;
+        mu_list_.push_back(static_cast<std::int32_t>(s));
+        for (const UEntry& e : urow_[s]) {
+            if (e.ver != colver_[static_cast<std::size_t>(e.slot)]) continue;
+            if (mu_[static_cast<std::size_t>(e.slot)] == 0.0) {
+                mu_touched_.push_back(e.slot);
+            }
+            mu_[static_cast<std::size_t>(e.slot)] -= mv * e.val;
+        }
+    }
+
+    double diag = 0.0;
+    if (ok) {
+        double spike_max = 0.0;
+        diag = spike_[static_cast<std::size_t>(urowof_[slot])];
+        for (const std::int32_t s : mu_list_) {
+            diag -= mu_[static_cast<std::size_t>(s)] *
+                    spike_[static_cast<std::size_t>(
+                        urowof_[static_cast<std::size_t>(s)])];
+        }
+        for (const std::int32_t row : spike_list_) {
+            spike_max = std::max(spike_max,
+                                 std::abs(spike_[static_cast<std::size_t>(row)]));
+        }
+        if (std::abs(diag) <= 1e-9 * (1.0 + spike_max)) ok = false;
+    }
+    if (!ok) {
+        for (const std::int32_t s : mu_touched_) mu_[static_cast<std::size_t>(s)] = 0.0;
+        for (const std::int32_t s : mu_list_) mu_[static_cast<std::size_t>(s)] = 0.0;
+        mu_list_.clear();
+        return false;  // factor unchanged; caller refactorizes
+    }
+
+    if (!mu_list_.empty()) {
+        r_target_.push_back(urowof_[slot]);
+        for (const std::int32_t s : mu_list_) {
+            r_row_.push_back(urowof_[static_cast<std::size_t>(s)]);
+            r_val_.push_back(mu_[static_cast<std::size_t>(s)]);
+        }
+        r_start_.push_back(static_cast<std::int64_t>(r_row_.size()));
+    }
+
+    // Retire the old row and column of the leaving slot (lazily, by version
+    // bump), install the spike as the new last column, and rotate the pivot
+    // order. The slot keeps its pivot row, so slot_of_row_ is untouched.
+    ++rowver_[slot];
+    ++colver_[slot];
+    urow_[slot].clear();
+    ucol_[slot].clear();
+    for (const std::int32_t row : spike_list_) {
+        const double val = spike_[static_cast<std::size_t>(row)];
+        if (std::abs(val) <= kDropTol) continue;
+        const auto s =
+            static_cast<std::size_t>(slot_of_row_[static_cast<std::size_t>(row)]);
+        if (s == slot) continue;  // the diagonal, post-elimination, is `diag`
+        ucol_[slot].push_back({static_cast<std::int32_t>(s), val, rowver_[s]});
+        urow_[s].push_back({static_cast<std::int32_t>(slot), val, colver_[slot]});
+    }
+    udiag_[slot] = diag;
+    pivot_seq_.erase(pivot_seq_.begin() + static_cast<std::ptrdiff_t>(j0));
+    pivot_seq_.push_back(static_cast<std::int32_t>(slot));
+    for (std::size_t pos = j0; pos < m_; ++pos) {
+        seq_pos_[static_cast<std::size_t>(pivot_seq_[pos])] =
+            static_cast<std::int32_t>(pos);
+    }
+
+    for (const std::int32_t s : mu_touched_) mu_[static_cast<std::size_t>(s)] = 0.0;
+    for (const std::int32_t s : mu_list_) mu_[static_cast<std::size_t>(s)] = 0.0;
+    mu_list_.clear();
+    spike_valid_ = false;
+    ++stats_.ft_updates;
+    return true;
+}
+
+void LuFactor::export_pivot_order(std::vector<std::int32_t>& slot_out,
+                                  std::vector<std::int32_t>& row_out) const {
+    slot_out.assign(pivot_seq_.begin(), pivot_seq_.end());
+    row_out.resize(m_);
+    for (std::size_t pos = 0; pos < m_; ++pos) {
+        row_out[pos] = urowof_[static_cast<std::size_t>(pivot_seq_[pos])];
+    }
+}
+
+}  // namespace hermes::milp

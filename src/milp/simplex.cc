@@ -1,10 +1,22 @@
-#include "milp/simplex.h"
-
+// The default LP kernel: revised primal simplex over the sparse LU basis
+// factorization in milp/lu.h, with Forrest-Tomlin updates per pivot, Devex
+// candidate-list pricing maintained incrementally from the BTRANed pivot
+// row, and a long-step (bound-flipping) phase-1 ratio test. The warm/cold
+// attempt protocol — crossed-bound rejection, crash gate, pivot budget,
+// confirm-before-declare, constraint re-verification — is shared verbatim
+// with the retained eta kernel (simplex_eta.cc); see simplex.h for the
+// solver-level contract and DESIGN.md 5e for the numbers behind the knobs.
+//
+// This file also owns LpContext construction (CSC columns plus the CSR
+// mirror the pricing update scatters through) and the kernel dispatch.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "milp/simplex.h"
 
 namespace hermes::milp {
 
@@ -15,6 +27,8 @@ constexpr double kFeasTol = 1e-7;   // primal bound feasibility
 constexpr double kPivTol = 1e-7;    // smallest acceptable pivot magnitude
 constexpr double kDropTol = 1e-12;  // entries below this are structural zero
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kCandMax = 64;   // pricing candidate-list capacity
+constexpr double kDevexReset = 1e8;    // weight overflow -> reset framework
 
 constexpr std::int8_t kAtLower = 0;
 constexpr std::int8_t kAtUpper = 1;
@@ -29,16 +43,15 @@ constexpr std::int8_t kBasic = 2;
                std::chrono::duration<double>(max_seconds));
 }
 
-}  // namespace
-
-// One solve attempt-pair (warm then cold) over an LpContext. All state lives
-// in the caller-supplied workspace so branch-and-bound workers reuse their
-// eta pools across thousands of node re-solves.
-class RevisedSimplex {
+// One solve attempt-pair (warm then cold) over an LpContext. Slots are
+// stable basis positions (x_B[slot] belongs to basic[slot]); a pivot swaps
+// the variable in one slot and applies a Forrest-Tomlin update, never
+// renumbering the others.
+class LuSimplex {
 public:
-    RevisedSimplex(const LpContext& ctx, std::span<const double> lower,
-                   std::span<const double> upper, const LpOptions& options,
-                   LpWorkspace& ws)
+    LuSimplex(const LpContext& ctx, std::span<const double> lower,
+              std::span<const double> upper, const LpOptions& options,
+              LpWorkspace& ws)
         : ctx_(ctx),
           ws_(ws),
           options_(options),
@@ -57,7 +70,7 @@ public:
             ws_.upper[j] = upper[j];
         }
         for (std::size_t i = 0; i < m_; ++i) {
-            switch (ctx_.row_sense_[i]) {
+            switch (ctx_.row_sense()[i]) {
                 case Sense::kLe:
                     ws_.lower[n_ + i] = 0.0;
                     ws_.upper[n_ + i] = kInf;
@@ -72,11 +85,20 @@ public:
                     break;
             }
         }
+        // The alpha scatter (pricing update) relies on alpha being all-zero
+        // and unmarked between pivots; establish that across workspace reuse.
+        ws_.alpha.assign(total_, 0.0);
+        ws_.alist.clear();
+        amark_.assign(total_, 0);
     }
 
     [[nodiscard]] LpResult run() {
+        ws_.lu.stats().reset();  // drained per solve, not per factor lifetime
         LpResult result = run_attempts();
-        result.factor_etas = factor_etas_;
+        result.factor_etas = factor_ops_;
+        result.factor = ws_.lu.stats();
+        result.pricing_hits = pricing_hits_;
+        result.pricing_rebuilds = pricing_rebuilds_;
         return result;
     }
 
@@ -84,9 +106,8 @@ private:
     [[nodiscard]] LpResult run_attempts() {
         LpResult result;
         // Crossed bounds (branching can produce lower > upper) make the box
-        // itself empty. Pricing skips negative-range variables as "fixed", so
-        // this must be rejected up front or the solve quietly pins the
-        // variable at its lower bound and reports optimal.
+        // itself empty; pricing treats negative-range variables as fixed, so
+        // reject up front.
         for (std::size_t j = 0; j < total_; ++j) {
             if (ws_.lower[j] >
                 ws_.upper[j] + kFeasTol * (1.0 + std::abs(ws_.upper[j]))) {
@@ -96,9 +117,6 @@ private:
         }
         const bool have_warm =
             options_.warm_basis != nullptr && !options_.warm_basis->empty();
-        // Notes the abandon reason and charges everything the warm attempt
-        // burned (reload etas included) as pure waste before falling through
-        // to the authoritative cold solve.
         const auto abandon = [&](WarmAbandon why) {
             result.warm_abandon = why;
             result.warm_wasted_iterations = result.iterations;
@@ -113,7 +131,10 @@ private:
             } else {
                 load_cold_basis();
             }
-            if (!factorize()) {
+            ws_.devex.assign(total_, 1.0);  // fresh reference framework
+            ws_.cand.clear();
+            need_full_price_ = true;
+            if (!factorize_basis()) {
                 if (warm) {
                     abandon(WarmAbandon::kFactorize);
                     continue;
@@ -124,18 +145,12 @@ private:
             compute_basic_solution();
 
             if (warm && infeasible_basic_count() > crash_infeasible_count()) {
-                // Cost gate: the reloaded basis needs more phase-1 repair
-                // than a fresh crash (all-logical) basis would, so the parent
-                // basis carries no information worth paying for — abandon
-                // before burning any pivots on it.
+                // Cost gate: the reloaded basis owes more phase-1 repair than
+                // a fresh crash basis would — abandon before burning pivots.
                 abandon(WarmAbandon::kGate);
                 continue;
             }
 
-            // A reloaded basis that does not re-optimize within a small pivot
-            // budget is abandoned for the cold path: phase-1 repair from a
-            // badly drifted parent basis can cost far more than solving from
-            // the logical basis, and the cold attempt is always available.
             const std::int64_t limit =
                 warm ? std::min(options_.iteration_limit,
                                 result.iterations + warm_pivot_budget())
@@ -154,9 +169,7 @@ private:
             if (v == Verdict::kInfeasible) {
                 // Sound from a warm basis too: the phase-1 optimality proof
                 // is re-priced on a freshly refactorized basis and a
-                // from-scratch basic solution (confirm-before-declare), the
-                // same evidence a cold proof rests on. Re-proving it cold
-                // doubled the cost of every branching-fixed infeasible node.
+                // from-scratch basic solution (confirm-before-declare).
                 result.status = LpStatus::kInfeasible;
                 result.warm_used = warm;  // a warm-certified proof is a hit
                 return result;
@@ -192,85 +205,6 @@ private:
 
     enum class Verdict { kOptimal, kInfeasible, kUnbounded, kIterationLimit, kStall };
 
-    // ---- eta file -------------------------------------------------------
-
-    void clear_etas() {
-        ws_.eta_start.assign(1, 0);
-        ws_.eta_pivot_row.clear();
-        ws_.eta_pivot.clear();
-        ws_.eta_row.clear();
-        ws_.eta_val.clear();
-    }
-
-    // Appends the eta derived from the FTRANed column `d` pivoting on row r.
-    void append_eta(const std::vector<double>& d, std::size_t r) {
-        ws_.eta_pivot_row.push_back(static_cast<std::int32_t>(r));
-        ws_.eta_pivot.push_back(d[r]);
-        for (std::size_t i = 0; i < m_; ++i) {
-            if (i == r || std::abs(d[i]) <= kDropTol) continue;
-            ws_.eta_row.push_back(static_cast<std::int32_t>(i));
-            ws_.eta_val.push_back(d[i]);
-        }
-        ws_.eta_start.push_back(static_cast<std::int32_t>(ws_.eta_row.size()));
-    }
-
-    // v <- B^-1 v, applying etas oldest first.
-    void ftran(std::vector<double>& v) const {
-        const std::size_t k = ws_.eta_pivot_row.size();
-        for (std::size_t e = 0; e < k; ++e) {
-            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
-            double t = v[r];
-            if (t == 0.0) continue;
-            t /= ws_.eta_pivot[e];
-            v[r] = t;
-            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
-            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
-            for (std::size_t i = begin; i < end; ++i) {
-                v[static_cast<std::size_t>(ws_.eta_row[i])] -= ws_.eta_val[i] * t;
-            }
-        }
-    }
-
-    // y <- B^-T y, applying etas newest first (only the pivot component of y
-    // changes per eta, so BTRAN is a gather instead of a scatter).
-    void btran(std::vector<double>& y) const {
-        for (std::size_t e = ws_.eta_pivot_row.size(); e-- > 0;) {
-            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
-            double acc = y[r];
-            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
-            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
-            for (std::size_t i = begin; i < end; ++i) {
-                acc -= ws_.eta_val[i] * y[static_cast<std::size_t>(ws_.eta_row[i])];
-            }
-            y[r] = acc / ws_.eta_pivot[e];
-        }
-    }
-
-    // Writes column j of the standard-form matrix into the dense scratch.
-    void load_column(std::size_t j, std::vector<double>& dense) const {
-        std::fill(dense.begin(), dense.end(), 0.0);
-        if (j < n_) {
-            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
-            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
-            for (std::size_t i = begin; i < end; ++i) {
-                dense[static_cast<std::size_t>(ctx_.row_idx_[i])] = ctx_.val_[i];
-            }
-        } else {
-            dense[j - n_] = 1.0;
-        }
-    }
-
-    [[nodiscard]] double dot_column(std::size_t j, const std::vector<double>& y) const {
-        if (j >= n_) return y[j - n_];
-        double acc = 0.0;
-        const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
-        const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
-        for (std::size_t i = begin; i < end; ++i) {
-            acc += ctx_.val_[i] * y[static_cast<std::size_t>(ctx_.row_idx_[i])];
-        }
-        return acc;
-    }
-
     // ---- basis management ----------------------------------------------
 
     void load_cold_basis() {
@@ -283,6 +217,7 @@ private:
             ws_.basic[i] = static_cast<std::int32_t>(n_ + i);
             ws_.vstat[n_ + i] = kBasic;
         }
+        pending_hint_ = false;
     }
 
     [[nodiscard]] bool load_warm_basis(const Basis& warm) {
@@ -310,162 +245,384 @@ private:
             ws_.basic[i] = v;
             ws_.vstat[static_cast<std::size_t>(v)] = kBasic;
         }
+        // Replay the parent's pivot order on the first factorization; a
+        // stale or missing order degrades to Markowitz selection inside
+        // factorize_basis.
+        pending_hint_ =
+            warm.pivot_slot.size() == m_ && warm.pivot_row.size() == m_;
         return true;
     }
 
-    // Rebuilds the eta file for the current basic set: logical columns first
-    // (each is a unit vector, pivots on its own row, adds no eta), then the
-    // structural basics by largest-magnitude remaining row. Renumbers
-    // ws_.basic row assignments; returns false on duplicates/singularity.
-    [[nodiscard]] bool factorize() {
-        clear_etas();
-        ws_.pos.assign(total_, -1);
-        std::vector<std::int32_t> new_basic(m_, -1);
-        std::vector<std::int32_t> structural;
-        structural.reserve(m_);
-        for (std::size_t i = 0; i < m_; ++i) {
-            const std::int32_t v = ws_.basic[i];
-            if (v < 0 || static_cast<std::size_t>(v) >= total_) return false;
-            if (ws_.pos[static_cast<std::size_t>(v)] != -1) return false;  // duplicate
-            ws_.pos[static_cast<std::size_t>(v)] = 0;  // provisional claim marker
-            if (static_cast<std::size_t>(v) >= n_) {
-                const std::size_t row = static_cast<std::size_t>(v) - n_;
-                if (new_basic[row] != -1) return false;
-                new_basic[row] = v;
-            } else {
-                structural.push_back(v);
-            }
+    // (Re)factorizes the current basic set, replaying the warm pivot-order
+    // hint at most once. On success the incremental reduced costs are stale
+    // (the recomputed basic solution moves x), so a full price is forced.
+    [[nodiscard]] bool factorize_basis() {
+        bool ok = false;
+        if (pending_hint_) {
+            pending_hint_ = false;
+            ok = ws_.lu.factorize(ctx_, ws_.basic, options_.warm_basis->pivot_slot,
+                                  options_.warm_basis->pivot_row);
         }
-        ws_.col.assign(m_, 0.0);
-        for (const std::int32_t v : structural) {
-            load_column(static_cast<std::size_t>(v), ws_.col);
-            ftran(ws_.col);
-            std::size_t pr = m_;
-            double best = kPivTol;
-            for (std::size_t r = 0; r < m_; ++r) {
-                if (new_basic[r] != -1) continue;
-                const double a = std::abs(ws_.col[r]);
-                if (a > best) {
-                    best = a;
-                    pr = r;
-                }
-            }
-            if (pr == m_) return false;  // dependent / near-singular column
-            append_eta(ws_.col, pr);
-            new_basic[pr] = v;
-            ++factor_etas_;
-        }
-        for (std::size_t r = 0; r < m_; ++r) {
-            if (new_basic[r] == -1) return false;  // row left unpivoted
-        }
-        ws_.basic = std::move(new_basic);
-        for (std::size_t r = 0; r < m_; ++r) {
-            ws_.pos[static_cast<std::size_t>(ws_.basic[r])] =
-                static_cast<std::int32_t>(r);
-        }
+        if (!ok) ok = ws_.lu.factorize(ctx_, ws_.basic);
+        if (!ok) return false;
+        factor_ops_ += ws_.lu.ops();
+        last_ops_ = ws_.lu.ops();
         updates_since_factor_ = 0;
+        need_full_price_ = true;
         return true;
     }
 
-    // Recomputes x from scratch: nonbasic at their bound, basics via FTRAN of
-    // the bound-adjusted rhs. Wipes all incremental round-off.
+    // Recomputes x from scratch: nonbasic at their bound, basics via a dense
+    // FTRAN of the bound-adjusted rhs. Wipes all incremental round-off.
     void compute_basic_solution() {
         ws_.x.assign(total_, 0.0);
-        ws_.rhs_work = ctx_.rhs_;
+        ws_.rhs_work = ctx_.rhs();
         for (std::size_t j = 0; j < total_; ++j) {
             if (ws_.vstat[j] == kBasic) continue;
             const double xj = ws_.vstat[j] == kAtUpper ? ws_.upper[j] : ws_.lower[j];
             ws_.x[j] = xj;
             if (xj == 0.0) continue;
             if (j < n_) {
-                const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
-                const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+                const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+                const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
                 for (std::size_t i = begin; i < end; ++i) {
-                    ws_.rhs_work[static_cast<std::size_t>(ctx_.row_idx_[i])] -=
-                        ctx_.val_[i] * xj;
+                    ws_.rhs_work[static_cast<std::size_t>(ctx_.row_idx()[i])] -=
+                        ctx_.values()[i] * xj;
                 }
             } else {
                 ws_.rhs_work[j - n_] -= xj;
             }
         }
-        ftran(ws_.rhs_work);
-        for (std::size_t r = 0; r < m_; ++r) {
-            ws_.x[static_cast<std::size_t>(ws_.basic[r])] = ws_.rhs_work[r];
+        ws_.lu.ftran_dense(ws_.rhs_work, ws_.col);  // col = x_B by slot
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            ws_.x[static_cast<std::size_t>(ws_.basic[slot])] = ws_.col[slot];
         }
     }
 
-    // ---- the pivot loop -------------------------------------------------
+    // ---- pricing --------------------------------------------------------
 
-    [[nodiscard]] bool basic_infeasible() const {
-        for (std::size_t r = 0; r < m_; ++r) {
-            const auto v = static_cast<std::size_t>(ws_.basic[r]);
-            const double xv = ws_.x[v];
-            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
-                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
-                return true;
-            }
-        }
-        return false;
+    [[nodiscard]] double cost2(std::size_t v) const {
+        return v < n_ ? ctx_.objective()[v] : 0.0;
     }
 
-    [[nodiscard]] double phase_cost(std::size_t v, int phase) const {
-        if (phase == 2) return v < n_ ? ctx_.obj_[v] : 0.0;
-        // Phase 1: gradient of the sum of primal infeasibilities. Only basic
-        // variables can be out of bounds; nonbasic costs are zero.
+    // Phase-1 gradient of the sum of primal infeasibilities at basic v.
+    [[nodiscard]] double phase1_cost(std::size_t v) const {
         const double xv = ws_.x[v];
         if (xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) return 1.0;
         if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v]))) return -1.0;
         return 0.0;
     }
 
-    // One BTRAN + one sparse pass over all columns: picks the entering
-    // variable (Dantzig most-improving, or Bland first-eligible once the
-    // degenerate-run guard tripped). Returns total_ when none is eligible.
-    [[nodiscard]] std::size_t price(int phase, bool bland) {
-        ws_.y.assign(m_, 0.0);
-        for (std::size_t r = 0; r < m_; ++r) {
-            ws_.y[r] = phase_cost(static_cast<std::size_t>(ws_.basic[r]), phase);
+    [[nodiscard]] double dot_column(std::size_t j, const std::vector<double>& y) const {
+        if (j >= n_) return y[j - n_];
+        double acc = 0.0;
+        const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+        const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+        for (std::size_t i = begin; i < end; ++i) {
+            acc += ctx_.values()[i] * y[static_cast<std::size_t>(ctx_.row_idx()[i])];
         }
-        btran(ws_.y);
+        return acc;
+    }
+
+    // Improvement rate of nonbasic j with reduced cost dj (positive =
+    // eligible to enter in its free direction).
+    [[nodiscard]] double signed_rate(std::size_t j, double dj) const {
+        return ws_.vstat[j] == kAtLower ? -dj : dj;
+    }
+
+    // Trims cand_pairs_ (score, j) to the kCandMax best and installs them as
+    // the standing candidate list.
+    void install_candidates() {
+        if (cand_pairs_.size() > kCandMax) {
+            std::nth_element(cand_pairs_.begin(),
+                             cand_pairs_.begin() + static_cast<std::ptrdiff_t>(kCandMax),
+                             cand_pairs_.end(),
+                             [](const auto& a, const auto& b) { return a.first > b.first; });
+            cand_pairs_.resize(kCandMax);
+        }
+        ws_.cand.clear();
+        for (const auto& [score, j] : cand_pairs_) ws_.cand.push_back(j);
+    }
+
+    // Full phase-2 price: one dense BTRAN of the basic costs, reduced costs
+    // rebuilt for every column, candidate list refilled with the best Devex
+    // scores. The only path that may declare phase-2 optimality.
+    [[nodiscard]] std::size_t price_full2() {
+        ++pricing_rebuilds_;
+        need_full_price_ = false;
+        ws_.rhs_work.assign(m_, 0.0);
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            ws_.rhs_work[slot] = cost2(static_cast<std::size_t>(ws_.basic[slot]));
+        }
+        ws_.lu.btran_dense(ws_.rhs_work, ws_.y);
+        ws_.d.assign(total_, 0.0);
+        cand_pairs_.clear();
         std::size_t enter = total_;
-        double best_score = kEps;
+        double best_score = 0.0;
         for (std::size_t j = 0; j < total_; ++j) {
             if (ws_.vstat[j] == kBasic) continue;
             if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;  // fixed
-            const double cost = phase == 2 && j < n_ ? ctx_.obj_[j] : 0.0;
-            const double d = cost - dot_column(j, ws_.y);
-            const double score = ws_.vstat[j] == kAtLower ? -d : d;
-            if (score <= kEps) continue;
-            if (bland) return j;  // smallest eligible index (ascending scan)
-            if (score > best_score) {
+            const double dj = cost2(j) - dot_column(j, ws_.y);
+            ws_.d[j] = dj;
+            if (signed_rate(j, dj) <= kEps) continue;
+            const double score = dj * dj / ws_.devex[j];
+            cand_pairs_.emplace_back(score, static_cast<std::int32_t>(j));
+            if (enter == total_ || score > best_score) {
                 best_score = score;
                 enter = j;
             }
         }
+        install_candidates();
+        if (enter != total_) enter_d_ = ws_.d[enter];
         return enter;
     }
 
+    // Phase-2 price from the standing candidate list over the incrementally
+    // maintained reduced costs; falls back to the full scan when the list
+    // runs dry, so a "no entering column" answer always comes from a full
+    // rebuild.
+    [[nodiscard]] std::size_t price_list2() {
+        if (need_full_price_) return price_full2();
+        std::size_t enter = total_;
+        double best_score = 0.0;
+        for (const std::int32_t cj : ws_.cand) {
+            const auto j = static_cast<std::size_t>(cj);
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;
+            const double dj = ws_.d[j];
+            if (signed_rate(j, dj) <= kEps) continue;
+            const double score = dj * dj / ws_.devex[j];
+            if (enter == total_ || score > best_score) {
+                best_score = score;
+                enter = j;
+            }
+        }
+        if (enter != total_) {
+            ++pricing_hits_;
+            enter_d_ = ws_.d[enter];
+            return enter;
+        }
+        return price_full2();
+    }
+
+    // Phase-1 price. The infeasibility costs move with every pivot, so the
+    // pricing vector is recomputed each call. With few infeasible basics —
+    // the warm re-solve regime — the BTRAN runs hypersparse from the +-1
+    // seeds and the reduced costs are scattered through only the CSR rows it
+    // touched: an exact full price (every untouched column prices to zero)
+    // at sparse cost. Past the seed threshold the dense path below takes
+    // over, with the candidate list restricting the pricing pass and a full
+    // scan (which also refills the list) only when the candidates are all
+    // ineligible. Optimality verdicts therefore always rest on a full scan.
+    [[nodiscard]] std::size_t price_phase1() {
+        p1_slots_.clear();
+        p1_vals_.clear();
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            const double c = phase1_cost(static_cast<std::size_t>(ws_.basic[slot]));
+            if (c != 0.0) {
+                p1_slots_.push_back(static_cast<std::int32_t>(slot));
+                p1_vals_.push_back(c);
+            }
+        }
+        if (p1_slots_.size() <= std::max<std::size_t>(16, m_ / 5)) {
+            return price_phase1_sparse();
+        }
+        ws_.rhs_work.assign(m_, 0.0);
+        for (std::size_t i = 0; i < p1_slots_.size(); ++i) {
+            ws_.rhs_work[static_cast<std::size_t>(p1_slots_[i])] = p1_vals_[i];
+        }
+        ws_.lu.btran_dense(ws_.rhs_work, ws_.y);
+        std::size_t enter = total_;
+        double best_score = 0.0;
+        for (const std::int32_t cj : ws_.cand) {
+            const auto j = static_cast<std::size_t>(cj);
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;
+            const double dj = -dot_column(j, ws_.y);
+            if (signed_rate(j, dj) <= kEps) continue;
+            const double score = dj * dj / ws_.devex[j];
+            if (enter == total_ || score > best_score) {
+                best_score = score;
+                enter = j;
+                enter_d_ = dj;
+            }
+        }
+        if (enter != total_) {
+            ++pricing_hits_;
+            return enter;
+        }
+        ++pricing_rebuilds_;
+        cand_pairs_.clear();
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;
+            const double dj = -dot_column(j, ws_.y);
+            if (signed_rate(j, dj) <= kEps) continue;
+            const double score = dj * dj / ws_.devex[j];
+            cand_pairs_.emplace_back(score, static_cast<std::int32_t>(j));
+            if (enter == total_ || score > best_score) {
+                best_score = score;
+                enter = j;
+                enter_d_ = dj;
+            }
+        }
+        install_candidates();
+        return enter;
+    }
+
+    // Sparse phase-1 price: hypersparse BTRAN of the +-1 seeds gathered by
+    // price_phase1, then a scatter of -y through the touched CSR rows into
+    // alpha/alist (dead scratch between pivots). Only columns with a nonzero
+    // in a touched row — plus those rows' logicals — can price nonzero, so
+    // despite the sparse sweep this is a full exact scan and its "no
+    // entering column" verdict is as strong as the dense rebuild's.
+    [[nodiscard]] std::size_t price_phase1_sparse() {
+        ws_.lu.btran_seeds(p1_slots_, p1_vals_, ws_.yspar, ws_.yslist);
+        std::size_t enter = total_;
+        double best_score = 0.0;
+        const auto consider = [&](std::size_t j, double dj) {
+            if (ws_.vstat[j] == kBasic) return;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) return;
+            if (signed_rate(j, dj) <= kEps) return;
+            const double score = dj * dj / ws_.devex[j];
+            if (enter == total_ || score > best_score) {
+                best_score = score;
+                enter = j;
+                enter_d_ = dj;
+            }
+        };
+        for (const std::int32_t ri : ws_.yslist) {
+            const auto i = static_cast<std::size_t>(ri);
+            const double yi = ws_.yspar[i];
+            if (yi == 0.0) continue;
+            const auto begin = static_cast<std::size_t>(ctx_.row_start()[i]);
+            const auto end = static_cast<std::size_t>(ctx_.row_start()[i + 1]);
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto j = static_cast<std::size_t>(ctx_.row_col()[k]);
+                if (!amark_[j]) {
+                    amark_[j] = 1;
+                    ws_.alist.push_back(static_cast<std::int32_t>(j));
+                }
+                ws_.alpha[j] -= yi * ctx_.row_val()[k];
+            }
+            consider(n_ + i, -yi);  // the row's logical prices to -y_i
+        }
+        for (const std::int32_t aj : ws_.alist) {
+            const auto j = static_cast<std::size_t>(aj);
+            consider(j, ws_.alpha[j]);
+            ws_.alpha[j] = 0.0;
+            amark_[j] = 0;
+        }
+        ws_.alist.clear();
+        if (enter != total_) ++pricing_hits_;
+        return enter;
+    }
+
+    // Bland's rule: exact reduced costs recomputed every call, smallest
+    // eligible index. Engaged only after a long degenerate run; guarantees
+    // termination together with the short-step ratio test's index ties.
+    [[nodiscard]] std::size_t price_bland(int phase) {
+        ++pricing_rebuilds_;
+        ws_.rhs_work.assign(m_, 0.0);
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
+            ws_.rhs_work[slot] = phase == 2 ? cost2(v) : phase1_cost(v);
+        }
+        ws_.lu.btran_dense(ws_.rhs_work, ws_.y);
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;
+            const double cost = phase == 2 ? cost2(j) : 0.0;
+            const double dj = cost - dot_column(j, ws_.y);
+            if (signed_rate(j, dj) > kEps) {
+                enter_d_ = dj;
+                return j;
+            }
+        }
+        return total_;
+    }
+
+    // Incremental phase-2 pricing update across the pivot (enter replaces
+    // basic[p]): rho = row p of B^-1 via a hypersparse unit BTRAN, the pivot
+    // row alpha scattered through the CSR mirror, then the standard
+    // d_j -= theta * alpha_j sweep and the Devex reference-framework weight
+    // update. Called on the pre-pivot factor and pre-pivot vstat. A mismatch
+    // between alpha[enter] and the FTRANed pivot element signals drift and
+    // forces a full rebuild next iteration.
+    void update_phase2_pricing(std::size_t p, std::size_t enter, double a_e,
+                               std::size_t leave) {
+        ws_.lu.btran_unit(p, ws_.rho, ws_.rholist);
+        ws_.alist.clear();
+        for (const std::int32_t ri : ws_.rholist) {
+            const auto i = static_cast<std::size_t>(ri);
+            const double rv = ws_.rho[i];
+            if (rv == 0.0) continue;
+            const std::size_t lj = n_ + i;  // logical of row i: alpha = rho_i
+            if (!amark_[lj]) {
+                amark_[lj] = 1;
+                ws_.alist.push_back(static_cast<std::int32_t>(lj));
+            }
+            ws_.alpha[lj] += rv;
+            const auto begin = static_cast<std::size_t>(ctx_.row_start()[i]);
+            const auto end = static_cast<std::size_t>(ctx_.row_start()[i + 1]);
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto j = static_cast<std::size_t>(ctx_.row_col()[k]);
+                if (!amark_[j]) {
+                    amark_[j] = 1;
+                    ws_.alist.push_back(static_cast<std::int32_t>(j));
+                }
+                ws_.alpha[j] += rv * ctx_.row_val()[k];
+            }
+        }
+        if (std::abs(ws_.alpha[enter] - a_e) > 1e-6 * (1.0 + std::abs(a_e))) {
+            need_full_price_ = true;  // rho/FTRAN disagreement: rebuild soon
+        }
+        const double theta = ws_.d[enter] / a_e;
+        const double we = ws_.devex[enter];
+        const double ae2 = a_e * a_e;
+        double maxw = 0.0;
+        for (const std::int32_t aj : ws_.alist) {
+            const auto j = static_cast<std::size_t>(aj);
+            if (ws_.vstat[j] != kBasic && j != enter) {
+                ws_.d[j] -= theta * ws_.alpha[j];
+                const double ref = ws_.alpha[j] * ws_.alpha[j] / ae2 * we;
+                if (ref > ws_.devex[j]) ws_.devex[j] = ref;
+                if (ws_.devex[j] > maxw) maxw = ws_.devex[j];
+            }
+            ws_.alpha[j] = 0.0;
+            amark_[j] = 0;
+        }
+        ws_.alist.clear();
+        ws_.d[leave] = -theta;
+        ws_.d[enter] = 0.0;
+        ws_.devex[leave] = std::max(we / ae2, 1.0);
+        if (maxw > kDevexReset || ws_.devex[leave] > kDevexReset) {
+            ws_.devex.assign(total_, 1.0);  // framework overflow: restart
+        }
+    }
+
+    // ---- ratio tests ----------------------------------------------------
+
     struct Ratio {
         double step = kInf;
-        std::size_t leave_row = std::numeric_limits<std::size_t>::max();
+        std::size_t leave_slot = std::numeric_limits<std::size_t>::max();
         bool leave_at_upper = false;
         bool flip = false;
     };
 
-    // Bounded-variable ratio test on the FTRANed entering column in ws_.col.
-    // In phase 1 an infeasible basic variable blocks only at the bound it is
-    // returning to (the first kink of the piecewise phase-1 objective), and
-    // never blocks while moving further out; feasible basics block at their
-    // bounds in both phases.
-    [[nodiscard]] Ratio ratio_test(std::size_t enter, double dir, int phase,
-                                   bool bland) const {
+    // Short-step bounded ratio test over the hypersparse entering column
+    // (phase-2 always; phase-1 under Bland's rule, where the first-kink
+    // blocking keeps the anti-cycling argument intact).
+    [[nodiscard]] Ratio ratio_short(std::size_t enter, double dir, int phase,
+                                    bool bland) const {
         Ratio best;
         double best_pivot = 0.0;
-        for (std::size_t r = 0; r < m_; ++r) {
-            const double a = ws_.col[r];
+        for (const std::int32_t sl : ws_.xlist) {
+            const auto slot = static_cast<std::size_t>(sl);
+            const double a = ws_.xcol[slot];
             if (std::abs(a) <= kPivTol) continue;
-            const double w = dir * a;  // x_B[r] moves by -w per unit step
-            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double w = dir * a;  // x_B[slot] moves by -w per unit step
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
             const double xv = ws_.x[v];
             const double l = ws_.lower[v];
             const double u = ws_.upper[v];
@@ -491,24 +648,24 @@ private:
                 at_upper = true;
             }
             if (t < 0.0) t = 0.0;  // degenerate beyond tolerance: zero step
-            const bool first = best.leave_row == std::numeric_limits<std::size_t>::max();
+            const bool first =
+                best.leave_slot == std::numeric_limits<std::size_t>::max();
             bool take = false;
             if (first || t < best.step - kEps) {
                 take = true;
             } else if (t < best.step + kEps) {
-                take = bland ? ws_.basic[r] <
-                                   ws_.basic[static_cast<std::size_t>(best.leave_row)]
+                take = bland ? ws_.basic[slot] < ws_.basic[best.leave_slot]
                              : std::abs(a) > best_pivot;
             }
             if (take) {
                 best.step = std::min(first ? t : best.step, t);
-                best.leave_row = r;
+                best.leave_slot = slot;
                 best.leave_at_upper = at_upper;
                 best_pivot = std::abs(a);
             }
         }
         // The entering variable's own opposite bound: a flip step changes no
-        // basis and appends no eta, so prefer it on ties.
+        // basis and costs no update, so prefer it on ties.
         const double range = ws_.upper[enter] - ws_.lower[enter];
         if (std::isfinite(range) && range <= best.step) {
             best.step = range;
@@ -517,22 +674,113 @@ private:
         return best;
     }
 
-    // Pivot allowance for a warm attempt before it is abandoned: generous
-    // enough for a short phase-1 repair plus re-optimization after one
-    // branching bound change, far below a typical from-scratch solve. A
-    // failed attempt wastes its whole budget on top of the cold solve, so
-    // the default is tight; LpOptions::warm_pivot_budget overrides it.
+    struct Breakpoint {
+        double t = 0.0;
+        double gain = 0.0;  // |w|: slope increase once this kink is passed
+        std::int32_t slot = -1;
+        std::uint8_t at_upper = 0;
+    };
+
+    // Long-step phase-1 ratio test: the sum of infeasibilities is piecewise
+    // linear in the step, with a kink wherever a basic variable crosses one
+    // of its bounds (an infeasible basic contributes two — re-entry and
+    // exit on the far side). Walk the kinks in step order, accumulating
+    // slope, and stop at the first one where the objective stops improving;
+    // every kink passed on the way is a free bound-flip's worth of progress
+    // a first-kink test would have burned a pivot on. The entering
+    // variable's own range caps the walk with a basis-preserving flip.
+    [[nodiscard]] Ratio ratio_longstep(std::size_t enter, double dir) {
+        bps_.clear();
+        for (const std::int32_t sl : ws_.xlist) {
+            const auto slot = static_cast<std::size_t>(sl);
+            const double a = ws_.xcol[slot];
+            if (std::abs(a) <= kPivTol) continue;
+            const double w = dir * a;  // x_B[slot] moves by -w per unit step
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
+            const double xv = ws_.x[v];
+            const double l = ws_.lower[v];
+            const double u = ws_.upper[v];
+            const double ltol = kFeasTol * (1.0 + std::abs(l));
+            const double utol = kFeasTol * (1.0 + std::abs(u));
+            const double gain = std::abs(w);
+            const auto push = [&](double t, bool at_upper) {
+                bps_.push_back({std::max(t, 0.0), gain, sl,
+                                static_cast<std::uint8_t>(at_upper ? 1 : 0)});
+            };
+            if (xv > u + utol) {  // infeasible above
+                if (w <= 0.0) continue;
+                push((xv - u) / w, true);
+                if (std::isfinite(l)) push((xv - l) / w, false);
+            } else if (xv < l - ltol) {  // infeasible below
+                if (w >= 0.0) continue;
+                push((xv - l) / w, false);
+                if (std::isfinite(u)) push((xv - u) / w, true);
+            } else if (w > 0.0) {
+                if (std::isfinite(l)) push((xv - l) / w, false);
+            } else if (std::isfinite(u)) {
+                push((xv - u) / w, true);
+            }
+        }
+        // The walk usually stops within a few kinks, so a heap (linear to
+        // build, log-cost per kink popped) beats sorting the whole list. The
+        // comparator is a total order, so the pop sequence is deterministic.
+        const auto later = [](const Breakpoint& a, const Breakpoint& b) {
+            if (a.t != b.t) return a.t > b.t;
+            if (a.gain != b.gain) return a.gain < b.gain;
+            if (a.slot != b.slot) return a.slot > b.slot;
+            return a.at_upper > b.at_upper;
+        };
+        std::make_heap(bps_.begin(), bps_.end(), later);
+        const double range = ws_.upper[enter] - ws_.lower[enter];
+        double slope = -std::abs(enter_d_);
+        Ratio best;
+        for (std::size_t live = bps_.size(); live > 0; --live) {
+            std::pop_heap(bps_.begin(),
+                          bps_.begin() + static_cast<std::ptrdiff_t>(live), later);
+            const Breakpoint& bp = bps_[live - 1];
+            if (std::isfinite(range) && range <= bp.t) {
+                best.step = range;  // entering hits its far bound first
+                best.flip = true;
+                return best;
+            }
+            slope += bp.gain;
+            if (slope >= -kEps) {
+                best.step = bp.t;
+                best.leave_slot = static_cast<std::size_t>(bp.slot);
+                best.leave_at_upper = bp.at_upper != 0;
+                return best;
+            }
+        }
+        if (std::isfinite(range)) {
+            best.step = range;  // improving all the way to the far bound
+            best.flip = true;
+        }
+        return best;  // step stays +inf: numerical ray in a bounded objective
+    }
+
+    // ---- warm-start yardsticks (shared with the eta kernel) -------------
+
     [[nodiscard]] std::int64_t warm_pivot_budget() const {
         if (options_.warm_pivot_budget > 0) return options_.warm_pivot_budget;
         return 32 + static_cast<std::int64_t>(m_) / 2;
     }
 
-    // Number of basic variables outside their bounds at the current point —
-    // the phase-1 workload the current basis still owes.
+    [[nodiscard]] bool basic_infeasible() const {
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
+            const double xv = ws_.x[v];
+            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
+                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
+                return true;
+            }
+        }
+        return false;
+    }
+
     [[nodiscard]] std::int64_t infeasible_basic_count() const {
         std::int64_t violated = 0;
-        for (std::size_t r = 0; r < m_; ++r) {
-            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
             const double xv = ws_.x[v];
             if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
                 xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
@@ -542,23 +790,22 @@ private:
         return violated;
     }
 
-    // Phase-1 workload of a fresh crash (all-logical) basis: structural
-    // variables at their cold-path bound, each logical at its row residual.
-    // One pass over the nonzeros, no factorization — the yardstick the warm
-    // gate compares the reloaded basis against.
+    // Phase-1 workload of a fresh crash (all-logical) basis — the yardstick
+    // the warm gate compares the reloaded basis against. One pass over the
+    // nonzeros, no factorization.
     [[nodiscard]] std::int64_t crash_infeasible_count() const {
         if (crash_infeasible_ >= 0) return crash_infeasible_;
-        std::vector<double>& residual = ws_.y;  // dead until the next price()
-        residual.assign(ctx_.rhs_.begin(), ctx_.rhs_.end());
+        std::vector<double>& residual = ws_.y;  // dead until the next price
+        residual.assign(ctx_.rhs().begin(), ctx_.rhs().end());
         for (std::size_t j = 0; j < n_; ++j) {
             const double xj = !std::isfinite(ws_.lower[j]) ? ws_.upper[j]
-                                                          : ws_.lower[j];
+                                                           : ws_.lower[j];
             if (xj == 0.0) continue;
-            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
-            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+            const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
             for (std::size_t i = begin; i < end; ++i) {
-                residual[static_cast<std::size_t>(ctx_.row_idx_[i])] -=
-                    ctx_.val_[i] * xj;
+                residual[static_cast<std::size_t>(ctx_.row_idx()[i])] -=
+                    ctx_.values()[i] * xj;
             }
         }
         std::int64_t violated = 0;
@@ -573,6 +820,8 @@ private:
         return crash_infeasible_;
     }
 
+    // ---- the pivot loop -------------------------------------------------
+
     [[nodiscard]] Verdict iterate(std::int64_t& iterations, std::int64_t limit) {
         std::int64_t local = 0;
         std::int64_t degenerate_run = 0;
@@ -580,6 +829,7 @@ private:
             64 + 4 * static_cast<std::int64_t>(total_ + m_);
         bool bland = false;
         int confirm_passes = 0;
+        int prev_phase = 0;
 
         while (true) {
             if (iterations >= limit) return Verdict::kIterationLimit;
@@ -589,14 +839,34 @@ private:
                 return Verdict::kIterationLimit;
             }
 
+            // Count pivots since the last rebuild, NOT factor size: a warm
+            // reload starts with a full factor and measuring its length
+            // would re-trigger a rebuild on every pivot.
+            if (updates_since_factor_ >=
+                static_cast<std::int64_t>(std::max(1, options_.refactor_interval))) {
+                if (!factorize_basis()) return Verdict::kStall;
+                compute_basic_solution();
+            }
+
             const int phase = basic_infeasible() ? 1 : 2;
-            const std::size_t enter = price(phase, bland);
+            if (phase != prev_phase) {
+                need_full_price_ = true;  // the other phase's costs are dead
+                prev_phase = phase;
+            }
+            std::size_t enter;
+            if (bland) {
+                enter = price_bland(phase);
+            } else if (phase == 1) {
+                enter = price_phase1();
+            } else {
+                enter = price_list2();
+            }
             if (enter == total_) {
-                // Never trust a verdict reached on a stale eta file: rebuild,
-                // recompute, and re-price once before declaring.
+                // Never trust a verdict reached on an updated factor:
+                // rebuild, recompute, and re-price once before declaring.
                 if (updates_since_factor_ > 0 && confirm_passes < 2) {
                     ++confirm_passes;
-                    if (!factorize()) return Verdict::kStall;
+                    if (!factorize_basis()) return Verdict::kStall;
                     compute_basic_solution();
                     continue;
                 }
@@ -605,9 +875,11 @@ private:
             confirm_passes = 0;
 
             const double dir = ws_.vstat[enter] == kAtLower ? 1.0 : -1.0;
-            load_column(enter, ws_.col);
-            ftran(ws_.col);
-            const Ratio ratio = ratio_test(enter, dir, phase, bland);
+            ws_.lu.ftran_column(ctx_, static_cast<std::int32_t>(enter), ws_.xcol,
+                                ws_.xlist);
+            const Ratio ratio = phase == 1 && !bland
+                                    ? ratio_longstep(enter, dir)
+                                    : ratio_short(enter, dir, phase, bland);
             if (!std::isfinite(ratio.step)) {
                 // Phase 1 minimizes a function bounded below by zero, so an
                 // unblocked ray there is a numerical artifact, not a proof.
@@ -616,42 +888,47 @@ private:
 
             const double t = ratio.step;
             if (t > 0.0) {
-                for (std::size_t r = 0; r < m_; ++r) {
-                    if (ws_.col[r] == 0.0) continue;
-                    ws_.x[static_cast<std::size_t>(ws_.basic[r])] -=
-                        dir * ws_.col[r] * t;
+                for (const std::int32_t sl : ws_.xlist) {
+                    const auto slot = static_cast<std::size_t>(sl);
+                    if (ws_.xcol[slot] == 0.0) continue;
+                    ws_.x[static_cast<std::size_t>(ws_.basic[slot])] -=
+                        dir * ws_.xcol[slot] * t;
                 }
             }
             if (ratio.flip) {
                 ws_.x[enter] =
                     ws_.vstat[enter] == kAtLower ? ws_.upper[enter] : ws_.lower[enter];
                 ws_.vstat[enter] = ws_.vstat[enter] == kAtLower ? kAtUpper : kAtLower;
+                ++updates_since_factor_;  // x drifted incrementally
             } else {
+                const std::size_t p = ratio.leave_slot;
+                const auto leave = static_cast<std::size_t>(ws_.basic[p]);
+                if (phase == 2 && !bland) {
+                    update_phase2_pricing(p, enter, ws_.xcol[p], leave);
+                } else {
+                    need_full_price_ = true;  // phase-1/Bland pivots skip it
+                }
                 ws_.x[enter] = ws_.vstat[enter] == kAtLower ? ws_.lower[enter] + t
                                                             : ws_.upper[enter] - t;
-                const auto leave = static_cast<std::size_t>(ws_.basic[ratio.leave_row]);
-                ws_.x[leave] = ratio.leave_at_upper ? ws_.upper[leave] : ws_.lower[leave];
+                ws_.x[leave] = ratio.leave_at_upper ? ws_.upper[leave]
+                                                    : ws_.lower[leave];
                 ws_.vstat[leave] = ratio.leave_at_upper ? kAtUpper : kAtLower;
                 ws_.vstat[enter] = kBasic;
-                ws_.basic[ratio.leave_row] = static_cast<std::int32_t>(enter);
-                ws_.pos[leave] = -1;
-                ws_.pos[enter] = static_cast<std::int32_t>(ratio.leave_row);
-                append_eta(ws_.col, ratio.leave_row);
+                ws_.basic[p] = static_cast<std::int32_t>(enter);
+                if (ws_.lu.update(p)) {
+                    factor_ops_ += ws_.lu.ops() - last_ops_;
+                    last_ops_ = ws_.lu.ops();
+                    ++updates_since_factor_;
+                } else {
+                    // Update numerically unsafe: the factor still holds the
+                    // pre-pivot basis, so rebuild it for the new one.
+                    if (!factorize_basis()) return Verdict::kStall;
+                    compute_basic_solution();
+                }
             }
-            ++updates_since_factor_;  // flips also update x incrementally
             ++iterations;
             degenerate_run = t > kEps ? 0 : degenerate_run + 1;
             if (degenerate_run > bland_threshold) bland = true;
-
-            // Count pivots since the last rebuild, NOT the eta-file length:
-            // the file starts at one eta per structural basic after a warm
-            // reload, and measuring it would re-trigger a full factorization
-            // on every pivot whenever that reload exceeds the interval.
-            if (updates_since_factor_ >=
-                static_cast<std::int64_t>(std::max(1, options_.refactor_interval))) {
-                if (!factorize()) return Verdict::kStall;
-                compute_basic_solution();
-            }
         }
     }
 
@@ -671,31 +948,32 @@ private:
             }
             result.values[j] = xj;
         }
-        double obj = ctx_.obj_constant_;
-        for (std::size_t j = 0; j < n_; ++j) obj += ctx_.obj_[j] * result.values[j];
-        result.objective = ctx_.sense_sign_ * obj;
+        double obj = ctx_.objective_constant();
+        for (std::size_t j = 0; j < n_; ++j) {
+            obj += ctx_.objective()[j] * result.values[j];
+        }
+        result.objective = ctx_.sense_sign() * obj;
     }
 
     // Row duals lambda = B^-T c_B and structural reduced costs
-    // d_j = c_j - lambda' A_j at the optimum, exported in the model's own
-    // objective sense. The eta file is fresh here (every verdict is
-    // confirmed on a rebuilt factorization), so this is one BTRAN plus one
-    // pricing-style pass over the columns.
+    // d_j = c_j - lambda' A_j at the optimum, in the model's own objective
+    // sense. The factor is fresh here (every verdict is confirmed on a
+    // rebuilt factorization).
     void export_duals(LpResult& result) const {
-        ws_.y.assign(m_, 0.0);
-        for (std::size_t r = 0; r < m_; ++r) {
-            const auto v = static_cast<std::size_t>(ws_.basic[r]);
-            ws_.y[r] = v < n_ ? ctx_.obj_[v] : 0.0;
+        ws_.rhs_work.assign(m_, 0.0);
+        for (std::size_t slot = 0; slot < m_; ++slot) {
+            const auto v = static_cast<std::size_t>(ws_.basic[slot]);
+            ws_.rhs_work[slot] = v < n_ ? ctx_.objective()[v] : 0.0;
         }
-        btran(ws_.y);
+        ws_.lu.btran_dense(ws_.rhs_work, ws_.y);
         result.duals.resize(m_);
-        for (std::size_t r = 0; r < m_; ++r) {
-            result.duals[r] = ctx_.sense_sign_ * ws_.y[r];
+        for (std::size_t i = 0; i < m_; ++i) {
+            result.duals[i] = ctx_.sense_sign() * ws_.y[i];
         }
         result.reduced_costs.resize(n_);
         for (std::size_t j = 0; j < n_; ++j) {
             result.reduced_costs[j] =
-                ctx_.sense_sign_ * (ctx_.obj_[j] - dot_column(j, ws_.y));
+                ctx_.sense_sign() * (ctx_.objective()[j] - dot_column(j, ws_.y));
         }
     }
 
@@ -713,17 +991,17 @@ private:
         for (std::size_t j = 0; j < n_; ++j) {
             const double xj = values[j];
             if (xj == 0.0) continue;
-            const auto begin = static_cast<std::size_t>(ctx_.col_start_[j]);
-            const auto end = static_cast<std::size_t>(ctx_.col_start_[j + 1]);
+            const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
             for (std::size_t i = begin; i < end; ++i) {
-                activity[static_cast<std::size_t>(ctx_.row_idx_[i])] +=
-                    ctx_.val_[i] * xj;
+                activity[static_cast<std::size_t>(ctx_.row_idx()[i])] +=
+                    ctx_.values()[i] * xj;
             }
         }
         for (std::size_t i = 0; i < m_; ++i) {
-            const double rhs = ctx_.rhs_[i];
+            const double rhs = ctx_.rhs()[i];
             const double tol = kGuardTol * (1.0 + std::abs(rhs));
-            switch (ctx_.row_sense_[i]) {
+            switch (ctx_.row_sense()[i]) {
                 case Sense::kLe:
                     if (activity[i] > rhs + tol) return false;
                     break;
@@ -745,6 +1023,12 @@ private:
             if (ws_.vstat[j] == kAtUpper) out.at_upper[j] = 1;
         }
         out.columns = static_cast<std::uint32_t>(total_);
+        if (ws_.lu.valid() && ws_.lu.dim() == m_) {
+            ws_.lu.export_pivot_order(out.pivot_slot, out.pivot_row);
+        } else {
+            out.pivot_slot.clear();
+            out.pivot_row.clear();
+        }
     }
 
     const LpContext& ctx_;
@@ -755,9 +1039,33 @@ private:
     const std::size_t total_;
     const std::chrono::steady_clock::time_point deadline_;
     std::int64_t updates_since_factor_ = 0;
-    std::int64_t factor_etas_ = 0;
+    std::int64_t factor_ops_ = 0;  // L+R operations across all factorizations
+    std::int64_t last_ops_ = 0;
+    std::int64_t pricing_hits_ = 0;
+    std::int64_t pricing_rebuilds_ = 0;
+    bool need_full_price_ = true;
+    bool pending_hint_ = false;
+    double enter_d_ = 0.0;  // reduced cost of the chosen entering variable
+    std::vector<std::uint8_t> amark_;  // alpha-scatter membership marks
+    std::vector<std::pair<double, std::int32_t>> cand_pairs_;
+    std::vector<Breakpoint> bps_;
+    std::vector<std::int32_t> p1_slots_;  // infeasible basic slots this price
+    std::vector<double> p1_vals_;         // their +-1 phase-1 costs
     mutable std::int64_t crash_infeasible_ = -1;  // lazily computed, then cached
 };
+
+}  // namespace
+
+namespace detail {
+
+LpResult solve_lu_kernel(const LpContext& ctx, std::span<const double> lower,
+                         std::span<const double> upper, const LpOptions& options,
+                         LpWorkspace& ws) {
+    LuSimplex simplex(ctx, lower, upper, options, ws);
+    return simplex.run();
+}
+
+}  // namespace detail
 
 const char* to_string(LpStatus s) noexcept {
     switch (s) {
@@ -794,6 +1102,28 @@ LpContext::LpContext(const Model& model) {
         }
     }
 
+    // CSR mirror, built from the CSC arrays so both orderings agree exactly
+    // (columns ascend within each row because the fill scans columns in
+    // order).
+    row_start_.assign(m + 1, 0);
+    for (const std::int32_t r : row_idx_) ++row_start_[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = 0; i < m; ++i) row_start_[i + 1] += row_start_[i];
+    row_col_.resize(row_idx_.size());
+    row_val_.resize(row_idx_.size());
+    {
+        std::vector<std::int64_t> rcursor(row_start_.begin(), row_start_.end() - 1);
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto begin = static_cast<std::size_t>(col_start_[j]);
+            const auto end = static_cast<std::size_t>(col_start_[j + 1]);
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto i = static_cast<std::size_t>(row_idx_[k]);
+                const auto at = static_cast<std::size_t>(rcursor[i]++);
+                row_col_[at] = static_cast<std::int32_t>(j);
+                row_val_[at] = val_[k];
+            }
+        }
+    }
+
     sense_sign_ = model.is_minimization() ? 1.0 : -1.0;
     obj_.assign(n, 0.0);
     obj_constant_ = sense_sign_ * model.objective().constant();
@@ -808,9 +1138,10 @@ LpContext::LpContext(const Model& model) {
 LpResult LpContext::solve(std::span<const double> lower, std::span<const double> upper,
                           const LpOptions& options, LpWorkspace* workspace) const {
     LpWorkspace local;
-    RevisedSimplex simplex(*this, lower, upper, options,
-                           workspace != nullptr ? *workspace : local);
-    return simplex.run();
+    LpWorkspace& ws = workspace != nullptr ? *workspace : local;
+    return options.use_eta_basis
+               ? detail::solve_eta_kernel(*this, lower, upper, options, ws)
+               : detail::solve_lu_kernel(*this, lower, upper, options, ws);
 }
 
 LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_seconds,

@@ -1,42 +1,40 @@
-// LP solver: revised primal simplex over a compressed-sparse-column matrix,
-// with a product-form (eta-file) basis inverse and native bounded variables.
+// LP solver: revised primal simplex over a compressed-sparse-column matrix
+// with a sparse LU basis factorization, Forrest-Tomlin updates, hypersparse
+// triangular solves, and Devex candidate-list pricing.
 //
 // The constraint matrix is converted once into an immutable LpContext: CSC
-// arrays for the structural columns, one implicit logical (slack/surplus)
-// column per row, and the objective folded to minimization sense. Variable
-// bounds are NOT part of the context — they are passed to each solve — so a
-// branch-and-bound search builds the context once and re-solves thousands of
-// node LPs against the same matrix with per-node bound vectors.
+// arrays for the structural columns (plus a CSR mirror for pivot-row
+// pricing), one implicit logical (slack/surplus) column per row, and the
+// objective folded to minimization sense. Variable bounds are NOT part of
+// the context — they are passed to each solve — so a branch-and-bound search
+// builds the context once and re-solves thousands of node LPs against the
+// same matrix with per-node bound vectors.
 //
-// The basis inverse is kept as an eta file (product form): a factorization
-// from scratch places logical columns first (zero fill) and pivots the few
-// structural basic columns in by largest-magnitude row, then every simplex
-// pivot appends one eta. The file is rebuilt — and the basic solution
-// recomputed from scratch, wiping accumulated round-off — whenever it grows
-// past LpOptions::refactor_interval etas, when a pivot falls below the
-// acceptance tolerance, and once more before any terminal verdict is
-// trusted. Pricing is Dantzig (most-negative reduced cost over a single
-// BTRAN + one sparse pass), degrading to Bland's rule after a run of
-// degenerate steps so cycling cannot occur. Bounds are handled natively:
-// nonbasic variables sit at either bound, the ratio test includes
-// bound-flip steps that change no basis, and 0/1 variables therefore cost
-// nothing beyond their column — no explicit upper-bound rows.
+// The default kernel (milp/lu.h) keeps the basis as a sparse LU: Markowitz
+// pivoting with threshold partial pivoting at refactorization, one
+// Forrest-Tomlin update per simplex pivot, and FTRAN/BTRAN that walk only
+// the reachable nonzero set when the right-hand side is sparse. Pricing is
+// Devex (reference-framework weights, approximating steepest edge at a
+// Dantzig price) over a small candidate list, with reduced costs maintained
+// incrementally from the BTRANed pivot row and recomputed at every
+// refactorization; a degenerate run degrades to Bland's rule on a full scan
+// so cycling cannot occur. Bounds are handled natively: nonbasic variables
+// sit at either bound, the phase-1 ratio test walks bound-flip breakpoints
+// (long-step), and 0/1 variables therefore cost nothing beyond their column.
 //
 // Infeasibility is resolved by a phase-1 that minimizes the sum of primal
-// infeasibilities from ANY starting basis (costs ±1 on out-of-bound basic
-// variables, recomputed per iteration; blocking at the first bound kink
-// keeps the piecewise objective exact). Because phase 1 does not need
-// artificial columns, a warm start is simply: load the parent basis, rebuild
-// the eta file, recompute the basic solution, and let phase 1 repair the
-// handful of rows the branching bound change disturbed. A warm attempt may
-// only return kOptimal, and only after the extracted point verifies against
-// the constraints; every other outcome falls through to the authoritative
-// cold solve from the all-logical basis, so the result is identical whether
-// or not a basis was supplied.
+// infeasibilities from ANY starting basis. A warm start loads the parent
+// basis (replaying its exported pivot order when present), recomputes the
+// basic solution, and lets phase 1 repair the rows the branching bound
+// change disturbed, under a pivot budget and a crash-basis gate; every
+// non-optimal warm outcome except a confirmed infeasibility falls through to
+// the authoritative cold solve.
 //
-// The seed dense-tableau kernel this replaces is retained verbatim in
-// milp/simplex_reference.h (namespace milp::reference) and is held
-// equivalent by tests/simplex_equivalence_test.cpp.
+// The eta-file (product-form) kernel this replaces is retained verbatim
+// behind LpOptions::use_eta_basis for A/B equivalence, and the seed
+// dense-tableau kernel before it lives in milp/simplex_reference.h
+// (namespace milp::reference); tests/simplex_equivalence_test.cpp and
+// tests/lu_kernel_test.cpp hold the three pairwise equivalent.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +42,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "milp/lu.h"
 #include "milp/model.h"
 
 namespace hermes::milp {
@@ -57,13 +56,19 @@ enum class LpStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(LpStatus s) noexcept;
 
-// A simplex basis: basic[r] is the variable basic in row r (structural
+// A simplex basis: basic[r] is the variable basic in slot r (structural
 // variables are 0..n-1, the logical of row i is n+i), and at_upper flags
 // which nonbasic variables rest at their upper bound. `columns` (= n + m
 // for the revised kernel) together with basic.size() (= m) forms the
 // compatibility signature: a warm start is attempted only when the target
 // model has the same shape, which holds across branch-and-bound bound
 // changes because bounds are not part of the column space.
+//
+// pivot_slot/pivot_row (either both size m or both empty) carry the LU
+// kernel's pivot order — the (slot, row) elimination sequence of the last
+// factorization — so a warm reload can replay it instead of re-running
+// Markowitz selection. Eta-kernel and reference-kernel bases leave them
+// empty; a stale or unusable order silently degrades to fresh selection.
 //
 // (The retained reference kernel exports a basis in its own column space —
 // structurals + slacks + artificials — with at_upper empty; each kernel
@@ -72,6 +77,8 @@ struct Basis {
     std::vector<std::int32_t> basic;
     std::vector<std::uint8_t> at_upper;
     std::uint32_t columns = 0;
+    std::vector<std::int32_t> pivot_slot;
+    std::vector<std::int32_t> pivot_row;
 
     [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
 };
@@ -94,12 +101,22 @@ struct LpResult {
     double objective = 0.0;             // in the model's own sense (min or max)
     std::vector<double> values;         // one per model variable (original space)
     std::int64_t iterations = 0;        // priced simplex pivots + bound flips
-    // Etas appended by basis (re)factorizations — warm reloads and periodic
-    // rebuilds. Kept apart from `iterations` because an eta costs one sparse
-    // FTRAN while a pivot pays BTRAN + a full pricing pass + FTRAN + ratio
-    // test; folding them together made warm and cold pivot counts
-    // incomparable (a warm reload is all etas, a cold start has none).
+    // Basis-inverse update operations appended outside the pivot loop: etas
+    // from (re)factorizations under the eta kernel, L plus R (Forrest-Tomlin)
+    // operations under the LU kernel. Kept apart from `iterations` because an
+    // update op costs one sparse solve while a pivot pays BTRAN + pricing +
+    // FTRAN + ratio test; folding them together made warm and cold pivot
+    // counts incomparable.
     std::int64_t factor_etas = 0;
+    // LU kernel counters for the lp.factor_* observability surface:
+    // refactorizations, FT updates, hypersparse vs dense solves, and factor
+    // vs basis nonzeros (their ratio is the fill-in). All zero when the
+    // solve ran on the eta or reference kernel.
+    LuFactor::Stats factor;
+    // Candidate-list pricing: prices served from the standing candidate list
+    // vs full-scan rebuilds (hit rate = hits / (hits + rebuilds)).
+    std::int64_t pricing_hits = 0;
+    std::int64_t pricing_rebuilds = 0;
     Basis basis;                        // exported on kOptimal; empty otherwise
     // Row duals and structural reduced costs at the optimum, in the model's
     // own objective sense; filled on kOptimal when
@@ -132,10 +149,10 @@ struct LpOptions : core::CommonOptions {
     // Non-empty parent basis to warm start from; incompatible or numerically
     // unusable bases silently degrade to the cold path.
     const Basis* warm_basis = nullptr;
-    // Eta-file length that forces a refactorization (and a from-scratch
-    // recompute of the basic solution). Smaller = more stable, larger =
-    // cheaper FTRAN/BTRAN; 64 is comfortable for the few-hundred-row P#1
-    // instances.
+    // Pivots since the last factorization that force a refactorization (and
+    // a from-scratch recompute of the basic solution). Smaller = more
+    // stable, larger = cheaper solves; 64 is comfortable for the
+    // few-hundred-row P#1 instances.
     int refactor_interval = 64;
     // Pivot allowance for a warm attempt before it is abandoned for the cold
     // path; 0 = auto (a small multiple of the basis reload cost). A failed
@@ -145,27 +162,43 @@ struct LpOptions : core::CommonOptions {
     // Fill LpResult::duals / reduced_costs on kOptimal (one extra BTRAN plus
     // one pricing-style pass; off by default).
     bool want_dual_values = false;
+    // Run the retained eta-file (product-form) kernel instead of the sparse
+    // LU kernel. Kept for A/B equivalence testing and as a numerical
+    // fallback; the two kernels agree in status and objective on every
+    // instance in the equivalence suites.
+    bool use_eta_basis = false;
 };
 
 // Per-thread scratch reused across solves. Contents are meaningless between
 // calls; a default-constructed workspace is ready to use. Callers that solve
 // many LPs against one context (branch and bound) should keep one per worker
-// to avoid reallocating the eta pools on every node.
+// to avoid reallocating the factor pools on every node.
 struct LpWorkspace {
     std::vector<double> x, y, col, rhs_work;
     std::vector<double> lower, upper;
     std::vector<std::int32_t> basic;
     std::vector<std::int8_t> vstat;
     std::vector<std::int32_t> pos;
-    // Pooled eta file: eta k spans [eta_start[k], eta_start[k+1]) of
-    // eta_row/eta_val and pivots on eta_pivot_row[k] with value eta_pivot[k].
+    // Pooled eta file (eta kernel only): eta k spans
+    // [eta_start[k], eta_start[k+1]) of eta_row/eta_val and pivots on
+    // eta_pivot_row[k] with value eta_pivot[k].
     std::vector<std::int32_t> eta_start, eta_pivot_row, eta_row;
     std::vector<double> eta_pivot, eta_val;
+    // LU kernel state: the factorization plus sparse solve vectors under the
+    // zero-outside-list contract (xcol/xlist entering column, rho/rholist
+    // BTRANed pivot row), the incremental reduced costs d with Devex weights,
+    // and the pricing candidate list.
+    LuFactor lu;
+    std::vector<double> xcol, rho, alpha, d, devex;
+    std::vector<std::int32_t> xlist, rholist, alist, cand;
+    // Sparse phase-1 pricing vector (btran_seeds zero/list contract).
+    std::vector<double> yspar;
+    std::vector<std::int32_t> yslist;
 };
 
-// Immutable standard-form image of a Model: CSC structural columns, row
-// senses/rhs, minimization-sense objective. Safe to share across threads;
-// bounds are supplied per solve.
+// Immutable standard-form image of a Model: CSC structural columns (with a
+// CSR row mirror), row senses/rhs, minimization-sense objective. Safe to
+// share across threads; bounds are supplied per solve.
 class LpContext {
 public:
     explicit LpContext(const Model& model);
@@ -173,6 +206,42 @@ public:
     [[nodiscard]] std::size_t rows() const noexcept { return rhs_.size(); }
     [[nodiscard]] std::size_t structurals() const noexcept { return obj_.size(); }
     [[nodiscard]] std::size_t nonzeros() const noexcept { return val_.size(); }
+
+    // CSC structural columns: column j spans [col_start()[j],
+    // col_start()[j+1]) of row_idx()/values().
+    [[nodiscard]] const std::vector<std::int64_t>& col_start() const noexcept {
+        return col_start_;
+    }
+    [[nodiscard]] const std::vector<std::int32_t>& row_idx() const noexcept {
+        return row_idx_;
+    }
+    [[nodiscard]] const std::vector<double>& values() const noexcept {
+        return val_;
+    }
+    // CSR mirror of the same matrix: row i spans [row_start()[i],
+    // row_start()[i+1]) of row_col()/row_val(). The pricing loop scatters a
+    // sparse BTRANed pivot row through these.
+    [[nodiscard]] const std::vector<std::int64_t>& row_start() const noexcept {
+        return row_start_;
+    }
+    [[nodiscard]] const std::vector<std::int32_t>& row_col() const noexcept {
+        return row_col_;
+    }
+    [[nodiscard]] const std::vector<double>& row_val() const noexcept {
+        return row_val_;
+    }
+    [[nodiscard]] const std::vector<Sense>& row_sense() const noexcept {
+        return row_sense_;
+    }
+    [[nodiscard]] const std::vector<double>& rhs() const noexcept { return rhs_; }
+    // Minimization-sense cost per structural variable.
+    [[nodiscard]] const std::vector<double>& objective() const noexcept {
+        return obj_;
+    }
+    [[nodiscard]] double objective_constant() const noexcept { return obj_constant_; }
+    // +1 for a minimization model, -1 for maximization (results are reported
+    // in the model's own sense).
+    [[nodiscard]] double sense_sign() const noexcept { return sense_sign_; }
 
     // Structural variable bounds as captured from the model at build time
     // (the defaults a caller perturbs per node).
@@ -192,11 +261,12 @@ public:
                                  LpWorkspace* workspace = nullptr) const;
 
 private:
-    friend class RevisedSimplex;
-
     std::vector<std::int64_t> col_start_;  // CSC: n+1 offsets
     std::vector<std::int32_t> row_idx_;
     std::vector<double> val_;
+    std::vector<std::int64_t> row_start_;  // CSR: m+1 offsets
+    std::vector<std::int32_t> row_col_;
+    std::vector<double> row_val_;
     std::vector<Sense> row_sense_;
     std::vector<double> rhs_;
     std::vector<double> obj_;              // minimization-sense cost per structural
@@ -204,6 +274,24 @@ private:
     double sense_sign_ = 1.0;              // +1 min model, -1 max model
     std::vector<double> model_lower_, model_upper_;
 };
+
+namespace detail {
+
+// The two kernel entry points behind LpContext::solve. Both run the same
+// warm/cold attempt protocol (crossed-bound rejection, crash gate, pivot
+// budget, confirm-before-declare, constraint re-verification); they differ
+// in basis representation and pricing. simplex.cc implements the LU kernel
+// and the dispatch; simplex_eta.cc implements the retained eta kernel.
+[[nodiscard]] LpResult solve_lu_kernel(const LpContext& ctx,
+                                       std::span<const double> lower,
+                                       std::span<const double> upper,
+                                       const LpOptions& options, LpWorkspace& ws);
+[[nodiscard]] LpResult solve_eta_kernel(const LpContext& ctx,
+                                        std::span<const double> lower,
+                                        std::span<const double> upper,
+                                        const LpOptions& options, LpWorkspace& ws);
+
+}  // namespace detail
 
 // Solves the LP relaxation of `model` (integrality dropped) by building a
 // one-shot LpContext. Throws std::invalid_argument on variables with

@@ -1,0 +1,782 @@
+// The retained eta-file (product-form) simplex kernel, reachable through
+// LpOptions::use_eta_basis. This is the PR 3-7 kernel verbatim apart from
+// reading LpContext through its public accessors; the sparse LU kernel in
+// simplex.cc replaced it as the default and tests/lu_kernel_test.cpp holds
+// the two equivalent. See simplex.h for the solver-level contract.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "milp/simplex.h"
+
+namespace hermes::milp {
+
+namespace {
+
+constexpr double kEps = 1e-9;       // reduced-cost / ratio tie tolerance
+constexpr double kFeasTol = 1e-7;   // primal bound feasibility
+constexpr double kPivTol = 1e-7;    // smallest acceptable pivot magnitude
+constexpr double kDropTol = 1e-12;  // entries below this are structural zero
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr std::int8_t kAtLower = 0;
+constexpr std::int8_t kAtUpper = 1;
+constexpr std::int8_t kBasic = 2;
+
+[[nodiscard]] std::chrono::steady_clock::time_point make_deadline(double max_seconds) {
+    if (max_seconds <= 0.0 || max_seconds >= 1e17) {
+        return std::chrono::steady_clock::time_point::max();  // no budget
+    }
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(max_seconds));
+}
+
+// One solve attempt-pair (warm then cold) over an LpContext. All state lives
+// in the caller-supplied workspace so branch-and-bound workers reuse their
+// eta pools across thousands of node re-solves.
+class EtaSimplex {
+public:
+    EtaSimplex(const LpContext& ctx, std::span<const double> lower,
+               std::span<const double> upper, const LpOptions& options,
+               LpWorkspace& ws)
+        : ctx_(ctx),
+          ws_(ws),
+          options_(options),
+          n_(ctx.structurals()),
+          m_(ctx.rows()),
+          total_(ctx.structurals() + ctx.rows()),
+          deadline_(make_deadline(options.time_limit_seconds)) {
+        ws_.lower.assign(total_, 0.0);
+        ws_.upper.assign(total_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (!std::isfinite(lower[j])) {
+                throw std::invalid_argument("solve_lp: variable " + std::to_string(j) +
+                                            " has non-finite lower bound");
+            }
+            ws_.lower[j] = lower[j];
+            ws_.upper[j] = upper[j];
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            switch (ctx_.row_sense()[i]) {
+                case Sense::kLe:
+                    ws_.lower[n_ + i] = 0.0;
+                    ws_.upper[n_ + i] = kInf;
+                    break;
+                case Sense::kGe:
+                    ws_.lower[n_ + i] = -kInf;
+                    ws_.upper[n_ + i] = 0.0;
+                    break;
+                case Sense::kEq:
+                    ws_.lower[n_ + i] = 0.0;
+                    ws_.upper[n_ + i] = 0.0;
+                    break;
+            }
+        }
+    }
+
+    [[nodiscard]] LpResult run() {
+        LpResult result = run_attempts();
+        result.factor_etas = factor_etas_;
+        return result;
+    }
+
+private:
+    [[nodiscard]] LpResult run_attempts() {
+        LpResult result;
+        // Crossed bounds (branching can produce lower > upper) make the box
+        // itself empty. Pricing skips negative-range variables as "fixed", so
+        // this must be rejected up front or the solve quietly pins the
+        // variable at its lower bound and reports optimal.
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.lower[j] >
+                ws_.upper[j] + kFeasTol * (1.0 + std::abs(ws_.upper[j]))) {
+                result.status = LpStatus::kInfeasible;
+                return result;
+            }
+        }
+        const bool have_warm =
+            options_.warm_basis != nullptr && !options_.warm_basis->empty();
+        // Notes the abandon reason and charges everything the warm attempt
+        // burned (reload etas included) as pure waste before falling through
+        // to the authoritative cold solve.
+        const auto abandon = [&](WarmAbandon why) {
+            result.warm_abandon = why;
+            result.warm_wasted_iterations = result.iterations;
+        };
+        for (int attempt = have_warm ? 0 : 1; attempt < 2; ++attempt) {
+            const bool warm = attempt == 0;
+            if (warm) {
+                if (!load_warm_basis(*options_.warm_basis)) {
+                    abandon(WarmAbandon::kLoad);
+                    continue;
+                }
+            } else {
+                load_cold_basis();
+            }
+            if (!factorize()) {
+                if (warm) {
+                    abandon(WarmAbandon::kFactorize);
+                    continue;
+                }
+                result.status = LpStatus::kIterationLimit;  // numerical give-up
+                return result;
+            }
+            compute_basic_solution();
+
+            if (warm && infeasible_basic_count() > crash_infeasible_count()) {
+                // Cost gate: the reloaded basis needs more phase-1 repair
+                // than a fresh crash (all-logical) basis would, so the parent
+                // basis carries no information worth paying for — abandon
+                // before burning any pivots on it.
+                abandon(WarmAbandon::kGate);
+                continue;
+            }
+
+            // A reloaded basis that does not re-optimize within a small pivot
+            // budget is abandoned for the cold path: phase-1 repair from a
+            // badly drifted parent basis can cost far more than solving from
+            // the logical basis, and the cold attempt is always available.
+            const std::int64_t limit =
+                warm ? std::min(options_.iteration_limit,
+                                result.iterations + warm_pivot_budget())
+                     : options_.iteration_limit;
+            const Verdict v = iterate(result.iterations, limit);
+            if (v == Verdict::kIterationLimit) {
+                if (warm && result.iterations < options_.iteration_limit &&
+                    std::chrono::steady_clock::now() <= deadline_ &&
+                    !options_.deadline.expired()) {
+                    abandon(WarmAbandon::kBudget);
+                    continue;  // warm budget exhausted; redo cold
+                }
+                result.status = LpStatus::kIterationLimit;
+                return result;
+            }
+            if (v == Verdict::kInfeasible) {
+                // Sound from a warm basis too: the phase-1 optimality proof
+                // is re-priced on a freshly refactorized basis and a
+                // from-scratch basic solution (confirm-before-declare), the
+                // same evidence a cold proof rests on. Re-proving it cold
+                // doubled the cost of every branching-fixed infeasible node.
+                result.status = LpStatus::kInfeasible;
+                result.warm_used = warm;  // a warm-certified proof is a hit
+                return result;
+            }
+            if (warm && v != Verdict::kOptimal) {
+                abandon(WarmAbandon::kVerdict);
+                continue;  // cold decides unbounded rays and numerical stalls
+            }
+            if (v == Verdict::kUnbounded) {
+                result.status = LpStatus::kUnbounded;
+                return result;
+            }
+            if (v == Verdict::kStall) {  // cold attempt hit a numerical wall
+                result.status = LpStatus::kIterationLimit;
+                return result;
+            }
+
+            extract(result);
+            if (warm && !verify_point(result.values)) {
+                result.values.clear();
+                abandon(WarmAbandon::kVerify);
+                continue;  // drifted warm solve; redo cold
+            }
+            result.status = LpStatus::kOptimal;
+            result.warm_used = warm;
+            export_basis(result.basis);
+            if (options_.want_dual_values) export_duals(result);
+            return result;
+        }
+        result.status = LpStatus::kIterationLimit;  // unreachable
+        return result;
+    }
+
+    enum class Verdict { kOptimal, kInfeasible, kUnbounded, kIterationLimit, kStall };
+
+    // ---- eta file -------------------------------------------------------
+
+    void clear_etas() {
+        ws_.eta_start.assign(1, 0);
+        ws_.eta_pivot_row.clear();
+        ws_.eta_pivot.clear();
+        ws_.eta_row.clear();
+        ws_.eta_val.clear();
+    }
+
+    // Appends the eta derived from the FTRANed column `d` pivoting on row r.
+    void append_eta(const std::vector<double>& d, std::size_t r) {
+        ws_.eta_pivot_row.push_back(static_cast<std::int32_t>(r));
+        ws_.eta_pivot.push_back(d[r]);
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (i == r || std::abs(d[i]) <= kDropTol) continue;
+            ws_.eta_row.push_back(static_cast<std::int32_t>(i));
+            ws_.eta_val.push_back(d[i]);
+        }
+        ws_.eta_start.push_back(static_cast<std::int32_t>(ws_.eta_row.size()));
+    }
+
+    // v <- B^-1 v, applying etas oldest first.
+    void ftran(std::vector<double>& v) const {
+        const std::size_t k = ws_.eta_pivot_row.size();
+        for (std::size_t e = 0; e < k; ++e) {
+            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
+            double t = v[r];
+            if (t == 0.0) continue;
+            t /= ws_.eta_pivot[e];
+            v[r] = t;
+            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
+            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                v[static_cast<std::size_t>(ws_.eta_row[i])] -= ws_.eta_val[i] * t;
+            }
+        }
+    }
+
+    // y <- B^-T y, applying etas newest first (only the pivot component of y
+    // changes per eta, so BTRAN is a gather instead of a scatter).
+    void btran(std::vector<double>& y) const {
+        for (std::size_t e = ws_.eta_pivot_row.size(); e-- > 0;) {
+            const auto r = static_cast<std::size_t>(ws_.eta_pivot_row[e]);
+            double acc = y[r];
+            const auto begin = static_cast<std::size_t>(ws_.eta_start[e]);
+            const auto end = static_cast<std::size_t>(ws_.eta_start[e + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                acc -= ws_.eta_val[i] * y[static_cast<std::size_t>(ws_.eta_row[i])];
+            }
+            y[r] = acc / ws_.eta_pivot[e];
+        }
+    }
+
+    // Writes column j of the standard-form matrix into the dense scratch.
+    void load_column(std::size_t j, std::vector<double>& dense) const {
+        std::fill(dense.begin(), dense.end(), 0.0);
+        if (j < n_) {
+            const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                dense[static_cast<std::size_t>(ctx_.row_idx()[i])] = ctx_.values()[i];
+            }
+        } else {
+            dense[j - n_] = 1.0;
+        }
+    }
+
+    [[nodiscard]] double dot_column(std::size_t j, const std::vector<double>& y) const {
+        if (j >= n_) return y[j - n_];
+        double acc = 0.0;
+        const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+        const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+        for (std::size_t i = begin; i < end; ++i) {
+            acc += ctx_.values()[i] * y[static_cast<std::size_t>(ctx_.row_idx()[i])];
+        }
+        return acc;
+    }
+
+    // ---- basis management ----------------------------------------------
+
+    void load_cold_basis() {
+        ws_.basic.resize(m_);
+        ws_.vstat.assign(total_, kAtLower);
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (!std::isfinite(ws_.lower[j])) ws_.vstat[j] = kAtUpper;
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            ws_.basic[i] = static_cast<std::int32_t>(n_ + i);
+            ws_.vstat[n_ + i] = kBasic;
+        }
+    }
+
+    [[nodiscard]] bool load_warm_basis(const Basis& warm) {
+        if (warm.basic.size() != m_ || warm.columns != total_) return false;
+        ws_.vstat.assign(total_, kAtLower);
+        if (warm.at_upper.size() == total_) {
+            for (std::size_t j = 0; j < total_; ++j) {
+                if (warm.at_upper[j]) ws_.vstat[j] = kAtUpper;
+            }
+        }
+        // A nonbasic variable must rest at a finite bound.
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kAtLower && !std::isfinite(ws_.lower[j])) {
+                if (!std::isfinite(ws_.upper[j])) return false;
+                ws_.vstat[j] = kAtUpper;
+            } else if (ws_.vstat[j] == kAtUpper && !std::isfinite(ws_.upper[j])) {
+                ws_.vstat[j] = kAtLower;  // lower is finite for structurals
+                if (!std::isfinite(ws_.lower[j])) return false;
+            }
+        }
+        ws_.basic.resize(m_);
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::int32_t v = warm.basic[i];
+            if (v < 0 || static_cast<std::size_t>(v) >= total_) return false;
+            ws_.basic[i] = v;
+            ws_.vstat[static_cast<std::size_t>(v)] = kBasic;
+        }
+        return true;
+    }
+
+    // Rebuilds the eta file for the current basic set: logical columns first
+    // (each is a unit vector, pivots on its own row, adds no eta), then the
+    // structural basics by largest-magnitude remaining row. Renumbers
+    // ws_.basic row assignments; returns false on duplicates/singularity.
+    [[nodiscard]] bool factorize() {
+        clear_etas();
+        ws_.pos.assign(total_, -1);
+        std::vector<std::int32_t> new_basic(m_, -1);
+        std::vector<std::int32_t> structural;
+        structural.reserve(m_);
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::int32_t v = ws_.basic[i];
+            if (v < 0 || static_cast<std::size_t>(v) >= total_) return false;
+            if (ws_.pos[static_cast<std::size_t>(v)] != -1) return false;  // duplicate
+            ws_.pos[static_cast<std::size_t>(v)] = 0;  // provisional claim marker
+            if (static_cast<std::size_t>(v) >= n_) {
+                const std::size_t row = static_cast<std::size_t>(v) - n_;
+                if (new_basic[row] != -1) return false;
+                new_basic[row] = v;
+            } else {
+                structural.push_back(v);
+            }
+        }
+        ws_.col.assign(m_, 0.0);
+        for (const std::int32_t v : structural) {
+            load_column(static_cast<std::size_t>(v), ws_.col);
+            ftran(ws_.col);
+            std::size_t pr = m_;
+            double best = kPivTol;
+            for (std::size_t r = 0; r < m_; ++r) {
+                if (new_basic[r] != -1) continue;
+                const double a = std::abs(ws_.col[r]);
+                if (a > best) {
+                    best = a;
+                    pr = r;
+                }
+            }
+            if (pr == m_) return false;  // dependent / near-singular column
+            append_eta(ws_.col, pr);
+            new_basic[pr] = v;
+            ++factor_etas_;
+        }
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (new_basic[r] == -1) return false;  // row left unpivoted
+        }
+        ws_.basic = std::move(new_basic);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.pos[static_cast<std::size_t>(ws_.basic[r])] =
+                static_cast<std::int32_t>(r);
+        }
+        updates_since_factor_ = 0;
+        return true;
+    }
+
+    // Recomputes x from scratch: nonbasic at their bound, basics via FTRAN of
+    // the bound-adjusted rhs. Wipes all incremental round-off.
+    void compute_basic_solution() {
+        ws_.x.assign(total_, 0.0);
+        ws_.rhs_work = ctx_.rhs();
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            const double xj = ws_.vstat[j] == kAtUpper ? ws_.upper[j] : ws_.lower[j];
+            ws_.x[j] = xj;
+            if (xj == 0.0) continue;
+            if (j < n_) {
+                const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+                const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+                for (std::size_t i = begin; i < end; ++i) {
+                    ws_.rhs_work[static_cast<std::size_t>(ctx_.row_idx()[i])] -=
+                        ctx_.values()[i] * xj;
+                }
+            } else {
+                ws_.rhs_work[j - n_] -= xj;
+            }
+        }
+        ftran(ws_.rhs_work);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.x[static_cast<std::size_t>(ws_.basic[r])] = ws_.rhs_work[r];
+        }
+    }
+
+    // ---- the pivot loop -------------------------------------------------
+
+    [[nodiscard]] bool basic_infeasible() const {
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
+                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] double phase_cost(std::size_t v, int phase) const {
+        if (phase == 2) return v < n_ ? ctx_.objective()[v] : 0.0;
+        // Phase 1: gradient of the sum of primal infeasibilities. Only basic
+        // variables can be out of bounds; nonbasic costs are zero.
+        const double xv = ws_.x[v];
+        if (xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) return 1.0;
+        if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v]))) return -1.0;
+        return 0.0;
+    }
+
+    // One BTRAN + one sparse pass over all columns: picks the entering
+    // variable (Dantzig most-improving, or Bland first-eligible once the
+    // degenerate-run guard tripped). Returns total_ when none is eligible.
+    [[nodiscard]] std::size_t price(int phase, bool bland) {
+        ws_.y.assign(m_, 0.0);
+        for (std::size_t r = 0; r < m_; ++r) {
+            ws_.y[r] = phase_cost(static_cast<std::size_t>(ws_.basic[r]), phase);
+        }
+        btran(ws_.y);
+        std::size_t enter = total_;
+        double best_score = kEps;
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kBasic) continue;
+            if (ws_.upper[j] - ws_.lower[j] <= kDropTol) continue;  // fixed
+            const double cost = phase == 2 && j < n_ ? ctx_.objective()[j] : 0.0;
+            const double d = cost - dot_column(j, ws_.y);
+            const double score = ws_.vstat[j] == kAtLower ? -d : d;
+            if (score <= kEps) continue;
+            if (bland) return j;  // smallest eligible index (ascending scan)
+            if (score > best_score) {
+                best_score = score;
+                enter = j;
+            }
+        }
+        return enter;
+    }
+
+    struct Ratio {
+        double step = kInf;
+        std::size_t leave_row = std::numeric_limits<std::size_t>::max();
+        bool leave_at_upper = false;
+        bool flip = false;
+    };
+
+    // Bounded-variable ratio test on the FTRANed entering column in ws_.col.
+    // In phase 1 an infeasible basic variable blocks only at the bound it is
+    // returning to (the first kink of the piecewise phase-1 objective), and
+    // never blocks while moving further out; feasible basics block at their
+    // bounds in both phases.
+    [[nodiscard]] Ratio ratio_test(std::size_t enter, double dir, int phase,
+                                   bool bland) const {
+        Ratio best;
+        double best_pivot = 0.0;
+        for (std::size_t r = 0; r < m_; ++r) {
+            const double a = ws_.col[r];
+            if (std::abs(a) <= kPivTol) continue;
+            const double w = dir * a;  // x_B[r] moves by -w per unit step
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            const double l = ws_.lower[v];
+            const double u = ws_.upper[v];
+            const double ltol = kFeasTol * (1.0 + std::abs(l));
+            const double utol = kFeasTol * (1.0 + std::abs(u));
+            double t = kInf;
+            bool at_upper = false;
+            if (phase == 1 && xv > u + utol) {
+                if (w <= 0.0) continue;  // moving further above: no kink
+                t = (xv - u) / w;
+                at_upper = true;
+            } else if (phase == 1 && xv < l - ltol) {
+                if (w >= 0.0) continue;
+                t = (xv - l) / w;
+                at_upper = false;
+            } else if (w > 0.0) {
+                if (!std::isfinite(l)) continue;
+                t = (xv - l) / w;
+                at_upper = false;
+            } else {
+                if (!std::isfinite(u)) continue;
+                t = (xv - u) / w;
+                at_upper = true;
+            }
+            if (t < 0.0) t = 0.0;  // degenerate beyond tolerance: zero step
+            const bool first = best.leave_row == std::numeric_limits<std::size_t>::max();
+            bool take = false;
+            if (first || t < best.step - kEps) {
+                take = true;
+            } else if (t < best.step + kEps) {
+                take = bland ? ws_.basic[r] <
+                                   ws_.basic[static_cast<std::size_t>(best.leave_row)]
+                             : std::abs(a) > best_pivot;
+            }
+            if (take) {
+                best.step = std::min(first ? t : best.step, t);
+                best.leave_row = r;
+                best.leave_at_upper = at_upper;
+                best_pivot = std::abs(a);
+            }
+        }
+        // The entering variable's own opposite bound: a flip step changes no
+        // basis and appends no eta, so prefer it on ties.
+        const double range = ws_.upper[enter] - ws_.lower[enter];
+        if (std::isfinite(range) && range <= best.step) {
+            best.step = range;
+            best.flip = true;
+        }
+        return best;
+    }
+
+    // Pivot allowance for a warm attempt before it is abandoned: generous
+    // enough for a short phase-1 repair plus re-optimization after one
+    // branching bound change, far below a typical from-scratch solve. A
+    // failed attempt wastes its whole budget on top of the cold solve, so
+    // the default is tight; LpOptions::warm_pivot_budget overrides it.
+    [[nodiscard]] std::int64_t warm_pivot_budget() const {
+        if (options_.warm_pivot_budget > 0) return options_.warm_pivot_budget;
+        return 32 + static_cast<std::int64_t>(m_) / 2;
+    }
+
+    // Number of basic variables outside their bounds at the current point —
+    // the phase-1 workload the current basis still owes.
+    [[nodiscard]] std::int64_t infeasible_basic_count() const {
+        std::int64_t violated = 0;
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            const double xv = ws_.x[v];
+            if (xv < ws_.lower[v] - kFeasTol * (1.0 + std::abs(ws_.lower[v])) ||
+                xv > ws_.upper[v] + kFeasTol * (1.0 + std::abs(ws_.upper[v]))) {
+                ++violated;
+            }
+        }
+        return violated;
+    }
+
+    // Phase-1 workload of a fresh crash (all-logical) basis: structural
+    // variables at their cold-path bound, each logical at its row residual.
+    // One pass over the nonzeros, no factorization — the yardstick the warm
+    // gate compares the reloaded basis against.
+    [[nodiscard]] std::int64_t crash_infeasible_count() const {
+        if (crash_infeasible_ >= 0) return crash_infeasible_;
+        std::vector<double>& residual = ws_.y;  // dead until the next price()
+        residual.assign(ctx_.rhs().begin(), ctx_.rhs().end());
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double xj = !std::isfinite(ws_.lower[j]) ? ws_.upper[j]
+                                                          : ws_.lower[j];
+            if (xj == 0.0) continue;
+            const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                residual[static_cast<std::size_t>(ctx_.row_idx()[i])] -=
+                    ctx_.values()[i] * xj;
+            }
+        }
+        std::int64_t violated = 0;
+        for (std::size_t i = 0; i < m_; ++i) {
+            const std::size_t s = n_ + i;
+            if (residual[i] < ws_.lower[s] - kFeasTol * (1.0 + std::abs(ws_.lower[s])) ||
+                residual[i] > ws_.upper[s] + kFeasTol * (1.0 + std::abs(ws_.upper[s]))) {
+                ++violated;
+            }
+        }
+        crash_infeasible_ = violated;
+        return crash_infeasible_;
+    }
+
+    [[nodiscard]] Verdict iterate(std::int64_t& iterations, std::int64_t limit) {
+        std::int64_t local = 0;
+        std::int64_t degenerate_run = 0;
+        const std::int64_t bland_threshold =
+            64 + 4 * static_cast<std::int64_t>(total_ + m_);
+        bool bland = false;
+        int confirm_passes = 0;
+
+        while (true) {
+            if (iterations >= limit) return Verdict::kIterationLimit;
+            if ((local++ & 63) == 0 &&
+                (std::chrono::steady_clock::now() > deadline_ ||
+                 options_.deadline.expired())) {
+                return Verdict::kIterationLimit;
+            }
+
+            const int phase = basic_infeasible() ? 1 : 2;
+            const std::size_t enter = price(phase, bland);
+            if (enter == total_) {
+                // Never trust a verdict reached on a stale eta file: rebuild,
+                // recompute, and re-price once before declaring.
+                if (updates_since_factor_ > 0 && confirm_passes < 2) {
+                    ++confirm_passes;
+                    if (!factorize()) return Verdict::kStall;
+                    compute_basic_solution();
+                    continue;
+                }
+                return phase == 1 ? Verdict::kInfeasible : Verdict::kOptimal;
+            }
+            confirm_passes = 0;
+
+            const double dir = ws_.vstat[enter] == kAtLower ? 1.0 : -1.0;
+            load_column(enter, ws_.col);
+            ftran(ws_.col);
+            const Ratio ratio = ratio_test(enter, dir, phase, bland);
+            if (!std::isfinite(ratio.step)) {
+                // Phase 1 minimizes a function bounded below by zero, so an
+                // unblocked ray there is a numerical artifact, not a proof.
+                return phase == 2 ? Verdict::kUnbounded : Verdict::kStall;
+            }
+
+            const double t = ratio.step;
+            if (t > 0.0) {
+                for (std::size_t r = 0; r < m_; ++r) {
+                    if (ws_.col[r] == 0.0) continue;
+                    ws_.x[static_cast<std::size_t>(ws_.basic[r])] -=
+                        dir * ws_.col[r] * t;
+                }
+            }
+            if (ratio.flip) {
+                ws_.x[enter] =
+                    ws_.vstat[enter] == kAtLower ? ws_.upper[enter] : ws_.lower[enter];
+                ws_.vstat[enter] = ws_.vstat[enter] == kAtLower ? kAtUpper : kAtLower;
+            } else {
+                ws_.x[enter] = ws_.vstat[enter] == kAtLower ? ws_.lower[enter] + t
+                                                            : ws_.upper[enter] - t;
+                const auto leave = static_cast<std::size_t>(ws_.basic[ratio.leave_row]);
+                ws_.x[leave] = ratio.leave_at_upper ? ws_.upper[leave] : ws_.lower[leave];
+                ws_.vstat[leave] = ratio.leave_at_upper ? kAtUpper : kAtLower;
+                ws_.vstat[enter] = kBasic;
+                ws_.basic[ratio.leave_row] = static_cast<std::int32_t>(enter);
+                ws_.pos[leave] = -1;
+                ws_.pos[enter] = static_cast<std::int32_t>(ratio.leave_row);
+                append_eta(ws_.col, ratio.leave_row);
+            }
+            ++updates_since_factor_;  // flips also update x incrementally
+            ++iterations;
+            degenerate_run = t > kEps ? 0 : degenerate_run + 1;
+            if (degenerate_run > bland_threshold) bland = true;
+
+            // Count pivots since the last rebuild, NOT the eta-file length:
+            // the file starts at one eta per structural basic after a warm
+            // reload, and measuring it would re-trigger a full factorization
+            // on every pivot whenever that reload exceeds the interval.
+            if (updates_since_factor_ >=
+                static_cast<std::int64_t>(std::max(1, options_.refactor_interval))) {
+                if (!factorize()) return Verdict::kStall;
+                compute_basic_solution();
+            }
+        }
+    }
+
+    // ---- solution handling ---------------------------------------------
+
+    void extract(LpResult& result) const {
+        result.values.assign(n_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            double xj = ws_.x[j];
+            // Snap round-off just outside a bound back onto it; larger
+            // violations are left visible for the verification gate.
+            const double tol = kFeasTol * (1.0 + std::abs(xj));
+            if (xj < ws_.lower[j] && xj > ws_.lower[j] - tol) {
+                xj = ws_.lower[j];
+            } else if (xj > ws_.upper[j] && xj < ws_.upper[j] + tol) {
+                xj = ws_.upper[j];
+            }
+            result.values[j] = xj;
+        }
+        double obj = ctx_.objective_constant();
+        for (std::size_t j = 0; j < n_; ++j) {
+            obj += ctx_.objective()[j] * result.values[j];
+        }
+        result.objective = ctx_.sense_sign() * obj;
+    }
+
+    // Row duals lambda = B^-T c_B and structural reduced costs
+    // d_j = c_j - lambda' A_j at the optimum, exported in the model's own
+    // objective sense. The eta file is fresh here (every verdict is
+    // confirmed on a rebuilt factorization), so this is one BTRAN plus one
+    // pricing-style pass over the columns.
+    void export_duals(LpResult& result) const {
+        ws_.y.assign(m_, 0.0);
+        for (std::size_t r = 0; r < m_; ++r) {
+            const auto v = static_cast<std::size_t>(ws_.basic[r]);
+            ws_.y[r] = v < n_ ? ctx_.objective()[v] : 0.0;
+        }
+        btran(ws_.y);
+        result.duals.resize(m_);
+        for (std::size_t r = 0; r < m_; ++r) {
+            result.duals[r] = ctx_.sense_sign() * ws_.y[r];
+        }
+        result.reduced_costs.resize(n_);
+        for (std::size_t j = 0; j < n_; ++j) {
+            result.reduced_costs[j] =
+                ctx_.sense_sign() * (ctx_.objective()[j] - dot_column(j, ws_.y));
+        }
+    }
+
+    // Constraint-only gate on warm results: row activities recomputed from
+    // the CSC matrix directly, independent of any solver state.
+    [[nodiscard]] bool verify_point(const std::vector<double>& values) const {
+        constexpr double kGuardTol = 1e-6;
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double tol = kGuardTol * (1.0 + std::abs(values[j]));
+            if (values[j] < ws_.lower[j] - tol || values[j] > ws_.upper[j] + tol) {
+                return false;
+            }
+        }
+        std::vector<double> activity(m_, 0.0);
+        for (std::size_t j = 0; j < n_; ++j) {
+            const double xj = values[j];
+            if (xj == 0.0) continue;
+            const auto begin = static_cast<std::size_t>(ctx_.col_start()[j]);
+            const auto end = static_cast<std::size_t>(ctx_.col_start()[j + 1]);
+            for (std::size_t i = begin; i < end; ++i) {
+                activity[static_cast<std::size_t>(ctx_.row_idx()[i])] +=
+                    ctx_.values()[i] * xj;
+            }
+        }
+        for (std::size_t i = 0; i < m_; ++i) {
+            const double rhs = ctx_.rhs()[i];
+            const double tol = kGuardTol * (1.0 + std::abs(rhs));
+            switch (ctx_.row_sense()[i]) {
+                case Sense::kLe:
+                    if (activity[i] > rhs + tol) return false;
+                    break;
+                case Sense::kGe:
+                    if (activity[i] < rhs - tol) return false;
+                    break;
+                case Sense::kEq:
+                    if (std::abs(activity[i] - rhs) > tol) return false;
+                    break;
+            }
+        }
+        return true;
+    }
+
+    void export_basis(Basis& out) const {
+        out.basic.assign(ws_.basic.begin(), ws_.basic.end());
+        out.at_upper.assign(total_, 0);
+        for (std::size_t j = 0; j < total_; ++j) {
+            if (ws_.vstat[j] == kAtUpper) out.at_upper[j] = 1;
+        }
+        out.columns = static_cast<std::uint32_t>(total_);
+        out.pivot_slot.clear();  // eta bases carry no LU pivot order
+        out.pivot_row.clear();
+    }
+
+    const LpContext& ctx_;
+    LpWorkspace& ws_;
+    const LpOptions& options_;
+    const std::size_t n_;
+    const std::size_t m_;
+    const std::size_t total_;
+    const std::chrono::steady_clock::time_point deadline_;
+    std::int64_t updates_since_factor_ = 0;
+    std::int64_t factor_etas_ = 0;
+    mutable std::int64_t crash_infeasible_ = -1;  // lazily computed, then cached
+};
+
+}  // namespace
+
+namespace detail {
+
+LpResult solve_eta_kernel(const LpContext& ctx, std::span<const double> lower,
+                          std::span<const double> upper, const LpOptions& options,
+                          LpWorkspace& ws) {
+    EtaSimplex simplex(ctx, lower, upper, options, ws);
+    return simplex.run();
+}
+
+}  // namespace detail
+
+}  // namespace hermes::milp

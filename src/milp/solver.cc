@@ -227,6 +227,18 @@ private:
         std::int64_t warm_wasted_pivots = 0;
         // Indexed by WarmAbandon (kLoad..kVerify); kNone is never counted.
         std::int64_t abandons[6] = {0, 0, 0, 0, 0, 0};
+        // LU kernel observability, summed over this worker's node LPs:
+        // refactorizations, Forrest-Tomlin updates, hypersparse vs dense
+        // triangular solves, factor/basis nonzeros at refactorization, and
+        // the Devex candidate-list hit/rebuild split.
+        std::int64_t factor_refactorizations = 0;
+        std::int64_t factor_ft_updates = 0;
+        std::int64_t factor_hyper_solves = 0;
+        std::int64_t factor_dense_solves = 0;
+        double factor_fill_nnz = 0.0;
+        double factor_basis_nnz = 0.0;
+        std::int64_t pricing_list_hits = 0;
+        std::int64_t pricing_rebuilds = 0;
     };
 
     // RAII flush of one worker's stats: runs on every exit path — clean
@@ -262,6 +274,19 @@ private:
                 sink_->counter(kAbandonNames[i]).add(stats.abandons[i]);
             }
         }
+        // Registered unconditionally (like the warm_* trio) so exported
+        // metrics JSON always carries the lp.factor_* surface CI asserts on;
+        // they stay zero under the eta or dense reference kernels.
+        sink_->counter("lp.factor_refactorizations").add(stats.factor_refactorizations);
+        sink_->counter("lp.factor_ft_updates").add(stats.factor_ft_updates);
+        sink_->counter("lp.factor_hyper_solves").add(stats.factor_hyper_solves);
+        sink_->counter("lp.factor_dense_solves").add(stats.factor_dense_solves);
+        sink_->counter("lp.factor_fill_nnz")
+            .add(static_cast<std::int64_t>(stats.factor_fill_nnz));
+        sink_->counter("lp.factor_basis_nnz")
+            .add(static_cast<std::int64_t>(stats.factor_basis_nnz));
+        sink_->counter("lp.pricing_list_hits").add(stats.pricing_list_hits);
+        sink_->counter("lp.pricing_rebuilds").add(stats.pricing_rebuilds);
     }
 
     void worker(int index) {
@@ -369,6 +394,7 @@ private:
             lp_options.warm_basis = warm;
             lp_options.refactor_interval = options_.lp_refactor_interval;
             lp_options.warm_pivot_budget = options_.lp_warm_pivot_budget;
+            lp_options.use_eta_basis = options_.lp_use_eta_basis;
             // Root reduced costs feed incumbent-driven bound tightening.
             lp_options.want_dual_values = is_root;
             lp = context_.solve(lower, upper, lp_options, &workspace);
@@ -388,6 +414,14 @@ private:
                     ++stats.abandons[static_cast<int>(lp.warm_abandon) - 1];
                 }
             }
+            stats.factor_refactorizations += lp.factor.refactorizations;
+            stats.factor_ft_updates += lp.factor.ft_updates;
+            stats.factor_hyper_solves += lp.factor.hyper_solves;
+            stats.factor_dense_solves += lp.factor.dense_solves;
+            stats.factor_fill_nnz += lp.factor.fill_nnz;
+            stats.factor_basis_nnz += lp.factor.basis_nnz;
+            stats.pricing_list_hits += lp.pricing_hits;
+            stats.pricing_rebuilds += lp.pricing_rebuilds;
             lp_iterations_per_node_->observe(static_cast<double>(lp.iterations));
         }
 
@@ -543,13 +577,22 @@ private:
                 probe.warm_basis = &root.basis;
                 probe.refactor_interval = options_.lp_refactor_interval;
                 probe.warm_pivot_budget = options_.lp_warm_pivot_budget;
+                probe.use_eta_basis = options_.lp_use_eta_basis;
                 const LpResult child = context_.solve(lower, upper, probe, &workspace);
                 lower[j] = saved_lower;
                 upper[j] = saved_upper;
                 spent += child.iterations;
                 if (child.status == LpStatus::kOptimal) {
-                    pseudocosts_.record(c.var, up, up ? 1.0 - f : f,
-                                        sense_ * child.objective - root_bound);
+                    const double gain = sense_ * child.objective - root_bound;
+                    // A zero-degradation probe at a degenerate root vertex
+                    // (every direction free to move along an alternative
+                    // optimum) is noise, not signal: seeding it would brand
+                    // the variable useless-to-branch everywhere and drag the
+                    // table-wide fallback average toward zero. Real zero
+                    // observations still arrive from processed tree nodes.
+                    if (gain > options_.absolute_gap) {
+                        pseudocosts_.record(c.var, up, up ? 1.0 - f : f, gain);
+                    }
                 } else if (child.status == LpStatus::kInfeasible) {
                     const std::lock_guard lk(mu_);
                     if (up) {

@@ -72,8 +72,12 @@ struct MilpOptions : core::CommonOptions {
     // benchmarking/debugging aid — results are identical, the dense path is
     // just slower and rebuilds its standard form on every node.
     bool use_reference_lp = false;
-    // Eta-file length that forces a refactorization in the revised LP kernel
-    // (forwarded to LpOptions::refactor_interval).
+    // Solve node LPs with the retained eta-file kernel instead of the sparse
+    // LU one (forwarded to LpOptions::use_eta_basis). An A/B equivalence and
+    // numerical-fallback aid — results are identical.
+    bool lp_use_eta_basis = false;
+    // Pivots since the last factorization that force a refactorization in
+    // the revised LP kernel (forwarded to LpOptions::refactor_interval).
     int lp_refactor_interval = 64;
     // Pivot allowance for one warm LP attempt before it abandons to cold
     // (forwarded to LpOptions::warm_pivot_budget; 0 = the kernel's auto
@@ -89,7 +93,10 @@ struct MilpOptions : core::CommonOptions {
     // most-fractional rule (kept for A/B benchmarking).
     bool pseudocost_branching = true;
     // Fractional root candidates probed by strong branching, and the pivot
-    // cap for each probe LP.
+    // cap for each probe LP. Probes that report zero degradation (routine at
+    // the degenerate vertices the LU kernel lands on) are discarded rather
+    // than seeded, so widening the list past this point only buys root time,
+    // not smaller trees — 8 is the measured knee on the P#1-scale instances.
     int strong_branch_candidates = 8;
     std::int64_t strong_branch_pivot_limit = 400;
     // Benders-style decomposition (milp/decompose.h): a placement master

@@ -178,49 +178,203 @@ void Engine::compute_lookahead() {
 }
 
 void Engine::fastpath_admission() {
+    // Zero-packet flows never transmit: deliver them immediately and release
+    // their admission claim on pending_flows, so a payload-free flow cannot
+    // pin a link's contention count above the fast-forward threshold forever.
+    const auto deliver_empty = [this](FlowState& flow) {
+        flow.received = flow.packets;
+        if (flow.packets == 0) {
+            for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+                --links_[route_links_[flow.route_offset + h]].pending_flows;
+            }
+        }
+    };
+    if (!config_.enable_fastpath) {
+        for (FlowId id = 0; id < flows_.size(); ++id) {
+            FlowState& flow = flows_[id];
+            if (flow.packets == 0 || flow.route_len == 0) {
+                deliver_empty(flow);
+                continue;
+            }
+            inject(id);
+        }
+        return;
+    }
+
+    // Time-serialized analytic admission. A flow does not need exclusive
+    // links to be advanced without events — it only needs its use of every
+    // link to be serialized against every other flow's use: flows processed
+    // earlier must be fully past the link before this flow's first packet
+    // can arrive, and flows processed later must not be able to reach the
+    // link before this flow's last packet has left its transmitter. Both
+    // halves come from processing flows in (start, id) order and keeping,
+    // per link, a cursor over its occupant flows in that same order: when a
+    // flow is admitted analytically, its criterion guarantees every
+    // not-yet-processed occupant starts at or after the link's new free
+    // instant, so the FIFO order the event loop would produce is exactly
+    // "everything admitted so far, then everyone else" — and max(arrival,
+    // free_at) reproduces it. A flow that fails the criterion is injected
+    // into the event loop and permanently taints its links (its batches
+    // reach them at times only the event loop knows), which bars later
+    // analytic admissions there.
     const double denom = config_.link_bandwidth_gbps * 1e3;
-    for (FlowId id = 0; id < flows_.size(); ++id) {
+    std::vector<FlowId> order(flows_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [this](FlowId a, FlowId b) {
+        return flows_[a].start_us < flows_[b].start_us;
+    });
+    // CSR of each link's transmitting occupants in admission order. Each
+    // occurrence also carries a lower bound on when that flow's first packet
+    // can arrive at that link: its start plus the propagation and switch
+    // latency of every upstream hop (transmission times only push the true
+    // arrival later, so dropping them keeps the bound safe). `bound` is then
+    // folded into a per-link suffix minimum, so one lookup at the cursor
+    // bounds the earliest arrival of *every* not-yet-processed occupant.
+    std::vector<std::uint32_t> offset(links_.size() + 1, 0);
+    for (const FlowState& flow : flows_) {
+        if (flow.packets == 0) continue;
+        for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+            ++offset[route_links_[flow.route_offset + h] + 1];
+        }
+    }
+    for (std::size_t l = 1; l < offset.size(); ++l) offset[l] += offset[l - 1];
+    std::vector<FlowId> occupants(offset.back());
+    std::vector<double> bound(offset.back());
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (const FlowId id : order) {
+        const FlowState& flow = flows_[id];
+        if (flow.packets == 0) continue;
+        double earliest = flow.start_us;
+        for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+            const LinkId l = route_links_[flow.route_offset + h];
+            occupants[cursor[l]] = id;
+            bound[cursor[l]++] = earliest;
+            earliest += links_[l].propagation_us + links_[l].switch_latency_us;
+        }
+    }
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+        for (std::uint32_t k = offset[l + 1]; k-- > offset[l] + 1;) {
+            bound[k - 1] = std::min(bound[k - 1], bound[k]);
+        }
+    }
+    std::copy(offset.begin(), offset.end() - 1, cursor.begin());
+
+    std::vector<std::uint8_t> tainted(links_.size(), 0);
+    std::vector<double> saved;      // free_at checkpoint for a rejected dry run
+    std::vector<FlowId> rejected;   // injected after the pass, in id order
+    for (const FlowId id : order) {
         FlowState& flow = flows_[id];
         if (flow.packets == 0 || flow.route_len == 0) {
-            flow.received = flow.packets;
+            deliver_empty(flow);
             continue;
         }
-        bool alone = config_.enable_fastpath;
-        for (std::uint32_t h = 0; alone && h < flow.route_len; ++h) {
-            alone = links_[route_links_[flow.route_offset + h]].pending_flows == 1;
-        }
-        if (!alone) {
-            inject(id);
-            continue;
-        }
-        // Analytic advance: the exact store-and-forward recurrence of the
-        // classic per-packet event loop, in its dependency order — packet p
-        // at hop h reads the arrival from (p, h-1) and the transmitter time
-        // left by (p-1, h) — so the timestamps are bit-identical to it.
-        const double tx_full =
-            static_cast<double>(flow.full_wire) * 8.0 / denom;
-        const double tx_last =
-            static_cast<double>(flow.last_wire) * 8.0 / denom;
-        double completion = flow.start_us;
-        for (std::int64_t p = 0; p < flow.packets; ++p) {
-            const double tx = p == flow.packets - 1 ? tx_last : tx_full;
-            double at = flow.start_us;
-            for (std::uint32_t h = 0; h < flow.route_len; ++h) {
-                LinkState& link = links_[route_links_[flow.route_offset + h]];
-                const double start = std::max(at, link.free_at_us);
-                const double done = start + tx;
-                link.free_at_us = done;
-                at = done + link.propagation_us + link.switch_latency_us;
+        bool eligible = true;
+        bool shared = false;
+        for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+            const LinkId l = route_links_[flow.route_offset + h];
+            while (cursor[l] < offset[l + 1] && occupants[cursor[l]] == id) {
+                ++cursor[l];
             }
-            completion = at;
+            if (tainted[l]) {
+                eligible = false;
+                shared = true;
+            } else if (cursor[l] < offset[l + 1]) {
+                shared = true;
+            }
+        }
+        if (eligible) {
+            saved.clear();
+            for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+                saved.push_back(links_[route_links_[flow.route_offset + h]].free_at_us);
+            }
+            double completion = flow.start_us;
+            if (shared) {
+                // Batch recurrence — the full-packet train, then the runt —
+                // mirroring Shard::process operation for operation. Other
+                // flows (event-borne ones included) read the free_at values
+                // this flow leaves behind, so they must be bit-identical to
+                // what the event loop would have written.
+                const auto advance = [&](std::int64_t count, std::int64_t wire) {
+                    const double tx = static_cast<double>(wire) * 8.0 / denom;
+                    const double occupy = static_cast<double>(count) * tx;
+                    double arrival = flow.start_us;
+                    for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+                        LinkState& link =
+                            links_[route_links_[flow.route_offset + h]];
+                        const double start = std::max(arrival, link.free_at_us);
+                        link.free_at_us = start + occupy;
+                        const double depart =
+                            link.propagation_us + link.switch_latency_us;
+                        if (h + 1 == flow.route_len) {
+                            const double delivered = link.free_at_us + depart;
+                            if (delivered > completion) completion = delivered;
+                            return;
+                        }
+                        arrival = (start + tx) + depart;
+                    }
+                };
+                if (flow.packets > 1) advance(flow.packets - 1, flow.full_wire);
+                advance(1, flow.last_wire);
+            } else {
+                // Exclusive route: nobody ever reads these links again, so
+                // use the exact per-packet store-and-forward recurrence in
+                // its dependency order — packet p at hop h reads the arrival
+                // from (p, h-1) and the transmitter time left by (p-1, h) —
+                // keeping single-flow results bit-identical to the
+                // per-packet reference (flowsim.h) as the adapter tests
+                // assert.
+                const double tx_full =
+                    static_cast<double>(flow.full_wire) * 8.0 / denom;
+                const double tx_last =
+                    static_cast<double>(flow.last_wire) * 8.0 / denom;
+                for (std::int64_t p = 0; p < flow.packets; ++p) {
+                    const double tx = p == flow.packets - 1 ? tx_last : tx_full;
+                    double at = flow.start_us;
+                    for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+                        LinkState& link =
+                            links_[route_links_[flow.route_offset + h]];
+                        const double start = std::max(at, link.free_at_us);
+                        const double done = start + tx;
+                        link.free_at_us = done;
+                        at = done + link.propagation_us + link.switch_latency_us;
+                    }
+                    completion = at;
+                }
+            }
+            // Serialization criterion, per link: no not-yet-processed
+            // occupant may be able to arrive at the link before the instant
+            // this flow's last packet leaves its transmitter (its new
+            // free_at). The suffix-min arrival bound at the cursor covers
+            // all of them in one comparison.
+            for (std::uint32_t h = 0; eligible && h < flow.route_len; ++h) {
+                const LinkId l = route_links_[flow.route_offset + h];
+                eligible = cursor[l] == offset[l + 1] ||
+                           bound[cursor[l]] >= links_[l].free_at_us;
+            }
+            if (eligible) {
+                for (std::uint32_t h = 0; h < flow.route_len; ++h) {
+                    --links_[route_links_[flow.route_offset + h]].pending_flows;
+                }
+                flow.completion_us = completion;
+                flow.received = flow.packets;
+                flow.fastpath = true;
+                if (shared) ++stats_.fastpath_serialized;
+                continue;
+            }
+            for (std::uint32_t h = flow.route_len; h-- > 0;) {
+                links_[route_links_[flow.route_offset + h]].free_at_us = saved[h];
+            }
         }
         for (std::uint32_t h = 0; h < flow.route_len; ++h) {
-            --links_[route_links_[flow.route_offset + h]].pending_flows;
+            tainted[route_links_[flow.route_offset + h]] = 1;
         }
-        flow.completion_us = completion;
-        flow.received = flow.packets;
-        flow.fastpath = true;
+        rejected.push_back(id);
     }
+    // Heap pop order is fully determined by (time, flow, hop, batch), so the
+    // injection order cannot change results; id order keeps the per-shard
+    // event pools filling exactly as they did before this pass existed.
+    std::sort(rejected.begin(), rejected.end());
+    for (const FlowId id : rejected) inject(id);
 }
 
 void Engine::inject(FlowId id) {
@@ -356,6 +510,7 @@ void Engine::run() {
         sink->counter("sim.flows").add(stats_.flows);
         sink->counter("sim.events").add(stats_.events);
         sink->counter("sim.fastpath_flows").add(stats_.fastpath_flows);
+        sink->counter("sim.fastpath_serialized").add(stats_.fastpath_serialized);
         sink->counter("sim.window_syncs").add(stats_.window_syncs);
         obs::Histogram& fct =
             sink->histogram("sim.fct_us", obs::geometric_bounds(1.0, 4.0, 16));

@@ -20,22 +20,32 @@
 //  2. Flat arena-allocated pools and a d-ary heap per shard (arena.h,
 //     events.h, shard.h): no per-event allocation, no closures.
 //
-//  3. A flow-level fast path. At admission, a flow none of whose links carry
-//     any other flow is advanced analytically — the exact per-packet
-//     store-and-forward recurrence, same floating-point operations in the
-//     same order as the classic event loop, so results are bit-identical —
-//     without creating a single event. During the run, a batch whose
-//     remaining links are all shard-local and carry no other flow
-//     fast-forwards to delivery in one step (shard.h). Batched packetization
-//     (two batches per flow: the full-packet train and the final short
-//     packet) makes back-to-back line-rate trains O(1) events per hop.
+//  3. A flow-level fast path. At admission, flows are processed in start
+//     order and a flow whose use of every route link is *time-serialized*
+//     against every other flow's — earlier flows provably past the link
+//     before it arrives, later flows provably unable to reach the link
+//     before its last packet has left — is advanced analytically, running
+//     the event loop's own batch recurrence (train then runt, the same
+//     floating-point operations in the same order as Shard::process, so
+//     timestamps and the link free-times left behind are bit-identical)
+//     without creating a single event. Exclusive links are just the
+//     degenerate case; shared links qualify whenever the sharing is
+//     temporally disjoint. A flow that fails the criterion is injected and
+//     permanently taints its links against later analytic admissions.
+//     During the run, a batch whose remaining links are all shard-local and
+//     carry no other event-borne flow fast-forwards to delivery in one step
+//     (shard.h). Batched packetization (two batches per flow: the
+//     full-packet train and the final short packet) makes back-to-back
+//     line-rate trains O(1) events per hop.
 //
 // Determinism: results are bit-identical at any shard/thread count. Each
 // link's transmitter is owned by one shard, events tie-break on
-// (time, flow, hop, batch), and the fast paths only fire when no competing
-// flow exists, so every link observes the same arrival sequence regardless
-// of how the loops are scheduled. Diagnostics (event counts, fast-path hit
-// rate, window count) DO vary with the shard count; timestamps never do.
+// (time, flow, hop, batch), the admission pass runs single-threaded before
+// sharding starts, and the in-run fast-forward only fires when no competing
+// event-borne flow exists, so every link observes the same arrival sequence
+// regardless of how the loops are scheduled. Diagnostics (event counts,
+// fast-path hit rate, window count) DO vary with the shard count;
+// timestamps never do.
 #pragma once
 
 #include <cstdint>
@@ -68,7 +78,8 @@ struct EngineConfig {
     // throws std::runtime_error from run().
     std::size_t max_events_per_shard = 0;
     // Non-null: the run records sim.flows / sim.events / sim.fastpath_flows
-    // / sim.window_syncs counters, a sim.fct_us histogram, per-shard
+    // / sim.fastpath_serialized / sim.window_syncs counters, a sim.fct_us
+    // histogram, per-shard
     // sim.shard<k>.idle_ns counters, and one sim.window span per shard per
     // window on the worker lanes.
     obs::Sink* sink = nullptr;
@@ -79,6 +90,9 @@ struct EngineStats {
     std::int64_t packets = 0;          // total packets across all flows
     std::int64_t events = 0;           // batch events popped from the heaps
     std::int64_t fastpath_flows = 0;   // flows delivered analytically
+    // Analytic admissions whose route shares at least one link with another
+    // flow (time-serialized reuse, not exclusive ownership).
+    std::int64_t fastpath_serialized = 0;
     std::int64_t window_syncs = 0;     // barrier synchronizations
     int shards = 0;
     double lookahead_us = 0.0;         // conservative window bound (inf = one window)

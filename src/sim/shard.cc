@@ -84,10 +84,16 @@ void Shard::process(const ShardEnv& env, const BatchEvent& event) {
             return;
         }
         const double next_arrival = (start + tx) + depart;
-        if (env.fastforward && can_fastforward(env, flow, hop + 1)) {
+        if (env.fastforward && event.first == 0 &&
+            can_fastforward(env, flow, hop + 1)) {
             // No other flow can reach any remaining link before us, and they
             // are all shard-local: advance the batch analytically instead of
-            // bouncing it through the heap.
+            // bouncing it through the heap. Only the flow's leading batch
+            // (the train, or the sole batch of a one-packet flow) may do
+            // this: pending_flows counts flows, not batches, so a trailing
+            // runt would otherwise see pending == 1 and advance through
+            // links its own train still has queued events for, transmitting
+            // ahead of it.
             ++hop;
             arrival = next_arrival;
             ++inline_hops;

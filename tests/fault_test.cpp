@@ -480,7 +480,7 @@ TEST(Repair, MilpEscalationImprovesOrMatchesGreedy) {
 }
 
 TEST(Repair, DeadlineTripDegradesToFallbackWithoutThrowing) {
-    // A tight repair budget on an instance whose P#1 formulation builds and
+    // A tight repair budget on an instance whose P#1 formulation builds but
     // whose exact solve takes ~1 s (~20x the budget): the greedy rung
     // finishes well inside the budget, the MILP escalation cannot, its
     // branch-and-bound workers poll the token and stop, and the ladder
@@ -488,6 +488,11 @@ TEST(Repair, DeadlineTripDegradesToFallbackWithoutThrowing) {
     // exception. The budget is 50 ms on a normal build, scaled up from a
     // measured unbounded greedy repair under sanitizers (where everything
     // is ~10x slower, preserving the greedy << deadline << MILP ordering).
+    // The node LPs are pinned to the retained eta kernel: the sparse LU
+    // kernel closes every repair instance the formulation accepts at the
+    // root in a few ms, so no realistic budget would trip mid-search — the
+    // eta kernel keeps this instance in the hopeless-for-MILP regime the
+    // test needs, and the fallback ladder under test is kernel-agnostic.
     sim::TestbedConfig testbed;
     testbed.switch_count = 6;
     Scenario s{sim::make_testbed(testbed),
@@ -512,6 +517,7 @@ TEST(Repair, DeadlineTripDegradesToFallbackWithoutThrowing) {
     options.oracle = &oracle;
     options.allow_milp = true;
     options.milp.time_limit_seconds = 60.0;
+    options.milp.lp_use_eta_basis = true;
     // Plenty for the (now fully warm) greedy rung, hopeless for the MILP
     // formulation + branch and bound on this instance.
     options.deadline =
