@@ -1,0 +1,206 @@
+// Serving-path benchmark behind BENCH_serve.json: a seeded 100-event churn
+// script against a resident core::Engine on the Table 3 zoo WAN, comparing
+// the engine's delta re-solve latency per event against a cold one-shot
+// deploy_greedy of the same merged TDG.
+//
+// The acceptance bar this file guards: delta re-solve p99 at least 5x
+// faster than the cold path's p99 on the same event sequence, with every
+// post-event incumbent verifier-clean. Quantiles are exact (sorted sample
+// vectors), not histogram estimates.
+//
+// Custom main (no google-benchmark): --json/--seed/--smoke as in the other
+// custom-main micro tools; --smoke trims the script for CI smoke lanes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "core/hermes.h"
+#include "core/verifier.h"
+#include "fault/fault.h"
+#include "net/topozoo.h"
+#include "prog/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hermes;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double exact_quantile(std::vector<double> sample, double q) {
+    if (sample.empty()) return 0.0;
+    std::sort(sample.begin(), sample.end());
+    const double rank = q * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double within = rank - static_cast<double>(lo);
+    return sample[lo] + (sample[hi] - sample[lo]) * within;
+}
+
+struct ChurnResult {
+    std::vector<double> delta_seconds;  // per successful epoch, engine path
+    std::vector<double> cold_seconds;   // same state, cold deploy_greedy
+    int events = 0;
+    int applied = 0;
+    int verified = 0;
+    int delta_epochs = 0;
+};
+
+// The same churn mix as tests/engine_test.cpp and hermes_serve --emit-churn:
+// adds, removes, a single-open link fault with recovery, retargets.
+ChurnResult run_churn(int events, std::uint64_t seed) {
+    core::Engine engine(net::table3_topology(1));
+    util::SplitMix64 rng(seed);
+    ChurnResult result;
+    result.events = events;
+    std::vector<std::string> installed;
+    std::size_t next_tenant = 0;
+    bool have_down = false;
+    net::SwitchId down_a = 0;
+    net::SwitchId down_b = 0;
+
+    for (int event = 0; event < events; ++event) {
+        const std::uint64_t roll = rng() % 100;
+        core::Engine::Mutation m;
+        if (roll < 45 || installed.empty()) {
+            prog::Program p = prog::synthetic_program({}, seed, next_tenant);
+            std::string name = "t" + std::to_string(next_tenant++);
+            p.set_name(name);
+            m.kind = core::Engine::Mutation::Kind::kAddProgram;
+            m.program = std::move(p);
+            m.name = std::move(name);
+        } else if (roll < 70) {
+            const std::size_t pick =
+                static_cast<std::size_t>(rng() % installed.size());
+            m.kind = core::Engine::Mutation::Kind::kRemoveProgram;
+            m.name = installed[pick];
+        } else if (roll < 80 && !have_down) {
+            const auto& links = engine.network().links();
+            const auto& link = links[rng() % links.size()];
+            m.kind = core::Engine::Mutation::Kind::kFault;
+            m.fault.kind = fault::FaultKind::kLinkDown;
+            m.fault.a = link.a;
+            m.fault.b = link.b;
+        } else if (have_down) {
+            m.kind = core::Engine::Mutation::Kind::kFault;
+            m.fault.kind = fault::FaultKind::kLinkUp;
+            m.fault.a = down_a;
+            m.fault.b = down_b;
+        } else {
+            m.kind = core::Engine::Mutation::Kind::kRetarget;
+        }
+
+        const auto kind = m.kind;
+        const std::string touched = m.name;
+        const net::SwitchId fa = m.fault.a;
+        const net::SwitchId fb = m.fault.b;
+        const fault::FaultKind fault_kind = m.fault.kind;
+
+        const auto start = Clock::now();
+        auto outcome = engine.apply({std::move(m)});
+        const double elapsed = seconds_since(start);
+        if (!outcome.ok()) continue;
+        ++result.applied;
+        if (outcome.value().delta) ++result.delta_epochs;
+        result.delta_seconds.push_back(elapsed);
+
+        // Bookkeeping for the generator's state machine.
+        if (kind == core::Engine::Mutation::Kind::kAddProgram) {
+            installed.push_back(touched);
+        } else if (kind == core::Engine::Mutation::Kind::kRemoveProgram) {
+            installed.erase(
+                std::find(installed.begin(), installed.end(), touched));
+        } else if (kind == core::Engine::Mutation::Kind::kFault) {
+            if (fault_kind == fault::FaultKind::kLinkDown) {
+                have_down = true;
+                down_a = fa;
+                down_b = fb;
+            } else {
+                have_down = false;
+            }
+        }
+
+        // Verifier-clean after every applied event.
+        if (engine.program_count() > 0) {
+            const core::VerificationReport report = core::verify(
+                engine.merged(), engine.network(), engine.incumbent());
+            if (report.ok) ++result.verified;
+        } else {
+            ++result.verified;  // empty incumbent is trivially clean
+        }
+
+        // Cold baseline from identical state: one-shot greedy on the same
+        // merged TDG and network, private path cache (what a non-resident
+        // caller would pay per event).
+        if (engine.program_count() > 0) {
+            const auto cold_start = Clock::now();
+            auto cold = core::try_deploy_greedy(engine.merged(), engine.network());
+            result.cold_seconds.push_back(seconds_since(cold_start));
+            if (!cold.ok()) {
+                std::fprintf(stderr, "cold baseline infeasible at event %d\n",
+                             event);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::ToolArgs args =
+        bench::parse_tool_args(argc, argv, "BENCH_serve.json");
+    const int events = args.smoke ? 30 : 100;
+    const std::uint64_t seed = args.seed.value_or(7);
+
+    const ChurnResult churn = run_churn(events, seed);
+
+    const double delta_p50 = exact_quantile(churn.delta_seconds, 0.50) * 1e6;
+    const double delta_p99 = exact_quantile(churn.delta_seconds, 0.99) * 1e6;
+    const double cold_p50 = exact_quantile(churn.cold_seconds, 0.50) * 1e6;
+    const double cold_p99 = exact_quantile(churn.cold_seconds, 0.99) * 1e6;
+    const double speedup = delta_p99 > 0.0 ? cold_p99 / delta_p99 : 0.0;
+
+    std::printf("micro_serve: %d events, %d applied (%d delta epochs), "
+                "%d/%d verifier-clean\n",
+                churn.events, churn.applied, churn.delta_epochs, churn.verified,
+                churn.applied);
+    std::printf("  delta re-solve  p50 %8.1f us   p99 %8.1f us\n", delta_p50,
+                delta_p99);
+    std::printf("  cold greedy     p50 %8.1f us   p99 %8.1f us\n", cold_p50,
+                cold_p99);
+    std::printf("  p99 speedup     %.1fx (bar: >= 5x)\n", speedup);
+
+    std::vector<bench::BenchRecord> records{
+        {"churn_events", static_cast<double>(churn.events), "count"},
+        {"applied_epochs", static_cast<double>(churn.applied), "count"},
+        {"delta_epochs", static_cast<double>(churn.delta_epochs), "count"},
+        {"verified_epochs", static_cast<double>(churn.verified), "count"},
+        {"delta_resolve_p50", delta_p50, "us"},
+        {"delta_resolve_p99", delta_p99, "us"},
+        {"cold_greedy_p50", cold_p50, "us"},
+        {"cold_greedy_p99", cold_p99, "us"},
+        {"delta_p99_speedup", speedup, "x"},
+    };
+    bench::write_bench_json(args.json_path, "serve_engine", records);
+
+    int failures = 0;
+    if (churn.verified != churn.applied) {
+        std::fprintf(stderr, "FAIL: %d epochs left an unverified incumbent\n",
+                     churn.applied - churn.verified);
+        ++failures;
+    }
+    if (speedup < 5.0) {
+        std::fprintf(stderr, "FAIL: delta p99 speedup %.2fx below the 5x bar\n",
+                     speedup);
+        ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}

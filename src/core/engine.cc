@@ -1,0 +1,493 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "core/incremental.h"
+#include "core/repair.h"
+#include "core/verifier.h"
+#include "fault/injector.h"
+#include "obs/obs.h"
+#include "tdg/analyzer.h"
+#include "tdg/merge.h"
+
+namespace hermes::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Cache key for one ordered program set. Program names cannot contain
+// newlines (the wire protocol is line-delimited), so '\n' is a safe joiner.
+std::string merge_key(const std::vector<std::string>& names) {
+    std::string key;
+    for (const std::string& n : names) {
+        key += n;
+        key += '\n';
+    }
+    return key;
+}
+
+// Ordered switch pairs that exchange metadata under `placements`.
+std::set<std::pair<net::SwitchId, net::SwitchId>> crossing_pairs(
+    const tdg::Tdg& t, const std::vector<Placement>& placements) {
+    std::set<std::pair<net::SwitchId, net::SwitchId>> pairs;
+    for (const tdg::Edge& e : t.edges()) {
+        const net::SwitchId u = placements[e.from].sw;
+        const net::SwitchId v = placements[e.to].sw;
+        if (u != v) pairs.insert({u, v});
+    }
+    return pairs;
+}
+
+}  // namespace
+
+Engine::Engine(net::Network network, EngineOptions options)
+    : network_(std::move(network)), options_(std::move(options)), oracle_(network_) {}
+
+void Engine::bump(const char* counter, std::int64_t delta) const {
+    if (options_.sink != nullptr) options_.sink->counter(counter).add(delta);
+}
+
+std::vector<std::string> Engine::program_names() const {
+    std::vector<std::string> names;
+    names.reserve(programs_.size());
+    for (const ProgramEntry& p : programs_) names.push_back(p.name);
+    return names;
+}
+
+HermesOptions Engine::hermes_options(const Deadline& deadline) {
+    HermesOptions h;
+    static_cast<CommonOptions&>(h) = static_cast<const CommonOptions&>(options_);
+    h.deadline = deadline;
+    h.epsilon1 = options_.epsilon1;
+    h.epsilon2 = options_.epsilon2;
+    h.oracle = &oracle_;
+    h.milp = options_.milp;
+    h.milp.threads = options_.resolved_threads();
+    h.segment_level_milp = merged_.node_count() > 40;
+    return h;
+}
+
+const tdg::Tdg& Engine::merged_for(const std::vector<ProgramEntry>& programs) {
+    std::vector<std::string> names;
+    names.reserve(programs.size());
+    for (const ProgramEntry& p : programs) names.push_back(p.name);
+    const std::string key = merge_key(names);
+    ++merge_clock_;
+    if (const auto it = merge_cache_.find(key); it != merge_cache_.end()) {
+        it->second.last_used = merge_clock_;
+        bump("engine.merge_hits");
+        return it->second.tdg;
+    }
+    bump("engine.merge_misses");
+
+    // Extend the longest cached proper prefix instead of re-merging from
+    // scratch — the common churn pattern (add one tenant) reuses the whole
+    // standing merge and only pays conflict ordering + annotation.
+    tdg::Tdg combined;
+    std::size_t have = 0;
+    for (std::size_t take = programs.size(); take-- > 1;) {
+        std::vector<std::string> prefix(names.begin(),
+                                        names.begin() + static_cast<std::ptrdiff_t>(take));
+        const auto it = merge_cache_.find(merge_key(prefix));
+        if (it != merge_cache_.end()) {
+            it->second.last_used = merge_clock_;
+            combined = it->second.tdg;
+            have = take;
+            bump("engine.merge_extends");
+            break;
+        }
+    }
+    if (have == 0) {
+        combined = programs.front().tdg;
+        have = 1;
+    }
+    for (std::size_t i = have; i < programs.size(); ++i) {
+        combined = tdg::graph_union(combined, programs[i].tdg);
+    }
+    tdg::add_write_conflict_edges(combined);
+    tdg::analyze(combined);
+
+    if (merge_cache_.size() >= options_.merge_cache_limit && !merge_cache_.empty()) {
+        auto victim = merge_cache_.begin();
+        for (auto it = merge_cache_.begin(); it != merge_cache_.end(); ++it) {
+            if (it->second.last_used < victim->second.last_used) victim = it;
+        }
+        merge_cache_.erase(victim);
+    }
+    auto [it, inserted] =
+        merge_cache_.emplace(key, MergeEntry{std::move(combined), merge_clock_});
+    (void)inserted;
+    return it->second.tdg;
+}
+
+util::StatusOr<DeltaOutcome> Engine::add_program(prog::Program program) {
+    std::vector<Mutation> batch(1);
+    batch[0].kind = Mutation::Kind::kAddProgram;
+    batch[0].program = std::move(program);
+    return apply(std::move(batch));
+}
+
+util::StatusOr<DeltaOutcome> Engine::remove_program(const std::string& name) {
+    std::vector<Mutation> batch(1);
+    batch[0].kind = Mutation::Kind::kRemoveProgram;
+    batch[0].name = name;
+    return apply(std::move(batch));
+}
+
+util::StatusOr<DeltaOutcome> Engine::retarget_traffic() {
+    std::vector<Mutation> batch(1);
+    batch[0].kind = Mutation::Kind::kRetarget;
+    return apply(std::move(batch));
+}
+
+util::StatusOr<DeltaOutcome> Engine::apply_fault(const fault::FaultEvent& e) {
+    std::vector<Mutation> batch(1);
+    batch[0].kind = Mutation::Kind::kFault;
+    batch[0].fault = e;
+    return apply(std::move(batch));
+}
+
+util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
+    obs::Span span(options_.sink, "engine.epoch");
+    bump("engine.epochs");
+
+    // ---- Validate the whole batch before touching any state. ----
+    std::vector<std::string> working = program_names();
+    bool want_retarget = false;
+    bool have_fault = false;
+    for (const Mutation& m : batch) {
+        switch (m.kind) {
+            case Mutation::Kind::kAddProgram: {
+                if (!m.program.has_value() || m.program->name().empty()) {
+                    return util::Status::invalid("add_program: program with a name required");
+                }
+                const std::string& name = m.program->name();
+                if (name.find('\n') != std::string::npos) {
+                    return util::Status::invalid("add_program: name must not contain newlines");
+                }
+                if (std::find(working.begin(), working.end(), name) != working.end()) {
+                    return util::Status::invalid("add_program: duplicate program '" + name +
+                                                 "'");
+                }
+                working.push_back(name);
+                break;
+            }
+            case Mutation::Kind::kRemoveProgram: {
+                const auto it = std::find(working.begin(), working.end(), m.name);
+                if (it == working.end()) {
+                    return util::Status::invalid("remove_program: unknown program '" +
+                                                 m.name + "'");
+                }
+                working.erase(it);
+                break;
+            }
+            case Mutation::Kind::kRetarget:
+                want_retarget = true;
+                break;
+            case Mutation::Kind::kFault: {
+                const std::size_t n = network_.switch_count();
+                if (m.fault.a >= n || (m.fault.is_link() && m.fault.b >= n)) {
+                    return util::Status::invalid("fault: switch id out of range");
+                }
+                have_fault = true;
+                break;
+            }
+        }
+    }
+
+    // ---- Apply program-set changes (rolled back on failure below). ----
+    const std::vector<ProgramEntry> programs_before = programs_;
+    std::vector<ProgramEntry> next;
+    std::vector<bool> survived(programs_.size(), true);
+    for (const Mutation& m : batch) {
+        if (m.kind != Mutation::Kind::kRemoveProgram) continue;
+        for (std::size_t i = 0; i < programs_.size(); ++i) {
+            if (survived[i] && programs_[i].name == m.name) {
+                survived[i] = false;
+                break;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+        if (survived[i]) next.push_back(programs_[i]);
+    }
+    for (Mutation& m : batch) {
+        if (m.kind != Mutation::Kind::kAddProgram) continue;
+        tdg::Tdg program_tdg = m.program->to_tdg();
+        const std::size_t node_count = program_tdg.node_count();
+        next.push_back(ProgramEntry{m.program->name(), std::move(*m.program),
+                                    std::move(program_tdg), node_count});
+    }
+
+    // Remap the incumbent's placements onto the next merge's id space: a
+    // surviving program's nodes shift down by the node counts of the removed
+    // programs that preceded it; additions have no placements yet.
+    std::vector<Placement> preserved;
+    std::size_t preserved_count = 0;
+    bool placements_survive = incumbent_ok_ && !next.empty();
+    if (placements_survive) {
+        std::size_t old_offset = 0;
+        for (std::size_t i = 0; i < programs_before.size(); ++i) {
+            const std::size_t count = programs_before[i].node_count;
+            if (survived[i]) {
+                for (std::size_t k = 0; k < count; ++k) {
+                    preserved.push_back(incumbent_.placements[old_offset + k]);
+                }
+            }
+            old_offset += count;
+        }
+        preserved_count = preserved.size();
+    }
+
+    programs_ = std::move(next);
+
+    // ---- Apply fault events through the injector (oracle kept in sync). ----
+    if (have_fault) {
+        fault::Injector injector(network_, &oracle_, options_.sink);
+        for (const Mutation& m : batch) {
+            if (m.kind == Mutation::Kind::kFault) (void)injector.apply(m.fault);
+        }
+    }
+
+    Deadline deadline = options_.deadline;
+    if (!deadline.active() && options_.epoch_deadline_seconds > 0.0) {
+        deadline = Deadline::after(options_.epoch_deadline_seconds);
+    }
+
+    util::StatusOr<DeltaOutcome> outcome = resolve_epoch(
+        preserved, preserved_count, placements_survive, want_retarget, deadline);
+    if (!outcome.ok()) {
+        // Program changes roll back; faults are physical and stay. The old
+        // incumbent survives only if it still verifies on the (possibly
+        // mutated) topology against the restored merge.
+        programs_ = programs_before;
+        merged_ = programs_.empty() ? tdg::Tdg{} : merged_for(programs_);
+        if (incumbent_ok_ && have_fault) {
+            VerifyOptions vo;
+            vo.epsilon1 = options_.epsilon1;
+            vo.epsilon2 = options_.epsilon2;
+            incumbent_ok_ =
+                !programs_.empty() && verify(merged_, network_, incumbent_, vo).ok;
+        }
+        bump("engine.failed_epochs");
+    }
+    return outcome;
+}
+
+util::StatusOr<DeltaOutcome> Engine::resolve_epoch(
+    const std::vector<Placement>& preserved, std::size_t preserved_count,
+    bool placements_survive, bool want_retarget, const Deadline& deadline) {
+    const auto start = Clock::now();
+    ++epoch_;
+
+    DeltaOutcome outcome;
+    outcome.epoch = epoch_;
+
+    if (programs_.empty()) {
+        merged_ = tdg::Tdg{};
+        incumbent_ = Deployment{};
+        metrics_ = DeploymentMetrics{};
+        incumbent_ok_ = true;
+        outcome.status = "empty";
+        outcome.delta = true;
+        outcome.solve_seconds = seconds_since(start);
+        bump("serve.delta_resolves");
+        return outcome;
+    }
+
+    merged_ = merged_for(programs_);
+
+    VerifyOptions verify_options;
+    static_cast<CommonOptions&>(verify_options) =
+        static_cast<const CommonOptions&>(options_);
+    verify_options.epsilon1 = options_.epsilon1;
+    verify_options.epsilon2 = options_.epsilon2;
+
+    const Deployment previous = incumbent_;
+    const bool previous_ok = incumbent_ok_;
+
+    auto finish = [&](Deployment d, const char* status, bool delta) -> DeltaOutcome& {
+        if (placements_survive) {
+            std::int64_t moved = 0;
+            for (std::size_t i = 0; i < preserved_count && i < d.placements.size(); ++i) {
+                if (d.placements[i].sw != preserved[i].sw) ++moved;
+            }
+            outcome.moved_mats = moved;
+        }
+        incumbent_ = std::move(d);
+        metrics_ = evaluate(merged_, network_, incumbent_);
+        incumbent_ok_ = true;
+        outcome.status = status;
+        outcome.delta = delta;
+        outcome.solve_seconds = seconds_since(start);
+        outcome.metrics = metrics_;
+        bump(delta ? "serve.delta_resolves" : "serve.cold_resolves");
+        return outcome;
+    };
+
+    // ---- Delta rungs: patch the surviving placements in place. ----
+    // Preconditions: an incumbent exists, every preserved placement sits on
+    // a live switch (stranded MATs need the re-place rung), and the merge
+    // did not order a new MAT before an old one.
+    if (placements_survive) {
+        obs::Span dspan(options_.sink, "engine.delta");
+        bool stranded = false;
+        for (std::size_t i = 0; i < preserved_count; ++i) {
+            const net::SwitchId sw = preserved[i].sw;
+            if (sw >= network_.switch_count() || !network_.switch_up(sw)) {
+                stranded = true;
+                break;
+            }
+        }
+        if (!stranded) {
+            Deployment candidate;
+            bool candidate_ok = true;
+            std::int64_t rerouted = 0;
+            const bool additions = preserved_count < merged_.node_count();
+            if (additions) {
+                // Greedy re-place of the affected TDG slice only: the new
+                // nodes pack into residual stage capacity around the fixed
+                // survivors.
+                Deployment existing;
+                existing.placements = preserved;
+                std::optional<IncrementalResult> inc = incremental_deploy(
+                    merged_, preserved_count, existing, network_, &oracle_);
+                if (inc.has_value()) {
+                    candidate = std::move(inc->deployment);
+                } else {
+                    candidate_ok = false;
+                }
+            } else {
+                candidate.placements = preserved;
+            }
+
+            if (candidate_ok) {
+                // Routes: keep live recorded routes (unless retargeting),
+                // re-wire the rest from the shared oracle, and drop stale
+                // pairs that no longer exchange metadata.
+                const auto pairs = crossing_pairs(merged_, candidate.placements);
+                std::map<std::pair<net::SwitchId, net::SwitchId>, net::Path> routes;
+                for (const auto& pair : pairs) {
+                    const auto it = candidate.routes.find(pair);
+                    const auto old_it = previous.routes.find(pair);
+                    const net::Path* keep = nullptr;
+                    if (!want_retarget) {
+                        if (it != candidate.routes.end() && route_alive(network_, it->second)) {
+                            keep = &it->second;
+                        } else if (old_it != previous.routes.end() &&
+                                   route_alive(network_, old_it->second)) {
+                            keep = &old_it->second;
+                        }
+                    }
+                    if (keep != nullptr) {
+                        routes[pair] = *keep;
+                        continue;
+                    }
+                    std::optional<net::Path> path = oracle_.path(pair.first, pair.second);
+                    if (!path.has_value()) {
+                        candidate_ok = false;
+                        break;
+                    }
+                    const bool changed =
+                        old_it == previous.routes.end() ||
+                        old_it->second.switches != path->switches;
+                    if (changed && (want_retarget || old_it != previous.routes.end())) {
+                        ++rerouted;
+                    }
+                    routes[pair] = std::move(*path);
+                }
+                if (candidate_ok) {
+                    candidate.routes = std::move(routes);
+                    if (verify(merged_, network_, candidate, verify_options).ok) {
+                        outcome.rerouted_pairs = rerouted;
+                        const char* status = additions     ? "incremental"
+                                             : want_retarget ? "retarget"
+                                             : rerouted > 0  ? "reroute"
+                                                             : "intact";
+                        return finish(std::move(candidate), status, /*delta=*/true);
+                    }
+                }
+            }
+        }
+        dspan.end();
+    }
+
+    // ---- Cold rungs: full re-solve of the whole merged TDG. ----
+    HermesOptions h = hermes_options(deadline);
+    if (!options_.always_optimal) {
+        obs::Span gspan(options_.sink, "engine.greedy");
+        util::StatusOr<DeployOutcome> greedy = try_deploy_greedy(merged_, network_, h);
+        if (greedy.ok() &&
+            verify(merged_, network_, greedy.value().deployment, verify_options).ok) {
+            const bool replaced = placements_survive;
+            return finish(std::move(greedy).value().deployment,
+                          replaced ? "replace" : "greedy", /*delta=*/false);
+        }
+    }
+
+    if (options_.allow_milp || options_.always_optimal) {
+        obs::Span mspan(options_.sink, "engine.milp");
+        bump("serve.escalations");
+        outcome.escalated = true;
+        util::StatusOr<DeployOutcome> exact = try_deploy_optimal(merged_, network_, h);
+        if (exact.ok() &&
+            verify(merged_, network_, exact.value().deployment, verify_options).ok) {
+            return finish(std::move(exact).value().deployment, "milp", /*delta=*/false);
+        }
+    }
+
+    // No rung produced a verifiable deployment: keep the previous incumbent
+    // visible (apply() decides whether it still verifies) and report why.
+    incumbent_ = previous;
+    incumbent_ok_ = previous_ok;
+    return util::Status::infeasible(
+        "engine: no rung produced a verifiable deployment for this epoch");
+}
+
+util::StatusOr<DeployOutcome> Engine::solve() {
+    obs::Span span(options_.sink, "engine.solve");
+    ++epoch_;
+    if (programs_.empty()) {
+        merged_ = tdg::Tdg{};
+        incumbent_ = Deployment{};
+        metrics_ = DeploymentMetrics{};
+        incumbent_ok_ = true;
+        DeployOutcome outcome;
+        outcome.solver_status = "empty";
+        return outcome;
+    }
+    merged_ = merged_for(programs_);
+
+    Deadline deadline = options_.deadline;
+    if (!deadline.active() && options_.epoch_deadline_seconds > 0.0) {
+        deadline = Deadline::after(options_.epoch_deadline_seconds);
+    }
+    const HermesOptions h = hermes_options(deadline);
+    util::StatusOr<DeployOutcome> outcome =
+        options_.always_optimal ? try_deploy_optimal(merged_, network_, h)
+                                : try_deploy_greedy(merged_, network_, h);
+    if (!outcome.ok()) return outcome;
+
+    VerifyOptions verify_options;
+    verify_options.sink = options_.sink;
+    verify_options.epsilon1 = options_.epsilon1;
+    verify_options.epsilon2 = options_.epsilon2;
+    if (!verify(merged_, network_, outcome.value().deployment, verify_options).ok) {
+        return util::Status::infeasible("engine: solve produced an unverifiable deployment");
+    }
+    incumbent_ = outcome.value().deployment;
+    metrics_ = outcome.value().metrics;
+    incumbent_ok_ = true;
+    bump("serve.cold_resolves");
+    return outcome;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,187 @@
+// Resident deployment engine — the session object behind hermes_serve
+// (DESIGN.md §5j).
+//
+// The paper's pipeline is a one-shot optimizer: analyze programs, solve,
+// exit. An Engine instead stays alive across thousands of tenant mutations
+// against one live network. It owns the net::Network, the merged TDG of the
+// current program set, a shared net::PathOracle, and the verified incumbent
+// Deployment, and answers every mutation with a *delta* re-solve that climbs
+// the same ladder as the failure-repair path, cheapest rung first:
+//
+//   classify -> keep/reroute surviving placements -> incremental placement
+//   of the affected TDG slice -> full greedy re-solve -> opt-in warm MILP
+//   escalation under a core::Deadline.
+//
+// Mutations arrive one at a time (add_program / remove_program /
+// retarget_traffic / apply_fault) or batched: apply() takes a whole epoch of
+// mutations, applies program-set and network changes together, and re-solves
+// once — the serve daemon coalesces concurrent requests into one epoch this
+// way.
+//
+// Merge representation: the resident merged TDG is the plain union of the
+// program TDGs (graph_union + add_write_conflict_edges + analyze), NOT the
+// deduplicating merge of the one-shot analyze() pipeline. Union keeps every
+// program's nodes in one contiguous id range, so removing a tenant is an id
+// shift of the surviving placements instead of a re-merge unwind, and the
+// incremental ladder can treat "the affected TDG slice" as a suffix. Merges
+// are memoized per ordered program-name set (engine.merge_hits /
+// engine.merge_misses) and additions extend the cached prefix in place.
+//
+// Error handling is StatusOr end to end: an infeasible mutation rolls the
+// program set back and leaves the previous verified incumbent standing
+// (faults cannot be rolled back — the incumbent is then marked broken until
+// a later recover or escalation repairs it). The engine never throws on
+// control flow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "core/hermes.h"
+#include "core/objective.h"
+#include "core/options.h"
+#include "fault/fault.h"
+#include "net/network.h"
+#include "net/path_oracle.h"
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace hermes::core {
+
+// Inherits core::CommonOptions: `threads` drives the greedy rungs, `sink`
+// records the engine.* / serve.* metrics, `deadline`/`time_limit_seconds`
+// bound a single epoch's re-solve (re-armed per epoch when
+// epoch_deadline_seconds is set).
+struct EngineOptions : CommonOptions {
+    double epsilon1 = std::numeric_limits<double>::infinity();         // t_e2e bound
+    std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();  // Q_occ bound
+    // Wall-clock budget per epoch (0 = none). Armed as a fresh Deadline for
+    // every apply()/solve() call and threaded through every ladder rung.
+    double epoch_deadline_seconds = 0.0;
+    // Climb past the greedy rung into a warm-started exact re-solve when a
+    // delta or greedy attempt fails (or when `always_optimal` full solves
+    // are requested). Counted under engine.escalations.
+    bool allow_milp = false;
+    // Full solves (solve(), cold rungs) use the exact path instead of the
+    // greedy heuristic. Off by default: delta serving is latency-bound.
+    bool always_optimal = false;
+    // Budget knobs for the exact escalation.
+    milp::MilpOptions milp;
+    // Memoized merges kept per ordered program-name set.
+    std::size_t merge_cache_limit = 64;
+};
+
+// What one epoch's re-solve did.
+struct DeltaOutcome {
+    // "intact" | "incremental" | "reroute" | "retarget" | "replace" |
+    // "greedy" | "milp" | "empty" — the rung that produced the incumbent.
+    std::string status;
+    // True when the incumbent was patched in place (placements preserved);
+    // false when a full re-solve produced a fresh deployment.
+    bool delta = false;
+    bool escalated = false;          // the MILP rung ran
+    std::int64_t epoch = 0;          // engine epoch that produced this
+    std::int64_t moved_mats = 0;     // placements whose switch changed
+    std::int64_t rerouted_pairs = 0; // routes re-wired in place
+    double solve_seconds = 0.0;
+    DeploymentMetrics metrics;       // of the (verified) incumbent
+};
+
+class Engine {
+public:
+    // The engine owns the network and its oracle for its whole life; fault
+    // events must go through apply()/apply_fault so the oracle stays in
+    // sync.
+    explicit Engine(net::Network network, EngineOptions options = {});
+
+    // One queued mutation of an epoch batch.
+    struct Mutation {
+        enum class Kind : std::uint8_t {
+            kAddProgram,
+            kRemoveProgram,
+            kRetarget,
+            kFault,
+        };
+        Kind kind = Kind::kRetarget;
+        std::optional<prog::Program> program;  // kAddProgram
+        std::string name;                      // kRemoveProgram
+        fault::FaultEvent fault;               // kFault (inject and recover)
+    };
+
+    // Applies a whole epoch: all program-set changes and fault events land
+    // first, then ONE delta re-solve covers the batch. kInvalidInput on
+    // duplicate/unknown program names or out-of-range fault ids (the whole
+    // batch is rolled back — program set, network, and oracle untouched);
+    // kInfeasible when no rung produced a verifiable deployment (program
+    // changes rolled back; fault events stay applied and the incumbent is
+    // marked broken).
+    [[nodiscard]] util::StatusOr<DeltaOutcome> apply(std::vector<Mutation> batch);
+
+    // Single-mutation conveniences (one epoch each).
+    [[nodiscard]] util::StatusOr<DeltaOutcome> add_program(prog::Program program);
+    [[nodiscard]] util::StatusOr<DeltaOutcome> remove_program(const std::string& name);
+    // Re-picks every inter-switch route of the incumbent against the current
+    // topology (e.g. after recoveries left traffic on detours).
+    [[nodiscard]] util::StatusOr<DeltaOutcome> retarget_traffic();
+    [[nodiscard]] util::StatusOr<DeltaOutcome> apply_fault(const fault::FaultEvent& e);
+
+    // Full (non-delta) re-solve of the current program set: greedy, or exact
+    // when options().always_optimal. Replaces the incumbent on success.
+    [[nodiscard]] util::StatusOr<DeployOutcome> solve();
+
+    // Observers.
+    [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+    [[nodiscard]] net::PathOracle& oracle() noexcept { return oracle_; }
+    [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+    [[nodiscard]] const tdg::Tdg& merged() const noexcept { return merged_; }
+    [[nodiscard]] std::size_t program_count() const noexcept { return programs_.size(); }
+    [[nodiscard]] std::vector<std::string> program_names() const;
+    [[nodiscard]] bool has_incumbent() const noexcept { return incumbent_ok_; }
+    // Valid only while has_incumbent(); the engine re-verifies after every
+    // epoch, so this deployment is always verifier-clean when exposed.
+    [[nodiscard]] const Deployment& incumbent() const noexcept { return incumbent_; }
+    [[nodiscard]] const DeploymentMetrics& metrics() const noexcept { return metrics_; }
+    [[nodiscard]] std::int64_t epoch() const noexcept { return epoch_; }
+
+private:
+    struct ProgramEntry {
+        std::string name;
+        prog::Program program;
+        tdg::Tdg tdg;            // program.to_tdg(), cached
+        std::size_t node_count;  // tdg.node_count()
+    };
+
+    [[nodiscard]] HermesOptions hermes_options(const Deadline& deadline);
+    // Union-merge of `programs` (memoized). Never empty input.
+    [[nodiscard]] const tdg::Tdg& merged_for(const std::vector<ProgramEntry>& programs);
+    // The delta ladder for one epoch; updates incumbent_/metrics_ on
+    // success.
+    [[nodiscard]] util::StatusOr<DeltaOutcome> resolve_epoch(
+        const std::vector<Placement>& preserved, std::size_t preserved_count,
+        bool placements_survive, bool want_retarget, const Deadline& deadline);
+    void bump(const char* counter, std::int64_t delta = 1) const;
+
+    net::Network network_;
+    EngineOptions options_;
+    net::PathOracle oracle_;
+    std::vector<ProgramEntry> programs_;
+    tdg::Tdg merged_;  // union-merge of programs_, annotated
+    Deployment incumbent_;
+    DeploymentMetrics metrics_;
+    bool incumbent_ok_ = false;
+    std::int64_t epoch_ = 0;
+
+    struct MergeEntry {
+        tdg::Tdg tdg;
+        std::int64_t last_used = 0;
+    };
+    std::map<std::string, MergeEntry> merge_cache_;
+    std::int64_t merge_clock_ = 0;
+};
+
+}  // namespace hermes::core

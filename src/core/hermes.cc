@@ -14,17 +14,11 @@ double seconds_since(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// Builds the greedy options from the facade options, honoring the
-// deprecated greedy_threads alias (-1 = unset) one more release.
 GreedyOptions greedy_options_from(const HermesOptions& options) {
     GreedyOptions g;
     static_cast<CommonOptions&>(g) = static_cast<const CommonOptions&>(options);
     g.epsilon1 = options.epsilon1;
     g.epsilon2 = options.epsilon2;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    if (options.greedy_threads != -1) g.threads = options.greedy_threads;
-#pragma GCC diagnostic pop
     return g;
 }
 
@@ -67,12 +61,21 @@ tdg::Tdg analyze(const std::vector<prog::Program>& programs, obs::Sink* sink) {
     return tdg::analyze_programs(std::move(tdgs), sink);
 }
 
-DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
-                            const HermesOptions& options) {
+util::StatusOr<DeployOutcome> try_deploy_greedy(const tdg::Tdg& t,
+                                                const net::Network& net,
+                                                const HermesOptions& options) {
     const auto start = Clock::now();
     obs::Span span(options.sink, "deploy_greedy");
     OracleStatsScope oracle_stats(options.sink, options.oracle);
-    GreedyResult g = greedy_deploy(t, net, greedy_options_from(options), options.oracle);
+    GreedyResult g;
+    try {
+        g = greedy_deploy(t, net, greedy_options_from(options), options.oracle);
+    } catch (const std::runtime_error& ex) {
+        // Algorithm 2 signals infeasibility (no anchor yields enough
+        // switches, a MAT exceeds a stage) by throwing; surface it as a
+        // status so resident sessions never unwind across the engine.
+        return util::Status::infeasible(ex.what());
+    }
     DeployOutcome outcome;
     outcome.deployment = std::move(g.deployment);
     outcome.solve_seconds = seconds_since(start);
@@ -81,8 +84,9 @@ DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
     return outcome;
 }
 
-DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
-                             const HermesOptions& options) {
+util::StatusOr<DeployOutcome> try_deploy_optimal(const tdg::Tdg& t,
+                                                 const net::Network& net,
+                                                 const HermesOptions& options) {
     const auto start = Clock::now();
     obs::Span span(options.sink, "deploy_optimal");
     OracleStatsScope oracle_stats(options.sink, options.oracle);
@@ -103,12 +107,11 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
         // Instance beyond exact reach (the regime where the paper's Gurobi
         // runs exceed their two-hour budget): return the best incumbent we
         // can produce — the greedy solution — flagged as a time-limit hit.
-        GreedyResult g = greedy_deploy(t, net, greedy_options_from(options), options.oracle);
-        DeployOutcome outcome;
-        outcome.deployment = std::move(g.deployment);
+        util::StatusOr<DeployOutcome> greedy = try_deploy_greedy(t, net, options);
+        if (!greedy.ok()) return greedy;
+        DeployOutcome outcome = std::move(greedy).value();
         outcome.solve_seconds =
             std::max(seconds_since(start), options.milp.time_limit_seconds);
-        outcome.metrics = evaluate(t, net, outcome.deployment);
         outcome.solver_status = "time-limit(model)";
         return outcome;
     }
@@ -120,13 +123,11 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
     // node LPs) unless the caller armed a MILP-specific one.
     if (!milp_options.deadline.active()) milp_options.deadline = options.deadline;
     if (options.warm_start_from_greedy && !milp_options.warm_start) {
-        try {
-            const GreedyResult g =
-                greedy_deploy(t, net, greedy_options_from(options), options.oracle);
-            milp_options.warm_start = formulation.encode(g.deployment);
-        } catch (const std::runtime_error&) {
-            // No greedy incumbent; branch and bound starts cold.
+        util::StatusOr<DeployOutcome> greedy = try_deploy_greedy(t, net, options);
+        if (greedy.ok()) {
+            milp_options.warm_start = formulation.encode(greedy.value().deployment);
         }
+        // No greedy incumbent: branch and bound starts cold.
     }
 
     milp::MilpResult result;
@@ -135,8 +136,12 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
         result = milp::solve_milp(formulation.model(), milp_options);
     }
     if (!result.has_solution()) {
-        throw std::runtime_error(std::string("deploy_optimal: MILP ended with status ") +
-                                 milp::to_string(result.status));
+        const std::string message =
+            std::string("deploy_optimal: MILP ended with status ") +
+            milp::to_string(result.status);
+        return result.status == milp::MilpStatus::kInfeasible
+                   ? util::Status::infeasible(message)
+                   : util::Status::unavailable(message);
     }
     DeployOutcome outcome;
     {
@@ -148,6 +153,20 @@ DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
     outcome.solver_status = milp::to_string(result.status);
     outcome.optimal = result.status == milp::MilpStatus::kOptimal;
     return outcome;
+}
+
+DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
+                            const HermesOptions& options) {
+    util::StatusOr<DeployOutcome> outcome = try_deploy_greedy(t, net, options);
+    if (!outcome.ok()) throw std::runtime_error(outcome.status().message());
+    return std::move(outcome).value();
+}
+
+DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
+                             const HermesOptions& options) {
+    util::StatusOr<DeployOutcome> outcome = try_deploy_optimal(t, net, options);
+    if (!outcome.ok()) throw std::runtime_error(outcome.status().message());
+    return std::move(outcome).value();
 }
 
 }  // namespace hermes::core

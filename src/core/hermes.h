@@ -1,6 +1,16 @@
 // Hermes framework facade (§III): program analysis, then problem solving via
 // either the greedy heuristic or the MILP ("Optimal") path, returning the
 // deployment together with its metrics and solve statistics.
+//
+// API note: the StatusOr-returning try_deploy_greedy / try_deploy_optimal
+// entry points are the primary surface — infeasible instances come back as
+// util::StatusCode::kInfeasible (budget exhaustion without an incumbent as
+// kUnavailable) instead of an exception. The historical deploy_greedy /
+// deploy_optimal free functions are retained one release as thin wrappers
+// that rethrow (std::runtime_error, message unchanged); new code — and all
+// long-lived sessions — should go through core::Engine (core/engine.h),
+// which owns the network, merged TDG, path oracle, and incumbent and
+// answers mutations with delta re-solves.
 #pragma once
 
 #include <string>
@@ -12,6 +22,7 @@
 #include "core/objective.h"
 #include "milp/solver.h"
 #include "prog/program.h"
+#include "util/status.h"
 
 namespace hermes::core {
 
@@ -25,10 +36,6 @@ namespace hermes::core {
 struct HermesOptions : CommonOptions {
     double epsilon1 = std::numeric_limits<double>::infinity();
     std::int64_t epsilon2 = std::numeric_limits<std::int64_t>::max();
-    // Deprecated alias for CommonOptions::threads, kept one release for the
-    // pre-obs API: -1 = unset; any other value overrides `threads` for the
-    // greedy anchor search.
-    [[deprecated("use HermesOptions::threads")]] int greedy_threads = -1;
     // MILP path configuration.
     std::size_t k_paths = 2;
     std::size_t candidate_limit = 0;
@@ -53,14 +60,23 @@ struct DeployOutcome {
 [[nodiscard]] tdg::Tdg analyze(const std::vector<prog::Program>& programs,
                                obs::Sink* sink = nullptr);
 
-// Step#3 (heuristic): Algorithm 2. Throws std::runtime_error on infeasible
-// instances (not enough switch capacity under the epsilon bounds).
-[[nodiscard]] DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
-                                          const HermesOptions& options = {});
+// Step#3 (heuristic): Algorithm 2. kInfeasible when the switch capacity
+// cannot host the TDG under the epsilon bounds.
+[[nodiscard]] util::StatusOr<DeployOutcome> try_deploy_greedy(
+    const tdg::Tdg& t, const net::Network& net, const HermesOptions& options = {});
 
 // Step#2+#3 (exact): builds P#1 and solves it with branch and bound, warm
-// started from the greedy solution by default. Throws std::runtime_error
-// when no feasible deployment is found within the limits.
+// started from the greedy solution by default. kInfeasible when the model
+// proves no deployment exists; kUnavailable when the budget expired before
+// any incumbent was found.
+[[nodiscard]] util::StatusOr<DeployOutcome> try_deploy_optimal(
+    const tdg::Tdg& t, const net::Network& net, const HermesOptions& options = {});
+
+// Deprecated throwing wrappers (kept one release): identical semantics to
+// the try_* functions above but rethrow non-ok statuses as
+// std::runtime_error. Prefer try_deploy_* or Engine::solve().
+[[nodiscard]] DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
+                                          const HermesOptions& options = {});
 [[nodiscard]] DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
                                            const HermesOptions& options = {});
 

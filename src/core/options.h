@@ -7,9 +7,10 @@
 // the observability sink are spelled identically everywhere and injected per
 // call instead of through globals. Because the fields are inherited, the
 // historical spellings (`options.threads`, `options.time_limit_seconds`)
-// keep compiling unchanged; renamed aliases are kept on the individual
-// structs as [[deprecated]] members for one release (see e.g.
-// HermesOptions::greedy_threads).
+// keep compiling unchanged. The one-release [[deprecated]] aliases that
+// bridged the rename (HermesOptions::greedy_threads, the LpOptions
+// max_iterations/max_seconds spellings) have been removed; use the
+// CommonOptions fields directly.
 #pragma once
 
 #include <cstdint>

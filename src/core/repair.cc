@@ -16,18 +16,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// True when the recorded path is fully live: every switch up, every hop a
-// live link.
-bool route_alive(const net::Network& net, const net::Path& path) {
-    for (const net::SwitchId s : path.switches) {
-        if (s >= net.switch_count() || !net.switch_up(s)) return false;
-    }
-    for (std::size_t i = 0; i + 1 < path.switches.size(); ++i) {
-        if (!net.link_up(path.switches[i], path.switches[i + 1])) return false;
-    }
-    return true;
-}
-
 std::int64_t count_moved_mats(const Deployment& before, const Deployment& after) {
     std::int64_t moved = 0;
     for (std::size_t i = 0; i < before.placements.size() && i < after.placements.size();
@@ -38,6 +26,16 @@ std::int64_t count_moved_mats(const Deployment& before, const Deployment& after)
 }
 
 }  // namespace
+
+bool route_alive(const net::Network& net, const net::Path& path) {
+    for (const net::SwitchId s : path.switches) {
+        if (s >= net.switch_count() || !net.switch_up(s)) return false;
+    }
+    for (std::size_t i = 0; i + 1 < path.switches.size(); ++i) {
+        if (!net.link_up(path.switches[i], path.switches[i + 1])) return false;
+    }
+    return true;
+}
 
 DamageReport classify_damage(const tdg::Tdg& t, const net::Network& net,
                              const Deployment& d) {

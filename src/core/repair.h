@@ -71,6 +71,10 @@ struct DamageReport {
     }
 };
 
+// True when the recorded path is fully live: every switch up, every hop a
+// live link. Shared by the repair ladder and the Engine's delta re-solve.
+[[nodiscard]] bool route_alive(const net::Network& net, const net::Path& path);
+
 // Classifies `d` against the network's current up/down state. Pure
 // inspection: touches no caches, never throws on damage.
 [[nodiscard]] DamageReport classify_damage(const tdg::Tdg& t, const net::Network& net,

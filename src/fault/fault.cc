@@ -32,6 +32,14 @@ const char* to_string(FaultKind k) noexcept {
     return "?";
 }
 
+std::optional<FaultKind> parse_fault_kind(std::string_view text) noexcept {
+    if (text == "link-down") return FaultKind::kLinkDown;
+    if (text == "link-up") return FaultKind::kLinkUp;
+    if (text == "switch-down") return FaultKind::kSwitchDown;
+    if (text == "switch-up") return FaultKind::kSwitchUp;
+    return std::nullopt;
+}
+
 std::string format_fault_script(const std::vector<FaultEvent>& events) {
     std::ostringstream os;
     for (const FaultEvent& e : events) {
@@ -68,19 +76,13 @@ util::StatusOr<std::vector<FaultEvent>> parse_fault_script(std::string_view text
         }
         FaultEvent e;
         e.at_us = at_us;
-        if (kind_word == "link-down") {
-            e.kind = FaultKind::kLinkDown;
-        } else if (kind_word == "link-up") {
-            e.kind = FaultKind::kLinkUp;
-        } else if (kind_word == "switch-down") {
-            e.kind = FaultKind::kSwitchDown;
-        } else if (kind_word == "switch-up") {
-            e.kind = FaultKind::kSwitchUp;
-        } else {
+        const std::optional<FaultKind> kind = parse_fault_kind(kind_word);
+        if (!kind.has_value()) {
             return util::Status::invalid("fault script: unknown event kind '" +
                                              kind_word + "'",
                                          {"", lineno, 0});
         }
+        e.kind = *kind;
         if (!(fields >> e.a) || (e.is_link() && !(fields >> e.b))) {
             return util::Status::invalid(
                 std::string("fault script: ") + to_string(e.kind) + " needs " +

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,10 @@ enum class FaultKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+// Inverse of to_string ("link-down", "switch-up", ...); nullopt on anything
+// else. Shared by the script parser and the serve wire protocol.
+[[nodiscard]] std::optional<FaultKind> parse_fault_kind(std::string_view text) noexcept;
 
 struct FaultEvent {
     double at_us = 0.0;

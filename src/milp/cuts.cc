@@ -253,9 +253,10 @@ CutStats run_root_cut_loop(Model& model, const CutOptions& options, obs::Sink* s
         for (const Cut& cut : pool) {
             work.add_constraint(cut.expr, Sense::kLe, cut.rhs, cut.name);
         }
-        const LpResult lp =
-            solve_lp(work, /*max_iterations=*/200000, remaining,
-                     warm.empty() ? nullptr : &warm);
+        LpOptions lp_options;
+        lp_options.time_limit_seconds = remaining;
+        lp_options.warm_basis = warm.empty() ? nullptr : &warm;
+        const LpResult lp = solve_lp(work, lp_options);
         if (lp.status != LpStatus::kOptimal) break;
         warm = lp.basis;
         stats.rounds = round + 1;

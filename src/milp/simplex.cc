@@ -1144,8 +1144,7 @@ LpResult LpContext::solve(std::span<const double> lower, std::span<const double>
                : detail::solve_lu_kernel(*this, lower, upper, options, ws);
 }
 
-LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_seconds,
-                  const Basis* warm_basis) {
+LpResult solve_lp(const Model& model, const LpOptions& options) {
     for (std::size_t j = 0; j < model.variable_count(); ++j) {
         const Variable& v = model.variable(static_cast<VarId>(j));
         if (!std::isfinite(v.lower)) {
@@ -1154,10 +1153,6 @@ LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_se
         }
     }
     const LpContext ctx(model);
-    LpOptions options;
-    options.iteration_limit = max_iterations;
-    options.time_limit_seconds = max_seconds;
-    options.warm_basis = warm_basis;
     return ctx.solve(ctx.model_lower(), ctx.model_upper(), options);
 }
 

@@ -295,10 +295,9 @@ namespace detail {
 
 // Solves the LP relaxation of `model` (integrality dropped) by building a
 // one-shot LpContext. Throws std::invalid_argument on variables with
-// non-finite lower bounds. Semantics of the limits and of `warm_basis` match
-// LpOptions above.
-[[nodiscard]] LpResult solve_lp(const Model& model, std::int64_t max_iterations = 200000,
-                                double max_seconds = 1e18,
-                                const Basis* warm_basis = nullptr);
+// non-finite lower bounds. All knobs — iteration_limit, time_limit_seconds,
+// deadline, warm_basis, kernel choice — come from LpOptions; the pre-obs
+// (max_iterations, max_seconds, warm_basis) parameter spelling is gone.
+[[nodiscard]] LpResult solve_lp(const Model& model, const LpOptions& options = {});
 
 }  // namespace hermes::milp

@@ -404,8 +404,10 @@ bool satisfies_constraints(const Model& model, const std::vector<double>& values
 
 }  // namespace
 
-LpResult solve_lp(const Model& model, std::int64_t max_iterations, double max_seconds,
-                  const Basis* warm_basis) {
+LpResult solve_lp(const Model& model, const LpOptions& options) {
+    const std::int64_t max_iterations = options.iteration_limit;
+    const double max_seconds = options.time_limit_seconds;
+    const Basis* const warm_basis = options.warm_basis;
     const auto deadline =
         max_seconds >= 1e17
             ? std::chrono::steady_clock::time_point::max()

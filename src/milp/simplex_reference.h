@@ -25,11 +25,11 @@
 namespace hermes::milp::reference {
 
 // Solves the LP relaxation of `model` exactly like the seed solver did.
-// Shares LpStatus/LpResult/Basis with the production kernel; the at_upper
-// field of the exported basis stays empty (the dense form shifts every
-// variable to its lower bound, so nonbasic-at-upper never occurs).
-[[nodiscard]] LpResult solve_lp(const Model& model, std::int64_t max_iterations = 200000,
-                                double max_seconds = 1e18,
-                                const Basis* warm_basis = nullptr);
+// Shares LpStatus/LpResult/Basis (and now LpOptions — iteration_limit,
+// time_limit_seconds, warm_basis; the kernel-selection knobs are ignored)
+// with the production kernel; the at_upper field of the exported basis stays
+// empty (the dense form shifts every variable to its lower bound, so
+// nonbasic-at-upper never occurs).
+[[nodiscard]] LpResult solve_lp(const Model& model, const LpOptions& options = {});
 
 }  // namespace hermes::milp::reference

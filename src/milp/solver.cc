@@ -376,8 +376,11 @@ private:
         LpResult lp;
         if (options_.use_reference_lp) {
             const ScopedBounds scope(ref_work, model_, node.changes);
-            lp = reference::solve_lp(ref_work, options_.lp_iteration_limit, remaining,
-                                     warm);
+            LpOptions lp_options;
+            lp_options.iteration_limit = options_.lp_iteration_limit;
+            lp_options.time_limit_seconds = remaining;
+            lp_options.warm_basis = warm;
+            lp = reference::solve_lp(ref_work, lp_options);
         } else {
             // Apply the node's cumulative bound changes (intersected, so
             // repeated changes to one variable compose) directly onto the

@@ -59,6 +59,29 @@ std::vector<std::int64_t> Histogram::counts() const {
     return out;
 }
 
+double Histogram::quantile(double q) const {
+    const std::vector<std::int64_t> buckets = counts();
+    std::int64_t total = 0;
+    for (const std::int64_t c : buckets) total += c;
+    if (total == 0) return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the target observation (1-based), then walk the buckets.
+    const double rank = q * static_cast<double>(total);
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0) continue;
+        const auto before = static_cast<double>(seen);
+        seen += buckets[i];
+        if (static_cast<double>(seen) < rank) continue;
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        if (i >= bounds_.size()) return lo;  // overflow bucket: no upper bound
+        const double hi = bounds_[i];
+        const double within = (rank - before) / static_cast<double>(buckets[i]);
+        return lo + (hi - lo) * std::min(std::max(within, 0.0), 1.0);
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::vector<double> geometric_bounds(double first, double factor, std::size_t count) {
     std::vector<double> bounds;
     bounds.reserve(count);

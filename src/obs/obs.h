@@ -88,6 +88,12 @@ public:
         return sum_.load(std::memory_order_relaxed);
     }
 
+    // Estimated value at quantile q in [0, 1], linearly interpolated within
+    // the bucket holding the q-th observation (bucket lower bound = previous
+    // upper bound, 0 for the first; the overflow bucket reports its lower
+    // bound). 0 when empty. Serve latency p50/p99 publishing uses this.
+    [[nodiscard]] double quantile(double q) const;
+
 private:
     std::vector<double> bounds_;
     std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;

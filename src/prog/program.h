@@ -23,6 +23,11 @@ public:
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+    // Rebinds the program name. Resident engines key tenants by name, so a
+    // serve client may install the same library program twice under
+    // different names.
+    void set_name(std::string name) { name_ = std::move(name); }
+
     // Appends a MAT in program order; returns its position.
     std::size_t add_mat(tdg::Mat mat);
 

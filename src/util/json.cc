@@ -1,0 +1,372 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hermes::util {
+
+namespace {
+const Json kNullJson{};
+}  // namespace
+
+const Json& Json::get(std::string_view key) const noexcept {
+    if (type_ != Type::kObject) return kNullJson;
+    for (const auto& [k, v] : object_) {
+        if (k == key) return v;
+    }
+    return kNullJson;
+}
+
+bool Json::contains_null_key(std::string_view key) const noexcept {
+    if (type_ != Type::kObject) return false;
+    for (const auto& [k, v] : object_) {
+        if (k == key) return true;
+    }
+    return false;
+}
+
+void Json::set(std::string key, Json value) {
+    if (type_ != Type::kObject) {
+        *this = Json(JsonObject{});
+    }
+    for (auto& [k, v] : object_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(std::move(key), std::move(value));
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void Json::dump_to(std::string& out) const {
+    switch (type_) {
+        case Type::kNull: out += "null"; return;
+        case Type::kBool: out += bool_ ? "true" : "false"; return;
+        case Type::kInt: out += std::to_string(int_); return;
+        case Type::kDouble: {
+            if (!std::isfinite(double_)) {
+                out += "null";
+                return;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", double_);
+            // Trim to the shortest form that round-trips.
+            for (int prec = 1; prec < 17; ++prec) {
+                char shorter[32];
+                std::snprintf(shorter, sizeof shorter, "%.*g", prec, double_);
+                if (std::strtod(shorter, nullptr) == double_) {
+                    out += shorter;
+                    return;
+                }
+            }
+            out += buf;
+            return;
+        }
+        case Type::kString: append_json_string(out, string_); return;
+        case Type::kArray: {
+            out.push_back('[');
+            for (std::size_t i = 0; i < array_.size(); ++i) {
+                if (i > 0) out.push_back(',');
+                array_[i].dump_to(out);
+            }
+            out.push_back(']');
+            return;
+        }
+        case Type::kObject: {
+            out.push_back('{');
+            for (std::size_t i = 0; i < object_.size(); ++i) {
+                if (i > 0) out.push_back(',');
+                append_json_string(out, object_[i].first);
+                out.push_back(':');
+                object_[i].second.dump_to(out);
+            }
+            out.push_back('}');
+            return;
+        }
+    }
+}
+
+std::string Json::dump() const {
+    std::string out;
+    dump_to(out);
+    return out;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    StatusOr<Json> run() {
+        skip_ws();
+        Json value;
+        if (Status s = parse_value(value); !s.ok()) return s;
+        skip_ws();
+        if (pos_ != text_.size()) return error("trailing characters after JSON value");
+        return value;
+    }
+
+private:
+    [[nodiscard]] Status error(std::string message) const {
+        SourceLoc loc;
+        loc.line = 1;
+        loc.col = static_cast<int>(pos_) + 1;
+        return Status::invalid(std::move(message), loc);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] bool eat(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status parse_value(Json& out) {
+        if (pos_ >= text_.size()) return error("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return parse_object(out);
+            case '[': return parse_array(out);
+            case '"': return parse_string_value(out);
+            case 't':
+                if (text_.substr(pos_, 4) == "true") {
+                    pos_ += 4;
+                    out = Json(true);
+                    return {};
+                }
+                return error("invalid literal");
+            case 'f':
+                if (text_.substr(pos_, 5) == "false") {
+                    pos_ += 5;
+                    out = Json(false);
+                    return {};
+                }
+                return error("invalid literal");
+            case 'n':
+                if (text_.substr(pos_, 4) == "null") {
+                    pos_ += 4;
+                    out = Json();
+                    return {};
+                }
+                return error("invalid literal");
+            default: return parse_number(out);
+        }
+    }
+
+    Status parse_object(Json& out) {
+        ++pos_;  // '{'
+        JsonObject object;
+        skip_ws();
+        if (eat('}')) {
+            out = Json(std::move(object));
+            return {};
+        }
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                return error("expected object key string");
+            }
+            std::string key;
+            if (Status s = parse_string(key); !s.ok()) return s;
+            skip_ws();
+            if (!eat(':')) return error("expected ':' after object key");
+            skip_ws();
+            Json value;
+            if (Status s = parse_value(value); !s.ok()) return s;
+            // Last duplicate wins, matching common relaxed decoders.
+            bool replaced = false;
+            for (auto& [k, v] : object) {
+                if (k == key) {
+                    v = std::move(value);
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced) object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (eat(',')) continue;
+            if (eat('}')) break;
+            return error("expected ',' or '}' in object");
+        }
+        out = Json(std::move(object));
+        return {};
+    }
+
+    Status parse_array(Json& out) {
+        ++pos_;  // '['
+        JsonArray array;
+        skip_ws();
+        if (eat(']')) {
+            out = Json(std::move(array));
+            return {};
+        }
+        while (true) {
+            skip_ws();
+            Json value;
+            if (Status s = parse_value(value); !s.ok()) return s;
+            array.push_back(std::move(value));
+            skip_ws();
+            if (eat(',')) continue;
+            if (eat(']')) break;
+            return error("expected ',' or ']' in array");
+        }
+        out = Json(std::move(array));
+        return {};
+    }
+
+    Status parse_string_value(Json& out) {
+        std::string s;
+        if (Status st = parse_string(s); !st.ok()) return st;
+        out = Json(std::move(s));
+        return {};
+    }
+
+    Status parse_string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return {};
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return error("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'b': out.push_back('\b'); break;
+                    case 'f': out.push_back('\f'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = text_[pos_++];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                            else return error("invalid \\u escape digit");
+                        }
+                        // UTF-8 encode the BMP code point (surrogate pairs
+                        // are passed through as two 3-byte sequences; the
+                        // protocol carries ASCII in practice).
+                        if (code < 0x80) {
+                            out.push_back(static_cast<char>(code));
+                        } else if (code < 0x800) {
+                            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                        } else {
+                            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                        }
+                        break;
+                    }
+                    default: return error("invalid escape character");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return error("unescaped control character in string");
+            }
+            out.push_back(c);
+            ++pos_;
+        }
+        return error("unterminated string");
+    }
+
+    Status parse_number(Json& out) {
+        const std::size_t start = pos_;
+        if (eat('-')) {}
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        bool integral = true;
+        if (eat('.')) {
+            integral = false;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-") return error("invalid number");
+        if (integral) {
+            std::int64_t value = 0;
+            const auto [ptr, ec] =
+                std::from_chars(token.data(), token.data() + token.size(), value);
+            if (ec == std::errc() && ptr == token.data() + token.size()) {
+                out = Json(value);
+                return {};
+            }
+            // Out-of-range integers fall through to the double path.
+        }
+        double value = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec != std::errc() || ptr != token.data() + token.size()) {
+            return error("invalid number");
+        }
+        out = Json(value);
+        return {};
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> parse_json(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace hermes::util

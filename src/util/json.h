@@ -1,0 +1,110 @@
+// Minimal JSON value model for the serve wire protocol (core/serve.h).
+//
+// The daemon speaks line-delimited JSON, so this is a small, strict,
+// allocation-friendly parser/serializer — not a general-purpose JSON
+// library. Objects preserve no duplicate keys (last wins), numbers are
+// doubles with an exact int64 fast path, and serialization is deterministic
+// (object keys in insertion order, shortest round-trip number form for
+// integers). Parse errors come back as util::Status with a 1-based column.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hermes::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// Insertion-ordered object: pair list + lookup by linear scan (protocol
+// objects carry < 10 keys).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+public:
+    enum class Type : std::uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+    Json() = default;  // null
+    Json(std::nullptr_t) {}                                       // NOLINT
+    Json(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+    Json(std::int64_t i) : type_(Type::kInt), int_(i) {}          // NOLINT
+    Json(int i) : type_(Type::kInt), int_(i) {}                   // NOLINT
+    Json(std::size_t i)                                           // NOLINT
+        : type_(Type::kInt), int_(static_cast<std::int64_t>(i)) {}
+    Json(double d) : type_(Type::kDouble), double_(d) {}          // NOLINT
+    Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+    Json(const char* s) : type_(Type::kString), string_(s) {}     // NOLINT
+    Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}      // NOLINT
+    Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}   // NOLINT
+
+    [[nodiscard]] Type type() const noexcept { return type_; }
+    [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+    [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+    [[nodiscard]] bool is_number() const noexcept {
+        return type_ == Type::kInt || type_ == Type::kDouble;
+    }
+    [[nodiscard]] bool is_int() const noexcept { return type_ == Type::kInt; }
+    [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+    [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+    [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+    // Typed accessors; they do not coerce (bool_value on a number is false
+    // etc.) except number access, which widens the int fast path to double.
+    [[nodiscard]] bool bool_value() const noexcept { return is_bool() && bool_; }
+    [[nodiscard]] std::int64_t int_value() const noexcept {
+        if (type_ == Type::kInt) return int_;
+        if (type_ == Type::kDouble) return static_cast<std::int64_t>(double_);
+        return 0;
+    }
+    [[nodiscard]] double double_value() const noexcept {
+        if (type_ == Type::kDouble) return double_;
+        if (type_ == Type::kInt) return static_cast<double>(int_);
+        return 0.0;
+    }
+    [[nodiscard]] const std::string& string_value() const noexcept { return string_; }
+    [[nodiscard]] const JsonArray& array() const noexcept { return array_; }
+    [[nodiscard]] const JsonObject& object() const noexcept { return object_; }
+
+    // Object field lookup; null-typed static sentinel when absent (or when
+    // this value is not an object).
+    [[nodiscard]] const Json& get(std::string_view key) const noexcept;
+    [[nodiscard]] bool has(std::string_view key) const noexcept {
+        return !get(key).is_null() || contains_null_key(key);
+    }
+
+    // Builder-style append for objects (duplicate keys overwrite in place).
+    void set(std::string key, Json value);
+
+    // Compact single-line serialization (no trailing newline). Non-finite
+    // doubles serialize as null per JSON's number grammar.
+    [[nodiscard]] std::string dump() const;
+    void dump_to(std::string& out) const;
+
+private:
+    [[nodiscard]] bool contains_null_key(std::string_view key) const noexcept;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    JsonArray array_;
+    JsonObject object_;
+};
+
+// Parses exactly one JSON value spanning the whole input (trailing
+// whitespace allowed, trailing garbage is an error). kInvalidInput with a
+// 1-based column in the SourceLoc on malformed input.
+[[nodiscard]] StatusOr<Json> parse_json(std::string_view text);
+
+// Escapes `s` into a JSON string literal including the surrounding quotes.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace hermes::util

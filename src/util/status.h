@@ -1,12 +1,15 @@
-// Unified error reporting for the text front ends (prog/parser, p4/frontend).
+// Unified error reporting for the text front ends (prog/parser, p4/frontend)
+// and, since the Engine redesign, the solve pipeline (core/hermes.h,
+// core/engine.h).
 //
 // A Status carries an error code, a message, and the source location the
 // diagnostic points at; to_string() renders the conventional
 // "file:line:col: message" form every front end and the CLI print. The
-// try_* entry points (prog::try_parse_program, p4::try_compile, ...) return
-// StatusOr<T>; the historical throwing entry points remain as thin wrappers
-// whose exception types are unchanged (std::invalid_argument for malformed
-// input, std::runtime_error for I/O failures).
+// try_* entry points (prog::try_parse_program, p4::try_compile,
+// core::try_deploy_greedy, ...) return StatusOr<T>; the historical throwing
+// entry points remain as thin wrappers whose exception types are unchanged
+// (std::invalid_argument for malformed input, std::runtime_error for I/O
+// failures and infeasible instances).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,11 @@ enum class StatusCode : std::uint8_t {
     kOk = 0,
     kInvalidInput,  // malformed source (throw_if_error -> std::invalid_argument)
     kIo,            // unreadable file   (throw_if_error -> std::runtime_error)
+    kInfeasible,    // no feasible deployment within the configured limits
+                    // (throw_if_error -> std::runtime_error, matching the
+                    // historical deploy_greedy/deploy_optimal contract)
+    kUnavailable,   // solver stopped before producing any incumbent (budget
+                    // exhausted); also rethrown as std::runtime_error
 };
 
 class Status {
@@ -40,6 +48,12 @@ public:
     }
     [[nodiscard]] static Status io(std::string message, SourceLoc loc = {}) {
         return Status(StatusCode::kIo, std::move(message), std::move(loc));
+    }
+    [[nodiscard]] static Status infeasible(std::string message) {
+        return Status(StatusCode::kInfeasible, std::move(message), {});
+    }
+    [[nodiscard]] static Status unavailable(std::string message) {
+        return Status(StatusCode::kUnavailable, std::move(message), {});
     }
 
     [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -340,7 +340,9 @@ TEST(LuKernel, WarmReloadRoundTripsThroughExportedPivotOrder) {
     ASSERT_EQ(cold.basis.pivot_row.size(), cold.basis.basic.size());
 
     // Re-solving the same model warm must accept the basis outright.
-    const LpResult same = solve_lp(m, 200000, 1e18, &cold.basis);
+    LpOptions warm_options;
+    warm_options.warm_basis = &cold.basis;
+    const LpResult same = solve_lp(m, warm_options);
     ASSERT_EQ(same.status, LpStatus::kOptimal);
     EXPECT_TRUE(same.warm_used);
     EXPECT_NEAR(same.objective, cold.objective, kTol * (1.0 + std::abs(cold.objective)));
@@ -348,7 +350,7 @@ TEST(LuKernel, WarmReloadRoundTripsThroughExportedPivotOrder) {
     // A branch-style bound change keeps the column space, so the warm reload
     // still replays; the result must match a cold solve of the tightened model.
     m.set_upper(static_cast<VarId>(0), std::max(0.0, cold.values[0] - 0.5));
-    const LpResult warm = solve_lp(m, 200000, 1e18, &cold.basis);
+    const LpResult warm = solve_lp(m, warm_options);
     const LpResult fresh = solve_lp(m);
     ASSERT_EQ(warm.status, fresh.status);
     if (fresh.status == LpStatus::kOptimal) {

@@ -18,6 +18,12 @@ namespace {
 
 constexpr double kTol = 1e-9;
 
+LpOptions warm_from(const Basis* basis) {
+    LpOptions options;
+    options.warm_basis = basis;
+    return options;
+}
+
 // Random MILP in the spirit of bench/micro_solver's random_lp: maximize c'x
 // subject to Ax <= b over a mix of binary and small bounded integers.
 Model random_milp(int vars, int rows, std::uint64_t seed) {
@@ -195,7 +201,7 @@ TEST(WarmStartLp, FiftySeededPerturbedModelsMatchColdSolves) {
         }
 
         const LpResult cold = solve_lp(base);
-        const LpResult warm = solve_lp(base, 200000, 1e18, &parent.basis);
+        const LpResult warm = solve_lp(base, warm_from(&parent.basis));
         ASSERT_EQ(warm.status, cold.status) << "seed " << seed;
         if (cold.status != LpStatus::kOptimal) continue;
         ++optimal_pairs;
@@ -213,7 +219,7 @@ TEST(WarmStartLp, IncompatibleBasisDegradesToColdPath) {
     const LpResult pa = solve_lp(a);
     ASSERT_EQ(pa.status, LpStatus::kOptimal);
     const LpResult cold = solve_lp(b);
-    const LpResult warm = solve_lp(b, 200000, 1e18, &pa.basis);
+    const LpResult warm = solve_lp(b, warm_from(&pa.basis));
     ASSERT_EQ(warm.status, cold.status);
     EXPECT_NEAR(warm.objective, cold.objective, kTol);
 }
@@ -228,7 +234,7 @@ TEST(WarmStartLp, RepeatedReSolvesStayExact) {
         const auto j = static_cast<std::size_t>(depth);
         m.set_upper(static_cast<VarId>(j), std::max(0.0, std::floor(prev.values[j])));
         const LpResult cold = solve_lp(m);
-        const LpResult warm = solve_lp(m, 200000, 1e18, &prev.basis);
+        const LpResult warm = solve_lp(m, warm_from(&prev.basis));
         ASSERT_EQ(warm.status, cold.status) << "depth " << depth;
         if (cold.status != LpStatus::kOptimal) break;
         EXPECT_NEAR(warm.objective, cold.objective, kTol) << "depth " << depth;

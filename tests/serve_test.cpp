@@ -1,0 +1,342 @@
+// hermes_serve wire protocol tests: JSON round-trips, request parsing and
+// error replies for malformed input, epoch batching semantics of
+// ServeSession, spec resolution, and the serve.* metrics surface.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/serve.h"
+#include "obs/obs.h"
+#include "sim/testbed.h"
+#include "util/json.h"
+
+namespace hermes::core {
+namespace {
+
+net::Network testbed() {
+    sim::TestbedConfig config;
+    config.switch_count = 4;
+    config.stages = 8;
+    return sim::make_testbed(config);
+}
+
+// Splits the accumulated session output back into response lines.
+std::vector<std::string> lines_of(const std::string& out) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        lines.push_back(out.substr(start, end - start));
+        if (end == std::string::npos) break;
+        start = end + 1;
+    }
+    return lines;
+}
+
+util::Json parsed(const std::string& line) {
+    auto result = util::parse_json(line);
+    EXPECT_TRUE(result.ok()) << line;
+    return result.ok() ? std::move(result).value() : util::Json();
+}
+
+// ---- JSON / request round-trips ------------------------------------------
+
+TEST(ServeProtocol, JsonDumpParseRoundTrip) {
+    util::JsonObject object;
+    object.emplace_back("id", util::Json(std::int64_t{42}));
+    object.emplace_back("op", util::Json("add_program"));
+    object.emplace_back("pi", util::Json(3.25));
+    object.emplace_back("flag", util::Json(true));
+    util::JsonArray items;
+    items.emplace_back("a\n\"b\"");
+    object.emplace_back("items", util::Json(std::move(items)));
+    const util::Json original{std::move(object)};
+
+    const util::Json reparsed = parsed(original.dump());
+    EXPECT_EQ(reparsed.get("id").int_value(), 42);
+    EXPECT_EQ(reparsed.get("op").string_value(), "add_program");
+    EXPECT_DOUBLE_EQ(reparsed.get("pi").double_value(), 3.25);
+    EXPECT_TRUE(reparsed.get("flag").bool_value());
+    EXPECT_EQ(reparsed.get("items").array().at(0).string_value(), "a\n\"b\"");
+}
+
+TEST(ServeProtocol, ParseRequestRoundTripsEveryOp) {
+    const auto add = parse_request(
+        R"({"id": 1, "op": "add_program", "name": "t0", "spec": "synthetic:7:0"})");
+    ASSERT_TRUE(add.ok());
+    EXPECT_EQ(add.value().op, "add_program");
+    EXPECT_EQ(add.value().name, "t0");
+    EXPECT_EQ(add.value().spec, "synthetic:7:0");
+    EXPECT_EQ(add.value().id.int_value(), 1);
+
+    const auto remove =
+        parse_request(R"({"id": "x", "op": "remove_program", "name": "t0"})");
+    ASSERT_TRUE(remove.ok());
+    EXPECT_EQ(remove.value().name, "t0");
+    EXPECT_EQ(remove.value().id.string_value(), "x");
+
+    const auto fault = parse_request(
+        R"({"id": 2, "op": "inject_fault", "kind": "link-down", "a": 0, "b": 1})");
+    ASSERT_TRUE(fault.ok());
+    EXPECT_TRUE(fault.value().has_kind);
+    EXPECT_EQ(fault.value().fault.kind, fault::FaultKind::kLinkDown);
+    EXPECT_EQ(fault.value().fault.a, 0u);
+    EXPECT_EQ(fault.value().fault.b, 1u);
+
+    const auto recover = parse_request(R"({"op": "recover"})");
+    ASSERT_TRUE(recover.ok());
+    EXPECT_FALSE(recover.value().has_kind);  // bare recover = recover all
+    EXPECT_TRUE(recover.value().id.is_null());
+
+    for (const char* op : {"retarget_traffic", "query", "snapshot"}) {
+        const auto r = parse_request(std::string(R"({"op": ")") + op + "\"}");
+        ASSERT_TRUE(r.ok()) << op;
+        EXPECT_EQ(r.value().op, op);
+    }
+}
+
+TEST(ServeProtocol, ParseRequestRejectsMalformedInput) {
+    // Each entry: (line, reason it must fail).
+    const char* bad[] = {
+        "not json at all",
+        "{\"op\": 7}",                                        // op not a string
+        R"({"op": "frobnicate"})",                            // unknown op
+        R"({"op": "add_program", "name": "t0"})",             // missing spec
+        R"({"op": "add_program", "spec": "synthetic:1"})",    // missing name
+        R"({"op": "remove_program"})",                        // missing name
+        R"({"op": "inject_fault", "kind": "nope", "a": 0})",  // bad kind
+        R"({"op": "inject_fault", "kind": "link-up", "a": 0, "b": 1})",  // up on inject
+        R"({"op": "recover", "kind": "link-down", "a": 0, "b": 1})",     // down on recover
+        R"({"op": "inject_fault", "kind": "link-down", "a": 0})",        // missing b
+        "[1, 2, 3]",                                          // not an object
+    };
+    for (const char* line : bad) {
+        const auto r = parse_request(line);
+        EXPECT_FALSE(r.ok()) << line;
+        if (!r.ok()) {
+            EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidInput) << line;
+        }
+    }
+}
+
+TEST(ServeProtocol, FormatOkAndErrorEchoTheId) {
+    const std::string ok = format_ok(util::Json(std::int64_t{7}),
+                                     util::Json(util::JsonObject{}));
+    const util::Json ok_json = parsed(ok);
+    EXPECT_EQ(ok_json.get("id").int_value(), 7);
+    EXPECT_TRUE(ok_json.get("ok").bool_value());
+
+    const std::string err =
+        format_error(util::Json("abc"), util::Status::invalid("bad spec"));
+    const util::Json err_json = parsed(err);
+    EXPECT_EQ(err_json.get("id").string_value(), "abc");
+    EXPECT_FALSE(err_json.get("ok").bool_value());
+    EXPECT_EQ(err_json.get("error").get("code").string_value(), "invalid_input");
+    EXPECT_EQ(err_json.get("error").get("message").string_value(), "bad spec");
+}
+
+TEST(ServeProtocol, ResolveProgramSpecGrammar) {
+    EXPECT_TRUE(resolve_program_spec("synthetic:7").ok());
+    EXPECT_TRUE(resolve_program_spec("synthetic:7:3").ok());
+    EXPECT_TRUE(resolve_program_spec("sketch:countmin").ok());
+    EXPECT_FALSE(resolve_program_spec("").ok());
+    EXPECT_FALSE(resolve_program_spec("synthetic:notanumber").ok());
+    EXPECT_FALSE(resolve_program_spec("real:no-such-program").ok());
+    EXPECT_FALSE(resolve_program_spec("mystery:thing").ok());
+}
+
+// ---- Session semantics ---------------------------------------------------
+
+TEST(ServeSession, MutationsStageUntilFlush) {
+    Engine engine(testbed());
+    ServeSession session(engine);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line(
+        R"({"id": 2, "op": "add_program", "name": "b", "spec": "synthetic:3:1"})",
+        out);
+    EXPECT_TRUE(out.empty());  // staged, not applied
+    EXPECT_EQ(session.pending(), 2u);
+    EXPECT_EQ(engine.epoch(), 0);
+
+    session.flush(out);
+    EXPECT_EQ(session.pending(), 0u);
+    EXPECT_EQ(engine.epoch(), 1);  // one epoch for the whole batch
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const auto& line : lines) {
+        const util::Json response = parsed(line);
+        EXPECT_TRUE(response.get("ok").bool_value()) << line;
+        EXPECT_EQ(response.get("result").get("batched").int_value(), 2);
+        EXPECT_EQ(response.get("result").get("epoch").int_value(), 1);
+    }
+}
+
+TEST(ServeSession, QueryFlushesStagedMutationsFirst) {
+    Engine engine(testbed());
+    ServeSession session(engine);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line(R"({"id": 2, "op": "query"})", out);
+
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 2u);  // mutation response, then the query's
+    const util::Json mutation = parsed(lines[0]);
+    EXPECT_EQ(mutation.get("id").int_value(), 1);
+    const util::Json query = parsed(lines[1]);
+    EXPECT_EQ(query.get("id").int_value(), 2);
+    // The query sees its own session's write.
+    const auto& programs = query.get("result").get("programs").array();
+    ASSERT_EQ(programs.size(), 1u);
+    EXPECT_EQ(programs[0].string_value(), "a");
+    EXPECT_TRUE(query.get("result").get("incumbent").bool_value());
+}
+
+TEST(ServeSession, MalformedLineGetsErrorReplyAndFlushes) {
+    obs::Sink sink;
+    Engine engine(testbed());
+    ServeSession session(engine, ServeOptions{nullptr, &sink});
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line("this is not json", out);
+
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 2u);  // staged mutation flushed, then the error
+    EXPECT_TRUE(parsed(lines[0]).get("ok").bool_value());
+    const util::Json error = parsed(lines[1]);
+    EXPECT_FALSE(error.get("ok").bool_value());
+    EXPECT_TRUE(error.get("id").is_null());
+    EXPECT_EQ(error.get("error").get("code").string_value(), "invalid_input");
+    EXPECT_EQ(sink.counter("serve.malformed").value(), 1);
+    EXPECT_EQ(sink.counter("serve.requests").value(), 2);
+}
+
+TEST(ServeSession, UnresolvableSpecAnswersImmediatelyWithoutPoisoningBatch) {
+    Engine engine(testbed());
+    ServeSession session(engine);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line(
+        R"({"id": 2, "op": "add_program", "name": "bad", "spec": "mystery:x"})",
+        out);
+    // The bad spec answered immediately; the good mutation is still staged.
+    const auto immediate = lines_of(out);
+    ASSERT_EQ(immediate.size(), 1u);
+    EXPECT_FALSE(parsed(immediate[0]).get("ok").bool_value());
+    EXPECT_EQ(session.pending(), 1u);
+
+    out.clear();
+    session.flush(out);
+    const auto flushed = lines_of(out);
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_TRUE(parsed(flushed[0]).get("ok").bool_value());
+    EXPECT_EQ(engine.program_count(), 1u);
+}
+
+TEST(ServeSession, FailedEpochAnswersEveryBatchMemberWithSameError) {
+    // Two adds with the same tenant name in one epoch: kInvalidInput for the
+    // whole batch, and both requests hear about it.
+    Engine engine(testbed());
+    ServeSession session(engine);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "dup", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line(
+        R"({"id": 2, "op": "add_program", "name": "dup", "spec": "synthetic:3:1"})",
+        out);
+    session.flush(out);
+
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const auto& line : lines) {
+        const util::Json response = parsed(line);
+        EXPECT_FALSE(response.get("ok").bool_value()) << line;
+        EXPECT_EQ(response.get("error").get("code").string_value(),
+                  "invalid_input");
+    }
+    EXPECT_EQ(engine.program_count(), 0u);
+}
+
+TEST(ServeSession, SnapshotListsPlacementsAndRoutes) {
+    Engine engine(testbed());
+    ServeSession session(engine);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:5:0"})",
+        out);
+    out.clear();
+    session.handle_line(R"({"id": 2, "op": "snapshot"})", out);
+
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 2u);  // flushed mutation + snapshot
+    const util::Json snapshot = parsed(lines[1]);
+    ASSERT_TRUE(snapshot.get("ok").bool_value());
+    const util::Json& result = snapshot.get("result");
+    EXPECT_TRUE(result.get("incumbent").bool_value());
+    const auto& placements = result.get("placements").array();
+    ASSERT_FALSE(placements.empty());
+    EXPECT_TRUE(placements[0].has("node"));
+    EXPECT_TRUE(placements[0].has("switch"));
+    EXPECT_TRUE(placements[0].has("stage"));
+}
+
+TEST(ServeSession, BareRecoverHealsInjectedFault) {
+    obs::Sink sink;
+    EngineOptions engine_options;
+    engine_options.sink = &sink;
+    Engine engine(testbed(), engine_options);
+    ServeSession session(engine, ServeOptions{nullptr, &sink});
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.flush(out);
+    const std::size_t live_before = engine.network().live_link_count();
+
+    out.clear();
+    session.handle_line(
+        R"({"id": 2, "op": "inject_fault", "kind": "link-down", "a": 0, "b": 1})",
+        out);
+    session.flush(out);
+    ASSERT_EQ(engine.network().live_link_count(), live_before - 1);
+
+    out.clear();
+    session.handle_line(R"({"id": 3, "op": "recover"})", out);
+    session.flush(out);
+    EXPECT_EQ(engine.network().live_link_count(), live_before);
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(parsed(lines[0]).get("ok").bool_value());
+    EXPECT_EQ(sink.counter("verify.violations").value(), 0);
+}
+
+TEST(ServeSession, LatencyHistogramRecordsEveryRequest) {
+    obs::Sink sink;
+    Engine engine(testbed());
+    ServeSession session(engine, ServeOptions{nullptr, &sink});
+    std::string out;
+    session.handle_line(R"({"id": 1, "op": "query"})", out);
+    session.handle_line(R"({"id": 2, "op": "query"})", out);
+    // The session registered the histogram already; the bounds argument is
+    // only used on first registration.
+    const obs::Histogram& h =
+        sink.histogram("serve.request_us", obs::geometric_bounds(1.0, 2.0, 24));
+    std::int64_t total = 0;
+    for (const std::int64_t c : h.counts()) total += c;
+    EXPECT_EQ(total, 2);
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
+}
+
+}  // namespace
+}  // namespace hermes::core

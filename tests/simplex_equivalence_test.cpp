@@ -192,8 +192,10 @@ TEST(SimplexEquivalence, WarmChainsMatchColdSolvesOnBothKernels) {
     for (const bool use_reference : {false, true}) {
         Model m = feasible_random_lp(10, 8, 77);
         const auto solve_kernel = [&](const Model& model, const Basis* warm) {
-            return use_reference ? reference::solve_lp(model, 200000, 1e18, warm)
-                                 : solve_lp(model, 200000, 1e18, warm);
+            LpOptions options;
+            options.warm_basis = warm;
+            return use_reference ? reference::solve_lp(model, options)
+                                 : solve_lp(model, options);
         };
         LpResult prev = solve_kernel(m, nullptr);
         ASSERT_EQ(prev.status, LpStatus::kOptimal);
@@ -223,8 +225,12 @@ TEST(SimplexEquivalence, CrossKernelBasesDegradeToColdSolves) {
     const LpResult dense = reference::solve_lp(m);
     ASSERT_EQ(revised.status, LpStatus::kOptimal);
     ASSERT_EQ(dense.status, LpStatus::kOptimal);
-    const LpResult rev_from_dense = solve_lp(m, 200000, 1e18, &dense.basis);
-    const LpResult dense_from_rev = reference::solve_lp(m, 200000, 1e18, &revised.basis);
+    LpOptions from_dense;
+    from_dense.warm_basis = &dense.basis;
+    LpOptions from_revised;
+    from_revised.warm_basis = &revised.basis;
+    const LpResult rev_from_dense = solve_lp(m, from_dense);
+    const LpResult dense_from_rev = reference::solve_lp(m, from_revised);
     ASSERT_EQ(rev_from_dense.status, LpStatus::kOptimal);
     ASSERT_EQ(dense_from_rev.status, LpStatus::kOptimal);
     EXPECT_NEAR(rev_from_dense.objective, revised.objective, kTol);

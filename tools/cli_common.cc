@@ -1,0 +1,147 @@
+#include "cli_common.h"
+
+#include <stdexcept>
+
+#include "core/serve.h"
+#include "net/topozoo.h"
+#include "obs/export.h"
+#include "p4/frontend.h"
+#include "prog/library.h"
+#include "prog/parser.h"
+#include "prog/synthetic.h"
+#include "sim/testbed.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hermes::cli {
+
+namespace {
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool FlagParser::next() {
+    if (next_ >= args_.size()) return false;
+    flag_ = args_[next_++];
+    inline_value_.reset();
+    if (util::starts_with(flag_, "--")) {
+        if (const auto eq = flag_.find('='); eq != std::string::npos) {
+            inline_value_ = flag_.substr(eq + 1);
+            flag_.erase(eq);
+        }
+    }
+    return true;
+}
+
+util::StatusOr<std::string> FlagParser::value() {
+    if (inline_value_) return *std::exchange(inline_value_, std::nullopt);
+    if (next_ >= args_.size()) {
+        return util::Status::invalid("missing value after " + flag_);
+    }
+    return args_[next_++];
+}
+
+util::StatusOr<std::vector<prog::Program>> parse_program_spec(const std::string& spec) {
+    const auto parts = util::split(spec, ':');
+    if (parts.empty()) return util::Status::invalid("empty program spec");
+    try {
+        if (parts[0] == "real") {
+            std::vector<prog::Program> all = prog::real_programs();
+            if (parts.size() > 1) {
+                const auto n = util::parse_int(parts[1]);
+                if (n < 1 || n > static_cast<std::int64_t>(all.size())) {
+                    return util::Status::invalid("real:N needs 1 <= N <= 10");
+                }
+                all.erase(all.begin() + n, all.end());
+            }
+            return all;
+        }
+        if (parts[0] == "sketches") return prog::sketch_programs();
+        if (parts[0] == "synthetic") {
+            if (parts.size() < 2) return util::Status::invalid("synthetic:N[:seed]");
+            const auto n = util::parse_int(parts[1]);
+            const std::uint64_t seed =
+                parts.size() > 2 ? static_cast<std::uint64_t>(util::parse_int(parts[2]))
+                                 : 1;
+            return prog::synthetic_programs(prog::SyntheticConfig{}, seed,
+                                            static_cast<int>(n));
+        }
+    } catch (const std::invalid_argument& ex) {
+        return util::Status::invalid(ex.what());
+    }
+    if (ends_with(spec, ".p4mini")) {
+        util::StatusOr<prog::Program> p = p4::try_compile_file(spec);
+        if (!p.ok()) return p.status();
+        return std::vector<prog::Program>{std::move(p).value()};
+    }
+    if (ends_with(spec, ".prog")) {
+        util::StatusOr<prog::Program> p = prog::try_load_program_file(spec);
+        if (!p.ok()) return p.status();
+        return std::vector<prog::Program>{std::move(p).value()};
+    }
+    return util::Status::invalid("unknown program spec '" + spec + "'");
+}
+
+util::StatusOr<prog::Program> parse_serve_program_spec(const std::string& spec) {
+    if (ends_with(spec, ".p4mini")) return p4::try_compile_file(spec);
+    if (ends_with(spec, ".prog")) return prog::try_load_program_file(spec);
+    return core::resolve_program_spec(spec);
+}
+
+util::StatusOr<net::Network> parse_topology_spec(const std::string& spec) {
+    const auto parts = util::split(spec, ':');
+    if (parts.empty()) return util::Status::invalid("empty topology spec");
+    try {
+        if (parts[0] == "testbed") {
+            sim::TestbedConfig config;
+            if (parts.size() > 1) config.switch_count = util::parse_int(parts[1]);
+            if (parts.size() > 2) {
+                config.stages = static_cast<int>(util::parse_int(parts[2]));
+            }
+            return sim::make_testbed(config);
+        }
+        if (parts[0] == "table3") {
+            if (parts.size() < 2) return util::Status::invalid("table3:<id>");
+            return net::table3_topology(static_cast<int>(util::parse_int(parts[1])));
+        }
+        if (parts[0] == "random") {
+            if (parts.size() < 3) {
+                return util::Status::invalid("random:<nodes>:<edges>[:seed]");
+            }
+            util::SplitMix64 rng(
+                parts.size() > 3 ? static_cast<std::uint64_t>(util::parse_int(parts[3]))
+                                 : 7);
+            return net::random_topology(util::parse_int(parts[1]),
+                                        util::parse_int(parts[2]),
+                                        net::TopologyConfig{}, rng);
+        }
+    } catch (const std::exception& ex) {
+        return util::Status::invalid(ex.what());
+    }
+    return util::Status::invalid("unknown topology spec '" + spec + "'");
+}
+
+obs::Sink* make_sink(const ExportOptions& options, std::optional<obs::Sink>& storage) {
+    if (!options.wanted()) return nullptr;
+    obs::Sink& sink = storage.emplace();
+    sink.name_thread("main");
+    return &sink;
+}
+
+util::Status write_exports(const obs::Sink& sink, const ExportOptions& options) {
+    if (!options.trace_out.empty() &&
+        !obs::write_chrome_trace_file(sink, options.trace_out)) {
+        return util::Status::io("cannot write trace to '" + options.trace_out + "'");
+    }
+    if (!options.metrics_out.empty() &&
+        !obs::write_metrics_json_file(sink, options.metrics_out)) {
+        return util::Status::io("cannot write metrics to '" + options.metrics_out + "'");
+    }
+    return {};
+}
+
+}  // namespace hermes::cli

@@ -1,0 +1,85 @@
+// Shared front-end plumbing for hermes_cli and hermes_serve.
+//
+// Both binaries speak the same flag grammar ("--flag value" and
+// "--flag=value"), the same program/topology spec grammars, and the same
+// observability export flags, so the parsing lives here once. Everything
+// returns util::StatusOr instead of exiting — each binary decides how a
+// parse error reaches the user (usage() + exit 2 for the CLI, an error line
+// for the daemon).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "obs/obs.h"
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace hermes::cli {
+
+// Iterates "--flag value" / "--flag=value" argument lists:
+//
+//   FlagParser flags(args);
+//   while (flags.next()) {
+//       if (flags.flag() == "--seed") seed = parse(flags.value());
+//       ...
+//   }
+//
+// value() consumes the inline "=value" part or the next argument;
+// kInvalidInput when neither exists. Boolean flags must not call value();
+// has_inline_value() lets them reject "--flag=x".
+class FlagParser {
+public:
+    explicit FlagParser(std::vector<std::string> args) : args_(std::move(args)) {}
+
+    // Advances to the next flag; false at end of input.
+    bool next();
+    [[nodiscard]] const std::string& flag() const noexcept { return flag_; }
+    [[nodiscard]] bool has_inline_value() const noexcept {
+        return inline_value_.has_value();
+    }
+    [[nodiscard]] util::StatusOr<std::string> value();
+
+private:
+    std::vector<std::string> args_;
+    std::size_t next_ = 0;
+    std::string flag_;
+    std::optional<std::string> inline_value_;
+};
+
+// Program specs (shared grammar, documented in hermes_cli's usage):
+//   real[:N] | sketches | synthetic:N[:seed] | <path>.p4mini | <path>.prog
+[[nodiscard]] util::StatusOr<std::vector<prog::Program>> parse_program_spec(
+    const std::string& spec);
+
+// Single-program spec for the serve wire protocol: the core grammar
+// (core::resolve_program_spec) plus the file forms above.
+[[nodiscard]] util::StatusOr<prog::Program> parse_serve_program_spec(
+    const std::string& spec);
+
+// Topology specs:
+//   testbed[:switches[:stages]] | table3:<id> | random:<nodes>:<edges>[:seed]
+[[nodiscard]] util::StatusOr<net::Network> parse_topology_spec(const std::string& spec);
+
+// Observability export flags (--trace-out / --metrics-out).
+struct ExportOptions {
+    std::string trace_out;    // empty = no trace export
+    std::string metrics_out;  // empty = no metrics export
+
+    [[nodiscard]] bool wanted() const noexcept {
+        return !trace_out.empty() || !metrics_out.empty();
+    }
+};
+
+// Creates the run's sink in `storage` when an export was requested; null
+// pointer = observability off.
+[[nodiscard]] obs::Sink* make_sink(const ExportOptions& options,
+                                   std::optional<obs::Sink>& storage);
+
+// Writes the requested exports; kIo naming the unwritable path on failure.
+[[nodiscard]] util::Status write_exports(const obs::Sink& sink,
+                                         const ExportOptions& options);
+
+}  // namespace hermes::cli

@@ -6,7 +6,7 @@
 //   hermes_cli analyze --programs <spec> [--programs <spec> ...]
 //       Merge the programs, run the metadata analyzer, print the TDG.
 //
-//   hermes_cli deploy --programs <spec> --topology <spec>
+//   hermes_cli solve --programs <spec> --topology <spec>
 //              [--strategy greedy|optimal|ms|sonata|speed|mtp|fp|p4all|ffl|ffls]
 //              [--eps1 <us>] [--eps2 <switches>] [--time-limit <s>]
 //              [--threads <n>] [--seed <n>] [--csv]
@@ -19,9 +19,19 @@
 //       (core/repair.h), verify the repaired deployment, and report
 //       per-event status plus traffic lost before each repair.
 //
+//   hermes_cli replay ...
+//       Same flags as solve, but --fault-script is required: the fault
+//       replay is the point of the run.
+//
+//   hermes_cli serve ...
+//       The hermes_serve daemon (same flags; see tools/hermes_serve.cpp).
+//
+//   The pre-subcommand spelling `hermes_cli deploy ...` keeps working for
+//   one release as an alias of `solve`.
+//
 // Every option accepts both "--flag value" and "--flag=value". Unknown
-// options exit with status 2. Parse and I/O errors print one uniform
-// "error: file:line:col: message" line and exit with status 1.
+// subcommands and options exit with status 2. Parse and I/O errors print one
+// uniform "error: file:line:col: message" line and exit with status 1.
 //
 // --trace-out writes a Chrome trace_event JSON of the run (open it in
 // chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
@@ -43,6 +53,7 @@
 #include <optional>
 
 #include "baselines/common.h"
+#include "cli_common.h"
 #include "core/hermes.h"
 #include "core/objective.h"
 #include "core/repair.h"
@@ -50,17 +61,13 @@
 #include "fault/fault.h"
 #include "fault/injector.h"
 #include "net/path_oracle.h"
-#include "net/topozoo.h"
+#include "serve_main.h"
 #include "sim/engine.h"
 #include "sim/replay.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "p4/frontend.h"
-#include "prog/library.h"
-#include "prog/parser.h"
-#include "prog/synthetic.h"
 #include "tdg/analyzer.h"
-#include "sim/testbed.h"
 #include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -75,7 +82,7 @@ using namespace hermes;
         R"(usage:
   hermes_cli compile <file.p4mini>
   hermes_cli analyze --programs <spec> [--programs <spec> ...]
-  hermes_cli deploy  --programs <spec> [--programs <spec> ...]
+  hermes_cli solve   --programs <spec> [--programs <spec> ...]
                      --topology <spec> [--strategy <name>] [--eps1 <us>]
                      [--eps2 <switches>] [--time-limit <seconds>]
                      [--threads <n>] [--seed <n>] [--csv]
@@ -83,6 +90,10 @@ using namespace hermes;
                      [--fault-script <file>|random:<events>[:seed]]
                      [--repair-deadline <seconds>] [--repair-milp]
                      [--sim-flows <n>] [--sim-threads <n>]
+  hermes_cli replay  (solve flags; --fault-script required)
+  hermes_cli serve   (hermes_serve flags; see tools/hermes_serve.cpp)
+
+  `hermes_cli deploy ...` remains an alias of `solve` for one release.
 
 program specs : real[:N] | sketches | synthetic:N[:seed] | *.p4mini | *.prog
 topology specs: testbed[:switches[:stages]] | table3:<id> | random:<n>:<e>[:seed]
@@ -120,60 +131,11 @@ T unwrap(util::StatusOr<T> result) {
     return std::move(result).value();
 }
 
-std::vector<prog::Program> parse_program_spec(const std::string& spec) {
-    const auto parts = util::split(spec, ':');
-    if (parts.empty()) usage("empty program spec");
-    if (parts[0] == "real") {
-        std::vector<prog::Program> all = prog::real_programs();
-        if (parts.size() > 1) {
-            const auto n = util::parse_int(parts[1]);
-            if (n < 1 || n > static_cast<std::int64_t>(all.size())) {
-                usage("real:N needs 1 <= N <= 10");
-            }
-            all.erase(all.begin() + n, all.end());
-        }
-        return all;
-    }
-    if (parts[0] == "sketches") return prog::sketch_programs();
-    if (parts[0] == "synthetic") {
-        if (parts.size() < 2) usage("synthetic:N[:seed]");
-        const auto n = util::parse_int(parts[1]);
-        const std::uint64_t seed =
-            parts.size() > 2 ? static_cast<std::uint64_t>(util::parse_int(parts[2])) : 1;
-        return prog::synthetic_programs(prog::SyntheticConfig{}, seed,
-                                        static_cast<int>(n));
-    }
-    if (spec.size() > 7 && spec.substr(spec.size() - 7) == ".p4mini") {
-        return {unwrap(p4::try_compile_file(spec))};
-    }
-    if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".prog") {
-        return {unwrap(prog::try_load_program_file(spec))};
-    }
-    usage("unknown program spec '" + spec + "'");
-}
-
-net::Network parse_topology_spec(const std::string& spec) {
-    const auto parts = util::split(spec, ':');
-    if (parts.empty()) usage("empty topology spec");
-    if (parts[0] == "testbed") {
-        sim::TestbedConfig config;
-        if (parts.size() > 1) config.switch_count = util::parse_int(parts[1]);
-        if (parts.size() > 2) config.stages = static_cast<int>(util::parse_int(parts[2]));
-        return sim::make_testbed(config);
-    }
-    if (parts[0] == "table3") {
-        if (parts.size() < 2) usage("table3:<id>");
-        return net::table3_topology(static_cast<int>(util::parse_int(parts[1])));
-    }
-    if (parts[0] == "random") {
-        if (parts.size() < 3) usage("random:<nodes>:<edges>[:seed]");
-        util::SplitMix64 rng(parts.size() > 3
-                                 ? static_cast<std::uint64_t>(util::parse_int(parts[3]))
-                                 : 7);
-        return net::random_topology(util::parse_int(parts[1]), util::parse_int(parts[2]),
-                                    net::TopologyConfig{}, rng);
-    }
-    usage("unknown topology spec '" + spec + "'");
+// Spec parse failures are usage errors (exit 2), not runtime errors.
+template <typename T>
+T unwrap_spec(util::StatusOr<T> result) {
+    if (!result.ok()) usage(result.status().message());
+    return std::move(result).value();
 }
 
 void print_tdg(const tdg::Tdg& t) {
@@ -218,8 +180,7 @@ struct Options {
     int threads = 0;  // 0 = hardware concurrency
     std::uint64_t seed = 1;
     bool csv = false;
-    std::string trace_out;     // empty = no trace export
-    std::string metrics_out;   // empty = no metrics export
+    cli::ExportOptions exports;
     std::string fault_script;  // empty = no fault replay
     double repair_deadline = 0.0;  // seconds; 0 = unbounded repairs
     bool repair_milp = false;
@@ -229,26 +190,20 @@ struct Options {
 
 Options parse_options(const std::vector<std::string>& args, bool need_topology) {
     Options options;
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        std::string flag = args[i];
-        std::optional<std::string> inline_value;
-        if (flag.rfind("--", 0) == 0) {
-            if (const auto eq = flag.find('='); eq != std::string::npos) {
-                inline_value = flag.substr(eq + 1);
-                flag.erase(eq);
-            }
-        }
-        auto value = [&]() -> std::string {
-            if (inline_value) return *inline_value;
-            if (i + 1 >= args.size()) usage("missing value after " + flag);
-            return args[++i];
-        };
+    cli::FlagParser parser(args);
+    auto value = [&]() -> std::string {
+        util::StatusOr<std::string> v = parser.value();
+        if (!v.ok()) usage(v.status().message());
+        return std::move(v).value();
+    };
+    while (parser.next()) {
+        const std::string& flag = parser.flag();
         if (flag == "--programs") {
-            for (prog::Program& p : parse_program_spec(value())) {
+            for (prog::Program& p : unwrap_spec(cli::parse_program_spec(value()))) {
                 options.programs.push_back(std::move(p));
             }
         } else if (flag == "--topology") {
-            options.network = parse_topology_spec(value());
+            options.network = unwrap_spec(cli::parse_topology_spec(value()));
         } else if (flag == "--strategy") {
             options.strategy = value();
         } else if (flag == "--eps1") {
@@ -262,9 +217,9 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
         } else if (flag == "--seed") {
             options.seed = static_cast<std::uint64_t>(util::parse_int(value()));
         } else if (flag == "--trace-out") {
-            options.trace_out = value();
+            options.exports.trace_out = value();
         } else if (flag == "--metrics-out") {
-            options.metrics_out = value();
+            options.exports.metrics_out = value();
         } else if (flag == "--fault-script") {
             options.fault_script = value();
         } else if (flag == "--repair-deadline") {
@@ -274,10 +229,10 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
         } else if (flag == "--sim-threads") {
             options.sim_threads = static_cast<int>(util::parse_int(value()));
         } else if (flag == "--repair-milp") {
-            if (inline_value) usage("--repair-milp takes no value");
+            if (parser.has_inline_value()) usage("--repair-milp takes no value");
             options.repair_milp = true;
         } else if (flag == "--csv") {
-            if (inline_value) usage("--csv takes no value");
+            if (parser.has_inline_value()) usage("--csv takes no value");
             options.csv = true;
         } else {
             usage("unknown option '" + flag + "'");
@@ -288,24 +243,10 @@ Options parse_options(const std::vector<std::string>& args, bool need_topology) 
     return options;
 }
 
-// Creates the run's sink in `storage` when an export was requested; the
-// returned pointer (null = observability off) threads through every stage.
-obs::Sink* make_sink(const Options& options, std::optional<obs::Sink>& storage) {
-    if (options.trace_out.empty() && options.metrics_out.empty()) return nullptr;
-    obs::Sink& sink = storage.emplace();
-    sink.name_thread("main");
-    return &sink;
-}
-
-void write_exports(const obs::Sink& sink, const Options& options) {
-    if (!options.trace_out.empty() &&
-        !obs::write_chrome_trace_file(sink, options.trace_out)) {
-        std::cerr << "error: cannot write trace to '" << options.trace_out << "'\n";
-        std::exit(1);
-    }
-    if (!options.metrics_out.empty() &&
-        !obs::write_metrics_json_file(sink, options.metrics_out)) {
-        std::cerr << "error: cannot write metrics to '" << options.metrics_out << "'\n";
+void write_exports_or_die(const obs::Sink& sink, const Options& options) {
+    const util::Status status = cli::write_exports(sink, options.exports);
+    if (!status.ok()) {
+        std::cerr << "error: " << status.to_string() << "\n";
         std::exit(1);
     }
 }
@@ -313,14 +254,14 @@ void write_exports(const obs::Sink& sink, const Options& options) {
 int cmd_analyze(const std::vector<std::string>& args) {
     const Options options = parse_options(args, /*need_topology=*/false);
     std::optional<obs::Sink> sink_storage;
-    obs::Sink* const sink = make_sink(options, sink_storage);
+    obs::Sink* const sink = cli::make_sink(options.exports, sink_storage);
     const tdg::Tdg t = core::analyze(options.programs, sink);
     std::cout << options.programs.size() << " programs -> merged TDG with "
               << t.node_count() << " MATs, " << t.edge_count() << " dependencies, "
               << t.total_metadata_bytes() << " total metadata bytes, "
               << util::Table::num(t.total_resource_units(), 2) << " resource units\n\n";
     print_tdg(t);
-    if (sink != nullptr) write_exports(*sink, options);
+    if (sink != nullptr) write_exports_or_die(*sink, options);
     return 0;
 }
 
@@ -449,11 +390,14 @@ void run_traffic_sim(const Options& options, const net::Network& network,
               << "  horizon           : " << stats.horizon_us << " us\n";
 }
 
-int cmd_deploy(const std::vector<std::string>& args) {
+int cmd_solve(const std::vector<std::string>& args, bool require_fault_script) {
     Options options = parse_options(args, /*need_topology=*/true);
+    if (require_fault_script && options.fault_script.empty()) {
+        usage("replay requires --fault-script");
+    }
     net::Network& network = *options.network;
     std::optional<obs::Sink> sink_storage;
-    obs::Sink* const sink = make_sink(options, sink_storage);
+    obs::Sink* const sink = cli::make_sink(options.exports, sink_storage);
     const tdg::Tdg merged = core::analyze(options.programs, sink);
 
     core::Deployment deployment;
@@ -473,10 +417,10 @@ int cmd_deploy(const std::vector<std::string>& args) {
         hermes_options.milp.threads = options.threads;
         hermes_options.segment_level_milp = merged.node_count() > 40;
         hermes_options.oracle = &oracle;
-        const core::DeployOutcome outcome =
+        const core::DeployOutcome outcome = unwrap(
             options.strategy == "greedy"
-                ? core::deploy_greedy(merged, network, hermes_options)
-                : core::deploy_optimal(merged, network, hermes_options);
+                ? core::try_deploy_greedy(merged, network, hermes_options)
+                : core::try_deploy_optimal(merged, network, hermes_options));
         deployment = outcome.deployment;
         seconds = outcome.solve_seconds;
         status = outcome.solver_status;
@@ -542,7 +486,7 @@ int cmd_deploy(const std::vector<std::string>& args) {
         survived = run_fault_replay(options, network, deployed_tdg, deployment,
                                     oracle, sink);
     }
-    if (sink != nullptr) write_exports(*sink, options);
+    if (sink != nullptr) write_exports_or_die(*sink, options);
     return report.ok && survived ? 0 : 1;
 }
 
@@ -556,7 +500,11 @@ int main(int argc, char** argv) {
     try {
         if (command == "compile") return cmd_compile(args);
         if (command == "analyze") return cmd_analyze(args);
-        if (command == "deploy") return cmd_deploy(args);
+        if (command == "solve") return cmd_solve(args, /*require_fault_script=*/false);
+        if (command == "replay") return cmd_solve(args, /*require_fault_script=*/true);
+        if (command == "serve") return cli::run_serve(args);
+        // One-release legacy alias from before the subcommand split.
+        if (command == "deploy") return cmd_solve(args, /*require_fault_script=*/false);
         usage("unknown command '" + command + "'");
     } catch (const std::exception& ex) {
         std::cerr << "error: " << ex.what() << "\n";

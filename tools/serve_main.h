@@ -1,0 +1,17 @@
+// The hermes_serve daemon loop, shared by the hermes_serve binary and the
+// `hermes_cli serve` subcommand (both parse the same flags through
+// cli::FlagParser). See tools/hermes_serve.cpp for the flag reference and
+// core/serve.h for the wire protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hermes::cli {
+
+// Runs the daemon (or the --emit-churn generator) to completion. Returns the
+// process exit code: 0 on a clean run, 1 on runtime errors, 2 on flag
+// errors (after printing "error: ..." to stderr).
+int run_serve(const std::vector<std::string>& args);
+
+}  // namespace hermes::cli
