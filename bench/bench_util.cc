@@ -50,7 +50,7 @@ std::vector<SolutionRow> run_all_solutions(const std::vector<prog::Program>& pro
 
     const tdg::Tdg merged = core::analyze(programs);
     try {
-        const core::DeployOutcome g = core::deploy_greedy(merged, net, hermes_options);
+        const core::DeployOutcome g = core::try_deploy_greedy(merged, net, hermes_options).value();
         rows.push_back(make_row("Hermes", merged, net, g.deployment, g.solve_seconds,
                                 g.solver_status, oracle));
     } catch (const std::exception& ex) {
@@ -58,7 +58,7 @@ std::vector<SolutionRow> run_all_solutions(const std::vector<prog::Program>& pro
     }
     if (config.include_optimal) {
         try {
-            const core::DeployOutcome o = core::deploy_optimal(merged, net, hermes_options);
+            const core::DeployOutcome o = core::try_deploy_optimal(merged, net, hermes_options).value();
             rows.push_back(make_row("Optimal", merged, net, o.deployment, o.solve_seconds,
                                     o.solver_status, oracle));
         } catch (const std::exception& ex) {

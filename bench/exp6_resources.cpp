@@ -29,7 +29,7 @@ int main() {
 
     // Hermes (merged, greedy).
     const tdg::Tdg merged = core::analyze(sketches);
-    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, n);
+    const core::DeployOutcome hermes_outcome = core::try_deploy_greedy(merged, n).value();
 
     // SPEED (merged, latency-objective ILP).
     baselines::NetworkWideStrategy speed("SPEED", core::P1Objective::kMinLatency);

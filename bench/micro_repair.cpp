@@ -35,7 +35,7 @@ Instance wan_instance(int topology, int programs) {
         inst.net.props(u).stages = 4;
     }
     inst.net.bump_epoch();
-    inst.deployment = core::deploy_greedy(inst.merged, inst.net).deployment;
+    inst.deployment = core::try_deploy_greedy(inst.merged, inst.net).value().deployment;
     return inst;
 }
 

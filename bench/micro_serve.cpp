@@ -3,10 +3,13 @@
 // the engine's delta re-solve latency per event against a cold one-shot
 // deploy_greedy of the same merged TDG.
 //
-// The acceptance bar this file guards: delta re-solve p99 at least 5x
-// faster than the cold path's p99 on the same event sequence, with every
-// post-event incumbent verifier-clean. Quantiles are exact (sorted sample
-// vectors), not histogram estimates.
+// The acceptance bars this file guards: delta re-solve p99 at least 5x
+// faster than the cold path's p99 on the same event sequence, every
+// post-event incumbent verifier-clean, and the write-ahead journal cheap —
+// the same churn under --durability batch must keep its delta p99 within
+// 2x of the non-durable run (an epoch-fsync row is reported as
+// informational). Quantiles are exact (sorted sample vectors), not
+// histogram estimates.
 //
 // Custom main (no google-benchmark): --json/--seed/--smoke as in the other
 // custom-main micro tools; --smoke trims the script for CI smoke lanes.
@@ -19,6 +22,7 @@
 #include "bench_util.h"
 #include "core/engine.h"
 #include "core/hermes.h"
+#include "core/journal.h"
 #include "core/verifier.h"
 #include "fault/fault.h"
 #include "net/topozoo.h"
@@ -53,10 +57,33 @@ struct ChurnResult {
     int delta_epochs = 0;
 };
 
+struct ChurnConfig {
+    // Null = no journal; otherwise the churn runs durably against a fresh
+    // write-ahead log at this path (removed before the run starts).
+    const char* journal_path = nullptr;
+    core::Durability durability = core::Durability::kBatch;
+    bool cold_baseline = false;
+};
+
 // The same churn mix as tests/engine_test.cpp and hermes_serve --emit-churn:
 // adds, removes, a single-open link fault with recovery, retargets.
-ChurnResult run_churn(int events, std::uint64_t seed) {
+ChurnResult run_churn(int events, std::uint64_t seed,
+                      const ChurnConfig& config = {}) {
     core::Engine engine(net::table3_topology(1));
+    if (config.journal_path != nullptr) {
+        std::remove(config.journal_path);
+        const std::string tmp = std::string(config.journal_path) + ".tmp";
+        std::remove(tmp.c_str());
+        core::JournalOptions journal_options;
+        journal_options.durability = config.durability;
+        journal_options.snapshot_interval = 16;
+        auto recovered = engine.recover(config.journal_path, journal_options);
+        if (!recovered.ok()) {
+            std::fprintf(stderr, "journal open failed: %s\n",
+                         recovered.status().message().c_str());
+            return {};
+        }
+    }
     util::SplitMix64 rng(seed);
     ChurnResult result;
     result.events = events;
@@ -139,7 +166,7 @@ ChurnResult run_churn(int events, std::uint64_t seed) {
         // Cold baseline from identical state: one-shot greedy on the same
         // merged TDG and network, private path cache (what a non-resident
         // caller would pay per event).
-        if (engine.program_count() > 0) {
+        if (config.cold_baseline && engine.program_count() > 0) {
             const auto cold_start = Clock::now();
             auto cold = core::try_deploy_greedy(engine.merged(), engine.network());
             result.cold_seconds.push_back(seconds_since(cold_start));
@@ -160,13 +187,43 @@ int main(int argc, char** argv) {
     const int events = args.smoke ? 30 : 100;
     const std::uint64_t seed = args.seed.value_or(7);
 
-    const ChurnResult churn = run_churn(events, seed);
+    ChurnConfig plain;
+    plain.cold_baseline = true;
+    const ChurnResult churn = run_churn(events, seed, plain);
+
+    // Identical churn, journaled. Batch fsync is the serving default and
+    // carries the 2x acceptance bar; epoch fsync (one fsync per epoch) is
+    // reported so the durability spectrum is visible in BENCH_serve.json.
+    ChurnConfig batch;
+    batch.journal_path = "micro_serve_batch.journal";
+    batch.durability = core::Durability::kBatch;
+    const ChurnResult journaled_batch = run_churn(events, seed, batch);
+
+    ChurnConfig epoch;
+    epoch.journal_path = "micro_serve_epoch.journal";
+    epoch.durability = core::Durability::kEpoch;
+    const ChurnResult journaled_epoch = run_churn(events, seed, epoch);
+
+    for (const char* leftover :
+         {"micro_serve_batch.journal", "micro_serve_batch.journal.tmp",
+          "micro_serve_epoch.journal", "micro_serve_epoch.journal.tmp"}) {
+        std::remove(leftover);
+    }
 
     const double delta_p50 = exact_quantile(churn.delta_seconds, 0.50) * 1e6;
     const double delta_p99 = exact_quantile(churn.delta_seconds, 0.99) * 1e6;
     const double cold_p50 = exact_quantile(churn.cold_seconds, 0.50) * 1e6;
     const double cold_p99 = exact_quantile(churn.cold_seconds, 0.99) * 1e6;
     const double speedup = delta_p99 > 0.0 ? cold_p99 / delta_p99 : 0.0;
+    const double batch_p50 =
+        exact_quantile(journaled_batch.delta_seconds, 0.50) * 1e6;
+    const double batch_p99 =
+        exact_quantile(journaled_batch.delta_seconds, 0.99) * 1e6;
+    const double epoch_p50 =
+        exact_quantile(journaled_epoch.delta_seconds, 0.50) * 1e6;
+    const double epoch_p99 =
+        exact_quantile(journaled_epoch.delta_seconds, 0.99) * 1e6;
+    const double batch_overhead = delta_p99 > 0.0 ? batch_p99 / delta_p99 : 0.0;
 
     std::printf("micro_serve: %d events, %d applied (%d delta epochs), "
                 "%d/%d verifier-clean\n",
@@ -174,6 +231,10 @@ int main(int argc, char** argv) {
                 churn.applied);
     std::printf("  delta re-solve  p50 %8.1f us   p99 %8.1f us\n", delta_p50,
                 delta_p99);
+    std::printf("  journaled batch p50 %8.1f us   p99 %8.1f us  (%.2fx, bar: <= 2x)\n",
+                batch_p50, batch_p99, batch_overhead);
+    std::printf("  journaled epoch p50 %8.1f us   p99 %8.1f us\n", epoch_p50,
+                epoch_p99);
     std::printf("  cold greedy     p50 %8.1f us   p99 %8.1f us\n", cold_p50,
                 cold_p99);
     std::printf("  p99 speedup     %.1fx (bar: >= 5x)\n", speedup);
@@ -185,6 +246,11 @@ int main(int argc, char** argv) {
         {"verified_epochs", static_cast<double>(churn.verified), "count"},
         {"delta_resolve_p50", delta_p50, "us"},
         {"delta_resolve_p99", delta_p99, "us"},
+        {"journaled_batch_p50", batch_p50, "us"},
+        {"journaled_batch_p99", batch_p99, "us"},
+        {"journaled_epoch_p50", epoch_p50, "us"},
+        {"journaled_epoch_p99", epoch_p99, "us"},
+        {"journal_batch_overhead", batch_overhead, "x"},
         {"cold_greedy_p50", cold_p50, "us"},
         {"cold_greedy_p99", cold_p99, "us"},
         {"delta_p99_speedup", speedup, "x"},
@@ -200,6 +266,19 @@ int main(int argc, char** argv) {
     if (speedup < 5.0) {
         std::fprintf(stderr, "FAIL: delta p99 speedup %.2fx below the 5x bar\n",
                      speedup);
+        ++failures;
+    }
+    if (journaled_batch.applied != churn.applied) {
+        std::fprintf(stderr,
+                     "FAIL: journaled churn applied %d epochs vs %d plain\n",
+                     journaled_batch.applied, churn.applied);
+        ++failures;
+    }
+    if (batch_overhead > 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: journaled (batch) delta p99 %.2fx the non-durable "
+                     "p99, above the 2x bar\n",
+                     batch_overhead);
         ++failures;
     }
     return failures == 0 ? 0 : 1;

@@ -276,7 +276,7 @@ void run_sweeps(const std::string& path) {
         options.milp.threads = 1;
         options.milp.warm_lp_basis = warm;
         const auto start = std::chrono::steady_clock::now();
-        const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+        const core::DeployOutcome out = core::try_deploy_optimal(t, n, options).value();
         const double secs = seconds_since(start);
         const std::string tag = warm ? "warm" : "cold";
         records.push_back({"fat_tree_p1_" + tag + "_threads1_seconds", secs, "s"});
@@ -289,7 +289,7 @@ void run_sweeps(const std::string& path) {
         options.milp.time_limit_seconds = 60.0;
         options.milp.threads = threads;
         const auto start = std::chrono::steady_clock::now();
-        const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+        const core::DeployOutcome out = core::try_deploy_optimal(t, n, options).value();
         const double secs = seconds_since(start);
         records.push_back({"fat_tree_p1_threads" + std::to_string(threads) +
                                "_seconds", secs, "s"});
@@ -311,7 +311,7 @@ void run_sweeps(const std::string& path) {
         const net::Network wan = net::table3_topology(id);
         const auto wan_programs = prog::paper_workload(11, 0x21);
         const tdg::Tdg wt = core::analyze(wan_programs);
-        const core::DeployOutcome greedy = core::deploy_greedy(wt, wan, {});
+        const core::DeployOutcome greedy = core::try_deploy_greedy(wt, wan, {}).value();
         const double greedy_obj =
             static_cast<double>(core::max_pair_metadata(wt, greedy.deployment));
 
@@ -401,7 +401,7 @@ int run_smoke(const bench::ToolArgs& args) {
     options.segment_level_milp = true;
     options.milp.time_limit_seconds = time_limit;
     options.milp.threads = threads;
-    const core::DeployOutcome out = core::deploy_optimal(t, n, options);
+    const core::DeployOutcome out = core::try_deploy_optimal(t, n, options).value();
     std::cout << "smoke fat-tree: " << out.solver_status << "\n";
     if (out.solver_status != "optimal" && out.solver_status != "feasible") {
         std::cout << "FAIL: fat-tree deploy_optimal returned " << out.solver_status

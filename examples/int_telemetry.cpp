@@ -36,7 +36,7 @@ int main() {
 
     core::HermesOptions options;
     options.epsilon2 = 6;  // at most six switches may host telemetry logic
-    const core::DeployOutcome outcome = core::deploy_greedy(merged, wan, options);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(merged, wan, options).value();
     const core::VerificationReport report = core::verify(merged, wan, outcome.deployment);
 
     std::cout << "Hermes deployment: overhead "

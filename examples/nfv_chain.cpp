@@ -68,11 +68,11 @@ int main() {
     config.stages = 3;
     const net::Network network = sim::make_testbed(config);
 
-    const core::DeployOutcome greedy = core::deploy_greedy(merged, network);
+    const core::DeployOutcome greedy = core::try_deploy_greedy(merged, network).value();
 
     core::HermesOptions milp_options;
     milp_options.milp.time_limit_seconds = 20.0;
-    const core::DeployOutcome optimal = core::deploy_optimal(merged, network, milp_options);
+    const core::DeployOutcome optimal = core::try_deploy_optimal(merged, network, milp_options).value();
 
     util::Table table({"solution", "overhead(B)", "switches", "latency(us)", "status"});
     auto add = [&](const std::string& name, const core::DeployOutcome& o) {

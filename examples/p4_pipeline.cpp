@@ -82,7 +82,7 @@ int main() {
     config.switch_count = 4;
     config.stages = 1;  // one table per switch: fully distributed
     const net::Network network = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(merged, network);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(merged, network).value();
     std::cout << "\nDeployed across " << outcome.metrics.occupied_switches
               << " switches; per-packet overhead "
               << outcome.metrics.max_pair_metadata_bytes << " B; verified: "

@@ -64,7 +64,7 @@ mat mon_report capacity=32 resource=0.5
     config.stages = 3;  // small switches so the deployment must span several
     const net::Network network = sim::make_testbed(config);
 
-    const core::DeployOutcome outcome = core::deploy_greedy(merged, network);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(merged, network).value();
     std::cout << "\nDeployment (greedy, " << outcome.solve_seconds * 1e3 << " ms):\n";
     for (tdg::NodeId v = 0; v < merged.node_count(); ++v) {
         const core::Placement& p = outcome.deployment.placements[v];

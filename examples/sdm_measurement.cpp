@@ -37,7 +37,7 @@ int main() {
     config.stages = 3;
     const net::Network network = sim::make_testbed(config);
 
-    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, network);
+    const core::DeployOutcome hermes_outcome = core::try_deploy_greedy(merged, network).value();
 
     // The metadata-oblivious alternative: resource first-fit segments on the
     // same chain machinery.

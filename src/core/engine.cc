@@ -8,10 +8,12 @@
 #include "core/incremental.h"
 #include "core/repair.h"
 #include "core/verifier.h"
+#include "fault/crash.h"
 #include "fault/injector.h"
 #include "obs/obs.h"
 #include "tdg/analyzer.h"
 #include "tdg/merge.h"
+#include "util/crc.h"
 
 namespace hermes::core {
 
@@ -32,6 +34,69 @@ std::string merge_key(const std::vector<std::string>& names) {
         key += '\n';
     }
     return key;
+}
+
+// One epoch op as journaled ({"op": ...}); inverse below. These live here —
+// not in journal.h — because Mutation is the engine's own type.
+util::Json mutation_to_json(const Engine::Mutation& m) {
+    util::JsonObject o;
+    switch (m.kind) {
+        case Engine::Mutation::Kind::kAddProgram:
+            o.emplace_back("op", "add_program");
+            o.emplace_back("program", program_to_json(*m.program));
+            break;
+        case Engine::Mutation::Kind::kRemoveProgram:
+            o.emplace_back("op", "remove_program");
+            o.emplace_back("name", m.name);
+            break;
+        case Engine::Mutation::Kind::kRetarget:
+            o.emplace_back("op", "retarget");
+            break;
+        case Engine::Mutation::Kind::kFault:
+            o.emplace_back("op", "fault");
+            o.emplace_back("kind", fault::to_string(m.fault.kind));
+            o.emplace_back("a", m.fault.a);
+            o.emplace_back("b", m.fault.b);
+            o.emplace_back("at_us", m.fault.at_us);
+            break;
+    }
+    return util::Json(std::move(o));
+}
+
+util::StatusOr<Engine::Mutation> mutation_from_json(const util::Json& j) {
+    if (!j.is_object() || !j.get("op").is_string()) {
+        return util::Status::invalid("journal: malformed epoch op");
+    }
+    const std::string& op = j.get("op").string_value();
+    Engine::Mutation m;
+    if (op == "add_program") {
+        util::StatusOr<prog::Program> program = program_from_json(j.get("program"));
+        if (!program.ok()) return program.status();
+        m.kind = Engine::Mutation::Kind::kAddProgram;
+        m.program = std::move(program).value();
+    } else if (op == "remove_program") {
+        if (!j.get("name").is_string()) {
+            return util::Status::invalid("journal: remove_program without a name");
+        }
+        m.kind = Engine::Mutation::Kind::kRemoveProgram;
+        m.name = j.get("name").string_value();
+    } else if (op == "retarget") {
+        m.kind = Engine::Mutation::Kind::kRetarget;
+    } else if (op == "fault") {
+        const std::optional<fault::FaultKind> kind =
+            fault::parse_fault_kind(j.get("kind").string_value());
+        if (!kind.has_value()) {
+            return util::Status::invalid("journal: unknown fault kind");
+        }
+        m.kind = Engine::Mutation::Kind::kFault;
+        m.fault.kind = *kind;
+        m.fault.a = static_cast<net::SwitchId>(j.get("a").int_value());
+        m.fault.b = static_cast<net::SwitchId>(j.get("b").int_value());
+        m.fault.at_us = j.get("at_us").double_value();
+    } else {
+        return util::Status::invalid("journal: unknown epoch op '" + op + "'");
+    }
+    return m;
 }
 
 // Ordered switch pairs that exchange metadata under `placements`.
@@ -163,6 +228,7 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
     std::vector<std::string> working = program_names();
     bool want_retarget = false;
     bool have_fault = false;
+    bool programs_changed = false;
     for (const Mutation& m : batch) {
         switch (m.kind) {
             case Mutation::Kind::kAddProgram: {
@@ -178,6 +244,7 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
                                                  "'");
                 }
                 working.push_back(name);
+                programs_changed = true;
                 break;
             }
             case Mutation::Kind::kRemoveProgram: {
@@ -187,6 +254,7 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
                                                  m.name + "'");
                 }
                 working.erase(it);
+                programs_changed = true;
                 break;
             }
             case Mutation::Kind::kRetarget:
@@ -201,6 +269,26 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
                 break;
             }
         }
+    }
+
+    // ---- Write-ahead: the epoch must be durable before any state mutates.
+    // A crash after this append replays the batch on recovery; a crash
+    // during it leaves a torn record the recovery scan truncates — either
+    // way the journal and the state agree.
+    if (journal_.has_value() && !replaying_) {
+        util::JsonObject record;
+        record.emplace_back("type", "epoch");
+        record.emplace_back("epoch", epoch_ + 1);
+        util::JsonArray ops;
+        for (const Mutation& m : batch) ops.push_back(mutation_to_json(m));
+        record.emplace_back("ops", std::move(ops));
+        const util::Status appended = journal_->append(util::Json(std::move(record)));
+        if (!appended.ok()) {
+            // Refuse to mutate state the log could not replay.
+            bump("journal.append_failures");
+            return appended;
+        }
+        fault::crash_point("engine.apply.journaled");
     }
 
     // ---- Apply program-set changes (rolled back on failure below). ----
@@ -262,8 +350,9 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
         deadline = Deadline::after(options_.epoch_deadline_seconds);
     }
 
-    util::StatusOr<DeltaOutcome> outcome = resolve_epoch(
-        preserved, preserved_count, placements_survive, want_retarget, deadline);
+    util::StatusOr<DeltaOutcome> outcome =
+        resolve_epoch(preserved, preserved_count, placements_survive, want_retarget,
+                      programs_changed, deadline);
     if (!outcome.ok()) {
         // Program changes roll back; faults are physical and stay. The old
         // incumbent survives only if it still verifies on the (possibly
@@ -279,12 +368,18 @@ util::StatusOr<DeltaOutcome> Engine::apply(std::vector<Mutation> batch) {
         }
         bump("engine.failed_epochs");
     }
+    fault::crash_point("engine.apply.resolved");
+    if (journal_.has_value() && !replaying_ && journal_->should_rotate()) {
+        const util::Status rotated = journal_->rotate(snapshot_json());
+        if (!rotated.ok()) bump("journal.rotate_failures");
+    }
     return outcome;
 }
 
 util::StatusOr<DeltaOutcome> Engine::resolve_epoch(
     const std::vector<Placement>& preserved, std::size_t preserved_count,
-    bool placements_survive, bool want_retarget, const Deadline& deadline) {
+    bool placements_survive, bool want_retarget, bool programs_changed,
+    const Deadline& deadline) {
     const auto start = Clock::now();
     ++epoch_;
 
@@ -444,6 +539,20 @@ util::StatusOr<DeltaOutcome> Engine::resolve_epoch(
         }
     }
 
+    // ---- Degrade rung: the epoch deadline expired before any rung could
+    // finish. When the program set is unchanged this epoch (so the previous
+    // incumbent lives in the current merge's id space) and that incumbent
+    // still verifies on the (possibly faulted) topology, serving stale-but-
+    // verified placements beats reporting infeasible.
+    if (deadline.active() && deadline.expired() && !programs_changed && previous_ok &&
+        previous.placements.size() == merged_.node_count() &&
+        verify(merged_, network_, previous, verify_options).ok) {
+        bump("serve.deadline_degrades");
+        outcome.degraded = true;
+        Deployment keep = previous;
+        return finish(std::move(keep), "degraded", /*delta=*/true);
+    }
+
     // No rung produced a verifiable deployment: keep the previous incumbent
     // visible (apply() decides whether it still verifies) and report why.
     incumbent_ = previous;
@@ -454,6 +563,20 @@ util::StatusOr<DeltaOutcome> Engine::resolve_epoch(
 
 util::StatusOr<DeployOutcome> Engine::solve() {
     obs::Span span(options_.sink, "engine.solve");
+    if (journal_.has_value() && !replaying_) {
+        util::JsonObject record;
+        record.emplace_back("type", "epoch");
+        record.emplace_back("epoch", epoch_ + 1);
+        util::JsonObject op;
+        op.emplace_back("op", "solve");
+        record.emplace_back("ops", util::JsonArray{util::Json(std::move(op))});
+        const util::Status appended = journal_->append(util::Json(std::move(record)));
+        if (!appended.ok()) {
+            bump("journal.append_failures");
+            return appended;
+        }
+        fault::crash_point("engine.apply.journaled");
+    }
     ++epoch_;
     if (programs_.empty()) {
         merged_ = tdg::Tdg{};
@@ -487,7 +610,226 @@ util::StatusOr<DeployOutcome> Engine::solve() {
     metrics_ = outcome.value().metrics;
     incumbent_ok_ = true;
     bump("serve.cold_resolves");
+    if (journal_.has_value() && !replaying_ && journal_->should_rotate()) {
+        const util::Status rotated = journal_->rotate(snapshot_json());
+        if (!rotated.ok()) bump("journal.rotate_failures");
+    }
     return outcome;
+}
+
+util::Status Engine::enable_journal(const std::string& path, JournalOptions options) {
+    if (journal_.has_value()) {
+        return util::Status::invalid("engine: journal already enabled");
+    }
+    if (options.sink == nullptr) options.sink = options_.sink;
+    util::StatusOr<Journal> journal = Journal::open(path, options);
+    if (!journal.ok()) return journal.status();
+    journal_ = std::move(journal).value();
+    return {};
+}
+
+util::Json Engine::snapshot_json() const {
+    util::JsonObject o;
+    o.emplace_back("type", "snapshot");
+    o.emplace_back("epoch", epoch_);
+    util::JsonArray programs;
+    for (const ProgramEntry& p : programs_) {
+        programs.push_back(program_to_json(p.program));
+    }
+    o.emplace_back("programs", std::move(programs));
+    // The base topology is the owner's to rebuild; only the fault deltas are
+    // state the journal must carry.
+    util::JsonArray down_switches;
+    for (net::SwitchId u = 0; u < network_.switch_count(); ++u) {
+        if (!network_.switch_up(u)) down_switches.push_back(util::Json(u));
+    }
+    o.emplace_back("down_switches", std::move(down_switches));
+    util::JsonArray down_links;
+    for (const net::Link& l : network_.links()) {
+        if (!l.up) {
+            down_links.push_back(
+                util::Json(util::JsonArray{util::Json(l.a), util::Json(l.b)}));
+        }
+    }
+    o.emplace_back("down_links", std::move(down_links));
+    o.emplace_back("incumbent_ok", incumbent_ok_);
+    o.emplace_back("incumbent", deployment_to_json(incumbent_));
+    util::JsonObject m;
+    m.emplace_back("max_pair_metadata_bytes", metrics_.max_pair_metadata_bytes);
+    m.emplace_back("max_inflight_metadata_bytes", metrics_.max_inflight_metadata_bytes);
+    m.emplace_back("route_latency_us", metrics_.route_latency_us);
+    m.emplace_back("occupied_switches", metrics_.occupied_switches);
+    m.emplace_back("total_resource_units", metrics_.total_resource_units);
+    o.emplace_back("metrics", std::move(m));
+    return util::Json(std::move(o));
+}
+
+util::Status Engine::restore_snapshot(const util::Json& snapshot) {
+    if (epoch_ != 0 || !programs_.empty()) {
+        return util::Status::invalid("engine: snapshot restore requires a fresh engine");
+    }
+    if (!snapshot.is_object() || snapshot.get("type").string_value() != "snapshot" ||
+        !snapshot.get("epoch").is_int() || !snapshot.get("programs").is_array() ||
+        !snapshot.get("incumbent").is_object()) {
+        return util::Status::invalid("engine: malformed snapshot record");
+    }
+    std::vector<ProgramEntry> next;
+    for (const util::Json& pj : snapshot.get("programs").array()) {
+        util::StatusOr<prog::Program> program = program_from_json(pj);
+        if (!program.ok()) return program.status();
+        tdg::Tdg program_tdg = program.value().to_tdg();
+        const std::size_t node_count = program_tdg.node_count();
+        next.push_back(ProgramEntry{program.value().name(), std::move(program).value(),
+                                    std::move(program_tdg), node_count});
+    }
+    util::StatusOr<Deployment> incumbent =
+        deployment_from_json(snapshot.get("incumbent"));
+    if (!incumbent.ok()) return incumbent.status();
+
+    // Reapply the recorded fault deltas through the injector so the path
+    // oracle stays in sync with the network. Links first: a link's own down
+    // flag is independent of its endpoints' state.
+    fault::Injector injector(network_, &oracle_, options_.sink);
+    for (const util::Json& lj : snapshot.get("down_links").array()) {
+        if (!lj.is_array() || lj.array().size() != 2) {
+            return util::Status::invalid("engine: malformed snapshot link");
+        }
+        fault::FaultEvent e;
+        e.kind = fault::FaultKind::kLinkDown;
+        e.a = static_cast<net::SwitchId>(lj.array()[0].int_value());
+        e.b = static_cast<net::SwitchId>(lj.array()[1].int_value());
+        (void)injector.apply(e);
+    }
+    for (const util::Json& sj : snapshot.get("down_switches").array()) {
+        fault::FaultEvent e;
+        e.kind = fault::FaultKind::kSwitchDown;
+        e.a = static_cast<net::SwitchId>(sj.int_value());
+        (void)injector.apply(e);
+    }
+
+    programs_ = std::move(next);
+    merged_ = programs_.empty() ? tdg::Tdg{} : merged_for(programs_);
+    incumbent_ = std::move(incumbent).value();
+    incumbent_ok_ = snapshot.get("incumbent_ok").bool_value();
+    metrics_ = DeploymentMetrics{};
+    epoch_ = snapshot.get("epoch").int_value();
+
+    if (incumbent_ok_ && !programs_.empty()) {
+        VerifyOptions verify_options;
+        verify_options.epsilon1 = options_.epsilon1;
+        verify_options.epsilon2 = options_.epsilon2;
+        if (incumbent_.placements.size() == merged_.node_count() &&
+            verify(merged_, network_, incumbent_, verify_options).ok) {
+            // Recomputing beats trusting the serialized metrics: evaluate()
+            // is deterministic, so this matches the uninterrupted run bit
+            // for bit and can never disagree with the restored incumbent.
+            metrics_ = evaluate(merged_, network_, incumbent_);
+        } else {
+            incumbent_ok_ = false;
+            bump("engine.recovery_reverify_failures");
+        }
+    }
+    return {};
+}
+
+util::StatusOr<Engine::RecoveryReport> Engine::recover(const std::string& path,
+                                                       JournalOptions options) {
+    if (epoch_ != 0 || !programs_.empty() || journal_.has_value()) {
+        return util::Status::invalid("engine: recover requires a fresh engine");
+    }
+    RecoveryReport report;
+    util::StatusOr<Journal::ScanResult> scanned = Journal::scan(path);
+    if (!scanned.ok()) return scanned.status();
+    const Journal::ScanResult& s = scanned.value();
+    report.journal_found = s.found;
+    report.truncated_bytes = s.torn_bytes;
+
+    // Latest snapshot wins; everything after it replays through the normal
+    // apply() ladder with journaling suppressed.
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < s.records.size(); ++i) {
+        if (s.records[i].get("type").string_value() == "snapshot") start = i + 1;
+    }
+    if (start > 0) {
+        const util::Status restored = restore_snapshot(s.records[start - 1]);
+        if (!restored.ok()) return restored;
+        report.snapshot_epoch = epoch_;
+    }
+
+    replaying_ = true;
+    for (std::size_t i = start; i < s.records.size(); ++i) {
+        const util::Json& record = s.records[i];
+        if (record.get("type").string_value() != "epoch") continue;
+        if (record.get("epoch").is_int() && record.get("epoch").int_value() <= epoch_) {
+            continue;  // stale duplicate; already covered by the snapshot
+        }
+        const util::JsonArray& ops = record.get("ops").array();
+        if (ops.size() == 1 && ops[0].get("op").string_value() == "solve") {
+            const util::StatusOr<DeployOutcome> solved = solve();
+            if (solved.ok()) {
+                ++report.replayed_epochs;
+            } else {
+                ++report.failed_replays;
+            }
+            continue;
+        }
+        std::vector<Mutation> batch;
+        bool decoded = true;
+        for (const util::Json& oj : ops) {
+            util::StatusOr<Mutation> m = mutation_from_json(oj);
+            if (!m.ok()) {
+                decoded = false;
+                break;
+            }
+            batch.push_back(std::move(m).value());
+        }
+        if (!decoded) {
+            ++report.failed_replays;
+            continue;
+        }
+        const util::StatusOr<DeltaOutcome> outcome = apply(std::move(batch));
+        if (outcome.ok()) {
+            ++report.replayed_epochs;
+        } else {
+            // Epochs that failed in the original run fail here the same
+            // deterministic way — their side effects (fault events, epoch
+            // advance) are re-applied exactly.
+            ++report.failed_replays;
+        }
+    }
+    replaying_ = false;
+
+    if (options.sink == nullptr) options.sink = options_.sink;
+    util::StatusOr<Journal> journal = Journal::open(path, options);
+    if (!journal.ok()) return journal.status();
+    journal_ = std::move(journal).value();
+    if (!s.records.empty()) {
+        // Compact immediately: the next restart restores one snapshot and
+        // replays nothing.
+        const util::Status rotated = journal_->rotate(snapshot_json());
+        if (!rotated.ok()) bump("journal.rotate_failures");
+    }
+    report.epoch = epoch_;
+    if (s.found) bump("serve.recoveries");
+    return report;
+}
+
+std::uint32_t Engine::fingerprint() const {
+    util::JsonObject o;
+    o.emplace_back("epoch", epoch_);
+    util::JsonArray names;
+    for (const ProgramEntry& p : programs_) names.push_back(util::Json(p.name));
+    o.emplace_back("programs", std::move(names));
+    o.emplace_back("incumbent_ok", incumbent_ok_);
+    o.emplace_back("incumbent", deployment_to_json(incumbent_));
+    util::JsonObject m;
+    m.emplace_back("max_pair_metadata_bytes", metrics_.max_pair_metadata_bytes);
+    m.emplace_back("max_inflight_metadata_bytes", metrics_.max_inflight_metadata_bytes);
+    m.emplace_back("route_latency_us", metrics_.route_latency_us);
+    m.emplace_back("occupied_switches", metrics_.occupied_switches);
+    m.emplace_back("total_resource_units", metrics_.total_resource_units);
+    o.emplace_back("metrics", std::move(m));
+    return util::crc32c(util::Json(std::move(o)).dump());
 }
 
 }  // namespace hermes::core

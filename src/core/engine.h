@@ -43,6 +43,7 @@
 
 #include "core/deployment.h"
 #include "core/hermes.h"
+#include "core/journal.h"
 #include "core/objective.h"
 #include "core/options.h"
 #include "fault/fault.h"
@@ -85,6 +86,10 @@ struct DeltaOutcome {
     // false when a full re-solve produced a fresh deployment.
     bool delta = false;
     bool escalated = false;          // the MILP rung ran
+    // The epoch deadline expired before any rung finished, and the engine
+    // fell back to the still-verifying previous incumbent instead of
+    // reporting infeasible (status "degraded"; serve.deadline_degrades).
+    bool degraded = false;
     std::int64_t epoch = 0;          // engine epoch that produced this
     std::int64_t moved_mats = 0;     // placements whose switch changed
     std::int64_t rerouted_pairs = 0; // routes re-wired in place
@@ -134,6 +139,46 @@ public:
     // when options().always_optimal. Replaces the incumbent on success.
     [[nodiscard]] util::StatusOr<DeployOutcome> solve();
 
+    // ---- durability (DESIGN.md §5k) --------------------------------------
+
+    // Opens (creating if needed) the write-ahead journal at `path` and
+    // starts journaling: every subsequent apply() epoch is appended *before*
+    // any state mutates, and a full-state snapshot rotation runs every
+    // options.snapshot_interval epochs. kIo on filesystem trouble.
+    [[nodiscard]] util::Status enable_journal(const std::string& path,
+                                              JournalOptions options = {});
+
+    struct RecoveryReport {
+        bool journal_found = false;      // a valid journal existed at `path`
+        std::int64_t snapshot_epoch = 0; // epoch restored from the snapshot (0 = none)
+        std::int64_t replayed_epochs = 0;
+        // Replayed epochs whose re-solve failed. Epochs that failed in the
+        // original run replay their failure deterministically, so a nonzero
+        // count is not corruption by itself.
+        std::int64_t failed_replays = 0;
+        std::uint64_t truncated_bytes = 0;  // torn tail dropped by the scan
+        std::int64_t epoch = 0;             // engine epoch after recovery
+    };
+
+    // Restores state from the journal at `path` (latest snapshot, then
+    // replay of the epoch records after it), then enables journaling there
+    // and rotates a fresh snapshot so the next restart replays nothing.
+    // Requires a fresh engine (no epochs applied yet); a missing journal is
+    // a successful empty recovery that starts journaling a new log. The
+    // caller must construct the engine with the same base topology the
+    // journaled run used — the journal records fault deltas, not the
+    // network itself.
+    [[nodiscard]] util::StatusOr<RecoveryReport> recover(const std::string& path,
+                                                         JournalOptions options = {});
+
+    [[nodiscard]] bool journaling() const noexcept { return journal_.has_value(); }
+
+    // CRC32C over the canonical serialization of the externally observable
+    // state: epoch, program names, incumbent placements/routes, and metric
+    // bit patterns. The crash harness asserts a recovered engine's
+    // fingerprint is bit-identical to an uninterrupted run's.
+    [[nodiscard]] std::uint32_t fingerprint() const;
+
     // Observers.
     [[nodiscard]] const net::Network& network() const noexcept { return network_; }
     [[nodiscard]] net::PathOracle& oracle() noexcept { return oracle_; }
@@ -163,8 +208,14 @@ private:
     // success.
     [[nodiscard]] util::StatusOr<DeltaOutcome> resolve_epoch(
         const std::vector<Placement>& preserved, std::size_t preserved_count,
-        bool placements_survive, bool want_retarget, const Deadline& deadline);
+        bool placements_survive, bool want_retarget, bool programs_changed,
+        const Deadline& deadline);
     void bump(const char* counter, std::int64_t delta = 1) const;
+
+    // Full-state snapshot record ({"type":"snapshot", ...}).
+    [[nodiscard]] util::Json snapshot_json() const;
+    // Inverse of snapshot_json on a fresh engine (kInvalidInput otherwise).
+    [[nodiscard]] util::Status restore_snapshot(const util::Json& snapshot);
 
     net::Network network_;
     EngineOptions options_;
@@ -175,6 +226,10 @@ private:
     DeploymentMetrics metrics_;
     bool incumbent_ok_ = false;
     std::int64_t epoch_ = 0;
+    std::optional<Journal> journal_;
+    // True while recover() replays journaled epochs: suppresses re-journaling
+    // (the records are already durable) and snapshot rotation.
+    bool replaying_ = false;
 
     struct MergeEntry {
         tdg::Tdg tdg;

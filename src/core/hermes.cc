@@ -155,18 +155,4 @@ util::StatusOr<DeployOutcome> try_deploy_optimal(const tdg::Tdg& t,
     return outcome;
 }
 
-DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
-                            const HermesOptions& options) {
-    util::StatusOr<DeployOutcome> outcome = try_deploy_greedy(t, net, options);
-    if (!outcome.ok()) throw std::runtime_error(outcome.status().message());
-    return std::move(outcome).value();
-}
-
-DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
-                             const HermesOptions& options) {
-    util::StatusOr<DeployOutcome> outcome = try_deploy_optimal(t, net, options);
-    if (!outcome.ok()) throw std::runtime_error(outcome.status().message());
-    return std::move(outcome).value();
-}
-
 }  // namespace hermes::core

@@ -3,14 +3,14 @@
 // deployment together with its metrics and solve statistics.
 //
 // API note: the StatusOr-returning try_deploy_greedy / try_deploy_optimal
-// entry points are the primary surface — infeasible instances come back as
+// entry points are the only surface — infeasible instances come back as
 // util::StatusCode::kInfeasible (budget exhaustion without an incumbent as
-// kUnavailable) instead of an exception. The historical deploy_greedy /
-// deploy_optimal free functions are retained one release as thin wrappers
-// that rethrow (std::runtime_error, message unchanged); new code — and all
-// long-lived sessions — should go through core::Engine (core/engine.h),
-// which owns the network, merged TDG, path oracle, and incumbent and
-// answers mutations with delta re-solves.
+// kUnavailable) instead of an exception. Callers that want the old throwing
+// behaviour write try_deploy_greedy(t, n).value() — StatusOr::value()
+// rethrows non-ok statuses. New code — and all long-lived sessions — should
+// go through core::Engine (core/engine.h), which owns the network, merged
+// TDG, path oracle, and incumbent and answers mutations with delta
+// re-solves.
 #pragma once
 
 #include <string>
@@ -71,13 +71,5 @@ struct DeployOutcome {
 // any incumbent was found.
 [[nodiscard]] util::StatusOr<DeployOutcome> try_deploy_optimal(
     const tdg::Tdg& t, const net::Network& net, const HermesOptions& options = {});
-
-// Deprecated throwing wrappers (kept one release): identical semantics to
-// the try_* functions above but rethrow non-ok statuses as
-// std::runtime_error. Prefer try_deploy_* or Engine::solve().
-[[nodiscard]] DeployOutcome deploy_greedy(const tdg::Tdg& t, const net::Network& net,
-                                          const HermesOptions& options = {});
-[[nodiscard]] DeployOutcome deploy_optimal(const tdg::Tdg& t, const net::Network& net,
-                                           const HermesOptions& options = {});
 
 }  // namespace hermes::core

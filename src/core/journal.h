@@ -1,0 +1,149 @@
+// Write-ahead journal for the resident serve engine (DESIGN.md §5k).
+//
+// The journal makes hermes_serve crash-safe: every apply() epoch is appended
+// here as a framed record *before* the engine mutates any state, so a
+// `kill -9` at any instruction leaves one of exactly two on-disk states —
+// the epoch never happened (torn or missing record, truncated on recovery)
+// or the epoch is durable and replays deterministically. Periodically the
+// whole engine state is written as a `snapshot` record into a fresh log that
+// atomically replaces the old one (tmp file + rename), bounding both log
+// growth and recovery replay time.
+//
+// On-disk format (little-endian):
+//
+//   magic   "HERMESJ1"                                      (8 bytes, once)
+//   record  [u32 payload length][u32 crc32c(payload)][payload bytes]
+//
+// The payload is one compact JSON object (util::Json), with a "type" key of
+// "epoch" or "snapshot". Recovery scans forward from the magic; the first
+// record whose header is short, whose payload is short, whose CRC mismatches,
+// or whose JSON fails to parse ends valid history — everything after it is a
+// torn tail that Journal::open truncates away.
+//
+// Durability is a policy knob, not a format property:
+//   none   never fsync (journal is page-cache only; survives kill -9,
+//          not power loss)
+//   batch  fsync every `batch_interval` records (default)
+//   epoch  fsync every record, before append() returns
+//
+// Crash-injection seams (fault::crash_point) are compiled into append() and
+// rotate() between the partial writes; see fault/crash.h for the map.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/deployment.h"
+#include "obs/obs.h"
+#include "prog/program.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace hermes::core {
+
+enum class Durability : std::uint8_t {
+    kNone,   // never fsync
+    kBatch,  // fsync every batch_interval appends
+    kEpoch,  // fsync every append
+};
+
+[[nodiscard]] const char* to_string(Durability d) noexcept;
+// "none" | "batch" | "epoch"; nullopt on anything else.
+[[nodiscard]] std::optional<Durability> parse_durability(std::string_view text) noexcept;
+
+struct JournalOptions {
+    Durability durability = Durability::kBatch;
+    // Epoch records between snapshot rotations (0 = never rotate
+    // automatically; the owner can still call rotate()).
+    std::int64_t snapshot_interval = 64;
+    // Appends between fsyncs under Durability::kBatch.
+    std::int64_t batch_interval = 8;
+    // Metrics: journal.appends / journal.fsyncs / journal.rotates counters
+    // and the journal.fsync_us histogram.
+    obs::Sink* sink = nullptr;
+};
+
+// An append-only record log. Move-only (owns a POSIX fd).
+class Journal {
+public:
+    // What a forward scan of a journal file found.
+    struct ScanResult {
+        bool found = false;                // file existed with a valid magic
+        std::vector<util::Json> records;   // every valid record, in order
+        std::uint64_t valid_bytes = 0;     // prefix ending at the last valid record
+        std::uint64_t torn_bytes = 0;      // trailing bytes past valid history
+    };
+
+    // Reads and validates `path` without modifying it. A missing file is not
+    // an error (found=false); an existing file without the magic is kIo (the
+    // journal never clobbers a file it did not write). A file shorter than
+    // the magic counts as a torn creation (found=false, torn_bytes=size).
+    [[nodiscard]] static util::StatusOr<ScanResult> scan(const std::string& path);
+
+    // Opens `path` for appending, creating it (with the magic) when absent
+    // and truncating any torn tail of an existing log. kIo on filesystem
+    // errors or foreign file content.
+    [[nodiscard]] static util::StatusOr<Journal> open(std::string path,
+                                                      JournalOptions options = {});
+
+    Journal(Journal&& other) noexcept;
+    Journal& operator=(Journal&& other) noexcept;
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+    ~Journal();
+
+    // Appends one framed record and applies the durability policy. The
+    // payload should carry a "type" key; append() does not inspect it beyond
+    // counting epoch records toward should_rotate().
+    [[nodiscard]] util::Status append(const util::Json& payload);
+
+    // Replaces the whole log with a fresh one containing only `snapshot`
+    // (which must be the caller's full-state record): written to
+    // `path + ".tmp"`, fsynced, then renamed over the log — the swap is
+    // atomic, so a crash leaves either the old complete log or the new one.
+    [[nodiscard]] util::Status rotate(const util::Json& snapshot);
+
+    // Forces an fsync now regardless of policy (flush boundary).
+    [[nodiscard]] util::Status sync();
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] const JournalOptions& options() const noexcept { return options_; }
+    // Appends since the last rotate (or open, whichever is later).
+    [[nodiscard]] std::int64_t records_since_rotate() const noexcept {
+        return records_since_rotate_;
+    }
+    // True when snapshot_interval > 0 and enough records accumulated that
+    // the owner should serialize a snapshot and call rotate().
+    [[nodiscard]] bool should_rotate() const noexcept {
+        return options_.snapshot_interval > 0 &&
+               records_since_rotate_ >= options_.snapshot_interval;
+    }
+
+private:
+    Journal(std::string path, JournalOptions options, int fd)
+        : path_(std::move(path)), options_(options), fd_(fd) {}
+
+    [[nodiscard]] util::Status sync_now();
+
+    std::string path_;
+    JournalOptions options_;
+    int fd_ = -1;
+    std::int64_t records_since_rotate_ = 0;
+    std::int64_t unsynced_records_ = 0;
+};
+
+// ---- JSON codecs for journal payloads ------------------------------------
+//
+// These serialize the *full* structures (not names): a recovered process must
+// rebuild programs that only ever existed in a client's memory.
+
+[[nodiscard]] util::Json program_to_json(const prog::Program& program);
+[[nodiscard]] util::StatusOr<prog::Program> program_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json deployment_to_json(const Deployment& d);
+[[nodiscard]] util::StatusOr<Deployment> deployment_from_json(const util::Json& j);
+
+}  // namespace hermes::core

@@ -159,8 +159,12 @@ RepairResult repair(const tdg::Tdg& t, const net::Network& net, const Deployment
         hermes_options.oracle = options.oracle;
         hermes_options.milp = options.milp;
         hermes_options.milp.deadline = deadline;
-        try {
-            DeployOutcome outcome = deploy_optimal(t, net, hermes_options);
+        util::StatusOr<DeployOutcome> exact_result =
+            try_deploy_optimal(t, net, hermes_options);
+        // A non-ok status means no MILP incumbent within the budget; the
+        // greedy one stands.
+        if (exact_result.ok()) {
+            DeployOutcome outcome = std::move(exact_result).value();
             const bool exact = outcome.solver_status == "optimal" ||
                                outcome.solver_status == "feasible";
             if (verify(t, net, outcome.deployment, verify_options).ok &&
@@ -171,8 +175,6 @@ RepairResult repair(const tdg::Tdg& t, const net::Network& net, const Deployment
                 have_incumbent = true;
                 milp_completed = exact;
             }
-        } catch (const std::runtime_error&) {
-            // No MILP incumbent within the budget; the greedy one stands.
         }
     }
 

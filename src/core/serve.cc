@@ -19,8 +19,16 @@ const char* wire_code(util::StatusCode code) {
         case util::StatusCode::kIo: return "io";
         case util::StatusCode::kInfeasible: return "infeasible";
         case util::StatusCode::kUnavailable: return "unavailable";
+        case util::StatusCode::kResourceExhausted: return "resource_exhausted";
     }
     return "error";
+}
+
+// Errors a client should retry after the current epoch drains, as opposed to
+// requests that are wrong (invalid_input) or unsatisfiable (infeasible).
+bool retryable(util::StatusCode code) {
+    return code == util::StatusCode::kResourceExhausted ||
+           code == util::StatusCode::kUnavailable;
 }
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -170,6 +178,7 @@ std::string format_error(const util::Json& id, const util::Status& status) {
     util::Json error{util::JsonObject{}};
     error.set("code", wire_code(status.code()));
     error.set("message", status.message());
+    if (retryable(status.code())) error.set("retryable", true);
     util::Json response{util::JsonObject{}};
     response.set("id", id);
     response.set("ok", false);
@@ -183,6 +192,7 @@ util::Json delta_outcome_json(const DeltaOutcome& outcome, std::size_t batched) 
     result.set("status", outcome.status);
     result.set("delta", outcome.delta);
     result.set("escalated", outcome.escalated);
+    result.set("degraded", outcome.degraded);
     result.set("batched", batched);
     result.set("moved_mats", outcome.moved_mats);
     result.set("rerouted_pairs", outcome.rerouted_pairs);
@@ -202,8 +212,26 @@ ServeSession::ServeSession(Engine& engine, ServeOptions options)
         options_.sink->counter("serve.batches").add(0);
         options_.sink->counter("serve.delta_resolves").add(0);
         options_.sink->counter("serve.escalations").add(0);
+        options_.sink->counter("serve.oversized").add(0);
+        options_.sink->counter("serve.shed").add(0);
+        options_.sink->counter("serve.recoveries").add(0);
+        options_.sink->counter("serve.deadline_degrades").add(0);
         options_.sink->counter("verify.violations").add(0);
     }
+}
+
+void ServeSession::reject_oversized(std::size_t bytes, std::string& out) {
+    ++requests_;
+    if (options_.sink != nullptr) {
+        options_.sink->counter("serve.requests").add(1);
+        options_.sink->counter("serve.oversized").add(1);
+    }
+    out += format_error(util::Json{},
+                        util::Status::resource_exhausted(
+                            "request exceeds max_request_bytes (" +
+                            std::to_string(bytes) + " > " +
+                            std::to_string(options_.max_request_bytes) + ")"));
+    out += '\n';
 }
 
 void ServeSession::observe_latency(double start_ns) {
@@ -216,6 +244,13 @@ void ServeSession::observe_latency(double start_ns) {
 
 void ServeSession::handle_line(std::string_view line, std::string& out) {
     const auto start_ns = static_cast<double>(obs::now_ns());
+    if (options_.max_request_bytes > 0 && line.size() > options_.max_request_bytes) {
+        // Belt and braces: the transports enforce the cap while assembling
+        // lines, but direct callers (tests, stdio without the assembler)
+        // reach here.
+        reject_oversized(line.size(), out);
+        return;
+    }
     ++requests_;
     if (options_.sink != nullptr) options_.sink->counter("serve.requests").add(1);
 
@@ -241,6 +276,22 @@ void ServeSession::handle_line(std::string_view line, std::string& out) {
     if (request.op == "snapshot") {
         flush(out);
         answer_snapshot(request, out);
+        observe_latency(start_ns);
+        return;
+    }
+
+    // Backpressure: a pipelining client can stage at most max_epoch_ops
+    // mutations into one epoch; past that the request is shed with a
+    // retryable error rather than growing the batch (and the one re-solve
+    // covering it) without bound.
+    if (options_.max_epoch_ops > 0 && staged_.size() >= options_.max_epoch_ops) {
+        if (options_.sink != nullptr) options_.sink->counter("serve.shed").add(1);
+        out += format_error(
+            request.id,
+            util::Status::resource_exhausted(
+                "epoch already holds " + std::to_string(staged_.size()) +
+                " staged ops (max_epoch_ops); retry after the epoch drains"));
+        out += '\n';
         observe_latency(start_ns);
         return;
     }
@@ -345,6 +396,8 @@ void ServeSession::answer_query(const ServeRequest& request, std::string& out) {
     result.set("programs", std::move(names));
     result.set("nodes", engine_.merged().node_count());
     result.set("incumbent", engine_.has_incumbent());
+    result.set("fingerprint", static_cast<std::int64_t>(engine_.fingerprint()));
+    result.set("journaling", engine_.journaling());
     result.set("metrics", metrics_json(engine_.metrics()));
     util::Json network{util::JsonObject{}};
     network.set("switches", engine_.network().switch_count());
@@ -361,6 +414,7 @@ void ServeSession::answer_snapshot(const ServeRequest& request, std::string& out
     for (std::string& name : engine_.program_names()) names.emplace_back(std::move(name));
     result.set("programs", std::move(names));
     result.set("incumbent", engine_.has_incumbent());
+    result.set("fingerprint", static_cast<std::int64_t>(engine_.fingerprint()));
     util::JsonArray placements;
     util::JsonArray routes;
     if (engine_.has_incumbent()) {

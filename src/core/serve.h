@@ -34,8 +34,15 @@
 // failed epoch receive the same error; the Engine rolls the program set
 // back (fault events stay applied — they are physical).
 //
+// Overload protection: requests longer than ServeOptions::max_request_bytes
+// and mutations staged past max_epoch_ops are rejected with a retryable
+// resource_exhausted error ({"code": "resource_exhausted", "retryable":
+// true}) instead of growing buffers without bound; see serve.oversized /
+// serve.shed.
+//
 // Metrics (ServeOptions::sink / EngineOptions::sink): serve.requests,
 // serve.malformed, serve.batches, serve.delta_resolves, serve.escalations,
+// serve.oversized, serve.shed, serve.recoveries, serve.deadline_degrades,
 // verify.violations counters and the serve.request_us latency histogram
 // (p50/p99 via obs::Histogram::quantile).
 #pragma once
@@ -64,6 +71,14 @@ struct ServeOptions {
     ProgramResolver resolver;
     // Metrics sink; typically the engine's. Null disables serve.* metrics.
     obs::Sink* sink = nullptr;
+    // Overload protection. Requests larger than max_request_bytes are
+    // rejected with a retryable resource_exhausted error (serve.oversized) —
+    // the transport loops enforce this while assembling lines, so an abusive
+    // client cannot balloon the line buffer. Once max_epoch_ops mutations
+    // are staged for the current epoch, further mutations are shed the same
+    // way (serve.shed) until a flush drains the queue. 0 disables a cap.
+    std::size_t max_request_bytes = 1u << 20;
+    std::size_t max_epoch_ops = 1024;
 };
 
 // One parsed request, exposed for protocol tests.
@@ -104,8 +119,16 @@ public:
     // the input buffer drains and at shutdown.
     void flush(std::string& out);
 
+    // Emits the response for a request the transport refused to even buffer
+    // (its line exceeded max_request_bytes before a '\n' arrived): a
+    // retryable resource_exhausted error with a null id, counted under
+    // serve.oversized. `bytes` is how much had accumulated when the cap
+    // tripped.
+    void reject_oversized(std::size_t bytes, std::string& out);
+
     [[nodiscard]] std::size_t pending() const noexcept { return staged_.size(); }
     [[nodiscard]] std::int64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
 
 private:
     struct Staged {

@@ -1,0 +1,119 @@
+#include "fault/crash.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include <unistd.h>
+
+namespace hermes::fault {
+
+namespace {
+
+// Armed flag mirrors CrashState under the mutex; kept atomic so disarm/arm
+// from a harness thread is well-defined against seam hits.
+std::atomic<bool> g_armed{false};
+
+struct CrashState {
+    std::string armed_name;
+    std::int64_t armed_nth = 0;
+    std::map<std::string, std::int64_t, std::less<>> hits;
+    bool env_checked = false;
+};
+
+std::mutex& state_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+CrashState& state() {
+    static CrashState s;
+    return s;
+}
+
+// HERMES_CRASH_POINT=<name>[:<nth>]; parsed once, lazily, under the mutex.
+void check_env_locked(CrashState& s) {
+    if (s.env_checked) return;
+    s.env_checked = true;
+    const char* env = std::getenv("HERMES_CRASH_POINT");
+    if (env == nullptr || *env == '\0') return;
+    std::string spec(env);
+    std::int64_t nth = 1;
+    if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+        const std::string tail = spec.substr(colon + 1);
+        char* end = nullptr;
+        const long long parsed = std::strtoll(tail.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && parsed > 0) {
+            nth = parsed;
+            spec.resize(colon);
+        }
+    }
+    s.armed_name = std::move(spec);
+    s.armed_nth = nth;
+    g_armed.store(true, std::memory_order_release);
+}
+
+[[noreturn]] void die(const char* name) {
+    // stderr marker for harness logs; SIGKILL is not catchable or flushable,
+    // so write(2) directly instead of touching stdio buffers.
+    char line[160];
+    const int n = std::snprintf(line, sizeof line, "crash_point: %s\n", name);
+    if (n > 0) {
+        (void)!::write(STDERR_FILENO, line, static_cast<std::size_t>(n));
+    }
+    (void)::raise(SIGKILL);
+    std::abort();  // unreachable; keeps [[noreturn]] honest if SIGKILL is blocked
+}
+
+}  // namespace
+
+const std::vector<std::string>& crash_point_names() {
+    static const std::vector<std::string> names{
+        "journal.append.header",  "journal.append.payload",
+        "journal.append.pre_sync", "journal.snapshot.tmp",
+        "journal.snapshot.renamed", "engine.apply.journaled",
+        "engine.apply.resolved",
+    };
+    return names;
+}
+
+void arm_crash_point(std::string name, std::int64_t nth) {
+    std::lock_guard<std::mutex> lock(state_mutex());
+    CrashState& s = state();
+    s.env_checked = true;  // explicit arming overrides the environment
+    s.armed_name = std::move(name);
+    s.armed_nth = nth > 0 ? nth : 1;
+    g_armed.store(true, std::memory_order_release);
+}
+
+void disarm_crash_points() {
+    std::lock_guard<std::mutex> lock(state_mutex());
+    CrashState& s = state();
+    s.armed_name.clear();
+    s.armed_nth = 0;
+    s.hits.clear();
+    s.env_checked = true;
+    g_armed.store(false, std::memory_order_release);
+}
+
+std::int64_t crash_point_hits(std::string_view name) {
+    std::lock_guard<std::mutex> lock(state_mutex());
+    const CrashState& s = state();
+    const auto it = s.hits.find(name);
+    return it == s.hits.end() ? 0 : it->second;
+}
+
+void crash_point(const char* name) noexcept {
+    std::lock_guard<std::mutex> lock(state_mutex());
+    CrashState& s = state();
+    check_env_locked(s);
+    const std::int64_t count = ++s.hits[std::string(name)];
+    if (!g_armed.load(std::memory_order_acquire)) return;
+    if (s.armed_name == name && count >= s.armed_nth) die(name);
+}
+
+}  // namespace hermes::fault

@@ -1,0 +1,57 @@
+// Crash-injection seams for the crash-safety harness (tools/hermes_crashtest).
+//
+// A *crash point* is a named call compiled permanently into the journal and
+// engine apply paths (core/journal.cc, core/engine.cc). The seams sit on
+// per-epoch control-plane paths (never per-packet loops), so the unarmed
+// cost — a short mutex-protected hit-count bump — is noise. Armed — either
+// programmatically via arm_crash_point() (the fork-based harness) or through
+// the environment for an externally launched daemon:
+//
+//   HERMES_CRASH_POINT=<name>[:<nth>]   # SIGKILL self at the nth hit (1-based)
+//
+// — the process raises SIGKILL at the requested hit of that point, exactly
+// like an operator's `kill -9` landing at the worst possible instruction.
+// The harness then restarts the daemon with the same journal and asserts the
+// recovered engine is bit-identical to an uninterrupted run.
+//
+// The canonical crash-point map (kept in sync with the call sites; see
+// DESIGN.md §5k):
+//
+//   journal.append.header    header written, payload not yet
+//   journal.append.payload   payload half-written (torn record)
+//   journal.append.pre_sync  record complete, fsync not yet issued
+//   journal.snapshot.tmp     snapshot tmp file written, rename not yet
+//   journal.snapshot.renamed snapshot swapped in, old log gone
+//   engine.apply.journaled   epoch record durable, state not yet mutated
+//   engine.apply.resolved    state mutated and re-solved, reply not yet sent
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::fault {
+
+// Every compiled-in crash point name, in seam order. The harness iterates
+// this list; a name here without a live call site is a bug the crashtest
+// reports as "unreached".
+[[nodiscard]] const std::vector<std::string>& crash_point_names();
+
+// Arms `name`: the process raises SIGKILL at its `nth` hit (1-based).
+// Overrides any HERMES_CRASH_POINT arming. Unknown names arm harmlessly
+// (they never fire).
+void arm_crash_point(std::string name, std::int64_t nth = 1);
+
+// Disarms everything and resets hit counters (test seam).
+void disarm_crash_points();
+
+// Hits recorded for `name` since process start / the last disarm. Counted
+// whether or not the point is armed.
+[[nodiscard]] std::int64_t crash_point_hits(std::string_view name);
+
+// The seam: counts the hit and SIGKILLs the process when armed for this
+// name and the hit count just reached the armed threshold.
+void crash_point(const char* name) noexcept;
+
+}  // namespace hermes::fault

@@ -33,21 +33,32 @@ std::size_t Program::index_of(const std::string& mat_name) const {
 }
 
 void Program::add_gate(const std::string& upstream, const std::string& downstream) {
-    const std::size_t u = index_of(upstream);
-    const std::size_t d = index_of(downstream);
-    if (u >= d) {
-        throw std::invalid_argument("Program::add_gate: gate must point forward (" +
-                                    upstream + " -> " + downstream + ")");
+    add_gate(index_of(upstream), index_of(downstream));
+}
+
+void Program::add_gate(std::size_t upstream, std::size_t downstream) {
+    if (upstream >= mats_.size() || downstream >= mats_.size()) {
+        throw std::out_of_range("Program::add_gate: bad MAT index");
     }
-    gates_.emplace_back(u, d);
+    if (upstream >= downstream) {
+        throw std::invalid_argument("Program::add_gate: gate must point forward (" +
+                                    mats_[upstream].name() + " -> " +
+                                    mats_[downstream].name() + ")");
+    }
+    gates_.emplace_back(upstream, downstream);
 }
 
 void Program::add_explicit_edge(const std::string& from, const std::string& to,
                                 tdg::DepType type) {
-    const std::size_t f = index_of(from);
-    const std::size_t t = index_of(to);
-    if (f == t) throw std::invalid_argument("Program::add_explicit_edge: self-loop");
-    explicit_edges_.push_back(ExplicitEdge{f, t, type});
+    add_explicit_edge(index_of(from), index_of(to), type);
+}
+
+void Program::add_explicit_edge(std::size_t from, std::size_t to, tdg::DepType type) {
+    if (from >= mats_.size() || to >= mats_.size()) {
+        throw std::out_of_range("Program::add_explicit_edge: bad MAT index");
+    }
+    if (from == to) throw std::invalid_argument("Program::add_explicit_edge: self-loop");
+    explicit_edges_.push_back(ExplicitEdge{from, to, type});
 }
 
 Program Program::with_scaled_resources(double factor) const {

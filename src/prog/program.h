@@ -39,11 +39,30 @@ public:
     // (successor dependency). Both MATs must already exist; upstream must
     // precede downstream in program order.
     void add_gate(const std::string& upstream, const std::string& downstream);
+    void add_gate(std::size_t upstream, std::size_t downstream);
 
     // Forces an explicit dependency edge regardless of field analysis
     // (used by the parser and by tests to build exact TDG shapes).
     void add_explicit_edge(const std::string& from, const std::string& to,
                            tdg::DepType type);
+    void add_explicit_edge(std::size_t from, std::size_t to, tdg::DepType type);
+
+    // An explicit edge as recorded: MAT positions plus the forced type.
+    struct ExplicitEdge {
+        std::size_t from;
+        std::size_t to;
+        tdg::DepType type;
+    };
+
+    // Structural read access, so the serve journal (core/journal.h) can
+    // serialize a program exactly and rebuild it on recovery.
+    [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>& gates()
+        const noexcept {
+        return gates_;
+    }
+    [[nodiscard]] const std::vector<ExplicitEdge>& explicit_edges() const noexcept {
+        return explicit_edges_;
+    }
 
     // Builds the TDG: nodes in program order; edges from pairwise dependency
     // inference plus all explicit edges.
@@ -61,11 +80,6 @@ private:
     std::string name_;
     std::vector<tdg::Mat> mats_;
     std::vector<std::pair<std::size_t, std::size_t>> gates_;
-    struct ExplicitEdge {
-        std::size_t from;
-        std::size_t to;
-        tdg::DepType type;
-    };
     std::vector<ExplicitEdge> explicit_edges_;
 };
 

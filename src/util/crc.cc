@@ -1,0 +1,46 @@
+#include "util/crc.h"
+
+#include <array>
+
+namespace hermes::util {
+
+namespace {
+
+// Reflected CRC32C lookup table, generated once at first use.
+const std::array<std::uint32_t, 256>& table() {
+    static const std::array<std::uint32_t, 256> t = [] {
+        std::array<std::uint32_t, 256> out{};
+        constexpr std::uint32_t kPolyReflected = 0x82F63B78u;  // 0x1EDC6F41 reversed
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+            }
+            out[i] = crc;
+        }
+        return out;
+    }();
+    return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t size) noexcept {
+    const auto& t = table();
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state = t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+    }
+    return state;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size) noexcept {
+    return crc32c_final(crc32c_update(crc32c_init(), data, size));
+}
+
+std::uint32_t crc32c(std::string_view data) noexcept {
+    return crc32c(data.data(), data.size());
+}
+
+}  // namespace hermes::util

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected) checksums.
+//
+// Used by the serve journal (core/journal.h) to frame write-ahead records:
+// every record carries the CRC of its payload so recovery can distinguish a
+// torn tail write from valid history. The implementation is a plain
+// table-driven software CRC — the journal is fsync-bound, not checksum-bound
+// — with an incremental form for streaming callers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hermes::util {
+
+// CRC32C of `data`, matching the common reflected-output convention
+// (crc32c("123456789") == 0xE3069283).
+[[nodiscard]] std::uint32_t crc32c(std::string_view data) noexcept;
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size) noexcept;
+
+// Incremental form: seed with crc32c_init(), fold chunks with
+// crc32c_update(), finish with crc32c_final(). crc32c(x) ==
+// crc32c_final(crc32c_update(crc32c_init(), x)).
+[[nodiscard]] constexpr std::uint32_t crc32c_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                                          std::size_t size) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32c_final(std::uint32_t state) noexcept {
+    return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hermes::util

@@ -37,6 +37,9 @@ enum class StatusCode : std::uint8_t {
                     // historical deploy_greedy/deploy_optimal contract)
     kUnavailable,   // solver stopped before producing any incumbent (budget
                     // exhausted); also rethrown as std::runtime_error
+    kResourceExhausted,  // request exceeded a configured admission cap
+                         // (bytes per request, ops per epoch, staged-queue
+                         // depth); retryable once the current epoch drains
 };
 
 class Status {
@@ -54,6 +57,9 @@ public:
     }
     [[nodiscard]] static Status unavailable(std::string message) {
         return Status(StatusCode::kUnavailable, std::move(message), {});
+    }
+    [[nodiscard]] static Status resource_exhausted(std::string message) {
+        return Status(StatusCode::kResourceExhausted, std::move(message), {});
     }
 
     [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
@@ -111,10 +117,23 @@ public:
     [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
     [[nodiscard]] const Status& status() const noexcept { return status_; }
 
-    // Requires ok().
-    [[nodiscard]] T& value() & { return *value_; }
-    [[nodiscard]] const T& value() const& { return *value_; }
-    [[nodiscard]] T&& value() && { return std::move(*value_); }
+    // Accessors throw on a non-ok holder — the same exception type the
+    // historical throwing entry points used for that error class
+    // (std::invalid_argument for kInvalidInput, std::runtime_error
+    // otherwise) — so `try_x(...).value()` is a drop-in for the deleted
+    // throwing wrappers.
+    [[nodiscard]] T& value() & {
+        status_.throw_if_error();
+        return *value_;
+    }
+    [[nodiscard]] const T& value() const& {
+        status_.throw_if_error();
+        return *value_;
+    }
+    [[nodiscard]] T&& value() && {
+        status_.throw_if_error();
+        return std::move(*value_);
+    }
 
 private:
     std::optional<T> value_;

@@ -154,7 +154,7 @@ TEST(Baselines, HermesBeatsBaselinesOnOverhead) {
     tb.stages = 10;
     const net::Network n = sim::make_testbed(tb);
     const tdg::Tdg merged = core::analyze(programs);
-    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, n);
+    const core::DeployOutcome hermes_outcome = core::try_deploy_greedy(merged, n).value();
     const std::int64_t hermes_overhead =
         hermes_outcome.metrics.max_pair_metadata_bytes;
     for (const auto& strategy : all_strategies()) {

@@ -82,7 +82,7 @@ TEST(Backend, ConfigsCoverOccupiedSwitches) {
     config.switch_count = 3;
     config.stages = 1;  // one MAT per switch: forces full distribution
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     const NetworkConfig configs = build_configs(t, n, outcome.deployment);
     EXPECT_EQ(configs.size(), outcome.deployment.occupied_switches().size());
     // Every cross edge produced an egress directive upstream and an ingress
@@ -117,7 +117,7 @@ TEST(Backend, EgressBytesNeverExceedAnalyzerAccounting) {
     config.switch_count = 3;
     config.stages = 6;
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     const NetworkConfig configs = build_configs(t, n, outcome.deployment);
     // The physically shipped bytes per pair are bounded by A_max-style
     // accounting (which over-counts action-type edges).
@@ -184,7 +184,7 @@ TEST(Interp, SingleProgramFullyDistributedEquivalence) {
     config.switch_count = 3;
     config.stages = 1;  // every MAT on its own switch
     const net::Network n = sim::make_testbed(config);
-    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+    expect_equivalent(t, n, core::try_deploy_greedy(t, n).value().deployment);
 }
 
 TEST(Interp, SketchWorkloadEquivalence) {
@@ -193,7 +193,7 @@ TEST(Interp, SketchWorkloadEquivalence) {
     config.switch_count = 4;
     config.stages = 3;
     const net::Network n = sim::make_testbed(config);
-    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+    expect_equivalent(t, n, core::try_deploy_greedy(t, n).value().deployment);
 }
 
 TEST(Interp, RealProgramsEquivalenceAcrossStrategies) {
@@ -204,7 +204,7 @@ TEST(Interp, RealProgramsEquivalenceAcrossStrategies) {
     config.switch_count = 3;
     config.stages = 6;
     const net::Network n = sim::make_testbed(config);
-    expect_equivalent(t, n, core::deploy_greedy(t, n).deployment);
+    expect_equivalent(t, n, core::try_deploy_greedy(t, n).value().deployment);
 
     std::vector<tdg::NodeId> all(t.node_count());
     for (tdg::NodeId v = 0; v < t.node_count(); ++v) all[v] = v;
@@ -220,7 +220,7 @@ TEST(Interp, WireBytesBoundedByInflightMetric) {
     config.switch_count = 3;
     config.stages = 6;
     const net::Network n = sim::make_testbed(config);
-    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    const core::Deployment d = core::try_deploy_greedy(t, n).value().deployment;
     const InterpResult r = run_deployment(t, n, d, build_configs(t, n, d), test_packet());
     const std::int64_t bound = core::max_inflight_metadata(t, n, d);
     for (const int bytes : r.wire_bytes) {
@@ -237,7 +237,7 @@ TEST(Interp, BrokenCoordinationBreaksEquivalence) {
     config.switch_count = 3;
     config.stages = 1;
     const net::Network n = sim::make_testbed(config);
-    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    const core::Deployment d = core::try_deploy_greedy(t, n).value().deployment;
     NetworkConfig configs = build_configs(t, n, d);
     bool dropped = false;
     for (auto& [u, config_u] : configs) {
@@ -263,7 +263,7 @@ TEST(Interp, SyntheticProgramEquivalence) {
         tb.switch_count = 6;
         tb.stages = 12;
         const net::Network n = sim::make_testbed(tb);
-        const core::Deployment d = core::deploy_greedy(t, n).deployment;
+        const core::Deployment d = core::try_deploy_greedy(t, n).value().deployment;
 
         // Synthetic headers are per-MAT unique: build a packet providing all.
         Packet packet;

@@ -35,7 +35,7 @@ TEST(EdgeCases, SingleMatDeploysOnOneSwitch) {
     tdg::Tdg t;
     t.add_node(mat("only", 0.5, {tdg::metadata_field("m", 4)}));
     const net::Network n = sim::make_testbed();
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_EQ(outcome.metrics.occupied_switches, 1);
     EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
     EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
@@ -52,7 +52,7 @@ TEST(EdgeCases, ZeroMetadataWorkloadDeploysWithZeroOverhead) {
     config.switch_count = 3;
     config.stages = 2;
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
     EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
 }
@@ -64,7 +64,7 @@ TEST(EdgeCases, WideIndependentTdgPacksDensely) {
     sim::TestbedConfig tb;
     tb.stages = 12;  // full Tofino profile (the testbed default is scaled down)
     const net::Network n = sim::make_testbed(tb);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_EQ(outcome.metrics.occupied_switches, 1);
 }
 
@@ -82,7 +82,7 @@ TEST(EdgeCases, DeepChainNeedsDepthNotResources) {
     config.switch_count = 3;
     config.stages = 4;
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_GE(outcome.metrics.occupied_switches, 2);
     EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
 }
@@ -105,7 +105,7 @@ TEST(EdgeCases, SingleProgrammableSwitchAmongLegacy) {
     n.add_link(b, c, 1.0);
 
     const tdg::Tdg t = core::analyze({prog::make_program("countmin_sketch")});
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     for (const core::Placement& p : outcome.deployment.placements) EXPECT_EQ(p.sw, b);
 }
 
@@ -125,7 +125,7 @@ TEST(EdgeCases, DisconnectedProgrammableIslandUnusable) {
     t.add_node(mat("b", 0.9));
     t.add_edge(0, 1, DepType::kSuccessor);
     tdg::analyze(t);
-    EXPECT_THROW((void)core::deploy_greedy(t, n), std::runtime_error);
+    EXPECT_THROW((void)core::try_deploy_greedy(t, n).value(), std::runtime_error);
 }
 
 TEST(EdgeCases, HeterogeneousSwitchGeometries) {
@@ -142,7 +142,7 @@ TEST(EdgeCases, HeterogeneousSwitchGeometries) {
     n.add_link(s0, s1, 1.0);
 
     const tdg::Tdg t = core::analyze(prog::sketch_programs());
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_TRUE(core::verify(t, n, outcome.deployment).ok);
 }
 
@@ -205,7 +205,7 @@ TEST(EdgeCases, BackendEgressBytesMatchPairMetadataForPureMatchTdg) {
     config.switch_count = 3;
     config.stages = 1;
     const net::Network n = sim::make_testbed(config);
-    const core::Deployment d = core::deploy_greedy(t, n).deployment;
+    const core::Deployment d = core::try_deploy_greedy(t, n).value().deployment;
     const dataplane::NetworkConfig configs = dataplane::build_configs(t, n, d);
 
     std::map<std::pair<net::SwitchId, net::SwitchId>, std::int64_t> pair_bytes;

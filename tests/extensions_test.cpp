@@ -187,7 +187,7 @@ TEST(Incremental, AddsProgramsWithoutMovingExisting) {
     config.switch_count = 4;
     config.stages = 4;
     const net::Network n = sim::make_testbed(config);
-    const Deployment existing = deploy_greedy(base, n).deployment;
+    const Deployment existing = try_deploy_greedy(base, n).value().deployment;
 
     const tdg::Tdg combined =
         extend_programs(base, {prog::make_program("countmin_sketch")});
@@ -211,7 +211,7 @@ TEST(Incremental, SequenceOfAdditionsStaysVerified) {
     config.switch_count = 6;
     config.stages = 6;
     const net::Network n = sim::make_testbed(config);
-    Deployment deployment = deploy_greedy(current, n).deployment;
+    Deployment deployment = try_deploy_greedy(current, n).value().deployment;
 
     for (const char* name : {"ecmp_lb", "bloom_filter", "qos_meter"}) {
         const std::size_t base_count = current.node_count();
@@ -230,7 +230,7 @@ TEST(Incremental, CapacityExhaustionReturnsNullopt) {
     config.switch_count = 1;
     config.stages = 3;
     const net::Network n = sim::make_testbed(config);
-    const Deployment existing = deploy_greedy(base, n).deployment;
+    const Deployment existing = try_deploy_greedy(base, n).value().deployment;
     // Ten more sketches cannot fit the remaining space of one switch.
     const tdg::Tdg combined = extend_programs(base, prog::sketch_programs());
     EXPECT_FALSE(incremental_deploy(combined, base.node_count(), existing, n).has_value());
@@ -254,11 +254,11 @@ TEST(Incremental, CheaperThanItLooks) {
     config.switch_count = 4;
     config.stages = 3;
     const net::Network n = sim::make_testbed(config);
-    const Deployment existing = deploy_greedy(base, n).deployment;
+    const Deployment existing = try_deploy_greedy(base, n).value().deployment;
     const tdg::Tdg combined = extend_programs(base, {prog::make_program("flow_stats")});
     const auto incremental = incremental_deploy(combined, base.node_count(), existing, n);
     ASSERT_TRUE(incremental.has_value());
-    const Deployment full = deploy_greedy(combined, n).deployment;
+    const Deployment full = try_deploy_greedy(combined, n).value().deployment;
     EXPECT_LE(max_pair_metadata(combined, full),
               max_pair_metadata(combined, incremental->deployment) +
                   max_pair_metadata(base, existing) + 1);

@@ -347,7 +347,7 @@ Scenario testbed_scenario(std::size_t switches = 6, int programs = 6) {
     config.switch_count = switches;
     Scenario s{sim::make_testbed(config), core::analyze(prog::paper_workload(programs, 11)),
                {}};
-    s.deployment = core::deploy_greedy(s.merged, s.net).deployment;
+    s.deployment = core::try_deploy_greedy(s.merged, s.net).value().deployment;
     return s;
 }
 
@@ -387,7 +387,7 @@ TEST(Repair, SingleLinkFailureRepairsByReroutingOnly) {
     for (net::SwitchId u = 0; u < n.switch_count(); ++u) n.props(u).stages = 4;
     n.bump_epoch();
     const tdg::Tdg merged = core::analyze(prog::paper_workload(4, 17));
-    core::Deployment d = core::deploy_greedy(merged, n).deployment;
+    core::Deployment d = core::try_deploy_greedy(merged, n).value().deployment;
     const auto occupied = d.occupied_switches();
     ASSERT_GE(occupied.size(), 2u);
 
@@ -498,7 +498,7 @@ TEST(Repair, DeadlineTripDegradesToFallbackWithoutThrowing) {
     Scenario s{sim::make_testbed(testbed),
                core::analyze(prog::paper_workload(6, 23)),
                {}};
-    s.deployment = core::deploy_greedy(s.merged, s.net).deployment;
+    s.deployment = core::try_deploy_greedy(s.merged, s.net).value().deployment;
     net::PathOracle oracle(s.net);
     fault::Injector injector(s.net, &oracle);
     const net::SwitchId victim = s.deployment.occupied_switches().front();
@@ -542,7 +542,7 @@ std::vector<std::pair<std::string, std::int64_t>> run_scenario(int threads) {
     core::HermesOptions deploy_options;
     deploy_options.oracle = &oracle;
     deploy_options.threads = threads;
-    core::Deployment current = core::deploy_greedy(merged, n, deploy_options).deployment;
+    core::Deployment current = core::try_deploy_greedy(merged, n, deploy_options).value().deployment;
 
     fault::ScriptConfig config;
     config.events = 50;
@@ -658,7 +658,7 @@ TEST(DeploymentHops, ReroutesRecordedRouteAroundFailedLink) {
     for (net::SwitchId u = 0; u < n.switch_count(); ++u) n.props(u).stages = 4;
     n.bump_epoch();
     const tdg::Tdg merged = core::analyze(prog::paper_workload(4, 17));
-    core::Deployment d = core::deploy_greedy(merged, n).deployment;
+    core::Deployment d = core::try_deploy_greedy(merged, n).value().deployment;
     ASSERT_FALSE(d.routes.empty());
     const auto sum_propagation = [](const std::vector<sim::HopSpec>& hops) {
         double total = 0.0;

@@ -30,7 +30,7 @@ TEST(Hermes, AnalyzeMergesAndAnnotates) {
 TEST(Hermes, GreedyDeploysRealProgramsOnTestbed) {
     const tdg::Tdg t = analyze(few_programs(4));
     const net::Network n = sim::make_testbed();
-    const DeployOutcome outcome = deploy_greedy(t, n);
+    const DeployOutcome outcome = try_deploy_greedy(t, n).value();
     EXPECT_EQ(outcome.solver_status, "greedy");
     EXPECT_GT(outcome.solve_seconds, 0.0);
     const VerificationReport report = verify(t, n, outcome.deployment);
@@ -46,10 +46,10 @@ TEST(Hermes, OptimalNeverWorseThanGreedy) {
     config.stages = 3;  // force a multi-switch deployment
     const net::Network n = sim::make_testbed(config);
 
-    const DeployOutcome greedy = deploy_greedy(t, n);
+    const DeployOutcome greedy = try_deploy_greedy(t, n).value();
     HermesOptions options;
     options.milp.time_limit_seconds = 60.0;
-    const DeployOutcome optimal = deploy_optimal(t, n, options);
+    const DeployOutcome optimal = try_deploy_optimal(t, n, options).value();
     EXPECT_LE(optimal.metrics.max_pair_metadata_bytes,
               greedy.metrics.max_pair_metadata_bytes);
     const VerificationReport report = verify(t, n, optimal.deployment);
@@ -65,7 +65,7 @@ TEST(Hermes, OptimalSegmentLevelMode) {
     HermesOptions options;
     options.segment_level_milp = true;
     options.milp.time_limit_seconds = 30.0;
-    const DeployOutcome outcome = deploy_optimal(t, n, options);
+    const DeployOutcome outcome = try_deploy_optimal(t, n, options).value();
     EXPECT_TRUE(verify(t, n, outcome.deployment).ok);
 }
 
@@ -75,7 +75,7 @@ TEST(Hermes, GreedyInfeasiblePropagates) {
     config.switch_count = 1;
     config.stages = 2;
     const net::Network n = sim::make_testbed(config);
-    EXPECT_THROW((void)deploy_greedy(t, n), std::runtime_error);
+    EXPECT_THROW((void)try_deploy_greedy(t, n).value(), std::runtime_error);
 }
 
 TEST(Hermes, EpsilonBoundsForwarded) {
@@ -85,7 +85,7 @@ TEST(Hermes, EpsilonBoundsForwarded) {
     const net::Network n = sim::make_testbed(config);
     HermesOptions options;
     options.epsilon2 = 1;  // cannot fit on a single switch
-    EXPECT_THROW((void)deploy_greedy(t, n, options), std::runtime_error);
+    EXPECT_THROW((void)try_deploy_greedy(t, n, options).value(), std::runtime_error);
 }
 
 TEST(Hermes, SketchWorkloadZeroOverheadWhenFitting) {
@@ -95,7 +95,7 @@ TEST(Hermes, SketchWorkloadZeroOverheadWhenFitting) {
     sim::TestbedConfig config;
     config.stages = 12;
     const net::Network n = sim::make_testbed(config);
-    const DeployOutcome outcome = deploy_greedy(t, n);
+    const DeployOutcome outcome = try_deploy_greedy(t, n).value();
     EXPECT_EQ(outcome.metrics.max_pair_metadata_bytes, 0);
     EXPECT_EQ(outcome.metrics.occupied_switches, 1);
 }

@@ -22,7 +22,7 @@ TEST(Integration, TestbedPipelineAllStrategies) {
 
     // Hermes greedy.
     const tdg::Tdg merged = core::analyze(programs);
-    const core::DeployOutcome hermes_outcome = core::deploy_greedy(merged, n);
+    const core::DeployOutcome hermes_outcome = core::try_deploy_greedy(merged, n).value();
     ASSERT_TRUE(core::verify(merged, n, hermes_outcome.deployment).ok);
 
     // Flow simulation on the Hermes deployment.
@@ -58,7 +58,7 @@ TEST(Integration, WanTopologyGreedyDeployment) {
     const auto programs = prog::paper_workload(20, 3);
     const net::Network n = net::table3_topology(1);
     const tdg::Tdg merged = core::analyze(programs);
-    const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(merged, n).value();
     const core::VerificationReport report = core::verify(merged, n, outcome.deployment);
     ASSERT_TRUE(report.ok) << (report.violations.empty() ? ""
                                                          : report.violations.front());
@@ -74,7 +74,7 @@ TEST(Integration, GreedyScalesAcrossAllTenTopologies) {
     const tdg::Tdg merged = core::analyze(programs);
     for (int id = 1; id <= net::kTopologyCount; ++id) {
         const net::Network n = net::table3_topology(id);
-        const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+        const core::DeployOutcome outcome = core::try_deploy_greedy(merged, n).value();
         EXPECT_TRUE(core::verify(merged, n, outcome.deployment).ok) << "topology " << id;
         EXPECT_LT(outcome.solve_seconds, 30.0) << "topology " << id;
     }
@@ -102,10 +102,10 @@ TEST(Integration, OptimalAndGreedyAgreeOnSmallTestbed) {
     config.stages = 3;
     const net::Network n = sim::make_testbed(config);
     const tdg::Tdg merged = core::analyze(programs);
-    const core::DeployOutcome greedy = core::deploy_greedy(merged, n);
+    const core::DeployOutcome greedy = core::try_deploy_greedy(merged, n).value();
     core::HermesOptions options;
     options.milp.time_limit_seconds = 60.0;
-    const core::DeployOutcome optimal = core::deploy_optimal(merged, n, options);
+    const core::DeployOutcome optimal = core::try_deploy_optimal(merged, n, options).value();
     EXPECT_LE(optimal.metrics.max_pair_metadata_bytes,
               greedy.metrics.max_pair_metadata_bytes);
     EXPECT_TRUE(core::verify(merged, n, optimal.deployment).ok);

@@ -166,6 +166,46 @@ TEST(ObsHistogram, GeometricBounds) {
     EXPECT_EQ(bounds, (std::vector<double>{1.0, 4.0, 16.0, 64.0}));
 }
 
+TEST(ObsHistogram, QuantileOfEmptyHistogramIsZero) {
+    Sink sink;
+    Histogram& h = sink.histogram("empty", {1.0, 10.0});
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(h.quantile(q), 0.0) << "q=" << q;
+    }
+}
+
+TEST(ObsHistogram, QuantileOfSingleSampleInterpolatesItsBucket) {
+    Sink sink;
+    Histogram& h = sink.histogram("single", {10.0, 20.0});
+    h.observe(15.0);  // lands in the (10, 20] bucket
+    // One sample: every quantile resolves inside that bucket, linearly
+    // between its bounds.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+    // Out-of-range q is clamped, not undefined.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(ObsHistogram, QuantileWithAllSamplesInOneBucket) {
+    Sink sink;
+    Histogram& h = sink.histogram("onebucket", {1.0, 2.0, 4.0});
+    for (int i = 0; i < 100; ++i) h.observe(1.5);  // all in (1, 2]
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.25);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.99);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(ObsHistogram, QuantileInOverflowBucketReturnsLastBound) {
+    Sink sink;
+    Histogram& h = sink.histogram("overflow", {1.0, 2.0});
+    h.observe(100.0);  // past every bound: the unbounded overflow bucket
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
 TEST(ObsExport, ChromeTraceGolden) {
     Sink sink;
     sink.set_epoch_ns(1000);

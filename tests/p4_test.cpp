@@ -173,7 +173,7 @@ TEST(P4Frontend, CompiledProgramDeploys) {
     config.switch_count = 3;
     config.stages = 1;
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(merged, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(merged, n).value();
     EXPECT_TRUE(core::verify(merged, n, outcome.deployment).ok);
     EXPECT_EQ(outcome.metrics.occupied_switches, 3);
     EXPECT_GT(outcome.metrics.max_pair_metadata_bytes, 0);

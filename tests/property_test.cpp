@@ -65,7 +65,7 @@ TEST_P(SyntheticSweep, GreedyDeploymentAlwaysVerifies) {
     net::TopologyConfig config;
     util::SplitMix64 rng(GetParam());
     const net::Network n = net::random_topology(30, 45, config, rng);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     const core::VerificationReport report = core::verify(t, n, outcome.deployment);
     EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
                                                          : report.violations.front());
@@ -80,7 +80,7 @@ TEST_P(SyntheticSweep, InflightAtLeastPairMetadata) {
     config.switch_count = 8;
     config.stages = 12;  // dense synthetic TDGs are deep; Tofino geometry
     const net::Network n = sim::make_testbed(config);
-    const core::DeployOutcome outcome = core::deploy_greedy(t, n);
+    const core::DeployOutcome outcome = core::try_deploy_greedy(t, n).value();
     EXPECT_GE(outcome.metrics.max_inflight_metadata_bytes,
               outcome.metrics.max_pair_metadata_bytes);
 }
@@ -182,7 +182,7 @@ TEST_P(OptimalitySweep, GreedyNeverBeatsExactModel) {
     tb.stages = 4;
     const net::Network n = sim::make_testbed(tb);
 
-    const core::DeployOutcome greedy = core::deploy_greedy(t, n);
+    const core::DeployOutcome greedy = core::try_deploy_greedy(t, n).value();
     core::P1Formulation f(t, n, core::FormulationOptions{});
     milp::MilpOptions options;
     options.time_limit_seconds = 20.0;

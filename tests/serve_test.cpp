@@ -338,5 +338,108 @@ TEST(ServeSession, LatencyHistogramRecordsEveryRequest) {
     EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
 }
 
+// ---- Overload protection --------------------------------------------------
+
+std::int64_t counter_of(const obs::Sink& sink, std::string_view name) {
+    for (const auto& c : sink.counters()) {
+        if (c.name == name) return c.value;
+    }
+    return 0;
+}
+
+TEST(ServeSession, OversizedRequestGetsRetryableRejection) {
+    obs::Sink sink;
+    Engine engine(testbed());
+    ServeOptions options;
+    options.sink = &sink;
+    options.max_request_bytes = 64;
+    ServeSession session(engine, options);
+    std::string out;
+
+    // A line over the cap that still reached handle_line (stdio/TCP loops
+    // normally reject while assembling; this is the belt-and-braces path).
+    std::string line = R"({"id": 7, "op": "query", "pad": ")";
+    line.append(100, 'x');
+    line += "\"}";
+    session.handle_line(line, out);
+    auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u);
+    util::Json response = parsed(lines[0]);
+    EXPECT_FALSE(response.get("ok").bool_value());
+    EXPECT_EQ(response.get("error").get("code").string_value(), "resource_exhausted");
+    EXPECT_TRUE(response.get("error").get("retryable").bool_value());
+    EXPECT_EQ(counter_of(sink, "serve.oversized"), 1);
+
+    // The transport-level rejection for a line never assembled at all.
+    out.clear();
+    session.reject_oversized(5000, out);
+    lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u);
+    response = parsed(lines[0]);
+    EXPECT_FALSE(response.get("ok").bool_value());
+    EXPECT_TRUE(response.get("id").is_null());
+    EXPECT_EQ(response.get("error").get("code").string_value(), "resource_exhausted");
+    EXPECT_TRUE(response.get("error").get("retryable").bool_value());
+    EXPECT_EQ(counter_of(sink, "serve.oversized"), 2);
+
+    // The session still works after rejections.
+    out.clear();
+    session.handle_line(R"({"id": 8, "op": "query"})", out);
+    EXPECT_TRUE(parsed(lines_of(out)[0]).get("ok").bool_value());
+}
+
+TEST(ServeSession, MutationsPastEpochOpCapAreShed) {
+    obs::Sink sink;
+    Engine engine(testbed());
+    ServeOptions options;
+    options.sink = &sink;
+    options.max_epoch_ops = 2;
+    ServeSession session(engine, options);
+    std::string out;
+    session.handle_line(
+        R"({"id": 1, "op": "add_program", "name": "a", "spec": "synthetic:3:0"})",
+        out);
+    session.handle_line(
+        R"({"id": 2, "op": "add_program", "name": "b", "spec": "synthetic:3:1"})",
+        out);
+    EXPECT_TRUE(out.empty());
+    // Third mutation of the epoch: shed immediately with a retryable error,
+    // not staged.
+    session.handle_line(
+        R"({"id": 3, "op": "add_program", "name": "c", "spec": "synthetic:3:2"})",
+        out);
+    auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u);
+    const util::Json shed = parsed(lines[0]);
+    EXPECT_EQ(shed.get("id").int_value(), 3);
+    EXPECT_FALSE(shed.get("ok").bool_value());
+    EXPECT_EQ(shed.get("error").get("code").string_value(), "resource_exhausted");
+    EXPECT_TRUE(shed.get("error").get("retryable").bool_value());
+    EXPECT_EQ(session.pending(), 2u);
+    EXPECT_EQ(counter_of(sink, "serve.shed"), 1);
+
+    // The flush drains the queue; the next epoch accepts mutations again.
+    out.clear();
+    session.flush(out);
+    EXPECT_EQ(engine.epoch(), 1);
+    out.clear();
+    session.handle_line(
+        R"({"id": 4, "op": "add_program", "name": "c", "spec": "synthetic:3:2"})",
+        out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(session.pending(), 1u);
+}
+
+TEST(ServeSession, DeltaOutcomeJsonCarriesDegradedFlag) {
+    DeltaOutcome outcome;
+    outcome.status = "degraded";
+    outcome.degraded = true;
+    outcome.delta = true;
+    outcome.epoch = 9;
+    const util::Json j = delta_outcome_json(outcome, 1);
+    EXPECT_TRUE(j.get("degraded").bool_value());
+    EXPECT_EQ(j.get("status").string_value(), "degraded");
+}
+
 }  // namespace
 }  // namespace hermes::core

@@ -1,0 +1,451 @@
+// hermes_crashtest — crash-injection harness for the journaled engine
+// (DESIGN.md §5k).
+//
+// For every compiled-in crash point (fault::crash_point_names), the harness
+// forks a child that arms the point, runs a deterministic churn of tenant
+// add/remove, retargets, and fault events against a journaled core::Engine,
+// and gets SIGKILLed mid-flight at the armed seam. A second child then
+// recovers from the journal, finishes the remaining churn, and the parent
+// asserts the recovered engine's fingerprint is BIT-IDENTICAL to an
+// uninterrupted baseline run of the same churn — the whole crash-safety
+// contract in one executable.
+//
+//   hermes_crashtest [--topology <spec>] [--events <n>] [--seed <n>]
+//                    [--journal <path>] [--durability none|batch|epoch]
+//                    [--snapshot-interval <n>] [--point <name>]...
+//                    [--metrics-out <file>] [--verbose]
+//
+// --point restricts the sweep to the named crash points (repeatable);
+// default sweeps all of them. Each point is crashed at its first hit and
+// then at two deeper hit counts (~1/3 and ~2/3 through the churn) when the
+// point fires that often — rotation seams only fire once per
+// snapshot-interval epochs, so deeper arms that never trip simply end the
+// run uncrashed and are skipped.
+//
+// Exit status 0 iff every injected crash recovered to the baseline
+// fingerprint, no verifier violations were recorded, and every swept crash
+// point fired at least once. --metrics-out writes the aggregate in the
+// standard obs JSON shape:
+//
+//   crash.injected / crash.recovered / crash.fingerprint_mismatches /
+//   crash.points_unreached / serve.recoveries / verify.violations
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "core/engine.h"
+#include "core/journal.h"
+#include "fault/crash.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "prog/synthetic.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace {
+
+using hermes::core::Engine;
+
+struct Flags {
+    std::string topology = "testbed:4:8";
+    int events = 100;
+    std::uint64_t seed = 1;
+    std::string journal = "crashtest.journal";
+    hermes::core::Durability durability = hermes::core::Durability::kBatch;
+    std::int64_t snapshot_interval = 16;
+    std::vector<std::string> points;  // empty = all
+    std::string metrics_out;
+    bool verbose = false;
+};
+
+int usage() {
+    std::cerr << "usage: hermes_crashtest [--topology <spec>] [--events <n>]\n"
+                 "           [--seed <n>] [--journal <path>]\n"
+                 "           [--durability none|batch|epoch] [--snapshot-interval <n>]\n"
+                 "           [--point <name>]... [--metrics-out <file>] [--verbose]\n";
+    return 2;
+}
+
+// The deterministic churn: one Engine::Mutation per epoch, valid by
+// construction against the generator's OWN tracked state (tenant set, downed
+// links/switches) — never against the engine's — so regenerating the list in
+// a recovery child and resuming at any epoch index replays identically.
+// Infeasible epochs are allowed (they journal and re-fail deterministically);
+// kInvalidInput epochs are not possible.
+std::vector<Engine::Mutation> make_churn(const hermes::net::Network& network,
+                                         int events, std::uint64_t seed) {
+    hermes::util::SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    hermes::prog::SyntheticConfig config;
+    std::vector<std::string> tenants;
+    std::vector<std::size_t> down_links;  // indices into network.links()
+    std::vector<hermes::net::SwitchId> down_switches;
+    int next_tenant = 0;
+    constexpr std::size_t kMaxTenants = 5;
+    constexpr std::size_t kMaxDownLinks = 3;
+    constexpr std::size_t kMaxDownSwitches = 1;
+
+    std::vector<Engine::Mutation> ops;
+    ops.reserve(static_cast<std::size_t>(events));
+    while (ops.size() < static_cast<std::size_t>(events)) {
+        Engine::Mutation m;
+        m.fault.at_us = static_cast<double>(ops.size());
+        const std::int64_t roll = rng.uniform_int(0, 99);
+        if (roll < 35 && tenants.size() < kMaxTenants) {
+            const std::string name = "t" + std::to_string(next_tenant);
+            hermes::prog::Program program =
+                hermes::prog::synthetic_program(config, seed, next_tenant);
+            program.set_name(name);
+            ++next_tenant;
+            tenants.push_back(name);
+            m.kind = Engine::Mutation::Kind::kAddProgram;
+            m.program = std::move(program);
+        } else if (roll < 50 && !tenants.empty()) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(tenants.size()) - 1));
+            m.kind = Engine::Mutation::Kind::kRemoveProgram;
+            m.name = tenants[i];
+            tenants.erase(tenants.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (roll < 60) {
+            m.kind = Engine::Mutation::Kind::kRetarget;
+        } else if (roll < 75 && down_links.size() < kMaxDownLinks) {
+            const std::size_t link = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(network.links().size()) - 1));
+            if (std::find(down_links.begin(), down_links.end(), link) !=
+                down_links.end()) {
+                continue;  // already down; reroll
+            }
+            down_links.push_back(link);
+            m.kind = Engine::Mutation::Kind::kFault;
+            m.fault.kind = hermes::fault::FaultKind::kLinkDown;
+            m.fault.a = network.links()[link].a;
+            m.fault.b = network.links()[link].b;
+        } else if (roll < 85 && !down_links.empty()) {
+            const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(down_links.size()) - 1));
+            const std::size_t link = down_links[i];
+            down_links.erase(down_links.begin() + static_cast<std::ptrdiff_t>(i));
+            m.kind = Engine::Mutation::Kind::kFault;
+            m.fault.kind = hermes::fault::FaultKind::kLinkUp;
+            m.fault.a = network.links()[link].a;
+            m.fault.b = network.links()[link].b;
+        } else if (roll < 93 && down_switches.size() < kMaxDownSwitches) {
+            const auto sw = static_cast<hermes::net::SwitchId>(rng.uniform_int(
+                0, static_cast<std::int64_t>(network.switch_count()) - 1));
+            if (std::find(down_switches.begin(), down_switches.end(), sw) !=
+                down_switches.end()) {
+                continue;
+            }
+            down_switches.push_back(sw);
+            m.kind = Engine::Mutation::Kind::kFault;
+            m.fault.kind = hermes::fault::FaultKind::kSwitchDown;
+            m.fault.a = sw;
+        } else if (!down_switches.empty()) {
+            const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(down_switches.size()) - 1));
+            const hermes::net::SwitchId sw = down_switches[i];
+            down_switches.erase(down_switches.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            m.kind = Engine::Mutation::Kind::kFault;
+            m.fault.kind = hermes::fault::FaultKind::kSwitchUp;
+            m.fault.a = sw;
+        } else {
+            m.kind = Engine::Mutation::Kind::kRetarget;
+        }
+        ops.push_back(std::move(m));
+    }
+    return ops;
+}
+
+std::int64_t counter_value(const hermes::obs::Sink& sink, std::string_view name) {
+    for (const auto& c : sink.counters()) {
+        if (c.name == name) return c.value;
+    }
+    return 0;
+}
+
+// Executed inside a forked child: recover (or freshly open) the journal,
+// apply the remaining churn epochs, and write the final state digest to
+// `result_path`. Never returns.
+[[noreturn]] void run_churn_child(const Flags& flags,
+                                  const hermes::net::Network& network,
+                                  const std::vector<Engine::Mutation>& ops,
+                                  const std::string& arm_point, std::int64_t nth,
+                                  const std::string& result_path) {
+    if (!arm_point.empty()) hermes::fault::arm_crash_point(arm_point, nth);
+    hermes::obs::Sink sink;
+    hermes::core::EngineOptions engine_options;
+    engine_options.sink = &sink;
+    Engine engine(network, engine_options);
+
+    hermes::core::JournalOptions journal_options;
+    journal_options.durability = flags.durability;
+    journal_options.snapshot_interval = flags.snapshot_interval;
+    journal_options.sink = &sink;
+    hermes::util::StatusOr<Engine::RecoveryReport> recovered =
+        engine.recover(flags.journal, journal_options);
+    if (!recovered.ok()) {
+        std::cerr << "crashtest child: recover failed: "
+                  << recovered.status().to_string() << "\n";
+        _exit(3);
+    }
+
+    // Epochs map 1:1 to churn ops, so the engine's epoch after recovery IS
+    // the index of the next op to apply.
+    for (std::size_t i = static_cast<std::size_t>(engine.epoch()); i < ops.size();
+         ++i) {
+        Engine::Mutation op = ops[i];
+        if (op.kind == Engine::Mutation::Kind::kRemoveProgram) {
+            // An infeasible epoch rolls its program additions back, so the
+            // generator's tenant set can run ahead of the engine's. Demote a
+            // remove of a program the engine does not hold to a retarget:
+            // the engine state at epoch i is a deterministic function of the
+            // applied prefix, so baseline and recovered runs demote the same
+            // ops and stay epoch-for-epoch identical.
+            const std::vector<std::string> names = engine.program_names();
+            if (std::find(names.begin(), names.end(), op.name) == names.end()) {
+                op = Engine::Mutation{};
+                op.kind = Engine::Mutation::Kind::kRetarget;
+            }
+        }
+        // Infeasible epochs are part of the deterministic run; only invalid
+        // input (impossible by construction) would be a harness bug.
+        hermes::util::StatusOr<hermes::core::DeltaOutcome> outcome =
+            engine.apply({std::move(op)});
+        if (!outcome.ok() &&
+            outcome.status().code() == hermes::util::StatusCode::kInvalidInput) {
+            std::cerr << "crashtest child: invalid churn op " << i << ": "
+                      << outcome.status().to_string() << "\n";
+            _exit(3);
+        }
+    }
+
+    hermes::util::JsonObject digest;
+    digest.emplace_back("fingerprint",
+                        static_cast<std::int64_t>(engine.fingerprint()));
+    digest.emplace_back("epoch", engine.epoch());
+    digest.emplace_back("recoveries", counter_value(sink, "serve.recoveries"));
+    digest.emplace_back("violations", counter_value(sink, "verify.violations"));
+    digest.emplace_back("replayed", recovered.value().replayed_epochs);
+    digest.emplace_back(
+        "truncated_bytes",
+        static_cast<std::int64_t>(recovered.value().truncated_bytes));
+    std::ofstream out(result_path, std::ios::trunc);
+    out << hermes::util::Json(std::move(digest)).dump() << "\n";
+    out.close();
+    _exit(out.good() ? 0 : 3);
+}
+
+struct ChildResult {
+    bool exited = false;    // exited normally with status 0
+    bool sigkilled = false; // the armed crash point fired
+    hermes::util::Json digest;  // valid when exited
+};
+
+ChildResult run_churn(const Flags& flags, const hermes::net::Network& network,
+                      const std::vector<Engine::Mutation>& ops,
+                      const std::string& arm_point, std::int64_t nth) {
+    const std::string result_path = flags.journal + ".result";
+    std::remove(result_path.c_str());
+    std::cout.flush();
+    std::cerr.flush();
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::cerr << "error: fork failed\n";
+        std::exit(1);
+    }
+    if (pid == 0) run_churn_child(flags, network, ops, arm_point, nth, result_path);
+
+    ChildResult result;
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid) return result;
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+        result.sigkilled = true;
+        return result;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return result;
+
+    std::ifstream in(result_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    hermes::util::StatusOr<hermes::util::Json> parsed =
+        hermes::util::parse_json(buffer.str());
+    if (!parsed.ok()) {
+        std::cerr << "error: unreadable child digest at " << result_path << "\n";
+        return result;
+    }
+    result.exited = true;
+    result.digest = std::move(parsed).value();
+    return result;
+}
+
+void reset_journal(const Flags& flags) {
+    std::remove(flags.journal.c_str());
+    std::remove((flags.journal + ".tmp").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Flags flags;
+    {
+        std::vector<std::string> args(argv + 1, argv + argc);
+        hermes::cli::FlagParser parser(args);
+        while (parser.next()) {
+            const std::string& flag = parser.flag();
+            if (flag == "--verbose") {
+                flags.verbose = true;
+                continue;
+            }
+            hermes::util::StatusOr<std::string> v = parser.value();
+            if (!v.ok()) {
+                std::cerr << "error: " << v.status().to_string() << "\n";
+                return usage();
+            }
+            const std::string& value = v.value();
+            if (flag == "--topology") {
+                flags.topology = value;
+            } else if (flag == "--events") {
+                flags.events = std::stoi(value);
+            } else if (flag == "--seed") {
+                flags.seed = std::stoull(value);
+            } else if (flag == "--journal") {
+                flags.journal = value;
+            } else if (flag == "--durability") {
+                std::optional<hermes::core::Durability> d =
+                    hermes::core::parse_durability(value);
+                if (!d) {
+                    std::cerr << "error: --durability takes none|batch|epoch\n";
+                    return usage();
+                }
+                flags.durability = *d;
+            } else if (flag == "--snapshot-interval") {
+                flags.snapshot_interval = std::stoll(value);
+            } else if (flag == "--point") {
+                flags.points.push_back(value);
+            } else if (flag == "--metrics-out") {
+                flags.metrics_out = value;
+            } else {
+                std::cerr << "error: unknown flag " << flag << "\n";
+                return usage();
+            }
+        }
+    }
+
+    hermes::util::StatusOr<hermes::net::Network> network =
+        hermes::cli::parse_topology_spec(flags.topology);
+    if (!network.ok()) {
+        std::cerr << "error: " << network.status().to_string() << "\n";
+        return 2;
+    }
+    const std::vector<Engine::Mutation> ops =
+        make_churn(network.value(), flags.events, flags.seed);
+
+    std::vector<std::string> points = flags.points;
+    if (points.empty()) points = hermes::fault::crash_point_names();
+    for (const std::string& p : points) {
+        const auto& known = hermes::fault::crash_point_names();
+        if (std::find(known.begin(), known.end(), p) == known.end()) {
+            std::cerr << "error: unknown crash point '" << p << "'\n";
+            return 2;
+        }
+    }
+
+    // Uninterrupted baseline: same churn, same journaling, no crash.
+    reset_journal(flags);
+    const ChildResult baseline =
+        run_churn(flags, network.value(), ops, /*arm_point=*/"", /*nth=*/1);
+    if (!baseline.exited) {
+        std::cerr << "FAIL: baseline churn run did not complete\n";
+        return 1;
+    }
+    const std::int64_t baseline_fp = baseline.digest.get("fingerprint").int_value();
+    std::int64_t violations = baseline.digest.get("violations").int_value();
+    std::cout << "baseline: epoch " << baseline.digest.get("epoch").int_value()
+              << " fingerprint " << baseline_fp << "\n";
+
+    // Crash depth schedule: first hit, then ~1/3 and ~2/3 through the churn.
+    std::vector<std::int64_t> depths{1, std::max<std::int64_t>(2, flags.events / 3),
+                                     std::max<std::int64_t>(3, 2 * flags.events / 3)};
+    depths.erase(std::unique(depths.begin(), depths.end()), depths.end());
+
+    std::int64_t injected = 0, recovered_ok = 0, mismatches = 0, recoveries = 0;
+    std::vector<std::string> unreached;
+    for (const std::string& point : points) {
+        bool fired = false;
+        for (const std::int64_t nth : depths) {
+            reset_journal(flags);
+            const ChildResult crashed =
+                run_churn(flags, network.value(), ops, point, nth);
+            if (!crashed.sigkilled) {
+                // The point never reached this depth in `events` epochs —
+                // normal for rotation seams; deeper arms would not either.
+                break;
+            }
+            fired = true;
+            ++injected;
+            const ChildResult recovery =
+                run_churn(flags, network.value(), ops, /*arm_point=*/"", 1);
+            if (!recovery.exited) {
+                std::cout << "FAIL: " << point << ":" << nth
+                          << " recovery run did not complete\n";
+                continue;
+            }
+            const std::int64_t fp = recovery.digest.get("fingerprint").int_value();
+            violations += recovery.digest.get("violations").int_value();
+            recoveries += recovery.digest.get("recoveries").int_value();
+            if (fp == baseline_fp) {
+                ++recovered_ok;
+                if (flags.verbose) {
+                    std::cout << "ok: " << point << ":" << nth << " replayed "
+                              << recovery.digest.get("replayed").int_value()
+                              << " epochs, " << recovery.digest.get("truncated_bytes").int_value()
+                              << " torn bytes, fingerprint matches\n";
+                }
+            } else {
+                ++mismatches;
+                std::cout << "FAIL: " << point << ":" << nth << " recovered to "
+                          << fp << ", baseline " << baseline_fp << "\n";
+            }
+        }
+        if (!fired) unreached.push_back(point);
+    }
+    for (const std::string& point : unreached) {
+        std::cout << "FAIL: crash point " << point << " never fired\n";
+    }
+
+    std::cout << "crashes injected: " << injected << ", recovered bit-identical: "
+              << recovered_ok << ", mismatches: " << mismatches
+              << ", verifier violations: " << violations << "\n";
+
+    if (!flags.metrics_out.empty()) {
+        hermes::obs::Sink sink;
+        sink.counter("crash.injected").add(injected);
+        sink.counter("crash.recovered").add(recovered_ok);
+        sink.counter("crash.fingerprint_mismatches").add(mismatches);
+        sink.counter("crash.points_unreached")
+            .add(static_cast<std::int64_t>(unreached.size()));
+        sink.counter("serve.recoveries").add(recoveries);
+        sink.counter("verify.violations").add(violations);
+        if (!hermes::obs::write_metrics_json_file(sink, flags.metrics_out)) {
+            std::cerr << "error: cannot write " << flags.metrics_out << "\n";
+            return 1;
+        }
+    }
+    std::remove((flags.journal + ".result").c_str());
+
+    const bool ok = injected > 0 && recovered_ok == injected && mismatches == 0 &&
+                    violations == 0 && unreached.empty();
+    return ok ? 0 : 1;
+}

@@ -18,11 +18,25 @@
 //   --threads <n>           solver worker threads (default 1)
 //   --seed <n>              RNG seed (default 1)
 //   --epoch-deadline <s>    wall-clock budget per epoch re-solve (0 = none)
+//   --repair-deadline <s>   alias of --epoch-deadline (the paper-facing
+//                           spelling); past it an epoch degrades to the
+//                           verified incumbent instead of failing
 //   --time-limit <s>        MILP escalation budget (default 30)
 //   --allow-milp            let failed delta/greedy epochs escalate to MILP
 //   --listen <port>         serve TCP on 127.0.0.1:<port> (0 = ephemeral;
 //                           the bound port is printed to stderr)
 //   --max-connections <n>   exit after n TCP connections (0 = run forever)
+//   --journal <file>        write-ahead journal: recover state from <file>
+//                           at startup (if it exists), then log every epoch
+//                           before mutating (DESIGN.md §5k)
+//   --durability <mode>     none | batch (default) | epoch — fsync policy
+//                           for journal appends
+//   --snapshot-interval <n> epochs between snapshot rotations (default 64)
+//   --max-request-bytes <n> reject request lines larger than n bytes with a
+//                           retryable resource_exhausted error (default 1MiB,
+//                           0 = unbounded)
+//   --max-epoch-ops <n>     shed mutations staged past n per epoch (default
+//                           1024, 0 = unbounded)
 //   --metrics-out <file>    write counters/histograms JSON at exit
 //   --trace-out <file>      write Chrome trace JSON at exit
 #include <iostream>

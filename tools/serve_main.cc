@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <deque>
 #include <iostream>
@@ -32,6 +33,13 @@ struct ServeFlags {
     int listen_port = -1;       // -1 = stdio mode
     int max_connections = 0;    // 0 = accept until killed
     std::string emit_churn;     // "<events>[:seed]"; empty = serve
+    // Durability (empty journal = no persistence; see core/journal.h).
+    std::string journal;
+    core::Durability durability = core::Durability::kBatch;
+    std::int64_t snapshot_interval = 64;
+    // Overload protection (0 disables a cap).
+    std::size_t max_request_bytes = 1u << 20;
+    std::size_t max_epoch_ops = 1024;
     ExportOptions exports;
 };
 
@@ -67,8 +75,28 @@ util::StatusOr<ServeFlags> parse_serve_flags(const std::vector<std::string>& arg
                 flags.threads = static_cast<int>(util::parse_int(v.value()));
             } else if (flag == "--seed") {
                 flags.seed = static_cast<std::uint64_t>(util::parse_int(v.value()));
-            } else if (flag == "--epoch-deadline") {
+            } else if (flag == "--epoch-deadline" || flag == "--repair-deadline") {
+                // --repair-deadline is the paper-facing spelling: the budget
+                // after which an epoch degrades to the verified incumbent.
                 flags.epoch_deadline = util::parse_double(v.value());
+            } else if (flag == "--journal") {
+                flags.journal = v.value();
+            } else if (flag == "--durability") {
+                const std::optional<core::Durability> d =
+                    core::parse_durability(v.value());
+                if (!d.has_value()) {
+                    return util::Status::invalid(
+                        "--durability takes none|batch|epoch, got '" + v.value() + "'");
+                }
+                flags.durability = *d;
+            } else if (flag == "--snapshot-interval") {
+                flags.snapshot_interval = util::parse_int(v.value());
+            } else if (flag == "--max-request-bytes") {
+                flags.max_request_bytes =
+                    static_cast<std::size_t>(util::parse_int(v.value()));
+            } else if (flag == "--max-epoch-ops") {
+                flags.max_epoch_ops =
+                    static_cast<std::size_t>(util::parse_int(v.value()));
             } else if (flag == "--time-limit") {
                 flags.time_limit = util::parse_double(v.value());
             } else if (flag == "--listen") {
@@ -250,21 +278,80 @@ int emit_churn(const ServeFlags& flags, net::Network network) {
     return 0;
 }
 
+// Assembles '\n'-terminated request lines from a byte stream while
+// enforcing the request byte cap: a line that exceeds the cap before its
+// terminator arrives stops being buffered — the rest of it is counted and
+// discarded, and exactly one oversized rejection is emitted once the
+// terminator (or EOF) shows up. This is the fix for the historical
+// unbounded std::getline: an abusive or broken client streaming a gigabyte
+// without a newline no longer grows daemon memory past the cap.
+class LineAssembler {
+public:
+    LineAssembler(core::ServeSession& session, std::size_t max_bytes)
+        : session_(session), max_bytes_(max_bytes) {}
+
+    void feed(std::string_view data, std::string& out) {
+        while (!data.empty()) {
+            const std::size_t nl = data.find('\n');
+            const std::string_view chunk =
+                data.substr(0, nl == std::string_view::npos ? data.size() : nl);
+            if (dropped_ > 0 ||
+                (max_bytes_ > 0 && line_.size() + chunk.size() > max_bytes_)) {
+                dropped_ += chunk.size();
+            } else {
+                line_.append(chunk);
+            }
+            if (nl == std::string_view::npos) return;  // terminator not here yet
+            dispatch(out);
+            data.remove_prefix(nl + 1);
+        }
+    }
+
+    // EOF: handle a final unterminated line, if any.
+    void finish(std::string& out) {
+        if (dropped_ > 0 || !line_.empty()) dispatch(out);
+    }
+
+private:
+    void dispatch(std::string& out) {
+        if (dropped_ > 0) {
+            session_.reject_oversized(line_.size() + dropped_, out);
+        } else {
+            session_.handle_line(line_, out);
+        }
+        line_.clear();
+        dropped_ = 0;
+    }
+
+    core::ServeSession& session_;
+    std::size_t max_bytes_;
+    std::string line_;
+    std::size_t dropped_ = 0;  // bytes of the current oversized line discarded
+};
+
 void stdio_loop(core::ServeSession& session) {
-    std::string line;
+    LineAssembler assembler(session, session.options().max_request_bytes);
     std::string out;
-    while (std::getline(std::cin, line)) {
-        session.handle_line(line, out);
-        // Flush the staged epoch when the pipe has no more buffered input —
-        // a burst of pipelined requests coalesces into one epoch, a lone
+    char chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) break;
+        assembler.feed(std::string_view(chunk, static_cast<std::size_t>(n)), out);
+        // Flush the staged epoch at the read boundary — a burst of pipelined
+        // requests arrives in one read and coalesces into one epoch, a lone
         // interactive request answers immediately.
-        if (std::cin.rdbuf()->in_avail() <= 0) session.flush(out);
+        session.flush(out);
         if (!out.empty()) {
             std::cout << out;
             std::cout.flush();
             out.clear();
         }
     }
+    assembler.finish(out);
     session.flush(out);
     if (!out.empty()) {
         std::cout << out;
@@ -304,21 +391,13 @@ int tcp_loop(core::Engine& engine, const core::ServeOptions& serve_options,
         // One session per connection: staged epochs are per-client, the
         // engine (and its incumbent) is shared across connections.
         core::ServeSession session(engine, serve_options);
-        std::string buffer;
+        LineAssembler assembler(session, serve_options.max_request_bytes);
         std::string out;
         char chunk[4096];
         for (;;) {
             const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
             if (n <= 0) break;
-            buffer.append(chunk, static_cast<std::size_t>(n));
-            std::size_t start = 0;
-            for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
-                 nl = buffer.find('\n', start)) {
-                session.handle_line(
-                    std::string_view(buffer).substr(start, nl - start), out);
-                start = nl + 1;
-            }
-            buffer.erase(0, start);
+            assembler.feed(std::string_view(chunk, static_cast<std::size_t>(n)), out);
             // Everything received so far is handled: this recv boundary is
             // the epoch boundary.
             session.flush(out);
@@ -330,12 +409,10 @@ int tcp_loop(core::Engine& engine, const core::ServeOptions& serve_options,
             }
             out.clear();
         }
-        if (!buffer.empty()) {  // final unterminated line
-            session.handle_line(buffer, out);
-            session.flush(out);
-            if (!out.empty()) {
-                (void)::send(conn, out.data(), out.size(), 0);
-            }
+        assembler.finish(out);
+        session.flush(out);
+        if (!out.empty()) {
+            (void)::send(conn, out.data(), out.size(), 0);
         }
         ::close(conn);
         ++served;
@@ -373,8 +450,28 @@ int run_serve(const std::vector<std::string>& args) {
     engine_options.milp.threads = flags.threads;
     core::Engine engine(std::move(network).value(), engine_options);
 
+    if (!flags.journal.empty()) {
+        core::JournalOptions journal_options;
+        journal_options.durability = flags.durability;
+        journal_options.snapshot_interval = flags.snapshot_interval;
+        journal_options.sink = sink;
+        util::StatusOr<core::Engine::RecoveryReport> recovered =
+            engine.recover(flags.journal, journal_options);
+        if (!recovered.ok()) return flag_error(recovered.status());
+        const core::Engine::RecoveryReport& report = recovered.value();
+        if (report.journal_found) {
+            std::cerr << "hermes_serve: recovered journal " << flags.journal
+                      << " (snapshot epoch " << report.snapshot_epoch << ", replayed "
+                      << report.replayed_epochs << " epochs, " << report.failed_replays
+                      << " failed, " << report.truncated_bytes
+                      << " torn bytes dropped) at epoch " << report.epoch << "\n";
+        }
+    }
+
     core::ServeOptions serve_options;
     serve_options.sink = sink;
+    serve_options.max_request_bytes = flags.max_request_bytes;
+    serve_options.max_epoch_ops = flags.max_epoch_ops;
     serve_options.resolver = [](std::string_view spec) {
         return parse_serve_program_spec(std::string(spec));
     };
